@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: the rare-event run-length threshold. Prints the
+ * autocorrelation-indexed lookup table (quadrature-computed, the
+ * deterministic equivalent of the paper's Monte Carlo) and compares
+ * BMBP under the adaptive table against fixed thresholds on queues
+ * with different dependence structure.
+ *
+ * Usage: ablation_threshold [--seed=N]
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/bmbp_predictor.hh"
+#include "core/rare_event.hh"
+#include "sim/replay/replay_simulator.hh"
+#include "util/table_printer.hh"
+
+namespace {
+
+using namespace qdel;
+
+sim::EvaluationCell
+runWithThreshold(const trace::Trace &trace, int threshold_override,
+                 const bench::BenchOptions &options)
+{
+    core::BmbpConfig config;
+    config.quantile = options.quantile;
+    config.confidence = options.confidence;
+    config.runThresholdOverride = threshold_override;
+    core::BmbpPredictor predictor(config,
+                                  &bench::sharedTable(options.quantile));
+    sim::ReplaySimulator simulator(bench::replayConfig(options));
+    auto result = simulator.run(trace, predictor);
+
+    sim::EvaluationCell cell;
+    cell.jobs = trace.size();
+    cell.evaluated = result.evaluatedJobs;
+    cell.correctFraction = result.correctFraction;
+    cell.medianRatio = result.medianRatio;
+    cell.trims = predictor.trimCount();
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::parseOptions(argc, argv);
+
+    // Part 1: the lookup table itself (paper Section 4.1).
+    const auto &table = bench::sharedTable(options.quantile);
+    TablePrinter lookup(
+        "Rare-event run-length thresholds by lag-1 autocorrelation "
+        "(q=.95, rare event < 5%).");
+    lookup.setHeader({"rho", "threshold (consecutive misses)"});
+    for (size_t i = 0; i < table.entries().size(); ++i) {
+        lookup.addRow({TablePrinter::cell(0.1 * static_cast<double>(i), 1),
+                       TablePrinter::cell(static_cast<long long>(
+                           table.entries()[i]))});
+    }
+    lookup.print(std::cout);
+
+    // Part 2: adaptive vs fixed thresholds.
+    TablePrinter comparison(
+        "Ablation: adaptive (autocorrelation-indexed) vs fixed "
+        "run-length thresholds (correct fraction [trims]).");
+    comparison.setHeader({"Machine", "Queue", "adaptive", "fixed 2",
+                          "fixed 3", "fixed 6", "fixed 12"});
+
+    for (const auto &[site, queue] :
+         {std::pair{"datastar", "normal"}, std::pair{"lanl", "scavenger"},
+          std::pair{"tacc2", "normal"}, std::pair{"nersc", "regular"}}) {
+        auto trace = workload::synthesizeTrace(
+            workload::findProfile(site, queue), options.seed);
+        std::vector<std::string> row = {site, queue};
+        for (int threshold : {0, 2, 3, 6, 12}) {
+            auto cell = runWithThreshold(trace, threshold, options);
+            std::string text =
+                TablePrinter::cell(cell.correctFraction, 3) + " [" +
+                TablePrinter::cell(static_cast<long long>(cell.trims)) +
+                "]";
+            if (!cell.correct(options.quantile))
+                text += "*";
+            row.push_back(std::move(text));
+        }
+        comparison.addRow(std::move(row));
+    }
+    comparison.print(std::cout);
+
+    std::cout
+        << "\nA threshold of 2 trims constantly (a single unlucky pair "
+           "of misses discards the\nhistory), hurting accuracy; very "
+           "large thresholds react too slowly to genuine\nchange "
+           "points. The adaptive table picks 3-5 for the dependence "
+           "levels these traces\nexhibit.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: what does BMBP's change-point detection buy? Runs BMBP
+ * with and without trimming (plus the naive empirical percentile) over
+ * the strongly nonstationary queues of the suite and reports
+ * correctness and accuracy for each.
+ *
+ * Usage: ablation_trimming [--seed=N]
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table_printer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qdel;
+    auto options = bench::parseOptions(argc, argv);
+    auto predictor_options = bench::predictorOptions(options);
+    auto replay = bench::replayConfig(options);
+
+    const std::pair<const char *, const char *> queues[] = {
+        {"datastar", "normal"}, {"datastar", "TGnormal"},
+        {"lanl", "scavenger"},  {"nersc", "interactive"},
+        {"sdsc", "low"},        {"tacc2", "serial"},
+    };
+
+    TablePrinter table(
+        "Ablation: BMBP change-point trimming on strongly "
+        "nonstationary queues (correct fraction / median ratio).");
+    table.setHeader({"Machine", "Queue", "bmbp", "bmbp-notrim",
+                     "percentile", "ratio bmbp", "ratio notrim"});
+
+    for (const auto &[site, queue] : queues) {
+        auto trace = workload::synthesizeTrace(
+            workload::findProfile(site, queue), options.seed);
+        auto with_trim =
+            sim::evaluateTrace(trace, "bmbp", predictor_options, replay);
+        auto without =
+            sim::evaluateTrace(trace, "bmbp-notrim", predictor_options,
+                               replay);
+        auto naive = sim::evaluateTrace(trace, "percentile",
+                                        predictor_options, replay);
+
+        auto fmt = [&](const sim::EvaluationCell &cell) {
+            std::string text =
+                TablePrinter::cell(cell.correctFraction, 3);
+            return cell.correct(options.quantile)
+                       ? text
+                       : TablePrinter::flagged(text);
+        };
+        table.addRow({site, queue, fmt(with_trim), fmt(without),
+                      fmt(naive),
+                      TablePrinter::cellSci(with_trim.medianRatio, 2),
+                      TablePrinter::cellSci(without.medianRatio, 2)});
+    }
+
+    table.print(std::cout);
+    std::cout
+        << "\nWithout trimming, BMBP's full history straddles regimes: "
+           "correctness can survive\n(order statistics are robust) but "
+           "accuracy degrades, and abrupt upward level\nshifts produce "
+           "long runs of misses. The naive percentile has no confidence "
+           "margin\nand undercovers whenever the distribution shifts "
+           "upward.\n";
+    return 0;
+}

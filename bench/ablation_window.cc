@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: adaptive trimming vs fixed sliding windows. A natural
+ * alternative to change-point detection is to simply bound the
+ * history length; this bench shows why the paper's adaptive scheme is
+ * preferable — short windows are exactly calibrated but noisy and
+ * loose, long windows go stale across regimes.
+ *
+ * Usage: ablation_window [--seed=N]
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/bmbp_predictor.hh"
+#include "sim/replay/replay_simulator.hh"
+#include "util/table_printer.hh"
+
+namespace {
+
+using namespace qdel;
+
+sim::EvaluationCell
+runWindow(const trace::Trace &trace, size_t max_history, bool trimming,
+          const bench::BenchOptions &options)
+{
+    core::BmbpConfig config;
+    config.quantile = options.quantile;
+    config.confidence = options.confidence;
+    config.trimmingEnabled = trimming;
+    config.maxHistory = max_history;
+    core::BmbpPredictor predictor(config,
+                                  &bench::sharedTable(options.quantile));
+    sim::ReplaySimulator simulator(bench::replayConfig(options));
+    auto result = simulator.run(trace, predictor);
+
+    sim::EvaluationCell cell;
+    cell.evaluated = result.evaluatedJobs;
+    cell.correctFraction = result.correctFraction;
+    cell.medianRatio = result.medianRatio;
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::parseOptions(argc, argv);
+
+    TablePrinter table(
+        "Ablation: adaptive trimming vs fixed sliding windows "
+        "(correct fraction; ratio = median actual/predicted).");
+    table.setHeader({"Machine", "Queue", "adaptive", "window 59",
+                     "window 1000", "unbounded", "ratio adaptive",
+                     "ratio w59", "ratio unbounded"});
+
+    for (const auto &[site, queue] :
+         {std::pair{"datastar", "normal"}, std::pair{"nersc", "regular"},
+          std::pair{"sdsc", "low"}, std::pair{"tacc2", "serial"}}) {
+        auto trace = workload::synthesizeTrace(
+            workload::findProfile(site, queue), options.seed);
+        auto adaptive = runWindow(trace, 0, true, options);
+        auto window59 = runWindow(trace, 59, false, options);
+        auto window1k = runWindow(trace, 1000, false, options);
+        auto unbounded = runWindow(trace, 0, false, options);
+
+        auto fmt = [&](const sim::EvaluationCell &cell) {
+            std::string text =
+                TablePrinter::cell(cell.correctFraction, 3);
+            return cell.correct(options.quantile)
+                       ? text
+                       : TablePrinter::flagged(text);
+        };
+        table.addRow({site, queue, fmt(adaptive), fmt(window59),
+                      fmt(window1k), fmt(unbounded),
+                      TablePrinter::cellSci(adaptive.medianRatio, 2),
+                      TablePrinter::cellSci(window59.medianRatio, 2),
+                      TablePrinter::cellSci(unbounded.medianRatio, 2)});
+    }
+
+    table.print(std::cout);
+    std::cout
+        << "\nThe 59-observation window (the trimmed minimum, held "
+           "permanently) stays correct\nbut its bound is the sample "
+           "maximum — loose and volatile. The adaptive scheme\nuses "
+           "long histories while they remain relevant and only "
+           "shortens them at\ndetected change points.\n";
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Implementation of the shared bench plumbing.
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+#include <map>
+
+#include "util/table_printer.hh"
+
+namespace qdel {
+namespace bench {
+
+BenchOptions
+parseOptions(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    BenchOptions options;
+    options.seed = static_cast<uint64_t>(cli.getInt("seed", 1));
+    options.quantile = cli.getDouble("quantile", 0.95);
+    options.confidence = cli.getDouble("confidence", 0.95);
+    options.epochSeconds = cli.getDouble("epoch", 300.0);
+    options.trainFraction = cli.getDouble("train", 0.10);
+    options.csvPath = cli.getString("csv", "");
+    return options;
+}
+
+const core::RareEventTable &
+sharedTable(double quantile)
+{
+    static std::map<long long, core::RareEventTable> tables;
+    const long long key = static_cast<long long>(quantile * 1e9);
+    auto it = tables.find(key);
+    if (it == tables.end())
+        it = tables.emplace(key, core::RareEventTable(quantile, 0.05)).first;
+    return it->second;
+}
+
+core::PredictorOptions
+predictorOptions(const BenchOptions &options)
+{
+    core::PredictorOptions predictor_options;
+    predictor_options.quantile = options.quantile;
+    predictor_options.confidence = options.confidence;
+    predictor_options.rareEventTable = &sharedTable(options.quantile);
+    return predictor_options;
+}
+
+sim::ReplayConfig
+replayConfig(const BenchOptions &options)
+{
+    sim::ReplayConfig config;
+    config.epochSeconds = options.epochSeconds;
+    config.trainFraction = options.trainFraction;
+    return config;
+}
+
+std::vector<std::string>
+formatMethodCells(const std::vector<sim::EvaluationCell> &cells,
+                  double quantile)
+{
+    // Find the most accurate correct method: highest median
+    // actual/predicted ratio (tightest bound that still meets the
+    // advertised quantile).
+    int best = -1;
+    double best_ratio = -1.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (!cells[i].correct(quantile))
+            continue;
+        if (cells[i].medianRatio > best_ratio) {
+            best_ratio = cells[i].medianRatio;
+            best = static_cast<int>(i);
+        }
+    }
+
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        std::string cell = TablePrinter::cell(cells[i].correctFraction, 2);
+        if (!cells[i].correct(quantile))
+            cell = TablePrinter::flagged(cell);
+        else if (static_cast<int>(i) == best)
+            cell = TablePrinter::bold(cell);
+        formatted.push_back(std::move(cell));
+    }
+    return formatted;
+}
+
+std::vector<std::string>
+formatRatioCells(const std::vector<sim::EvaluationCell> &cells,
+                 double quantile)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (const auto &cell : cells) {
+        std::string text = TablePrinter::cellSci(cell.medianRatio, 2);
+        if (!cell.correct(quantile))
+            text = TablePrinter::flagged(text);
+        formatted.push_back(std::move(text));
+    }
+    return formatted;
+}
+
+int
+runProcTable(const std::string &method, const std::string &title,
+             int argc, char **argv)
+{
+    auto options = parseOptions(argc, argv);
+    auto predictor_options = predictorOptions(options);
+    auto replay = replayConfig(options);
+
+    TablePrinter table(title);
+    table.setHeader({"Machine", "Queue", "1-4", "5-16", "17-64", "65+"});
+
+    size_t evaluated_cells = 0;
+    size_t correct_cells = 0;
+    for (const auto *profile : workload::procTableProfiles()) {
+        auto trace = workload::synthesizeTrace(*profile, options.seed);
+        auto cells = sim::evaluateByProcRange(trace, method,
+                                              predictor_options, replay);
+        std::vector<std::string> row = {profile->site, profile->queue};
+        bool any_cell = false;
+        for (const auto &cell : cells) {
+            if (cell.evaluated == 0) {
+                row.push_back("-");
+                continue;
+            }
+            any_cell = true;
+            ++evaluated_cells;
+            std::string text =
+                TablePrinter::cell(cell.correctFraction, 2);
+            if (!cell.correct(options.quantile))
+                text = TablePrinter::flagged(text);
+            else
+                ++correct_cells;
+            row.push_back(std::move(text));
+        }
+        // The paper omits queues with no populated cell entirely.
+        if (any_cell)
+            table.addRow(std::move(row));
+    }
+
+    table.print(std::cout);
+    std::cout << "\nCorrect cells: " << correct_cells << "/"
+              << evaluated_cells << " (method: " << method << ").\n";
+    return 0;
+}
+
+} // namespace bench
+} // namespace qdel

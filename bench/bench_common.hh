@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries: common
+ * command-line options, the shared rare-event table, suite generation,
+ * and paper-style cell formatting (asterisks for incorrect methods,
+ * brackets for the most accurate correct method).
+ */
+
+#ifndef QDEL_BENCH_BENCH_COMMON_HH
+#define QDEL_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/predictor_factory.hh"
+#include "core/rare_event.hh"
+#include "sim/replay/evaluation.hh"
+#include "util/cli.hh"
+#include "workload/site_catalog.hh"
+#include "workload/synthesizer.hh"
+
+namespace qdel {
+namespace bench {
+
+/** Options shared by every reproduction binary. */
+struct BenchOptions
+{
+    uint64_t seed = 1;          //!< Suite seed (see EXPERIMENTS.md).
+    double quantile = 0.95;     //!< Quantile of interest.
+    double confidence = 0.95;   //!< Confidence level.
+    double epochSeconds = 300;  //!< Model refit period (paper: 5 min).
+    double trainFraction = 0.1; //!< Warm-up fraction (paper: 10%).
+    std::string csvPath;        //!< Optional machine-readable dump.
+};
+
+/** Parse the shared options from the command line. */
+BenchOptions parseOptions(int argc, char **argv);
+
+/** Process-wide rare-event table for the configured quantile. */
+const core::RareEventTable &sharedTable(double quantile = 0.95);
+
+/** Predictor options wired to the shared table. */
+core::PredictorOptions predictorOptions(const BenchOptions &options);
+
+/** Replay configuration from the shared options. */
+sim::ReplayConfig replayConfig(const BenchOptions &options);
+
+/**
+ * Format the three method cells of a Table 3/5/6/7-style row:
+ * fractions printed to two decimals, an asterisk on cells that miss
+ * the advertised quantile (the paper's criterion after rounding), and
+ * brackets on the most accurate correct method (the paper's boldface,
+ * chosen by the median actual/predicted ratio — see EXPERIMENTS.md on
+ * the paper's Table 4 caption ambiguity).
+ */
+std::vector<std::string>
+formatMethodCells(const std::vector<sim::EvaluationCell> &cells,
+                  double quantile);
+
+/** Paper Table 4 style: scientific-notation ratios with asterisks. */
+std::vector<std::string>
+formatRatioCells(const std::vector<sim::EvaluationCell> &cells,
+                 double quantile);
+
+/**
+ * Shared driver for the Tables 5/6/7 reproductions: evaluate @p method
+ * on every proc-table queue subdivided by the paper's four processor
+ * ranges (cells under 1000 jobs print "-") and print the table under
+ * @p title. Returns the process exit code.
+ */
+int runProcTable(const std::string &method, const std::string &title,
+                 int argc, char **argv);
+
+} // namespace bench
+} // namespace qdel
+
+#endif // QDEL_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reproduction of paper Figure 1: the BMBP-predicted upper bound on
+ * the .95 wait-time quantile (95% confidence) through February 24th,
+ * 2005, for the "normal" queues of SDSC Datastar and TACC Lonestar
+ * (tacc2). The paper's observation: a user could have known with 95%
+ * certainty that a job would start within seconds at TACC versus days
+ * at SDSC.
+ *
+ * Prints an hourly series (console) and optionally a full 5-minute
+ * resolution CSV (--csv=path) for plotting.
+ *
+ * Usage: fig1_two_machine_timeseries [--seed=N] [--csv=path]
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "core/bmbp_predictor.hh"
+#include "sim/replay/replay_simulator.hh"
+#include "util/csv_writer.hh"
+#include "util/string_utils.hh"
+#include "util/table_printer.hh"
+
+namespace {
+
+using namespace qdel;
+
+std::vector<sim::SeriesPoint>
+boundSeries(const char *site, const char *queue,
+            const bench::BenchOptions &options, double begin, double end)
+{
+    const auto &profile = workload::findProfile(site, queue);
+    auto trace = workload::synthesizeTrace(profile, options.seed);
+
+    core::BmbpConfig config;
+    config.quantile = options.quantile;
+    config.confidence = options.confidence;
+    core::BmbpPredictor predictor(config,
+                                  &bench::sharedTable(options.quantile));
+
+    sim::ReplaySimulator simulator(bench::replayConfig(options));
+    sim::ReplayProbe probe;
+    probe.captureSeries = true;
+    probe.seriesBegin = begin;
+    probe.seriesEnd = end;
+    auto result = simulator.run(trace, predictor, probe);
+    return result.series;
+}
+
+/** Last captured value at or before each hour mark. */
+std::map<int, double>
+hourlySamples(const std::vector<sim::SeriesPoint> &series, double begin)
+{
+    std::map<int, double> hourly;
+    for (const auto &point : series) {
+        const int hour = static_cast<int>((point.time - begin) / 3600.0);
+        hourly[hour] = point.value;
+    }
+    return hourly;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::parseOptions(argc, argv);
+    const double begin = workload::dateUnix(2005, 2, 24);
+    const double end = begin + 86400.0;
+
+    auto sdsc = boundSeries("datastar", "normal", options, begin, end);
+    auto tacc = boundSeries("tacc2", "normal", options, begin, end);
+
+    if (!options.csvPath.empty()) {
+        CsvWriter csv(options.csvPath);
+        csv.writeRow(std::vector<std::string>{"unix_time", "machine",
+                                              "bound_seconds"});
+        for (const auto &point : sdsc)
+            csv.writeRow(std::vector<std::string>{
+                std::to_string(point.time), "sdsc-datastar",
+                std::to_string(point.value)});
+        for (const auto &point : tacc)
+            csv.writeRow(std::vector<std::string>{
+                std::to_string(point.time), "tacc-lonestar",
+                std::to_string(point.value)});
+    }
+
+    TablePrinter table(
+        "Figure 1. Predicted .95-quantile delay upper bounds (95% conf) "
+        "on Feb 24, 2005 (hourly samples; full series via --csv).");
+    table.setHeader({"Hour", "SDSC Datastar normal", "(human)",
+                     "TACC Lonestar normal", "(human)"});
+
+    auto sdsc_hourly = hourlySamples(sdsc, begin);
+    auto tacc_hourly = hourlySamples(tacc, begin);
+    double sdsc_sum = 0.0, tacc_sum = 0.0;
+    size_t rows = 0;
+    for (int hour = 0; hour < 24; ++hour) {
+        if (!sdsc_hourly.count(hour) || !tacc_hourly.count(hour))
+            continue;
+        const double s = sdsc_hourly[hour];
+        const double t = tacc_hourly[hour];
+        sdsc_sum += s;
+        tacc_sum += t;
+        ++rows;
+        table.addRow({TablePrinter::cell(static_cast<long long>(hour)),
+                      TablePrinter::cell(s, 0), formatDuration(s),
+                      TablePrinter::cell(t, 0), formatDuration(t)});
+    }
+    table.print(std::cout);
+
+    if (rows > 0) {
+        const double factor = (sdsc_sum / rows) / (tacc_sum / rows);
+        std::cout << "\nMean bound ratio SDSC/TACC over the day: "
+                  << TablePrinter::cell(factor, 1)
+                  << "x.\nPaper: ~12 seconds at TACC vs ~4 days at SDSC "
+                     "during this day — several orders of\nmagnitude "
+                     "apart, the basis for cross-site submission "
+                     "decisions.\n";
+    }
+    return 0;
+}

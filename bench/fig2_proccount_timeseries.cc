@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reproduction of paper Figure 2: BMBP-predicted .95-quantile upper
+ * bounds (95% confidence) through June 2004 on SDSC Datastar's
+ * "normal" queue, separately for jobs requesting 1-4 processors and
+ * 17-64 processors. The paper's surprising finding — larger jobs were
+ * *favored* that month — must be visible: the 17-64 line sits well
+ * below the 1-4 line.
+ *
+ * Usage: fig2_proccount_timeseries [--seed=N] [--csv=path]
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/bmbp_predictor.hh"
+#include "sim/replay/replay_simulator.hh"
+#include "util/csv_writer.hh"
+#include "util/string_utils.hh"
+#include "util/table_printer.hh"
+
+namespace {
+
+using namespace qdel;
+
+std::vector<sim::SeriesPoint>
+boundSeriesForRange(const trace::Trace &full, const trace::ProcRange &range,
+                    const bench::BenchOptions &options, double begin,
+                    double end)
+{
+    auto subdivided = full.filterByProcRange(range);
+
+    core::BmbpConfig config;
+    config.quantile = options.quantile;
+    config.confidence = options.confidence;
+    core::BmbpPredictor predictor(config,
+                                  &bench::sharedTable(options.quantile));
+
+    sim::ReplaySimulator simulator(bench::replayConfig(options));
+    sim::ReplayProbe probe;
+    probe.captureSeries = true;
+    probe.seriesBegin = begin;
+    probe.seriesEnd = end;
+    return simulator.run(subdivided, predictor, probe).series;
+}
+
+double
+sampleAt(const std::vector<sim::SeriesPoint> &series, double time)
+{
+    double value = -1.0;
+    for (const auto &point : series) {
+        if (point.time > time)
+            break;
+        value = point.value;
+    }
+    return value;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::parseOptions(argc, argv);
+    const double begin = workload::dateUnix(2004, 6, 1);
+    const double end = workload::dateUnix(2004, 7, 1);
+
+    const auto &profile = workload::findProfile("datastar", "normal");
+    auto trace = workload::synthesizeTrace(profile, options.seed);
+
+    const trace::ProcRange *bins = trace::paperProcRanges();
+    auto small_series =
+        boundSeriesForRange(trace, bins[0], options, begin, end);
+    auto large_series =
+        boundSeriesForRange(trace, bins[2], options, begin, end);
+
+    if (!options.csvPath.empty()) {
+        CsvWriter csv(options.csvPath);
+        csv.writeRow(std::vector<std::string>{"unix_time", "proc_range",
+                                              "bound_seconds"});
+        for (const auto &point : small_series)
+            csv.writeRow(std::vector<std::string>{
+                std::to_string(point.time), "1-4",
+                std::to_string(point.value)});
+        for (const auto &point : large_series)
+            csv.writeRow(std::vector<std::string>{
+                std::to_string(point.time), "17-64",
+                std::to_string(point.value)});
+    }
+
+    TablePrinter table(
+        "Figure 2. Predicted .95-quantile delay upper bounds, "
+        "datastar/normal, June 2004 (daily samples).");
+    table.setHeader({"Day", "1-4 procs", "(human)", "17-64 procs",
+                     "(human)", "large/small"});
+
+    size_t large_lower_days = 0;
+    size_t days = 0;
+    for (int day = 1; day <= 30; ++day) {
+        const double at = begin + day * 86400.0 - 3600.0;
+        const double small_bound = sampleAt(small_series, at);
+        const double large_bound = sampleAt(large_series, at);
+        if (small_bound < 0.0 || large_bound < 0.0)
+            continue;
+        ++days;
+        large_lower_days += large_bound < small_bound;
+        table.addRow({TablePrinter::cell(static_cast<long long>(day)),
+                      TablePrinter::cell(small_bound, 0),
+                      formatDuration(small_bound),
+                      TablePrinter::cell(large_bound, 0),
+                      formatDuration(large_bound),
+                      TablePrinter::cell(large_bound / small_bound, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDays with the 17-64 processor bound BELOW the 1-4 "
+                 "bound: " << large_lower_days << "/" << days
+              << ".\nPaper: larger jobs were favored throughout June "
+                 "2004 — BMBP would have correctly\nforecast the "
+                 "advantage of submitting larger jobs.\n";
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Microbenchmarks of prediction cost (google-benchmark).
+ *
+ * The paper reports an average of 8 ms per prediction on a 1 GHz
+ * Pentium III across its 1.2 million simulated predictions and argues
+ * that is fast enough for live forecasting. These benchmarks measure
+ * the same operations in this implementation: feeding an observation
+ * into the history (observe), recomputing the bound (refit), and the
+ * combination, across history sizes from the trimmed minimum (59) to
+ * the largest queue in the study (~350k jobs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/bmbp_predictor.hh"
+#include "core/lognormal_predictor.hh"
+#include "core/rare_event.hh"
+#include "stats/quantile_bounds.hh"
+#include "stats/rng.hh"
+#include "stats/tolerance.hh"
+
+namespace {
+
+using namespace qdel;
+
+/** Preload a predictor with n log-normal observations. */
+template <typename Predictor>
+void
+preload(Predictor &predictor, size_t n, uint64_t seed)
+{
+    stats::Rng rng(seed);
+    for (size_t i = 0; i < n; ++i)
+        predictor.observe(rng.logNormal(4.0, 2.0));
+    predictor.refit();
+}
+
+void
+BM_BmbpRefit(benchmark::State &state)
+{
+    core::BmbpConfig config;
+    config.trimmingEnabled = false;
+    core::BmbpPredictor predictor(config);
+    preload(predictor, static_cast<size_t>(state.range(0)), 1);
+    for (auto _ : state) {
+        predictor.refit();
+        benchmark::DoNotOptimize(predictor.upperBound());
+    }
+}
+BENCHMARK(BM_BmbpRefit)->Arg(59)->Arg(1000)->Arg(30000)->Arg(350000);
+
+void
+BM_BmbpObserveAndRefit(benchmark::State &state)
+{
+    core::BmbpConfig config;
+    core::BmbpPredictor predictor(config);
+    preload(predictor, static_cast<size_t>(state.range(0)), 2);
+    stats::Rng rng(3);
+    for (auto _ : state) {
+        predictor.observe(rng.logNormal(4.0, 2.0));
+        predictor.refit();
+        benchmark::DoNotOptimize(predictor.upperBound());
+    }
+}
+BENCHMARK(BM_BmbpObserveAndRefit)->Arg(59)->Arg(30000)->Arg(350000);
+
+void
+BM_LogNormalRefit(benchmark::State &state)
+{
+    core::LogNormalPredictor predictor;
+    preload(predictor, static_cast<size_t>(state.range(0)), 4);
+    for (auto _ : state) {
+        predictor.refit();
+        benchmark::DoNotOptimize(predictor.upperBound());
+    }
+}
+BENCHMARK(BM_LogNormalRefit)->Arg(59)->Arg(1000)->Arg(350000);
+
+void
+BM_BmbpQuantileSpectrum(benchmark::State &state)
+{
+    // Table 8 style: four on-demand bounds from the current history.
+    core::BmbpConfig config;
+    config.trimmingEnabled = false;
+    core::BmbpPredictor predictor(config);
+    preload(predictor, 30000, 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(predictor.boundAt(0.25, false));
+        benchmark::DoNotOptimize(predictor.boundAt(0.5, true));
+        benchmark::DoNotOptimize(predictor.boundAt(0.75, true));
+        benchmark::DoNotOptimize(predictor.boundAt(0.95, true));
+    }
+}
+BENCHMARK(BM_BmbpQuantileSpectrum);
+
+void
+BM_ExactBinomialIndex(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stats::upperBoundIndexExact(n, 0.95, 0.95));
+}
+BENCHMARK(BM_ExactBinomialIndex)->Arg(59)->Arg(1000)->Arg(100000);
+
+void
+BM_ApproxBinomialIndex(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stats::upperBoundIndexApprox(n, 0.95, 0.95));
+}
+BENCHMARK(BM_ApproxBinomialIndex)->Arg(1000)->Arg(100000);
+
+void
+BM_ToleranceFactorExact(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stats::normalToleranceFactorExact(n, 0.95, 0.95));
+}
+BENCHMARK(BM_ToleranceFactorExact)->Arg(10)->Arg(59)->Arg(300);
+
+void
+BM_RareEventTableBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        core::RareEventTable table(0.95, 0.05);
+        benchmark::DoNotOptimize(table.entries());
+    }
+}
+BENCHMARK(BM_RareEventTableBuild)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduction of paper Table 5: BMBP fraction of correct predictions
+ * per queue subdivided by requested processor count (ranges 1-4, 5-16,
+ * 17-64, 65+ suggested by TACC); cells with fewer than 1000 jobs are
+ * dropped ("-"), as in the paper.
+ *
+ * Usage: table5_bmbp_by_procs [--seed=N] [--quantile=Q] ...
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return qdel::bench::runProcTable(
+        "bmbp",
+        "Table 5. BMBP correct-prediction fraction by queue and "
+        "processor range (q=.95, C=.95).",
+        argc, argv);
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduction of paper Table 6: the log-normal method without history
+ * trimming, per queue and processor range.
+ *
+ * Usage: table6_lognormal_by_procs [--seed=N] ...
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return qdel::bench::runProcTable(
+        "lognormal",
+        "Table 6. Log-normal (no trimming) correct-prediction fraction "
+        "by queue and processor range.",
+        argc, argv);
+}

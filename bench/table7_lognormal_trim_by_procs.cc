@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduction of paper Table 7: the log-normal method with BMBP's
+ * history-trimming change-point machinery, per queue and processor
+ * range.
+ *
+ * Usage: table7_lognormal_trim_by_procs [--seed=N] ...
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return qdel::bench::runProcTable(
+        "lognormal-trim",
+        "Table 7. Log-normal (with trimming) correct-prediction "
+        "fraction by queue and processor range.",
+        argc, argv);
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduction of paper Table 8 ("one day in the life of the
+ * datastar/normal queue"): BMBP bounds on the .25 (lower bound), .5,
+ * .75 and .95 (upper bounds) wait-time quantiles at 95% confidence,
+ * sampled every two hours through May 5th, 2004.
+ *
+ * Usage: table8_day_in_life [--seed=N] [--year=Y --month=M --day=D]
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/bmbp_predictor.hh"
+#include "sim/replay/replay_simulator.hh"
+#include "util/string_utils.hh"
+#include "util/table_printer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qdel;
+    auto options = bench::parseOptions(argc, argv);
+    CommandLine cli(argc, argv);
+    const int year = static_cast<int>(cli.getInt("year", 2004));
+    const int month = static_cast<int>(cli.getInt("month", 5));
+    const int day = static_cast<int>(cli.getInt("day", 5));
+
+    const auto &profile = workload::findProfile("datastar", "normal");
+    auto trace = workload::synthesizeTrace(profile, options.seed);
+
+    core::BmbpConfig config;
+    config.quantile = options.quantile;
+    config.confidence = options.confidence;
+    core::BmbpPredictor predictor(config,
+                                  &bench::sharedTable(options.quantile));
+
+    sim::ReplaySimulator simulator(bench::replayConfig(options));
+    sim::ReplayProbe probe;
+    probe.seriesBegin = workload::dateUnix(year, month, day);
+    probe.seriesEnd = probe.seriesBegin + 86400.0;
+    probe.snapshotInterval = 7200.0;
+    probe.snapshotQuantiles = {
+        {0.25, false}, {0.5, true}, {0.75, true}, {0.95, true}};
+    auto result = simulator.run(trace, predictor, probe);
+
+    TablePrinter table(
+        "Table 8. One day in the life of datastar/normal: BMBP quantile "
+        "bounds at 95% confidence, every two hours.");
+    table.setHeader({"Hour (UTC)", ".25 Quantile (lower)",
+                     ".5 Quantile", ".75 Quantile", ".95 Quantile"});
+
+    for (const auto &snapshot : result.snapshots) {
+        const double hour =
+            (snapshot.time - probe.seriesBegin) / 3600.0;
+        std::vector<std::string> row = {TablePrinter::cell(hour, 0)};
+        for (double value : snapshot.values)
+            row.push_back(TablePrinter::cell(value, 0));
+        table.addRow(std::move(row));
+    }
+
+    table.print(std::cout);
+    std::cout << "\nPaper Table 8 shows the same structure: long "
+                 "morning bounds (hundreds of thousands of\nseconds at "
+                 "the .95 quantile) improving substantially later in "
+                 "the day.\n";
+    return 0;
+}

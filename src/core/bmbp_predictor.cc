@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Implementation of BMBP.
+ */
+
+#include "core/bmbp_predictor.hh"
+
+#include <vector>
+
+#include "stats/descriptive.hh"
+#include "stats/quantile_bounds.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace core {
+
+BmbpPredictor::BmbpPredictor(BmbpConfig config, const RareEventTable *table)
+    : config_(config), table_(table),
+      minimumHistory_(stats::minimumSampleSize(config.quantile,
+                                               config.confidence))
+{
+    if (config_.runThresholdOverride > 0)
+        runThreshold_ = config_.runThresholdOverride;
+}
+
+void
+BmbpPredictor::observe(double wait_seconds)
+{
+    chronological_.push_back(wait_seconds);
+    sorted_.insert(wait_seconds);
+
+    if (config_.maxHistory > 0) {
+        while (chronological_.size() > config_.maxHistory) {
+            sorted_.erase(chronological_.front());
+            chronological_.pop_front();
+        }
+    }
+
+    if (!config_.trimmingEnabled)
+        return;
+
+    // Change-point detection: track consecutive observations above the
+    // current bound (only meaningful once a finite bound exists).
+    if (cachedBound_.finite() && wait_seconds > cachedBound_.value) {
+        ++missRun_;
+        if (missRun_ >= runThreshold_)
+            trimHistory();
+    } else {
+        missRun_ = 0;
+    }
+}
+
+void
+BmbpPredictor::refit()
+{
+    cachedBound_ = computeBound(config_.quantile, /*upper=*/true);
+}
+
+QuantileEstimate
+BmbpPredictor::upperBound() const
+{
+    return cachedBound_;
+}
+
+QuantileEstimate
+BmbpPredictor::boundAt(double q, bool upper) const
+{
+    return computeBound(q, upper);
+}
+
+QuantileEstimate
+BmbpPredictor::computeBound(double q, bool upper) const
+{
+    const size_t n = sorted_.size();
+    if (n == 0)
+        return upper ? QuantileEstimate::infinite()
+                     : QuantileEstimate::of(0.0);
+    const auto index =
+        upper ? stats::upperBoundIndex(n, q, config_.confidence)
+              : stats::lowerBoundIndex(n, q, config_.confidence);
+    if (!index)
+        return upper ? QuantileEstimate::infinite()
+                     : QuantileEstimate::of(0.0);
+    // Order-statistic indices are 1-based in the math, 0-based in the
+    // treap.
+    return QuantileEstimate::of(sorted_.kth(*index - 1));
+}
+
+void
+BmbpPredictor::finalizeTraining()
+{
+    if (config_.runThresholdOverride > 0) {
+        runThreshold_ = config_.runThresholdOverride;
+        return;
+    }
+    // Measure the lag-1 autocorrelation of the training history and
+    // read the rare-event threshold from the table (paper Section 4.1).
+    std::vector<double> history(chronological_.begin(),
+                                chronological_.end());
+    const double rho = stats::autocorrelation(history, 1);
+
+    if (!table_ && !ownedTable_) {
+        ownedTable_ =
+            std::make_unique<RareEventTable>(config_.quantile, 0.05);
+    }
+    const RareEventTable &table = table_ ? *table_ : *ownedTable_;
+    runThreshold_ = table.threshold(rho);
+}
+
+void
+BmbpPredictor::trimHistory()
+{
+    ++trimCount_;
+    missRun_ = 0;
+    // Keep only the most recent observations that still allow a
+    // meaningful bound at the configured quantile/confidence.
+    while (chronological_.size() > minimumHistory_) {
+        sorted_.erase(chronological_.front());
+        chronological_.pop_front();
+    }
+    // The old model is invalid; re-arm immediately rather than waiting
+    // for the next epoch.
+    refit();
+}
+
+} // namespace core
+} // namespace qdel

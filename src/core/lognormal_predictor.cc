@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Implementation of the log-normal baseline predictor.
+ */
+
+#include "core/lognormal_predictor.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hh"
+#include "stats/quantile_bounds.hh"
+#include "stats/special_functions.hh"
+#include "stats/tolerance.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace core {
+
+LogNormalPredictor::LogNormalPredictor(LogNormalConfig config,
+                                       const RareEventTable *table)
+    : config_(config), table_(table),
+      minimumHistory_(stats::minimumSampleSize(config.quantile,
+                                               config.confidence))
+{
+    if (config_.runThresholdOverride > 0)
+        runThreshold_ = config_.runThresholdOverride;
+}
+
+std::string
+LogNormalPredictor::name() const
+{
+    return config_.trimmingEnabled ? "lognormal-trim" : "lognormal";
+}
+
+void
+LogNormalPredictor::observe(double wait_seconds)
+{
+    const double log_wait =
+        std::log(std::max(wait_seconds, config_.epsilonSeconds));
+    logs_.push_back(log_wait);
+    sum_ += log_wait;
+    sumSq_ += log_wait * log_wait;
+
+    if (!config_.trimmingEnabled)
+        return;
+
+    if (cachedBound_.finite() && wait_seconds > cachedBound_.value) {
+        ++missRun_;
+        if (missRun_ >= runThreshold_)
+            trimHistory();
+    } else {
+        missRun_ = 0;
+    }
+}
+
+void
+LogNormalPredictor::refit()
+{
+    cachedBound_ = computeBound(config_.quantile, /*upper=*/true);
+}
+
+QuantileEstimate
+LogNormalPredictor::upperBound() const
+{
+    return cachedBound_;
+}
+
+QuantileEstimate
+LogNormalPredictor::boundAt(double q, bool upper) const
+{
+    return computeBound(q, upper);
+}
+
+double
+LogNormalPredictor::toleranceFactor(size_t n, double q) const
+{
+    // Exact noncentral-t factors are memoized for small samples; the
+    // closed-form approximation beyond n = 300 is cheap enough to call
+    // directly (see stats/tolerance.hh).
+    if (n > 300)
+        return stats::normalToleranceFactorApprox(n, q, config_.confidence);
+    const auto key = std::make_pair(
+        n, static_cast<long long>(std::llround(q * 1e9)));
+    auto it = factorCache_.find(key);
+    if (it != factorCache_.end())
+        return it->second;
+    const double factor =
+        stats::normalToleranceFactorExact(n, q, config_.confidence);
+    factorCache_.emplace(key, factor);
+    return factor;
+}
+
+QuantileEstimate
+LogNormalPredictor::computeBound(double q, bool upper) const
+{
+    const size_t n = logs_.size();
+    if (n < 2) {
+        return upper ? QuantileEstimate::infinite()
+                     : QuantileEstimate::of(0.0);
+    }
+    const double dn = static_cast<double>(n);
+    const double mean = sum_ / dn;
+    double variance = (sumSq_ - dn * mean * mean) / (dn - 1.0);
+    if (variance < 0.0)
+        variance = 0.0;
+    const double sd = std::sqrt(variance);
+
+    if (upper) {
+        const double k = toleranceFactor(n, q);
+        return QuantileEstimate::of(std::exp(mean + k * sd));
+    }
+    // Lower tolerance bound on the q quantile: by symmetry of the
+    // normal, a level-C lower bound for the q quantile is
+    // mean - k'(n, 1-q) * sd.
+    const double k = toleranceFactor(n, 1.0 - q);
+    return QuantileEstimate::of(std::exp(mean - k * sd));
+}
+
+void
+LogNormalPredictor::finalizeTraining()
+{
+    if (!config_.trimmingEnabled || config_.runThresholdOverride > 0)
+        return;
+    std::vector<double> history(logs_.begin(), logs_.end());
+    const double rho = stats::autocorrelation(history, 1);
+    if (!table_ && !ownedTable_) {
+        ownedTable_ =
+            std::make_unique<RareEventTable>(config_.quantile, 0.05);
+    }
+    const RareEventTable &table = table_ ? *table_ : *ownedTable_;
+    runThreshold_ = table.threshold(rho);
+}
+
+void
+LogNormalPredictor::trimHistory()
+{
+    ++trimCount_;
+    missRun_ = 0;
+    while (logs_.size() > minimumHistory_)
+        logs_.pop_front();
+    rebuildSums();
+    refit();
+}
+
+void
+LogNormalPredictor::rebuildSums()
+{
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    for (double log_wait : logs_) {
+        sum_ += log_wait;
+        sumSq_ += log_wait * log_wait;
+    }
+}
+
+} // namespace core
+} // namespace qdel

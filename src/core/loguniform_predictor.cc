@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Implementation of the Downey-style log-uniform baseline.
+ */
+
+#include "core/loguniform_predictor.hh"
+
+#include <cmath>
+
+namespace qdel {
+namespace core {
+
+LogUniformPredictor::LogUniformPredictor(LogUniformConfig config)
+    : config_(config)
+{
+}
+
+void
+LogUniformPredictor::observe(double wait_seconds)
+{
+    const double floored = std::max(wait_seconds, config_.epsilonSeconds);
+    chronological_.push_back(floored);
+    sorted_.insert(floored);
+    if (config_.maxHistory > 0) {
+        while (chronological_.size() > config_.maxHistory) {
+            sorted_.erase(chronological_.front());
+            chronological_.pop_front();
+        }
+    }
+}
+
+void
+LogUniformPredictor::refit()
+{
+    cachedBound_ = computeAt(config_.quantile);
+}
+
+QuantileEstimate
+LogUniformPredictor::upperBound() const
+{
+    return cachedBound_;
+}
+
+QuantileEstimate
+LogUniformPredictor::boundAt(double q, bool upper) const
+{
+    (void)upper;  // point estimate: no one-sided confidence semantics
+    return computeAt(q);
+}
+
+QuantileEstimate
+LogUniformPredictor::computeAt(double q) const
+{
+    const size_t n = sorted_.size();
+    if (n < 2)
+        return QuantileEstimate::infinite();
+
+    // Robust support: trim robustFraction from each side.
+    size_t lo_rank = static_cast<size_t>(
+        config_.robustFraction * static_cast<double>(n));
+    size_t hi_rank = n - 1 - lo_rank;
+    if (hi_rank <= lo_rank) {
+        lo_rank = 0;
+        hi_rank = n - 1;
+    }
+    const double log_a = std::log(sorted_.kth(lo_rank));
+    const double log_b = std::log(sorted_.kth(hi_rank));
+    if (log_b <= log_a)
+        return QuantileEstimate::of(std::exp(log_a));
+
+    // Quantile of Uniform(log a, log b), exponentiated.
+    return QuantileEstimate::of(
+        std::exp(log_a + q * (log_b - log_a)));
+}
+
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Downey-style log-uniform baseline (paper Section 2, Related Work).
+ *
+ * Downey modeled queue delays with log-uniform distributions and
+ * produced *point* predictions rather than confidence bounds. This
+ * predictor implements that approach in our framework so the paper's
+ * "bounds vs point estimates" argument can be evaluated head-to-head:
+ * fit a log-uniform to the history (log X ~ Uniform(log a, log b),
+ * with a robust trim of the extreme tails so one outlier does not own
+ * the fit) and report its q quantile. There is no confidence
+ * machinery — which is precisely the deficiency the paper's
+ * comparison exposes.
+ */
+
+#ifndef QDEL_CORE_LOGUNIFORM_PREDICTOR_HH
+#define QDEL_CORE_LOGUNIFORM_PREDICTOR_HH
+
+#include <deque>
+
+#include "core/predictor.hh"
+#include "util/order_statistic_treap.hh"
+
+namespace qdel {
+namespace core {
+
+/** Tunables of the log-uniform baseline. */
+struct LogUniformConfig
+{
+    double quantile = 0.95;       //!< Quantile to report.
+    /**
+     * Tail fraction excluded from the support fit on each side; the
+     * classic min/max fit (robustFraction = 0) is catastrophically
+     * outlier-sensitive on heavy-tailed wait data.
+     */
+    double robustFraction = 0.01;
+    /** Floor applied before the log transform (zero waits occur). */
+    double epsilonSeconds = 1.0;
+    /** Optional sliding window; 0 = unbounded history. */
+    size_t maxHistory = 0;
+};
+
+/** See file comment. */
+class LogUniformPredictor : public Predictor
+{
+  public:
+    explicit LogUniformPredictor(LogUniformConfig config = {});
+
+    std::string name() const override { return "loguniform"; }
+    void observe(double wait_seconds) override;
+    void refit() override;
+    QuantileEstimate upperBound() const override;
+    QuantileEstimate boundAt(double q, bool upper) const override;
+    size_t historySize() const override { return chronological_.size(); }
+
+  private:
+    QuantileEstimate computeAt(double q) const;
+
+    LogUniformConfig config_;
+    std::deque<double> chronological_;  //!< Floored waits, in order.
+    OrderStatisticTreap sorted_;
+    QuantileEstimate cachedBound_;
+};
+
+} // namespace core
+} // namespace qdel
+
+#endif // QDEL_CORE_LOGUNIFORM_PREDICTOR_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Implementation of the naive percentile baseline.
+ */
+
+#include "core/percentile_predictor.hh"
+
+#include <cmath>
+
+namespace qdel {
+namespace core {
+
+PercentilePredictor::PercentilePredictor(double quantile, size_t max_history)
+    : quantile_(quantile), maxHistory_(max_history)
+{
+}
+
+void
+PercentilePredictor::observe(double wait_seconds)
+{
+    chronological_.push_back(wait_seconds);
+    sorted_.insert(wait_seconds);
+    if (maxHistory_ > 0) {
+        while (chronological_.size() > maxHistory_) {
+            sorted_.erase(chronological_.front());
+            chronological_.pop_front();
+        }
+    }
+}
+
+void
+PercentilePredictor::refit()
+{
+    cachedBound_ = computeAt(quantile_);
+}
+
+QuantileEstimate
+PercentilePredictor::upperBound() const
+{
+    return cachedBound_;
+}
+
+QuantileEstimate
+PercentilePredictor::boundAt(double q, bool upper) const
+{
+    (void)upper;  // No confidence machinery: same value either side.
+    return computeAt(q);
+}
+
+QuantileEstimate
+PercentilePredictor::computeAt(double q) const
+{
+    const size_t n = sorted_.size();
+    if (n == 0)
+        return QuantileEstimate::infinite();
+    // Nearest-rank empirical quantile.
+    auto rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return QuantileEstimate::of(sorted_.kth(rank - 1));
+}
+
+} // namespace core
+} // namespace qdel

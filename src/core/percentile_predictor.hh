@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Naive baseline: predict the empirical q quantile of the history with
+ * no confidence margin. Not in the paper's comparison, but useful in
+ * the ablation benches to show what the binomial confidence machinery
+ * buys over a plain percentile.
+ */
+
+#ifndef QDEL_CORE_PERCENTILE_PREDICTOR_HH
+#define QDEL_CORE_PERCENTILE_PREDICTOR_HH
+
+#include <deque>
+
+#include "core/predictor.hh"
+#include "util/order_statistic_treap.hh"
+
+namespace qdel {
+namespace core {
+
+/** See file comment. */
+class PercentilePredictor : public Predictor
+{
+  public:
+    /**
+     * @param quantile    Quantile to report.
+     * @param max_history Sliding-window length; 0 = unbounded.
+     */
+    explicit PercentilePredictor(double quantile = 0.95,
+                                 size_t max_history = 0);
+
+    std::string name() const override { return "percentile"; }
+    void observe(double wait_seconds) override;
+    void refit() override;
+    QuantileEstimate upperBound() const override;
+    QuantileEstimate boundAt(double q, bool upper) const override;
+    size_t historySize() const override { return chronological_.size(); }
+
+  private:
+    QuantileEstimate computeAt(double q) const;
+
+    double quantile_;
+    size_t maxHistory_;
+    std::deque<double> chronological_;
+    OrderStatisticTreap sorted_;
+    QuantileEstimate cachedBound_;
+};
+
+} // namespace core
+} // namespace qdel
+
+#endif // QDEL_CORE_PERCENTILE_PREDICTOR_HH

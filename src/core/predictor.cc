@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Default implementations for the optional Predictor hooks.
+ */
+
+#include "core/predictor.hh"
+
+namespace qdel {
+namespace core {
+
+QuantileEstimate
+Predictor::boundAt(double q, bool upper) const
+{
+    (void)q;
+    if (upper)
+        return QuantileEstimate::infinite();
+    return QuantileEstimate::of(0.0);
+}
+
+std::pair<QuantileEstimate, QuantileEstimate>
+Predictor::interval(double q) const
+{
+    return {boundAt(q, /*upper=*/false), boundAt(q, /*upper=*/true)};
+}
+
+void
+Predictor::finalizeTraining()
+{
+}
+
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The public predictor interface: the contract between the prediction
+ * methods (BMBP, the log-normal baselines) and everything that drives
+ * them (the replay simulator, the examples, live deployments).
+ *
+ * Lifecycle, mirroring the paper's Section 5.1 simulator:
+ *  1. observe() each wait time as it becomes visible (a job's wait is
+ *     only known once the job starts executing);
+ *  2. refit() on every update epoch (the paper uses 300 s) — the value
+ *     returned by upperBound() stays frozen between refits, exactly
+ *     like a production predictor working from periodic queue dumps;
+ *  3. finalizeTraining() once, when the warm-up history is loaded, so
+ *     methods that calibrate change-point detection from the training
+ *     period (BMBP's autocorrelation-indexed run threshold) can do so.
+ */
+
+#ifndef QDEL_CORE_PREDICTOR_HH
+#define QDEL_CORE_PREDICTOR_HH
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace qdel {
+namespace core {
+
+/** A one-sided confidence bound on a wait-time quantile. */
+struct QuantileEstimate
+{
+    /** The bound in seconds; +infinity when no finite bound exists. */
+    double value = std::numeric_limits<double>::infinity();
+
+    /** @return true when a finite bound could be produced. */
+    bool finite() const { return value < std::numeric_limits<double>::infinity(); }
+
+    /** Convenience factory for the no-finite-bound case. */
+    static QuantileEstimate
+    infinite()
+    {
+        return QuantileEstimate{};
+    }
+
+    /** Convenience factory for a concrete bound. */
+    static QuantileEstimate
+    of(double v)
+    {
+        return QuantileEstimate{v};
+    }
+};
+
+/** Abstract wait-time quantile-bound predictor. */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /** Method name as it appears in result tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Feed one completed wait time (seconds) into the history, in
+     * completion order. Implementations may run change-point detection
+     * here (comparing the observation against their current bound).
+     */
+    virtual void observe(double wait_seconds) = 0;
+
+    /**
+     * Recompute the prediction from the current history. Called on
+     * epoch boundaries by the replay simulator.
+     */
+    virtual void refit() = 0;
+
+    /**
+     * The current upper confidence bound for the configured quantile —
+     * the value a user submitting a job right now would be given.
+     * Stable between refit() calls.
+     */
+    virtual QuantileEstimate upperBound() const = 0;
+
+    /**
+     * On-demand bound for an arbitrary quantile from the current
+     * history (paper Section 6.3, the "day in the life" quantile
+     * spectrum). @p upper selects upper vs lower confidence bound.
+     * Default: no capability (infinite upper / zero lower).
+     */
+    virtual QuantileEstimate boundAt(double q, bool upper) const;
+
+    /**
+     * Two-sided confidence interval on the @p q quantile (paper
+     * Section 3 notes the method extends to two-sided intervals):
+     * [lower, upper] composed from the two one-sided bounds at the
+     * instance's confidence level C, giving joint coverage of at
+     * least 2C - 1 by Bonferroni (90% for the default C = .95).
+     *
+     * Default implementation delegates to boundAt(); methods without
+     * confidence semantics return whatever their point estimates give.
+     */
+    virtual std::pair<QuantileEstimate, QuantileEstimate>
+    interval(double q) const;
+
+    /**
+     * Hook invoked once when the training prefix has been loaded.
+     * Default: no-op.
+     */
+    virtual void finalizeTraining();
+
+    /** Number of wait times currently in the visible history. */
+    virtual size_t historySize() const = 0;
+};
+
+} // namespace core
+} // namespace qdel
+
+#endif // QDEL_CORE_PREDICTOR_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Implementation of the predictor factory.
+ */
+
+#include "core/predictor_factory.hh"
+
+#include "core/bmbp_predictor.hh"
+#include "core/lognormal_predictor.hh"
+#include "core/loguniform_predictor.hh"
+#include "core/percentile_predictor.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace core {
+
+std::unique_ptr<Predictor>
+makePredictor(const std::string &method, const PredictorOptions &options)
+{
+    if (method == "bmbp") {
+        BmbpConfig config;
+        config.quantile = options.quantile;
+        config.confidence = options.confidence;
+        config.trimmingEnabled = true;
+        return std::make_unique<BmbpPredictor>(config,
+                                               options.rareEventTable);
+    }
+    if (method == "bmbp-notrim") {
+        BmbpConfig config;
+        config.quantile = options.quantile;
+        config.confidence = options.confidence;
+        config.trimmingEnabled = false;
+        return std::make_unique<BmbpPredictor>(config,
+                                               options.rareEventTable);
+    }
+    if (method == "lognormal") {
+        LogNormalConfig config;
+        config.quantile = options.quantile;
+        config.confidence = options.confidence;
+        config.trimmingEnabled = false;
+        return std::make_unique<LogNormalPredictor>(config,
+                                                    options.rareEventTable);
+    }
+    if (method == "lognormal-trim") {
+        LogNormalConfig config;
+        config.quantile = options.quantile;
+        config.confidence = options.confidence;
+        config.trimmingEnabled = true;
+        return std::make_unique<LogNormalPredictor>(config,
+                                                    options.rareEventTable);
+    }
+    if (method == "percentile")
+        return std::make_unique<PercentilePredictor>(options.quantile);
+    if (method == "loguniform") {
+        LogUniformConfig config;
+        config.quantile = options.quantile;
+        return std::make_unique<LogUniformPredictor>(config);
+    }
+    fatal("unknown prediction method '", method,
+          "' (expected bmbp, bmbp-notrim, lognormal, lognormal-trim, "
+          "percentile, or loguniform)");
+}
+
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Construction of predictors by name, as the bench/example front ends
+ * select them ("bmbp", "lognormal", "lognormal-trim", "percentile").
+ */
+
+#ifndef QDEL_CORE_PREDICTOR_FACTORY_HH
+#define QDEL_CORE_PREDICTOR_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/predictor.hh"
+#include "core/rare_event.hh"
+
+namespace qdel {
+namespace core {
+
+/** Shared knobs for factory-constructed predictors. */
+struct PredictorOptions
+{
+    double quantile = 0.95;    //!< Quantile to bound.
+    double confidence = 0.95;  //!< Confidence level.
+    /**
+     * Shared rare-event table; strongly recommended when constructing
+     * many predictors (building the table costs a few ms). May be
+     * nullptr, in which case trimming predictors build private tables.
+     */
+    const RareEventTable *rareEventTable = nullptr;
+};
+
+/**
+ * Create a predictor:
+ *  - "bmbp"            BMBP with trimming (the paper's method);
+ *  - "bmbp-notrim"     BMBP without change-point detection (ablation);
+ *  - "lognormal"       log-normal MLE + K' bound, full history;
+ *  - "lognormal-trim"  the same with BMBP's trimming;
+ *  - "percentile"      naive empirical quantile (ablation baseline);
+ *  - "loguniform"      Downey-style log-uniform point estimate
+ *                      (related-work baseline, no confidence).
+ * fatal()s on an unknown name.
+ */
+std::unique_ptr<Predictor> makePredictor(const std::string &method,
+                                         const PredictorOptions &options);
+
+} // namespace core
+} // namespace qdel
+
+#endif // QDEL_CORE_PREDICTOR_FACTORY_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Implementation of the rare-event run-length calibration.
+ */
+
+#include "core/rare_event.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/ar1.hh"
+#include "stats/special_functions.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace core {
+
+namespace {
+
+/** Quadrature grid resolution over the exceedance region. */
+constexpr int kGridPoints = 400;
+
+/** Upper integration limit in latent (standard normal) units. */
+constexpr double kZMax = 9.0;
+
+} // namespace
+
+double
+runContinuationProbability(double rho, double q, int extra)
+{
+    if (rho < 0.0 || rho >= 1.0)
+        panic("runContinuationProbability: rho out of [0,1): ", rho);
+    if (!(q > 0.0) || !(q < 1.0))
+        panic("runContinuationProbability: q out of (0,1): ", q);
+    if (extra <= 0)
+        return 1.0;
+
+    const double c = stats::normalQuantile(q);
+    const double step = (kZMax - c) / kGridPoints;
+    const double innovation_sd = std::sqrt(1.0 - rho * rho);
+
+    // Midpoint grid over the exceedance region (c, kZMax).
+    std::vector<double> grid(kGridPoints);
+    for (int i = 0; i < kGridPoints; ++i)
+        grid[i] = c + (i + 0.5) * step;
+
+    // Initial (unnormalized) mass: the stationary density restricted to
+    // the exceedance region, then normalized — "given one exceedance".
+    std::vector<double> density(kGridPoints);
+    double mass = 0.0;
+    for (int i = 0; i < kGridPoints; ++i) {
+        density[i] = stats::normalPdf(grid[i]) * step;
+        mass += density[i];
+    }
+    for (double &d : density)
+        d /= mass;
+
+    // Propagate through the AR(1) kernel, keeping only mass that stays
+    // in the exceedance region. After k steps the total retained mass
+    // is P[next k all exceed | initial exceedance].
+    std::vector<double> next(kGridPoints);
+    double retained = 1.0;
+    for (int k = 0; k < extra; ++k) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (int i = 0; i < kGridPoints; ++i) {
+            if (density[i] <= 0.0)
+                continue;
+            const double mean = rho * grid[i];
+            for (int j = 0; j < kGridPoints; ++j) {
+                const double z = (grid[j] - mean) / innovation_sd;
+                next[j] += density[i] * stats::normalPdf(z) * step /
+                           innovation_sd;
+            }
+        }
+        retained = 0.0;
+        for (double d : next)
+            retained += d;
+        density.swap(next);
+        if (retained <= 0.0)
+            return 0.0;
+    }
+    return retained;
+}
+
+int
+runLengthThreshold(double rho, double q, double rare_prob)
+{
+    // Smallest R with P[R consecutive | first] < rare_prob; R counts the
+    // initial exceedance, so R = extra + 1. The comparison carries a
+    // small tolerance because the i.i.d. case sits exactly on the
+    // boundary (P = 1 - q = rare_prob for extra = 1 when q = .95) and
+    // quadrature error must not tip it over: the paper's i.i.d.
+    // threshold is 3, not 2.
+    for (int extra = 1; extra <= 64; ++extra) {
+        if (runContinuationProbability(rho, q, extra) <
+            rare_prob - 1e-4) {
+            return extra + 1;
+        }
+    }
+    warn("runLengthThreshold: no threshold below 65 for rho=", rho,
+         "; clamping");
+    return 65;
+}
+
+RareEventTable::RareEventTable(double q, double rare_prob)
+{
+    entries_.reserve(10);
+    for (int i = 0; i < 10; ++i) {
+        entries_.push_back(
+            runLengthThreshold(static_cast<double>(i) / 10.0, q,
+                               rare_prob));
+    }
+}
+
+int
+RareEventTable::threshold(double rho) const
+{
+    if (!std::isfinite(rho))
+        rho = 0.0;
+    rho = std::clamp(rho, 0.0, 0.9);
+    const auto index = static_cast<size_t>(rho * 10.0);
+    return entries_[std::min<size_t>(index, entries_.size() - 1)];
+}
+
+double
+runContinuationProbabilityMonteCarlo(double rho, double q, int extra,
+                                     size_t steps, uint64_t seed)
+{
+    if (extra <= 0)
+        return 1.0;
+    stats::Rng rng(seed);
+    stats::Ar1LogNormalProcess process(0.0, 1.0, rho, rng);
+    const double threshold =
+        std::exp(stats::normalQuantile(q)); // marginal q quantile
+
+    // Generate the series, then count how often an exceedance is
+    // followed by `extra` further exceedances.
+    std::vector<bool> above(steps);
+    for (size_t t = 0; t < steps; ++t)
+        above[t] = process.next() > threshold;
+
+    size_t exceedances = 0;
+    size_t continued = 0;
+    for (size_t t = 0; t + static_cast<size_t>(extra) < steps; ++t) {
+        if (!above[t])
+            continue;
+        ++exceedances;
+        bool all = true;
+        for (int k = 1; k <= extra; ++k) {
+            if (!above[t + static_cast<size_t>(k)]) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            ++continued;
+    }
+    if (exceedances == 0)
+        return 0.0;
+    return static_cast<double>(continued) /
+           static_cast<double>(exceedances);
+}
+
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Rare-event run-length calibration (paper Section 4.1,
+ * "Nonstationarity").
+ *
+ * BMBP declares a change point when it sees R consecutive observations
+ * above its current quantile bound, where R is chosen so that, for a
+ * *stationary* series with the measured lag-1 autocorrelation, a run
+ * that long follows an initial exceedance with probability below 5%.
+ * For i.i.d. data and the .95 quantile this gives the paper's R = 3
+ * (one exceedance happens 5% of the time; two more in a row have
+ * probability .0025).
+ *
+ * The paper builds its lookup table by Monte Carlo over autocorrelated
+ * log-normal series. Because exceedance of a marginal quantile is
+ * invariant under monotone transforms, the log-normal marginal is
+ * irrelevant — only the latent Gaussian AR(1) dependence matters — so
+ * this implementation computes the same table by deterministic
+ * quadrature over the AR(1) transition kernel (no sampling noise), and
+ * additionally provides the Monte Carlo builder for cross-validation.
+ */
+
+#ifndef QDEL_CORE_RARE_EVENT_HH
+#define QDEL_CORE_RARE_EVENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qdel {
+namespace core {
+
+/**
+ * Probability that, given one observation above the @p q marginal
+ * quantile of a stationary Gaussian AR(1) series with lag-1
+ * autocorrelation @p rho, the next @p extra observations are all above
+ * it as well. Computed by propagating the conditional density through
+ * the AR(1) kernel on a fixed grid.
+ *
+ * @param rho   Lag-1 autocorrelation in [0, 1).
+ * @param q     Marginal quantile in (0, 1).
+ * @param extra Number of additional consecutive exceedances.
+ */
+double runContinuationProbability(double rho, double q, int extra);
+
+/**
+ * Smallest run length R such that R consecutive exceedances of the
+ * @p q quantile constitute a rare event (probability < @p rareProb
+ * following an initial exceedance) under stationarity with lag-1
+ * autocorrelation @p rho. The paper's parameters are q = .95 and
+ * rareProb = .05.
+ */
+int runLengthThreshold(double rho, double q = 0.95,
+                       double rare_prob = 0.05);
+
+/**
+ * The coarse-grained lookup table the predictor consults: thresholds
+ * at rho = 0.0, 0.1, ..., 0.9 for a fixed quantile. Thread-safe,
+ * computed once per (q, rareProb) on first use.
+ */
+class RareEventTable
+{
+  public:
+    /**
+     * @param q         Quantile the table is calibrated for.
+     * @param rare_prob Rarity criterion (default 5%).
+     */
+    explicit RareEventTable(double q = 0.95, double rare_prob = 0.05);
+
+    /**
+     * Threshold for a measured autocorrelation: @p rho is clamped into
+     * [0, 0.9] and rounded down to the table's 0.1 grid (conservative:
+     * lower rho never yields a larger threshold).
+     */
+    int threshold(double rho) const;
+
+    /** The raw table (index i holds the threshold at rho = i/10). */
+    const std::vector<int> &entries() const { return entries_; }
+
+  private:
+    std::vector<int> entries_;
+};
+
+/**
+ * Monte Carlo estimate of runContinuationProbability() using the
+ * AR(1)-driven log-normal process the paper describes; used by the
+ * test suite to validate the quadrature.
+ *
+ * @param rho   Lag-1 autocorrelation.
+ * @param q     Marginal quantile.
+ * @param extra Additional consecutive exceedances.
+ * @param steps Series length to simulate.
+ * @param seed  RNG seed.
+ */
+double runContinuationProbabilityMonteCarlo(double rho, double q, int extra,
+                                            size_t steps, uint64_t seed);
+
+} // namespace core
+} // namespace qdel
+
+#endif // QDEL_CORE_RARE_EVENT_HH

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Implementation of the machine simulator event loop.
+ */
+
+#include "sim/batch/batch_simulator.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "sim/batch/forward_predictor.hh"
+#include "sim/batch/machine.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace sim {
+
+namespace {
+
+/** Completion event in the virtual-time heap. */
+struct Completion
+{
+    double time;
+    long long id;
+    int procs;
+
+    bool
+    operator>(const Completion &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return id > other.id;
+    }
+};
+
+} // namespace
+
+BatchSimulator::BatchSimulator(BatchSimConfig config)
+    : config_(std::move(config))
+{
+    if (!std::is_sorted(config_.changes.begin(), config_.changes.end(),
+                        [](const PolicyChange &a, const PolicyChange &b) {
+                            return a.time < b.time;
+                        })) {
+        fatal("BatchSimulator: policy changes must be sorted by time");
+    }
+}
+
+std::vector<SimJob>
+BatchSimulator::run(std::vector<SimJob> jobs)
+{
+    stats_ = BatchSimStats{};
+    forecasts_.clear();
+
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const SimJob &a, const SimJob &b) {
+                         return a.submitTime < b.submitTime;
+                     });
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].procs > config_.totalProcs) {
+            fatal("BatchSimulator: job ", jobs[i].id, " wants ",
+                  jobs[i].procs, " procs on a ", config_.totalProcs,
+                  "-proc machine");
+        }
+        if (jobs[i].id == 0)
+            jobs[i].id = static_cast<long long>(i) + 1;
+        if (jobs[i].estimateSeconds < jobs[i].runSeconds)
+            jobs[i].estimateSeconds = jobs[i].runSeconds;
+        jobs[i].startTime = -1.0;
+    }
+
+    Machine machine(config_.totalProcs);
+    auto scheduler = makeScheduler(config_.policy);
+    size_t next_change = 0;
+
+    std::vector<SimJob> pending;             // submission order
+    std::vector<RunningJob> running;         // planning view
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>> completions;
+    std::vector<SimJob> done;
+    done.reserve(jobs.size());
+
+    size_t next_arrival = 0;
+    const double inf = std::numeric_limits<double>::infinity();
+    double first_arrival =
+        jobs.empty() ? 0.0 : jobs.front().submitTime;
+    double last_completion = first_arrival;
+
+    while (next_arrival < jobs.size() || !completions.empty() ||
+           !pending.empty()) {
+        const double t_arrival = next_arrival < jobs.size()
+                                     ? jobs[next_arrival].submitTime
+                                     : inf;
+        const double t_completion =
+            completions.empty() ? inf : completions.top().time;
+        const double t_change = next_change < config_.changes.size()
+                                    ? config_.changes[next_change].time
+                                    : inf;
+        double now = std::min({t_arrival, t_completion, t_change});
+        if (now == inf) {
+            // Pending jobs but nothing running and no arrivals left:
+            // with the fit check above this cannot happen.
+            panic("BatchSimulator: deadlock with ", pending.size(),
+                  " pending jobs");
+        }
+
+        // 1) Completions at `now` free processors first.
+        while (!completions.empty() && completions.top().time <= now) {
+            const Completion c = completions.top();
+            completions.pop();
+            machine.release(c.procs);
+            running.erase(std::remove_if(running.begin(), running.end(),
+                                         [&c](const RunningJob &r) {
+                                             return r.id == c.id;
+                                         }),
+                          running.end());
+            last_completion = std::max(last_completion, c.time);
+        }
+
+        // 2) Arrivals at `now` join the pending queue.
+        std::vector<long long> arrived_now;
+        while (next_arrival < jobs.size() &&
+               jobs[next_arrival].submitTime <= now) {
+            arrived_now.push_back(jobs[next_arrival].id);
+            pending.push_back(jobs[next_arrival]);
+            ++next_arrival;
+        }
+
+        // 3) Policy changes at `now` swap the scheduler.
+        while (next_change < config_.changes.size() &&
+               config_.changes[next_change].time <= now) {
+            scheduler = makeScheduler(config_.changes[next_change].policy);
+            ++next_change;
+        }
+
+        // 4) Let the policy start jobs.
+        auto starts =
+            scheduler->selectJobs(pending, machine, running, now);
+        if (!starts.empty()) {
+            // Detect out-of-order (backfill) starts for the stats: a
+            // start is a backfill when a job submitted earlier with
+            // priority >= the started job's stays pending.
+            std::vector<bool> selected(pending.size(), false);
+            for (size_t idx : starts) {
+                if (idx >= pending.size())
+                    panic("scheduler returned invalid index ", idx);
+                if (selected[idx])
+                    panic("scheduler selected index ", idx, " twice");
+                selected[idx] = true;
+            }
+            for (size_t idx : starts) {
+                for (size_t before = 0; before < idx; ++before) {
+                    if (!selected[before] &&
+                        pending[before].priority >= pending[idx].priority) {
+                        ++stats_.backfillStarts;
+                        break;
+                    }
+                }
+            }
+
+            for (size_t idx : starts) {
+                SimJob &job = pending[idx];
+                machine.allocate(job.procs);
+                job.startTime = now;
+                completions.push(
+                    {now + job.runSeconds, job.id, job.procs});
+                running.push_back(
+                    {job.id, job.procs, now + job.estimateSeconds});
+                stats_.totalBusyProcSeconds +=
+                    static_cast<double>(job.procs) * job.runSeconds;
+                done.push_back(job);
+            }
+
+            // Remove started jobs from pending, preserving order.
+            std::vector<SimJob> remaining;
+            remaining.reserve(pending.size() - starts.size());
+            for (size_t i = 0; i < pending.size(); ++i) {
+                if (!selected[i])
+                    remaining.push_back(std::move(pending[i]));
+            }
+            pending.swap(remaining);
+        }
+
+        // 5) Scheduler-simulation forecasts for this event's arrivals
+        //    (after the scheduling pass: a job that started immediately
+        //    forecasts `now` trivially).
+        if (config_.forecastAtArrival && !arrived_now.empty()) {
+            std::vector<double> forecast;
+            if (!pending.empty()) {
+                forecast = forecastStartTimes(pending, running,
+                                              config_.totalProcs,
+                                              scheduler->name(), now);
+            }
+            for (long long id : arrived_now) {
+                bool found = false;
+                for (size_t i = 0; i < pending.size(); ++i) {
+                    if (pending[i].id == id) {
+                        forecasts_[id] = forecast[i];
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    forecasts_[id] = now;  // started immediately
+            }
+        }
+    }
+
+    stats_.jobsCompleted = done.size();
+    stats_.makespan = std::max(0.0, last_completion - first_arrival);
+    if (stats_.makespan > 0.0) {
+        stats_.utilization =
+            stats_.totalBusyProcSeconds /
+            (static_cast<double>(config_.totalProcs) * stats_.makespan);
+    }
+
+    std::stable_sort(done.begin(), done.end(),
+                     [](const SimJob &a, const SimJob &b) {
+                         return a.submitTime < b.submitTime;
+                     });
+    return done;
+}
+
+trace::Trace
+BatchSimulator::toTrace(const std::vector<SimJob> &jobs,
+                        const std::string &site, const std::string &machine)
+{
+    trace::Trace t(site, machine);
+    t.reserve(jobs.size());
+    for (const auto &job : jobs) {
+        if (job.startTime < 0.0)
+            panic("BatchSimulator::toTrace: job ", job.id, " never started");
+        trace::JobRecord record;
+        record.submitTime = job.submitTime;
+        record.waitSeconds = job.waitSeconds();
+        record.procs = job.procs;
+        record.runSeconds = job.runSeconds;
+        record.queue = job.queue;
+        t.add(std::move(record));
+    }
+    t.sortBySubmitTime();
+    return t;
+}
+
+} // namespace sim
+} // namespace qdel

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Event-driven simulator of a space-shared, batch-scheduled machine.
+ *
+ * Feeds a stream of jobs through a Machine under a Scheduler policy
+ * (optionally switching policies mid-run, modeling the administrator
+ * interventions the paper identifies as the source of nonstationarity)
+ * and emits the resulting per-job queuing delays as a Trace — the
+ * from-first-principles counterpart of the statistical synthesizer in
+ * workload/.
+ */
+
+#ifndef QDEL_SIM_BATCH_BATCH_SIMULATOR_HH
+#define QDEL_SIM_BATCH_BATCH_SIMULATOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/batch/scheduler.hh"
+#include "sim/batch/sim_job.hh"
+#include "trace/trace.hh"
+
+namespace qdel {
+namespace sim {
+
+/** A scheduled policy switch (administrator intervention). */
+struct PolicyChange
+{
+    double time = 0.0;    //!< Virtual time at which the switch happens.
+    std::string policy;   //!< New policy name (see makeScheduler()).
+};
+
+/** Configuration of one simulation run. */
+struct BatchSimConfig
+{
+    int totalProcs = 128;              //!< Machine size.
+    std::string policy = "easy-backfill"; //!< Initial scheduling policy.
+    std::vector<PolicyChange> changes; //!< Optional mid-run switches,
+                                       //!< sorted by time.
+    /**
+     * When set, every arriving job also receives a deterministic
+     * start-time forecast from the scheduler-simulation approach
+     * (forward_predictor.hh), retrievable via forecasts(). This is
+     * the Smith-Foster-Taylor related-work baseline.
+     */
+    bool forecastAtArrival = false;
+};
+
+/** Aggregate counters from a simulation run. */
+struct BatchSimStats
+{
+    size_t jobsCompleted = 0;     //!< Jobs that started and finished.
+    size_t backfillStarts = 0;    //!< Jobs started out of FCFS order.
+    double makespan = 0.0;        //!< Last completion minus first arrival.
+    double totalBusyProcSeconds = 0.0; //!< Integral of allocated procs.
+    double utilization = 0.0;     //!< Busy proc-seconds / (P * makespan).
+};
+
+/**
+ * Run the machine simulation over @p jobs.
+ */
+class BatchSimulator
+{
+  public:
+    /** @param config Machine and policy configuration. */
+    explicit BatchSimulator(BatchSimConfig config);
+
+    /**
+     * Simulate all @p jobs to completion.
+     *
+     * @param jobs Input jobs; submitTime need not be sorted (the
+     *             simulator sorts a copy). Every job must fit the
+     *             machine (procs <= totalProcs) or fatal() is raised.
+     * @return Per-job records with startTime filled, in submission
+     *         order.
+     */
+    std::vector<SimJob> run(std::vector<SimJob> jobs);
+
+    /** Counters from the most recent run(). */
+    const BatchSimStats &stats() const { return stats_; }
+
+    /**
+     * Per-job start-time forecasts made at each job's arrival (only
+     * populated when config.forecastAtArrival is set), keyed by job
+     * id. Compare against the realized startTime to evaluate the
+     * scheduler-simulation prediction approach.
+     */
+    const std::map<long long, double> &forecasts() const
+    {
+        return forecasts_;
+    }
+
+    /**
+     * Convert simulated jobs into a Trace (submit, wait, procs, queue)
+     * consumable by the prediction replay simulator.
+     */
+    static trace::Trace toTrace(const std::vector<SimJob> &jobs,
+                                const std::string &site,
+                                const std::string &machine);
+
+  private:
+    BatchSimConfig config_;
+    BatchSimStats stats_;
+    std::map<long long, double> forecasts_;
+};
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_BATCH_BATCH_SIMULATOR_HH

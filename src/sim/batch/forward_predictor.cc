@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Implementation of the scheduler-simulation forecaster.
+ */
+
+#include "sim/batch/forward_predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "sim/batch/machine.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace sim {
+
+std::vector<double>
+forecastStartTimes(const std::vector<SimJob> &pending,
+                   const std::vector<RunningJob> &running, int total_procs,
+                   const std::string &policy, double now)
+{
+    std::vector<double> predictions(pending.size(), now);
+    if (pending.empty())
+        return predictions;
+
+    // Private copies: the forecast must not disturb the real state.
+    auto scheduler = makeScheduler(policy);
+    Machine machine(total_procs);
+    std::vector<RunningJob> sim_running = running;
+    for (const auto &run : sim_running)
+        machine.allocate(run.procs);
+
+    std::vector<SimJob> sim_pending = pending;
+    std::map<long long, size_t> index_of;  // job id -> pending index
+    for (size_t i = 0; i < pending.size(); ++i)
+        index_of[pending[i].id] = i;
+
+    double clock = now;
+    size_t guard = 0;
+    const size_t guard_limit = 4 * (pending.size() + running.size()) + 16;
+
+    while (!sim_pending.empty()) {
+        if (++guard > guard_limit)
+            panic("forecastStartTimes: simulation failed to drain (",
+                  sim_pending.size(), " jobs stuck)");
+
+        // Start whatever the policy allows at the current clock.
+        auto starts = scheduler->selectJobs(sim_pending, machine,
+                                            sim_running, clock);
+        if (!starts.empty()) {
+            std::vector<bool> selected(sim_pending.size(), false);
+            for (size_t idx : starts) {
+                selected[idx] = true;
+                SimJob &job = sim_pending[idx];
+                machine.allocate(job.procs);
+                sim_running.push_back(
+                    {job.id, job.procs, clock + job.estimateSeconds});
+                auto it = index_of.find(job.id);
+                if (it != index_of.end())
+                    predictions[it->second] = clock;
+            }
+            std::vector<SimJob> remaining;
+            remaining.reserve(sim_pending.size() - starts.size());
+            for (size_t i = 0; i < sim_pending.size(); ++i) {
+                if (!selected[i])
+                    remaining.push_back(std::move(sim_pending[i]));
+            }
+            sim_pending.swap(remaining);
+            continue;  // the policy may start more at the same clock
+        }
+
+        // Nothing fits: advance to the next planned completion.
+        double next_end = std::numeric_limits<double>::infinity();
+        for (const auto &run : sim_running)
+            next_end = std::min(next_end, run.plannedEnd);
+        if (!std::isfinite(next_end)) {
+            panic("forecastStartTimes: pending jobs but nothing running "
+                  "(job larger than machine?)");
+        }
+        clock = std::max(clock, next_end);
+        int freed = 0;
+        sim_running.erase(
+            std::remove_if(sim_running.begin(), sim_running.end(),
+                           [&](const RunningJob &run) {
+                               if (run.plannedEnd <= clock) {
+                                   freed += run.procs;
+                                   return true;
+                               }
+                               return false;
+                           }),
+            sim_running.end());
+        machine.release(freed);
+    }
+    return predictions;
+}
+
+} // namespace sim
+} // namespace qdel

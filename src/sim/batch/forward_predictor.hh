@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Scheduler-simulation start-time prediction — the Smith-Foster-Taylor
+ * approach the paper contrasts BMBP against (Section 2, Related Work).
+ *
+ * Given full knowledge of the machine state (running partitions with
+ * their user runtime estimates, the pending queue, the scheduling
+ * policy), the future behaviour of the batch scheduler can be
+ * simulated in faster-than-real time to produce a *deterministic*
+ * start-time prediction for each pending job. The paper's criticism:
+ * the approach needs accurate per-job runtime predictions and exact
+ * knowledge of the (typically unpublished, mutable) policy — when the
+ * estimates are loose, the point predictions are badly wrong, and
+ * there is no confidence statement attached. This module implements
+ * the approach faithfully so the comparison can be made
+ * quantitatively (bench/ablation_forward).
+ */
+
+#ifndef QDEL_SIM_BATCH_FORWARD_PREDICTOR_HH
+#define QDEL_SIM_BATCH_FORWARD_PREDICTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/batch/scheduler.hh"
+#include "sim/batch/sim_job.hh"
+
+namespace qdel {
+namespace sim {
+
+/**
+ * Simulate the machine forward from the given state — no future
+ * arrivals, every job running for exactly its user estimate — and
+ * return the predicted start time of each pending job.
+ *
+ * @param pending    Pending jobs in submission order.
+ * @param running    Currently executing partitions (planned ends are
+ *                   start + estimate, as the scheduler sees them).
+ * @param total_procs Machine size.
+ * @param policy     Scheduling policy name (see makeScheduler()).
+ * @param now        Current virtual time.
+ * @return Predicted start time per pending job, parallel to
+ *         @p pending. All values are >= now.
+ */
+std::vector<double>
+forecastStartTimes(const std::vector<SimJob> &pending,
+                   const std::vector<RunningJob> &running, int total_procs,
+                   const std::string &policy, double now);
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_BATCH_FORWARD_PREDICTOR_HH

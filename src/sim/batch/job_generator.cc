@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the machine-simulator workload generator.
+ */
+
+#include "sim/batch/job_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "workload/arrivals.hh"
+
+namespace qdel {
+namespace sim {
+
+namespace {
+
+/** Draw a processor request favoring powers of two inside the range. */
+int
+drawProcs(int min_procs, int max_procs, stats::Rng &rng)
+{
+    if (min_procs >= max_procs)
+        return min_procs;
+    if (rng.bernoulli(0.7)) {
+        // Powers of two within [min, max].
+        std::vector<int> powers;
+        for (int p = 1; p <= max_procs; p *= 2) {
+            if (p >= min_procs)
+                powers.push_back(p);
+            if (p > (1 << 29))
+                break;
+        }
+        if (!powers.empty()) {
+            const auto idx = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<long long>(powers.size()) - 1));
+            return powers[idx];
+        }
+    }
+    return static_cast<int>(rng.uniformInt(min_procs, max_procs));
+}
+
+} // namespace
+
+std::vector<SimJob>
+generateJobs(const JobGeneratorConfig &config, stats::Rng &rng)
+{
+    if (config.queues.empty())
+        fatal("generateJobs: at least one QueueSpec is required");
+    if (!(config.durationSeconds > 0.0))
+        fatal("generateJobs: duration must be positive");
+
+    std::vector<SimJob> jobs;
+    const double begin = config.startTime;
+    const double end = config.startTime + config.durationSeconds;
+    workload::ArrivalModel arrival_model;
+
+    for (const auto &queue : config.queues) {
+        const double expected =
+            queue.jobsPerDay * config.durationSeconds / 86400.0;
+        const auto count = static_cast<size_t>(std::llround(expected));
+        if (count == 0)
+            continue;
+        auto arrivals =
+            workload::generateArrivals(begin, end, count, arrival_model,
+                                       rng);
+        const double mu = std::log(std::max(1.0, queue.runMedianSeconds));
+        for (double submit : arrivals) {
+            SimJob job;
+            job.submitTime = submit;
+            job.queue = queue.name;
+            job.priority = queue.priority;
+            job.procs = drawProcs(queue.minProcs, queue.maxProcs, rng);
+            double run = rng.logNormal(mu, queue.runLogSigma);
+            run = std::clamp(run, 60.0, queue.maxRunSeconds);
+            job.runSeconds = run;
+            job.estimateSeconds = std::min(
+                queue.maxRunSeconds,
+                run * rng.uniform(1.0, std::max(1.0,
+                                                queue.overestimateMax)));
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const SimJob &a, const SimJob &b) {
+                         return a.submitTime < b.submitTime;
+                     });
+    for (size_t i = 0; i < jobs.size(); ++i)
+        jobs[i].id = static_cast<long long>(i) + 1;
+    return jobs;
+}
+
+} // namespace sim
+} // namespace qdel

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Input workload generation for the machine simulator: multi-queue job
+ * streams with heavy-tailed runtimes, power-of-two-skewed processor
+ * requests, and the user runtime over-estimation that real logs show
+ * (and that EASY backfilling planning depends on).
+ */
+
+#ifndef QDEL_SIM_BATCH_JOB_GENERATOR_HH
+#define QDEL_SIM_BATCH_JOB_GENERATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/batch/sim_job.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace sim {
+
+/** Description of one queue's offered workload. */
+struct QueueSpec
+{
+    std::string name = "normal";  //!< Queue name (copied into jobs).
+    int priority = 0;             //!< Scheduler priority; higher first.
+    double jobsPerDay = 200.0;    //!< Mean arrival rate.
+    double runMedianSeconds = 1800.0;  //!< Median actual runtime.
+    double runLogSigma = 1.5;     //!< Log-spread of the runtime.
+    double maxRunSeconds = 12 * 3600.0; //!< Queue runtime limit.
+    int minProcs = 1;             //!< Smallest request.
+    int maxProcs = 64;            //!< Largest request (queue limit).
+    double overestimateMax = 5.0; //!< Estimates ~ run * U(1, this).
+};
+
+/** Workload-level configuration. */
+struct JobGeneratorConfig
+{
+    double startTime = 0.0;        //!< UNIX start of the span.
+    double durationSeconds = 30.0 * 86400.0; //!< Span length.
+    std::vector<QueueSpec> queues; //!< At least one queue.
+};
+
+/**
+ * Generate the merged multi-queue job stream, sorted by submission
+ * time. Runtimes are log-normal (clamped to [60, maxRunSeconds]);
+ * processor requests favor powers of two; arrival processes follow the
+ * diurnal/weekly cycle shared with the workload synthesizer.
+ */
+std::vector<SimJob> generateJobs(const JobGeneratorConfig &config,
+                                 stats::Rng &rng);
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_BATCH_JOB_GENERATOR_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Implementation of the processor pool.
+ */
+
+#include "sim/batch/machine.hh"
+
+#include "util/logging.hh"
+
+namespace qdel {
+namespace sim {
+
+Machine::Machine(int total_procs)
+    : totalProcs_(total_procs), freeProcs_(total_procs)
+{
+    if (total_procs <= 0)
+        panic("Machine: total_procs must be positive, got ", total_procs);
+}
+
+void
+Machine::allocate(int procs)
+{
+    if (procs <= 0)
+        panic("Machine::allocate: non-positive partition size ", procs);
+    if (procs > freeProcs_)
+        panic("Machine::allocate: oversubscription (", procs, " > ",
+              freeProcs_, " free)");
+    freeProcs_ -= procs;
+}
+
+void
+Machine::release(int procs)
+{
+    if (procs <= 0)
+        panic("Machine::release: non-positive partition size ", procs);
+    if (freeProcs_ + procs > totalProcs_)
+        panic("Machine::release: releasing ", procs,
+              " would exceed machine size");
+    freeProcs_ += procs;
+}
+
+} // namespace sim
+} // namespace qdel

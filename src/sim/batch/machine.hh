@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The space-shared machine: a pool of identical processors allocated
+ * in dedicated partitions, exactly the resource model of the paper's
+ * Section 1 (no time sharing, no preemption).
+ */
+
+#ifndef QDEL_SIM_BATCH_MACHINE_HH
+#define QDEL_SIM_BATCH_MACHINE_HH
+
+namespace qdel {
+namespace sim {
+
+/** Processor pool with allocate/release accounting. */
+class Machine
+{
+  public:
+    /** @param total_procs Machine size in processors, > 0. */
+    explicit Machine(int total_procs);
+
+    /** Total processors in the machine. */
+    int totalProcs() const { return totalProcs_; }
+
+    /** Processors not currently allocated to a partition. */
+    int freeProcs() const { return freeProcs_; }
+
+    /** @return true when a partition of @p procs can start now. */
+    bool fits(int procs) const { return procs <= freeProcs_; }
+
+    /**
+     * Allocate a dedicated partition.
+     * panics when @p procs exceeds the free pool (scheduler bug).
+     */
+    void allocate(int procs);
+
+    /**
+     * Release a partition back to the pool.
+     * panics when the release would exceed the machine size.
+     */
+    void release(int procs);
+
+  private:
+    int totalProcs_;
+    int freeProcs_;
+};
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_BATCH_MACHINE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Implementation of the processor-availability profile.
+ */
+
+#include "sim/batch/proc_profile.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace qdel {
+namespace sim {
+
+ProcProfile::ProcProfile(int total_procs, int free_now,
+                         const std::vector<RunningJob> &running, double now)
+    : totalProcs_(total_procs), origin_(now)
+{
+    available_[now] = free_now;
+    // Releases, applied cumulatively in time order.
+    std::vector<RunningJob> ordered = running;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const RunningJob &a, const RunningJob &b) {
+                  return a.plannedEnd < b.plannedEnd;
+              });
+    int level = free_now;
+    for (const auto &run : ordered) {
+        const double at = std::max(run.plannedEnd, now);
+        level += run.procs;
+        available_[at] = level;
+    }
+    if (level > total_procs)
+        panic("ProcProfile: releases exceed machine size (", level, " > ",
+              total_procs, ")");
+}
+
+double
+ProcProfile::earliestFit(int procs, double duration, double earliest) const
+{
+    if (procs > totalProcs_)
+        panic("ProcProfile::earliestFit: ", procs,
+              " procs on a ", totalProcs_, "-proc machine");
+    double start = std::max(origin_, earliest);
+    while (true) {
+        const double end = start + duration;
+
+        // Walk the segments overlapping [start, end); the segment
+        // containing `start` is the greatest breakpoint <= start, and
+        // every later breakpoint below `end` opens another overlapping
+        // segment.
+        auto it = available_.upper_bound(start);
+        if (it != available_.begin())
+            --it;
+        double violation = -1.0;
+        for (; it != available_.end() && it->first < end; ++it) {
+            if (it->second < procs) {
+                violation = it->first;
+                break;
+            }
+        }
+        if (violation < 0.0)
+            return start;
+
+        // Retry from the first breakpoint after the violating segment
+        // begins (capacity is constant within a segment, so nothing
+        // earlier can help).
+        auto next_bp = available_.upper_bound(violation);
+        if (next_bp == available_.end()) {
+            // The final segment (fully released machine) has level
+            // == total, which fits any procs <= total — reaching here
+            // means the caller passed an inconsistent machine state.
+            panic("ProcProfile::earliestFit: no fit for ", procs,
+                  " procs x ", duration, " s (inconsistent state?)");
+        }
+        start = std::max(next_bp->first, start);
+    }
+}
+
+void
+ProcProfile::reserve(double start, double duration, int procs)
+{
+    const double end = start + duration;
+    // Materialize breakpoints at start and end, copying the prevailing
+    // level so the piecewise-constant shape is preserved.
+    auto materialize = [this](double t) {
+        auto it = available_.upper_bound(t);
+        if (it == available_.begin()) {
+            available_[t] = totalProcs_;
+            return;
+        }
+        --it;
+        available_.emplace(t, it->second);  // no-op if present
+    };
+    materialize(start);
+    materialize(end);
+    for (auto it = available_.find(start);
+         it != available_.end() && it->first < end; ++it) {
+        it->second -= procs;
+        if (it->second < 0) {
+            panic("ProcProfile::reserve: negative capacity at t=",
+                  it->first);
+        }
+    }
+}
+
+int
+ProcProfile::availableAt(double t) const
+{
+    auto it = available_.upper_bound(t);
+    if (it == available_.begin())
+        return totalProcs_;
+    --it;
+    return it->second;
+}
+
+} // namespace sim
+} // namespace qdel

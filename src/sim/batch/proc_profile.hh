@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Piecewise-constant processor-availability profile: the planning
+ * structure behind conservative backfilling. Tracks how many
+ * processors are free at every future instant given the running
+ * partitions (by their user estimates) and the reservations placed so
+ * far, answers "earliest time a (procs x duration) rectangle fits",
+ * and records reservations.
+ */
+
+#ifndef QDEL_SIM_BATCH_PROC_PROFILE_HH
+#define QDEL_SIM_BATCH_PROC_PROFILE_HH
+
+#include <map>
+#include <vector>
+
+#include "sim/batch/scheduler.hh"
+
+namespace qdel {
+namespace sim {
+
+/** See file comment. */
+class ProcProfile
+{
+  public:
+    /**
+     * @param total_procs Machine size.
+     * @param free_now    Processors free at @p now.
+     * @param running     Running partitions; each releases its procs
+     *                    at its plannedEnd.
+     * @param now         Profile origin; queries are clamped to it.
+     */
+    ProcProfile(int total_procs, int free_now,
+                const std::vector<RunningJob> &running, double now);
+
+    /**
+     * Earliest time t >= max(now, earliest) at which @p procs
+     * processors are continuously free for @p duration seconds.
+     * Always exists (after all releases the machine is fully free)
+     * provided procs <= total; panics otherwise.
+     */
+    double earliestFit(int procs, double duration,
+                       double earliest = 0.0) const;
+
+    /** Subtract @p procs over [start, start + duration). */
+    void reserve(double start, double duration, int procs);
+
+    /** Free processors at time @p t (for tests). */
+    int availableAt(double t) const;
+
+  private:
+    int totalProcs_;
+    double origin_;
+    /** Breakpoint time -> processors available from there on (until
+     *  the next breakpoint). */
+    std::map<double, int> available_;
+};
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_BATCH_PROC_PROFILE_HH

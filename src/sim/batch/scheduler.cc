@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Implementation of the scheduling policies.
+ */
+
+#include "sim/batch/scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "sim/batch/proc_profile.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace sim {
+
+namespace {
+
+/** Indices of @p pending ordered by (priority desc, submission asc). */
+std::vector<size_t>
+priorityOrder(const std::vector<SimJob> &pending)
+{
+    std::vector<size_t> order(pending.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&pending](size_t a, size_t b) {
+                         if (pending[a].priority != pending[b].priority)
+                             return pending[a].priority >
+                                    pending[b].priority;
+                         return pending[a].submitTime <
+                                pending[b].submitTime;
+                     });
+    return order;
+}
+
+} // namespace
+
+std::vector<size_t>
+FcfsScheduler::selectJobs(const std::vector<SimJob> &pending,
+                          const Machine &machine,
+                          const std::vector<RunningJob> &running, double now)
+{
+    (void)running;
+    (void)now;
+    std::vector<size_t> starts;
+    int free = machine.freeProcs();
+    for (size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].procs > free)
+            break;
+        free -= pending[i].procs;
+        starts.push_back(i);
+    }
+    return starts;
+}
+
+std::vector<size_t>
+PriorityFcfsScheduler::selectJobs(const std::vector<SimJob> &pending,
+                                  const Machine &machine,
+                                  const std::vector<RunningJob> &running,
+                                  double now)
+{
+    (void)running;
+    (void)now;
+    std::vector<size_t> starts;
+    int free = machine.freeProcs();
+    for (size_t idx : priorityOrder(pending)) {
+        if (pending[idx].procs > free)
+            break;
+        free -= pending[idx].procs;
+        starts.push_back(idx);
+    }
+    return starts;
+}
+
+std::vector<size_t>
+EasyBackfillScheduler::selectJobs(const std::vector<SimJob> &pending,
+                                  const Machine &machine,
+                                  const std::vector<RunningJob> &running,
+                                  double now)
+{
+    std::vector<size_t> starts;
+    int free = machine.freeProcs();
+    auto order = priorityOrder(pending);
+
+    // Phase 1: start jobs in priority order while they fit.
+    size_t head_pos = 0;
+    while (head_pos < order.size() &&
+           pending[order[head_pos]].procs <= free) {
+        free -= pending[order[head_pos]].procs;
+        starts.push_back(order[head_pos]);
+        ++head_pos;
+    }
+    if (head_pos >= order.size())
+        return starts;
+
+    // Phase 2: reservation for the blocked head.
+    const SimJob &head = pending[order[head_pos]];
+
+    // Walk running jobs (including the ones just started in phase 1,
+    // whose planned ends we must synthesize) in planned-end order and
+    // find when enough processors accumulate for the head.
+    struct Release
+    {
+        double time;
+        int procs;
+    };
+    std::vector<Release> releases;
+    releases.reserve(running.size() + starts.size());
+    for (const auto &run : running)
+        releases.push_back({run.plannedEnd, run.procs});
+    for (size_t idx : starts) {
+        releases.push_back({now + pending[idx].estimateSeconds,
+                            pending[idx].procs});
+    }
+    std::sort(releases.begin(), releases.end(),
+              [](const Release &a, const Release &b) {
+                  return a.time < b.time;
+              });
+
+    double shadow_time = std::numeric_limits<double>::infinity();
+    int accumulated = free;
+    int free_at_shadow = free;
+    for (const auto &release : releases) {
+        accumulated += release.procs;
+        if (accumulated >= head.procs) {
+            shadow_time = release.time;
+            free_at_shadow = accumulated;
+            break;
+        }
+    }
+    // Processors the reservation leaves over at shadow time: a backfill
+    // job narrower than this can run past the shadow without delaying
+    // the head. Jobs taking this route consume the width, so stacked
+    // backfills cannot jointly delay the head either.
+    int extra = free_at_shadow - head.procs;
+
+    // Phase 3: backfill later jobs that cannot delay the reservation.
+    for (size_t pos = head_pos + 1; pos < order.size(); ++pos) {
+        const SimJob &job = pending[order[pos]];
+        if (job.procs > free)
+            continue;
+        const bool ends_before_shadow =
+            now + job.estimateSeconds <= shadow_time;
+        if (ends_before_shadow) {
+            free -= job.procs;
+            starts.push_back(order[pos]);
+        } else if (job.procs <= extra) {
+            free -= job.procs;
+            extra -= job.procs;
+            starts.push_back(order[pos]);
+        }
+    }
+    return starts;
+}
+
+std::vector<size_t>
+ConservativeBackfillScheduler::selectJobs(
+    const std::vector<SimJob> &pending, const Machine &machine,
+    const std::vector<RunningJob> &running, double now)
+{
+    std::vector<size_t> starts;
+    if (pending.empty())
+        return starts;
+
+    // Build the availability profile and give every job, in priority
+    // order, the earliest reservation that fits. Jobs whose
+    // reservation is "now" start immediately; everything else keeps
+    // its (implicit) reservation for a later scheduling pass.
+    ProcProfile profile(machine.totalProcs(), machine.freeProcs(),
+                        running, now);
+    for (size_t idx : priorityOrder(pending)) {
+        const SimJob &job = pending[idx];
+        const double start =
+            profile.earliestFit(job.procs, job.estimateSeconds, now);
+        profile.reserve(start, job.estimateSeconds, job.procs);
+        if (start <= now)
+            starts.push_back(idx);
+    }
+    return starts;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const std::string &policy)
+{
+    if (policy == "fcfs")
+        return std::make_unique<FcfsScheduler>();
+    if (policy == "priority-fcfs")
+        return std::make_unique<PriorityFcfsScheduler>();
+    if (policy == "easy-backfill")
+        return std::make_unique<EasyBackfillScheduler>();
+    if (policy == "conservative-backfill")
+        return std::make_unique<ConservativeBackfillScheduler>();
+    fatal("unknown scheduling policy '", policy,
+          "' (expected fcfs, priority-fcfs, easy-backfill, or "
+          "conservative-backfill)");
+}
+
+} // namespace sim
+} // namespace qdel

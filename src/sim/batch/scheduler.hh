@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Scheduling policies for the space-shared machine simulator.
+ *
+ * The paper's central premise is that the mapping from workload to
+ * queuing delay runs through an opaque, administrator-tuned policy
+ * (FCFS, priorities across queues, EASY backfilling, and mid-stream
+ * policy changes). These classes implement those policies so the
+ * simulator can generate wait-time traces from first principles.
+ */
+
+#ifndef QDEL_SIM_BATCH_SCHEDULER_HH
+#define QDEL_SIM_BATCH_SCHEDULER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/batch/machine.hh"
+#include "sim/batch/sim_job.hh"
+
+namespace qdel {
+namespace sim {
+
+/** A running partition as seen by the scheduler (planning view). */
+struct RunningJob
+{
+    long long id = 0;
+    int procs = 0;
+    /** Planned completion: start + user estimate (never actual run). */
+    double plannedEnd = 0.0;
+};
+
+/**
+ * Policy interface: given the pending jobs (owned by the simulator and
+ * kept in submission order), the machine, the running set, and the
+ * current time, return the indices (into @p pending) of jobs to start
+ * now. The simulator starts them in the order returned.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Human-readable policy name (appears in logs and tests). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Select jobs to start.
+     *
+     * @param pending Pending jobs in submission order.
+     * @param machine Processor pool (free count is the planning input).
+     * @param running Currently executing partitions with planned ends.
+     * @param now     Current virtual time.
+     * @return Indices into @p pending, in start order; each selected
+     *         job must fit given the cumulative allocations of the
+     *         selections before it (the simulator panics otherwise).
+     */
+    virtual std::vector<size_t>
+    selectJobs(const std::vector<SimJob> &pending, const Machine &machine,
+               const std::vector<RunningJob> &running, double now) = 0;
+};
+
+/**
+ * Pure first-come-first-served: start jobs strictly in submission
+ * order, blocking at the first job that does not fit.
+ */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "fcfs"; }
+
+    std::vector<size_t>
+    selectJobs(const std::vector<SimJob> &pending, const Machine &machine,
+               const std::vector<RunningJob> &running, double now) override;
+};
+
+/**
+ * Priority FCFS: order pending jobs by (priority descending, submission
+ * ascending) and block at the first non-fitting job, so higher-priority
+ * queues always drain first.
+ */
+class PriorityFcfsScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "priority-fcfs"; }
+
+    std::vector<size_t>
+    selectJobs(const std::vector<SimJob> &pending, const Machine &machine,
+               const std::vector<RunningJob> &running, double now) override;
+};
+
+/**
+ * EASY backfilling (Lifka, the ANL/IBM SP scheduling system): the
+ * queue head receives a reservation at the earliest time enough
+ * processors will be free (computed from user estimates); any later
+ * job may start immediately if it fits in the currently free
+ * processors and would not delay that reservation — either it finishes
+ * (by its estimate) before the reservation time, or it only uses
+ * processors the reservation does not need.
+ *
+ * Ordering between pending jobs follows (priority, submission) like
+ * PriorityFcfsScheduler, so multi-queue priority and backfill compose.
+ */
+class EasyBackfillScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "easy-backfill"; }
+
+    std::vector<size_t>
+    selectJobs(const std::vector<SimJob> &pending, const Machine &machine,
+               const std::vector<RunningJob> &running, double now) override;
+};
+
+/**
+ * Conservative backfilling: *every* pending job (in priority order)
+ * receives a reservation at the earliest time a processor-availability
+ * profile shows room for it; a job starts now exactly when its
+ * reservation lands at the current time. Unlike EASY, a backfill can
+ * never delay *any* queued job's reservation, not just the head's —
+ * the trade-off is fewer backfilling opportunities and typically lower
+ * utilization.
+ */
+class ConservativeBackfillScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "conservative-backfill"; }
+
+    std::vector<size_t>
+    selectJobs(const std::vector<SimJob> &pending, const Machine &machine,
+               const std::vector<RunningJob> &running, double now) override;
+};
+
+/**
+ * Factory: "fcfs", "priority-fcfs", "easy-backfill", or
+ * "conservative-backfill".
+ */
+std::unique_ptr<Scheduler> makeScheduler(const std::string &policy);
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_BATCH_SCHEDULER_HH

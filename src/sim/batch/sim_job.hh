@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Job representation inside the space-shared machine simulator.
+ */
+
+#ifndef QDEL_SIM_BATCH_SIM_JOB_HH
+#define QDEL_SIM_BATCH_SIM_JOB_HH
+
+#include <string>
+
+namespace qdel {
+namespace sim {
+
+/**
+ * One job flowing through the simulated machine. The simulator fills
+ * startTime; everything else is input.
+ */
+struct SimJob
+{
+    long long id = 0;              //!< Unique, ascending with submission.
+    double submitTime = 0.0;       //!< Arrival at the scheduler.
+    int procs = 1;                 //!< Dedicated processors required.
+    double runSeconds = 0.0;       //!< Actual execution duration.
+    double estimateSeconds = 0.0;  //!< User-supplied runtime estimate
+                                   //!< (schedulers plan with this, never
+                                   //!< with runSeconds).
+    std::string queue;             //!< Queue the job was submitted to.
+    int priority = 0;              //!< Queue priority; higher is sooner.
+
+    double startTime = -1.0;       //!< Filled by the simulator.
+
+    /** Queuing delay once simulated; only valid after completion. */
+    double waitSeconds() const { return startTime - submitTime; }
+};
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_BATCH_SIM_JOB_HH

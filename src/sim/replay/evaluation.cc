@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Implementation of the experiment helpers.
+ */
+
+#include "sim/replay/evaluation.hh"
+
+#include "core/bmbp_predictor.hh"
+#include "core/lognormal_predictor.hh"
+
+namespace qdel {
+namespace sim {
+
+EvaluationCell
+evaluateTrace(const trace::Trace &t, const std::string &method,
+              const core::PredictorOptions &options,
+              const ReplayConfig &config)
+{
+    auto predictor = core::makePredictor(method, options);
+    ReplaySimulator simulator(config);
+    const ReplayResult outcome = simulator.run(t, *predictor);
+
+    EvaluationCell cell;
+    cell.jobs = t.size();
+    cell.evaluated = outcome.evaluatedJobs;
+    cell.correctFraction = outcome.correctFraction;
+    cell.medianRatio = outcome.medianRatio;
+    if (auto *bmbp = dynamic_cast<core::BmbpPredictor *>(predictor.get()))
+        cell.trims = bmbp->trimCount();
+    else if (auto *logn =
+                 dynamic_cast<core::LogNormalPredictor *>(predictor.get()))
+        cell.trims = logn->trimCount();
+    return cell;
+}
+
+std::vector<EvaluationCell>
+evaluateByProcRange(const trace::Trace &t, const std::string &method,
+                    const core::PredictorOptions &options,
+                    const ReplayConfig &config, size_t min_jobs)
+{
+    std::vector<EvaluationCell> cells;
+    const trace::ProcRange *ranges = trace::paperProcRanges();
+    for (int r = 0; r < trace::paperProcRangeCount(); ++r) {
+        const trace::Trace sub = t.filterByProcRange(ranges[r]);
+        if (sub.size() < min_jobs) {
+            EvaluationCell cell;
+            cell.jobs = sub.size();
+            cells.push_back(cell);
+            continue;
+        }
+        cells.push_back(evaluateTrace(sub, method, options, config));
+    }
+    return cells;
+}
+
+} // namespace sim
+} // namespace qdel

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * One-call experiment helpers shared by the bench harness, the tests,
+ * and the examples: evaluate a prediction method over a trace (or over
+ * a trace subdivided by processor-count range) and return the paper's
+ * table cells (correct fraction, median actual/predicted ratio).
+ */
+
+#ifndef QDEL_SIM_REPLAY_EVALUATION_HH
+#define QDEL_SIM_REPLAY_EVALUATION_HH
+
+#include <string>
+
+#include "core/predictor_factory.hh"
+#include "sim/replay/replay_simulator.hh"
+#include "trace/trace.hh"
+
+namespace qdel {
+namespace sim {
+
+/** One cell of a paper results table. */
+struct EvaluationCell
+{
+    size_t jobs = 0;              //!< Jobs in the (sub)trace.
+    size_t evaluated = 0;         //!< Scored predictions.
+    double correctFraction = 0.0; //!< Paper Tables 3 and 5-7.
+    double medianRatio = 0.0;     //!< Paper Table 4.
+    size_t trims = 0;             //!< Change points detected (if any).
+
+    /** @return true when the method met its advertised quantile. */
+    bool
+    correct(double quantile) const
+    {
+        // Round to two decimals the way the paper's tables do, so a
+        // cell printing as "0.95" is not asterisked.
+        const double rounded =
+            static_cast<double>(
+                static_cast<long long>(correctFraction * 100.0 + 0.5)) /
+            100.0;
+        return rounded >= quantile;
+    }
+};
+
+/**
+ * Replay @p t against a factory-built predictor.
+ *
+ * @param t       Trace (sorted by submission).
+ * @param method  Factory name: "bmbp", "lognormal", "lognormal-trim", ...
+ * @param options Quantile/confidence and shared rare-event table.
+ * @param config  Replay epoch/training parameters.
+ */
+EvaluationCell evaluateTrace(const trace::Trace &t,
+                             const std::string &method,
+                             const core::PredictorOptions &options,
+                             const ReplayConfig &config = {});
+
+/**
+ * Paper Section 6.2: subdivide @p t by the four Table-5 processor
+ * ranges and evaluate each subdivision independently. Subdivisions
+ * with fewer than @p min_jobs jobs are returned with jobs set but
+ * evaluated == 0 (the paper prints "-" for those cells).
+ */
+std::vector<EvaluationCell>
+evaluateByProcRange(const trace::Trace &t, const std::string &method,
+                    const core::PredictorOptions &options,
+                    const ReplayConfig &config = {},
+                    size_t min_jobs = 1000);
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_REPLAY_EVALUATION_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Trace-replay, event-driven evaluation simulator (paper Section 5.1).
+ *
+ * Replays a job trace against a Predictor under the exact information
+ * constraints of a live deployment:
+ *  - a job's wait time enters the predictor's history only when the
+ *    job is released for execution (submit + wait), never earlier;
+ *  - the prediction given to an arriving job is the value computed at
+ *    the last refit epoch (default: every 300 virtual seconds,
+ *    modeling periodic batch-queue "dumps"; epoch 0 refits before
+ *    every arrival);
+ *  - the first trainFraction of jobs (default 10%) only warms up the
+ *    history and is not scored.
+ *
+ * For each scored job the simulator records success (prediction >=
+ * actual wait, the paper's correctness criterion) and the ratio
+ * actual/predicted whose median is the paper's accuracy measure
+ * (Table 4).
+ */
+
+#ifndef QDEL_SIM_REPLAY_REPLAY_SIMULATOR_HH
+#define QDEL_SIM_REPLAY_REPLAY_SIMULATOR_HH
+
+#include <vector>
+
+#include "core/predictor.hh"
+#include "trace/trace.hh"
+
+namespace qdel {
+namespace sim {
+
+/** Replay parameters (paper defaults). */
+struct ReplayConfig
+{
+    double epochSeconds = 300.0;   //!< Refit period; 0 = refit per job.
+    double trainFraction = 0.10;   //!< Unscored warm-up prefix.
+};
+
+/** A sampled point of the prediction time series (for the figures). */
+struct SeriesPoint
+{
+    double time = 0.0;   //!< Virtual time of the sample.
+    double value = 0.0;  //!< Upper bound in force at that time.
+};
+
+/** A multi-quantile snapshot row (paper Table 8). */
+struct QuantileSnapshot
+{
+    double time = 0.0;            //!< Virtual time of the snapshot.
+    std::vector<double> values;   //!< One bound per requested quantile.
+};
+
+/** Optional instrumentation of a replay run. */
+struct ReplayProbe
+{
+    /** Record the in-force bound at every refit inside [begin, end). */
+    bool captureSeries = false;
+    double seriesBegin = 0.0;
+    double seriesEnd = 0.0;
+
+    /**
+     * Also capture multi-quantile snapshots every snapshotInterval
+     * seconds inside the window. Entries are (quantile, upper?) pairs,
+     * evaluated through Predictor::boundAt().
+     */
+    std::vector<std::pair<double, bool>> snapshotQuantiles;
+    double snapshotInterval = 7200.0;
+};
+
+/** Results of one replay run. */
+struct ReplayResult
+{
+    size_t totalJobs = 0;       //!< Jobs in the trace.
+    size_t trainingJobs = 0;    //!< Unscored warm-up jobs.
+    size_t evaluatedJobs = 0;   //!< Scored predictions.
+    size_t correct = 0;         //!< Predictions >= actual wait.
+    size_t infinitePredictions = 0; //!< Scored jobs given no finite bound
+                                    //!< (counted correct, ratio skipped).
+
+    /** Fraction of scored predictions that were correct. */
+    double correctFraction = 0.0;
+
+    /** Median of actual/predicted over scored finite predictions. */
+    double medianRatio = 0.0;
+
+    /** Captured bound series (when the probe asked for it). */
+    std::vector<SeriesPoint> series;
+
+    /** Captured quantile snapshots (when the probe asked for them). */
+    std::vector<QuantileSnapshot> snapshots;
+};
+
+/** See file comment. */
+class ReplaySimulator
+{
+  public:
+    explicit ReplaySimulator(ReplayConfig config = {});
+
+    /**
+     * Replay @p t against @p predictor.
+     *
+     * @param t         Trace sorted by submission time (fatal() if not).
+     * @param predictor Freshly constructed predictor (the simulator
+     *                  owns its lifecycle calls, not its lifetime).
+     * @param probe     Optional instrumentation.
+     */
+    ReplayResult run(const trace::Trace &t, core::Predictor &predictor,
+                     const ReplayProbe &probe = {}) const;
+
+  private:
+    ReplayConfig config_;
+};
+
+} // namespace sim
+} // namespace qdel
+
+#endif // QDEL_SIM_REPLAY_REPLAY_SIMULATOR_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Implementation of the AR(1) log-normal process.
+ */
+
+#include "stats/ar1.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace qdel {
+namespace stats {
+
+Ar1LogNormalProcess::Ar1LogNormalProcess(double mu, double sigma, double rho,
+                                         Rng rng)
+    : mu_(mu), sigma_(sigma), rho_(rho),
+      innovationScale_(std::sqrt(1.0 - rho * rho)), z_(0.0),
+      rng_(rng)
+{
+    if (!(sigma > 0.0))
+        panic("Ar1LogNormalProcess: sigma must be positive, got ", sigma);
+    if (rho < 0.0 || rho >= 1.0)
+        panic("Ar1LogNormalProcess: rho must lie in [0,1), got ", rho);
+    reset();
+}
+
+double
+Ar1LogNormalProcess::next()
+{
+    z_ = rho_ * z_ + innovationScale_ * rng_.normal();
+    return std::exp(mu_ + sigma_ * z_);
+}
+
+void
+Ar1LogNormalProcess::reset()
+{
+    // Stationary initial draw: z_0 ~ N(0, 1).
+    z_ = rng_.normal();
+}
+
+void
+Ar1LogNormalProcess::setMarginal(double mu, double sigma)
+{
+    if (!(sigma > 0.0))
+        panic("Ar1LogNormalProcess::setMarginal: sigma must be positive");
+    mu_ = mu;
+    sigma_ = sigma;
+}
+
+} // namespace stats
+} // namespace qdel

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * AR(1)-driven log-normal process generator.
+ *
+ * The paper's rare-event calibration (Section 4.1, "Nonstationarity")
+ * runs Monte Carlo simulations of log-normal series "with various
+ * values of first autocorrelation" to decide how many consecutive
+ * above-bound observations constitute a change point. The workload
+ * synthesizer reuses the same process to give the synthetic queues
+ * realistic short-range dependence.
+ */
+
+#ifndef QDEL_STATS_AR1_HH
+#define QDEL_STATS_AR1_HH
+
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace stats {
+
+/**
+ * Stationary Gaussian AR(1) latent process exponentiated into a
+ * log-normal marginal:
+ *
+ *   z_t = rho z_{t-1} + sqrt(1 - rho^2) e_t,   e_t ~ N(0, 1)
+ *   x_t = exp(mu + sigma z_t)
+ *
+ * The latent z_t has unit marginal variance for every rho, so the
+ * marginal distribution of x_t is LogNormal(mu, sigma) regardless of
+ * the autocorrelation — exactly the knob the rare-event calibration
+ * needs to twist.
+ */
+class Ar1LogNormalProcess
+{
+  public:
+    /**
+     * @param mu    Log-scale location of the marginal.
+     * @param sigma Log-scale spread of the marginal, sigma > 0.
+     * @param rho   Lag-1 autocorrelation of the latent process,
+     *              in [0, 1).
+     * @param rng   Seeded generator (moved in / copied).
+     */
+    Ar1LogNormalProcess(double mu, double sigma, double rho, Rng rng);
+
+    /** Draw the next value of the process. */
+    double next();
+
+    /** Current latent state (unit-variance scale). */
+    double latent() const { return z_; }
+
+    /** Reset the latent state to a fresh stationary draw. */
+    void reset();
+
+    /** Re-target the marginal (used for regime changes mid-series). */
+    void setMarginal(double mu, double sigma);
+
+    /** Lag-1 autocorrelation of the latent chain. */
+    double rho() const { return rho_; }
+
+  private:
+    double mu_;
+    double sigma_;
+    double rho_;
+    double innovationScale_;
+    double z_;
+    Rng rng_;
+};
+
+} // namespace stats
+} // namespace qdel
+
+#endif // QDEL_STATS_AR1_HH

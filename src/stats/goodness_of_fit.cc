@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Implementation of the Kolmogorov-Smirnov test.
+ */
+
+#include "stats/goodness_of_fit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace qdel {
+namespace stats {
+
+double
+kolmogorovSurvival(double lambda)
+{
+    if (lambda <= 0.0)
+        return 1.0;
+    double total = 0.0;
+    double sign = 1.0;
+    for (int k = 1; k <= 100; ++k) {
+        const double term =
+            sign * std::exp(-2.0 * k * k * lambda * lambda);
+        total += term;
+        sign = -sign;
+        if (std::fabs(term) < 1e-12)
+            break;
+    }
+    return std::clamp(2.0 * total, 0.0, 1.0);
+}
+
+KsResult
+ksTest(std::vector<double> sample,
+       const std::function<double(double)> &cdf)
+{
+    if (sample.empty())
+        panic("ksTest: empty sample");
+    std::sort(sample.begin(), sample.end());
+
+    const double n = static_cast<double>(sample.size());
+    double d = 0.0;
+    for (size_t i = 0; i < sample.size(); ++i) {
+        const double f = cdf(sample[i]);
+        const double upper = (static_cast<double>(i) + 1.0) / n - f;
+        const double lower = f - static_cast<double>(i) / n;
+        d = std::max({d, upper, lower});
+    }
+
+    KsResult result;
+    result.statistic = d;
+    result.n = sample.size();
+    // Stephens' small-sample correction for the asymptotic law.
+    const double sqrt_n = std::sqrt(n);
+    const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    result.pValue = kolmogorovSurvival(lambda);
+    return result;
+}
+
+} // namespace stats
+} // namespace qdel

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Kolmogorov-Smirnov goodness-of-fit machinery.
+ *
+ * Used by the test suite to validate that the workload synthesizer's
+ * marginals match their calibrated analytic mixtures, and exposed
+ * publicly so users can check (as the paper's Section 4.2 discussion
+ * invites) whether a real queue's wait times are remotely log-normal
+ * before trusting a parametric predictor.
+ */
+
+#ifndef QDEL_STATS_GOODNESS_OF_FIT_HH
+#define QDEL_STATS_GOODNESS_OF_FIT_HH
+
+#include <functional>
+#include <vector>
+
+namespace qdel {
+namespace stats {
+
+/** Result of a Kolmogorov-Smirnov one-sample test. */
+struct KsResult
+{
+    double statistic = 0.0;  //!< D_n = sup |F_n(x) - F(x)|.
+    double pValue = 1.0;     //!< Asymptotic (Stephens-corrected).
+    size_t n = 0;            //!< Sample size.
+};
+
+/**
+ * One-sample KS test of @p sample against the continuous CDF @p cdf.
+ *
+ * @param sample Observations (copied and sorted internally).
+ * @param cdf    Hypothesized cumulative distribution function.
+ */
+KsResult ksTest(std::vector<double> sample,
+                const std::function<double(double)> &cdf);
+
+/**
+ * Survival function of the Kolmogorov distribution:
+ * Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+ */
+double kolmogorovSurvival(double lambda);
+
+} // namespace stats
+} // namespace qdel
+
+#endif // QDEL_STATS_GOODNESS_OF_FIT_HH

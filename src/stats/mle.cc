@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Implementation of the MLE fitters.
+ */
+
+#include "stats/mle.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace stats {
+
+NormalFit
+fitNormal(const std::vector<double> &sample)
+{
+    if (sample.size() < 2)
+        panic("fitNormal: need at least 2 observations, got ",
+              sample.size());
+    NormalFit fit;
+    fit.count = sample.size();
+    fit.mu = mean(sample);
+    fit.sigma = stddev(sample);
+    return fit;
+}
+
+NormalFit
+fitLogNormal(const std::vector<double> &sample, double epsilon)
+{
+    if (sample.size() < 2)
+        panic("fitLogNormal: need at least 2 observations, got ",
+              sample.size());
+    RunningMoments moments;
+    for (double x : sample)
+        moments.push(std::log(std::max(x, epsilon)));
+    NormalFit fit;
+    fit.count = moments.count();
+    fit.mu = moments.mean();
+    fit.sigma = moments.sd();
+    return fit;
+}
+
+LogNormalDist
+toLogNormal(const NormalFit &fit)
+{
+    return LogNormalDist(fit.mu, std::max(fit.sigma, 1e-9));
+}
+
+} // namespace stats
+} // namespace qdel

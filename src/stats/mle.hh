@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Maximum-likelihood parameter fitters used by the parametric baseline
+ * predictor and by the workload calibration code.
+ */
+
+#ifndef QDEL_STATS_MLE_HH
+#define QDEL_STATS_MLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/distributions.hh"
+
+namespace qdel {
+namespace stats {
+
+/** Result of a normal fit: (mu, sigma) with sigma the n-1 estimate. */
+struct NormalFit
+{
+    double mu = 0.0;     //!< Sample mean.
+    double sigma = 0.0;  //!< Sample standard deviation (n-1).
+    size_t count = 0;    //!< Observations used.
+};
+
+/**
+ * Fit a normal distribution by MLE (mean) with the unbiased variance
+ * estimate, as used for tolerance-bound construction.
+ * Requires at least two observations.
+ */
+NormalFit fitNormal(const std::vector<double> &sample);
+
+/**
+ * Fit a log-normal distribution: a normal fit on log(x).
+ * Non-positive observations are shifted by @p epsilon (queue wait times
+ * of zero seconds occur in the traces; the paper's log transform needs
+ * strictly positive data).
+ *
+ * @param sample  Raw (not log) observations.
+ * @param epsilon Additive floor applied to observations below it.
+ */
+NormalFit fitLogNormal(const std::vector<double> &sample,
+                       double epsilon = 1.0);
+
+/** Construct the distribution object corresponding to a log fit. */
+LogNormalDist toLogNormal(const NormalFit &fit);
+
+} // namespace stats
+} // namespace qdel
+
+#endif // QDEL_STATS_MLE_HH

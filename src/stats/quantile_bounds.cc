@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Implementation of the binomial quantile-bound index computations.
+ */
+
+#include "stats/quantile_bounds.hh"
+
+#include <cmath>
+
+#include "stats/special_functions.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace stats {
+
+namespace {
+
+void
+checkArgs(size_t n, double q, double confidence)
+{
+    if (n < 1)
+        panic("quantile bound: empty sample");
+    if (!(q > 0.0) || !(q < 1.0))
+        panic("quantile bound: q must lie in (0,1), got ", q);
+    if (!(confidence > 0.0) || !(confidence < 1.0))
+        panic("quantile bound: confidence must lie in (0,1), got ",
+              confidence);
+}
+
+} // namespace
+
+BoundIndex
+upperBoundIndexExact(size_t n, double q, double confidence)
+{
+    checkArgs(n, q, confidence);
+    const long long nn = static_cast<long long>(n);
+
+    // P[x_(k) > X_q] = P[Bin(n, q) <= k-1], nondecreasing in k.
+    // Feasibility at k = n: 1 - q^n >= C.
+    if (binomialCdf(nn - 1, nn, q) < confidence)
+        return std::nullopt;
+
+    size_t lo = 1, hi = n;  // invariant: hi feasible
+    while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (binomialCdf(static_cast<long long>(mid) - 1, nn, q) >=
+            confidence) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return hi;
+}
+
+BoundIndex
+lowerBoundIndexExact(size_t n, double q, double confidence)
+{
+    checkArgs(n, q, confidence);
+    const long long nn = static_cast<long long>(n);
+
+    // P[x_(k) < X_q] = P[Bin(n, q) >= k] = 1 - P[Bin(n, q) <= k-1],
+    // nonincreasing in k. Feasibility at k = 1: 1 - (1-q)^n >= C.
+    if (1.0 - binomialCdf(0, nn, q) < confidence)
+        return std::nullopt;
+
+    size_t lo = 1, hi = n;  // invariant: lo feasible
+    while (lo < hi) {
+        const size_t mid = lo + (hi - lo + 1) / 2;
+        if (1.0 - binomialCdf(static_cast<long long>(mid) - 1, nn, q) >=
+            confidence) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return lo;
+}
+
+bool
+normalApproximationValid(size_t n, double q)
+{
+    const double dn = static_cast<double>(n);
+    return dn * q >= 10.0 && dn * (1.0 - q) >= 10.0;
+}
+
+BoundIndex
+upperBoundIndexApprox(size_t n, double q, double confidence)
+{
+    checkArgs(n, q, confidence);
+    const double dn = static_cast<double>(n);
+    const double z = normalQuantile(confidence);
+    const double raw = dn * q + z * std::sqrt(dn * q * (1.0 - q));
+    const double k = std::ceil(raw);
+    if (k < 1.0)
+        return static_cast<size_t>(1);
+    if (k > dn) {
+        // The approximation ran off the end of the sample; defer to the
+        // exact criterion so the bound stays honest.
+        return upperBoundIndexExact(n, q, confidence);
+    }
+    return static_cast<size_t>(k);
+}
+
+BoundIndex
+lowerBoundIndexApprox(size_t n, double q, double confidence)
+{
+    checkArgs(n, q, confidence);
+    const double dn = static_cast<double>(n);
+    const double z = normalQuantile(confidence);
+    const double raw = dn * q - z * std::sqrt(dn * q * (1.0 - q));
+    const double k = std::floor(raw);
+    if (k > dn)
+        return n;
+    if (k < 1.0)
+        return lowerBoundIndexExact(n, q, confidence);
+    return static_cast<size_t>(k);
+}
+
+BoundIndex
+upperBoundIndex(size_t n, double q, double confidence)
+{
+    if (normalApproximationValid(n, q))
+        return upperBoundIndexApprox(n, q, confidence);
+    return upperBoundIndexExact(n, q, confidence);
+}
+
+BoundIndex
+lowerBoundIndex(size_t n, double q, double confidence)
+{
+    if (normalApproximationValid(n, q))
+        return lowerBoundIndexApprox(n, q, confidence);
+    return lowerBoundIndexExact(n, q, confidence);
+}
+
+size_t
+minimumSampleSize(double q, double confidence)
+{
+    if (!(q > 0.0) || !(q < 1.0) || !(confidence > 0.0) ||
+        !(confidence < 1.0)) {
+        panic("minimumSampleSize: q and confidence must lie in (0,1)");
+    }
+    // Smallest n with 1 - q^n >= C  <=>  n >= log(1-C) / log(q).
+    const double n = std::log(1.0 - confidence) / std::log(q);
+    size_t candidate = static_cast<size_t>(std::ceil(n - 1e-12));
+    if (candidate < 1)
+        candidate = 1;
+    // Guard against floating point edge cases by verifying directly.
+    while (1.0 - std::pow(q, static_cast<double>(candidate)) < confidence)
+        ++candidate;
+    while (candidate > 1 &&
+           1.0 - std::pow(q, static_cast<double>(candidate - 1)) >=
+               confidence) {
+        --candidate;
+    }
+    return candidate;
+}
+
+} // namespace stats
+} // namespace qdel

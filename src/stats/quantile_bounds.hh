@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The binomial order-statistic machinery at the heart of BMBP
+ * (paper Section 4.1 and Appendix).
+ *
+ * Given n i.i.d. observations of a random variable X, the number of
+ * observations at or below the q quantile X_q is Binomial(n, q).
+ * Therefore the k-th order statistic x_(k) (1-based) exceeds X_q with
+ * a priori probability P[Bin(n, q) <= k-1], and choosing the smallest k
+ * for which that probability reaches the confidence level C makes
+ * x_(k) an exact, distribution-free level-C upper confidence bound
+ * for X_q. Symmetrically for lower bounds.
+ */
+
+#ifndef QDEL_STATS_QUANTILE_BOUNDS_HH
+#define QDEL_STATS_QUANTILE_BOUNDS_HH
+
+#include <cstddef>
+#include <optional>
+
+namespace qdel {
+namespace stats {
+
+/**
+ * 1-based order-statistic index realizing a confidence bound, or
+ * std::nullopt when no order statistic of an n-sample achieves the
+ * requested confidence (sample too small).
+ */
+using BoundIndex = std::optional<size_t>;
+
+/**
+ * Smallest 1-based k such that x_(k) is a level-@p confidence upper
+ * confidence bound for the @p q quantile of the sampled population,
+ * computed exactly from the binomial CDF.
+ *
+ * @param n          Sample size (n >= 1).
+ * @param q          Quantile of interest in (0, 1).
+ * @param confidence Confidence level in (0, 1).
+ * @return k in [1, n], or std::nullopt when even k = n is insufficient.
+ */
+BoundIndex upperBoundIndexExact(size_t n, double q, double confidence);
+
+/**
+ * Largest 1-based k such that x_(k) is a level-@p confidence lower
+ * confidence bound for the @p q quantile.
+ *
+ * @return k in [1, n], or std::nullopt when even k = 1 is insufficient.
+ */
+BoundIndex lowerBoundIndexExact(size_t n, double q, double confidence);
+
+/**
+ * Normal-approximation version of upperBoundIndexExact (paper Appendix):
+ * k = ceil(n q + z_C sqrt(n q (1-q))), clamped to [1, n]. The paper uses
+ * this when both expected successes and failures are at least 10; the
+ * same guard is exposed via normalApproximationValid().
+ */
+BoundIndex upperBoundIndexApprox(size_t n, double q, double confidence);
+
+/** Normal-approximation lower-bound index (floor, symmetric). */
+BoundIndex lowerBoundIndexApprox(size_t n, double q, double confidence);
+
+/** @return true when n q >= 10 and n (1 - q) >= 10. */
+bool normalApproximationValid(size_t n, double q);
+
+/**
+ * Hybrid index selection as deployed in BMBP: the exact binomial search
+ * when the sample is small (or the approximation guard fails), the
+ * O(1) normal approximation otherwise.
+ */
+BoundIndex upperBoundIndex(size_t n, double q, double confidence);
+
+/** Hybrid lower-bound index. */
+BoundIndex lowerBoundIndex(size_t n, double q, double confidence);
+
+/**
+ * Minimum sample size from which a level-@p confidence upper bound on
+ * the @p q quantile can be produced at all: the smallest n with
+ * 1 - q^n >= confidence. For q = C = 0.95 this is the paper's n = 59 —
+ * the history length BMBP trims to after a detected change point.
+ */
+size_t minimumSampleSize(double q, double confidence);
+
+} // namespace stats
+} // namespace qdel
+
+#endif // QDEL_STATS_QUANTILE_BOUNDS_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Implementation of the deterministic RNG.
+ */
+
+#include "stats/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace qdel {
+namespace stats {
+
+namespace {
+
+/** splitmix64 step, used to expand a single seed into generator state. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+    : cachedNormal_(0.0), hasCachedNormal_(false)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+long long
+Rng::uniformInt(long long lo, long long hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: empty range [", lo, ", ", hi, "]");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // Rejection sampling to remove modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t value;
+    do {
+        value = next();
+    } while (value >= limit);
+    return lo + static_cast<long long>(value % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cachedNormal_ = v * factor;
+    hasCachedNormal_ = true;
+    return u * factor;
+}
+
+double
+Rng::normal(double mean, double sd)
+{
+    return mean + sd * normal();
+}
+
+double
+Rng::exponential(double rate)
+{
+    if (!(rate > 0.0))
+        panic("Rng::exponential: rate must be positive, got ", rate);
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::weibull(double shape, double scale)
+{
+    if (!(shape > 0.0) || !(scale > 0.0))
+        panic("Rng::weibull: non-positive parameter");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    if (!(xm > 0.0) || !(alpha > 0.0))
+        panic("Rng::pareto: non-positive parameter");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return xm * std::pow(u, -1.0 / alpha);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+int
+Rng::categorical(const double *weights, int n)
+{
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        if (weights[i] < 0.0)
+            panic("Rng::categorical: negative weight at index ", i);
+        total += weights[i];
+    }
+    if (!(total > 0.0))
+        panic("Rng::categorical: weights sum to zero");
+    double target = uniform() * total;
+    for (int i = 0; i < n; ++i) {
+        target -= weights[i];
+        if (target < 0.0)
+            return i;
+    }
+    return n - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace stats
+} // namespace qdel

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic random number generation for the workload synthesizer,
+ * the Monte Carlo rare-event table builder, and the test suite.
+ *
+ * We deliberately avoid std::normal_distribution and friends: their
+ * output sequences are implementation-defined, which would make traces
+ * and test expectations non-portable. Rng produces identical streams on
+ * every platform for a given seed.
+ */
+
+#ifndef QDEL_STATS_RNG_HH
+#define QDEL_STATS_RNG_HH
+
+#include <cstdint>
+
+namespace qdel {
+namespace stats {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding plus hand-rolled
+ * samplers for the distributions the library needs.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same stream forever. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    long long uniformInt(long long lo, long long hi);
+
+    /** Standard normal deviate (Marsaglia polar method). */
+    double normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double sd);
+
+    /** Exponential deviate with the given rate (mean 1/rate). */
+    double exponential(double rate);
+
+    /** Log-normal deviate: exp(Normal(mu, sigma)). */
+    double logNormal(double mu, double sigma);
+
+    /** Weibull deviate with shape k and scale lambda. */
+    double weibull(double shape, double scale);
+
+    /** Pareto (Lomax-free, classic) deviate: xm * U^{-1/alpha}. */
+    double pareto(double xm, double alpha);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Categorical draw: pick an index in [0, n) with probability
+     * proportional to weights[i]; weights need not be normalized.
+     */
+    int categorical(const double *weights, int n);
+
+    /** Split off an independent generator (seeded from this stream). */
+    Rng split();
+
+  private:
+    uint64_t state_[4];
+    double cachedNormal_;
+    bool hasCachedNormal_;
+};
+
+} // namespace stats
+} // namespace qdel
+
+#endif // QDEL_STATS_RNG_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the one-sided normal tolerance factors.
+ */
+
+#include "stats/tolerance.hh"
+
+#include <cmath>
+
+#include "stats/distributions.hh"
+#include "stats/special_functions.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace stats {
+
+namespace {
+
+void
+checkArgs(size_t n, double q, double confidence)
+{
+    if (n < 2)
+        panic("normalToleranceFactor: need n >= 2, got ", n);
+    if (!(q > 0.0) || !(q < 1.0))
+        panic("normalToleranceFactor: q must lie in (0,1), got ", q);
+    if (!(confidence > 0.0) || !(confidence < 1.0))
+        panic("normalToleranceFactor: confidence must lie in (0,1)");
+}
+
+} // namespace
+
+double
+normalToleranceFactorExact(size_t n, double q, double confidence)
+{
+    checkArgs(n, q, confidence);
+    const double dn = static_cast<double>(n);
+    const double ncp = normalQuantile(q) * std::sqrt(dn);
+    NoncentralTDist nct(dn - 1.0, ncp);
+    return nct.quantile(confidence) / std::sqrt(dn);
+}
+
+double
+normalToleranceFactorApprox(size_t n, double q, double confidence)
+{
+    checkArgs(n, q, confidence);
+    const double dn = static_cast<double>(n);
+    const double zq = normalQuantile(q);
+    const double zc = normalQuantile(confidence);
+    const double a = 1.0 - zc * zc / (2.0 * (dn - 1.0));
+    const double b = zq * zq - zc * zc / dn;
+    double discriminant = zq * zq - a * b;
+    if (discriminant < 0.0)
+        discriminant = 0.0;
+    if (a <= 0.0) {
+        // Pathologically small n for the requested confidence; fall back
+        // to the exact computation rather than produce nonsense.
+        return normalToleranceFactorExact(n, q, confidence);
+    }
+    return (zq + std::sqrt(discriminant)) / a;
+}
+
+double
+normalToleranceFactor(size_t n, double q, double confidence)
+{
+    checkArgs(n, q, confidence);
+    if (n <= 300)
+        return normalToleranceFactorExact(n, q, confidence);
+    return normalToleranceFactorApprox(n, q, confidence);
+}
+
+} // namespace stats
+} // namespace qdel

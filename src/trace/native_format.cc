@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the native trace format.
+ */
+
+#include "trace/native_format.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace qdel {
+namespace trace {
+
+Trace
+parseNativeTrace(std::istream &in, const std::string &name)
+{
+    Trace t;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string_view body = trim(line);
+        if (body.empty() || body.front() == '#')
+            continue;
+        auto fields = splitWhitespace(body);
+        if (fields.size() < 2) {
+            fatal(name, ":", lineno,
+                  ": native trace lines need at least <submit> <wait>");
+        }
+        JobRecord job;
+        auto submit = parseDouble(fields[0]);
+        auto wait = parseDouble(fields[1]);
+        if (!submit || !wait)
+            fatal(name, ":", lineno, ": unparseable numeric field");
+        if (*wait < 0.0)
+            fatal(name, ":", lineno, ": negative wait time ", *wait);
+        job.submitTime = *submit;
+        job.waitSeconds = *wait;
+        if (fields.size() >= 3) {
+            auto procs = parseInt(fields[2]);
+            if (!procs || *procs < 1)
+                fatal(name, ":", lineno, ": bad processor count '",
+                      fields[2], "'");
+            job.procs = static_cast<int>(*procs);
+        }
+        if (fields.size() >= 4 && fields[3] != "-")
+            job.queue = fields[3];
+        t.add(std::move(job));
+    }
+    t.sortBySubmitTime();
+    return t;
+}
+
+Trace
+loadNativeTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open native trace file '", path, "'");
+    return parseNativeTrace(in, path);
+}
+
+void
+writeNativeTrace(const Trace &t, std::ostream &out)
+{
+    out << "# site=" << t.site() << " machine=" << t.machine() << "\n";
+    out << "# submit wait procs queue\n";
+    char buf[128];
+    for (const auto &job : t) {
+        std::snprintf(buf, sizeof(buf), "%.0f %.6g %d %s\n", job.submitTime,
+                      job.waitSeconds, job.procs,
+                      job.queue.empty() ? "-" : job.queue.c_str());
+        out << buf;
+    }
+}
+
+void
+saveNativeTrace(const Trace &t, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    writeNativeTrace(t, out);
+}
+
+} // namespace trace
+} // namespace qdel

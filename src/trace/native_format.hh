@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Parser/writer for the "native" trace format the paper's simulator
+ * consumes (Section 5.1): one job per line, whitespace separated,
+ *
+ *   <submit-unix-time> <wait-seconds> [<procs> [<queue>]]
+ *
+ * Lines beginning with '#' and blank lines are ignored. The two
+ * optional columns let the same files drive the Section 6.2
+ * (processor-count) experiments.
+ */
+
+#ifndef QDEL_TRACE_NATIVE_FORMAT_HH
+#define QDEL_TRACE_NATIVE_FORMAT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace qdel {
+namespace trace {
+
+/**
+ * Parse a native-format trace from @p in.
+ *
+ * @param in   Input stream positioned at the start of the data.
+ * @param name Diagnostic name used in error messages.
+ * @return The parsed trace, sorted by submission time.
+ *
+ * Calls fatal() on malformed lines (unparseable fields, negative wait).
+ */
+Trace parseNativeTrace(std::istream &in, const std::string &name = "<in>");
+
+/** Parse a native-format trace from the file at @p path. */
+Trace loadNativeTrace(const std::string &path);
+
+/** Write @p t to @p out in native format (all four columns). */
+void writeNativeTrace(const Trace &t, std::ostream &out);
+
+/** Write @p t to the file at @p path in native format. */
+void saveNativeTrace(const Trace &t, const std::string &path);
+
+} // namespace trace
+} // namespace qdel
+
+#endif // QDEL_TRACE_NATIVE_FORMAT_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parser/writer for the Standard Workload Format (SWF) used by the
+ * Parallel Workloads Archive — the public home of scheduler logs like
+ * the ones the paper evaluates on (SDSC Paragon/SP, LANL O2K, ...).
+ *
+ * SWF is line oriented: comment/header lines start with ';', data
+ * lines hold 18 whitespace-separated fields:
+ *
+ *   1 job number          7 used memory        13 group id
+ *   2 submit time         8 requested procs    14 executable id
+ *   3 wait time           9 requested time     15 queue number
+ *   4 run time           10 requested memory   16 partition number
+ *   5 allocated procs    11 status             17 preceding job
+ *   6 avg cpu time       12 user id            18 think time
+ *
+ * Missing values are -1. We map: submit -> JobRecord::submitTime,
+ * wait -> waitSeconds, run -> runSeconds, requested procs (falling back
+ * to allocated procs) -> procs, and queue number -> queue name "q<N>".
+ */
+
+#ifndef QDEL_TRACE_SWF_FORMAT_HH
+#define QDEL_TRACE_SWF_FORMAT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace qdel {
+namespace trace {
+
+/** Options controlling SWF import. */
+struct SwfParseOptions
+{
+    /** Drop records whose wait time is missing (-1). */
+    bool skipMissingWait = true;
+    /** Drop records with status 0/5 (failed/cancelled) when true. */
+    bool skipFailed = false;
+};
+
+/**
+ * Parse an SWF stream.
+ *
+ * @param in      Input stream.
+ * @param name    Diagnostic name for error messages.
+ * @param options Import options.
+ * @return Parsed trace sorted by submit time.
+ */
+Trace parseSwfTrace(std::istream &in, const std::string &name = "<in>",
+                    const SwfParseOptions &options = {});
+
+/** Parse the SWF file at @p path. */
+Trace loadSwfTrace(const std::string &path,
+                   const SwfParseOptions &options = {});
+
+/**
+ * Write @p t as SWF. Queue names are mapped to numbers in
+ * first-appearance order (and emitted as header comments).
+ */
+void writeSwfTrace(const Trace &t, std::ostream &out);
+
+/** Write @p t as SWF to the file at @p path. */
+void saveSwfTrace(const Trace &t, const std::string &path);
+
+} // namespace trace
+} // namespace qdel
+
+#endif // QDEL_TRACE_SWF_FORMAT_HH

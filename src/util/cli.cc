@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of the command-line flag parser.
+ */
+
+#include "util/cli.hh"
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace qdel {
+
+CommandLine::CommandLine(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // "--key value" form: consume the next token as a value unless it
+        // looks like another option.
+        if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+            options_[body] = argv[i + 1];
+            ++i;
+        } else {
+            options_[body] = "";
+        }
+    }
+}
+
+bool
+CommandLine::has(const std::string &name) const
+{
+    return options_.count(name) > 0;
+}
+
+std::string
+CommandLine::getString(const std::string &name,
+                       const std::string &fallback) const
+{
+    auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+}
+
+long long
+CommandLine::getInt(const std::string &name, long long fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return fallback;
+    auto parsed = parseInt(it->second);
+    if (!parsed)
+        fatal("option --", name, " expects an integer, got '", it->second,
+              "'");
+    return *parsed;
+}
+
+double
+CommandLine::getDouble(const std::string &name, double fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return fallback;
+    auto parsed = parseDouble(it->second);
+    if (!parsed)
+        fatal("option --", name, " expects a number, got '", it->second,
+              "'");
+    return *parsed;
+}
+
+bool
+CommandLine::getBool(const std::string &name, bool fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return fallback;
+    if (it->second.empty())
+        return true;
+    std::string value = toLower(it->second);
+    if (value == "1" || value == "true" || value == "yes" || value == "on")
+        return true;
+    if (value == "0" || value == "false" || value == "no" || value == "off")
+        return false;
+    fatal("option --", name, " expects a boolean, got '", it->second, "'");
+}
+
+} // namespace qdel

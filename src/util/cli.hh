@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by the bench harnesses and the
+ * example programs. Supports "--key=value", "--key value", and boolean
+ * "--flag" forms plus free positional arguments.
+ */
+
+#ifndef QDEL_UTIL_CLI_HH
+#define QDEL_UTIL_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qdel {
+
+/**
+ * Parsed command line: named options plus positional arguments.
+ * Unknown options are accepted (callers query only what they know);
+ * option names are stored without the leading dashes.
+ */
+class CommandLine
+{
+  public:
+    /** Parse @p argv (argv[0] is skipped). */
+    CommandLine(int argc, const char *const *argv);
+
+    /** @return true when --name was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String option value or @p fallback. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Integer option value or @p fallback; fatal() on a malformed value. */
+    long long getInt(const std::string &name, long long fallback) const;
+
+    /** Double option value or @p fallback; fatal() on a malformed value. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean flag: present without value, or an explicit true/false. */
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** Positional (non-option) arguments, in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_CLI_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Implementation of the CSV emitter.
+ */
+
+#include "util/csv_writer.hh"
+
+#include <cstdio>
+
+namespace qdel {
+
+CsvWriter::CsvWriter(const std::string &path, char delimiter)
+    : out_(path), delimiter_(delimiter)
+{
+}
+
+std::string
+CsvWriter::escape(const std::string &field) const
+{
+    bool needs_quote = false;
+    for (char c : field) {
+        if (c == delimiter_ || c == '"' || c == '\n' || c == '\r') {
+            needs_quote = true;
+            break;
+        }
+    }
+    if (!needs_quote)
+        return field;
+
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << delimiter_;
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &fields)
+{
+    char buf[64];
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << delimiter_;
+        std::snprintf(buf, sizeof(buf), "%.17g", fields[i]);
+        out_ << buf;
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::flush()
+{
+    out_.flush();
+}
+
+} // namespace qdel

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small CSV/TSV emitter used to dump time series (figures) and experiment
+ * results in a machine-readable form alongside the console tables.
+ */
+
+#ifndef QDEL_UTIL_CSV_WRITER_HH
+#define QDEL_UTIL_CSV_WRITER_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qdel {
+
+/**
+ * Streams rows to a delimited text file. Fields containing the delimiter,
+ * quotes, or newlines are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing.
+     *
+     * @param path      Output file; parent directory must exist.
+     * @param delimiter Field separator (',' for CSV, '\t' for TSV).
+     */
+    explicit CsvWriter(const std::string &path, char delimiter = ',');
+
+    /** @return true when the underlying stream opened successfully. */
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /** Write one row of string fields. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Write one row of numeric fields at full precision. */
+    void writeRow(const std::vector<double> &fields);
+
+    /** Flush the underlying stream. */
+    void flush();
+
+  private:
+    std::string escape(const std::string &field) const;
+
+    std::ofstream out_;
+    char delimiter_;
+};
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_CSV_WRITER_HH

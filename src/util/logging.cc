@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace qdel {
+namespace detail {
+
+namespace {
+
+bool verboseEnabled = false;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    std::cerr << levelTag(level) << ": " << message << std::endl;
+}
+
+void
+logAndDie(LogLevel level, const std::string &message)
+{
+    logMessage(level, message);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseEnabled;
+}
+
+} // namespace detail
+
+void
+setVerboseLogging(bool verbose)
+{
+    detail::setVerbose(verbose);
+}
+
+} // namespace qdel

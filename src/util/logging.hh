@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal status/error reporting helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * Two error paths are distinguished:
+ *  - panic():  an internal invariant was violated (a library bug); aborts.
+ *  - fatal():  the caller/user supplied something unusable (bad file, bad
+ *              parameter); exits with status 1.
+ * Two advisory paths:
+ *  - warn():   something is suspicious but execution can continue.
+ *  - inform(): purely informational progress output.
+ */
+
+#ifndef QDEL_UTIL_LOGGING_HH
+#define QDEL_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace qdel {
+
+/** Severity labels used by the logging helpers. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Emit a formatted log line; terminates the process for Fatal/Panic. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &message);
+
+/** Emit a formatted, non-terminating log line. */
+void logMessage(LogLevel level, const std::string &message);
+
+/** Enable/disable Info-level output (Warn is always printed). */
+void setVerbose(bool verbose);
+
+/** @return true when Info-level output is enabled. */
+bool verbose();
+
+} // namespace detail
+
+/**
+ * Report an informational message to stderr. Suppressed unless verbose
+ * logging has been enabled via setVerboseLogging().
+ */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!detail::verbose())
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    detail::logMessage(LogLevel::Info, os.str());
+}
+
+/** Report a warning to stderr. Never terminates. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::logMessage(LogLevel::Warn, os.str());
+}
+
+/**
+ * Report a user-caused unrecoverable condition (bad input file, invalid
+ * parameter combination) and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::logAndDie(LogLevel::Fatal, os.str());
+}
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort(), so a core dump / debugger break is possible.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::logAndDie(LogLevel::Panic, os.str());
+}
+
+/** Globally enable or disable inform() output. */
+void setVerboseLogging(bool verbose);
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_LOGGING_HH

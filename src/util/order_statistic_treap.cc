@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Implementation of the size-augmented treap.
+ */
+
+#include "util/order_statistic_treap.hh"
+
+#include "util/logging.hh"
+
+namespace qdel {
+
+struct OrderStatisticTreap::Node
+{
+    double value;
+    uint64_t priority;
+    size_t size;
+    Node *left;
+    Node *right;
+
+    Node(double v, uint64_t p)
+        : value(v), priority(p), size(1), left(nullptr), right(nullptr)
+    {
+    }
+};
+
+OrderStatisticTreap::OrderStatisticTreap(uint64_t seed)
+    : root_(nullptr), rngState_(seed ? seed : 0x9e3779b97f4a7c15ull)
+{
+}
+
+OrderStatisticTreap::~OrderStatisticTreap()
+{
+    destroy(root_);
+}
+
+OrderStatisticTreap::OrderStatisticTreap(OrderStatisticTreap &&other) noexcept
+    : root_(other.root_), rngState_(other.rngState_)
+{
+    other.root_ = nullptr;
+}
+
+OrderStatisticTreap &
+OrderStatisticTreap::operator=(OrderStatisticTreap &&other) noexcept
+{
+    if (this != &other) {
+        destroy(root_);
+        root_ = other.root_;
+        rngState_ = other.rngState_;
+        other.root_ = nullptr;
+    }
+    return *this;
+}
+
+uint64_t
+OrderStatisticTreap::nextPriority()
+{
+    // xorshift64* : cheap, good-enough priorities for treap balance.
+    uint64_t x = rngState_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rngState_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+}
+
+size_t
+OrderStatisticTreap::nodeSize(const Node *node)
+{
+    return node ? node->size : 0;
+}
+
+void
+OrderStatisticTreap::update(Node *node)
+{
+    node->size = 1 + nodeSize(node->left) + nodeSize(node->right);
+}
+
+OrderStatisticTreap::Node *
+OrderStatisticTreap::rotateRight(Node *node)
+{
+    Node *pivot = node->left;
+    node->left = pivot->right;
+    pivot->right = node;
+    update(node);
+    update(pivot);
+    return pivot;
+}
+
+OrderStatisticTreap::Node *
+OrderStatisticTreap::rotateLeft(Node *node)
+{
+    Node *pivot = node->right;
+    node->right = pivot->left;
+    pivot->left = node;
+    update(node);
+    update(pivot);
+    return pivot;
+}
+
+OrderStatisticTreap::Node *
+OrderStatisticTreap::insertNode(Node *node, Node *fresh)
+{
+    if (!node)
+        return fresh;
+    if (fresh->value < node->value) {
+        node->left = insertNode(node->left, fresh);
+        update(node);
+        if (node->left->priority > node->priority)
+            node = rotateRight(node);
+    } else {
+        node->right = insertNode(node->right, fresh);
+        update(node);
+        if (node->right->priority > node->priority)
+            node = rotateLeft(node);
+    }
+    return node;
+}
+
+OrderStatisticTreap::Node *
+OrderStatisticTreap::eraseNode(Node *node, double value, bool &erased)
+{
+    if (!node)
+        return nullptr;
+    if (value < node->value) {
+        node->left = eraseNode(node->left, value, erased);
+    } else if (node->value < value) {
+        node->right = eraseNode(node->right, value, erased);
+    } else {
+        // Found a matching node; rotate it down until it is a leaf-ish
+        // node and unlink it.
+        if (!node->left && !node->right) {
+            delete node;
+            erased = true;
+            return nullptr;
+        }
+        if (!node->left ||
+            (node->right && node->right->priority > node->left->priority)) {
+            node = rotateLeft(node);
+            node->left = eraseNode(node->left, value, erased);
+        } else {
+            node = rotateRight(node);
+            node->right = eraseNode(node->right, value, erased);
+        }
+    }
+    update(node);
+    return node;
+}
+
+void
+OrderStatisticTreap::destroy(Node *node)
+{
+    if (!node)
+        return;
+    destroy(node->left);
+    destroy(node->right);
+    delete node;
+}
+
+void
+OrderStatisticTreap::insert(double value)
+{
+    root_ = insertNode(root_, new Node(value, nextPriority()));
+}
+
+bool
+OrderStatisticTreap::erase(double value)
+{
+    bool erased = false;
+    root_ = eraseNode(root_, value, erased);
+    return erased;
+}
+
+double
+OrderStatisticTreap::kth(size_t k) const
+{
+    if (k >= size())
+        panic("OrderStatisticTreap::kth(", k, ") with size ", size());
+    const Node *node = root_;
+    while (true) {
+        const size_t left = nodeSize(node->left);
+        if (k < left) {
+            node = node->left;
+        } else if (k == left) {
+            return node->value;
+        } else {
+            k -= left + 1;
+            node = node->right;
+        }
+    }
+}
+
+size_t
+OrderStatisticTreap::countLess(double value) const
+{
+    size_t count = 0;
+    const Node *node = root_;
+    while (node) {
+        if (node->value < value) {
+            count += nodeSize(node->left) + 1;
+            node = node->right;
+        } else {
+            node = node->left;
+        }
+    }
+    return count;
+}
+
+size_t
+OrderStatisticTreap::countLessEqual(double value) const
+{
+    size_t count = 0;
+    const Node *node = root_;
+    while (node) {
+        if (node->value <= value) {
+            count += nodeSize(node->left) + 1;
+            node = node->right;
+        } else {
+            node = node->left;
+        }
+    }
+    return count;
+}
+
+size_t
+OrderStatisticTreap::size() const
+{
+    return nodeSize(root_);
+}
+
+void
+OrderStatisticTreap::clear()
+{
+    destroy(root_);
+    root_ = nullptr;
+}
+
+} // namespace qdel

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Order-statistic multiset of doubles backed by a treap.
+ *
+ * BMBP needs, over a sliding window of observed wait times, (a) insertion
+ * of new observations, (b) removal of the oldest observation when the
+ * history is trimmed, and (c) selection of the k-th smallest element
+ * (the order statistic that realizes the binomial confidence bound).
+ * A size-augmented treap provides all three in O(log n) expected time,
+ * where a flat sorted vector would pay O(n) per insert/erase.
+ */
+
+#ifndef QDEL_UTIL_ORDER_STATISTIC_TREAP_HH
+#define QDEL_UTIL_ORDER_STATISTIC_TREAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace qdel {
+
+/**
+ * A multiset of doubles with order-statistic queries.
+ *
+ * Duplicate values are allowed and each occupies its own node, so
+ * kth(i) over the full index range enumerates the sorted multiset.
+ * The structure is deterministic for a fixed seed (the node priorities
+ * come from an internal xorshift generator seeded at construction).
+ */
+class OrderStatisticTreap
+{
+  public:
+    /** @param seed Seed for node priorities; fixed default for determinism. */
+    explicit OrderStatisticTreap(uint64_t seed = 0x9e3779b97f4a7c15ull);
+    ~OrderStatisticTreap();
+
+    OrderStatisticTreap(const OrderStatisticTreap &) = delete;
+    OrderStatisticTreap &operator=(const OrderStatisticTreap &) = delete;
+    OrderStatisticTreap(OrderStatisticTreap &&other) noexcept;
+    OrderStatisticTreap &operator=(OrderStatisticTreap &&other) noexcept;
+
+    /** Insert one occurrence of @p value. */
+    void insert(double value);
+
+    /**
+     * Remove one occurrence of @p value.
+     * @return true when an occurrence existed and was removed.
+     */
+    bool erase(double value);
+
+    /**
+     * Select the k-th smallest element (0-based).
+     * @pre k < size(); violated preconditions panic.
+     */
+    double kth(size_t k) const;
+
+    /** Number of stored elements strictly less than @p value. */
+    size_t countLess(double value) const;
+
+    /** Number of stored elements less than or equal to @p value. */
+    size_t countLessEqual(double value) const;
+
+    /** Total number of stored elements. */
+    size_t size() const;
+
+    /** @return true when empty. */
+    bool empty() const { return size() == 0; }
+
+    /** Remove all elements. */
+    void clear();
+
+  private:
+    struct Node;
+
+    uint64_t nextPriority();
+
+    static size_t nodeSize(const Node *node);
+    static Node *rotateLeft(Node *node);
+    static Node *rotateRight(Node *node);
+    static void update(Node *node);
+    Node *insertNode(Node *node, Node *fresh);
+    Node *eraseNode(Node *node, double value, bool &erased);
+    static void destroy(Node *node);
+
+    Node *root_;
+    uint64_t rngState_;
+};
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_ORDER_STATISTIC_TREAP_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Implementation of the string helpers.
+ */
+
+#include "util/string_utils.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace qdel {
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(std::string_view text, char delimiter, bool keep_empty)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t pos = text.find(delimiter, start);
+        if (pos == std::string_view::npos)
+            pos = text.size();
+        std::string_view field = text.substr(start, pos - start);
+        if (keep_empty || !field.empty())
+            fields.emplace_back(field);
+        if (pos == text.size())
+            break;
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view text)
+{
+    std::vector<std::string> fields;
+    size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i]))) {
+            ++i;
+        }
+        size_t start = i;
+        while (i < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[i]))) {
+            ++i;
+        }
+        if (i > start)
+            fields.emplace_back(text.substr(start, i - start));
+    }
+    return fields;
+}
+
+std::optional<long long>
+parseInt(std::string_view text)
+{
+    text = trim(text);
+    if (text.empty())
+        return std::nullopt;
+    long long value = 0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<double>
+parseDouble(std::string_view text)
+{
+    text = trim(text);
+    if (text.empty())
+        return std::nullopt;
+    // std::from_chars for double is available in libstdc++ >= 11.
+    double value = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+formatDuration(double seconds)
+{
+    if (!std::isfinite(seconds))
+        return "inf";
+    if (seconds < 0)
+        return "-" + formatDuration(-seconds);
+
+    char buf[64];
+    const long long total = static_cast<long long>(std::llround(seconds));
+    const long long days = total / 86400;
+    const long long hours = (total % 86400) / 3600;
+    const long long minutes = (total % 3600) / 60;
+    const long long secs = total % 60;
+
+    if (days > 0)
+        std::snprintf(buf, sizeof(buf), "%lldd %lldh", days, hours);
+    else if (hours > 0)
+        std::snprintf(buf, sizeof(buf), "%lldh %lldm", hours, minutes);
+    else if (minutes > 0)
+        std::snprintf(buf, sizeof(buf), "%lldm %llds", minutes, secs);
+    else
+        std::snprintf(buf, sizeof(buf), "%llds", secs);
+    return buf;
+}
+
+} // namespace qdel

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Small string manipulation helpers used by the trace parsers and the
+ * command-line front ends.
+ */
+
+#ifndef QDEL_UTIL_STRING_UTILS_HH
+#define QDEL_UTIL_STRING_UTILS_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qdel {
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/**
+ * Split @p text on @p delimiter.
+ *
+ * @param text       Input text.
+ * @param delimiter  Single split character.
+ * @param keep_empty When false, empty fields are dropped (useful for
+ *                   whitespace-separated formats with runs of spaces).
+ * @return The list of fields, each unowned-to-owned copied into a string.
+ */
+std::vector<std::string> split(std::string_view text, char delimiter,
+                               bool keep_empty = true);
+
+/** Split on arbitrary runs of whitespace, dropping empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** Parse a decimal integer; std::nullopt on any trailing garbage. */
+std::optional<long long> parseInt(std::string_view text);
+
+/** Parse a floating point value; std::nullopt on any trailing garbage. */
+std::optional<double> parseDouble(std::string_view text);
+
+/** @return true when @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+/**
+ * Render seconds as a compact human-readable duration, e.g. "2d 3h",
+ * "14m 5s", "12s". Used by the example programs when presenting bounds.
+ */
+std::string formatDuration(double seconds);
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_STRING_UTILS_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Implementation of the console table renderer.
+ */
+
+#include "util/table_printer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace qdel {
+
+TablePrinter::TablePrinter(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    if (!rows_.empty())
+        panic("TablePrinter: header set after rows were added");
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        panic("TablePrinter: row width ", row.size(),
+              " does not match header width ", header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            for (size_t pad = row[c].size(); pad < widths[c]; ++pad)
+                os << ' ';
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    size_t total = 1;
+    for (size_t w : widths)
+        total += w + 3;
+
+    os << "\n" << title_ << "\n";
+    os << std::string(total, '-') << "\n";
+    print_row(header_);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+    os << std::string(total, '-') << "\n";
+}
+
+std::string
+TablePrinter::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::cellSci(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::cell(long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return buf;
+}
+
+std::string
+TablePrinter::bold(const std::string &value)
+{
+    return "[" + value + "]";
+}
+
+std::string
+TablePrinter::flagged(const std::string &value)
+{
+    return value + "*";
+}
+
+} // namespace qdel

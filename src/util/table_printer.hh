@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-width console table renderer used by the benchmark harness to
+ * print paper-style tables (Table 1, Table 3, ...).
+ */
+
+#ifndef QDEL_UTIL_TABLE_PRINTER_HH
+#define QDEL_UTIL_TABLE_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qdel {
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned,
+ * pipe-separated table with a header rule, matching the presentation
+ * style used for the paper reproductions in bench/.
+ *
+ * Cells may carry simple emphasis markers: a trailing '*' (incorrect
+ * prediction method, as in the paper) is preserved verbatim, and bold
+ * cells are rendered by surrounding the value with '[' ']' since the
+ * console has no typography.
+ */
+class TablePrinter
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the header row. Must be called before the first addRow(). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; the cell count must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Render the full table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render a double with @p precision significant decimal digits. */
+    static std::string cell(double value, int precision = 2);
+
+    /** Render a double in scientific notation (as in paper Table 4). */
+    static std::string cellSci(double value, int precision = 2);
+
+    /** Render an integer cell. */
+    static std::string cell(long long value);
+
+    /** Mark a cell as "best" (paper boldface) by bracketing it. */
+    static std::string bold(const std::string &value);
+
+    /** Mark a cell as "incorrect" (paper asterisk). */
+    static std::string flagged(const std::string &value);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_TABLE_PRINTER_HH

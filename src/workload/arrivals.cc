@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Implementation of the cyclic arrival generator.
+ */
+
+#include "workload/arrivals.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace qdel {
+namespace workload {
+
+double
+arrivalIntensity(const ArrivalModel &model, double t)
+{
+    const double seconds_of_day = std::fmod(t, 86400.0);
+    const double hour = seconds_of_day / 3600.0;
+    const double phase = 2.0 * M_PI * (hour - model.peakHour) / 24.0;
+    double intensity = 1.0 + model.diurnalAmplitude * std::cos(phase);
+
+    // UNIX day 0 (1970-01-01) was a Thursday; days 2 and 3 of each week
+    // counted from Thursday are Saturday and Sunday.
+    const long long day = static_cast<long long>(std::floor(t / 86400.0));
+    const long long weekday = ((day % 7) + 7) % 7;
+    if (weekday == 2 || weekday == 3)
+        intensity *= model.weekendFactor;
+    return intensity;
+}
+
+std::vector<double>
+generateArrivals(double begin, double end, size_t count,
+                 const ArrivalModel &model, stats::Rng &rng)
+{
+    if (!(end > begin))
+        panic("generateArrivals: empty span [", begin, ", ", end, ")");
+    std::vector<double> arrivals;
+    if (count == 0)
+        return arrivals;
+    arrivals.reserve(count);
+
+    // Piecewise-constant hourly integral of the intensity across the span.
+    const double span = end - begin;
+    const size_t buckets =
+        std::max<size_t>(1, static_cast<size_t>(std::ceil(span / 3600.0)));
+    const double bucket_width = span / static_cast<double>(buckets);
+
+    std::vector<double> cumulative(buckets + 1, 0.0);
+    for (size_t b = 0; b < buckets; ++b) {
+        const double mid = begin + (static_cast<double>(b) + 0.5) *
+                           bucket_width;
+        cumulative[b + 1] =
+            cumulative[b] + arrivalIntensity(model, mid) * bucket_width;
+    }
+    const double total = cumulative.back();
+
+    for (size_t i = 0; i < count; ++i) {
+        const double target = rng.uniform() * total;
+        // Binary search the bucket containing the target mass, then
+        // interpolate linearly inside it.
+        const auto it = std::upper_bound(cumulative.begin(),
+                                         cumulative.end(), target);
+        size_t b = static_cast<size_t>(it - cumulative.begin());
+        b = b == 0 ? 0 : b - 1;
+        if (b >= buckets)
+            b = buckets - 1;
+        const double mass_in_bucket = cumulative[b + 1] - cumulative[b];
+        const double frac =
+            mass_in_bucket > 0.0 ? (target - cumulative[b]) / mass_in_bucket
+                                 : 0.5;
+        arrivals.push_back(begin +
+                           (static_cast<double>(b) + frac) * bucket_width);
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    return arrivals;
+}
+
+} // namespace workload
+} // namespace qdel

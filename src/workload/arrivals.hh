@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Job arrival-time generation: a nonhomogeneous Poisson-style process
+ * with the diurnal and weekly cycles production HPC workloads exhibit
+ * (arrival intensity peaks during working hours and dips on weekends).
+ */
+
+#ifndef QDEL_WORKLOAD_ARRIVALS_HH
+#define QDEL_WORKLOAD_ARRIVALS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace workload {
+
+/** Parameters of the cyclic arrival intensity. */
+struct ArrivalModel
+{
+    /** Relative amplitude of the 24-hour cycle, in [0, 1). */
+    double diurnalAmplitude = 0.6;
+    /** Hour (UTC) of peak intensity within the day. */
+    double peakHour = 14.0;
+    /** Multiplier applied on Saturdays and Sundays, in (0, 1]. */
+    double weekendFactor = 0.55;
+};
+
+/**
+ * Draw exactly @p count arrival timestamps in [begin, end) distributed
+ * according to the cyclic intensity, returned sorted ascending.
+ *
+ * Implemented by inverse-CDF sampling against a piecewise-constant
+ * (hourly) integral of the intensity, which gives the exact requested
+ * count — the property the Table 1 reproduction needs.
+ *
+ * @param begin UNIX start of the span.
+ * @param end   UNIX end of the span (exclusive), end > begin.
+ * @param count Number of arrivals to draw.
+ * @param model Cycle parameters.
+ * @param rng   Seeded generator.
+ */
+std::vector<double> generateArrivals(double begin, double end, size_t count,
+                                     const ArrivalModel &model,
+                                     stats::Rng &rng);
+
+/** Intensity (relative, unnormalized) of the model at UNIX time @p t. */
+double arrivalIntensity(const ArrivalModel &model, double t);
+
+} // namespace workload
+} // namespace qdel
+
+#endif // QDEL_WORKLOAD_ARRIVALS_HH

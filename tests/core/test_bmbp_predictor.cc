@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the BMBP predictor: order-statistic bound selection,
+ * minimum-history behaviour, change-point trimming, and the on-demand
+ * quantile spectrum API.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bmbp_predictor.hh"
+#include "stats/quantile_bounds.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace core {
+namespace {
+
+TEST(Bmbp, NoBoundBelowMinimumHistory)
+{
+    BmbpPredictor predictor;
+    EXPECT_EQ(predictor.minimumHistory(), 59u);
+    for (int i = 0; i < 58; ++i)
+        predictor.observe(static_cast<double>(i));
+    predictor.refit();
+    EXPECT_FALSE(predictor.upperBound().finite());
+
+    predictor.observe(58.0);
+    predictor.refit();
+    ASSERT_TRUE(predictor.upperBound().finite());
+    // With exactly 59 observations the bound is the sample maximum.
+    EXPECT_DOUBLE_EQ(predictor.upperBound().value, 58.0);
+}
+
+TEST(Bmbp, BoundEqualsIndexedOrderStatistic)
+{
+    BmbpConfig config;
+    config.trimmingEnabled = false;
+    BmbpPredictor predictor(config);
+    stats::Rng rng(8);
+    std::vector<double> sample;
+    for (int i = 0; i < 500; ++i) {
+        const double wait = rng.logNormal(4.0, 2.0);
+        sample.push_back(wait);
+        predictor.observe(wait);
+    }
+    predictor.refit();
+    std::sort(sample.begin(), sample.end());
+    const auto idx = stats::upperBoundIndex(sample.size(), 0.95, 0.95);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_DOUBLE_EQ(predictor.upperBound().value, sample[*idx - 1]);
+}
+
+TEST(Bmbp, CachedBetweenRefits)
+{
+    BmbpConfig config;
+    config.trimmingEnabled = false;
+    BmbpPredictor predictor(config);
+    for (int i = 0; i < 100; ++i)
+        predictor.observe(i);
+    predictor.refit();
+    const double before = predictor.upperBound().value;
+    for (int i = 0; i < 100; ++i)
+        predictor.observe(1e6 + i);
+    EXPECT_DOUBLE_EQ(predictor.upperBound().value, before);
+    predictor.refit();
+    EXPECT_GT(predictor.upperBound().value, before);
+}
+
+TEST(Bmbp, TrimsAfterRunOfExceedances)
+{
+    BmbpConfig config;
+    config.runThresholdOverride = 3;
+    BmbpPredictor predictor(config);
+    for (int i = 0; i < 500; ++i)
+        predictor.observe(10.0 + 0.001 * i);
+    predictor.refit();
+    const double bound = predictor.upperBound().value;
+    ASSERT_LT(bound, 100.0);
+
+    predictor.observe(1000.0);
+    predictor.observe(1000.0);
+    EXPECT_EQ(predictor.trimCount(), 0u);
+    EXPECT_EQ(predictor.currentRun(), 2);
+    predictor.observe(1000.0);
+    EXPECT_EQ(predictor.trimCount(), 1u);
+    EXPECT_EQ(predictor.historySize(), predictor.minimumHistory());
+    // The post-trim bound reflects the new regime immediately.
+    predictor.refit();
+    EXPECT_GE(predictor.upperBound().value, 1000.0);
+}
+
+TEST(Bmbp, RunResetsOnCoveredObservation)
+{
+    BmbpConfig config;
+    config.runThresholdOverride = 3;
+    BmbpPredictor predictor(config);
+    for (int i = 0; i < 200; ++i)
+        predictor.observe(10.0);
+    predictor.refit();
+    predictor.observe(1000.0);
+    predictor.observe(1000.0);
+    predictor.observe(5.0);  // covered: run resets
+    predictor.observe(1000.0);
+    predictor.observe(1000.0);
+    EXPECT_EQ(predictor.trimCount(), 0u);
+}
+
+TEST(Bmbp, TrimmingDisabled)
+{
+    BmbpConfig config;
+    config.trimmingEnabled = false;
+    BmbpPredictor predictor(config);
+    for (int i = 0; i < 200; ++i)
+        predictor.observe(10.0);
+    predictor.refit();
+    for (int i = 0; i < 50; ++i)
+        predictor.observe(1e9);
+    EXPECT_EQ(predictor.trimCount(), 0u);
+    EXPECT_EQ(predictor.historySize(), 250u);
+}
+
+TEST(Bmbp, MaxHistoryWindow)
+{
+    BmbpConfig config;
+    config.maxHistory = 100;
+    config.trimmingEnabled = false;
+    BmbpPredictor predictor(config);
+    for (int i = 0; i < 1000; ++i)
+        predictor.observe(static_cast<double>(i));
+    EXPECT_EQ(predictor.historySize(), 100u);
+    predictor.refit();
+    // Only the last 100 values (900..999) remain.
+    EXPECT_GE(predictor.upperBound().value, 900.0);
+}
+
+TEST(Bmbp, FinalizeTrainingPicksThresholdFromTable)
+{
+    RareEventTable table(0.95, 0.05);
+    BmbpConfig config;
+    BmbpPredictor predictor(config, &table);
+    EXPECT_EQ(predictor.runThreshold(), 3);  // default before training
+
+    // Strongly autocorrelated training history -> larger threshold.
+    stats::Rng rng(4);
+    double z = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        z = 0.9 * z + std::sqrt(1.0 - 0.81) * rng.normal();
+        predictor.observe(std::exp(z));
+    }
+    predictor.finalizeTraining();
+    // The exp() transform shrinks the *linear* autocorrelation of the
+    // waits below the latent 0.9, so expect a threshold strictly above
+    // the i.i.d. value but no larger than the rho = 0.9 entry.
+    EXPECT_GT(predictor.runThreshold(), 3);
+    EXPECT_LE(predictor.runThreshold(), table.threshold(0.9));
+}
+
+TEST(Bmbp, ThresholdOverrideWinsOverTable)
+{
+    BmbpConfig config;
+    config.runThresholdOverride = 7;
+    BmbpPredictor predictor(config);
+    for (int i = 0; i < 100; ++i)
+        predictor.observe(i);
+    predictor.finalizeTraining();
+    EXPECT_EQ(predictor.runThreshold(), 7);
+}
+
+TEST(Bmbp, BoundAtQuantileSpectrum)
+{
+    BmbpConfig config;
+    config.trimmingEnabled = false;
+    BmbpPredictor predictor(config);
+    for (int i = 1; i <= 1000; ++i)
+        predictor.observe(static_cast<double>(i));
+    predictor.refit();
+
+    const auto median_upper = predictor.boundAt(0.5, true);
+    const auto median_lower = predictor.boundAt(0.5, false);
+    ASSERT_TRUE(median_upper.finite());
+    // Upper and lower bounds bracket the true median (500.5).
+    EXPECT_GT(median_upper.value, 500.0);
+    EXPECT_LT(median_lower.value, 501.0);
+    EXPECT_LT(median_upper.value, 560.0);
+    EXPECT_GT(median_lower.value, 440.0);
+
+    // Spectrum is monotone in q for upper bounds.
+    EXPECT_LT(predictor.boundAt(0.25, true).value,
+              predictor.boundAt(0.75, true).value);
+}
+
+TEST(Bmbp, EmptyHistoryBounds)
+{
+    BmbpPredictor predictor;
+    predictor.refit();
+    EXPECT_FALSE(predictor.upperBound().finite());
+    EXPECT_DOUBLE_EQ(predictor.boundAt(0.5, false).value, 0.0);
+}
+
+TEST(Bmbp, Name)
+{
+    EXPECT_EQ(BmbpPredictor().name(), "bmbp");
+}
+
+TEST(Bmbp, TwoSidedInterval)
+{
+    // Paper Section 3: the machinery extends to two-sided intervals.
+    BmbpConfig config;
+    config.trimmingEnabled = false;
+    BmbpPredictor predictor(config);
+    for (int i = 1; i <= 2000; ++i)
+        predictor.observe(static_cast<double>(i));
+    predictor.refit();
+    auto [lower, upper] = predictor.interval(0.5);
+    ASSERT_TRUE(lower.finite());
+    ASSERT_TRUE(upper.finite());
+    // The interval brackets the true median (1000.5) and is tight on
+    // a 2000-point sample.
+    EXPECT_LT(lower.value, 1000.5);
+    EXPECT_GT(upper.value, 1000.5);
+    EXPECT_LT(upper.value - lower.value, 120.0);
+}
+
+TEST(Bmbp, IntervalDegeneratesGracefullyOnTinySamples)
+{
+    BmbpPredictor predictor;
+    predictor.observe(1.0);
+    auto [lower, upper] = predictor.interval(0.95);
+    // A single observation is already a valid 95% *lower* bound for
+    // the .95 quantile (it lies below it with probability .95), but
+    // no finite upper bound exists below n = 59.
+    EXPECT_DOUBLE_EQ(lower.value, 1.0);
+    EXPECT_FALSE(upper.finite());
+}
+
+} // namespace
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the log-normal baseline predictor (paper Section 4.2).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/lognormal_predictor.hh"
+#include "stats/rng.hh"
+#include "stats/tolerance.hh"
+
+namespace qdel {
+namespace core {
+namespace {
+
+TEST(LogNormalPredictor, Names)
+{
+    LogNormalConfig trim_config;
+    trim_config.trimmingEnabled = true;
+    EXPECT_EQ(LogNormalPredictor().name(), "lognormal");
+    EXPECT_EQ(LogNormalPredictor(trim_config).name(), "lognormal-trim");
+}
+
+TEST(LogNormalPredictor, NoBoundBelowTwoObservations)
+{
+    LogNormalPredictor predictor;
+    predictor.refit();
+    EXPECT_FALSE(predictor.upperBound().finite());
+    predictor.observe(10.0);
+    predictor.refit();
+    EXPECT_FALSE(predictor.upperBound().finite());
+    predictor.observe(20.0);
+    predictor.refit();
+    EXPECT_TRUE(predictor.upperBound().finite());
+}
+
+TEST(LogNormalPredictor, MatchesHandComputedBound)
+{
+    // Sample of logs {0, 2}: m = 1, s = sqrt(2); bound = exp(m + k s).
+    LogNormalPredictor predictor;
+    predictor.observe(std::exp(0.0));
+    predictor.observe(std::exp(2.0));
+    predictor.refit();
+    const double k = stats::normalToleranceFactorExact(2, 0.95, 0.95);
+    const double expected = std::exp(1.0 + k * std::sqrt(2.0));
+    EXPECT_NEAR(predictor.upperBound().value, expected,
+                1e-9 * expected);
+}
+
+TEST(LogNormalPredictor, EpsilonFloorsZeroWaits)
+{
+    // Waits of zero seconds are floored at epsilon (1 s -> log 0).
+    LogNormalPredictor predictor;
+    predictor.observe(0.0);
+    predictor.observe(0.0);
+    predictor.observe(std::exp(3.0));
+    predictor.refit();
+    // logs = {0, 0, 3}: finite, positive bound.
+    ASSERT_TRUE(predictor.upperBound().finite());
+    EXPECT_GT(predictor.upperBound().value, 1.0);
+}
+
+TEST(LogNormalPredictor, CoversTrueQuantileOnLogNormalData)
+{
+    LogNormalPredictor predictor;
+    stats::Rng rng(12);
+    for (int i = 0; i < 20000; ++i)
+        predictor.observe(rng.logNormal(5.0, 2.0));
+    predictor.refit();
+    const double true_q95 = std::exp(5.0 + 1.6448536269514722 * 2.0);
+    // With 20k samples the tolerance bound hugs the true quantile from
+    // above.
+    EXPECT_GT(predictor.upperBound().value, 0.93 * true_q95);
+    EXPECT_LT(predictor.upperBound().value, 1.3 * true_q95);
+}
+
+TEST(LogNormalPredictor, TrimVariantAdaptsToLevelShift)
+{
+    LogNormalConfig config;
+    config.trimmingEnabled = true;
+    config.runThresholdOverride = 3;
+    LogNormalPredictor predictor(config);
+    stats::Rng rng(13);
+    for (int i = 0; i < 2000; ++i)
+        predictor.observe(rng.logNormal(2.0, 0.5));
+    predictor.refit();
+    const double before = predictor.upperBound().value;
+
+    // Regime shift: waits jump by e^4.
+    for (int i = 0; i < 10; ++i)
+        predictor.observe(rng.logNormal(6.0, 0.5));
+    EXPECT_GE(predictor.trimCount(), 1u);
+    predictor.refit();
+    EXPECT_GT(predictor.upperBound().value, before * 5.0);
+    // History was cut to the minimal meaningful sample.
+    EXPECT_LE(predictor.historySize(), 59u + 10u);
+}
+
+TEST(LogNormalPredictor, NoTrimVariantNeverTrims)
+{
+    LogNormalPredictor predictor;  // trimming off by default
+    stats::Rng rng(14);
+    for (int i = 0; i < 500; ++i)
+        predictor.observe(rng.logNormal(2.0, 0.5));
+    predictor.refit();
+    for (int i = 0; i < 50; ++i)
+        predictor.observe(1e12);
+    EXPECT_EQ(predictor.trimCount(), 0u);
+    EXPECT_EQ(predictor.historySize(), 550u);
+}
+
+TEST(LogNormalPredictor, LowerBoundBelowUpperBound)
+{
+    LogNormalPredictor predictor;
+    stats::Rng rng(15);
+    for (int i = 0; i < 1000; ++i)
+        predictor.observe(rng.logNormal(3.0, 1.0));
+    predictor.refit();
+    const auto upper = predictor.boundAt(0.5, true);
+    const auto lower = predictor.boundAt(0.5, false);
+    ASSERT_TRUE(upper.finite());
+    EXPECT_LT(lower.value, upper.value);
+    // Both bracket the true median e^3.
+    EXPECT_GT(upper.value, std::exp(3.0) * 0.9);
+    EXPECT_LT(lower.value, std::exp(3.0) * 1.1);
+}
+
+TEST(LogNormalPredictor, BoundMonotoneInQuantile)
+{
+    LogNormalPredictor predictor;
+    stats::Rng rng(16);
+    for (int i = 0; i < 500; ++i)
+        predictor.observe(rng.logNormal(1.0, 1.0));
+    predictor.refit();
+    EXPECT_LT(predictor.boundAt(0.5, true).value,
+              predictor.boundAt(0.75, true).value);
+    EXPECT_LT(predictor.boundAt(0.75, true).value,
+              predictor.boundAt(0.95, true).value);
+}
+
+TEST(LogNormalPredictor, ConstantHistoryDegenerates)
+{
+    // Zero variance: the bound collapses to the constant itself.
+    LogNormalPredictor predictor;
+    for (int i = 0; i < 100; ++i)
+        predictor.observe(50.0);
+    predictor.refit();
+    EXPECT_NEAR(predictor.upperBound().value, 50.0, 1e-3);
+}
+
+} // namespace
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the Downey-style log-uniform baseline.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/loguniform_predictor.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace core {
+namespace {
+
+TEST(LogUniform, NeedsTwoObservations)
+{
+    LogUniformPredictor predictor;
+    predictor.refit();
+    EXPECT_FALSE(predictor.upperBound().finite());
+    predictor.observe(10.0);
+    predictor.refit();
+    EXPECT_FALSE(predictor.upperBound().finite());
+    predictor.observe(100.0);
+    predictor.refit();
+    EXPECT_TRUE(predictor.upperBound().finite());
+}
+
+TEST(LogUniform, QuantileOfFittedSupport)
+{
+    // Two points: support [10, 1000] in log space; q quantile of the
+    // log-uniform is 10 * (1000/10)^q.
+    LogUniformPredictor predictor;
+    predictor.observe(10.0);
+    predictor.observe(1000.0);
+    predictor.refit();
+    EXPECT_NEAR(predictor.upperBound().value,
+                10.0 * std::pow(100.0, 0.95), 1e-6);
+    EXPECT_NEAR(predictor.boundAt(0.5, true).value, 100.0, 1e-9);
+}
+
+TEST(LogUniform, RecoversTrueQuantileOnLogUniformData)
+{
+    // On data that actually is log-uniform, the point estimate is
+    // consistent.
+    LogUniformConfig config;
+    config.robustFraction = 0.0;
+    LogUniformPredictor predictor(config);
+    stats::Rng rng(77);
+    const double log_a = std::log(5.0), log_b = std::log(50000.0);
+    for (int i = 0; i < 50000; ++i)
+        predictor.observe(std::exp(rng.uniform(log_a, log_b)));
+    predictor.refit();
+    const double true_q95 = std::exp(log_a + 0.95 * (log_b - log_a));
+    EXPECT_NEAR(predictor.upperBound().value, true_q95,
+                0.02 * true_q95);
+}
+
+TEST(LogUniform, RobustFractionShieldsOutliers)
+{
+    LogUniformPredictor robust;  // default 1% trim
+    LogUniformConfig naive_config;
+    naive_config.robustFraction = 0.0;
+    LogUniformPredictor naive(naive_config);
+
+    stats::Rng rng(78);
+    for (int i = 0; i < 1000; ++i) {
+        const double wait = rng.logNormal(3.0, 0.5);
+        robust.observe(wait);
+        naive.observe(wait);
+    }
+    // One absurd outlier.
+    robust.observe(1e12);
+    naive.observe(1e12);
+    robust.refit();
+    naive.refit();
+    // The naive min/max fit explodes; the robust fit barely moves.
+    EXPECT_GT(naive.upperBound().value,
+              10.0 * robust.upperBound().value);
+}
+
+TEST(LogUniform, ZeroWaitsFloored)
+{
+    LogUniformPredictor predictor;
+    predictor.observe(0.0);
+    predictor.observe(100.0);
+    predictor.refit();
+    EXPECT_TRUE(std::isfinite(predictor.upperBound().value));
+    EXPECT_GT(predictor.upperBound().value, 1.0);
+}
+
+TEST(LogUniform, SlidingWindow)
+{
+    LogUniformConfig config;
+    config.maxHistory = 10;
+    config.robustFraction = 0.0;
+    LogUniformPredictor predictor(config);
+    for (int i = 0; i < 100; ++i)
+        predictor.observe(1000.0 + i);
+    EXPECT_EQ(predictor.historySize(), 10u);
+    predictor.refit();
+    // Support is [1090, 1099].
+    EXPECT_GE(predictor.upperBound().value, 1090.0);
+    EXPECT_LE(predictor.upperBound().value, 1099.0);
+}
+
+TEST(LogUniform, ConstantHistory)
+{
+    LogUniformPredictor predictor;
+    for (int i = 0; i < 50; ++i)
+        predictor.observe(42.0);
+    predictor.refit();
+    EXPECT_NEAR(predictor.upperBound().value, 42.0, 1e-9);
+}
+
+TEST(LogUniform, Name)
+{
+    EXPECT_EQ(LogUniformPredictor().name(), "loguniform");
+}
+
+} // namespace
+} // namespace core
+} // namespace qdel

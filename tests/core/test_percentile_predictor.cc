@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the naive percentile baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/percentile_predictor.hh"
+
+namespace qdel {
+namespace core {
+namespace {
+
+TEST(Percentile, EmptyHistoryIsInfinite)
+{
+    PercentilePredictor predictor;
+    predictor.refit();
+    EXPECT_FALSE(predictor.upperBound().finite());
+}
+
+TEST(Percentile, NearestRankSelection)
+{
+    PercentilePredictor predictor(0.95);
+    for (int i = 1; i <= 100; ++i)
+        predictor.observe(static_cast<double>(i));
+    predictor.refit();
+    // ceil(.95 * 100) = 95th smallest.
+    EXPECT_DOUBLE_EQ(predictor.upperBound().value, 95.0);
+}
+
+TEST(Percentile, SlidingWindow)
+{
+    PercentilePredictor predictor(0.5, /*max_history=*/10);
+    for (int i = 1; i <= 100; ++i)
+        predictor.observe(static_cast<double>(i));
+    EXPECT_EQ(predictor.historySize(), 10u);
+    predictor.refit();
+    // Window holds 91..100; median rank ceil(.5*10)=5 -> 95.
+    EXPECT_DOUBLE_EQ(predictor.upperBound().value, 95.0);
+}
+
+TEST(Percentile, BoundAtIgnoresSide)
+{
+    PercentilePredictor predictor(0.95);
+    for (int i = 1; i <= 10; ++i)
+        predictor.observe(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(predictor.boundAt(0.5, true).value,
+                     predictor.boundAt(0.5, false).value);
+    EXPECT_DOUBLE_EQ(predictor.boundAt(0.1, true).value, 1.0);
+    EXPECT_DOUBLE_EQ(predictor.boundAt(1.0, true).value, 10.0);
+}
+
+TEST(Percentile, NoConfidenceMargin)
+{
+    // Unlike BMBP, the naive percentile of a tiny sample exists but
+    // carries no guarantee — it returns the max of 3 observations for
+    // q = .95 instead of refusing.
+    PercentilePredictor predictor(0.95);
+    predictor.observe(1.0);
+    predictor.observe(2.0);
+    predictor.observe(3.0);
+    predictor.refit();
+    EXPECT_DOUBLE_EQ(predictor.upperBound().value, 3.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the predictor factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bmbp_predictor.hh"
+#include "core/lognormal_predictor.hh"
+#include "core/predictor_factory.hh"
+
+namespace qdel {
+namespace core {
+namespace {
+
+TEST(Factory, BuildsEveryMethod)
+{
+    PredictorOptions options;
+    EXPECT_EQ(makePredictor("bmbp", options)->name(), "bmbp");
+    EXPECT_EQ(makePredictor("bmbp-notrim", options)->name(), "bmbp");
+    EXPECT_EQ(makePredictor("lognormal", options)->name(), "lognormal");
+    EXPECT_EQ(makePredictor("lognormal-trim", options)->name(),
+              "lognormal-trim");
+    EXPECT_EQ(makePredictor("percentile", options)->name(), "percentile");
+    EXPECT_EQ(makePredictor("loguniform", options)->name(), "loguniform");
+}
+
+TEST(Factory, PropagatesQuantileAndConfidence)
+{
+    PredictorOptions options;
+    options.quantile = 0.75;
+    options.confidence = 0.9;
+    auto predictor = makePredictor("bmbp", options);
+    auto *bmbp = dynamic_cast<BmbpPredictor *>(predictor.get());
+    ASSERT_NE(bmbp, nullptr);
+    // minimum history for .75/.90: smallest n with 1-.75^n >= .9 is 9.
+    EXPECT_EQ(bmbp->minimumHistory(), 9u);
+}
+
+TEST(Factory, SharedRareEventTable)
+{
+    RareEventTable table(0.95, 0.05);
+    PredictorOptions options;
+    options.rareEventTable = &table;
+    auto predictor = makePredictor("bmbp", options);
+    // Training against a flat history lands on the table's iid entry.
+    for (int i = 0; i < 200; ++i)
+        predictor->observe(1.0 + 0.001 * i);
+    predictor->finalizeTraining();
+    auto *bmbp = dynamic_cast<BmbpPredictor *>(predictor.get());
+    ASSERT_NE(bmbp, nullptr);
+    EXPECT_GE(bmbp->runThreshold(), 3);
+}
+
+TEST(Factory, NotrimVariantHasTrimmingDisabled)
+{
+    PredictorOptions options;
+    auto predictor = makePredictor("bmbp-notrim", options);
+    for (int i = 0; i < 200; ++i)
+        predictor->observe(1.0);
+    predictor->refit();
+    for (int i = 0; i < 20; ++i)
+        predictor->observe(1e9);
+    auto *bmbp = dynamic_cast<BmbpPredictor *>(predictor.get());
+    ASSERT_NE(bmbp, nullptr);
+    EXPECT_EQ(bmbp->trimCount(), 0u);
+}
+
+TEST(FactoryDeath, UnknownMethod)
+{
+    PredictorOptions options;
+    EXPECT_DEATH(makePredictor("oracle", options), "unknown prediction");
+}
+
+} // namespace
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the rare-event run-length calibration: the i.i.d. paper
+ * value, monotonicity in autocorrelation, and agreement between the
+ * quadrature and the paper's Monte Carlo formulation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rare_event.hh"
+
+namespace qdel {
+namespace core {
+namespace {
+
+TEST(RunContinuation, IidMatchesClosedForm)
+{
+    // Independent data: P[next exceeds | current exceeds] = 1 - q.
+    EXPECT_NEAR(runContinuationProbability(0.0, 0.95, 1), 0.05, 1e-4);
+    EXPECT_NEAR(runContinuationProbability(0.0, 0.95, 2), 0.0025, 1e-5);
+    EXPECT_NEAR(runContinuationProbability(0.0, 0.9, 1), 0.10, 1e-4);
+}
+
+TEST(RunContinuation, ExtraZeroIsCertain)
+{
+    EXPECT_DOUBLE_EQ(runContinuationProbability(0.5, 0.95, 0), 1.0);
+}
+
+TEST(RunContinuation, MonotoneInRho)
+{
+    // Positive dependence makes runs more likely.
+    double previous = 0.0;
+    for (double rho : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+        const double p = runContinuationProbability(rho, 0.95, 2);
+        EXPECT_GE(p, previous) << "rho=" << rho;
+        previous = p;
+    }
+}
+
+TEST(RunContinuation, MonotoneDecreasingInRunLength)
+{
+    for (double rho : {0.0, 0.5, 0.8}) {
+        double previous = 1.0;
+        for (int extra = 1; extra <= 6; ++extra) {
+            const double p =
+                runContinuationProbability(rho, 0.95, extra);
+            EXPECT_LT(p, previous);
+            previous = p;
+        }
+    }
+}
+
+TEST(RunLengthThreshold, PaperIidValueIsThree)
+{
+    // Section 4.1: "if we find three measurements in a row ... we can
+    // be almost certain" — the i.i.d. threshold is 3.
+    EXPECT_EQ(runLengthThreshold(0.0, 0.95, 0.05), 3);
+}
+
+TEST(RunLengthThreshold, GrowsWithAutocorrelation)
+{
+    int previous = 0;
+    for (double rho : {0.0, 0.3, 0.6, 0.9}) {
+        const int threshold = runLengthThreshold(rho, 0.95, 0.05);
+        EXPECT_GE(threshold, previous);
+        previous = threshold;
+    }
+    EXPECT_GT(runLengthThreshold(0.9, 0.95, 0.05),
+              runLengthThreshold(0.0, 0.95, 0.05));
+}
+
+TEST(RareEventTable, EntriesAndClamping)
+{
+    RareEventTable table(0.95, 0.05);
+    ASSERT_EQ(table.entries().size(), 10u);
+    EXPECT_EQ(table.entries()[0], 3);
+    EXPECT_EQ(table.threshold(0.0), 3);
+    EXPECT_EQ(table.threshold(-0.3), 3);           // clamped up
+    EXPECT_EQ(table.threshold(0.95), table.entries()[9]);
+    EXPECT_EQ(table.threshold(0.37), table.entries()[3]);
+    // NaN autocorrelation (constant training series) falls back to iid.
+    EXPECT_EQ(table.threshold(std::nan("")), 3);
+}
+
+TEST(RareEventTable, NondecreasingAcrossGrid)
+{
+    RareEventTable table(0.95, 0.05);
+    for (size_t i = 1; i < table.entries().size(); ++i)
+        EXPECT_GE(table.entries()[i], table.entries()[i - 1]);
+}
+
+/**
+ * The quadrature and the paper's log-normal Monte Carlo must agree —
+ * exceedance runs are invariant under the exp() transform, so the two
+ * formulations estimate the same number.
+ */
+class QuadratureVsMonteCarlo : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(QuadratureVsMonteCarlo, Agree)
+{
+    const double rho = GetParam();
+    for (int extra : {1, 2, 3}) {
+        const double quadrature =
+            runContinuationProbability(rho, 0.95, extra);
+        const double monte_carlo = runContinuationProbabilityMonteCarlo(
+            rho, 0.95, extra, 2000000, 99);
+        // MC standard error ~ sqrt(p/(N*0.05)); allow 4 sigma + eps.
+        const double tolerance =
+            4.0 * std::sqrt(std::max(quadrature, 1e-4) /
+                            (2000000.0 * 0.05)) +
+            1e-4;
+        EXPECT_NEAR(monte_carlo, quadrature, tolerance)
+            << "rho=" << rho << " extra=" << extra;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoGrid, QuadratureVsMonteCarlo,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.8));
+
+TEST(RunContinuationDeath, InvalidArguments)
+{
+    EXPECT_DEATH(runContinuationProbability(1.0, 0.95, 1), "rho");
+    EXPECT_DEATH(runContinuationProbability(0.5, 1.0, 1), "q");
+}
+
+} // namespace
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the one-call experiment helpers (table-cell computation
+ * and per-processor-range subdivision).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/replay/evaluation.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace sim {
+namespace {
+
+trace::Trace
+syntheticTrace(size_t count, uint64_t seed)
+{
+    stats::Rng rng(seed);
+    trace::Trace t;
+    for (size_t i = 0; i < count; ++i) {
+        trace::JobRecord job;
+        job.submitTime = 1000.0 + static_cast<double>(i) * 120.0;
+        job.waitSeconds = rng.logNormal(4.0, 1.5);
+        // Populate the 1-4 and 5-16 bins only.
+        job.procs = rng.bernoulli(0.6)
+                        ? static_cast<int>(rng.uniformInt(1, 4))
+                        : static_cast<int>(rng.uniformInt(5, 16));
+        t.add(job);
+    }
+    return t;
+}
+
+TEST(Evaluation, BmbpCellOnStationaryData)
+{
+    auto t = syntheticTrace(5000, 1);
+    core::PredictorOptions options;
+    auto cell = evaluateTrace(t, "bmbp", options);
+    EXPECT_EQ(cell.jobs, 5000u);
+    EXPECT_EQ(cell.evaluated, 4500u);  // 10% training
+    EXPECT_GE(cell.correctFraction, 0.94);
+    EXPECT_GT(cell.medianRatio, 0.0);
+    EXPECT_LT(cell.medianRatio, 1.0);
+}
+
+TEST(Evaluation, CorrectnessCriterionRoundsLikeThePaper)
+{
+    EvaluationCell cell;
+    cell.correctFraction = 0.9451;  // prints as 0.95 -> correct
+    EXPECT_TRUE(cell.correct(0.95));
+    cell.correctFraction = 0.9449;  // prints as 0.94 -> incorrect
+    EXPECT_FALSE(cell.correct(0.95));
+    cell.correctFraction = 0.96;
+    EXPECT_TRUE(cell.correct(0.95));
+}
+
+TEST(Evaluation, ByProcRangeSubdivides)
+{
+    auto t = syntheticTrace(8000, 2);
+    core::PredictorOptions options;
+    auto cells = evaluateByProcRange(t, "bmbp", options);
+    ASSERT_EQ(cells.size(), 4u);
+    // Bins 1-4 and 5-16 are populated; 17-64 and 65+ are empty.
+    EXPECT_GT(cells[0].jobs, 1000u);
+    EXPECT_GT(cells[1].jobs, 1000u);
+    EXPECT_EQ(cells[2].jobs, 0u);
+    EXPECT_EQ(cells[3].jobs, 0u);
+    EXPECT_GT(cells[0].evaluated, 0u);
+    EXPECT_EQ(cells[2].evaluated, 0u);  // "-" in the paper's tables
+    EXPECT_GE(cells[0].correctFraction, 0.94);
+    EXPECT_GE(cells[1].correctFraction, 0.94);
+}
+
+TEST(Evaluation, MinJobsThresholdDropsSparseCells)
+{
+    auto t = syntheticTrace(1500, 3);
+    core::PredictorOptions options;
+    // With the paper's 1000-job floor, the 5-16 bin (~40% of 1500)
+    // falls below threshold and is skipped.
+    auto cells = evaluateByProcRange(t, "bmbp", options, {}, 1000);
+    EXPECT_GT(cells[0].jobs, 0u);
+    EXPECT_EQ(cells[1].evaluated, 0u);
+    EXPECT_GT(cells[1].jobs, 0u);
+
+    // Lowering the floor evaluates it.
+    auto loose = evaluateByProcRange(t, "bmbp", options, {}, 100);
+    EXPECT_GT(loose[1].evaluated, 0u);
+}
+
+TEST(Evaluation, TrimCountSurfacedForTrimmingMethods)
+{
+    // A trace with a violent level shift forces at least one trim.
+    stats::Rng rng(4);
+    trace::Trace t;
+    for (size_t i = 0; i < 4000; ++i) {
+        trace::JobRecord job;
+        job.submitTime = 1000.0 + static_cast<double>(i) * 120.0;
+        const double scale = i < 2000 ? 2.0 : 8.0;
+        job.waitSeconds = rng.logNormal(scale, 0.5);
+        t.add(job);
+    }
+    core::PredictorOptions options;
+    auto bmbp = evaluateTrace(t, "bmbp", options);
+    EXPECT_GE(bmbp.trims, 1u);
+    auto trim = evaluateTrace(t, "lognormal-trim", options);
+    EXPECT_GE(trim.trims, 1u);
+    auto notrim = evaluateTrace(t, "lognormal", options);
+    EXPECT_EQ(notrim.trims, 0u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace qdel

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the paper-Section-5.1 replay simulator: information
+ * visibility rules, epoch semantics, training split, scoring
+ * identities, and the figure/table probes.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/bmbp_predictor.hh"
+#include "sim/replay/replay_simulator.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace sim {
+namespace {
+
+/** Predictor stub that exposes exactly what the simulator did to it. */
+class ProbePredictor : public core::Predictor
+{
+  public:
+    std::string name() const override { return "probe"; }
+
+    void
+    observe(double wait) override
+    {
+        observed.push_back(wait);
+    }
+
+    void
+    refit() override
+    {
+        ++refits;
+        current = core::QuantileEstimate::of(fixedBound);
+    }
+
+    core::QuantileEstimate
+    upperBound() const override
+    {
+        return current;
+    }
+
+    core::QuantileEstimate
+    boundAt(double q, bool upper) const override
+    {
+        (void)upper;
+        return core::QuantileEstimate::of(q * 100.0);
+    }
+
+    void
+    finalizeTraining() override
+    {
+        ++finalizations;
+        trainingSizeAtFinalize = observed.size();
+    }
+
+    size_t historySize() const override { return observed.size(); }
+
+    std::vector<double> observed;
+    size_t refits = 0;
+    size_t finalizations = 0;
+    size_t trainingSizeAtFinalize = 0;
+    double fixedBound = 100.0;
+    core::QuantileEstimate current = core::QuantileEstimate::infinite();
+};
+
+trace::Trace
+simpleTrace(size_t count, double gap, double wait)
+{
+    trace::Trace t;
+    for (size_t i = 0; i < count; ++i) {
+        trace::JobRecord job;
+        job.submitTime = 1000.0 + static_cast<double>(i) * gap;
+        job.waitSeconds = wait;
+        t.add(job);
+    }
+    return t;
+}
+
+TEST(Replay, AccountingIdentities)
+{
+    auto t = simpleTrace(100, 60.0, 10.0);
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.10});
+    auto result = simulator.run(t, predictor);
+
+    EXPECT_EQ(result.totalJobs, 100u);
+    EXPECT_EQ(result.trainingJobs, 10u);
+    EXPECT_EQ(result.evaluatedJobs, 90u);
+    EXPECT_EQ(result.correct, 90u);  // bound 100 >= wait 10
+    EXPECT_DOUBLE_EQ(result.correctFraction, 1.0);
+    EXPECT_DOUBLE_EQ(result.medianRatio, 0.1);
+    EXPECT_EQ(predictor.finalizations, 1u);
+}
+
+TEST(Replay, FailuresCounted)
+{
+    auto t = simpleTrace(100, 60.0, 500.0);  // waits above the bound
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.0});
+    auto result = simulator.run(t, predictor);
+    EXPECT_EQ(result.correct, 0u);
+    EXPECT_DOUBLE_EQ(result.medianRatio, 5.0);
+}
+
+TEST(Replay, WaitVisibleOnlyAfterRelease)
+{
+    // One long-waiting job: while it pends, later arrivals must not
+    // see its wait in history.
+    trace::Trace t;
+    t.add({0.0, 10000.0, 1, -1.0, ""});   // releases at t=10000
+    t.add({500.0, 1.0, 1, -1.0, ""});     // releases at t=501
+    t.add({600.0, 1.0, 1, -1.0, ""});
+    t.add({20000.0, 1.0, 1, -1.0, ""});   // after the long release
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.0});
+    simulator.run(t, predictor);
+    // The last job's release (t=20001) lies beyond the final arrival,
+    // so only three waits ever become visible — in completion order
+    // 501, 601, 10000, with the long wait strictly last.
+    ASSERT_EQ(predictor.observed.size(), 3u);
+    EXPECT_DOUBLE_EQ(predictor.observed[0], 1.0);
+    EXPECT_DOUBLE_EQ(predictor.observed[1], 1.0);
+    EXPECT_DOUBLE_EQ(predictor.observed[2], 10000.0);
+}
+
+TEST(Replay, EpochZeroRefitsPerJob)
+{
+    auto t = simpleTrace(50, 10.0, 1.0);
+    ProbePredictor predictor;
+    ReplaySimulator simulator({0.0, 0.0});
+    simulator.run(t, predictor);
+    // One refit per arrival (plus the finalize-training refit).
+    EXPECT_GE(predictor.refits, 50u);
+}
+
+TEST(Replay, EpochCountMatchesSpan)
+{
+    // 100 jobs x 60 s apart = 5940 s of span -> ~20 epochs of 300 s.
+    auto t = simpleTrace(100, 60.0, 1.0);
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.0});
+    simulator.run(t, predictor);
+    EXPECT_GE(predictor.refits, 19u);
+    EXPECT_LE(predictor.refits, 23u);
+}
+
+TEST(Replay, InfinitePredictionsCountedCorrect)
+{
+    auto t = simpleTrace(10, 60.0, 5.0);
+    ProbePredictor predictor;
+    // Never refit inside the window: the initial bound stays infinite.
+    predictor.current = core::QuantileEstimate::infinite();
+    predictor.fixedBound = std::numeric_limits<double>::infinity();
+    ReplaySimulator simulator({300.0, 0.0});
+    auto result = simulator.run(t, predictor);
+    EXPECT_EQ(result.infinitePredictions, result.evaluatedJobs);
+    EXPECT_DOUBLE_EQ(result.correctFraction, 1.0);
+    EXPECT_DOUBLE_EQ(result.medianRatio, 0.0);  // no finite ratios
+}
+
+TEST(Replay, SeriesCaptureWindow)
+{
+    auto t = simpleTrace(200, 60.0, 1.0);
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.0});
+    ReplayProbe probe;
+    probe.captureSeries = true;
+    probe.seriesBegin = 1000.0 + 3000.0;
+    probe.seriesEnd = 1000.0 + 6000.0;
+    auto result = simulator.run(t, predictor, probe);
+    ASSERT_FALSE(result.series.empty());
+    for (const auto &point : result.series) {
+        EXPECT_GE(point.time, probe.seriesBegin);
+        EXPECT_LT(point.time, probe.seriesEnd);
+        EXPECT_DOUBLE_EQ(point.value, 100.0);
+    }
+    // ~10 epochs inside the 3000 s window.
+    EXPECT_NEAR(static_cast<double>(result.series.size()), 10.0, 2.0);
+}
+
+TEST(Replay, QuantileSnapshots)
+{
+    auto t = simpleTrace(200, 60.0, 1.0);
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.0});
+    ReplayProbe probe;
+    probe.seriesBegin = 1000.0;
+    probe.seriesEnd = 1000.0 + 8000.0;
+    probe.snapshotInterval = 2000.0;
+    probe.snapshotQuantiles = {{0.25, false}, {0.5, true}, {0.95, true}};
+    auto result = simulator.run(t, predictor, probe);
+    ASSERT_EQ(result.snapshots.size(), 4u);
+    for (const auto &snap : result.snapshots) {
+        ASSERT_EQ(snap.values.size(), 3u);
+        EXPECT_DOUBLE_EQ(snap.values[0], 25.0);  // boundAt(q)=100q stub
+        EXPECT_DOUBLE_EQ(snap.values[2], 95.0);
+    }
+}
+
+TEST(Replay, TrainingFractionZeroFinalizesBeforeFirstJob)
+{
+    auto t = simpleTrace(5, 10.0, 1.0);
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.0});
+    simulator.run(t, predictor);
+    EXPECT_EQ(predictor.finalizations, 1u);
+    EXPECT_EQ(predictor.trainingSizeAtFinalize, 0u);
+}
+
+TEST(ReplayDeath, RejectsUnsortedTrace)
+{
+    trace::Trace t;
+    t.add({100.0, 1.0, 1, -1.0, ""});
+    t.add({50.0, 1.0, 1, -1.0, ""});
+    ProbePredictor predictor;
+    ReplaySimulator simulator;
+    EXPECT_DEATH(simulator.run(t, predictor), "sorted");
+}
+
+TEST(ReplayDeath, RejectsBadConfig)
+{
+    EXPECT_DEATH(ReplaySimulator({300.0, 1.0}), "trainFraction");
+    EXPECT_DEATH(ReplaySimulator({-1.0, 0.1}), "epochSeconds");
+}
+
+TEST(Replay, EmptyTrace)
+{
+    trace::Trace t;
+    ProbePredictor predictor;
+    ReplaySimulator simulator;
+    auto result = simulator.run(t, predictor);
+    EXPECT_EQ(result.totalJobs, 0u);
+    EXPECT_EQ(result.evaluatedJobs, 0u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace qdel

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the scheduler-simulation start-time forecaster and its
+ * integration into the machine simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/batch/batch_simulator.hh"
+#include "sim/batch/forward_predictor.hh"
+#include "sim/batch/job_generator.hh"
+
+namespace qdel {
+namespace sim {
+namespace {
+
+SimJob
+job(long long id, double submit, int procs, double run,
+    double estimate = -1.0)
+{
+    SimJob j;
+    j.id = id;
+    j.submitTime = submit;
+    j.procs = procs;
+    j.runSeconds = run;
+    j.estimateSeconds = estimate < 0.0 ? run : estimate;
+    return j;
+}
+
+TEST(ForwardPredictor, EmptyPending)
+{
+    EXPECT_TRUE(forecastStartTimes({}, {}, 8, "fcfs", 100.0).empty());
+}
+
+TEST(ForwardPredictor, ImmediateStartOnIdleMachine)
+{
+    auto predictions = forecastStartTimes({job(1, 0.0, 4, 100.0)}, {},
+                                          8, "fcfs", 50.0);
+    ASSERT_EQ(predictions.size(), 1u);
+    EXPECT_DOUBLE_EQ(predictions[0], 50.0);
+}
+
+TEST(ForwardPredictor, WaitsForRunningPartition)
+{
+    // 8-proc machine fully busy until t=1000.
+    std::vector<RunningJob> running = {{99, 8, 1000.0}};
+    auto predictions = forecastStartTimes({job(1, 0.0, 8, 100.0)},
+                                          running, 8, "fcfs", 50.0);
+    EXPECT_DOUBLE_EQ(predictions[0], 1000.0);
+}
+
+TEST(ForwardPredictor, FcfsChain)
+{
+    // Three 8-proc jobs behind a partition ending at 1000, each with a
+    // 100 s estimate: starts at 1000, 1100, 1200.
+    std::vector<RunningJob> running = {{99, 8, 1000.0}};
+    auto predictions = forecastStartTimes(
+        {job(1, 0.0, 8, 100.0), job(2, 1.0, 8, 100.0),
+         job(3, 2.0, 8, 100.0)},
+        running, 8, "fcfs", 0.0);
+    EXPECT_DOUBLE_EQ(predictions[0], 1000.0);
+    EXPECT_DOUBLE_EQ(predictions[1], 1100.0);
+    EXPECT_DOUBLE_EQ(predictions[2], 1200.0);
+}
+
+TEST(ForwardPredictor, UsesEstimatesNotRuntimes)
+{
+    // The forecaster must plan with the (wrong) estimate, not the
+    // true runtime it cannot know.
+    std::vector<RunningJob> running = {{99, 8, 500.0}};  // planned end
+    auto predictions = forecastStartTimes(
+        {job(1, 0.0, 8, /*run=*/100.0, /*estimate=*/400.0),
+         job(2, 1.0, 8, 100.0)},
+        running, 8, "fcfs", 0.0);
+    EXPECT_DOUBLE_EQ(predictions[0], 500.0);
+    EXPECT_DOUBLE_EQ(predictions[1], 900.0);  // 500 + estimate 400
+}
+
+TEST(ForwardPredictor, BackfillPredictedUnderEasy)
+{
+    // Head (10 procs) blocked until 1000; a 2-proc short job backfills
+    // immediately under EASY but must wait under FCFS.
+    std::vector<RunningJob> running = {{99, 8, 1000.0}};
+    std::vector<SimJob> pending = {job(1, 0.0, 10, 500.0),
+                                   job(2, 1.0, 2, 100.0)};
+    auto easy = forecastStartTimes(pending, running, 10,
+                                   "easy-backfill", 0.0);
+    EXPECT_DOUBLE_EQ(easy[0], 1000.0);
+    EXPECT_DOUBLE_EQ(easy[1], 0.0);
+    auto fcfs = forecastStartTimes(pending, running, 10, "fcfs", 0.0);
+    // Under FCFS the short job waits behind the head, which then holds
+    // all 10 processors until 1500.
+    EXPECT_DOUBLE_EQ(fcfs[1], 1500.0);
+}
+
+TEST(ForwardPredictorDeath, ImpossibleJob)
+{
+    EXPECT_DEATH(forecastStartTimes({job(1, 0.0, 16, 10.0)}, {}, 8,
+                                    "fcfs", 0.0),
+                 "larger than machine|nothing running");
+}
+
+TEST(ForwardIntegration, ForecastsExactWithPerfectEstimates)
+{
+    // With estimates == runtimes and no future arrivals interfering,
+    // the arrival-time forecast matches the realized start.
+    BatchSimConfig config;
+    config.totalProcs = 8;
+    config.policy = "fcfs";
+    config.forecastAtArrival = true;
+    BatchSimulator simulator(config);
+    auto done = simulator.run({job(1, 0.0, 8, 100.0),
+                               job(2, 1.0, 8, 50.0),
+                               job(3, 2.0, 8, 25.0)});
+    ASSERT_EQ(simulator.forecasts().size(), 3u);
+    for (const auto &j : done) {
+        ASSERT_NEAR(simulator.forecasts().at(j.id), j.startTime, 1e-9)
+            << "job " << j.id;
+    }
+}
+
+TEST(ForwardIntegration, LooseEstimatesOverpredict)
+{
+    // Estimates 4x the runtime: queued jobs' forecasts exceed their
+    // realized starts.
+    BatchSimConfig config;
+    config.totalProcs = 8;
+    config.policy = "fcfs";
+    config.forecastAtArrival = true;
+    BatchSimulator simulator(config);
+    auto done = simulator.run(
+        {job(1, 0.0, 8, 100.0, 400.0), job(2, 1.0, 8, 100.0, 400.0)});
+    // Job 2 forecast: starts when job 1's estimate expires (400), but
+    // actually starts at 100.
+    EXPECT_DOUBLE_EQ(simulator.forecasts().at(2), 400.0);
+    EXPECT_DOUBLE_EQ(done[1].startTime, 100.0);
+}
+
+TEST(ForwardIntegration, FutureArrivalsCanInvalidateForecasts)
+{
+    // Forecasts assume no future arrivals; a later high-priority job
+    // can push a pending job past its forecast. This is the inherent
+    // limitation the paper points at.
+    BatchSimConfig config;
+    config.totalProcs = 8;
+    config.policy = "priority-fcfs";
+    config.forecastAtArrival = true;
+    BatchSimulator simulator(config);
+    auto low = job(2, 1.0, 8, 100.0);
+    low.priority = 0;
+    auto high = job(3, 2.0, 8, 100.0);
+    high.priority = 9;
+    auto done = simulator.run({job(1, 0.0, 8, 100.0), low, high});
+    // Job 2's forecast at t=1 was 100 (no knowledge of job 3)...
+    EXPECT_DOUBLE_EQ(simulator.forecasts().at(2), 100.0);
+    // ...but job 3 preempted its slot: realized start is 200.
+    EXPECT_DOUBLE_EQ(done[1].startTime, 200.0);
+}
+
+TEST(ForwardIntegration, DisabledByDefault)
+{
+    BatchSimConfig config;
+    config.totalProcs = 8;
+    BatchSimulator simulator(config);
+    simulator.run({job(1, 0.0, 8, 10.0)});
+    EXPECT_TRUE(simulator.forecasts().empty());
+}
+
+} // namespace
+} // namespace sim
+} // namespace qdel

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the machine-simulator workload generator.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/batch/job_generator.hh"
+#include "stats/descriptive.hh"
+
+namespace qdel {
+namespace sim {
+namespace {
+
+JobGeneratorConfig
+baseConfig()
+{
+    JobGeneratorConfig config;
+    config.startTime = 1000.0;
+    config.durationSeconds = 10.0 * 86400.0;
+    QueueSpec spec;
+    spec.name = "normal";
+    spec.jobsPerDay = 100.0;
+    spec.minProcs = 1;
+    spec.maxProcs = 64;
+    spec.runMedianSeconds = 1800.0;
+    spec.maxRunSeconds = 8 * 3600.0;
+    spec.overestimateMax = 4.0;
+    config.queues = {spec};
+    return config;
+}
+
+TEST(JobGenerator, CountScalesWithRate)
+{
+    stats::Rng rng(1);
+    auto jobs = generateJobs(baseConfig(), rng);
+    EXPECT_EQ(jobs.size(), 1000u);  // 100 jobs/day for 10 days
+}
+
+TEST(JobGenerator, SortedWithAscendingIds)
+{
+    stats::Rng rng(2);
+    auto jobs = generateJobs(baseConfig(), rng);
+    for (size_t i = 1; i < jobs.size(); ++i) {
+        ASSERT_GE(jobs[i].submitTime, jobs[i - 1].submitTime);
+        ASSERT_EQ(jobs[i].id, jobs[i - 1].id + 1);
+    }
+}
+
+TEST(JobGenerator, FieldInvariants)
+{
+    stats::Rng rng(3);
+    auto config = baseConfig();
+    auto jobs = generateJobs(config, rng);
+    const auto &spec = config.queues[0];
+    for (const auto &job : jobs) {
+        ASSERT_GE(job.procs, spec.minProcs);
+        ASSERT_LE(job.procs, spec.maxProcs);
+        ASSERT_GE(job.runSeconds, 60.0);
+        ASSERT_LE(job.runSeconds, spec.maxRunSeconds);
+        ASSERT_GE(job.estimateSeconds, job.runSeconds * 0.999);
+        ASSERT_LE(job.estimateSeconds, spec.maxRunSeconds + 1e-9);
+        ASSERT_EQ(job.queue, "normal");
+    }
+}
+
+TEST(JobGenerator, RuntimeMedianNearTarget)
+{
+    stats::Rng rng(4);
+    auto config = baseConfig();
+    config.durationSeconds = 100.0 * 86400.0;
+    auto jobs = generateJobs(config, rng);
+    std::vector<double> runtimes;
+    for (const auto &job : jobs)
+        runtimes.push_back(job.runSeconds);
+    EXPECT_NEAR(stats::median(runtimes), 1800.0, 200.0);
+}
+
+TEST(JobGenerator, PowersOfTwoFavored)
+{
+    stats::Rng rng(5);
+    auto config = baseConfig();
+    config.durationSeconds = 100.0 * 86400.0;
+    auto jobs = generateJobs(config, rng);
+    size_t pow2 = 0;
+    for (const auto &job : jobs) {
+        const unsigned p = static_cast<unsigned>(job.procs);
+        if ((p & (p - 1)) == 0)
+            ++pow2;
+    }
+    // 70% explicit power-of-two draws plus uniform collisions.
+    EXPECT_GT(static_cast<double>(pow2) / jobs.size(), 0.6);
+}
+
+TEST(JobGenerator, MultipleQueuesMerged)
+{
+    stats::Rng rng(6);
+    auto config = baseConfig();
+    QueueSpec debug;
+    debug.name = "debug";
+    debug.priority = 3;
+    debug.jobsPerDay = 50.0;
+    debug.maxProcs = 8;
+    config.queues.push_back(debug);
+    auto jobs = generateJobs(config, rng);
+    size_t debug_count = 0;
+    for (const auto &job : jobs)
+        debug_count += job.queue == "debug";
+    EXPECT_EQ(debug_count, 500u);
+    EXPECT_EQ(jobs.size(), 1500u);
+}
+
+TEST(JobGeneratorDeath, InvalidConfigs)
+{
+    stats::Rng rng(7);
+    JobGeneratorConfig empty;
+    EXPECT_DEATH(generateJobs(empty, rng), "at least one");
+    auto config = baseConfig();
+    config.durationSeconds = 0.0;
+    EXPECT_DEATH(generateJobs(config, rng), "duration");
+}
+
+} // namespace
+} // namespace sim
+} // namespace qdel

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for the processor pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/batch/machine.hh"
+
+namespace qdel {
+namespace sim {
+namespace {
+
+TEST(Machine, AllocateRelease)
+{
+    Machine machine(128);
+    EXPECT_EQ(machine.totalProcs(), 128);
+    EXPECT_EQ(machine.freeProcs(), 128);
+    machine.allocate(100);
+    EXPECT_EQ(machine.freeProcs(), 28);
+    EXPECT_TRUE(machine.fits(28));
+    EXPECT_FALSE(machine.fits(29));
+    machine.release(100);
+    EXPECT_EQ(machine.freeProcs(), 128);
+}
+
+TEST(MachineDeath, Oversubscription)
+{
+    Machine machine(16);
+    machine.allocate(10);
+    EXPECT_DEATH(machine.allocate(7), "oversubscription");
+}
+
+TEST(MachineDeath, OverRelease)
+{
+    Machine machine(16);
+    machine.allocate(4);
+    machine.release(4);
+    EXPECT_DEATH(machine.release(1), "exceed machine size");
+}
+
+TEST(MachineDeath, InvalidConstruction)
+{
+    EXPECT_DEATH(Machine(0), "positive");
+    EXPECT_DEATH(Machine(-5), "positive");
+}
+
+TEST(MachineDeath, NonPositivePartition)
+{
+    Machine machine(8);
+    EXPECT_DEATH(machine.allocate(0), "non-positive");
+    EXPECT_DEATH(machine.release(-1), "non-positive");
+}
+
+} // namespace
+} // namespace sim
+} // namespace qdel

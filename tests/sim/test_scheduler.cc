@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the scheduling policies, including the EASY
+ * backfilling invariants (backfilled jobs can never delay the queue
+ * head's reservation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/batch/scheduler.hh"
+
+namespace qdel {
+namespace sim {
+namespace {
+
+SimJob
+job(long long id, double submit, int procs, double estimate,
+    int priority = 0)
+{
+    SimJob j;
+    j.id = id;
+    j.submitTime = submit;
+    j.procs = procs;
+    j.runSeconds = estimate;
+    j.estimateSeconds = estimate;
+    j.priority = priority;
+    return j;
+}
+
+TEST(Fcfs, StartsInOrderUntilBlocked)
+{
+    Machine machine(10);
+    FcfsScheduler scheduler;
+    std::vector<SimJob> pending = {job(1, 0, 4, 100), job(2, 1, 4, 100),
+                                   job(3, 2, 4, 100), job(4, 3, 1, 100)};
+    auto starts = scheduler.selectJobs(pending, machine, {}, 10.0);
+    // Jobs 1 and 2 fit (8 procs); job 3 blocks; job 4 must NOT jump
+    // ahead under pure FCFS.
+    ASSERT_EQ(starts.size(), 2u);
+    EXPECT_EQ(starts[0], 0u);
+    EXPECT_EQ(starts[1], 1u);
+}
+
+TEST(Fcfs, EmptyPending)
+{
+    Machine machine(10);
+    FcfsScheduler scheduler;
+    EXPECT_TRUE(scheduler.selectJobs({}, machine, {}, 0.0).empty());
+}
+
+TEST(PriorityFcfs, HigherPriorityFirst)
+{
+    Machine machine(8);
+    PriorityFcfsScheduler scheduler;
+    std::vector<SimJob> pending = {job(1, 0, 8, 100, 0),
+                                   job(2, 1, 8, 100, 5)};
+    auto starts = scheduler.selectJobs(pending, machine, {}, 10.0);
+    ASSERT_EQ(starts.size(), 1u);
+    EXPECT_EQ(starts[0], 1u);  // the priority-5 job
+}
+
+TEST(PriorityFcfs, FcfsWithinPriority)
+{
+    Machine machine(4);
+    PriorityFcfsScheduler scheduler;
+    std::vector<SimJob> pending = {job(1, 5, 4, 100, 1),
+                                   job(2, 3, 4, 100, 1)};
+    auto starts = scheduler.selectJobs(pending, machine, {}, 10.0);
+    ASSERT_EQ(starts.size(), 1u);
+    EXPECT_EQ(starts[0], 1u);  // earlier submission wins
+}
+
+TEST(EasyBackfill, BackfillsShortNarrowJob)
+{
+    Machine machine(10);
+    machine.allocate(8);  // running job occupies 8 procs
+    EasyBackfillScheduler scheduler;
+    std::vector<RunningJob> running = {{99, 8, 1000.0}};
+    // Head needs 10 procs -> reservation at t=1000. A 2-proc job that
+    // finishes by 1000 may backfill.
+    std::vector<SimJob> pending = {job(1, 0, 10, 500),
+                                   job(2, 1, 2, 900)};
+    auto starts = scheduler.selectJobs(pending, machine, running, 0.0);
+    ASSERT_EQ(starts.size(), 1u);
+    EXPECT_EQ(starts[0], 1u);
+}
+
+TEST(EasyBackfill, RefusesBackfillThatWouldDelayHead)
+{
+    Machine machine(10);
+    machine.allocate(8);
+    EasyBackfillScheduler scheduler;
+    std::vector<RunningJob> running = {{99, 8, 1000.0}};
+    // The 2-proc candidate runs past the shadow time (estimate 2000 >
+    // 1000) and the head needs all 10 procs at the shadow (extra = 0):
+    // backfilling it would delay the head. It must stay queued.
+    std::vector<SimJob> pending = {job(1, 0, 10, 500),
+                                   job(2, 1, 2, 2000)};
+    auto starts = scheduler.selectJobs(pending, machine, running, 0.0);
+    EXPECT_TRUE(starts.empty());
+}
+
+TEST(EasyBackfill, AllowsLongJobBesideReservation)
+{
+    Machine machine(10);
+    machine.allocate(6);
+    EasyBackfillScheduler scheduler;
+    std::vector<RunningJob> running = {{99, 6, 1000.0}};
+    // Head needs 8; at the shadow (t=1000) 10 procs are free, leaving
+    // extra = 2 beside the reservation. A 2-proc job may run
+    // indefinitely without delaying the head; a 3-proc one may not.
+    std::vector<SimJob> pending = {job(1, 0, 8, 500),
+                                   job(2, 1, 2, 1e6),
+                                   job(3, 2, 3, 1e6)};
+    auto starts = scheduler.selectJobs(pending, machine, running, 0.0);
+    ASSERT_EQ(starts.size(), 1u);
+    EXPECT_EQ(starts[0], 1u);
+}
+
+TEST(EasyBackfill, ExtraWidthConsumedByStackedBackfills)
+{
+    Machine machine(10);
+    machine.allocate(6);
+    EasyBackfillScheduler scheduler;
+    std::vector<RunningJob> running = {{99, 6, 1000.0}};
+    // extra = 2: two 1-proc eternal jobs fit beside the reservation,
+    // a third must be refused.
+    std::vector<SimJob> pending = {job(1, 0, 8, 500), job(2, 1, 1, 1e6),
+                                   job(3, 2, 1, 1e6), job(4, 3, 1, 1e6)};
+    auto starts = scheduler.selectJobs(pending, machine, running, 0.0);
+    ASSERT_EQ(starts.size(), 2u);
+    EXPECT_EQ(starts[0], 1u);
+    EXPECT_EQ(starts[1], 2u);
+}
+
+TEST(EasyBackfill, StartsHeadWhenItFits)
+{
+    Machine machine(10);
+    EasyBackfillScheduler scheduler;
+    std::vector<SimJob> pending = {job(1, 0, 10, 100)};
+    auto starts = scheduler.selectJobs(pending, machine, {}, 0.0);
+    ASSERT_EQ(starts.size(), 1u);
+}
+
+TEST(EasyBackfill, AccountsForJustStartedJobsInShadow)
+{
+    Machine machine(10);
+    EasyBackfillScheduler scheduler;
+    // Phase 1 starts the 6-proc job (estimate 100); the 10-proc head
+    // then gets its reservation at t=100; the 4-proc job with estimate
+    // 50 can backfill into the remaining width.
+    std::vector<SimJob> pending = {job(1, 0, 6, 100), job(2, 1, 10, 500),
+                                   job(3, 2, 4, 50)};
+    auto starts = scheduler.selectJobs(pending, machine, {}, 0.0);
+    ASSERT_EQ(starts.size(), 2u);
+    EXPECT_EQ(starts[0], 0u);
+    EXPECT_EQ(starts[1], 2u);
+}
+
+TEST(MakeScheduler, Factory)
+{
+    EXPECT_EQ(makeScheduler("fcfs")->name(), "fcfs");
+    EXPECT_EQ(makeScheduler("priority-fcfs")->name(), "priority-fcfs");
+    EXPECT_EQ(makeScheduler("easy-backfill")->name(), "easy-backfill");
+}
+
+TEST(MakeSchedulerDeath, UnknownPolicy)
+{
+    EXPECT_DEATH(makeScheduler("random"), "unknown scheduling policy");
+}
+
+} // namespace
+} // namespace sim
+} // namespace qdel

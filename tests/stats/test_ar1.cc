@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the AR(1) log-normal process used by the rare-event
+ * calibration and the workload synthesizer.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/ar1.hh"
+#include "stats/descriptive.hh"
+
+namespace qdel {
+namespace stats {
+namespace {
+
+std::vector<double>
+logsOf(Ar1LogNormalProcess &process, size_t n)
+{
+    std::vector<double> logs;
+    logs.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        logs.push_back(std::log(process.next()));
+    return logs;
+}
+
+TEST(Ar1LogNormal, MarginalIndependentOfRho)
+{
+    // The latent chain has unit marginal variance for every rho, so
+    // log X ~ N(mu, sigma^2) regardless of autocorrelation.
+    for (double rho : {0.0, 0.5, 0.9}) {
+        Ar1LogNormalProcess process(2.0, 0.7, rho, Rng(1000));
+        auto logs = logsOf(process, 200000);
+        EXPECT_NEAR(mean(logs), 2.0, 0.03) << "rho=" << rho;
+        EXPECT_NEAR(stddev(logs), 0.7, 0.03) << "rho=" << rho;
+    }
+}
+
+TEST(Ar1LogNormal, RecoversLagOneAutocorrelation)
+{
+    for (double rho : {0.0, 0.3, 0.6, 0.9}) {
+        Ar1LogNormalProcess process(0.0, 1.0, rho, Rng(2000));
+        auto logs = logsOf(process, 200000);
+        EXPECT_NEAR(autocorrelation(logs, 1), rho, 0.02) << "rho=" << rho;
+    }
+}
+
+TEST(Ar1LogNormal, SetMarginalShiftsLevel)
+{
+    Ar1LogNormalProcess process(0.0, 0.5, 0.4, Rng(3));
+    (void)logsOf(process, 100);
+    process.setMarginal(4.0, 0.5);
+    auto logs = logsOf(process, 50000);
+    EXPECT_NEAR(mean(logs), 4.0, 0.05);
+}
+
+TEST(Ar1LogNormal, DeterministicForSeed)
+{
+    Ar1LogNormalProcess a(1.0, 1.0, 0.5, Rng(42));
+    Ar1LogNormalProcess b(1.0, 1.0, 0.5, Rng(42));
+    for (int i = 0; i < 100; ++i)
+        ASSERT_DOUBLE_EQ(a.next(), b.next());
+}
+
+TEST(Ar1LogNormalDeath, InvalidParameters)
+{
+    EXPECT_DEATH(Ar1LogNormalProcess(0.0, 0.0, 0.5, Rng(1)), "sigma");
+    EXPECT_DEATH(Ar1LogNormalProcess(0.0, 1.0, 1.0, Rng(1)), "rho");
+    EXPECT_DEATH(Ar1LogNormalProcess(0.0, 1.0, -0.1, Rng(1)), "rho");
+}
+
+} // namespace
+} // namespace stats
+} // namespace qdel

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the descriptive statistics.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace stats {
+namespace {
+
+TEST(Mean, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Variance, BesselCorrected)
+{
+    EXPECT_DOUBLE_EQ(variance({1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({2.0, 4.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stddev({2.0, 4.0}), std::sqrt(2.0));
+}
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Quantile, Type7Interpolation)
+{
+    std::vector<double> sample = {10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 50.0);
+    EXPECT_DOUBLE_EQ(quantile(sample, 0.5), 30.0);
+    EXPECT_DOUBLE_EQ(quantile(sample, 0.25), 20.0);
+    EXPECT_DOUBLE_EQ(quantile(sample, 0.1), 14.0);  // interpolated
+}
+
+TEST(QuantileDeath, RejectsBadInput)
+{
+    EXPECT_DEATH(quantile({}, 0.5), "empty");
+    EXPECT_DEATH(quantile({1.0}, 1.5), "out of");
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero)
+{
+    Rng rng(5);
+    std::vector<double> series;
+    for (int i = 0; i < 50000; ++i)
+        series.push_back(rng.normal());
+    EXPECT_NEAR(autocorrelation(series, 1), 0.0, 0.02);
+}
+
+TEST(Autocorrelation, Ar1RecoversRho)
+{
+    Rng rng(6);
+    const double rho = 0.6;
+    std::vector<double> series;
+    double z = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        z = rho * z + std::sqrt(1 - rho * rho) * rng.normal();
+        series.push_back(z);
+    }
+    EXPECT_NEAR(autocorrelation(series, 1), rho, 0.02);
+    EXPECT_NEAR(autocorrelation(series, 2), rho * rho, 0.02);
+}
+
+TEST(Autocorrelation, DegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 5), 0.0);
+    EXPECT_DOUBLE_EQ(autocorrelation({3.0, 3.0, 3.0, 3.0}, 1), 0.0);
+}
+
+TEST(Summarize, AllFields)
+{
+    auto s = summarize({4.0, 1.0, 3.0, 2.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summarize, Empty)
+{
+    auto s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(RunningMoments, MatchesBatch)
+{
+    Rng rng(11);
+    RunningMoments moments;
+    std::vector<double> sample;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.logNormal(2.0, 1.0);
+        sample.push_back(x);
+        moments.push(x);
+    }
+    EXPECT_EQ(moments.count(), sample.size());
+    EXPECT_NEAR(moments.mean(), mean(sample), 1e-9);
+    EXPECT_NEAR(moments.variance(), variance(sample), 1e-6);
+}
+
+TEST(RunningMoments, Clear)
+{
+    RunningMoments moments;
+    moments.push(1.0);
+    moments.push(5.0);
+    moments.clear();
+    EXPECT_EQ(moments.count(), 0u);
+    EXPECT_DOUBLE_EQ(moments.variance(), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace qdel

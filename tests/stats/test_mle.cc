@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the MLE fitters.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/mle.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace stats {
+namespace {
+
+TEST(FitNormal, RecoversParameters)
+{
+    Rng rng(21);
+    std::vector<double> sample;
+    for (int i = 0; i < 50000; ++i)
+        sample.push_back(rng.normal(7.0, 2.0));
+    const auto fit = fitNormal(sample);
+    EXPECT_EQ(fit.count, sample.size());
+    EXPECT_NEAR(fit.mu, 7.0, 0.05);
+    EXPECT_NEAR(fit.sigma, 2.0, 0.05);
+}
+
+TEST(FitNormal, ExactSmallSample)
+{
+    const auto fit = fitNormal({2.0, 4.0, 6.0});
+    EXPECT_DOUBLE_EQ(fit.mu, 4.0);
+    EXPECT_DOUBLE_EQ(fit.sigma, 2.0);
+}
+
+TEST(FitNormalDeath, NeedsTwoPoints)
+{
+    EXPECT_DEATH(fitNormal({1.0}), "at least 2");
+}
+
+TEST(FitLogNormal, RecoversParameters)
+{
+    Rng rng(22);
+    std::vector<double> sample;
+    for (int i = 0; i < 50000; ++i)
+        sample.push_back(rng.logNormal(5.0, 1.5));
+    const auto fit = fitLogNormal(sample);
+    EXPECT_NEAR(fit.mu, 5.0, 0.05);
+    EXPECT_NEAR(fit.sigma, 1.5, 0.05);
+}
+
+TEST(FitLogNormal, FloorsNonPositiveValues)
+{
+    // Zero wait times are legal in the traces; the epsilon floor keeps
+    // the log transform defined.
+    const auto fit = fitLogNormal({0.0, 0.0, std::exp(2.0)}, 1.0);
+    EXPECT_NEAR(fit.mu, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ToLogNormal, BuildsDistribution)
+{
+    NormalFit fit;
+    fit.mu = 3.0;
+    fit.sigma = 1.0;
+    fit.count = 100;
+    const auto dist = toLogNormal(fit);
+    EXPECT_NEAR(dist.median(), std::exp(3.0), 1e-9);
+}
+
+TEST(ToLogNormal, DegenerateSigmaClamped)
+{
+    NormalFit fit;
+    fit.mu = 1.0;
+    fit.sigma = 0.0;
+    const auto dist = toLogNormal(fit);
+    EXPECT_GT(dist.sigma(), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace qdel

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the binomial order-statistic bound machinery — the exact
+ * core of BMBP — including the distribution-free coverage property the
+ * whole paper rests on.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hh"
+#include "stats/quantile_bounds.hh"
+#include "stats/rng.hh"
+#include "stats/special_functions.hh"
+
+namespace qdel {
+namespace stats {
+namespace {
+
+TEST(MinimumSampleSize, PaperValue)
+{
+    // Section 4.1: 59 observations are the minimum for a 95% bound on
+    // the .95 quantile.
+    EXPECT_EQ(minimumSampleSize(0.95, 0.95), 59u);
+}
+
+TEST(MinimumSampleSize, OtherCombinations)
+{
+    // 1 - q^n >= C at the returned n but not at n-1.
+    for (double q : {0.5, 0.75, 0.9, 0.95, 0.99}) {
+        for (double c : {0.8, 0.9, 0.95, 0.99}) {
+            const size_t n = minimumSampleSize(q, c);
+            EXPECT_GE(1.0 - std::pow(q, static_cast<double>(n)), c);
+            if (n > 1) {
+                EXPECT_LT(1.0 - std::pow(q, static_cast<double>(n - 1)),
+                          c);
+            }
+        }
+    }
+}
+
+TEST(UpperBoundIndexExact, TooSmallSampleHasNoBound)
+{
+    EXPECT_FALSE(upperBoundIndexExact(58, 0.95, 0.95).has_value());
+    auto idx = upperBoundIndexExact(59, 0.95, 0.95);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 59u);  // the maximum of the minimal sample
+}
+
+TEST(UpperBoundIndexExact, DefiningInequalities)
+{
+    // k is the smallest index with P[Bin(n, q) <= k-1] >= C.
+    for (size_t n : {59u, 100u, 500u}) {
+        const auto idx = upperBoundIndexExact(n, 0.95, 0.95);
+        ASSERT_TRUE(idx.has_value());
+        const long long k = static_cast<long long>(*idx);
+        EXPECT_GE(binomialCdf(k - 1, static_cast<long long>(n), 0.95),
+                  0.95);
+        if (k > 1) {
+            EXPECT_LT(binomialCdf(k - 2, static_cast<long long>(n), 0.95),
+                      0.95);
+        }
+    }
+}
+
+TEST(LowerBoundIndexExact, DefiningInequalities)
+{
+    for (size_t n : {59u, 200u}) {
+        const auto idx = lowerBoundIndexExact(n, 0.25, 0.95);
+        ASSERT_TRUE(idx.has_value());
+        const long long k = static_cast<long long>(*idx);
+        EXPECT_GE(1.0 - binomialCdf(k - 1, static_cast<long long>(n),
+                                    0.25),
+                  0.95);
+        EXPECT_LT(1.0 - binomialCdf(k, static_cast<long long>(n), 0.25),
+                  0.95);
+    }
+}
+
+TEST(LowerBoundIndexExact, InfeasibleSample)
+{
+    // Lower bound on the .25 quantile needs 1-(1-q)^n >= C:
+    // n = 1 fails at 95% confidence.
+    EXPECT_FALSE(lowerBoundIndexExact(1, 0.25, 0.95).has_value());
+}
+
+TEST(UpperBoundIndex, MonotoneInConfidence)
+{
+    size_t previous = 0;
+    for (double c : {0.5, 0.8, 0.9, 0.95, 0.99}) {
+        const auto idx = upperBoundIndexExact(500, 0.9, c);
+        ASSERT_TRUE(idx.has_value());
+        EXPECT_GE(*idx, previous);
+        previous = *idx;
+    }
+}
+
+TEST(UpperBoundIndex, ApproximationTracksExact)
+{
+    // Where the approximation guard holds, the two indices differ by a
+    // couple of order statistics at most (the paper's Appendix example
+    // has the approx landing on .916n for q=.9, n=1000).
+    for (size_t n : {250u, 1000u, 5000u, 50000u}) {
+        for (double q : {0.5, 0.9, 0.95}) {
+            if (!normalApproximationValid(n, q))
+                continue;
+            const auto exact = upperBoundIndexExact(n, q, 0.95);
+            const auto approx = upperBoundIndexApprox(n, q, 0.95);
+            ASSERT_TRUE(exact.has_value());
+            ASSERT_TRUE(approx.has_value());
+            const double diff =
+                std::fabs(static_cast<double>(*exact) -
+                          static_cast<double>(*approx));
+            EXPECT_LE(diff, 3.0 + 0.001 * static_cast<double>(n))
+                << "n=" << n << " q=" << q;
+            // Approximation must not be anti-conservative by much:
+            EXPECT_GE(static_cast<double>(*approx),
+                      static_cast<double>(*exact) - 1.0);
+        }
+    }
+}
+
+TEST(UpperBoundIndex, PaperAppendixExample)
+{
+    // Appendix: q = .9, n = 1000, C = .95 -> k = 900 + ceil(15.6) = 916.
+    const auto idx = upperBoundIndexApprox(1000, 0.9, 0.95);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 916u);
+}
+
+TEST(NormalApproximationValid, Guard)
+{
+    EXPECT_FALSE(normalApproximationValid(100, 0.95)); // 5 failures < 10
+    EXPECT_TRUE(normalApproximationValid(200, 0.95));
+    EXPECT_TRUE(normalApproximationValid(100, 0.5));
+    EXPECT_FALSE(normalApproximationValid(10, 0.5));
+}
+
+/**
+ * The central property: for i.i.d. samples from ANY distribution, the
+ * order statistic selected by upperBoundIndex is >= the true q
+ * quantile in at least a C fraction of repeated experiments.
+ */
+struct CoverageCase
+{
+    const char *name;
+    double (*quantile)(double);  // true quantile function
+    double (*sample)(Rng &);     // sampler
+};
+
+double
+paretoQuantile(double p)
+{
+    return ParetoDist(1.0, 1.1).quantile(p);
+}
+double
+paretoSample(Rng &rng)
+{
+    return rng.pareto(1.0, 1.1);
+}
+double
+logNormalQuantile(double p)
+{
+    return LogNormalDist(3.0, 2.5).quantile(p);
+}
+double
+logNormalSample(Rng &rng)
+{
+    return rng.logNormal(3.0, 2.5);
+}
+double
+uniformQuantile(double p)
+{
+    return p;
+}
+double
+uniformSample(Rng &rng)
+{
+    return rng.uniform();
+}
+double
+weibullQuantile(double p)
+{
+    return WeibullDist(0.6, 50.0).quantile(p);
+}
+double
+weibullSample(Rng &rng)
+{
+    return rng.weibull(0.6, 50.0);
+}
+
+class BoundCoverage : public ::testing::TestWithParam<CoverageCase>
+{
+};
+
+TEST_P(BoundCoverage, UpperBoundCoversTrueQuantile)
+{
+    const auto &test_case = GetParam();
+    const double q = 0.95;
+    const double confidence = 0.95;
+    const double true_quantile = test_case.quantile(q);
+
+    Rng rng(2024);
+    const int experiments = 2000;
+    const size_t n = 80;
+    int covered = 0;
+    std::vector<double> sample(n);
+    for (int e = 0; e < experiments; ++e) {
+        for (auto &value : sample)
+            value = test_case.sample(rng);
+        std::sort(sample.begin(), sample.end());
+        const auto idx = upperBoundIndexExact(n, q, confidence);
+        ASSERT_TRUE(idx.has_value());
+        if (sample[*idx - 1] >= true_quantile)
+            ++covered;
+    }
+    const double rate =
+        static_cast<double>(covered) / static_cast<double>(experiments);
+    // Coverage must meet the confidence level, minus Monte Carlo noise
+    // (4 sigma ~ 0.02 at 2000 experiments).
+    EXPECT_GE(rate, confidence - 0.02) << test_case.name;
+}
+
+TEST_P(BoundCoverage, LowerBoundCoversTrueQuantile)
+{
+    const auto &test_case = GetParam();
+    const double q = 0.25;
+    const double confidence = 0.95;
+    const double true_quantile = test_case.quantile(q);
+
+    Rng rng(777);
+    const int experiments = 2000;
+    const size_t n = 80;
+    int covered = 0;
+    std::vector<double> sample(n);
+    for (int e = 0; e < experiments; ++e) {
+        for (auto &value : sample)
+            value = test_case.sample(rng);
+        std::sort(sample.begin(), sample.end());
+        const auto idx = lowerBoundIndexExact(n, q, confidence);
+        ASSERT_TRUE(idx.has_value());
+        if (sample[*idx - 1] <= true_quantile)
+            ++covered;
+    }
+    const double rate =
+        static_cast<double>(covered) / static_cast<double>(experiments);
+    EXPECT_GE(rate, confidence - 0.02) << test_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossDistributions, BoundCoverage,
+    ::testing::Values(
+        CoverageCase{"pareto", paretoQuantile, paretoSample},
+        CoverageCase{"lognormal", logNormalQuantile, logNormalSample},
+        CoverageCase{"uniform", uniformQuantile, uniformSample},
+        CoverageCase{"weibull", weibullQuantile, weibullSample}),
+    [](const ::testing::TestParamInfo<CoverageCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace stats
+} // namespace qdel

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and its samplers.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace stats {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveUnbiased)
+{
+    Rng rng(10);
+    std::vector<int> counts(6, 0);
+    const int draws = 120000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[static_cast<size_t>(rng.uniformInt(0, 5))];
+    for (int c : counts)
+        EXPECT_NEAR(c, draws / 6, 4 * std::sqrt(draws / 6.0));
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    std::vector<double> sample;
+    for (int i = 0; i < 200000; ++i)
+        sample.push_back(rng.normal());
+    EXPECT_NEAR(mean(sample), 0.0, 0.01);
+    EXPECT_NEAR(stddev(sample), 1.0, 0.01);
+    // Tail sanity: P(Z > 1.645) ~ .05.
+    int above = 0;
+    for (double z : sample)
+        above += z > 1.6448536269514722;
+    EXPECT_NEAR(above / 200000.0, 0.05, 0.003);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(12);
+    std::vector<double> sample;
+    for (int i = 0; i < 100000; ++i)
+        sample.push_back(rng.exponential(0.25));
+    EXPECT_NEAR(mean(sample), 4.0, 0.08);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(13);
+    std::vector<double> sample;
+    for (int i = 0; i < 100000; ++i)
+        sample.push_back(rng.logNormal(3.0, 1.5));
+    EXPECT_NEAR(median(sample), std::exp(3.0), 0.5);
+}
+
+TEST(Rng, WeibullQuantiles)
+{
+    Rng rng(14);
+    std::vector<double> sample;
+    for (int i = 0; i < 100000; ++i)
+        sample.push_back(rng.weibull(2.0, 10.0));
+    // Median of Weibull(k,lambda) = lambda ln(2)^{1/k}.
+    EXPECT_NEAR(median(sample), 10.0 * std::sqrt(std::log(2.0)), 0.1);
+}
+
+TEST(Rng, ParetoTail)
+{
+    Rng rng(15);
+    int above = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        above += rng.pareto(1.0, 2.0) > 2.0;  // P = (1/2)^2 = .25
+    EXPECT_NEAR(above / static_cast<double>(draws), 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(16);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalProportions)
+{
+    Rng rng(17);
+    const double weights[3] = {1.0, 2.0, 7.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[static_cast<size_t>(rng.categorical(weights, 3))];
+    EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / 100000.0, 0.2, 0.01);
+    EXPECT_NEAR(counts[2] / 100000.0, 0.7, 0.01);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverPicked)
+{
+    Rng rng(18);
+    const double weights[3] = {1.0, 0.0, 1.0};
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_NE(rng.categorical(weights, 3), 1);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(77);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngDeath, InvalidParameters)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.exponential(0.0), "rate");
+    EXPECT_DEATH(rng.uniformInt(5, 4), "range");
+    const double weights[2] = {0.0, 0.0};
+    EXPECT_DEATH(rng.categorical(weights, 2), "zero");
+}
+
+} // namespace
+} // namespace stats
+} // namespace qdel

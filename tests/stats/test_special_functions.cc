@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the special functions against analytic identities and
+ * high-precision reference values.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/special_functions.hh"
+
+namespace qdel {
+namespace stats {
+namespace {
+
+TEST(LogBeta, MatchesFactorials)
+{
+    // B(a, b) = (a-1)!(b-1)!/(a+b-1)! for integers.
+    EXPECT_NEAR(std::exp(logBeta(3, 4)), 2.0 * 6.0 / 720.0, 1e-12);
+    EXPECT_NEAR(std::exp(logBeta(1, 1)), 1.0, 1e-12);
+    EXPECT_NEAR(std::exp(logBeta(0.5, 0.5)), M_PI, 1e-10);
+}
+
+TEST(IncompleteBeta, KnownValues)
+{
+    // I_x(1, b) = 1 - (1-x)^b.
+    EXPECT_NEAR(incompleteBeta(1.0, 3.0, 0.25),
+                1.0 - std::pow(0.75, 3), 1e-12);
+    // I_x(a, 1) = x^a.
+    EXPECT_NEAR(incompleteBeta(4.0, 1.0, 0.5), std::pow(0.5, 4), 1e-12);
+    // Symmetry point.
+    EXPECT_NEAR(incompleteBeta(2.5, 2.5, 0.5), 0.5, 1e-12);
+}
+
+TEST(IncompleteBeta, BoundsAndSymmetry)
+{
+    EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 1.0), 1.0);
+    for (double x : {0.1, 0.3, 0.7, 0.9}) {
+        EXPECT_NEAR(incompleteBeta(2.0, 5.0, x),
+                    1.0 - incompleteBeta(5.0, 2.0, 1.0 - x), 1e-12);
+    }
+}
+
+TEST(IncompleteBeta, MonotoneInX)
+{
+    double previous = -1.0;
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+        const double value = incompleteBeta(3.5, 7.25, x);
+        EXPECT_GE(value, previous);
+        previous = value;
+    }
+}
+
+TEST(IncompleteGamma, KnownValues)
+{
+    // P(1, x) = 1 - e^{-x}.
+    EXPECT_NEAR(incompleteGammaLower(1.0, 2.0), 1.0 - std::exp(-2.0),
+                1e-12);
+    // P(a, 0) = 0; complementarity.
+    EXPECT_DOUBLE_EQ(incompleteGammaLower(3.0, 0.0), 0.0);
+    EXPECT_NEAR(incompleteGammaLower(2.5, 3.0) +
+                    incompleteGammaUpper(2.5, 3.0),
+                1.0, 1e-12);
+    // chi^2_2 CDF at its median ~ 1.386.
+    EXPECT_NEAR(incompleteGammaLower(1.0, 0.6931471805599453), 0.5, 1e-12);
+}
+
+TEST(NormalCdf, ReferenceValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-15);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-12);
+    EXPECT_NEAR(normalCdf(-1.959963984540054), 0.025, 1e-12);
+    EXPECT_NEAR(normalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalQuantile, ReferenceValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-15);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959963984540054, 1e-10);
+    EXPECT_NEAR(normalQuantile(0.95), 1.6448536269514722, 1e-10);
+    EXPECT_NEAR(normalQuantile(0.05), -1.6448536269514722, 1e-10);
+    EXPECT_NEAR(normalQuantile(1e-10), -6.361340902404056, 1e-6);
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf)
+{
+    for (double p = 0.001; p < 1.0; p += 0.001)
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-12);
+}
+
+TEST(NormalQuantile, Endpoints)
+{
+    EXPECT_TRUE(std::isinf(normalQuantile(0.0)));
+    EXPECT_TRUE(std::isinf(normalQuantile(1.0)));
+    EXPECT_LT(normalQuantile(0.0), 0.0);
+    EXPECT_GT(normalQuantile(1.0), 0.0);
+}
+
+TEST(BinomialCdf, MatchesBruteForceSmallN)
+{
+    for (long long n : {1, 2, 5, 13}) {
+        for (double p : {0.05, 0.3, 0.5, 0.95}) {
+            double cumulative = 0.0;
+            for (long long k = 0; k < n; ++k) {
+                cumulative += std::exp(binomialLogPmf(k, n, p));
+                EXPECT_NEAR(binomialCdf(k, n, p), cumulative, 1e-10)
+                    << "n=" << n << " p=" << p << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(BinomialCdf, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(binomialCdf(-1, 10, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(binomialCdf(10, 10, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(binomialCdf(3, 10, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(binomialCdf(3, 10, 1.0), 0.0);
+}
+
+TEST(BinomialCdf, PaperMinimumHistoryIdentity)
+{
+    // The paper's n = 59: P[Bin(n, .95) <= n-1] = 1 - .95^n crosses
+    // 0.95 exactly at n = 59.
+    EXPECT_LT(binomialCdf(57, 58, 0.95), 0.95);
+    EXPECT_GE(binomialCdf(58, 59, 0.95), 0.95);
+    EXPECT_NEAR(binomialCdf(58, 59, 0.95),
+                1.0 - std::pow(0.95, 59), 1e-12);
+}
+
+TEST(BinomialCdf, LargeN)
+{
+    // Normal-approximation sanity at n = 10^6: CDF at the mean ~ 0.5.
+    const double at_mean = binomialCdf(500000, 1000000, 0.5);
+    EXPECT_NEAR(at_mean, 0.5, 1e-3);
+    EXPECT_NEAR(binomialCdf(950000, 1000000, 0.95), 0.5, 0.51 - 0.5 + 1e-2);
+}
+
+TEST(BinomialLogPmf, SumsToOne)
+{
+    for (double p : {0.2, 0.95}) {
+        double total = 0.0;
+        for (long long k = 0; k <= 20; ++k)
+            total += std::exp(binomialLogPmf(k, 20, p));
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+} // namespace
+} // namespace stats
+} // namespace qdel

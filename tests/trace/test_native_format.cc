@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the native trace format parser/writer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/native_format.hh"
+
+namespace qdel {
+namespace trace {
+namespace {
+
+TEST(NativeParse, MinimalTwoColumn)
+{
+    std::istringstream in("1000 50\n2000 0\n");
+    auto t = parseNativeTrace(in);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_DOUBLE_EQ(t[0].submitTime, 1000.0);
+    EXPECT_DOUBLE_EQ(t[0].waitSeconds, 50.0);
+    EXPECT_EQ(t[0].procs, 1);  // default
+    EXPECT_TRUE(t[0].queue.empty());
+}
+
+TEST(NativeParse, FullFourColumn)
+{
+    std::istringstream in("1000 50 16 normal\n");
+    auto t = parseNativeTrace(in);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].procs, 16);
+    EXPECT_EQ(t[0].queue, "normal");
+}
+
+TEST(NativeParse, CommentsAndBlanksIgnored)
+{
+    std::istringstream in("# header\n\n  \n1000 1\n# trailing\n");
+    EXPECT_EQ(parseNativeTrace(in).size(), 1u);
+}
+
+TEST(NativeParse, SortsBySubmitTime)
+{
+    std::istringstream in("3000 1\n1000 2\n2000 3\n");
+    auto t = parseNativeTrace(in);
+    EXPECT_TRUE(t.isSorted());
+    EXPECT_DOUBLE_EQ(t[0].waitSeconds, 2.0);
+}
+
+TEST(NativeParse, DashQueueMeansEmpty)
+{
+    std::istringstream in("1000 1 4 -\n");
+    auto t = parseNativeTrace(in);
+    EXPECT_TRUE(t[0].queue.empty());
+}
+
+TEST(NativeParseDeath, RejectsMalformedLines)
+{
+    {
+        std::istringstream in("justonefield\n");
+        EXPECT_DEATH(parseNativeTrace(in), "at least");
+    }
+    {
+        std::istringstream in("1000 abc\n");
+        EXPECT_DEATH(parseNativeTrace(in), "unparseable");
+    }
+    {
+        std::istringstream in("1000 -5\n");
+        EXPECT_DEATH(parseNativeTrace(in), "negative wait");
+    }
+    {
+        std::istringstream in("1000 5 0\n");
+        EXPECT_DEATH(parseNativeTrace(in), "bad processor count");
+    }
+}
+
+TEST(NativeRoundTrip, PreservesRecords)
+{
+    Trace original("site", "machine");
+    original.add({1000.0, 25.5, 8, -1.0, "high"});
+    original.add({2000.0, 0.0, 1, -1.0, ""});
+    original.sortBySubmitTime();
+
+    std::ostringstream out;
+    writeNativeTrace(original, out);
+    std::istringstream in(out.str());
+    auto parsed = parseNativeTrace(in);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_DOUBLE_EQ(parsed[i].submitTime, original[i].submitTime);
+        EXPECT_NEAR(parsed[i].waitSeconds, original[i].waitSeconds, 1e-9);
+        EXPECT_EQ(parsed[i].procs, original[i].procs);
+        EXPECT_EQ(parsed[i].queue, original[i].queue);
+    }
+}
+
+TEST(NativeFile, SaveAndLoad)
+{
+    const std::string path =
+        ::testing::TempDir() + "qdel_native_test.txt";
+    Trace original("s", "m");
+    original.add({5.0, 7.0, 2, -1.0, "q"});
+    saveNativeTrace(original, path);
+    auto loaded = loadNativeTrace(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_DOUBLE_EQ(loaded[0].waitSeconds, 7.0);
+    std::remove(path.c_str());
+}
+
+TEST(NativeFileDeath, MissingFile)
+{
+    EXPECT_DEATH(loadNativeTrace("/no/such/file.txt"), "cannot open");
+}
+
+} // namespace
+} // namespace trace
+} // namespace qdel

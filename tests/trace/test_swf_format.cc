@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the Standard Workload Format parser/writer.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/swf_format.hh"
+
+namespace qdel {
+namespace trace {
+namespace {
+
+const char *kSample =
+    "; Computer: TestMachine\n"
+    "; a header comment\n"
+    "1 1000 50 600 16 -1 -1 16 3600 -1 1 4 2 -1 0 -1 -1 -1\n"
+    "2 2000 -1 300 8 -1 -1 8 1800 -1 1 4 2 -1 1 -1 -1 -1\n"
+    "3 3000 10 100 4 -1 -1 -1 900 -1 0 4 2 -1 0 -1 -1 -1\n";
+
+TEST(SwfParse, FieldsMapped)
+{
+    std::istringstream in(kSample);
+    auto t = parseSwfTrace(in);
+    // Record 2 has missing wait (-1) and is skipped by default.
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_DOUBLE_EQ(t[0].submitTime, 1000.0);
+    EXPECT_DOUBLE_EQ(t[0].waitSeconds, 50.0);
+    EXPECT_DOUBLE_EQ(t[0].runSeconds, 600.0);
+    EXPECT_EQ(t[0].procs, 16);
+    EXPECT_EQ(t[0].queue, "q0");
+    // Record 3 has no requested procs; allocated procs (field 5) used.
+    EXPECT_EQ(t[1].procs, 4);
+}
+
+TEST(SwfParse, KeepMissingWait)
+{
+    std::istringstream in(kSample);
+    SwfParseOptions options;
+    options.skipMissingWait = false;
+    auto t = parseSwfTrace(in, "<in>", options);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t[1].waitSeconds, 0.0);  // clamped
+}
+
+TEST(SwfParse, SkipFailedJobs)
+{
+    std::istringstream in(kSample);
+    SwfParseOptions options;
+    options.skipFailed = true;  // record 3 has status 0
+    auto t = parseSwfTrace(in, "<in>", options);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].procs, 16);
+}
+
+TEST(SwfParseDeath, MalformedLine)
+{
+    std::istringstream in("1 2 3\n");
+    EXPECT_DEATH(parseSwfTrace(in), "at least 5 fields");
+}
+
+TEST(SwfParseDeath, GarbageField)
+{
+    std::istringstream in("1 xyz 50 600 16\n");
+    EXPECT_DEATH(parseSwfTrace(in), "bad SWF field");
+}
+
+TEST(SwfRoundTrip, PreservesCoreFields)
+{
+    Trace original("NERSC", "SP");
+    original.add({1000.0, 42.0, 8, 3600.0, "regular"});
+    original.add({2000.0, 0.0, 64, 60.0, "debug"});
+    original.add({3000.0, 7.0, 8, 600.0, "regular"});
+    original.sortBySubmitTime();
+
+    std::ostringstream out;
+    writeSwfTrace(original, out);
+    std::istringstream in(out.str());
+    auto parsed = parseSwfTrace(in);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_DOUBLE_EQ(parsed[i].submitTime, original[i].submitTime);
+        EXPECT_DOUBLE_EQ(parsed[i].waitSeconds, original[i].waitSeconds);
+        EXPECT_EQ(parsed[i].procs, original[i].procs);
+        EXPECT_DOUBLE_EQ(parsed[i].runSeconds, original[i].runSeconds);
+    }
+    // Queue names map to stable numbers: the two "regular" jobs share
+    // a queue id distinct from "debug"'s.
+    EXPECT_EQ(parsed[0].queue, parsed[2].queue);
+    EXPECT_NE(parsed[0].queue, parsed[1].queue);
+}
+
+TEST(SwfWrite, EmitsHeaderComments)
+{
+    Trace t("SiteX", "MachineY");
+    t.add({1.0, 2.0, 3, -1.0, "q"});
+    std::ostringstream out;
+    writeSwfTrace(t, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("; Computer: MachineY"), std::string::npos);
+    EXPECT_NE(text.find("; Installation: SiteX"), std::string::npos);
+    EXPECT_NE(text.find("; Queue:"), std::string::npos);
+}
+
+TEST(SwfFile, SaveAndLoad)
+{
+    const std::string path = ::testing::TempDir() + "qdel_swf_test.swf";
+    Trace original("s", "m");
+    original.add({5.0, 7.0, 2, 100.0, "q"});
+    saveSwfTrace(original, path);
+    auto loaded = loadSwfTrace(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_DOUBLE_EQ(loaded[0].waitSeconds, 7.0);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace trace
+} // namespace qdel

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+
+namespace qdel {
+namespace {
+
+CommandLine
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return CommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CommandLine, KeyEqualsValue)
+{
+    auto cli = parse({"--seed=7", "--method=bmbp"});
+    EXPECT_EQ(cli.getInt("seed", 0), 7);
+    EXPECT_EQ(cli.getString("method", ""), "bmbp");
+}
+
+TEST(CommandLine, KeySpaceValue)
+{
+    auto cli = parse({"--epoch", "300", "--quantile", "0.9"});
+    EXPECT_EQ(cli.getInt("epoch", 0), 300);
+    EXPECT_DOUBLE_EQ(cli.getDouble("quantile", 0.0), 0.9);
+}
+
+TEST(CommandLine, BooleanFlags)
+{
+    auto cli = parse({"--verbose", "--trim=false", "--fast=yes"});
+    EXPECT_TRUE(cli.getBool("verbose", false));
+    EXPECT_FALSE(cli.getBool("trim", true));
+    EXPECT_TRUE(cli.getBool("fast", false));
+    EXPECT_TRUE(cli.getBool("absent", true));
+    EXPECT_FALSE(cli.getBool("absent", false));
+}
+
+TEST(CommandLine, Positional)
+{
+    auto cli = parse({"input.txt", "--k=1", "output.txt"});
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "input.txt");
+    EXPECT_EQ(cli.positional()[1], "output.txt");
+}
+
+TEST(CommandLine, Defaults)
+{
+    auto cli = parse({});
+    EXPECT_EQ(cli.getInt("n", 42), 42);
+    EXPECT_DOUBLE_EQ(cli.getDouble("x", 1.5), 1.5);
+    EXPECT_EQ(cli.getString("s", "dflt"), "dflt");
+    EXPECT_FALSE(cli.has("anything"));
+}
+
+TEST(CommandLine, FlagFollowedByOption)
+{
+    // "--verbose --seed=3": verbose must not swallow "--seed=3".
+    auto cli = parse({"--verbose", "--seed=3"});
+    EXPECT_TRUE(cli.getBool("verbose", false));
+    EXPECT_EQ(cli.getInt("seed", 0), 3);
+}
+
+} // namespace
+} // namespace qdel

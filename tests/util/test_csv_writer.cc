@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the CSV emitter.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv_writer.hh"
+
+namespace qdel {
+namespace {
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "qdel_csv_test.csv";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+TEST_F(CsvWriterTest, PlainRows)
+{
+    {
+        CsvWriter writer(path_);
+        ASSERT_TRUE(writer.ok());
+        writer.writeRow(std::vector<std::string>{"time", "bound"});
+        writer.writeRow(std::vector<double>{1.0, 2.5});
+        writer.flush();
+    }
+    EXPECT_EQ(readAll(path_), "time,bound\n1,2.5\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialCharacters)
+{
+    {
+        CsvWriter writer(path_);
+        writer.writeRow(
+            std::vector<std::string>{"a,b", "he said \"hi\"", "line\nbreak"});
+        writer.flush();
+    }
+    EXPECT_EQ(readAll(path_),
+              "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST_F(CsvWriterTest, TabDelimiter)
+{
+    {
+        CsvWriter writer(path_, '\t');
+        writer.writeRow(std::vector<std::string>{"x", "y,z"});
+        writer.flush();
+    }
+    // The comma needs no quoting in TSV mode.
+    EXPECT_EQ(readAll(path_), "x\ty,z\n");
+}
+
+TEST_F(CsvWriterTest, FullPrecisionDoubles)
+{
+    {
+        CsvWriter writer(path_);
+        writer.writeRow(std::vector<double>{0.1234567890123456789});
+        writer.flush();
+    }
+    const std::string text = readAll(path_);
+    double parsed = 0.0;
+    ASSERT_EQ(std::sscanf(text.c_str(), "%lf", &parsed), 1);
+    EXPECT_DOUBLE_EQ(parsed, 0.1234567890123456789);
+}
+
+TEST(CsvWriterBadPath, Reports)
+{
+    CsvWriter writer("/nonexistent-dir/xyz/file.csv");
+    EXPECT_FALSE(writer.ok());
+}
+
+} // namespace
+} // namespace qdel

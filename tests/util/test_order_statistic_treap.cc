@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit and differential tests for the order-statistic treap that backs
+ * BMBP's history window.
+ */
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "util/order_statistic_treap.hh"
+
+namespace qdel {
+namespace {
+
+TEST(Treap, EmptyBasics)
+{
+    OrderStatisticTreap treap;
+    EXPECT_EQ(treap.size(), 0u);
+    EXPECT_TRUE(treap.empty());
+    EXPECT_FALSE(treap.erase(1.0));
+}
+
+TEST(Treap, InsertAndSelect)
+{
+    OrderStatisticTreap treap;
+    for (double v : {5.0, 1.0, 3.0, 2.0, 4.0})
+        treap.insert(v);
+    ASSERT_EQ(treap.size(), 5u);
+    for (size_t k = 0; k < 5; ++k)
+        EXPECT_DOUBLE_EQ(treap.kth(k), static_cast<double>(k + 1));
+}
+
+TEST(Treap, Duplicates)
+{
+    OrderStatisticTreap treap;
+    treap.insert(2.0);
+    treap.insert(2.0);
+    treap.insert(1.0);
+    ASSERT_EQ(treap.size(), 3u);
+    EXPECT_DOUBLE_EQ(treap.kth(0), 1.0);
+    EXPECT_DOUBLE_EQ(treap.kth(1), 2.0);
+    EXPECT_DOUBLE_EQ(treap.kth(2), 2.0);
+    EXPECT_TRUE(treap.erase(2.0));
+    EXPECT_EQ(treap.size(), 2u);
+    EXPECT_DOUBLE_EQ(treap.kth(1), 2.0);
+}
+
+TEST(Treap, EraseMissingValue)
+{
+    OrderStatisticTreap treap;
+    treap.insert(1.0);
+    EXPECT_FALSE(treap.erase(2.0));
+    EXPECT_EQ(treap.size(), 1u);
+}
+
+TEST(Treap, CountLess)
+{
+    OrderStatisticTreap treap;
+    for (double v : {1.0, 2.0, 2.0, 3.0})
+        treap.insert(v);
+    EXPECT_EQ(treap.countLess(2.0), 1u);
+    EXPECT_EQ(treap.countLessEqual(2.0), 3u);
+    EXPECT_EQ(treap.countLess(0.5), 0u);
+    EXPECT_EQ(treap.countLessEqual(10.0), 4u);
+}
+
+TEST(Treap, Clear)
+{
+    OrderStatisticTreap treap;
+    for (int i = 0; i < 100; ++i)
+        treap.insert(i);
+    treap.clear();
+    EXPECT_TRUE(treap.empty());
+    treap.insert(7.0);
+    EXPECT_DOUBLE_EQ(treap.kth(0), 7.0);
+}
+
+TEST(Treap, MoveSemantics)
+{
+    OrderStatisticTreap a;
+    a.insert(1.0);
+    a.insert(2.0);
+    OrderStatisticTreap b(std::move(a));
+    EXPECT_EQ(b.size(), 2u);
+    OrderStatisticTreap c;
+    c = std::move(b);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c.kth(1), 2.0);
+}
+
+/**
+ * Differential test: random insert/erase/select mirrored against a
+ * std::multiset reference over many operations.
+ */
+TEST(Treap, DifferentialAgainstMultiset)
+{
+    OrderStatisticTreap treap;
+    std::multiset<double> reference;
+    stats::Rng rng(12345);
+
+    for (int step = 0; step < 20000; ++step) {
+        const double value =
+            static_cast<double>(rng.uniformInt(0, 200)) / 4.0;
+        const int op = static_cast<int>(rng.uniformInt(0, 2));
+        if (op == 0 || reference.empty()) {
+            treap.insert(value);
+            reference.insert(value);
+        } else if (op == 1) {
+            // Erase a single occurrence from both structures.
+            auto it = reference.find(value);
+            const bool erased_ref = it != reference.end();
+            if (erased_ref)
+                reference.erase(it);
+            const bool erased = treap.erase(value);
+            EXPECT_EQ(erased, erased_ref);
+        } else {
+            const size_t k = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<long long>(reference.size()) - 1));
+            auto it = reference.begin();
+            std::advance(it, static_cast<long>(k));
+            ASSERT_DOUBLE_EQ(treap.kth(k), *it) << "at step " << step;
+        }
+        ASSERT_EQ(treap.size(), reference.size());
+    }
+}
+
+/** Selection across the whole multiset enumerates sorted order. */
+TEST(Treap, FullEnumerationSorted)
+{
+    OrderStatisticTreap treap;
+    stats::Rng rng(99);
+    std::vector<double> values;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.uniform(0.0, 1000.0);
+        values.push_back(v);
+        treap.insert(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (size_t k = 0; k < values.size(); ++k)
+        ASSERT_DOUBLE_EQ(treap.kth(k), values[k]);
+}
+
+} // namespace
+} // namespace qdel

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/string_utils.hh"
+
+namespace qdel {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("\t\nx\r "), "x");
+    EXPECT_EQ(trim("no-space"), "no-space");
+}
+
+TEST(Trim, EmptyAndAllWhitespace)
+{
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   \t\n"), "");
+}
+
+TEST(Split, BasicFields)
+{
+    auto fields = split("a,b,c", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, KeepsEmptyFieldsByDefault)
+{
+    auto fields = split("a,,c,", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(Split, DropsEmptyFieldsWhenAsked)
+{
+    auto fields = split("a,,c,", ',', /*keep_empty=*/false);
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[1], "c");
+}
+
+TEST(SplitWhitespace, RunsOfWhitespace)
+{
+    auto fields = splitWhitespace("  12\t 34 \n 56 ");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "12");
+    EXPECT_EQ(fields[1], "34");
+    EXPECT_EQ(fields[2], "56");
+}
+
+TEST(SplitWhitespace, EmptyInput)
+{
+    EXPECT_TRUE(splitWhitespace("").empty());
+    EXPECT_TRUE(splitWhitespace(" \t ").empty());
+}
+
+TEST(ParseInt, ValidValues)
+{
+    EXPECT_EQ(parseInt("42").value(), 42);
+    EXPECT_EQ(parseInt("-7").value(), -7);
+    EXPECT_EQ(parseInt(" 1000 ").value(), 1000);
+}
+
+TEST(ParseInt, RejectsGarbage)
+{
+    EXPECT_FALSE(parseInt("12x").has_value());
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt("1.5").has_value());
+}
+
+TEST(ParseDouble, ValidValues)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("2.5").value(), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-1e3").value(), -1000.0);
+    EXPECT_DOUBLE_EQ(parseDouble("7").value(), 7.0);
+}
+
+TEST(ParseDouble, RejectsGarbage)
+{
+    EXPECT_FALSE(parseDouble("abc").has_value());
+    EXPECT_FALSE(parseDouble("1.5.2").has_value());
+    EXPECT_FALSE(parseDouble("").has_value());
+}
+
+TEST(StartsWith, Matches)
+{
+    EXPECT_TRUE(startsWith("--flag", "--"));
+    EXPECT_FALSE(startsWith("-x", "--"));
+    EXPECT_FALSE(startsWith("", "--"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(ToLower, Basic)
+{
+    EXPECT_EQ(toLower("BmBp"), "bmbp");
+    EXPECT_EQ(toLower("123-X"), "123-x");
+}
+
+TEST(FormatDuration, Ranges)
+{
+    EXPECT_EQ(formatDuration(12), "12s");
+    EXPECT_EQ(formatDuration(125), "2m 5s");
+    EXPECT_EQ(formatDuration(3 * 3600 + 60 * 14), "3h 14m");
+    EXPECT_EQ(formatDuration(2 * 86400 + 3 * 3600), "2d 3h");
+}
+
+TEST(FormatDuration, EdgeCases)
+{
+    EXPECT_EQ(formatDuration(0), "0s");
+    EXPECT_EQ(formatDuration(-61), "-1m 1s");
+    EXPECT_EQ(formatDuration(
+                  std::numeric_limits<double>::infinity()),
+              "inf");
+}
+
+} // namespace
+} // namespace qdel

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the console table renderer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table_printer.hh"
+
+namespace qdel {
+namespace {
+
+TEST(TablePrinter, RendersAlignedTable)
+{
+    TablePrinter table("Table X. Demo");
+    table.setHeader({"Machine", "Queue", "Frac"});
+    table.addRow({"datastar", "normal", "0.95"});
+    table.addRow({"llnl", "all", "0.97"});
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+
+    EXPECT_NE(text.find("Table X. Demo"), std::string::npos);
+    EXPECT_NE(text.find("| Machine"), std::string::npos);
+    EXPECT_NE(text.find("| datastar"), std::string::npos);
+    // Cells are padded to the widest entry in the column.
+    EXPECT_NE(text.find("| llnl     |"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TablePrinter, CellFormatting)
+{
+    EXPECT_EQ(TablePrinter::cell(0.954, 2), "0.95");
+    EXPECT_EQ(TablePrinter::cell(0.955, 2), "0.95"); // half-even via printf
+    EXPECT_EQ(TablePrinter::cell(static_cast<long long>(1488)), "1488");
+    EXPECT_EQ(TablePrinter::cellSci(0.0123, 2), "1.23e-02");
+}
+
+TEST(TablePrinter, EmphasisMarkers)
+{
+    EXPECT_EQ(TablePrinter::bold("0.95"), "[0.95]");
+    EXPECT_EQ(TablePrinter::flagged("0.91"), "0.91*");
+}
+
+TEST(TablePrinterDeath, RowWidthMismatchPanics)
+{
+    TablePrinter table("t");
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace qdel

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the cyclic arrival generator.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workload/arrivals.hh"
+#include "workload/site_catalog.hh"
+
+namespace qdel {
+namespace workload {
+namespace {
+
+TEST(Arrivals, ExactCountSortedInRange)
+{
+    stats::Rng rng(1);
+    ArrivalModel model;
+    const double begin = 1000.0;
+    const double end = begin + 30.0 * 86400.0;
+    auto arrivals = generateArrivals(begin, end, 5000, model, rng);
+    ASSERT_EQ(arrivals.size(), 5000u);
+    EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+    EXPECT_GE(arrivals.front(), begin);
+    EXPECT_LT(arrivals.back(), end);
+}
+
+TEST(Arrivals, ZeroCount)
+{
+    stats::Rng rng(2);
+    EXPECT_TRUE(generateArrivals(0.0, 100.0, 0, {}, rng).empty());
+}
+
+TEST(Arrivals, DiurnalPeakIsRespected)
+{
+    // Peak-hour buckets should receive clearly more arrivals than
+    // off-peak buckets over many days.
+    stats::Rng rng(3);
+    ArrivalModel model;
+    model.diurnalAmplitude = 0.8;
+    model.weekendFactor = 1.0;  // isolate the daily cycle
+    const double begin = monthStartUnix(2004, 4);
+    const double end = begin + 60.0 * 86400.0;
+    auto arrivals = generateArrivals(begin, end, 120000, model, rng);
+
+    size_t peak = 0, trough = 0;
+    for (double t : arrivals) {
+        const double hour = std::fmod(t, 86400.0) / 3600.0;
+        if (std::fabs(hour - model.peakHour) < 2.0)
+            ++peak;
+        const double anti = std::fmod(model.peakHour + 12.0, 24.0);
+        if (std::fabs(hour - anti) < 2.0)
+            ++trough;
+    }
+    EXPECT_GT(static_cast<double>(peak),
+              2.0 * static_cast<double>(trough));
+}
+
+TEST(Arrivals, WeekendsQuieter)
+{
+    stats::Rng rng(4);
+    ArrivalModel model;
+    model.diurnalAmplitude = 0.0;  // isolate the weekly cycle
+    model.weekendFactor = 0.4;
+    const double begin = monthStartUnix(2004, 4);
+    const double end = begin + 70.0 * 86400.0;  // 10 full weeks
+    auto arrivals = generateArrivals(begin, end, 70000, model, rng);
+
+    size_t weekend = 0;
+    for (double t : arrivals) {
+        const long long day =
+            static_cast<long long>(std::floor(t / 86400.0));
+        const long long weekday = ((day % 7) + 7) % 7;
+        if (weekday == 2 || weekday == 3)  // Sat/Sun from Thursday epoch
+            ++weekend;
+    }
+    // Expected weekend share = 2*0.4 / (5 + 2*0.4) ~ 0.138.
+    const double share =
+        static_cast<double>(weekend) / static_cast<double>(arrivals.size());
+    EXPECT_NEAR(share, 0.8 / 5.8, 0.015);
+}
+
+TEST(Arrivals, IntensityPositiveEverywhere)
+{
+    ArrivalModel model;
+    for (double t = 0.0; t < 14.0 * 86400.0; t += 3600.0)
+        EXPECT_GT(arrivalIntensity(model, t), 0.0);
+}
+
+TEST(ArrivalsDeath, EmptySpan)
+{
+    stats::Rng rng(5);
+    EXPECT_DEATH(generateArrivals(10.0, 10.0, 5, {}, rng), "empty span");
+}
+
+} // namespace
+} // namespace workload
+} // namespace qdel

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the embedded Table 1 catalog.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/site_catalog.hh"
+
+namespace qdel {
+namespace workload {
+namespace {
+
+TEST(SiteCatalog, HasAllThirtyNineTableOneRows)
+{
+    EXPECT_EQ(siteCatalog().size(), 39u);
+}
+
+TEST(SiteCatalog, TotalJobCountMatchesPaper)
+{
+    // "This collection of data comprises 1.26 million jobs".
+    long long total = 0;
+    for (const auto &profile : siteCatalog())
+        total += profile.jobCount;
+    EXPECT_NEAR(static_cast<double>(total), 1.26e6, 0.03e6);
+}
+
+TEST(SiteCatalog, TableThreeHasThirtyTwoRows)
+{
+    EXPECT_EQ(table3Profiles().size(), 32u);
+}
+
+TEST(SiteCatalog, ProcTablesMatchPaperRowCount)
+{
+    // Tables 5-7 list 27 machine/queue rows.
+    EXPECT_EQ(procTableProfiles().size(), 27u);
+}
+
+TEST(SiteCatalog, FindProfile)
+{
+    const auto &profile = findProfile("datastar", "normal");
+    EXPECT_EQ(profile.jobCount, 48543);
+    EXPECT_DOUBLE_EQ(profile.meanDelay, 35886);
+    EXPECT_DOUBLE_EQ(profile.medianDelay, 1795);
+    EXPECT_TRUE(profile.figure2Window);
+}
+
+TEST(SiteCatalogDeath, FindProfileUnknown)
+{
+    EXPECT_DEATH(findProfile("nope", "nothing"), "no catalog profile");
+}
+
+TEST(SiteCatalog, UniqueSiteQueueKeys)
+{
+    std::set<std::pair<std::string, std::string>> keys;
+    for (const auto &profile : siteCatalog())
+        EXPECT_TRUE(keys.emplace(profile.site, profile.queue).second)
+            << profile.site << "/" << profile.queue;
+}
+
+TEST(SiteCatalog, PublishedStatisticsAreConsistent)
+{
+    for (const auto &profile : siteCatalog()) {
+        EXPECT_GT(profile.jobCount, 0) << profile.queue;
+        EXPECT_GT(profile.meanDelay, 0.0) << profile.queue;
+        EXPECT_GE(profile.medianDelay, 0.0) << profile.queue;
+        EXPECT_GT(profile.stdDelay, 0.0) << profile.queue;
+        EXPECT_GE(profile.rho, 0.0);
+        EXPECT_LT(profile.rho, 1.0);
+        double mix_total = 0.0;
+        for (double m : profile.procMix) {
+            EXPECT_GE(m, 0.0);
+            mix_total += m;
+        }
+        EXPECT_NEAR(mix_total, 1.0, 1e-9) << profile.queue;
+    }
+}
+
+TEST(SiteCatalog, OnlyLanlShortHasTerminalBurst)
+{
+    int bursts = 0;
+    for (const auto &profile : siteCatalog()) {
+        if (profile.terminalBurst) {
+            ++bursts;
+            EXPECT_STREQ(profile.site, "lanl");
+            EXPECT_STREQ(profile.queue, "short");
+        }
+    }
+    EXPECT_EQ(bursts, 1);
+}
+
+TEST(SiteCatalog, OnlyDatastarNormalHasFigure2Window)
+{
+    int windows = 0;
+    for (const auto &profile : siteCatalog()) {
+        if (profile.figure2Window) {
+            ++windows;
+            EXPECT_STREQ(profile.site, "datastar");
+            EXPECT_STREQ(profile.queue, "normal");
+        }
+    }
+    EXPECT_EQ(windows, 1);
+}
+
+TEST(DateUnix, KnownTimestamps)
+{
+    EXPECT_DOUBLE_EQ(dateUnix(1970, 1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(dateUnix(2004, 6, 1), 1086048000.0);
+    EXPECT_DOUBLE_EQ(dateUnix(2005, 2, 24), 1109203200.0);
+    EXPECT_DOUBLE_EQ(monthStartUnix(2000, 1), 946684800.0);
+}
+
+TEST(DateUnix, MonthSpans)
+{
+    // datastar: 4/04 - 4/05 covers Feb 24 2005 (Figure 1's day).
+    const auto &profile = findProfile("datastar", "normal");
+    const double begin =
+        monthStartUnix(profile.startYear, profile.startMonth);
+    const double fig1 = dateUnix(2005, 2, 24);
+    EXPECT_LT(begin, fig1);
+    EXPECT_GT(monthStartUnix(profile.endYear, profile.endMonth), fig1);
+}
+
+TEST(SiteCatalog, ProcMixesRespectTableFiveCells)
+{
+    // Spot-check the cells the paper reports vs drops: datastar/TGhigh
+    // only has the 1-4 column; lanl/small has all four.
+    const auto &tghigh = findProfile("datastar", "TGhigh");
+    EXPECT_GE(tghigh.procMix[0] * tghigh.jobCount, 1000.0);
+    EXPECT_LT(tghigh.procMix[1] * tghigh.jobCount, 1000.0);
+    EXPECT_LT(tghigh.procMix[2] * tghigh.jobCount, 1000.0);
+
+    const auto &small = findProfile("lanl", "small");
+    for (int b = 0; b < 4; ++b)
+        EXPECT_GE(small.procMix[b] * small.jobCount, 1000.0) << b;
+}
+
+} // namespace
+} // namespace workload
+} // namespace qdel

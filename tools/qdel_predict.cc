@@ -1,0 +1,162 @@
+/**
+ * @file
+ * qdel-predict: the deployable front end. Evaluates (or just runs)
+ * wait-time bound prediction over a scheduler log.
+ *
+ * Usage:
+ *   qdel_predict <trace-file> [options]
+ *
+ * The trace format is chosen by extension: ".swf" parses Standard
+ * Workload Format (Parallel Workloads Archive), anything else the
+ * native "<submit> <wait> [procs [queue]]" format.
+ *
+ * Options:
+ *   --method=bmbp|lognormal|lognormal-trim|loguniform|percentile
+ *   --quantile=0.95 --confidence=0.95
+ *   --epoch=300 --train=0.10
+ *   --queue=NAME       evaluate one queue (default: each in turn)
+ *   --by-procs         additionally subdivide by the paper's ranges
+ *   --min-jobs=1000    drop subdivisions smaller than this
+ *   --live             print the final bound a user would see now
+ *
+ * Exit status: 0 on success, 1 on input errors.
+ */
+
+#include <iostream>
+
+#include "core/predictor_factory.hh"
+#include "core/rare_event.hh"
+#include "sim/replay/evaluation.hh"
+#include "trace/native_format.hh"
+#include "trace/swf_format.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+#include "util/table_printer.hh"
+
+namespace {
+
+using namespace qdel;
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    if (cli.positional().empty()) {
+        std::cerr << "usage: qdel_predict <trace-file> [--method=bmbp] "
+                     "[--quantile=0.95] [--confidence=0.95]\n"
+                     "                    [--epoch=300] [--train=0.10] "
+                     "[--queue=NAME] [--by-procs] [--live]\n";
+        return 1;
+    }
+    const std::string path = cli.positional().front();
+    const std::string method = cli.getString("method", "bmbp");
+
+    auto trace = endsWith(toLower(path), ".swf")
+                     ? trace::loadSwfTrace(path)
+                     : trace::loadNativeTrace(path);
+    inform("loaded ", trace.size(), " jobs from ", path);
+    if (trace.empty())
+        fatal("trace '", path, "' contains no jobs");
+
+    core::RareEventTable table(cli.getDouble("quantile", 0.95), 0.05);
+    core::PredictorOptions options;
+    options.quantile = cli.getDouble("quantile", 0.95);
+    options.confidence = cli.getDouble("confidence", 0.95);
+    options.rareEventTable = &table;
+
+    sim::ReplayConfig replay;
+    replay.epochSeconds = cli.getDouble("epoch", 300.0);
+    replay.trainFraction = cli.getDouble("train", 0.10);
+
+    const auto min_jobs =
+        static_cast<size_t>(cli.getInt("min-jobs", 1000));
+
+    std::vector<std::string> queues;
+    if (cli.has("queue"))
+        queues.push_back(cli.getString("queue", ""));
+    else
+        queues = trace.queueNames();
+
+    TablePrinter results("qdel-predict: " + method + " on " + path);
+    if (cli.getBool("by-procs", false)) {
+        results.setHeader({"queue", "1-4", "5-16", "17-64", "65+"});
+        for (const auto &queue : queues) {
+            auto subdivided = trace.filterByQueue(queue);
+            auto cells = sim::evaluateByProcRange(subdivided, method,
+                                                  options, replay,
+                                                  min_jobs);
+            std::vector<std::string> row = {queue.empty() ? "(all)"
+                                                          : queue};
+            for (const auto &cell : cells) {
+                if (cell.evaluated == 0) {
+                    row.push_back("-");
+                    continue;
+                }
+                std::string text =
+                    TablePrinter::cell(cell.correctFraction, 2);
+                row.push_back(cell.correct(options.quantile)
+                                  ? text
+                                  : TablePrinter::flagged(text));
+            }
+            results.addRow(std::move(row));
+        }
+    } else {
+        results.setHeader({"queue", "jobs", "evaluated", "correct",
+                           "median actual/pred", "trims"});
+        for (const auto &queue : queues) {
+            auto subdivided = trace.filterByQueue(queue);
+            if (subdivided.size() < 2)
+                continue;
+            auto cell =
+                sim::evaluateTrace(subdivided, method, options, replay);
+            std::string correct =
+                TablePrinter::cell(cell.correctFraction, 3);
+            if (!cell.correct(options.quantile))
+                correct = TablePrinter::flagged(correct);
+            results.addRow(
+                {queue.empty() ? "(all)" : queue,
+                 TablePrinter::cell(static_cast<long long>(cell.jobs)),
+                 TablePrinter::cell(
+                     static_cast<long long>(cell.evaluated)),
+                 correct, TablePrinter::cellSci(cell.medianRatio, 2),
+                 TablePrinter::cell(
+                     static_cast<long long>(cell.trims))});
+        }
+    }
+    results.print(std::cout);
+
+    if (cli.getBool("live", false)) {
+        // The bound a user submitting *after the log ends* would see:
+        // feed the full history, refit once.
+        std::cout << "\nlive bounds (full history):\n";
+        for (const auto &queue : queues) {
+            auto subdivided = trace.filterByQueue(queue);
+            auto predictor = core::makePredictor(method, options);
+            for (const auto &job : subdivided)
+                predictor->observe(job.waitSeconds);
+            predictor->refit();
+            const auto bound = predictor->upperBound();
+            std::cout << "  " << (queue.empty() ? "(all)" : queue)
+                      << ": ";
+            if (bound.finite()) {
+                std::cout << formatDuration(bound.value) << " ("
+                          << TablePrinter::cell(bound.value, 0)
+                          << " s)\n";
+            } else {
+                std::cout << "insufficient history\n";
+            }
+        }
+    }
+    return 0;
+}
