@@ -21,9 +21,15 @@ main(int argc, char **argv)
     auto options = bench::parseOptions(argc, argv);
     auto predictor_options = bench::predictorOptions(options);
     auto replay = bench::replayConfig(options);
+    sim::ParallelEvaluator evaluator(options.threads);
 
-    const char *methods[] = {"bmbp", "lognormal", "lognormal-trim",
-                             "loguniform", "percentile"};
+    const std::vector<std::string> methods = {
+        "bmbp", "lognormal", "lognormal-trim", "loguniform",
+        "percentile"};
+    const std::vector<std::pair<const char *, const char *>> queues = {
+        {"datastar", "normal"}, {"lanl", "shared"}, {"llnl", "all"},
+        {"nersc", "regular"},   {"sdsc", "express"}, {"tacc2", "normal"},
+        {"paragon", "standby"}};
 
     TablePrinter table(
         "Baselines: correct-prediction fraction for every method "
@@ -31,17 +37,18 @@ main(int argc, char **argv)
     table.setHeader({"Machine", "Queue", "bmbp", "logn", "logn-trim",
                      "loguniform", "percentile"});
 
-    for (const auto &[site, queue] :
-         {std::pair{"datastar", "normal"}, std::pair{"lanl", "shared"},
-          std::pair{"llnl", "all"}, std::pair{"nersc", "regular"},
-          std::pair{"sdsc", "express"}, std::pair{"tacc2", "normal"},
-          std::pair{"paragon", "standby"}}) {
-        auto trace = workload::synthesizeTrace(
-            workload::findProfile(site, queue), options.seed);
-        std::vector<std::string> row = {site, queue};
-        for (const char *method : methods) {
-            auto cell = sim::evaluateTrace(trace, method,
-                                           predictor_options, replay);
+    std::vector<const workload::QueueProfile *> profiles;
+    for (const auto &[site, queue] : queues)
+        profiles.push_back(&workload::findProfile(site, queue));
+    const auto traces =
+        bench::synthesizeSuite(evaluator, profiles, options.seed);
+    const auto grid = bench::evaluateMethodGrid(
+        evaluator, traces, methods, predictor_options, replay);
+
+    for (size_t r = 0; r < queues.size(); ++r) {
+        std::vector<std::string> row = {queues[r].first,
+                                        queues[r].second};
+        for (const auto &cell : grid[r]) {
             std::string text =
                 TablePrinter::cell(cell.correctFraction, 2);
             row.push_back(cell.correct(options.quantile)

@@ -9,6 +9,7 @@
  */
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.hh"
 #include "util/table_printer.hh"
@@ -19,9 +20,10 @@ main(int argc, char **argv)
     using namespace qdel;
     auto options = bench::parseOptions(argc, argv);
     auto predictor_options = bench::predictorOptions(options);
+    sim::ParallelEvaluator evaluator(options.threads);
 
     const double epochs[] = {0.0, 300.0, 3600.0, 6.0 * 3600.0};
-    const std::pair<const char *, const char *> queues[] = {
+    const std::vector<std::pair<const char *, const char *>> queues = {
         {"datastar", "normal"},
         {"nersc", "debug"},
         {"tacc2", "serial"},
@@ -34,16 +36,31 @@ main(int argc, char **argv)
     table.setHeader({"Machine", "Queue", "per-job", "300 s", "1 h",
                      "6 h"});
 
-    for (const auto &[site, queue] : queues) {
-        auto trace = workload::synthesizeTrace(
-            workload::findProfile(site, queue), options.seed);
-        std::vector<std::string> row = {site, queue};
+    std::vector<const workload::QueueProfile *> profiles;
+    for (const auto &[site, queue] : queues)
+        profiles.push_back(&workload::findProfile(site, queue));
+    const auto traces =
+        bench::synthesizeSuite(evaluator, profiles, options.seed);
+
+    // Flat (queue x epoch) fan-out; each cell carries its own replay
+    // configuration, so this is a raw EvaluationJob suite rather than
+    // the shared-config method grid.
+    std::vector<sim::EvaluationJob> jobs;
+    for (const auto &trace : traces) {
         for (double epoch : epochs) {
             sim::ReplayConfig replay;
             replay.epochSeconds = epoch;
             replay.trainFraction = options.trainFraction;
-            auto cell = sim::evaluateTrace(trace, "bmbp",
-                                           predictor_options, replay);
+            jobs.push_back({trace, "bmbp", predictor_options, replay});
+        }
+    }
+    const auto cells = evaluator.evaluateSuite(jobs);
+
+    for (size_t r = 0; r < queues.size(); ++r) {
+        std::vector<std::string> row = {queues[r].first,
+                                        queues[r].second};
+        for (size_t e = 0; e < std::size(epochs); ++e) {
+            const auto &cell = cells[r * std::size(epochs) + e];
             std::string text =
                 TablePrinter::cell(cell.correctFraction, 3);
             row.push_back(cell.correct(options.quantile)

@@ -11,6 +11,7 @@
  * Usage: ablation_policies [--seed=N]
  */
 
+#include <future>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -52,36 +53,52 @@ main(int argc, char **argv)
     table.setHeader({"policy", "util %", "backfills", "median wait",
                      "mean wait", "p95 wait", "bmbp correct"});
 
+    // Each policy row is a full machine simulation plus a BMBP replay;
+    // the four rows share only the (read-only) offered workload, so
+    // they run whole-row-per-task on the evaluation pool and are
+    // collected in policy order. Build the shared rare-event table
+    // before fanning out.
+    bench::sharedTable(options.quantile);
+    sim::ParallelEvaluator evaluator(options.threads);
+    std::vector<std::future<std::vector<std::string>>> rows;
     for (const char *policy :
          {"fcfs", "priority-fcfs", "easy-backfill",
           "conservative-backfill"}) {
-        sim::BatchSimConfig config;
-        config.totalProcs = 96;
-        config.policy = policy;
-        sim::BatchSimulator machine(config);
-        auto done = machine.run(jobs);
-        auto trace = sim::BatchSimulator::toTrace(done, "pol", "m");
-        auto normal_trace = trace.filterByQueue("normal");
-        auto waits = normal_trace.waitTimes();
-        auto summary = normal_trace.summary();
+        rows.push_back(evaluator.pool().submit([policy, &jobs,
+                                                &options] {
+            sim::BatchSimConfig config;
+            config.totalProcs = 96;
+            config.policy = policy;
+            sim::BatchSimulator machine(config);
+            auto done = machine.run(jobs);
+            auto trace = sim::BatchSimulator::toTrace(done, "pol", "m");
+            auto normal_trace = trace.filterByQueue("normal");
+            auto waits = normal_trace.waitTimes();
+            auto summary = normal_trace.summary();
 
-        auto cell = sim::evaluateTrace(normal_trace, "bmbp",
-                                       bench::predictorOptions(options),
-                                       bench::replayConfig(options));
-        std::string correct = TablePrinter::cell(cell.correctFraction, 3);
-        if (!cell.correct(options.quantile))
-            correct = TablePrinter::flagged(correct);
+            auto cell =
+                sim::evaluateTrace(normal_trace, "bmbp",
+                                   bench::predictorOptions(options),
+                                   bench::replayConfig(options));
+            std::string correct =
+                TablePrinter::cell(cell.correctFraction, 3);
+            if (!cell.correct(options.quantile))
+                correct = TablePrinter::flagged(correct);
 
-        table.addRow(
-            {policy,
-             TablePrinter::cell(100.0 * machine.stats().utilization, 1),
-             TablePrinter::cell(static_cast<long long>(
-                 machine.stats().backfillStarts)),
-             TablePrinter::cell(summary.median, 0),
-             TablePrinter::cell(summary.mean, 0),
-             TablePrinter::cell(stats::quantile(waits, 0.95), 0),
-             correct});
+            return std::vector<std::string>{
+                policy,
+                TablePrinter::cell(100.0 * machine.stats().utilization,
+                                   1),
+                TablePrinter::cell(static_cast<long long>(
+                    machine.stats().backfillStarts)),
+                TablePrinter::cell(summary.median, 0),
+                TablePrinter::cell(summary.mean, 0),
+                TablePrinter::cell(stats::quantile(waits, 0.95), 0),
+                correct};
+        }));
     }
+    for (auto &row : rows)
+        table.addRow(row.get());
 
     table.print(std::cout);
     std::cout

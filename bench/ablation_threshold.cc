@@ -9,7 +9,9 @@
  * Usage: ablation_threshold [--seed=N]
  */
 
+#include <future>
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.hh"
 #include "core/bmbp_predictor.hh"
@@ -63,21 +65,44 @@ main(int argc, char **argv)
     }
     lookup.print(std::cout);
 
-    // Part 2: adaptive vs fixed thresholds.
+    // Part 2: adaptive vs fixed thresholds, fanned out as a flat
+    // (queue x threshold) grid on the evaluation pool. The custom
+    // BmbpConfig keeps this off the factory path, so it submits raw
+    // tasks; the table above already forced the shared-table build.
+    sim::ParallelEvaluator evaluator(options.threads);
     TablePrinter comparison(
         "Ablation: adaptive (autocorrelation-indexed) vs fixed "
         "run-length thresholds (correct fraction [trims]).");
     comparison.setHeader({"Machine", "Queue", "adaptive", "fixed 2",
                           "fixed 3", "fixed 6", "fixed 12"});
 
-    for (const auto &[site, queue] :
-         {std::pair{"datastar", "normal"}, std::pair{"lanl", "scavenger"},
-          std::pair{"tacc2", "normal"}, std::pair{"nersc", "regular"}}) {
-        auto trace = workload::synthesizeTrace(
-            workload::findProfile(site, queue), options.seed);
-        std::vector<std::string> row = {site, queue};
-        for (int threshold : {0, 2, 3, 6, 12}) {
-            auto cell = runWithThreshold(trace, threshold, options);
+    const std::vector<std::pair<const char *, const char *>> queues = {
+        {"datastar", "normal"},
+        {"lanl", "scavenger"},
+        {"tacc2", "normal"},
+        {"nersc", "regular"}};
+    const int thresholds[] = {0, 2, 3, 6, 12};
+    std::vector<const workload::QueueProfile *> profiles;
+    for (const auto &[site, queue] : queues)
+        profiles.push_back(&workload::findProfile(site, queue));
+    const auto traces =
+        bench::synthesizeSuite(evaluator, profiles, options.seed);
+
+    std::vector<std::future<sim::EvaluationCell>> futures;
+    for (const auto &trace : traces) {
+        for (int threshold : thresholds) {
+            futures.push_back(evaluator.pool().submit(
+                [trace, threshold, &options] {
+                    return runWithThreshold(*trace, threshold, options);
+                }));
+        }
+    }
+
+    for (size_t r = 0; r < queues.size(); ++r) {
+        std::vector<std::string> row = {queues[r].first,
+                                        queues[r].second};
+        for (size_t c = 0; c < std::size(thresholds); ++c) {
+            auto cell = futures[r * std::size(thresholds) + c].get();
             std::string text =
                 TablePrinter::cell(cell.correctFraction, 3) + " [" +
                 TablePrinter::cell(static_cast<long long>(cell.trims)) +

@@ -20,8 +20,9 @@ main(int argc, char **argv)
     auto options = bench::parseOptions(argc, argv);
     auto predictor_options = bench::predictorOptions(options);
     auto replay = bench::replayConfig(options);
+    sim::ParallelEvaluator evaluator(options.threads);
 
-    const std::pair<const char *, const char *> queues[] = {
+    const std::vector<std::pair<const char *, const char *>> queues = {
         {"datastar", "normal"}, {"datastar", "TGnormal"},
         {"lanl", "scavenger"},  {"nersc", "interactive"},
         {"sdsc", "low"},        {"tacc2", "serial"},
@@ -33,16 +34,19 @@ main(int argc, char **argv)
     table.setHeader({"Machine", "Queue", "bmbp", "bmbp-notrim",
                      "percentile", "ratio bmbp", "ratio notrim"});
 
-    for (const auto &[site, queue] : queues) {
-        auto trace = workload::synthesizeTrace(
-            workload::findProfile(site, queue), options.seed);
-        auto with_trim =
-            sim::evaluateTrace(trace, "bmbp", predictor_options, replay);
-        auto without =
-            sim::evaluateTrace(trace, "bmbp-notrim", predictor_options,
-                               replay);
-        auto naive = sim::evaluateTrace(trace, "percentile",
-                                        predictor_options, replay);
+    std::vector<const workload::QueueProfile *> profiles;
+    for (const auto &[site, queue] : queues)
+        profiles.push_back(&workload::findProfile(site, queue));
+    const auto traces =
+        bench::synthesizeSuite(evaluator, profiles, options.seed);
+    const auto grid = bench::evaluateMethodGrid(
+        evaluator, traces, {"bmbp", "bmbp-notrim", "percentile"},
+        predictor_options, replay);
+
+    for (size_t r = 0; r < queues.size(); ++r) {
+        const auto &with_trim = grid[r][0];
+        const auto &without = grid[r][1];
+        const auto &naive = grid[r][2];
 
         auto fmt = [&](const sim::EvaluationCell &cell) {
             std::string text =
@@ -51,8 +55,8 @@ main(int argc, char **argv)
                        ? text
                        : TablePrinter::flagged(text);
         };
-        table.addRow({site, queue, fmt(with_trim), fmt(without),
-                      fmt(naive),
+        table.addRow({queues[r].first, queues[r].second, fmt(with_trim),
+                      fmt(without), fmt(naive),
                       TablePrinter::cellSci(with_trim.medianRatio, 2),
                       TablePrinter::cellSci(without.medianRatio, 2)});
     }

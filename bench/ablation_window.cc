@@ -9,6 +9,7 @@
  * Usage: ablation_window [--seed=N]
  */
 
+#include <future>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -47,6 +48,11 @@ int
 main(int argc, char **argv)
 {
     auto options = bench::parseOptions(argc, argv);
+    // The window variants build BmbpPredictor directly (no factory
+    // method), so they fan out on the raw pool. Build the shared
+    // rare-event table up front; the workers only read it.
+    bench::sharedTable(options.quantile);
+    sim::ParallelEvaluator evaluator(options.threads);
 
     TablePrinter table(
         "Ablation: adaptive trimming vs fixed sliding windows "
@@ -55,15 +61,39 @@ main(int argc, char **argv)
                      "window 1000", "unbounded", "ratio adaptive",
                      "ratio w59", "ratio unbounded"});
 
-    for (const auto &[site, queue] :
-         {std::pair{"datastar", "normal"}, std::pair{"nersc", "regular"},
-          std::pair{"sdsc", "low"}, std::pair{"tacc2", "serial"}}) {
-        auto trace = workload::synthesizeTrace(
-            workload::findProfile(site, queue), options.seed);
-        auto adaptive = runWindow(trace, 0, true, options);
-        auto window59 = runWindow(trace, 59, false, options);
-        auto window1k = runWindow(trace, 1000, false, options);
-        auto unbounded = runWindow(trace, 0, false, options);
+    const std::vector<std::pair<const char *, const char *>> queues = {
+        {"datastar", "normal"},
+        {"nersc", "regular"},
+        {"sdsc", "low"},
+        {"tacc2", "serial"}};
+    std::vector<const workload::QueueProfile *> profiles;
+    for (const auto &[site, queue] : queues)
+        profiles.push_back(&workload::findProfile(site, queue));
+    const auto traces =
+        bench::synthesizeSuite(evaluator, profiles, options.seed);
+
+    // Flat (queue x window-variant) fan-out, collected in submission
+    // order so the table is identical for any worker count.
+    const std::pair<size_t, bool> variants[] = {
+        {0, true}, {59, false}, {1000, false}, {0, false}};
+    std::vector<std::future<sim::EvaluationCell>> futures;
+    for (const auto &trace : traces) {
+        for (const auto &[max_history, trimming] : variants) {
+            futures.push_back(evaluator.pool().submit(
+                [trace, max_history = max_history, trimming = trimming,
+                 &options] {
+                    return runWindow(*trace, max_history, trimming,
+                                     options);
+                }));
+        }
+    }
+
+    for (size_t r = 0; r < queues.size(); ++r) {
+        auto adaptive = futures[r * 4 + 0].get();
+        auto window59 = futures[r * 4 + 1].get();
+        auto window1k = futures[r * 4 + 2].get();
+        auto unbounded = futures[r * 4 + 3].get();
+        const auto &[site, queue] = queues[r];
 
         auto fmt = [&](const sim::EvaluationCell &cell) {
             std::string text =

@@ -5,8 +5,10 @@
 
 #include "bench_common.hh"
 
+#include <future>
 #include <iostream>
 #include <map>
+#include <mutex>
 
 #include "util/table_printer.hh"
 
@@ -24,13 +26,18 @@ parseOptions(int argc, char **argv)
     options.epochSeconds = cli.getDouble("epoch", 300.0);
     options.trainFraction = cli.getDouble("train", 0.10);
     options.csvPath = cli.getString("csv", "");
+    options.threads = cli.getInt("threads", 0);
     return options;
 }
 
 const core::RareEventTable &
 sharedTable(double quantile)
 {
+    // Guarded so evaluation workers may call this directly; std::map
+    // never invalidates references, so the returned table stays put.
+    static std::mutex mutex;
     static std::map<long long, core::RareEventTable> tables;
+    std::lock_guard<std::mutex> lock(mutex);
     const long long key = static_cast<long long>(quantile * 1e9);
     auto it = tables.find(key);
     if (it == tables.end())
@@ -103,6 +110,52 @@ formatRatioCells(const std::vector<sim::EvaluationCell> &cells,
     return formatted;
 }
 
+std::vector<std::shared_ptr<const trace::Trace>>
+synthesizeSuite(sim::ParallelEvaluator &evaluator,
+                const std::vector<const workload::QueueProfile *> &profiles,
+                uint64_t seed)
+{
+    std::vector<std::future<std::shared_ptr<const trace::Trace>>> futures;
+    futures.reserve(profiles.size());
+    for (const auto *profile : profiles) {
+        futures.push_back(evaluator.pool().submit([profile, seed] {
+            return std::make_shared<const trace::Trace>(
+                workload::synthesizeTrace(*profile, seed));
+        }));
+    }
+    std::vector<std::shared_ptr<const trace::Trace>> traces;
+    traces.reserve(profiles.size());
+    for (auto &future : futures)
+        traces.push_back(future.get());
+    return traces;
+}
+
+std::vector<std::vector<sim::EvaluationCell>>
+evaluateMethodGrid(sim::ParallelEvaluator &evaluator,
+                   const std::vector<std::shared_ptr<const trace::Trace>>
+                       &traces,
+                   const std::vector<std::string> &methods,
+                   const core::PredictorOptions &predictor_options,
+                   const sim::ReplayConfig &replay)
+{
+    std::vector<sim::EvaluationJob> jobs;
+    jobs.reserve(traces.size() * methods.size());
+    for (const auto &trace : traces) {
+        for (const auto &method : methods)
+            jobs.push_back({trace, method, predictor_options, replay});
+    }
+    auto flat = evaluator.evaluateSuite(jobs);
+
+    std::vector<std::vector<sim::EvaluationCell>> grid(traces.size());
+    for (size_t i = 0; i < traces.size(); ++i) {
+        grid[i].assign(flat.begin() +
+                           static_cast<ptrdiff_t>(i * methods.size()),
+                       flat.begin() +
+                           static_cast<ptrdiff_t>((i + 1) * methods.size()));
+    }
+    return grid;
+}
+
 int
 runProcTable(const std::string &method, const std::string &title,
              int argc, char **argv)
@@ -110,16 +163,60 @@ runProcTable(const std::string &method, const std::string &title,
     auto options = parseOptions(argc, argv);
     auto predictor_options = predictorOptions(options);
     auto replay = replayConfig(options);
+    sim::ParallelEvaluator evaluator(options.threads);
 
     TablePrinter table(title);
     table.setHeader({"Machine", "Queue", "1-4", "5-16", "17-64", "65+"});
 
+    // Phase 1: synthesize every queue's trace concurrently. Phase 2:
+    // fan the flat (queue x processor-range) cell grid across the
+    // pool. Two flat fan-outs — no task ever waits on another task.
+    const auto profiles = workload::procTableProfiles();
+    const auto traces = synthesizeSuite(evaluator, profiles, options.seed);
+
+    std::vector<std::future<std::vector<sim::EvaluationCell>>> rows;
+    rows.reserve(profiles.size());
+    for (const auto &trace : traces) {
+        // One task per range inside evaluateByProcRange would also
+        // work, but evaluateByProcRange blocks; submitting the
+        // per-range tasks directly keeps every queue in flight at
+        // once. Filtering happens inside the worker.
+        const trace::ProcRange *ranges = trace::paperProcRanges();
+        std::vector<std::future<sim::EvaluationCell>> cell_futures;
+        for (int r = 0; r < trace::paperProcRangeCount(); ++r) {
+            const trace::ProcRange range = ranges[r];
+            cell_futures.push_back(evaluator.pool().submit(
+                [trace, range, &method, &predictor_options, &replay] {
+                    const trace::Trace sub =
+                        trace->filterByProcRange(range);
+                    if (sub.size() < 1000) {
+                        sim::EvaluationCell cell;
+                        cell.jobs = sub.size();
+                        return cell;
+                    }
+                    return sim::evaluateTrace(sub, method,
+                                              predictor_options, replay);
+                }));
+        }
+        // Wrap the per-row futures in a deferred collector so the loop
+        // below reads rows in order without blocking submission.
+        rows.push_back(std::async(
+            std::launch::deferred,
+            [](std::vector<std::future<sim::EvaluationCell>> futures) {
+                std::vector<sim::EvaluationCell> cells;
+                cells.reserve(futures.size());
+                for (auto &future : futures)
+                    cells.push_back(future.get());
+                return cells;
+            },
+            std::move(cell_futures)));
+    }
+
     size_t evaluated_cells = 0;
     size_t correct_cells = 0;
-    for (const auto *profile : workload::procTableProfiles()) {
-        auto trace = workload::synthesizeTrace(*profile, options.seed);
-        auto cells = sim::evaluateByProcRange(trace, method,
-                                              predictor_options, replay);
+    for (size_t p = 0; p < profiles.size(); ++p) {
+        const auto *profile = profiles[p];
+        auto cells = rows[p].get();
         std::vector<std::string> row = {profile->site, profile->queue};
         bool any_cell = false;
         for (const auto &cell : cells) {

@@ -15,6 +15,7 @@
 #include "core/predictor_factory.hh"
 #include "core/rare_event.hh"
 #include "sim/replay/evaluation.hh"
+#include "sim/replay/parallel_evaluation.hh"
 #include "util/cli.hh"
 #include "workload/site_catalog.hh"
 #include "workload/synthesizer.hh"
@@ -31,12 +32,24 @@ struct BenchOptions
     double epochSeconds = 300;  //!< Model refit period (paper: 5 min).
     double trainFraction = 0.1; //!< Warm-up fraction (paper: 10%).
     std::string csvPath;        //!< Optional machine-readable dump.
+
+    /**
+     * Evaluation worker threads: --threads=N, else the QDEL_THREADS
+     * environment variable, else hardware concurrency. Table output is
+     * byte-identical for every value (results are collected in
+     * submission order); 1 recovers the sequential behaviour.
+     */
+    long long threads = 0;
 };
 
 /** Parse the shared options from the command line. */
 BenchOptions parseOptions(int argc, char **argv);
 
-/** Process-wide rare-event table for the configured quantile. */
+/**
+ * Process-wide rare-event table for the configured quantile.
+ * Thread-safe: concurrent callers serialize on a mutex and see the
+ * same (immutable, stably addressed) table instance.
+ */
 const core::RareEventTable &sharedTable(double quantile = 0.95);
 
 /** Predictor options wired to the shared table. */
@@ -63,10 +76,34 @@ formatRatioCells(const std::vector<sim::EvaluationCell> &cells,
                  double quantile);
 
 /**
+ * Synthesize one trace per profile on @p evaluator's pool (synthesis
+ * is a pure function of profile and seed, so the result is
+ * thread-count independent). Result i corresponds to profiles[i].
+ */
+std::vector<std::shared_ptr<const trace::Trace>>
+synthesizeSuite(sim::ParallelEvaluator &evaluator,
+                const std::vector<const workload::QueueProfile *> &profiles,
+                uint64_t seed);
+
+/**
+ * Evaluate the (trace x method) grid concurrently; result[i][j] is
+ * traces[i] under methods[j]. The workhorse of the Table 3/4-style
+ * benches.
+ */
+std::vector<std::vector<sim::EvaluationCell>>
+evaluateMethodGrid(sim::ParallelEvaluator &evaluator,
+                   const std::vector<std::shared_ptr<const trace::Trace>>
+                       &traces,
+                   const std::vector<std::string> &methods,
+                   const core::PredictorOptions &predictor_options,
+                   const sim::ReplayConfig &replay);
+
+/**
  * Shared driver for the Tables 5/6/7 reproductions: evaluate @p method
  * on every proc-table queue subdivided by the paper's four processor
  * ranges (cells under 1000 jobs print "-") and print the table under
- * @p title. Returns the process exit code.
+ * @p title. Trace synthesis and the (queue x range) cells run on the
+ * evaluation pool. Returns the process exit code.
  */
 int runProcTable(const std::string &method, const std::string &title,
                  int argc, char **argv);

@@ -94,6 +94,37 @@ BM_BmbpQuantileSpectrum(benchmark::State &state)
 BENCHMARK(BM_BmbpQuantileSpectrum);
 
 void
+BM_BmbpRefitCachedIndex(benchmark::State &state)
+{
+    // The refit() hot path as shipped: the BoundIndexCache advances
+    // the order-statistic index through the binomial recurrence as the
+    // history grows. Compare against BM_BmbpRefitUncachedIndex.
+    stats::BoundIndexCache cache(0.95, 0.95);
+    size_t n = 59;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.upperIndex(n));
+        if (++n > 199)
+            n = 59;  // stay on the exact path (n(1-q) < 10)
+    }
+}
+BENCHMARK(BM_BmbpRefitCachedIndex);
+
+void
+BM_BmbpRefitUncachedIndex(benchmark::State &state)
+{
+    // The same growing-history index stream through the free function
+    // (a fresh binary search over the binomial CDF per call) — what
+    // every refit() paid before the cache.
+    size_t n = 59;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::upperBoundIndex(n, 0.95, 0.95));
+        if (++n > 199)
+            n = 59;
+    }
+}
+BENCHMARK(BM_BmbpRefitUncachedIndex);
+
+void
 BM_ExactBinomialIndex(benchmark::State &state)
 {
     const size_t n = static_cast<size_t>(state.range(0));
@@ -132,6 +163,39 @@ BM_RareEventTableBuild(benchmark::State &state)
     }
 }
 BENCHMARK(BM_RareEventTableBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunLengthThresholdSinglePass(benchmark::State &state)
+{
+    // One table entry via the shipped single-propagation calibration:
+    // the retained-mass sequence for every run length falls out of one
+    // O(R G^2) density propagation.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runLengthThreshold(0.8, 0.95));
+}
+BENCHMARK(BM_RunLengthThresholdSinglePass)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_RunLengthThresholdLegacy(benchmark::State &state)
+{
+    // The pre-rewrite calibration loop: one full propagation from
+    // scratch per candidate run length (O(R^2 G^2) overall), expressed
+    // through the public per-run-length probability query.
+    for (auto _ : state) {
+        int threshold = 65;
+        for (int extra = 1; extra <= 64; ++extra) {
+            const double retained =
+                core::runContinuationProbability(0.8, 0.95, extra);
+            if (retained < 0.05 - 1e-4) {
+                threshold = extra + 1;
+                break;
+            }
+        }
+        benchmark::DoNotOptimize(threshold);
+    }
+}
+BENCHMARK(BM_RunLengthThresholdLegacy)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -11,6 +11,7 @@
  */
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.hh"
 #include "util/table_printer.hh"
@@ -20,6 +21,7 @@ main(int argc, char **argv)
 {
     using namespace qdel;
     auto options = bench::parseOptions(argc, argv);
+    sim::ParallelEvaluator evaluator(options.threads);
 
     const double quantiles[] = {0.5, 0.75, 0.9, 0.95, 0.99};
     const double confidences[] = {0.8, 0.95};
@@ -30,25 +32,43 @@ main(int argc, char **argv)
         "pooled; target = quantile).");
     table.setHeader({"quantile", "C=0.80", "C=0.95", "target"});
 
-    const std::pair<const char *, const char *> queues[] = {
+    const std::vector<std::pair<const char *, const char *>> queues = {
         {"datastar", "normal"}, {"llnl", "all"}, {"tacc2", "serial"}};
 
+    // The three traces are shared by every combination; the full
+    // (quantile x confidence x queue) grid is one flat suite. Shared
+    // rare-event tables are forced up front (one build per quantile).
+    std::vector<const workload::QueueProfile *> profiles;
+    for (const auto &[site, queue] : queues)
+        profiles.push_back(&workload::findProfile(site, queue));
+    const auto traces =
+        bench::synthesizeSuite(evaluator, profiles, options.seed);
+
+    std::vector<sim::EvaluationJob> jobs;
     for (double quantile : quantiles) {
-        std::vector<std::string> row = {
-            TablePrinter::cell(quantile, 2)};
+        const core::RareEventTable &rare_table =
+            bench::sharedTable(quantile);
         for (double confidence : confidences) {
-            size_t correct = 0, evaluated = 0;
-            for (const auto &[site, queue] : queues) {
-                auto trace = workload::synthesizeTrace(
-                    workload::findProfile(site, queue), options.seed);
+            for (const auto &trace : traces) {
                 core::PredictorOptions predictor_options;
                 predictor_options.quantile = quantile;
                 predictor_options.confidence = confidence;
-                predictor_options.rareEventTable =
-                    &bench::sharedTable(quantile);
-                auto cell = sim::evaluateTrace(
-                    trace, "bmbp", predictor_options,
-                    bench::replayConfig(options));
+                predictor_options.rareEventTable = &rare_table;
+                jobs.push_back({trace, "bmbp", predictor_options,
+                                bench::replayConfig(options)});
+            }
+        }
+    }
+    const auto cells = evaluator.evaluateSuite(jobs);
+
+    size_t next = 0;
+    for (double quantile : quantiles) {
+        std::vector<std::string> row = {
+            TablePrinter::cell(quantile, 2)};
+        for (size_t c = 0; c < std::size(confidences); ++c) {
+            size_t correct = 0, evaluated = 0;
+            for (size_t t = 0; t < traces.size(); ++t) {
+                const auto &cell = cells[next++];
                 correct += static_cast<size_t>(
                     cell.correctFraction *
                     static_cast<double>(cell.evaluated));

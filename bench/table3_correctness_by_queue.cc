@@ -25,6 +25,7 @@ main(int argc, char **argv)
     auto options = bench::parseOptions(argc, argv);
     auto predictor_options = bench::predictorOptions(options);
     auto replay = bench::replayConfig(options);
+    sim::ParallelEvaluator evaluator(options.threads);
 
     TablePrinter table(
         "Table 3. Fraction of correct wait-time predictions per queue "
@@ -34,15 +35,14 @@ main(int argc, char **argv)
 
     size_t bmbp_correct = 0, notrim_correct = 0, trim_correct = 0;
     const auto rows = workload::table3Profiles();
-    for (const auto *profile : rows) {
-        auto trace = workload::synthesizeTrace(*profile, options.seed);
-        std::vector<sim::EvaluationCell> cells = {
-            sim::evaluateTrace(trace, "bmbp", predictor_options, replay),
-            sim::evaluateTrace(trace, "lognormal", predictor_options,
-                               replay),
-            sim::evaluateTrace(trace, "lognormal-trim", predictor_options,
-                               replay),
-        };
+    const auto traces =
+        bench::synthesizeSuite(evaluator, rows, options.seed);
+    const auto grid = bench::evaluateMethodGrid(
+        evaluator, traces, {"bmbp", "lognormal", "lognormal-trim"},
+        predictor_options, replay);
+    for (size_t r = 0; r < rows.size(); ++r) {
+        const auto *profile = rows[r];
+        const std::vector<sim::EvaluationCell> &cells = grid[r];
         bmbp_correct += cells[0].correct(options.quantile);
         notrim_correct += cells[1].correct(options.quantile);
         trim_correct += cells[2].correct(options.quantile);

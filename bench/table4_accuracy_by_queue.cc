@@ -20,6 +20,7 @@ main(int argc, char **argv)
     auto options = bench::parseOptions(argc, argv);
     auto predictor_options = bench::predictorOptions(options);
     auto replay = bench::replayConfig(options);
+    sim::ParallelEvaluator evaluator(options.threads);
 
     TablePrinter table(
         "Table 4. Median ratio of actual over predicted wait times "
@@ -28,15 +29,15 @@ main(int argc, char **argv)
                      "logn Trim"});
 
     size_t bmbp_best = 0, notrim_best = 0, trim_best = 0;
-    for (const auto *profile : workload::table3Profiles()) {
-        auto trace = workload::synthesizeTrace(*profile, options.seed);
-        std::vector<sim::EvaluationCell> cells = {
-            sim::evaluateTrace(trace, "bmbp", predictor_options, replay),
-            sim::evaluateTrace(trace, "lognormal", predictor_options,
-                               replay),
-            sim::evaluateTrace(trace, "lognormal-trim", predictor_options,
-                               replay),
-        };
+    const auto rows = workload::table3Profiles();
+    const auto traces =
+        bench::synthesizeSuite(evaluator, rows, options.seed);
+    const auto grid = bench::evaluateMethodGrid(
+        evaluator, traces, {"bmbp", "lognormal", "lognormal-trim"},
+        predictor_options, replay);
+    for (size_t r = 0; r < rows.size(); ++r) {
+        const auto *profile = rows[r];
+        const std::vector<sim::EvaluationCell> &cells = grid[r];
 
         // Count which correct method is tightest (paper boldface).
         int best = -1;

@@ -16,6 +16,7 @@ namespace core {
 
 BmbpPredictor::BmbpPredictor(BmbpConfig config, const RareEventTable *table)
     : config_(config), table_(table),
+      boundIndex_(config.quantile, config.confidence),
       minimumHistory_(stats::minimumSampleSize(config.quantile,
                                                config.confidence))
 {
@@ -75,9 +76,16 @@ BmbpPredictor::computeBound(double q, bool upper) const
     if (n == 0)
         return upper ? QuantileEstimate::infinite()
                      : QuantileEstimate::of(0.0);
+    // The cache serves the configured quantile (the refit() hot path);
+    // ad-hoc quantile queries fall back to the direct computation.
+    const bool cacheable = q == config_.quantile;
     const auto index =
-        upper ? stats::upperBoundIndex(n, q, config_.confidence)
-              : stats::lowerBoundIndex(n, q, config_.confidence);
+        upper ? (cacheable ? boundIndex_.upperIndex(n)
+                           : stats::upperBoundIndex(n, q,
+                                                    config_.confidence))
+              : (cacheable ? boundIndex_.lowerIndex(n)
+                           : stats::lowerBoundIndex(n, q,
+                                                    config_.confidence));
     if (!index)
         return upper ? QuantileEstimate::infinite()
                      : QuantileEstimate::of(0.0);
@@ -113,10 +121,25 @@ BmbpPredictor::trimHistory()
     ++trimCount_;
     missRun_ = 0;
     // Keep only the most recent observations that still allow a
-    // meaningful bound at the configured quantile/confidence.
-    while (chronological_.size() > minimumHistory_) {
-        sorted_.erase(chronological_.front());
-        chronological_.pop_front();
+    // meaningful bound at the configured quantile/confidence. When the
+    // trim discards more than it retains (the common case: a long
+    // stationary history collapsing to the 59-observation minimum),
+    // rebuilding the sorted view from the survivors is far cheaper
+    // than erasing the discarded values one at a time.
+    const size_t excess = chronological_.size() > minimumHistory_
+                              ? chronological_.size() - minimumHistory_
+                              : 0;
+    if (excess > minimumHistory_) {
+        chronological_.erase(chronological_.begin(),
+                             chronological_.begin() +
+                                 static_cast<ptrdiff_t>(excess));
+        sorted_.assign(std::vector<double>(chronological_.begin(),
+                                           chronological_.end()));
+    } else {
+        while (chronological_.size() > minimumHistory_) {
+            sorted_.erase(chronological_.front());
+            chronological_.pop_front();
+        }
     }
     // The old model is invalid; re-arm immediately rather than waiting
     // for the next epoch.

@@ -20,7 +20,8 @@
 
 #include "core/predictor.hh"
 #include "core/rare_event.hh"
-#include "util/order_statistic_treap.hh"
+#include "stats/quantile_bounds.hh"
+#include "util/order_statistic_list.hh"
 
 namespace qdel {
 namespace core {
@@ -87,7 +88,18 @@ class BmbpPredictor : public Predictor
     std::unique_ptr<RareEventTable> ownedTable_;
 
     std::deque<double> chronological_;  //!< History in completion order.
-    OrderStatisticTreap sorted_;        //!< Same values, order-statistic view.
+    OrderStatisticList sorted_;         //!< Same values, order-statistic view.
+
+    /**
+     * Incremental index cache for the configured (quantile,
+     * confidence): refit() reuses the cached order-statistic index
+     * when the history length is unchanged and advances it through
+     * the binomial recurrence when it grows by one, instead of
+     * re-running the binary search over the binomial CDF. Ad-hoc
+     * boundAt() quantiles bypass it. Mutable: an index cache does not
+     * change observable predictor state.
+     */
+    mutable stats::BoundIndexCache boundIndex_;
 
     QuantileEstimate cachedBound_;      //!< Value frozen between refits.
     int missRun_ = 0;

@@ -19,7 +19,7 @@
 #include <deque>
 
 #include "core/predictor.hh"
-#include "util/order_statistic_treap.hh"
+#include "util/order_statistic_list.hh"
 
 namespace qdel {
 namespace core {
@@ -58,7 +58,7 @@ class LogUniformPredictor : public Predictor
 
     LogUniformConfig config_;
     std::deque<double> chronological_;  //!< Floored waits, in order.
-    OrderStatisticTreap sorted_;
+    OrderStatisticList sorted_;
     QuantileEstimate cachedBound_;
 };
 

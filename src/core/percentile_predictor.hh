@@ -12,7 +12,7 @@
 #include <deque>
 
 #include "core/predictor.hh"
-#include "util/order_statistic_treap.hh"
+#include "util/order_statistic_list.hh"
 
 namespace qdel {
 namespace core {
@@ -41,7 +41,7 @@ class PercentilePredictor : public Predictor
     double quantile_;
     size_t maxHistory_;
     std::deque<double> chronological_;
-    OrderStatisticTreap sorted_;
+    OrderStatisticList sorted_;
     QuantileEstimate cachedBound_;
 };
 

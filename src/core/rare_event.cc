@@ -1,16 +1,34 @@
 /**
  * @file
  * Implementation of the rare-event run-length calibration.
+ *
+ * Performance notes (this is a bench-visible path: every predictor
+ * suite build pays for the table):
+ *  - the AR(1) transition kernel restricted to the exceedance region
+ *    is a fixed G x G matrix for a given rho; it is evaluated once and
+ *    every propagation step becomes a dense mat-vec instead of G^2
+ *    fresh normalPdf (exp) calls;
+ *  - the run-length threshold needs the retained mass after *every*
+ *    step up to the answer, so a single density propagation that
+ *    records the mass per step replaces the former
+ *    recompute-from-scratch-per-run-length loop: O(R G^2) instead of
+ *    O(R^2 G^2);
+ *  - the ten rho entries of RareEventTable are independent and are
+ *    built concurrently on a ThreadPool (QDEL_THREADS=1 recovers the
+ *    sequential build; results are identical either way since each
+ *    entry is a pure function of its rho).
  */
 
 #include "core/rare_event.hh"
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 
 #include "stats/ar1.hh"
 #include "stats/special_functions.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace qdel {
 namespace core {
@@ -23,59 +41,103 @@ constexpr int kGridPoints = 400;
 /** Upper integration limit in latent (standard normal) units. */
 constexpr double kZMax = 9.0;
 
-} // namespace
+/**
+ * The quadrature state for one (rho, q): midpoint grid over the
+ * exceedance region, the initial conditional density, and the AR(1)
+ * transition kernel restricted to the region (row-major, source index
+ * i times destination index j).
+ */
+struct CalibrationKernel
+{
+    std::vector<double> grid;
+    std::vector<double> initial;
+    std::vector<double> matrix;
 
-double
-runContinuationProbability(double rho, double q, int extra)
+    CalibrationKernel(double rho, double q)
+        : grid(kGridPoints), initial(kGridPoints),
+          matrix(static_cast<size_t>(kGridPoints) * kGridPoints)
+    {
+        const double c = stats::normalQuantile(q);
+        const double step = (kZMax - c) / kGridPoints;
+        const double innovation_sd = std::sqrt(1.0 - rho * rho);
+
+        for (int i = 0; i < kGridPoints; ++i)
+            grid[i] = c + (i + 0.5) * step;
+
+        // Initial (unnormalized) mass: the stationary density
+        // restricted to the exceedance region, then normalized —
+        // "given one exceedance".
+        double mass = 0.0;
+        for (int i = 0; i < kGridPoints; ++i) {
+            initial[i] = stats::normalPdf(grid[i]) * step;
+            mass += initial[i];
+        }
+        for (double &d : initial)
+            d /= mass;
+
+        for (int i = 0; i < kGridPoints; ++i) {
+            const double mean = rho * grid[i];
+            double *row = &matrix[static_cast<size_t>(i) * kGridPoints];
+            for (int j = 0; j < kGridPoints; ++j) {
+                const double z = (grid[j] - mean) / innovation_sd;
+                row[j] = stats::normalPdf(z) * step / innovation_sd;
+            }
+        }
+    }
+
+    /**
+     * Advance @p density one step through the kernel into @p next,
+     * keeping only mass that stays in the exceedance region.
+     * @return the retained mass.
+     */
+    double
+    propagate(std::vector<double> &density, std::vector<double> &next) const
+    {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (int i = 0; i < kGridPoints; ++i) {
+            if (density[i] <= 0.0)
+                continue;
+            const double weight = density[i];
+            const double *row =
+                &matrix[static_cast<size_t>(i) * kGridPoints];
+            for (int j = 0; j < kGridPoints; ++j)
+                next[j] += weight * row[j];
+        }
+        double retained = 0.0;
+        for (double d : next)
+            retained += d;
+        density.swap(next);
+        return retained;
+    }
+};
+
+void
+checkCalibrationArgs(double rho, double q)
 {
     if (rho < 0.0 || rho >= 1.0)
         panic("runContinuationProbability: rho out of [0,1): ", rho);
     if (!(q > 0.0) || !(q < 1.0))
         panic("runContinuationProbability: q out of (0,1): ", q);
+}
+
+} // namespace
+
+double
+runContinuationProbability(double rho, double q, int extra)
+{
+    checkCalibrationArgs(rho, q);
     if (extra <= 0)
         return 1.0;
 
-    const double c = stats::normalQuantile(q);
-    const double step = (kZMax - c) / kGridPoints;
-    const double innovation_sd = std::sqrt(1.0 - rho * rho);
-
-    // Midpoint grid over the exceedance region (c, kZMax).
-    std::vector<double> grid(kGridPoints);
-    for (int i = 0; i < kGridPoints; ++i)
-        grid[i] = c + (i + 0.5) * step;
-
-    // Initial (unnormalized) mass: the stationary density restricted to
-    // the exceedance region, then normalized — "given one exceedance".
-    std::vector<double> density(kGridPoints);
-    double mass = 0.0;
-    for (int i = 0; i < kGridPoints; ++i) {
-        density[i] = stats::normalPdf(grid[i]) * step;
-        mass += density[i];
-    }
-    for (double &d : density)
-        d /= mass;
-
-    // Propagate through the AR(1) kernel, keeping only mass that stays
-    // in the exceedance region. After k steps the total retained mass
-    // is P[next k all exceed | initial exceedance].
+    const CalibrationKernel kernel(rho, q);
+    std::vector<double> density = kernel.initial;
     std::vector<double> next(kGridPoints);
+
+    // After k steps the total retained mass is
+    // P[next k all exceed | initial exceedance].
     double retained = 1.0;
     for (int k = 0; k < extra; ++k) {
-        std::fill(next.begin(), next.end(), 0.0);
-        for (int i = 0; i < kGridPoints; ++i) {
-            if (density[i] <= 0.0)
-                continue;
-            const double mean = rho * grid[i];
-            for (int j = 0; j < kGridPoints; ++j) {
-                const double z = (grid[j] - mean) / innovation_sd;
-                next[j] += density[i] * stats::normalPdf(z) * step /
-                           innovation_sd;
-            }
-        }
-        retained = 0.0;
-        for (double d : next)
-            retained += d;
-        density.swap(next);
+        retained = kernel.propagate(density, next);
         if (retained <= 0.0)
             return 0.0;
     }
@@ -85,17 +147,24 @@ runContinuationProbability(double rho, double q, int extra)
 int
 runLengthThreshold(double rho, double q, double rare_prob)
 {
+    checkCalibrationArgs(rho, q);
     // Smallest R with P[R consecutive | first] < rare_prob; R counts the
     // initial exceedance, so R = extra + 1. The comparison carries a
     // small tolerance because the i.i.d. case sits exactly on the
     // boundary (P = 1 - q = rare_prob for extra = 1 when q = .95) and
     // quadrature error must not tip it over: the paper's i.i.d.
     // threshold is 3, not 2.
+    //
+    // One density propagation yields the retained-mass sequence for
+    // every run length at once; the former per-run-length recompute
+    // repeated the first extra-1 steps each time.
+    const CalibrationKernel kernel(rho, q);
+    std::vector<double> density = kernel.initial;
+    std::vector<double> next(kGridPoints);
     for (int extra = 1; extra <= 64; ++extra) {
-        if (runContinuationProbability(rho, q, extra) <
-            rare_prob - 1e-4) {
+        const double retained = kernel.propagate(density, next);
+        if (retained < rare_prob - 1e-4)
             return extra + 1;
-        }
     }
     warn("runLengthThreshold: no threshold below 65 for rho=", rho,
          "; clamping");
@@ -104,12 +173,20 @@ runLengthThreshold(double rho, double q, double rare_prob)
 
 RareEventTable::RareEventTable(double q, double rare_prob)
 {
-    entries_.reserve(10);
-    for (int i = 0; i < 10; ++i) {
-        entries_.push_back(
-            runLengthThreshold(static_cast<double>(i) / 10.0, q,
-                               rare_prob));
+    entries_.resize(10);
+    ThreadPool pool(
+        std::min<size_t>(entries_.size(), ThreadPool::defaultThreadCount()));
+    std::vector<std::future<int>> thresholds;
+    thresholds.reserve(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const double rho = static_cast<double>(i) / 10.0;
+        thresholds.push_back(pool.submit(
+            [rho, q, rare_prob] {
+                return runLengthThreshold(rho, q, rare_prob);
+            }));
     }
+    for (size_t i = 0; i < entries_.size(); ++i)
+        entries_[i] = thresholds[i].get();
 }
 
 int
@@ -118,7 +195,12 @@ RareEventTable::threshold(double rho) const
     if (!std::isfinite(rho))
         rho = 0.0;
     rho = std::clamp(rho, 0.0, 0.9);
-    const auto index = static_cast<size_t>(rho * 10.0);
+    // Round *down* to the 0.1 grid (conservative), but land exact
+    // multiples in their own bucket: rho values like 0.3 scale to
+    // 2.999...9 in binary floating point, and a bare cast would
+    // silently select the previous (less conservative) bucket.
+    const auto index =
+        static_cast<size_t>(std::floor(rho * 10.0 + 1e-9));
     return entries_[std::min<size_t>(index, entries_.size() - 1)];
 }
 

@@ -49,6 +49,12 @@ double runContinuationProbability(double rho, double q, int extra);
  * following an initial exceedance) under stationarity with lag-1
  * autocorrelation @p rho. The paper's parameters are q = .95 and
  * rareProb = .05.
+ *
+ * Computed in a single density propagation: the AR(1) kernel is
+ * evaluated once and the retained mass is recorded at every run
+ * length on the way up, so calibration costs O(R G^2) where the
+ * naive per-run-length recompute (equivalent to calling
+ * runContinuationProbability for each candidate) costs O(R^2 G^2).
  */
 int runLengthThreshold(double rho, double q = 0.95,
                        double rare_prob = 0.05);
@@ -62,6 +68,11 @@ class RareEventTable
 {
   public:
     /**
+     * Builds the ten rho entries concurrently on a ThreadPool (each
+     * entry is a pure function of its rho, so the table contents do
+     * not depend on the worker count; QDEL_THREADS=1 forces a
+     * sequential build).
+     *
      * @param q         Quantile the table is calibrated for.
      * @param rare_prob Rarity criterion (default 5%).
      */

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the parallel evaluation engine.
+ */
+
+#include "sim/replay/parallel_evaluation.hh"
+
+#include <future>
+
+#include "util/logging.hh"
+
+namespace qdel {
+namespace sim {
+
+ParallelEvaluator::ParallelEvaluator(long long threads)
+    : pool_(ThreadPool::resolveThreadCount(threads))
+{
+}
+
+std::vector<EvaluationCell>
+ParallelEvaluator::evaluateSuite(const std::vector<EvaluationJob> &jobs)
+{
+    std::vector<std::future<EvaluationCell>> futures;
+    futures.reserve(jobs.size());
+    for (const EvaluationJob &job : jobs) {
+        if (!job.trace)
+            panic("ParallelEvaluator::evaluateSuite: null trace");
+        futures.push_back(pool_.submit([&job] {
+            return evaluateTrace(*job.trace, job.method, job.options,
+                                 job.config);
+        }));
+    }
+    std::vector<EvaluationCell> cells;
+    cells.reserve(jobs.size());
+    for (auto &future : futures)
+        cells.push_back(future.get());
+    return cells;
+}
+
+std::vector<EvaluationCell>
+ParallelEvaluator::evaluateByProcRange(const trace::Trace &t,
+                                       const std::string &method,
+                                       const core::PredictorOptions &options,
+                                       const ReplayConfig &config,
+                                       size_t min_jobs)
+{
+    const trace::ProcRange *ranges = trace::paperProcRanges();
+    std::vector<std::future<EvaluationCell>> futures;
+    futures.reserve(static_cast<size_t>(trace::paperProcRangeCount()));
+    for (int r = 0; r < trace::paperProcRangeCount(); ++r) {
+        const trace::ProcRange range = ranges[r];
+        futures.push_back(
+            pool_.submit([&t, &method, &options, &config, range,
+                          min_jobs] {
+                const trace::Trace sub = t.filterByProcRange(range);
+                if (sub.size() < min_jobs) {
+                    EvaluationCell cell;
+                    cell.jobs = sub.size();
+                    return cell;
+                }
+                return evaluateTrace(sub, method, options, config);
+            }));
+    }
+    std::vector<EvaluationCell> cells;
+    cells.reserve(futures.size());
+    for (auto &future : futures)
+        cells.push_back(future.get());
+    return cells;
+}
+
+} // namespace sim
+} // namespace qdel

@@ -133,6 +133,172 @@ lowerBoundIndex(size_t n, double q, double confidence)
     return lowerBoundIndexExact(n, q, confidence);
 }
 
+BoundIndexCache::BoundIndexCache(double q, double confidence)
+    : q_(q), confidence_(confidence)
+{
+    checkArgs(1, q, confidence);
+    z_ = normalQuantile(confidence);
+    oddsRatio_ = q / (1.0 - q);
+}
+
+BoundIndex
+BoundIndexCache::upperIndex(size_t n)
+{
+    if (n < 1)
+        panic("BoundIndexCache::upperIndex: empty sample");
+    if (normalApproximationValid(n, q_)) {
+        // upperBoundIndexApprox with the cached z.
+        const double dn = static_cast<double>(n);
+        const double raw =
+            dn * q_ + z_ * std::sqrt(dn * q_ * (1.0 - q_));
+        const double k = std::ceil(raw);
+        if (k < 1.0)
+            return static_cast<size_t>(1);
+        if (k > dn)
+            return upperBoundIndexExact(n, q_, confidence_);
+        return static_cast<size_t>(k);
+    }
+    return exactUpper(n);
+}
+
+BoundIndex
+BoundIndexCache::exactUpper(size_t n)
+{
+    if (!valid_ || (n != n_ && n != n_ + 1 && n + 1 != n_)) {
+        anchor(n);
+    } else if (n == n_ + 1) {
+        stepUp();
+        if (!valid_)
+            anchor(n);
+    } else if (n + 1 == n_) {
+        if (!stepDown())
+            anchor(n);
+    }
+    if (!feasible_)
+        return std::nullopt;
+    return k_;
+}
+
+void
+BoundIndexCache::anchor(size_t n)
+{
+    ++anchors_;
+    stepsSinceAnchor_ = 0;
+    valid_ = true;
+    n_ = n;
+    const BoundIndex index = upperBoundIndexExact(n, q_, confidence_);
+    feasible_ = index.has_value();
+    if (!feasible_)
+        return;
+    k_ = *index;
+    const long long nn = static_cast<long long>(n);
+    const long long km1 = static_cast<long long>(k_) - 1;
+    cdf_ = binomialCdf(km1, nn, q_);
+    pmf_ = std::exp(binomialLogPmf(km1, nn, q_));
+}
+
+void
+BoundIndexCache::stepUp()
+{
+    if (!feasible_) {
+        // Feasibility is monotone in n; reaching it is an anchor event.
+        valid_ = false;
+        return;
+    }
+    // One extra Bernoulli(q) trial: with j = k_ - 1,
+    //   pmf_{n+1}(j) = q pmf_n(j-1) + (1-q) pmf_n(j)
+    //   cdf_{n+1}(j) = cdf_n(j) - q pmf_n(j)
+    // where pmf_n(j-1) follows from the in-n ratio
+    //   pmf_n(j)/pmf_n(j-1) = ((n-j+1)/j) (q/(1-q)).
+    const double dn = static_cast<double>(n_);
+    const double dk = static_cast<double>(k_);
+    const double pmf_km2 =
+        k_ >= 2 ? pmf_ * (dk - 1.0) / ((dn - dk + 2.0) * oddsRatio_)
+                : 0.0;
+    double cdf = cdf_ - q_ * pmf_;
+    double pmf = q_ * pmf_km2 + (1.0 - q_) * pmf_;
+    ++n_;
+    // Restore the invariant: k_ is the smallest index whose CDF term
+    // reaches the confidence level (it moves up by at most a few
+    // slots, amortized q per step).
+    while (cdf < confidence_) {
+        if (k_ >= n_) {
+            valid_ = false;  // ran off the sample: re-anchor
+            return;
+        }
+        const double next_pmf =
+            pmf * (static_cast<double>(n_) - static_cast<double>(k_) +
+                   1.0) /
+            static_cast<double>(k_) * oddsRatio_;
+        cdf += next_pmf;
+        pmf = next_pmf;
+        ++k_;
+    }
+    cdf_ = cdf;
+    pmf_ = pmf;
+    if (++stepsSinceAnchor_ >= kAnchorInterval ||
+        std::abs(cdf_ - confidence_) < kBoundaryGuard) {
+        valid_ = false;  // force re-anchor on this n
+        const size_t n = n_;
+        anchor(n);
+    }
+}
+
+bool
+BoundIndexCache::stepDown()
+{
+    if (!feasible_)
+        return false;
+    // Removing a trial raises the CDF at fixed count, so the index
+    // shrinks by zero or one. Decide with one exact CDF evaluation.
+    const size_t m = n_ - 1;
+    if (k_ > m)
+        return false;  // was k_ == n_: feasibility itself is in doubt
+    size_t k = k_;
+    if (k >= 2) {
+        const double below =
+            binomialCdf(static_cast<long long>(k) - 2,
+                        static_cast<long long>(m), q_);
+        if (below >= confidence_)
+            k = k - 1;
+        if (std::abs(below - confidence_) < kBoundaryGuard)
+            return false;
+    }
+    n_ = m;
+    k_ = k;
+    const long long km1 = static_cast<long long>(k_) - 1;
+    cdf_ = binomialCdf(km1, static_cast<long long>(n_), q_);
+    pmf_ = std::exp(binomialLogPmf(km1, static_cast<long long>(n_), q_));
+    stepsSinceAnchor_ = 0;
+    return true;
+}
+
+BoundIndex
+BoundIndexCache::lowerIndex(size_t n)
+{
+    if (lowerValid_ && n == lowerN_)
+        return lowerK_;
+    if (normalApproximationValid(n, q_)) {
+        // lowerBoundIndexApprox with the cached z.
+        checkArgs(n, q_, confidence_);
+        const double dn = static_cast<double>(n);
+        const double raw =
+            dn * q_ - z_ * std::sqrt(dn * q_ * (1.0 - q_));
+        const double k = std::floor(raw);
+        if (k > dn)
+            lowerK_ = n;
+        else if (k < 1.0)
+            lowerK_ = lowerBoundIndexExact(n, q_, confidence_);
+        else
+            lowerK_ = static_cast<size_t>(k);
+    } else {
+        lowerK_ = lowerBoundIndexExact(n, q_, confidence_);
+    }
+    lowerValid_ = true;
+    lowerN_ = n;
+    return lowerK_;
+}
+
 size_t
 minimumSampleSize(double q, double confidence)
 {

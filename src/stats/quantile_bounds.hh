@@ -80,6 +80,80 @@ BoundIndex lowerBoundIndex(size_t n, double q, double confidence);
  */
 size_t minimumSampleSize(double q, double confidence);
 
+/**
+ * Incremental cache of the hybrid bound indices for one fixed
+ * (quantile, confidence) pair — the per-predictor state that makes
+ * BmbpPredictor::refit() cheap on the replay hot path.
+ *
+ * Three layers of reuse, all returning exactly what the free
+ * upperBoundIndex()/lowerBoundIndex() functions would:
+ *  - z_C = normalQuantile(confidence) is computed once, so the
+ *    normal-approximation regime costs one ceil and one sqrt;
+ *  - when n is unchanged since the last query (the sliding-window
+ *    steady state), the cached index is returned directly;
+ *  - in the exact-binomial regime (small samples, where the free
+ *    function binary-searches with ~log2(n) incomplete-beta
+ *    evaluations), the cache tracks P[Bin(n,q) = k-1] and
+ *    P[Bin(n,q) <= k-1] and advances them through the one-trial
+ *    recurrences when n changes by +/-1, so the post-trim regrowth
+ *    path costs O(1) arithmetic amortized per observation.
+ *
+ * The recurrence state is re-anchored against the exact binomial CDF
+ * every few hundred steps, and immediately whenever a feasibility
+ * decision falls within 1e-9 of the confidence level, so the selected
+ * index is always identical to the freshly computed one (the test
+ * suite sweeps n to verify equality).
+ */
+class BoundIndexCache
+{
+  public:
+    BoundIndexCache(double q, double confidence);
+
+    /** Equals upperBoundIndex(n, quantile(), confidence()). */
+    BoundIndex upperIndex(size_t n);
+
+    /** Equals lowerBoundIndex(n, quantile(), confidence()). */
+    BoundIndex lowerIndex(size_t n);
+
+    double quantile() const { return q_; }
+    double confidence() const { return confidence_; }
+
+    /** Exact-path full recomputations performed (for tests/benchmarks). */
+    size_t anchorCount() const { return anchors_; }
+
+  private:
+    BoundIndex exactUpper(size_t n);
+    void anchor(size_t n);
+    void stepUp();
+    bool stepDown();
+
+    double q_;
+    double confidence_;
+    double z_;                 //!< Cached normalQuantile(confidence).
+    double oddsRatio_;         //!< q / (1 - q), for the pmf recurrences.
+
+    // Exact-path incremental state. When valid_, describes sample size
+    // n_: feasible_ says whether any order statistic achieves the
+    // confidence; when feasible, k_ is the selected index and
+    // cdf_/pmf_ are P[Bin(n_,q) <= k_-1] and P[Bin(n_,q) = k_-1].
+    bool valid_ = false;
+    bool feasible_ = false;
+    size_t n_ = 0;
+    size_t k_ = 0;
+    double cdf_ = 0.0;
+    double pmf_ = 0.0;
+    unsigned stepsSinceAnchor_ = 0;
+    size_t anchors_ = 0;
+
+    // Memo for the lower index (one entry: the sliding-window case).
+    bool lowerValid_ = false;
+    size_t lowerN_ = 0;
+    BoundIndex lowerK_;
+
+    static constexpr unsigned kAnchorInterval = 512;
+    static constexpr double kBoundaryGuard = 1e-9;
+};
+
 } // namespace stats
 } // namespace qdel
 

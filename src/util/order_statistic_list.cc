@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Implementation of the sorted-block order-statistic multiset.
+ */
+
+#include "util/order_statistic_list.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace qdel {
+
+size_t
+OrderStatisticList::findBlockLower(double value) const
+{
+    return static_cast<size_t>(
+        std::lower_bound(maxes_.begin(), maxes_.end(), value) -
+        maxes_.begin());
+}
+
+void
+OrderStatisticList::rebuildIndex()
+{
+    const size_t count = blocks_.size();
+    maxes_.resize(count);
+    fenwick_.assign(count + 1, 0);
+    for (size_t b = 0; b < count; ++b) {
+        maxes_[b] = blocks_[b].back();
+        // O(n) Fenwick construction: push each prefix up one level.
+        const size_t j = b + 1;
+        fenwick_[j] += blocks_[b].size();
+        const size_t parent = j + (j & (~j + 1));
+        if (parent <= count)
+            fenwick_[parent] += fenwick_[j];
+    }
+}
+
+void
+OrderStatisticList::fenwickAdd(size_t b, long long delta)
+{
+    for (size_t j = b + 1; j < fenwick_.size(); j += j & (~j + 1))
+        fenwick_[j] = static_cast<size_t>(
+            static_cast<long long>(fenwick_[j]) + delta);
+}
+
+size_t
+OrderStatisticList::fenwickPrefix(size_t b) const
+{
+    size_t total = 0;
+    for (size_t j = b; j > 0; j -= j & (~j + 1))
+        total += fenwick_[j];
+    return total;
+}
+
+void
+OrderStatisticList::insert(double value)
+{
+    ++size_;
+    if (blocks_.empty()) {
+        blocks_.emplace_back(1, value);
+        rebuildIndex();
+        return;
+    }
+
+    size_t b = findBlockLower(value);
+    if (b == blocks_.size())
+        b = blocks_.size() - 1;  // beyond the current max: last block
+    std::vector<double> &block = blocks_[b];
+    block.insert(std::upper_bound(block.begin(), block.end(), value),
+                 value);
+
+    if (block.size() >= kBlockCapacity) {
+        std::vector<double> upper(block.begin() + kTargetFill,
+                                  block.end());
+        block.resize(kTargetFill);
+        blocks_.insert(blocks_.begin() + b + 1, std::move(upper));
+        rebuildIndex();
+        return;
+    }
+    fenwickAdd(b, 1);
+    if (value > maxes_[b])
+        maxes_[b] = value;
+}
+
+bool
+OrderStatisticList::erase(double value)
+{
+    const size_t b = findBlockLower(value);
+    if (b == blocks_.size())
+        return false;
+    std::vector<double> &block = blocks_[b];
+    const auto it =
+        std::lower_bound(block.begin(), block.end(), value);
+    if (it == block.end() || *it != value)
+        return false;
+    block.erase(it);
+    --size_;
+
+    if (block.empty()) {
+        blocks_.erase(blocks_.begin() + b);
+        rebuildIndex();
+        return true;
+    }
+    if (block.size() < kMergeThreshold && blocks_.size() > 1) {
+        // Merge into whichever neighbour keeps the result under
+        // capacity; prefer the right one for determinism.
+        const size_t right = b + 1 < blocks_.size() ? b + 1 : b;
+        const size_t left = right - 1;
+        if (blocks_[left].size() + blocks_[right].size() <
+            kBlockCapacity) {
+            blocks_[left].insert(blocks_[left].end(),
+                                 blocks_[right].begin(),
+                                 blocks_[right].end());
+            blocks_.erase(blocks_.begin() + right);
+            rebuildIndex();
+            return true;
+        }
+    }
+    fenwickAdd(b, -1);
+    maxes_[b] = block.back();
+    return true;
+}
+
+double
+OrderStatisticList::kth(size_t k) const
+{
+    if (k >= size_)
+        panic("OrderStatisticList::kth(", k, ") with size ", size_);
+    // Fenwick descent: find the block holding global rank k.
+    size_t pos = 0;
+    size_t remaining = k + 1;
+    size_t step = 1;
+    while ((step << 1) < fenwick_.size())
+        step <<= 1;
+    for (; step > 0; step >>= 1) {
+        const size_t next = pos + step;
+        if (next < fenwick_.size() && fenwick_[next] < remaining) {
+            remaining -= fenwick_[next];
+            pos = next;
+        }
+    }
+    return blocks_[pos][remaining - 1];
+}
+
+size_t
+OrderStatisticList::countLess(double value) const
+{
+    const size_t b = findBlockLower(value);
+    if (b == blocks_.size())
+        return size_;
+    const std::vector<double> &block = blocks_[b];
+    return fenwickPrefix(b) +
+           static_cast<size_t>(
+               std::lower_bound(block.begin(), block.end(), value) -
+               block.begin());
+}
+
+size_t
+OrderStatisticList::countLessEqual(double value) const
+{
+    const size_t b = static_cast<size_t>(
+        std::upper_bound(maxes_.begin(), maxes_.end(), value) -
+        maxes_.begin());
+    if (b == blocks_.size())
+        return size_;
+    const std::vector<double> &block = blocks_[b];
+    return fenwickPrefix(b) +
+           static_cast<size_t>(
+               std::upper_bound(block.begin(), block.end(), value) -
+               block.begin());
+}
+
+void
+OrderStatisticList::clear()
+{
+    blocks_.clear();
+    maxes_.clear();
+    fenwick_.clear();
+    size_ = 0;
+}
+
+void
+OrderStatisticList::assign(std::vector<double> values)
+{
+    clear();
+    if (values.empty())
+        return;
+    std::sort(values.begin(), values.end());
+    size_ = values.size();
+    blocks_.reserve((values.size() + kTargetFill - 1) / kTargetFill);
+    for (size_t begin = 0; begin < values.size(); begin += kTargetFill) {
+        const size_t end = std::min(begin + kTargetFill, values.size());
+        blocks_.emplace_back(values.begin() + begin, values.begin() + end);
+    }
+    rebuildIndex();
+}
+
+} // namespace qdel

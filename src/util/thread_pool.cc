@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Implementation of the worker pool.
+ */
+
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace qdel {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    if (workers == 0)
+        workers = defaultThreadCount();
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+            // Drain the queue even when stopping: the destructor's
+            // contract is that every submitted task runs.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+size_t
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("QDEL_THREADS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<size_t>(parsed);
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? hardware : 1;
+}
+
+size_t
+ThreadPool::resolveThreadCount(long long requested)
+{
+    if (requested > 0)
+        return static_cast<size_t>(requested);
+    return defaultThreadCount();
+}
+
+} // namespace qdel

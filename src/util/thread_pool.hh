@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fixed-size worker pool with a FIFO task queue and future-based
+ * result collection — the execution substrate of the parallel
+ * evaluation engine (and of the concurrent rare-event table build).
+ *
+ * Design constraints, in order:
+ *  - determinism of *results* is the caller's job: the pool promises
+ *    only that every submitted task runs exactly once and that
+ *    submit() returns futures in submission order, so collecting
+ *    futures in that order yields thread-count-independent output;
+ *  - worker count is configurable (constructor argument, otherwise
+ *    the QDEL_THREADS environment variable, otherwise the hardware
+ *    concurrency), and a pool of size 1 degrades to strictly
+ *    sequential FIFO execution — the reference behaviour the
+ *    determinism tests compare against;
+ *  - tasks may submit further tasks, but must not block on futures of
+ *    tasks submitted after themselves (classic pool deadlock).
+ */
+
+#ifndef QDEL_UTIL_THREAD_POOL_HH
+#define QDEL_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace qdel {
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Worker thread count; 0 selects defaultThreadCount().
+     */
+    explicit ThreadPool(size_t workers = 0);
+
+    /** Drains the queue: blocks until every submitted task has run. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue @p task; the returned future yields its result (or
+     * rethrows its exception).
+     */
+    template <typename Task>
+    auto
+    submit(Task &&task) -> std::future<std::invoke_result_t<Task>>
+    {
+        using Result = std::invoke_result_t<Task>;
+        auto packaged = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Task>(task));
+        std::future<Result> future = packaged->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([packaged] { (*packaged)(); });
+        }
+        available_.notify_one();
+        return future;
+    }
+
+    /**
+     * Worker count to use when the caller does not specify one: the
+     * QDEL_THREADS environment variable when set to a positive
+     * integer, otherwise std::thread::hardware_concurrency(), with a
+     * floor of 1.
+     */
+    static size_t defaultThreadCount();
+
+    /**
+     * Resolve an explicit thread request (e.g. a --threads flag):
+     * @p requested when positive, defaultThreadCount() otherwise.
+     */
+    static size_t resolveThreadCount(long long requested);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_THREAD_POOL_HH

@@ -206,6 +206,69 @@ TEST(Bmbp, Name)
     EXPECT_EQ(BmbpPredictor().name(), "bmbp");
 }
 
+TEST(Bmbp, MaxHistorySlidingWindowWithDuplicateWaits)
+{
+    // maxHistory trims the *chronologically* oldest observation while
+    // the sorted view holds many exact duplicates (zero-wait jobs).
+    // The window content, and therefore the bound, must track the last
+    // maxHistory observations exactly.
+    BmbpConfig config;
+    config.trimmingEnabled = false;
+    config.maxHistory = 100;
+    BmbpPredictor predictor(config);
+
+    stats::Rng rng(2024);
+    std::vector<double> window;
+    for (int i = 0; i < 3000; ++i) {
+        const double wait =
+            rng.bernoulli(0.4)
+                ? 0.0  // zero-wait tie, the common duplicate
+                : static_cast<double>(rng.uniformInt(1, 50));
+        predictor.observe(wait);
+        window.push_back(wait);
+        if (window.size() > config.maxHistory)
+            window.erase(window.begin());
+    }
+    ASSERT_EQ(predictor.historySize(), config.maxHistory);
+
+    // The bound equals the k-th smallest of the reference window for
+    // the exact-binomial index at n = 100.
+    predictor.refit();
+    std::vector<double> sorted_window = window;
+    std::sort(sorted_window.begin(), sorted_window.end());
+    const auto index = stats::upperBoundIndex(window.size(), 0.95, 0.95);
+    ASSERT_TRUE(index.has_value());
+    EXPECT_DOUBLE_EQ(predictor.upperBound().value,
+                     sorted_window[*index - 1]);
+}
+
+TEST(Bmbp, MaxHistoryInteractsWithChangePointTrimming)
+{
+    // Both erasure paths active at once: the sliding window erases
+    // oldest-first among duplicates while change-point trims rebuild
+    // the sorted view wholesale. History size must never exceed the
+    // cap and the predictor must stay self-consistent.
+    BmbpConfig config;
+    config.maxHistory = 200;
+    config.runThresholdOverride = 3;
+    BmbpPredictor predictor(config);
+
+    stats::Rng rng(77);
+    for (int i = 0; i < 2000; ++i) {
+        // Level shift at 1000 triggers trims on top of the window.
+        const double scale = i < 1000 ? 1.0 : 40.0;
+        const double wait =
+            rng.bernoulli(0.3) ? 0.0 : scale * rng.uniform(0.5, 2.0);
+        predictor.observe(wait);
+        if (i % 50 == 0)
+            predictor.refit();
+        ASSERT_LE(predictor.historySize(), config.maxHistory);
+    }
+    EXPECT_GE(predictor.trimCount(), 1u);
+    predictor.refit();
+    EXPECT_TRUE(predictor.upperBound().finite());
+}
+
 TEST(Bmbp, TwoSidedInterval)
 {
     // Paper Section 3: the machinery extends to two-sided intervals.

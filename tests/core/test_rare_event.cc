@@ -84,6 +84,35 @@ TEST(RareEventTable, EntriesAndClamping)
     EXPECT_EQ(table.threshold(std::nan("")), 3);
 }
 
+TEST(RareEventTable, BucketEdgesSelectTheirOwnEntry)
+{
+    // Regression: rho is a *measured* autocorrelation, so a queue
+    // whose true lag-1 dependence sits on a grid edge can come in one
+    // ulp below it (e.g. 0.29999999999999993). The former bare
+    // static_cast<size_t>(rho * 10.0) truncated such values into the
+    // previous (less conservative) bucket; the epsilon in the fixed
+    // bucketing absorbs float noise while keeping genuine round-down
+    // semantics for values clearly inside a bucket.
+    RareEventTable table(0.95, 0.05);
+    for (size_t i = 0; i < table.entries().size(); ++i) {
+        const double edge = static_cast<double>(i) / 10.0;
+        EXPECT_EQ(table.threshold(edge), table.entries()[i])
+            << "at edge " << edge;
+        // One ulp below the edge: float noise, same bucket.
+        EXPECT_EQ(table.threshold(std::nextafter(edge, 0.0)),
+                  table.entries()[i])
+            << "one ulp below edge " << edge;
+        // Clearly below the edge: genuinely the previous bucket.
+        if (i > 0) {
+            EXPECT_EQ(table.threshold(edge - 1e-6),
+                      table.entries()[i - 1])
+                << "just below edge " << edge;
+        }
+        EXPECT_EQ(table.threshold(edge + 0.05), table.entries()[i])
+            << "mid-bucket above " << edge;
+    }
+}
+
 TEST(RareEventTable, NondecreasingAcrossGrid)
 {
     RareEventTable table(0.95, 0.05);

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the parallel evaluation engine: the parallel suite must be
+ * bit-identical to the sequential helpers for every worker count (the
+ * determinism contract the bench tables print under), and per-range
+ * subdivision must match the sequential reference cell for cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rare_event.hh"
+#include "sim/replay/parallel_evaluation.hh"
+#include "stats/rng.hh"
+
+namespace qdel {
+namespace sim {
+namespace {
+
+trace::Trace
+syntheticTrace(size_t count, uint64_t seed)
+{
+    stats::Rng rng(seed);
+    trace::Trace t;
+    for (size_t i = 0; i < count; ++i) {
+        trace::JobRecord job;
+        job.submitTime = 1000.0 + static_cast<double>(i) * 120.0;
+        // A level shift midway forces trims, so the test also proves
+        // no change-point state leaks between concurrent predictors.
+        const double scale = i < count / 2 ? 4.0 : 6.0;
+        job.waitSeconds = rng.logNormal(scale, 1.5);
+        job.procs = rng.bernoulli(0.6)
+                        ? static_cast<int>(rng.uniformInt(1, 4))
+                        : static_cast<int>(rng.uniformInt(5, 16));
+        t.add(job);
+    }
+    return t;
+}
+
+bool
+identicalCells(const EvaluationCell &a, const EvaluationCell &b)
+{
+    // Bit-identical, not approximately equal: the parallel engine runs
+    // the same arithmetic on the same data in the same order.
+    return a.jobs == b.jobs && a.evaluated == b.evaluated &&
+           a.correctFraction == b.correctFraction &&
+           a.medianRatio == b.medianRatio && a.trims == b.trims;
+}
+
+std::vector<EvaluationJob>
+makeSuite(const std::shared_ptr<const trace::Trace> &trace,
+          const core::PredictorOptions &options)
+{
+    std::vector<EvaluationJob> jobs;
+    for (const char *method :
+         {"bmbp", "bmbp-notrim", "lognormal", "lognormal-trim",
+          "percentile", "loguniform"}) {
+        jobs.push_back({trace, method, options, ReplayConfig{}});
+    }
+    return jobs;
+}
+
+TEST(ParallelEvaluation, SuiteMatchesSequentialAcrossThreadCounts)
+{
+    const auto trace = std::make_shared<const trace::Trace>(
+        syntheticTrace(4000, 11));
+    core::RareEventTable table;
+    core::PredictorOptions options;
+    options.rareEventTable = &table;
+    const auto jobs = makeSuite(trace, options);
+
+    std::vector<EvaluationCell> sequential;
+    for (const auto &job : jobs) {
+        sequential.push_back(evaluateTrace(*job.trace, job.method,
+                                           job.options, job.config));
+    }
+
+    for (long long threads : {1, 2, 8}) {
+        ParallelEvaluator evaluator(threads);
+        const auto parallel = evaluator.evaluateSuite(jobs);
+        ASSERT_EQ(parallel.size(), sequential.size());
+        for (size_t i = 0; i < parallel.size(); ++i) {
+            EXPECT_TRUE(identicalCells(parallel[i], sequential[i]))
+                << "threads=" << threads << " job=" << jobs[i].method;
+        }
+    }
+}
+
+TEST(ParallelEvaluation, RepeatedRunsAreStable)
+{
+    // No shared per-predictor state: evaluating the same suite twice
+    // on the same pool gives identical cells (a predictor reused or
+    // mutated across cells would drift between passes).
+    const auto trace = std::make_shared<const trace::Trace>(
+        syntheticTrace(3000, 12));
+    core::PredictorOptions options;
+    const auto jobs = makeSuite(trace, options);
+
+    ParallelEvaluator evaluator(4);
+    const auto first = evaluator.evaluateSuite(jobs);
+    const auto second = evaluator.evaluateSuite(jobs);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i)
+        EXPECT_TRUE(identicalCells(first[i], second[i]));
+}
+
+TEST(ParallelEvaluation, ByProcRangeMatchesSequential)
+{
+    const auto trace = syntheticTrace(8000, 13);
+    core::PredictorOptions options;
+    const auto sequential = evaluateByProcRange(trace, "bmbp", options);
+
+    for (long long threads : {1, 2, 8}) {
+        ParallelEvaluator evaluator(threads);
+        const auto parallel =
+            evaluator.evaluateByProcRange(trace, "bmbp", options);
+        ASSERT_EQ(parallel.size(), sequential.size());
+        for (size_t i = 0; i < parallel.size(); ++i) {
+            EXPECT_TRUE(identicalCells(parallel[i], sequential[i]))
+                << "threads=" << threads << " range=" << i;
+        }
+    }
+}
+
+TEST(ParallelEvaluation, ByProcRangeHonorsMinJobs)
+{
+    const auto trace = syntheticTrace(1500, 14);
+    core::PredictorOptions options;
+    ParallelEvaluator evaluator(2);
+    const auto strict = evaluator.evaluateByProcRange(trace, "bmbp",
+                                                      options, {}, 1000);
+    EXPECT_EQ(strict[1].evaluated, 0u);
+    EXPECT_GT(strict[1].jobs, 0u);
+    const auto loose = evaluator.evaluateByProcRange(trace, "bmbp",
+                                                     options, {}, 100);
+    EXPECT_GT(loose[1].evaluated, 0u);
+}
+
+TEST(ParallelEvaluation, ThreadCountResolution)
+{
+    ParallelEvaluator one(1);
+    EXPECT_EQ(one.threadCount(), 1u);
+    ParallelEvaluator many(7);
+    EXPECT_EQ(many.threadCount(), 7u);
+    ParallelEvaluator defaulted(0);
+    EXPECT_GE(defaulted.threadCount(), 1u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace qdel

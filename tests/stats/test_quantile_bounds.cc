@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -248,6 +250,96 @@ TEST_P(BoundCoverage, LowerBoundCoversTrueQuantile)
     const double rate =
         static_cast<double>(covered) / static_cast<double>(experiments);
     EXPECT_GE(rate, confidence - 0.02) << test_case.name;
+}
+
+/**
+ * The incremental cache must be indistinguishable from the free
+ * functions for every access pattern refit() produces: long n -> n+1
+ * ramps (history growth), n -> n-1 steps (sliding windows), repeated
+ * queries at fixed n (multiple refits per epoch), and arbitrary jumps
+ * (change-point trims). Exercised across parameter corners including
+ * infeasible small n and the exact/approximation crossover.
+ */
+class BoundIndexCacheEquivalence
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(BoundIndexCacheEquivalence, UpwardRampMatchesFreeFunctions)
+{
+    const auto [q, confidence] = GetParam();
+    BoundIndexCache cache(q, confidence);
+    for (size_t n = 1; n <= 3000; ++n) {
+        ASSERT_EQ(cache.upperIndex(n), upperBoundIndex(n, q, confidence))
+            << "q=" << q << " C=" << confidence << " n=" << n;
+        ASSERT_EQ(cache.lowerIndex(n), lowerBoundIndex(n, q, confidence))
+            << "q=" << q << " C=" << confidence << " n=" << n;
+    }
+}
+
+TEST_P(BoundIndexCacheEquivalence, DownwardRampMatchesFreeFunctions)
+{
+    const auto [q, confidence] = GetParam();
+    BoundIndexCache cache(q, confidence);
+    for (size_t n = 3000; n >= 1; --n) {
+        ASSERT_EQ(cache.upperIndex(n), upperBoundIndex(n, q, confidence))
+            << "q=" << q << " C=" << confidence << " n=" << n;
+    }
+}
+
+TEST_P(BoundIndexCacheEquivalence, MixedWalkAndJumpsMatch)
+{
+    const auto [q, confidence] = GetParam();
+    BoundIndexCache cache(q, confidence);
+    Rng rng(31337);
+    size_t n = 1 + static_cast<size_t>(rng.uniformInt(0, 500));
+    for (int step = 0; step < 4000; ++step) {
+        const int op = static_cast<int>(rng.uniformInt(0, 9));
+        if (op < 5) {
+            ++n;  // growth, the hot path
+        } else if (op < 7) {
+            if (n > 1)
+                --n;  // sliding window
+        } else if (op == 7) {
+            // change-point trim: collapse to a small history
+            n = 1 + static_cast<size_t>(rng.uniformInt(0, 80));
+        }  // else: repeat query at the same n
+        ASSERT_EQ(cache.upperIndex(n), upperBoundIndex(n, q, confidence))
+            << "q=" << q << " C=" << confidence << " n=" << n
+            << " step=" << step;
+        ASSERT_EQ(cache.lowerIndex(n), lowerBoundIndex(n, q, confidence))
+            << "q=" << q << " C=" << confidence << " n=" << n
+            << " step=" << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterCorners, BoundIndexCacheEquivalence,
+    ::testing::Values(std::pair{0.95, 0.95},   // the paper's setting
+                      std::pair{0.95, 0.80},
+                      std::pair{0.99, 0.95},   // approx never valid
+                      std::pair{0.75, 0.95},
+                      std::pair{0.50, 0.95},   // crossover at n=20
+                      std::pair{0.05, 0.99}),  // lower-tail quantile
+    [](const ::testing::TestParamInfo<std::pair<double, double>> &info) {
+        return "q" +
+               std::to_string(
+                   static_cast<int>(info.param.first * 100)) +
+               "C" +
+               std::to_string(
+                   static_cast<int>(info.param.second * 100));
+    });
+
+TEST(BoundIndexCache, AnchorsStayRare)
+{
+    // The point of the cache: a long growth ramp in the feasible
+    // exact-path region re-runs the binary search only at the guard
+    // anchors, not per call. (n in [59, 199] for q=.95: feasible, and
+    // below the n(1-q) >= 10 normal-approximation region.)
+    BoundIndexCache cache(0.95, 0.95);
+    for (size_t n = 59; n < 200; ++n)
+        cache.upperIndex(n);
+    EXPECT_LE(cache.anchorCount(), 4u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -128,6 +128,47 @@ TEST(Treap, DifferentialAgainstMultiset)
     }
 }
 
+/**
+ * Duplicate-value erase under a sliding window — the exact operation
+ * mix BmbpConfig::maxHistory produces. Real queue traces are full of
+ * exact ties (zero-wait jobs all observe 0.0), and window trimming
+ * erases the *chronologically* oldest value, which is almost never the
+ * instance the structure would remove first. Erasing any one instance
+ * of a tie must leave every order statistic of the survivors intact.
+ */
+TEST(Treap, DuplicateEraseUnderSlidingWindow)
+{
+    OrderStatisticTreap treap;
+    std::multiset<double> reference;
+    std::vector<double> window;  // chronological, like chronological_
+    const size_t max_history = 59;
+    stats::Rng rng(4242);
+
+    for (int step = 0; step < 5000; ++step) {
+        // ~half the observations are zero-wait ties.
+        const double value =
+            rng.bernoulli(0.5)
+                ? 0.0
+                : static_cast<double>(rng.uniformInt(1, 8));
+        window.push_back(value);
+        treap.insert(value);
+        reference.insert(value);
+        while (window.size() > max_history) {
+            const double oldest = window.front();
+            window.erase(window.begin());
+            ASSERT_TRUE(treap.erase(oldest)) << "at step " << step;
+            reference.erase(reference.find(oldest));
+        }
+        ASSERT_EQ(treap.size(), reference.size());
+        if (step % 23 == 0) {
+            size_t k = 0;
+            for (double expected : reference)
+                ASSERT_DOUBLE_EQ(treap.kth(k++), expected)
+                    << "at step " << step;
+        }
+    }
+}
+
 /** Selection across the whole multiset enumerates sorted order. */
 TEST(Treap, FullEnumerationSorted)
 {

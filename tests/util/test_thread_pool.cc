@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the worker pool behind the parallel evaluation engine and
+ * the rare-event table build: future delivery, submission-order
+ * collection, exception propagation, and thread-count resolution.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hh"
+
+namespace qdel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SingleWorkerIsSequentialReference)
+{
+    // One worker runs tasks in submission order: the append sequence
+    // observed is exactly the submit sequence.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i, &order] { order.push_back(i); }));
+    for (auto &future : futures)
+        future.get();
+    std::vector<int> expected(64);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, CollectingInSubmissionOrderIsDeterministic)
+{
+    // The determinism contract the bench tables rely on: regardless of
+    // which worker runs which task, futures indexed by submission
+    // order yield the per-task results in submission order.
+    for (size_t workers : {1u, 2u, 8u}) {
+        ThreadPool pool(workers);
+        std::vector<std::future<int>> futures;
+        for (int i = 0; i < 200; ++i)
+            futures.push_back(pool.submit([i] { return i * i; }));
+        for (int i = 0; i < 200; ++i)
+            EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+    }
+}
+
+TEST(ThreadPool, AllWorkersParticipate)
+{
+    ThreadPool pool(4);
+    std::atomic<int> running{0};
+    std::atomic<int> peak{0};
+    std::atomic<bool> release{false};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 4; ++i) {
+        futures.push_back(pool.submit([&] {
+            const int now = ++running;
+            int expected = peak.load();
+            while (expected < now &&
+                   !peak.compare_exchange_weak(expected, now)) {
+            }
+            // Hold until every task observes the others (bounded spin
+            // so a failure cannot hang the suite).
+            for (int spin = 0; spin < 100000000 && !release.load();
+                 ++spin) {
+                if (peak.load() == 4)
+                    release.store(true);
+            }
+            --running;
+        }));
+    }
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(peak.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    auto good = pool.submit([] { return 1; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not take its worker down with it.
+    EXPECT_EQ(good.get(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&completed] { ++completed; });
+        // No explicit wait: destruction must finish all queued work.
+    }
+    EXPECT_EQ(completed.load(), 100);
+}
+
+TEST(ThreadPool, ResolveThreadCount)
+{
+    EXPECT_EQ(ThreadPool::resolveThreadCount(3), 3u);
+    EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
+    EXPECT_GE(ThreadPool::resolveThreadCount(-5), 1u);
+}
+
+TEST(ThreadPool, HonorsEnvironmentVariable)
+{
+    ::setenv("QDEL_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    ::setenv("QDEL_THREADS", "garbage", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    ::unsetenv("QDEL_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+} // namespace
+} // namespace qdel

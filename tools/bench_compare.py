@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON reports.
+
+Diffs a fresh perf_predictor run against a committed baseline (the
+repo keeps the pre-optimization numbers in BENCH_perf.json) and
+reports per-benchmark speedups. Optional --require flags turn minimum
+speedups into an exit code, so the perf acceptance criteria are
+executable:
+
+    ./build/bench/perf_predictor --benchmark_out=new.json \\
+        --benchmark_out_format=json
+    tools/bench_compare.py BENCH_perf.json new.json \\
+        --require 'BM_BmbpObserveAndRefit/350000=5' \\
+        --require 'BM_RareEventTableBuild=3'
+
+Exit status: 0 when every --require is met (or none given), 1 when a
+required speedup is missed or a required benchmark is absent.
+"""
+
+import argparse
+import json
+import sys
+
+# google-benchmark reports whatever unit each benchmark asked for;
+# normalize to nanoseconds before comparing.
+_TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """Map benchmark name -> real time in nanoseconds."""
+    with open(path) as handle:
+        report = json.load(handle)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # keep raw iterations, skip mean/median/stddev
+        scale = _TIME_UNITS_NS.get(bench.get("time_unit", "ns"))
+        if scale is None:
+            raise SystemExit(
+                f"{path}: unknown time unit {bench['time_unit']!r} "
+                f"for {bench['name']}")
+        times[bench["name"]] = bench["real_time"] * scale
+    if not times:
+        raise SystemExit(f"{path}: no benchmarks found")
+    return times
+
+
+def format_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def parse_requirement(text):
+    name, _, minimum = text.partition("=")
+    if not minimum:
+        raise SystemExit(
+            f"--require expects NAME=MIN_SPEEDUP, got {text!r}")
+    return name, float(minimum)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline report (old)")
+    parser.add_argument("candidate", help="candidate report (new)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME=MIN",
+        help="fail unless NAME speeds up by at least MINx "
+             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    old = load_times(args.baseline)
+    new = load_times(args.candidate)
+    requirements = dict(parse_requirement(r) for r in args.require)
+
+    shared = [name for name in old if name in new]
+    width = max((len(name) for name in shared), default=4)
+    print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  speedup")
+    failures = []
+    for name in shared:
+        speedup = old[name] / new[name] if new[name] > 0 else float("inf")
+        marker = ""
+        if name in requirements:
+            needed = requirements.pop(name)
+            if speedup >= needed:
+                marker = f"  (required >= {needed:g}x: ok)"
+            else:
+                marker = f"  (required >= {needed:g}x: FAIL)"
+                failures.append(
+                    f"{name}: {speedup:.2f}x < required {needed:g}x")
+        print(f"{name:<{width}}  {format_ns(old[name]):>10}  "
+              f"{format_ns(new[name]):>10}  {speedup:6.2f}x{marker}")
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"\nonly in baseline: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in candidate: {', '.join(only_new)}")
+
+    for name, needed in requirements.items():
+        failures.append(
+            f"{name}: required >= {needed:g}x but absent from "
+            "one of the reports")
+
+    if failures:
+        print("\nFAILED requirements:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
