@@ -34,7 +34,7 @@ runWithThreshold(const trace::Trace &trace, int threshold_override,
     core::BmbpPredictor predictor(config,
                                   &bench::sharedTable(options.quantile));
     sim::ReplaySimulator simulator(bench::replayConfig(options));
-    auto result = simulator.run(trace, predictor);
+    auto result = simulator.run(trace, predictor).value();
 
     sim::EvaluationCell cell;
     cell.jobs = trace.size();

@@ -33,7 +33,7 @@ runWindow(const trace::Trace &trace, size_t max_history, bool trimming,
     core::BmbpPredictor predictor(config,
                                   &bench::sharedTable(options.quantile));
     sim::ReplaySimulator simulator(bench::replayConfig(options));
-    auto result = simulator.run(trace, predictor);
+    auto result = simulator.run(trace, predictor).value();
 
     sim::EvaluationCell cell;
     cell.evaluated = result.evaluatedJobs;

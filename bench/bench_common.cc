@@ -19,14 +19,33 @@ BenchOptions
 parseOptions(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    if (reportCliErrors(cli))
+        std::exit(1);
     BenchOptions options;
-    options.seed = static_cast<uint64_t>(cli.getInt("seed", 1));
-    options.quantile = cli.getDouble("quantile", 0.95);
-    options.confidence = cli.getDouble("confidence", 0.95);
-    options.epochSeconds = cli.getDouble("epoch", 300.0);
-    options.trainFraction = cli.getDouble("train", 0.10);
+    options.seed = static_cast<uint64_t>(cliValue(cli.getInt("seed", 1)));
+    options.quantile = cliValue(cli.getDouble("quantile", 0.95));
+    options.confidence = cliValue(cli.getDouble("confidence", 0.95));
+    options.epochSeconds = cliValue(cli.getDouble("epoch", 300.0));
+    options.trainFraction = cliValue(cli.getDouble("train", 0.10));
     options.csvPath = cli.getString("csv", "");
-    options.threads = cli.getInt("threads", 0);
+    options.threads = cliValue(cli.getInt("threads", 0));
+
+    // Fail fast with context rather than letting a bad combination
+    // panic deep inside the evaluation engine.
+    core::PredictorOptions predictor_options;
+    predictor_options.quantile = options.quantile;
+    predictor_options.confidence = options.confidence;
+    if (auto valid = predictor_options.validate(); !valid.ok()) {
+        std::fprintf(stderr, "error: %s\n", valid.error().str().c_str());
+        std::exit(1);
+    }
+    sim::ReplayConfig replay;
+    replay.epochSeconds = options.epochSeconds;
+    replay.trainFraction = options.trainFraction;
+    if (auto valid = replay.validate(); !valid.ok()) {
+        std::fprintf(stderr, "error: %s\n", valid.error().str().c_str());
+        std::exit(1);
+    }
     return options;
 }
 

@@ -46,7 +46,7 @@ boundSeries(const char *site, const char *queue,
     probe.captureSeries = true;
     probe.seriesBegin = begin;
     probe.seriesEnd = end;
-    auto result = simulator.run(trace, predictor, probe);
+    auto result = simulator.run(trace, predictor, probe).value();
     return result.series;
 }
 

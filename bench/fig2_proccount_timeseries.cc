@@ -41,7 +41,7 @@ boundSeriesForRange(const trace::Trace &full, const trace::ProcRange &range,
     probe.captureSeries = true;
     probe.seriesBegin = begin;
     probe.seriesEnd = end;
-    return simulator.run(subdivided, predictor, probe).series;
+    return simulator.run(subdivided, predictor, probe).value().series;
 }
 
 double

@@ -22,9 +22,9 @@ main(int argc, char **argv)
     using namespace qdel;
     auto options = bench::parseOptions(argc, argv);
     CommandLine cli(argc, argv);
-    const int year = static_cast<int>(cli.getInt("year", 2004));
-    const int month = static_cast<int>(cli.getInt("month", 5));
-    const int day = static_cast<int>(cli.getInt("day", 5));
+    const int year = static_cast<int>(cliValue(cli.getInt("year", 2004)));
+    const int month = static_cast<int>(cliValue(cli.getInt("month", 5)));
+    const int day = static_cast<int>(cliValue(cli.getInt("day", 5)));
 
     const auto &profile = workload::findProfile("datastar", "normal");
     auto trace = workload::synthesizeTrace(profile, options.seed);
@@ -42,7 +42,7 @@ main(int argc, char **argv)
     probe.snapshotInterval = 7200.0;
     probe.snapshotQuantiles = {
         {0.25, false}, {0.5, true}, {0.75, true}, {0.95, true}};
-    auto result = simulator.run(trace, predictor, probe);
+    auto result = simulator.run(trace, predictor, probe).value();
 
     TablePrinter table(
         "Table 8. One day in the life of datastar/normal: BMBP quantile "

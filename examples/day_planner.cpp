@@ -32,12 +32,17 @@ main(int argc, char **argv)
     CommandLine cli(argc, argv);
     const std::string site = cli.getString("site", "datastar");
     const std::string queue = cli.getString("queue", "normal");
-    const int year = static_cast<int>(cli.getInt("year", 2004));
-    const int month = static_cast<int>(cli.getInt("month", 5));
-    const int day = static_cast<int>(cli.getInt("day", 5));
-    const auto seed = static_cast<uint64_t>(cli.getInt("seed", 1));
+    const int year = static_cast<int>(cliValue(cli.getInt("year", 2004)));
+    const int month = static_cast<int>(cliValue(cli.getInt("month", 5)));
+    const int day = static_cast<int>(cliValue(cli.getInt("day", 5)));
+    const auto seed = static_cast<uint64_t>(cliValue(cli.getInt("seed", 1)));
 
-    const auto &profile = workload::findProfile(site, queue);
+    const auto lookup = workload::lookupProfile(site, queue);
+    if (!lookup.ok()) {
+        std::fprintf(stderr, "error: %s\n", lookup.error().str().c_str());
+        return 1;
+    }
+    const auto &profile = *lookup.value();
     auto trace = workload::synthesizeTrace(profile, seed);
 
     core::RareEventTable table(0.95, 0.05);
@@ -51,7 +56,7 @@ main(int argc, char **argv)
     probe.snapshotInterval = 7200.0;
     probe.snapshotQuantiles = {
         {0.25, false}, {0.5, true}, {0.75, true}, {0.95, true}};
-    auto result = simulator.run(trace, predictor, probe);
+    auto result = simulator.run(trace, predictor, probe).value();
 
     std::printf("Planning %04d-%02d-%02d on %s/%s "
                 "(all bounds at 95%% confidence):\n\n",

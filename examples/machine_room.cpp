@@ -16,6 +16,7 @@
 #include "core/rare_event.hh"
 #include "sim/batch/batch_simulator.hh"
 #include "sim/batch/job_generator.hh"
+#include "sim/batch/scheduler.hh"
 #include "sim/replay/evaluation.hh"
 #include "util/cli.hh"
 #include "util/string_utils.hh"
@@ -25,11 +26,20 @@ main(int argc, char **argv)
 {
     using namespace qdel;
     CommandLine cli(argc, argv);
-    const int procs = static_cast<int>(cli.getInt("procs", 128));
-    const double days = cli.getDouble("days", 360.0);
+    const int procs = static_cast<int>(cliValue(cli.getInt("procs", 128)));
+    const double days = cliValue(cli.getDouble("days", 360.0));
     const std::string policy =
         cli.getString("policy", "easy-backfill");
-    const auto seed = static_cast<uint64_t>(cli.getInt("seed", 9));
+    const auto seed = static_cast<uint64_t>(cliValue(cli.getInt("seed", 9)));
+    if (auto known = sim::tryMakeScheduler(policy); !known.ok()) {
+        std::fprintf(stderr, "error: %s\n", known.error().str().c_str());
+        return 1;
+    }
+    if (procs < 2 || !(days > 0.0)) {
+        std::fprintf(stderr,
+                     "error: --procs must be >= 2 and --days > 0\n");
+        return 1;
+    }
 
     // 1) Offered workload: three queues with different priorities and
     //    job shapes, sized for ~70% utilization of the machine.

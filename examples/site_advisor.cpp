@@ -42,10 +42,10 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
-    const int year = static_cast<int>(cli.getInt("year", 2005));
-    const int month = static_cast<int>(cli.getInt("month", 2));
-    const int day = static_cast<int>(cli.getInt("day", 24));
-    const auto seed = static_cast<uint64_t>(cli.getInt("seed", 1));
+    const int year = static_cast<int>(cliValue(cli.getInt("year", 2005)));
+    const int month = static_cast<int>(cliValue(cli.getInt("month", 2)));
+    const int day = static_cast<int>(cliValue(cli.getInt("day", 24)));
+    const auto seed = static_cast<uint64_t>(cliValue(cli.getInt("seed", 1)));
 
     const double when = workload::dateUnix(year, month, day) + 12 * 3600.0;
     std::printf("Where should I submit around noon UTC on "
@@ -80,7 +80,7 @@ main(int argc, char **argv)
         probe.captureSeries = true;
         probe.seriesBegin = when - 3600.0;
         probe.seriesEnd = when + 300.0;
-        auto result = simulator.run(trace, predictor, probe);
+        auto result = simulator.run(trace, predictor, probe).value();
         if (result.series.empty())
             continue;
 

@@ -14,8 +14,45 @@
 namespace qdel {
 namespace core {
 
+Expected<Unit>
+BmbpConfig::validate() const
+{
+    // Negated comparisons so NaN fails validation too.
+    if (!(quantile > 0.0 && quantile < 1.0)) {
+        return ParseError{"", 0, "quantile",
+                          "must be in (0, 1), got " +
+                              std::to_string(quantile)};
+    }
+    if (!(confidence > 0.0 && confidence < 1.0)) {
+        return ParseError{"", 0, "confidence",
+                          "must be in (0, 1), got " +
+                              std::to_string(confidence)};
+    }
+    if (runThresholdOverride < 0) {
+        return ParseError{"", 0, "runThresholdOverride",
+                          "must be >= 0, got " +
+                              std::to_string(runThresholdOverride)};
+    }
+    return Unit{};
+}
+
+namespace {
+
+// External input is validated by the caller (see DESIGN.md §10); a bad
+// config reaching construction is a programmer error. Runs first in
+// the init list so minimumSampleSize() never sees a bad quantile.
+BmbpConfig
+validatedConfig(BmbpConfig config)
+{
+    if (auto valid = config.validate(); !valid.ok())
+        panic("BmbpPredictor: ", valid.error().str());
+    return config;
+}
+
+} // namespace
+
 BmbpPredictor::BmbpPredictor(BmbpConfig config, const RareEventTable *table)
-    : config_(config), table_(table),
+    : config_(validatedConfig(config)), table_(table),
       boundIndex_(config.quantile, config.confidence),
       minimumHistory_(stats::minimumSampleSize(config.quantile,
                                                config.confidence))

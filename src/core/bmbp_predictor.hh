@@ -21,6 +21,7 @@
 #include "core/predictor.hh"
 #include "core/rare_event.hh"
 #include "stats/quantile_bounds.hh"
+#include "util/expected.hh"
 #include "util/order_statistic_list.hh"
 
 namespace qdel {
@@ -44,6 +45,15 @@ struct BmbpConfig
 
     /** Optional hard cap on history length; 0 = unbounded. */
     size_t maxHistory = 0;
+
+    /**
+     * Check quantile/confidence are in (0, 1) (NaN-safe) and the
+     * threshold override is non-negative. Callers building a config
+     * from external input validate before constructing the predictor;
+     * BmbpPredictor itself treats an invalid config as a programmer
+     * error.
+     */
+    Expected<Unit> validate() const;
 };
 
 /** See file comment. */

@@ -14,51 +14,94 @@
 namespace qdel {
 namespace core {
 
-std::unique_ptr<Predictor>
-makePredictor(const std::string &method, const PredictorOptions &options)
+Expected<Unit>
+PredictorOptions::validate() const
 {
+    // Negated comparisons so NaN fails validation too.
+    if (!(quantile > 0.0 && quantile < 1.0)) {
+        return ParseError{"", 0, "quantile",
+                          "must be in (0, 1), got " +
+                              std::to_string(quantile)};
+    }
+    if (!(confidence > 0.0 && confidence < 1.0)) {
+        return ParseError{"", 0, "confidence",
+                          "must be in (0, 1), got " +
+                              std::to_string(confidence)};
+    }
+    return Unit{};
+}
+
+const std::vector<std::string> &
+knownPredictorMethods()
+{
+    static const std::vector<std::string> methods = {
+        "bmbp",       "bmbp-notrim", "lognormal",
+        "lognormal-trim", "percentile",  "loguniform"};
+    return methods;
+}
+
+Expected<std::unique_ptr<Predictor>>
+tryMakePredictor(const std::string &method, const PredictorOptions &options)
+{
+    if (auto valid = options.validate(); !valid.ok())
+        return valid.error();
     if (method == "bmbp") {
         BmbpConfig config;
         config.quantile = options.quantile;
         config.confidence = options.confidence;
         config.trimmingEnabled = true;
-        return std::make_unique<BmbpPredictor>(config,
-                                               options.rareEventTable);
+        return std::unique_ptr<Predictor>(
+            std::make_unique<BmbpPredictor>(config, options.rareEventTable));
     }
     if (method == "bmbp-notrim") {
         BmbpConfig config;
         config.quantile = options.quantile;
         config.confidence = options.confidence;
         config.trimmingEnabled = false;
-        return std::make_unique<BmbpPredictor>(config,
-                                               options.rareEventTable);
+        return std::unique_ptr<Predictor>(
+            std::make_unique<BmbpPredictor>(config, options.rareEventTable));
     }
     if (method == "lognormal") {
         LogNormalConfig config;
         config.quantile = options.quantile;
         config.confidence = options.confidence;
         config.trimmingEnabled = false;
-        return std::make_unique<LogNormalPredictor>(config,
-                                                    options.rareEventTable);
+        return std::unique_ptr<Predictor>(std::make_unique<LogNormalPredictor>(
+            config, options.rareEventTable));
     }
     if (method == "lognormal-trim") {
         LogNormalConfig config;
         config.quantile = options.quantile;
         config.confidence = options.confidence;
         config.trimmingEnabled = true;
-        return std::make_unique<LogNormalPredictor>(config,
-                                                    options.rareEventTable);
+        return std::unique_ptr<Predictor>(std::make_unique<LogNormalPredictor>(
+            config, options.rareEventTable));
     }
-    if (method == "percentile")
-        return std::make_unique<PercentilePredictor>(options.quantile);
+    if (method == "percentile") {
+        return std::unique_ptr<Predictor>(
+            std::make_unique<PercentilePredictor>(options.quantile));
+    }
     if (method == "loguniform") {
         LogUniformConfig config;
         config.quantile = options.quantile;
-        return std::make_unique<LogUniformPredictor>(config);
+        return std::unique_ptr<Predictor>(
+            std::make_unique<LogUniformPredictor>(config));
     }
-    fatal("unknown prediction method '", method,
-          "' (expected bmbp, bmbp-notrim, lognormal, lognormal-trim, "
-          "percentile, or loguniform)");
+    std::string known;
+    for (const auto &name : knownPredictorMethods())
+        known += (known.empty() ? "" : ", ") + name;
+    return ParseError{"", 0, "method",
+                      "unknown prediction method '" + method +
+                          "' (expected one of: " + known + ")"};
+}
+
+std::unique_ptr<Predictor>
+makePredictor(const std::string &method, const PredictorOptions &options)
+{
+    auto predictor = tryMakePredictor(method, options);
+    if (!predictor.ok())
+        panic(predictor.error().str());
+    return std::move(predictor).value();
 }
 
 } // namespace core

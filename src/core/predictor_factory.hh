@@ -9,9 +9,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/predictor.hh"
 #include "core/rare_event.hh"
+#include "util/expected.hh"
 
 namespace qdel {
 namespace core {
@@ -27,7 +29,13 @@ struct PredictorOptions
      * nullptr, in which case trimming predictors build private tables.
      */
     const RareEventTable *rareEventTable = nullptr;
+
+    /** Check quantile/confidence are in (0, 1) (NaN-safe). */
+    Expected<Unit> validate() const;
 };
+
+/** The method names makePredictor()/tryMakePredictor() accept. */
+const std::vector<std::string> &knownPredictorMethods();
 
 /**
  * Create a predictor:
@@ -38,7 +46,16 @@ struct PredictorOptions
  *  - "percentile"      naive empirical quantile (ablation baseline);
  *  - "loguniform"      Downey-style log-uniform point estimate
  *                      (related-work baseline, no confidence).
- * fatal()s on an unknown name.
+ * Returns a ParseError for an unknown name or invalid options — the
+ * form to use on user-selected method strings.
+ */
+Expected<std::unique_ptr<Predictor>>
+tryMakePredictor(const std::string &method, const PredictorOptions &options);
+
+/**
+ * As tryMakePredictor(), but panics on an unknown name or invalid
+ * options: for call sites whose method string is a compile-time
+ * constant (benches, tests). User input goes through tryMakePredictor().
  */
 std::unique_ptr<Predictor> makePredictor(const std::string &method,
                                          const PredictorOptions &options);

@@ -43,7 +43,7 @@ BatchSimulator::BatchSimulator(BatchSimConfig config)
                         [](const PolicyChange &a, const PolicyChange &b) {
                             return a.time < b.time;
                         })) {
-        fatal("BatchSimulator: policy changes must be sorted by time");
+        panic("BatchSimulator: policy changes must be sorted by time");
     }
 }
 
@@ -59,7 +59,7 @@ BatchSimulator::run(std::vector<SimJob> jobs)
                      });
     for (size_t i = 0; i < jobs.size(); ++i) {
         if (jobs[i].procs > config_.totalProcs) {
-            fatal("BatchSimulator: job ", jobs[i].id, " wants ",
+            panic("BatchSimulator: job ", jobs[i].id, " wants ",
                   jobs[i].procs, " procs on a ", config_.totalProcs,
                   "-proc machine");
         }

@@ -72,7 +72,8 @@ class BatchSimulator
      *
      * @param jobs Input jobs; submitTime need not be sorted (the
      *             simulator sorts a copy). Every job must fit the
-     *             machine (procs <= totalProcs) or fatal() is raised.
+     *             machine (procs <= totalProcs); violating that is a
+     *             caller bug and panics.
      * @return Per-job records with startTime filled, in submission
      *         order.
      */

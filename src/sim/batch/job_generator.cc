@@ -46,9 +46,9 @@ std::vector<SimJob>
 generateJobs(const JobGeneratorConfig &config, stats::Rng &rng)
 {
     if (config.queues.empty())
-        fatal("generateJobs: at least one QueueSpec is required");
+        panic("generateJobs: at least one QueueSpec is required");
     if (!(config.durationSeconds > 0.0))
-        fatal("generateJobs: duration must be positive");
+        panic("generateJobs: duration must be positive");
 
     std::vector<SimJob> jobs;
     const double begin = config.startTime;

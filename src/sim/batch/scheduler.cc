@@ -180,20 +180,36 @@ ConservativeBackfillScheduler::selectJobs(
     return starts;
 }
 
+Expected<std::unique_ptr<Scheduler>>
+tryMakeScheduler(const std::string &policy)
+{
+    if (policy == "fcfs")
+        return std::unique_ptr<Scheduler>(std::make_unique<FcfsScheduler>());
+    if (policy == "priority-fcfs") {
+        return std::unique_ptr<Scheduler>(
+            std::make_unique<PriorityFcfsScheduler>());
+    }
+    if (policy == "easy-backfill") {
+        return std::unique_ptr<Scheduler>(
+            std::make_unique<EasyBackfillScheduler>());
+    }
+    if (policy == "conservative-backfill") {
+        return std::unique_ptr<Scheduler>(
+            std::make_unique<ConservativeBackfillScheduler>());
+    }
+    return ParseError{"", 0, "policy",
+                      "unknown scheduling policy '" + policy +
+                          "' (expected fcfs, priority-fcfs, "
+                          "easy-backfill, or conservative-backfill)"};
+}
+
 std::unique_ptr<Scheduler>
 makeScheduler(const std::string &policy)
 {
-    if (policy == "fcfs")
-        return std::make_unique<FcfsScheduler>();
-    if (policy == "priority-fcfs")
-        return std::make_unique<PriorityFcfsScheduler>();
-    if (policy == "easy-backfill")
-        return std::make_unique<EasyBackfillScheduler>();
-    if (policy == "conservative-backfill")
-        return std::make_unique<ConservativeBackfillScheduler>();
-    fatal("unknown scheduling policy '", policy,
-          "' (expected fcfs, priority-fcfs, easy-backfill, or "
-          "conservative-backfill)");
+    auto scheduler = tryMakeScheduler(policy);
+    if (!scheduler.ok())
+        panic(scheduler.error().str());
+    return std::move(scheduler).value();
 }
 
 } // namespace sim

@@ -18,6 +18,7 @@
 
 #include "sim/batch/machine.hh"
 #include "sim/batch/sim_job.hh"
+#include "util/expected.hh"
 
 namespace qdel {
 namespace sim {
@@ -133,8 +134,13 @@ class ConservativeBackfillScheduler : public Scheduler
 
 /**
  * Factory: "fcfs", "priority-fcfs", "easy-backfill", or
- * "conservative-backfill".
+ * "conservative-backfill". The recoverable form for user-selected
+ * policy strings.
  */
+Expected<std::unique_ptr<Scheduler>>
+tryMakeScheduler(const std::string &policy);
+
+/** As tryMakeScheduler(), but panics on an unknown policy name. */
 std::unique_ptr<Scheduler> makeScheduler(const std::string &policy);
 
 } // namespace sim

@@ -16,9 +16,12 @@ evaluateTrace(const trace::Trace &t, const std::string &method,
               const core::PredictorOptions &options,
               const ReplayConfig &config)
 {
+    // Contract: method/options/config come pre-validated (front ends
+    // run tryMakePredictor()/ReplayConfig::validate() on user input
+    // first), so unwrapping here panics only on a programmer error.
     auto predictor = core::makePredictor(method, options);
     ReplaySimulator simulator(config);
-    const ReplayResult outcome = simulator.run(t, *predictor);
+    const ReplayResult outcome = simulator.run(t, *predictor).value();
 
     EvaluationCell cell;
     cell.jobs = t.size();

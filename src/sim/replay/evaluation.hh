@@ -48,6 +48,11 @@ struct EvaluationCell
  * @param method  Factory name: "bmbp", "lognormal", "lognormal-trim", ...
  * @param options Quantile/confidence and shared rare-event table.
  * @param config  Replay epoch/training parameters.
+ *
+ * Contract: @p method, @p options and @p config are pre-validated
+ * (user input goes through core::tryMakePredictor() and
+ * ReplayConfig::validate() first); violations panic. This keeps the
+ * hot evaluation path free of per-call error plumbing.
  */
 EvaluationCell evaluateTrace(const trace::Trace &t,
                              const std::string &method,

@@ -6,11 +6,11 @@
 #include "sim/replay/replay_simulator.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
 #include "stats/descriptive.hh"
-#include "util/logging.hh"
 
 namespace qdel {
 namespace sim {
@@ -32,21 +32,72 @@ struct PendingRelease
 
 } // namespace
 
+Expected<Unit>
+ReplayConfig::validate() const
+{
+    // Negated comparisons so NaN fails validation too.
+    if (!(trainFraction >= 0.0 && trainFraction < 1.0)) {
+        return ParseError{"", 0, "trainFraction",
+                          "must lie in [0, 1), got " +
+                              std::to_string(trainFraction)};
+    }
+    if (!(epochSeconds >= 0.0) || !std::isfinite(epochSeconds)) {
+        return ParseError{"", 0, "epochSeconds",
+                          "must be finite and >= 0, got " +
+                              std::to_string(epochSeconds)};
+    }
+    return Unit{};
+}
+
+Expected<Unit>
+ReplayProbe::validate() const
+{
+    if (!snapshotQuantiles.empty()) {
+        // A snapshot tick that re-arms at now + interval <= now would
+        // spin forever in advance_to().
+        if (!(snapshotInterval > 0.0) || !std::isfinite(snapshotInterval)) {
+            return ParseError{"", 0, "snapshotInterval",
+                              "must be finite and > 0 when snapshot "
+                              "quantiles are requested, got " +
+                                  std::to_string(snapshotInterval)};
+        }
+        for (const auto &[q, upper] : snapshotQuantiles) {
+            if (!(q > 0.0 && q < 1.0)) {
+                return ParseError{"", 0, "snapshotQuantiles",
+                                  "quantiles must be in (0, 1), got " +
+                                      std::to_string(q)};
+            }
+        }
+    }
+    if (captureSeries || !snapshotQuantiles.empty()) {
+        if (!std::isfinite(seriesBegin) || !std::isfinite(seriesEnd) ||
+            !(seriesEnd >= seriesBegin)) {
+            return ParseError{"", 0, "seriesBegin/seriesEnd",
+                              "capture window must be finite with end >= "
+                              "begin"};
+        }
+    }
+    return Unit{};
+}
+
 ReplaySimulator::ReplaySimulator(ReplayConfig config)
     : config_(config)
 {
-    if (config_.trainFraction < 0.0 || config_.trainFraction >= 1.0)
-        fatal("ReplaySimulator: trainFraction must lie in [0,1)");
-    if (config_.epochSeconds < 0.0)
-        fatal("ReplaySimulator: epochSeconds must be >= 0");
 }
 
-ReplayResult
+Expected<ReplayResult>
 ReplaySimulator::run(const trace::Trace &t, core::Predictor &predictor,
                      const ReplayProbe &probe) const
 {
-    if (!t.isSorted())
-        fatal("ReplaySimulator: trace must be sorted by submission time");
+    if (auto valid = config_.validate(); !valid.ok())
+        return valid.error();
+    if (auto valid = probe.validate(); !valid.ok())
+        return valid.error();
+    if (!t.isSorted()) {
+        return ParseError{
+            "", 0, "trace",
+            "ReplaySimulator: trace must be sorted by submission time"};
+    }
 
     ReplayResult result;
     result.totalJobs = t.size();

@@ -26,6 +26,7 @@
 
 #include "core/predictor.hh"
 #include "trace/trace.hh"
+#include "util/expected.hh"
 
 namespace qdel {
 namespace sim {
@@ -35,6 +36,9 @@ struct ReplayConfig
 {
     double epochSeconds = 300.0;   //!< Refit period; 0 = refit per job.
     double trainFraction = 0.10;   //!< Unscored warm-up prefix.
+
+    /** Check trainFraction in [0, 1) and epochSeconds finite >= 0. */
+    Expected<Unit> validate() const;
 };
 
 /** A sampled point of the prediction time series (for the figures). */
@@ -66,6 +70,14 @@ struct ReplayProbe
      */
     std::vector<std::pair<double, bool>> snapshotQuantiles;
     double snapshotInterval = 7200.0;
+
+    /**
+     * Check the instrumentation is runnable: a finite, positive
+     * snapshotInterval when snapshots are requested (a non-positive
+     * interval would re-arm the snapshot tick at the same virtual time
+     * forever), quantiles in (0, 1), and a finite window.
+     */
+    Expected<Unit> validate() const;
 };
 
 /** Results of one replay run. */
@@ -95,18 +107,23 @@ struct ReplayResult
 class ReplaySimulator
 {
   public:
+    /** Store @p config; validation happens in run(). */
     explicit ReplaySimulator(ReplayConfig config = {});
 
     /**
      * Replay @p t against @p predictor.
      *
-     * @param t         Trace sorted by submission time (fatal() if not).
+     * @param t         Trace sorted by submission time.
      * @param predictor Freshly constructed predictor (the simulator
      *                  owns its lifecycle calls, not its lifetime).
      * @param probe     Optional instrumentation.
+     * @return The replay result, or a ParseError when the stored
+     *         config or @p probe fails validation or the trace is not
+     *         sorted by submission time.
      */
-    ReplayResult run(const trace::Trace &t, core::Predictor &predictor,
-                     const ReplayProbe &probe = {}) const;
+    Expected<ReplayResult> run(const trace::Trace &t,
+                               core::Predictor &predictor,
+                               const ReplayProbe &probe = {}) const;
 
   private:
     ReplayConfig config_;

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Implementation of the IngestReport accounting helpers.
+ */
+
+#include "trace/ingest.hh"
+
+namespace qdel::trace {
+
+void
+IngestReport::addError(ParseError error)
+{
+    ++malformedLines;
+    if (errors.size() < kMaxDetailedErrors)
+        errors.push_back(std::move(error));
+}
+
+size_t
+IngestReport::accounted() const
+{
+    return commentLines + parsedRecords + malformedLines + filteredRecords;
+}
+
+std::string
+IngestReport::summary() const
+{
+    std::string out = source.empty() ? std::string("<in>") : source;
+    out += ": " + std::to_string(totalLines) + " lines: " +
+           std::to_string(parsedRecords) + " parsed, " +
+           std::to_string(commentLines) + " comment/blank, " +
+           std::to_string(malformedLines) + " malformed, " +
+           std::to_string(filteredRecords) + " filtered";
+    return out;
+}
+
+} // namespace qdel::trace

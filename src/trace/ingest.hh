@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared ingestion policy types for the trace parsers: strict vs
+ * lenient handling of malformed lines, and the per-load IngestReport
+ * that accounts for every input line so callers can surface "what did
+ * we skip and why" instead of silently dropping data.
+ */
+
+#ifndef QDEL_TRACE_INGEST_HH
+#define QDEL_TRACE_INGEST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/expected.hh"
+
+namespace qdel::trace {
+
+/**
+ * How a parser reacts to a malformed data line.
+ *  - Strict:  the first malformed line fails the whole load, returning
+ *             a ParseError with file/line/field context.
+ *  - Lenient: malformed lines are skipped and counted in the
+ *             IngestReport (the first few with full error detail).
+ */
+enum class ParseMode { Strict, Lenient };
+
+/**
+ * Line-by-line accounting for one parse/load call. The identity
+ *
+ *   commentLines + parsedRecords + malformedLines + filteredRecords
+ *     == totalLines
+ *
+ * holds after every successful parse (and after a lenient parse by
+ * construction; a strict parse that fails leaves the report describing
+ * the lines consumed up to and including the failing one).
+ */
+struct IngestReport
+{
+    /** Cap on per-line error details retained in @ref errors. */
+    static constexpr size_t kMaxDetailedErrors = 25;
+
+    /** Name of the stream/file the report describes. */
+    std::string source;
+    /** Every line seen, including comments and blanks. */
+    size_t totalLines = 0;
+    /** Comment and blank lines. */
+    size_t commentLines = 0;
+    /** Well-formed records added to the trace. */
+    size_t parsedRecords = 0;
+    /** Malformed lines skipped (lenient) or hit (strict, at most 1). */
+    size_t malformedLines = 0;
+    /** Well-formed records dropped by policy (e.g. missing wait). */
+    size_t filteredRecords = 0;
+    /** Details for the first kMaxDetailedErrors malformed lines. */
+    std::vector<ParseError> errors;
+
+    /** Record a malformed line, retaining detail up to the cap. */
+    void addError(ParseError error);
+
+    /** Sum of all categorised lines; equals totalLines when consistent. */
+    size_t accounted() const;
+
+    /** One-line human-readable summary of the load. */
+    std::string summary() const;
+};
+
+} // namespace qdel::trace
+
+#endif // QDEL_TRACE_INGEST_HH

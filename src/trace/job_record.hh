@@ -22,10 +22,16 @@ namespace trace {
 struct JobRecord
 {
     double submitTime = 0.0;   //!< UNIX time of submission.
-    double waitSeconds = 0.0;  //!< Delay between submission and start.
+    double waitSeconds = 0.0;  //!< Delay between submission and start;
+                               //!< < 0 when the log did not record one.
     int procs = 1;             //!< Requested processor count.
     double runSeconds = -1.0;  //!< Execution time; < 0 when unknown.
     std::string queue;         //!< Queue name; empty when single-queue.
+    long long status = 1;      //!< SWF completion status; 1 = completed,
+                               //!< 0/5 = failed/cancelled, -1 = unknown.
+
+    /** @return true when the log recorded a queuing delay for this job. */
+    bool hasWait() const { return waitSeconds >= 0.0; }
 
     /** Time the job started executing. */
     double startTime() const { return submitTime + waitSeconds; }

@@ -5,63 +5,127 @@
 
 #include "trace/native_format.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <vector>
 
-#include "util/logging.hh"
 #include "util/string_utils.hh"
 
 namespace qdel {
 namespace trace {
 
-Trace
-parseNativeTrace(std::istream &in, const std::string &name)
+namespace {
+
+/**
+ * Parse the fields of one native data line. Errors carry field/reason
+ * only; the caller adds file and line number.
+ */
+Expected<JobRecord>
+parseNativeFields(const std::vector<std::string> &fields)
 {
+    if (fields.size() < 2) {
+        return ParseError{
+            "", 0, "", "native trace lines need at least <submit> <wait>"};
+    }
+    JobRecord job;
+    const auto submit = parseDouble(fields[0]);
+    if (!submit || !std::isfinite(*submit)) {
+        return ParseError{"", 0, "field 1 (submit)",
+                          "bad numeric value '" + fields[0] + "'"};
+    }
+    const auto wait = parseDouble(fields[1]);
+    if (!wait || !std::isfinite(*wait)) {
+        return ParseError{"", 0, "field 2 (wait)",
+                          "bad numeric value '" + fields[1] + "'"};
+    }
+    if (*wait < 0.0) {
+        return ParseError{"", 0, "field 2 (wait)",
+                          "negative wait time '" + fields[1] + "'"};
+    }
+    job.submitTime = *submit;
+    job.waitSeconds = *wait;
+    if (fields.size() >= 3) {
+        const auto procs = parseInt(fields[2]);
+        if (!procs || *procs < 1 ||
+            *procs > std::numeric_limits<int>::max()) {
+            return ParseError{"", 0, "field 3 (procs)",
+                              "bad processor count '" + fields[2] + "'"};
+        }
+        job.procs = static_cast<int>(*procs);
+    }
+    if (fields.size() >= 4 && fields[3] != "-")
+        job.queue = fields[3];
+    return job;
+}
+
+} // namespace
+
+Expected<Trace>
+parseNativeTrace(std::istream &in, const std::string &name,
+                 const NativeParseOptions &options, IngestReport *report)
+{
+    IngestReport local;
+    IngestReport &rep = report ? *report : local;
+    rep = IngestReport{};
+    rep.source = name;
+
     Trace t;
     std::string line;
     size_t lineno = 0;
     while (std::getline(in, line)) {
         ++lineno;
+        ++rep.totalLines;
         std::string_view body = trim(line);
-        if (body.empty() || body.front() == '#')
+        if (body.empty() || body.front() == '#') {
+            ++rep.commentLines;
+            // Recover the "# site=<s> machine=<m>" header the writer
+            // emits so parse -> write round trips reproduce it.
+            // Unrecognized comments are skipped, never an error.
+            if (!body.empty() && body.front() == '#') {
+                std::string_view header = trim(body.substr(1));
+                if (startsWith(header, "site=")) {
+                    const size_t pos = header.find(" machine=");
+                    if (pos != std::string_view::npos) {
+                        t.setSite(std::string(
+                            trim(header.substr(5, pos - 5))));
+                        t.setMachine(
+                            std::string(trim(header.substr(pos + 9))));
+                    }
+                }
+            }
             continue;
-        auto fields = splitWhitespace(body);
-        if (fields.size() < 2) {
-            fatal(name, ":", lineno,
-                  ": native trace lines need at least <submit> <wait>");
         }
-        JobRecord job;
-        auto submit = parseDouble(fields[0]);
-        auto wait = parseDouble(fields[1]);
-        if (!submit || !wait)
-            fatal(name, ":", lineno, ": unparseable numeric field");
-        if (*wait < 0.0)
-            fatal(name, ":", lineno, ": negative wait time ", *wait);
-        job.submitTime = *submit;
-        job.waitSeconds = *wait;
-        if (fields.size() >= 3) {
-            auto procs = parseInt(fields[2]);
-            if (!procs || *procs < 1)
-                fatal(name, ":", lineno, ": bad processor count '",
-                      fields[2], "'");
-            job.procs = static_cast<int>(*procs);
+        auto parsed = parseNativeFields(splitWhitespace(body));
+        if (!parsed.ok()) {
+            ParseError err = parsed.error();
+            err.file = name;
+            err.line = lineno;
+            if (options.mode == ParseMode::Strict) {
+                rep.addError(err);
+                return err;
+            }
+            rep.addError(std::move(err));
+            continue;
         }
-        if (fields.size() >= 4 && fields[3] != "-")
-            job.queue = fields[3];
-        t.add(std::move(job));
+        t.add(std::move(parsed).value());
+        ++rep.parsedRecords;
     }
     t.sortBySubmitTime();
     return t;
 }
 
-Trace
-loadNativeTrace(const std::string &path)
+Expected<Trace>
+loadNativeTrace(const std::string &path, const NativeParseOptions &options,
+                IngestReport *report)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open native trace file '", path, "'");
-    return parseNativeTrace(in, path);
+        return ParseError{path, 0, "", "cannot open native trace file"};
+    return parseNativeTrace(in, path, options, report);
 }
 
 void
@@ -78,13 +142,17 @@ writeNativeTrace(const Trace &t, std::ostream &out)
     }
 }
 
-void
+Expected<Unit>
 saveNativeTrace(const Trace &t, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        fatal("cannot open '", path, "' for writing");
+        return ParseError{path, 0, "", "cannot open for writing"};
     writeNativeTrace(t, out);
+    out.flush();
+    if (!out)
+        return ParseError{path, 0, "", "write failed"};
+    return Unit{};
 }
 
 } // namespace trace

@@ -8,6 +8,10 @@
  * Lines beginning with '#' and blank lines are ignored. The two
  * optional columns let the same files drive the Section 6.2
  * (processor-count) experiments.
+ *
+ * Malformed input is recoverable: the parse/load functions return
+ * Expected<Trace> and never terminate the process. See ingest.hh for
+ * the strict/lenient policy and the per-load IngestReport.
  */
 
 #ifndef QDEL_TRACE_NATIVE_FORMAT_HH
@@ -16,30 +20,46 @@
 #include <iosfwd>
 #include <string>
 
+#include "trace/ingest.hh"
 #include "trace/trace.hh"
+#include "util/expected.hh"
 
 namespace qdel {
 namespace trace {
 
+/** Options controlling native-format import. */
+struct NativeParseOptions
+{
+    /** Malformed-line policy (strict: fail the load; lenient: skip). */
+    ParseMode mode = ParseMode::Strict;
+};
+
 /**
  * Parse a native-format trace from @p in.
  *
- * @param in   Input stream positioned at the start of the data.
- * @param name Diagnostic name used in error messages.
- * @return The parsed trace, sorted by submission time.
- *
- * Calls fatal() on malformed lines (unparseable fields, negative wait).
+ * @param in      Input stream positioned at the start of the data.
+ * @param name    Diagnostic name used in error messages.
+ * @param options Import options.
+ * @param report  Optional per-load accounting (filled either way).
+ * @return The parsed trace sorted by submission time, or the first
+ *         ParseError in strict mode (unparseable fields, negative
+ *         wait, bad processor count).
  */
-Trace parseNativeTrace(std::istream &in, const std::string &name = "<in>");
+Expected<Trace> parseNativeTrace(std::istream &in,
+                                 const std::string &name = "<in>",
+                                 const NativeParseOptions &options = {},
+                                 IngestReport *report = nullptr);
 
 /** Parse a native-format trace from the file at @p path. */
-Trace loadNativeTrace(const std::string &path);
+Expected<Trace> loadNativeTrace(const std::string &path,
+                                const NativeParseOptions &options = {},
+                                IngestReport *report = nullptr);
 
 /** Write @p t to @p out in native format (all four columns). */
 void writeNativeTrace(const Trace &t, std::ostream &out);
 
 /** Write @p t to the file at @p path in native format. */
-void saveNativeTrace(const Trace &t, const std::string &path);
+Expected<Unit> saveNativeTrace(const Trace &t, const std::string &path);
 
 } // namespace trace
 } // namespace qdel

@@ -5,94 +5,201 @@
 
 #include "trace/swf_format.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <map>
 #include <ostream>
+#include <vector>
 
-#include "util/logging.hh"
 #include "util/string_utils.hh"
 
 namespace qdel {
 namespace trace {
 
-Trace
-parseSwfTrace(std::istream &in, const std::string &name,
-              const SwfParseOptions &options)
+namespace {
+
+/** Largest double guaranteed to convert to long long without overflow. */
+constexpr double kMaxIntegralDouble = 9.0e18;
+
+/** One data line, parsed: the record plus the policy-filter verdict. */
+struct SwfLine
 {
+    JobRecord job;
+    long long queueNumber = -1;
+    bool filtered = false;
+};
+
+/**
+ * Parse the fields of one SWF data line. Errors carry field/reason
+ * only; the caller adds file and line number.
+ */
+Expected<SwfLine>
+parseSwfFields(const std::vector<std::string> &fields,
+               const SwfParseOptions &options)
+{
+    if (fields.size() < 5) {
+        return ParseError{"", 0, "",
+                          "SWF data lines need at least 5 fields, got " +
+                              std::to_string(fields.size())};
+    }
+
+    ParseError err;
+    bool failed = false;
+    auto fail = [&](size_t idx, const std::string &what) {
+        failed = true;
+        err.field = "field " + std::to_string(idx + 1);
+        err.reason = what + " '" + fields[idx] + "'";
+    };
+    auto field_int = [&](size_t idx, long long missing) -> long long {
+        if (failed || idx >= fields.size())
+            return missing;
+        if (auto value = parseInt(fields[idx]))
+            return *value;
+        // SWF occasionally carries fractional seconds; accept, but only
+        // for finite values that fit a long long (the cast is UB
+        // otherwise).
+        if (auto dvalue = parseDouble(fields[idx])) {
+            if (std::isfinite(*dvalue) &&
+                std::abs(*dvalue) <= kMaxIntegralDouble)
+                return static_cast<long long>(*dvalue);
+        }
+        fail(idx, "bad SWF integer value");
+        return missing;
+    };
+    auto field_double = [&](size_t idx, double missing) -> double {
+        if (failed || idx >= fields.size())
+            return missing;
+        auto value = parseDouble(fields[idx]);
+        if (!value || !std::isfinite(*value)) {
+            fail(idx, "bad SWF numeric value");
+            return missing;
+        }
+        return *value;
+    };
+
+    const double submit = field_double(1, -1.0);
+    const double wait = field_double(2, -1.0);
+    const double run = field_double(3, -1.0);
+    const long long alloc_procs = field_int(4, -1);
+    const long long req_procs = field_int(7, -1);
+    const long long status = field_int(10, -1);
+    const long long queue_number = field_int(14, -1);
+    if (failed)
+        return err;
+
+    const long long procs = req_procs > 0 ? req_procs : alloc_procs;
+    if (procs > std::numeric_limits<int>::max()) {
+        return ParseError{"", 0, "field 8 (requested procs)",
+                          "processor count out of range: " +
+                              std::to_string(procs)};
+    }
+
+    SwfLine out;
+    out.job.submitTime = submit;
+    // Preserve "no recorded wait" as -1 rather than clamping to 0;
+    // writers re-emit -1 so round trips keep the distinction.
+    out.job.waitSeconds = wait < 0.0 ? -1.0 : wait;
+    out.job.runSeconds = run;
+    out.job.procs = procs > 0 ? static_cast<int>(procs) : 1;
+    out.job.status = status;
+    out.queueNumber = queue_number;
+
+    if (!out.job.hasWait() && options.skipMissingWait)
+        out.filtered = true;
+    else if (options.skipFailed && (status == 0 || status == 5))
+        out.filtered = true;
+    return out;
+}
+
+} // namespace
+
+Expected<Trace>
+parseSwfTrace(std::istream &in, const std::string &name,
+              const SwfParseOptions &options, IngestReport *report)
+{
+    IngestReport local;
+    IngestReport &rep = report ? *report : local;
+    rep = IngestReport{};
+    rep.source = name;
+
     Trace t;
+    // Queue names declared by "; Queue: <N> <name>" header comments
+    // (the writer emits them); data lines carry only the number.
+    std::map<long long, std::string> queue_names;
     std::string line;
     size_t lineno = 0;
     while (std::getline(in, line)) {
         ++lineno;
+        ++rep.totalLines;
         std::string_view body = trim(line);
-        if (body.empty() || body.front() == ';')
-            continue;
-        auto fields = splitWhitespace(body);
-        if (fields.size() < 5) {
-            fatal(name, ":", lineno,
-                  ": SWF data lines need at least 5 fields, got ",
-                  fields.size());
-        }
-
-        auto field_int = [&](size_t idx, long long missing) -> long long {
-            if (idx >= fields.size())
-                return missing;
-            auto value = parseInt(fields[idx]);
-            if (!value) {
-                // SWF occasionally carries fractional seconds; accept.
-                auto dvalue = parseDouble(fields[idx]);
-                if (!dvalue)
-                    fatal(name, ":", lineno, ": bad SWF field ", idx + 1,
-                          ": '", fields[idx], "'");
-                return static_cast<long long>(*dvalue);
+        if (body.empty() || body.front() == ';') {
+            ++rep.commentLines;
+            if (body.empty())
+                continue;
+            // Recover the metadata the writer serializes as headers so
+            // parse -> write round trips reproduce it. Headers are
+            // free-form comments: anything unrecognized is skipped,
+            // never an error.
+            std::string_view header = trim(body.substr(1));
+            if (startsWith(header, "Computer:")) {
+                t.setMachine(std::string(trim(header.substr(9))));
+            } else if (startsWith(header, "Installation:")) {
+                t.setSite(std::string(trim(header.substr(13))));
+            } else if (startsWith(header, "Queue:")) {
+                auto fields = splitWhitespace(header.substr(6));
+                if (fields.size() >= 2) {
+                    if (auto num = parseInt(fields[0]); num && *num >= 0) {
+                        std::string qname = fields[1];
+                        for (size_t k = 2; k < fields.size(); ++k)
+                            qname += " " + fields[k];
+                        queue_names[*num] = qname == "-" ? "" : qname;
+                    }
+                }
             }
-            return *value;
-        };
-        auto field_double = [&](size_t idx, double missing) -> double {
-            if (idx >= fields.size())
-                return missing;
-            auto value = parseDouble(fields[idx]);
-            if (!value)
-                fatal(name, ":", lineno, ": bad SWF field ", idx + 1, ": '",
-                      fields[idx], "'");
-            return *value;
-        };
-
-        const double submit = field_double(1, -1.0);
-        const double wait = field_double(2, -1.0);
-        const double run = field_double(3, -1.0);
-        const long long alloc_procs = field_int(4, -1);
-        const long long req_procs = field_int(7, -1);
-        const long long status = field_int(10, -1);
-        const long long queue_number = field_int(14, -1);
-
-        if (wait < 0.0 && options.skipMissingWait)
             continue;
-        if (options.skipFailed && (status == 0 || status == 5))
+        }
+        auto parsed = parseSwfFields(splitWhitespace(body), options);
+        if (!parsed.ok()) {
+            ParseError err = parsed.error();
+            err.file = name;
+            err.line = lineno;
+            if (options.mode == ParseMode::Strict) {
+                rep.addError(err);
+                return err;
+            }
+            rep.addError(std::move(err));
             continue;
-
-        JobRecord job;
-        job.submitTime = submit;
-        job.waitSeconds = wait < 0.0 ? 0.0 : wait;
-        job.runSeconds = run;
-        long long procs = req_procs > 0 ? req_procs : alloc_procs;
-        job.procs = procs > 0 ? static_cast<int>(procs) : 1;
-        if (queue_number >= 0)
-            job.queue = "q" + std::to_string(queue_number);
-        t.add(std::move(job));
+        }
+        SwfLine &swf_line = parsed.value();
+        if (swf_line.queueNumber >= 0) {
+            auto it = queue_names.find(swf_line.queueNumber);
+            swf_line.job.queue =
+                it != queue_names.end()
+                    ? it->second
+                    : "q" + std::to_string(swf_line.queueNumber);
+        }
+        if (swf_line.filtered) {
+            ++rep.filteredRecords;
+            continue;
+        }
+        t.add(std::move(swf_line.job));
+        ++rep.parsedRecords;
     }
     t.sortBySubmitTime();
     return t;
 }
 
-Trace
-loadSwfTrace(const std::string &path, const SwfParseOptions &options)
+Expected<Trace>
+loadSwfTrace(const std::string &path, const SwfParseOptions &options,
+             IngestReport *report)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open SWF trace file '", path, "'");
-    return parseSwfTrace(in, path, options);
+        return ParseError{path, 0, "", "cannot open SWF trace file"};
+    return parseSwfTrace(in, path, options, report);
 }
 
 void
@@ -100,17 +207,19 @@ writeSwfTrace(const Trace &t, std::ostream &out)
 {
     // Map queue names to SWF queue numbers in first-appearance order.
     std::map<std::string, int> queue_ids;
+    std::vector<const std::string *> queue_order;
     for (const auto &job : t) {
-        if (!queue_ids.count(job.queue)) {
-            const int id = static_cast<int>(queue_ids.size());
-            queue_ids[job.queue] = id;
-        }
+        if (queue_ids.emplace(job.queue,
+                              static_cast<int>(queue_order.size()))
+                .second)
+            queue_order.push_back(&job.queue);
     }
 
     out << "; Computer: " << t.machine() << "\n";
     out << "; Installation: " << t.site() << "\n";
     out << "; Generated by the qdel BMBP reproduction library\n";
-    for (const auto &[queue, id] : queue_ids) {
+    for (size_t id = 0; id < queue_order.size(); ++id) {
+        const std::string &queue = *queue_order[id];
         out << "; Queue: " << id << " " << (queue.empty() ? "-" : queue)
             << "\n";
     }
@@ -119,23 +228,28 @@ writeSwfTrace(const Trace &t, std::ostream &out)
     long long jobno = 0;
     for (const auto &job : t) {
         ++jobno;
-        std::snprintf(
-            buf, sizeof(buf),
-            "%lld %.0f %.0f %.0f %d -1 -1 %d -1 -1 1 -1 -1 -1 %d -1 -1 -1\n",
-            jobno, job.submitTime, job.waitSeconds,
-            job.runSeconds < 0.0 ? -1.0 : job.runSeconds, job.procs,
-            job.procs, queue_ids[job.queue]);
+        std::snprintf(buf, sizeof(buf),
+                      "%lld %.0f %.0f %.0f %d -1 -1 %d -1 -1 %lld -1 -1 -1 "
+                      "%d -1 -1 -1\n",
+                      jobno, job.submitTime,
+                      job.hasWait() ? job.waitSeconds : -1.0,
+                      job.runSeconds < 0.0 ? -1.0 : job.runSeconds, job.procs,
+                      job.procs, job.status, queue_ids[job.queue]);
         out << buf;
     }
 }
 
-void
+Expected<Unit>
 saveSwfTrace(const Trace &t, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        fatal("cannot open '", path, "' for writing");
+        return ParseError{path, 0, "", "cannot open for writing"};
     writeSwfTrace(t, out);
+    out.flush();
+    if (!out)
+        return ParseError{path, 0, "", "write failed"};
+    return Unit{};
 }
 
 } // namespace trace

@@ -15,8 +15,18 @@
  *   6 avg cpu time       12 user id            18 think time
  *
  * Missing values are -1. We map: submit -> JobRecord::submitTime,
- * wait -> waitSeconds, run -> runSeconds, requested procs (falling back
- * to allocated procs) -> procs, and queue number -> queue name "q<N>".
+ * wait -> waitSeconds (missing preserved as -1), run -> runSeconds,
+ * requested procs (falling back to allocated procs) -> procs,
+ * status -> status, and queue number -> queue name. Queue numbers
+ * resolve through "; Queue: <N> <name>" header comments when present
+ * (the writer emits them, and archive logs carry them), falling back
+ * to the synthetic name "q<N>". "; Computer:" and "; Installation:"
+ * headers likewise populate Trace::machine()/site(), so parse ->
+ * write -> parse preserves the metadata too.
+ *
+ * Malformed input is recoverable: the parse/load functions return
+ * Expected<Trace> and never terminate the process. See ingest.hh for
+ * the strict/lenient policy and the per-load IngestReport.
  */
 
 #ifndef QDEL_TRACE_SWF_FORMAT_HH
@@ -25,7 +35,9 @@
 #include <iosfwd>
 #include <string>
 
+#include "trace/ingest.hh"
 #include "trace/trace.hh"
+#include "util/expected.hh"
 
 namespace qdel {
 namespace trace {
@@ -37,6 +49,8 @@ struct SwfParseOptions
     bool skipMissingWait = true;
     /** Drop records with status 0/5 (failed/cancelled) when true. */
     bool skipFailed = false;
+    /** Malformed-line policy (strict: fail the load; lenient: skip). */
+    ParseMode mode = ParseMode::Strict;
 };
 
 /**
@@ -45,23 +59,32 @@ struct SwfParseOptions
  * @param in      Input stream.
  * @param name    Diagnostic name for error messages.
  * @param options Import options.
- * @return Parsed trace sorted by submit time.
+ * @param report  Optional per-load accounting (filled either way).
+ * @return Parsed trace sorted by submit time, or the first ParseError
+ *         in strict mode. Lenient mode only fails on stream-level
+ *         problems, never on malformed lines.
  */
-Trace parseSwfTrace(std::istream &in, const std::string &name = "<in>",
-                    const SwfParseOptions &options = {});
+Expected<Trace> parseSwfTrace(std::istream &in,
+                              const std::string &name = "<in>",
+                              const SwfParseOptions &options = {},
+                              IngestReport *report = nullptr);
 
-/** Parse the SWF file at @p path. */
-Trace loadSwfTrace(const std::string &path,
-                   const SwfParseOptions &options = {});
+/** Parse the SWF file at @p path; error when the file cannot be read. */
+Expected<Trace> loadSwfTrace(const std::string &path,
+                             const SwfParseOptions &options = {},
+                             IngestReport *report = nullptr);
 
 /**
  * Write @p t as SWF. Queue names are mapped to numbers in
- * first-appearance order (and emitted as header comments).
+ * first-appearance order (and emitted as header comments). Missing
+ * waits and run times are written as -1 and the job status is
+ * preserved, so parse -> write -> parse is lossless for the fields the
+ * library models.
  */
 void writeSwfTrace(const Trace &t, std::ostream &out);
 
 /** Write @p t as SWF to the file at @p path. */
-void saveSwfTrace(const Trace &t, const std::string &path);
+Expected<Unit> saveSwfTrace(const Trace &t, const std::string &path);
 
 } // namespace trace
 } // namespace qdel

@@ -5,32 +5,50 @@
 
 #include "util/cli.hh"
 
-#include "util/logging.hh"
 #include "util/string_utils.hh"
 
 namespace qdel {
 
-CommandLine::CommandLine(int argc, const char *const *argv)
+CommandLine::CommandLine(int argc, const char *const *argv,
+                         std::initializer_list<const char *> bool_flags)
 {
+    for (const char *flag : bool_flags)
+        boolFlags_.insert(flag);
+
+    bool options_done = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (!startsWith(arg, "--")) {
+        if (options_done || !startsWith(arg, "--")) {
             positional_.push_back(arg);
             continue;
         }
-        std::string body = arg.substr(2);
-        size_t eq = body.find('=');
-        if (eq != std::string::npos) {
-            options_[body.substr(0, eq)] = body.substr(eq + 1);
+        if (arg == "--") {
+            // Everything after a bare "--" is positional, so values
+            // beginning with dashes can always be passed explicitly.
+            options_done = true;
             continue;
         }
-        // "--key value" form: consume the next token as a value unless it
-        // looks like another option.
-        if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
-            options_[body] = argv[i + 1];
+        std::string body = arg.substr(2);
+        std::string key, value;
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            key = body.substr(0, eq);
+            value = body.substr(eq + 1);
+        } else if (boolFlags_.count(body) == 0 && i + 1 < argc &&
+                   !startsWith(argv[i + 1], "--")) {
+            // Undeclared "--key value" form: consume the next token as
+            // a value unless it looks like another option. Declared
+            // boolean flags never consume a token.
+            key = body;
+            value = argv[i + 1];
             ++i;
         } else {
-            options_[body] = "";
+            key = body;
+        }
+        if (!options_.emplace(key, value).second) {
+            errors_.push_back(ParseError{
+                "", 0, "--" + key, "duplicate option (last value wins)"});
+            options_[key] = value;
         }
     }
 }
@@ -49,33 +67,35 @@ CommandLine::getString(const std::string &name,
     return it == options_.end() ? fallback : it->second;
 }
 
-long long
+Expected<long long>
 CommandLine::getInt(const std::string &name, long long fallback) const
 {
     auto it = options_.find(name);
     if (it == options_.end())
         return fallback;
     auto parsed = parseInt(it->second);
-    if (!parsed)
-        fatal("option --", name, " expects an integer, got '", it->second,
-              "'");
+    if (!parsed) {
+        return ParseError{"", 0, "--" + name,
+                          "expects an integer, got '" + it->second + "'"};
+    }
     return *parsed;
 }
 
-double
+Expected<double>
 CommandLine::getDouble(const std::string &name, double fallback) const
 {
     auto it = options_.find(name);
     if (it == options_.end())
         return fallback;
     auto parsed = parseDouble(it->second);
-    if (!parsed)
-        fatal("option --", name, " expects a number, got '", it->second,
-              "'");
+    if (!parsed) {
+        return ParseError{"", 0, "--" + name,
+                          "expects a number, got '" + it->second + "'"};
+    }
     return *parsed;
 }
 
-bool
+Expected<bool>
 CommandLine::getBool(const std::string &name, bool fallback) const
 {
     auto it = options_.find(name);
@@ -88,7 +108,16 @@ CommandLine::getBool(const std::string &name, bool fallback) const
         return true;
     if (value == "0" || value == "false" || value == "no" || value == "off")
         return false;
-    fatal("option --", name, " expects a boolean, got '", it->second, "'");
+    return ParseError{"", 0, "--" + name,
+                      "expects a boolean, got '" + it->second + "'"};
+}
+
+bool
+reportCliErrors(const CommandLine &cli)
+{
+    for (const ParseError &error : cli.errors())
+        std::fprintf(stderr, "error: %s\n", error.str().c_str());
+    return !cli.errors().empty();
 }
 
 } // namespace qdel

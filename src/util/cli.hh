@@ -1,16 +1,30 @@
 /**
  * @file
- * Tiny command-line flag parser shared by the bench harnesses and the
- * example programs. Supports "--key=value", "--key value", and boolean
- * "--flag" forms plus free positional arguments.
+ * Tiny command-line flag parser shared by the bench harnesses, the
+ * tools, and the example programs. Supports "--key=value",
+ * "--key value", and boolean "--flag" forms plus free positional
+ * arguments; "--" ends option parsing.
+ *
+ * Malformed values are recoverable: the typed getters return
+ * Expected<T>, and parse-time diagnostics (duplicate options) are
+ * collected in errors() rather than killing the process. Front-end
+ * binaries that just want the old print-and-exit behaviour can wrap
+ * getters in cliValue() and call reportCliErrors() once after
+ * construction.
  */
 
 #ifndef QDEL_UTIL_CLI_HH
 #define QDEL_UTIL_CLI_HH
 
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
+
+#include "util/expected.hh"
 
 namespace qdel {
 
@@ -18,12 +32,25 @@ namespace qdel {
  * Parsed command line: named options plus positional arguments.
  * Unknown options are accepted (callers query only what they know);
  * option names are stored without the leading dashes.
+ *
+ * Undeclared "--key value" options greedily consume the next token as
+ * their value (unless it starts with "--"), which makes
+ * "--verbose out.csv" swallow the positional. Declare boolean flags in
+ * the constructor to prevent that: a declared flag never consumes a
+ * following token and only takes a value via "--flag=value".
  */
 class CommandLine
 {
   public:
-    /** Parse @p argv (argv[0] is skipped). */
-    CommandLine(int argc, const char *const *argv);
+    /**
+     * Parse @p argv (argv[0] is skipped).
+     *
+     * @param bool_flags Names (without dashes) of options that are
+     *                   boolean flags and must not consume a following
+     *                   token as their value.
+     */
+    CommandLine(int argc, const char *const *argv,
+                std::initializer_list<const char *> bool_flags = {});
 
     /** @return true when --name was present (with or without a value). */
     bool has(const std::string &name) const;
@@ -32,22 +59,51 @@ class CommandLine
     std::string getString(const std::string &name,
                           const std::string &fallback) const;
 
-    /** Integer option value or @p fallback; fatal() on a malformed value. */
-    long long getInt(const std::string &name, long long fallback) const;
+    /** Integer option value or @p fallback; error on a malformed value. */
+    Expected<long long> getInt(const std::string &name,
+                               long long fallback) const;
 
-    /** Double option value or @p fallback; fatal() on a malformed value. */
-    double getDouble(const std::string &name, double fallback) const;
+    /** Double option value or @p fallback; error on a malformed value. */
+    Expected<double> getDouble(const std::string &name,
+                               double fallback) const;
 
     /** Boolean flag: present without value, or an explicit true/false. */
-    bool getBool(const std::string &name, bool fallback) const;
+    Expected<bool> getBool(const std::string &name, bool fallback) const;
 
     /** Positional (non-option) arguments, in order. */
     const std::vector<std::string> &positional() const { return positional_; }
 
+    /** Diagnostics collected while parsing (e.g. duplicate options). */
+    const std::vector<ParseError> &errors() const { return errors_; }
+
   private:
+    std::set<std::string> boolFlags_;
     std::map<std::string, std::string> options_;
     std::vector<std::string> positional_;
+    std::vector<ParseError> errors_;
 };
+
+/**
+ * Front-end unwrap helper: return the option value, or print the error
+ * to stderr and exit(1). For tool/bench main()s only — library code
+ * should propagate the Expected instead.
+ */
+template <typename T>
+T
+cliValue(const Expected<T> &value)
+{
+    if (!value.ok()) {
+        std::fprintf(stderr, "error: %s\n", value.error().str().c_str());
+        std::exit(1);
+    }
+    return value.value();
+}
+
+/**
+ * Print any parse-time diagnostics to stderr.
+ * @return true when there was at least one (caller decides to exit).
+ */
+bool reportCliErrors(const CommandLine &cli);
 
 } // namespace qdel
 

@@ -5,8 +5,12 @@
  *
  * Two error paths are distinguished:
  *  - panic():  an internal invariant was violated (a library bug); aborts.
- *  - fatal():  the caller/user supplied something unusable (bad file, bad
- *              parameter); exits with status 1.
+ *  - fatal():  the user supplied something unusable and the program
+ *              cannot proceed; exits with status 1. Reserved for
+ *              front ends (tools/, examples/, bench/ mains) — library
+ *              code under src/ reports bad input by returning
+ *              Expected<T> (util/expected.hh) instead, and the front
+ *              end decides whether that is fatal. See DESIGN.md §10.
  * Two advisory paths:
  *  - warn():   something is suspicious but execution can continue.
  *  - inform(): purely informational progress output.

@@ -116,13 +116,21 @@ toLower(std::string_view text)
 std::string
 formatDuration(double seconds)
 {
-    if (!std::isfinite(seconds))
-        return "inf";
+    if (std::isnan(seconds))
+        return "nan";
     if (seconds < 0)
         return "-" + formatDuration(-seconds);
+    if (!std::isfinite(seconds))
+        return "inf";
 
+    // llround() is undefined for values beyond long long's range; clamp
+    // huge-but-finite durations (thousands of times the age of the
+    // universe) to a representable ceiling instead.
+    constexpr double kMaxRoundable = 9.0e18;
     char buf[64];
-    const long long total = static_cast<long long>(std::llround(seconds));
+    const long long total =
+        seconds >= kMaxRoundable ? static_cast<long long>(kMaxRoundable)
+                                 : std::llround(seconds);
     const long long days = total / 86400;
     const long long hours = (total % 86400) / 3600;
     const long long minutes = (total % 3600) / 60;

@@ -216,14 +216,32 @@ siteCatalog()
     return kCatalog;
 }
 
+Expected<const QueueProfile *>
+lookupProfile(const std::string &site, const std::string &queue)
+{
+    std::string sites;
+    for (const auto &profile : kCatalog) {
+        if (site == profile.site) {
+            if (queue == profile.queue)
+                return &profile;
+        } else if (sites.empty() ||
+                   sites.rfind(profile.site) == std::string::npos) {
+            sites += sites.empty() ? "" : ", ";
+            sites += profile.site;
+        }
+    }
+    return ParseError{"", 0, "",
+                      "no catalog profile for site '" + site + "' queue '" +
+                          queue + "' (known sites: " + sites + ")"};
+}
+
 const QueueProfile &
 findProfile(const std::string &site, const std::string &queue)
 {
-    for (const auto &profile : kCatalog) {
-        if (site == profile.site && queue == profile.queue)
-            return profile;
-    }
-    fatal("no catalog profile for site '", site, "' queue '", queue, "'");
+    auto profile = lookupProfile(site, queue);
+    if (!profile.ok())
+        panic(profile.error().str());
+    return *profile.value();
 }
 
 std::vector<const QueueProfile *>

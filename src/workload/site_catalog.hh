@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "util/expected.hh"
+
 namespace qdel {
 namespace workload {
 
@@ -84,7 +86,19 @@ struct QueueProfile
 /** All 39 catalog rows, in Table 1 order. */
 const std::vector<QueueProfile> &siteCatalog();
 
-/** Look up a profile by site and queue name; fatal() when absent. */
+/**
+ * Look up a profile by site and queue name. The recoverable form for
+ * user-supplied names (tool flags, config files); the error message
+ * lists the known site names.
+ */
+Expected<const QueueProfile *> lookupProfile(const std::string &site,
+                                             const std::string &queue);
+
+/**
+ * Look up a profile by a site/queue pair the caller knows is in the
+ * catalog (the bench/test tables); panics when absent, since a miss
+ * there is a programmer error. User input goes through lookupProfile().
+ */
 const QueueProfile &findProfile(const std::string &site,
                                 const std::string &queue);
 

@@ -3,6 +3,8 @@
  * Unit tests for the predictor factory.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "core/bmbp_predictor.hh"
@@ -70,6 +72,48 @@ TEST(FactoryDeath, UnknownMethod)
 {
     PredictorOptions options;
     EXPECT_DEATH(makePredictor("oracle", options), "unknown prediction");
+}
+
+TEST(Factory, TryMakeReportsUnknownMethod)
+{
+    PredictorOptions options;
+    auto predictor = tryMakePredictor("oracle", options);
+    ASSERT_FALSE(predictor.ok());
+    EXPECT_NE(predictor.error().reason.find("unknown prediction method"),
+              std::string::npos);
+    // The message enumerates the valid spellings.
+    for (const auto &method : knownPredictorMethods())
+        EXPECT_NE(predictor.error().reason.find(method),
+                  std::string::npos)
+            << method;
+}
+
+TEST(Factory, TryMakeBuildsEveryKnownMethod)
+{
+    PredictorOptions options;
+    for (const auto &method : knownPredictorMethods()) {
+        auto predictor = tryMakePredictor(method, options);
+        EXPECT_TRUE(predictor.ok()) << method;
+    }
+}
+
+TEST(Factory, TryMakeRejectsInvalidOptions)
+{
+    PredictorOptions options;
+    options.quantile = 1.5;
+    EXPECT_FALSE(tryMakePredictor("bmbp", options).ok());
+
+    options.quantile = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(tryMakePredictor("bmbp", options).ok());
+
+    options.quantile = 0.95;
+    options.confidence = 0.0;
+    EXPECT_FALSE(tryMakePredictor("bmbp", options).ok());
+}
+
+TEST(PredictorOptions, ValidateAcceptsDefaults)
+{
+    EXPECT_TRUE(PredictorOptions{}.validate().ok());
 }
 
 } // namespace

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Deterministic fuzz / property harness for the trace ingestion layer.
+ *
+ * Feeds seeded random mutations of well-formed SWF and native traces
+ * through parse -> write -> parse and asserts the recoverable-error
+ * contract: no crash, no hang, strict mode fails with context, lenient
+ * mode's IngestReport accounts for every input line, and the written
+ * form is a fixpoint (write(parse(w)) == w). The mutations are driven
+ * by the repo's portable Rng, so a failing iteration reproduces from
+ * its seed on every platform.
+ *
+ * QDEL_FUZZ_ITERATIONS overrides the per-property iteration count
+ * (CI's sanitizer job raises it; the default keeps local runs fast).
+ */
+
+#include <cstdlib>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "trace/native_format.hh"
+#include "trace/swf_format.hh"
+#include "util/cli.hh"
+#include "util/string_utils.hh"
+
+namespace qdel {
+namespace trace {
+namespace {
+
+size_t
+iterations()
+{
+    if (const char *env = std::getenv("QDEL_FUZZ_ITERATIONS")) {
+        if (auto parsed = parseInt(env); parsed && *parsed > 0)
+            return static_cast<size_t>(*parsed);
+    }
+    return 50;
+}
+
+/** A seed trace with the shapes the SWF writer must handle. */
+Trace
+seedTrace()
+{
+    Trace t("fuzz-site", "fuzz-machine");
+    t.add({1000.0, 42.5, 8, 3600.0, "normal"});
+    t.add({2000.0, 0.0, 1, 60.0, "debug"});
+    t.add({3000.0, 1.0 / 3.0, 128, -1.0, "wide"});
+    JobRecord nowait{4000.0, -1.0, 4, 120.0, "normal"};
+    t.add(nowait);
+    JobRecord cancelled{5000.0, 7.0, 2, 5.0, ""};
+    cancelled.status = 5;
+    t.add(cancelled);
+    t.sortBySubmitTime();
+    return t;
+}
+
+/**
+ * Seed for the native format, which has no missing-wait encoding: a
+ * record with waitSeconds < 0 would serialize to an unparseable line.
+ */
+Trace
+nativeSeedTrace()
+{
+    Trace t = seedTrace();
+    Trace out(t.site(), t.machine());
+    for (const auto &job : t) {
+        if (job.hasWait())
+            out.add(job);
+    }
+    return out;
+}
+
+/** Fragments spliced into lines to hit the parsers' error branches. */
+const char *kPoisons[] = {
+    "xyz",  "nan",    "inf",          "-inf", "1e400",
+    "-1.5", "1.5.2",  "99999999999",  "",     "-",
+    ";",    "#",      "\t",           "0x10", "1,5",
+};
+
+/** Mutate one line of @p text: corrupt, duplicate, truncate, or drop. */
+std::string
+mutate(const std::string &text, stats::Rng &rng)
+{
+    std::vector<std::string> lines = split(text, '\n');
+    if (lines.empty())
+        return text;
+    const size_t victim =
+        static_cast<size_t>(rng.uniformInt(0, static_cast<long long>(
+                                                  lines.size() - 1)));
+    switch (rng.uniformInt(0, 4)) {
+    case 0: { // replace a whitespace-separated token with a poison
+        auto fields = splitWhitespace(lines[victim]);
+        if (!fields.empty()) {
+            const size_t f = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<long long>(fields.size() - 1)));
+            fields[f] = kPoisons[rng.uniformInt(
+                0, static_cast<long long>(std::size(kPoisons) - 1))];
+            std::string rebuilt;
+            for (const auto &field : fields)
+                rebuilt += field + " ";
+            lines[victim] = rebuilt;
+        }
+        break;
+    }
+    case 1: // truncate the line mid-token
+        lines[victim] = lines[victim].substr(
+            0, static_cast<size_t>(rng.uniformInt(
+                   0, static_cast<long long>(lines[victim].size()))));
+        break;
+    case 2: // duplicate the line
+        lines.insert(lines.begin() + static_cast<long>(victim),
+                     lines[victim]);
+        break;
+    case 3: // drop the line
+        lines.erase(lines.begin() + static_cast<long>(victim));
+        break;
+    default: // inject raw bytes
+        lines[victim] += std::string("\x01\xff ") +
+                         kPoisons[rng.uniformInt(
+                             0, static_cast<long long>(
+                                    std::size(kPoisons) - 1))];
+        break;
+    }
+    std::string out;
+    for (const auto &line : lines)
+        out += line + "\n";
+    return out;
+}
+
+TEST(FuzzSwf, MutatedInputNeverCrashesAndAlwaysAccounts)
+{
+    std::ostringstream seed_out;
+    writeSwfTrace(seedTrace(), seed_out);
+    stats::Rng rng(0xf022aa11);
+
+    for (size_t i = 0; i < iterations(); ++i) {
+        std::string corpus = seed_out.str();
+        const int rounds = static_cast<int>(rng.uniformInt(1, 5));
+        for (int r = 0; r < rounds; ++r)
+            corpus = mutate(corpus, rng);
+
+        SwfParseOptions keep;
+        keep.skipMissingWait = false;
+
+        // Strict: either parses or fails with file/line context.
+        {
+            std::istringstream in(corpus);
+            IngestReport report;
+            SwfParseOptions strict = keep;
+            auto t = parseSwfTrace(in, "fuzz.swf", strict, &report);
+            if (!t.ok()) {
+                EXPECT_EQ(t.error().file, "fuzz.swf") << "iteration " << i;
+                EXPECT_GT(t.error().line, 0u) << "iteration " << i;
+                EXPECT_FALSE(t.error().reason.empty());
+            }
+        }
+        // Lenient: always succeeds, and the report accounts for every
+        // line of input.
+        {
+            std::istringstream in(corpus);
+            IngestReport report;
+            SwfParseOptions lenient = keep;
+            lenient.mode = ParseMode::Lenient;
+            auto t = parseSwfTrace(in, "fuzz.swf", lenient, &report);
+            ASSERT_TRUE(t.ok()) << "iteration " << i;
+            EXPECT_EQ(report.accounted(), report.totalLines)
+                << "iteration " << i << ": " << report.summary();
+            EXPECT_EQ(report.parsedRecords, t.value().size())
+                << "iteration " << i;
+
+            // Whatever survived must round-trip to a byte-stable form.
+            std::ostringstream w1;
+            writeSwfTrace(t.value(), w1);
+            std::istringstream in2(w1.str());
+            auto reparsed = parseSwfTrace(in2, "<w1>", keep);
+            ASSERT_TRUE(reparsed.ok()) << "iteration " << i;
+            std::ostringstream w2;
+            writeSwfTrace(reparsed.value(), w2);
+            EXPECT_EQ(w1.str(), w2.str()) << "iteration " << i;
+        }
+    }
+}
+
+TEST(FuzzNative, MutatedInputNeverCrashesAndAlwaysAccounts)
+{
+    std::ostringstream seed_out;
+    writeNativeTrace(nativeSeedTrace(), seed_out);
+    stats::Rng rng(0xbeefcafe);
+
+    for (size_t i = 0; i < iterations(); ++i) {
+        std::string corpus = seed_out.str();
+        const int rounds = static_cast<int>(rng.uniformInt(1, 5));
+        for (int r = 0; r < rounds; ++r)
+            corpus = mutate(corpus, rng);
+
+        {
+            std::istringstream in(corpus);
+            auto t = parseNativeTrace(in, "fuzz.txt");
+            if (!t.ok()) {
+                EXPECT_EQ(t.error().file, "fuzz.txt") << "iteration " << i;
+                EXPECT_GT(t.error().line, 0u) << "iteration " << i;
+            }
+        }
+        {
+            std::istringstream in(corpus);
+            IngestReport report;
+            NativeParseOptions lenient;
+            lenient.mode = ParseMode::Lenient;
+            auto t = parseNativeTrace(in, "fuzz.txt", lenient, &report);
+            ASSERT_TRUE(t.ok()) << "iteration " << i;
+            EXPECT_EQ(report.accounted(), report.totalLines)
+                << "iteration " << i << ": " << report.summary();
+
+            std::ostringstream w1;
+            writeNativeTrace(t.value(), w1);
+            std::istringstream in2(w1.str());
+            auto reparsed = parseNativeTrace(in2, "<w1>");
+            ASSERT_TRUE(reparsed.ok()) << "iteration " << i;
+            std::ostringstream w2;
+            writeNativeTrace(reparsed.value(), w2);
+            EXPECT_EQ(w1.str(), w2.str()) << "iteration " << i;
+        }
+    }
+}
+
+TEST(FuzzNative, LenientRecoversEveryWellFormedLine)
+{
+    // Property: inserting garbage lines into a valid trace never
+    // changes what lenient mode recovers from the valid lines.
+    stats::Rng rng(0x5eed);
+    std::ostringstream clean_out;
+    writeNativeTrace(nativeSeedTrace(), clean_out);
+    std::istringstream clean_in(clean_out.str());
+    auto clean = parseNativeTrace(clean_in).value();
+
+    for (size_t i = 0; i < iterations(); ++i) {
+        std::vector<std::string> lines = split(clean_out.str(), '\n');
+        const size_t insert_at = static_cast<size_t>(rng.uniformInt(
+            0, static_cast<long long>(lines.size() - 1)));
+        lines.insert(lines.begin() + static_cast<long>(insert_at),
+                     "totally bogus line !!!");
+        std::string corpus;
+        for (const auto &line : lines)
+            corpus += line + "\n";
+
+        std::istringstream in(corpus);
+        NativeParseOptions lenient;
+        lenient.mode = ParseMode::Lenient;
+        IngestReport report;
+        auto t = parseNativeTrace(in, "<in>", lenient, &report);
+        ASSERT_TRUE(t.ok());
+        EXPECT_EQ(t.value().size(), clean.size()) << "iteration " << i;
+        EXPECT_EQ(report.malformedLines, 1u) << "iteration " << i;
+    }
+}
+
+TEST(Corpus, SwfStrictFailsLenientAccounts)
+{
+    const std::string path = std::string(QDEL_CORPUS_DIR) + "/mixed.swf";
+    // Strict: the first malformed line fails the load with context.
+    {
+        auto t = loadSwfTrace(path);
+        ASSERT_FALSE(t.ok());
+        EXPECT_EQ(t.error().file, path);
+        EXPECT_GT(t.error().line, 0u);
+    }
+    // Lenient: the well-formed records survive, everything is counted.
+    {
+        SwfParseOptions lenient;
+        lenient.mode = ParseMode::Lenient;
+        IngestReport report;
+        auto t = loadSwfTrace(path, lenient, &report);
+        ASSERT_TRUE(t.ok());
+        EXPECT_EQ(t.value().size(), 8u);
+        EXPECT_EQ(report.totalLines, 20u);
+        EXPECT_EQ(report.commentLines, 7u);
+        EXPECT_EQ(report.parsedRecords, 8u);
+        EXPECT_EQ(report.malformedLines, 4u);
+        EXPECT_EQ(report.filteredRecords, 1u);  // the missing-wait row
+        EXPECT_EQ(report.accounted(), report.totalLines);
+    }
+}
+
+TEST(Corpus, NativeStrictFailsLenientAccounts)
+{
+    const std::string path =
+        std::string(QDEL_CORPUS_DIR) + "/mixed_native.txt";
+    {
+        auto t = loadNativeTrace(path);
+        ASSERT_FALSE(t.ok());
+        EXPECT_EQ(t.error().file, path);
+    }
+    {
+        NativeParseOptions lenient;
+        lenient.mode = ParseMode::Lenient;
+        IngestReport report;
+        auto t = loadNativeTrace(path, lenient, &report);
+        ASSERT_TRUE(t.ok());
+        EXPECT_EQ(t.value().size(), 9u);
+        EXPECT_EQ(report.totalLines, 18u);
+        EXPECT_EQ(report.commentLines, 4u);
+        EXPECT_EQ(report.parsedRecords, 9u);
+        EXPECT_EQ(report.malformedLines, 5u);
+        EXPECT_EQ(report.accounted(), report.totalLines);
+    }
+}
+
+TEST(FuzzCli, RandomArgvNeverCrashes)
+{
+    stats::Rng rng(0xc11f00d);
+    const char *tokens[] = {
+        "--seed=1",   "--seed",    "1",        "--verbose", "out.csv",
+        "--",         "--x=nan",   "--y=",     "-z",        "--flag",
+        "--flag=tru", "--a=-5",    "--a",      "-5",        "=",
+        "--=x",       "--b=1=2",   "positional",
+    };
+    for (size_t i = 0; i < iterations() * 4; ++i) {
+        std::vector<const char *> argv = {"prog"};
+        const int count = static_cast<int>(rng.uniformInt(0, 8));
+        for (int k = 0; k < count; ++k) {
+            argv.push_back(tokens[rng.uniformInt(
+                0, static_cast<long long>(std::size(tokens) - 1))]);
+        }
+        CommandLine cli(static_cast<int>(argv.size()), argv.data(),
+                        {"verbose", "flag"});
+        // Getters must return values or errors, never terminate.
+        (void)cli.getInt("seed", 0).ok();
+        (void)cli.getDouble("x", 0.0).ok();
+        (void)cli.getBool("flag", false).ok();
+        (void)cli.getString("y", "");
+        (void)cli.positional();
+        (void)cli.errors();
+    }
+}
+
+} // namespace
+} // namespace trace
+} // namespace qdel

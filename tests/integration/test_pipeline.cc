@@ -158,13 +158,13 @@ TEST(Pipeline, TracesRoundTripThroughBothFormats)
     std::ostringstream native_out;
     trace::writeNativeTrace(t, native_out);
     std::istringstream native_in(native_out.str());
-    auto from_native = trace::parseNativeTrace(native_in);
+    auto from_native = trace::parseNativeTrace(native_in).value();
     ASSERT_EQ(from_native.size(), t.size());
 
     std::ostringstream swf_out;
     trace::writeSwfTrace(t, swf_out);
     std::istringstream swf_in(swf_out.str());
-    auto from_swf = trace::parseSwfTrace(swf_in);
+    auto from_swf = trace::parseSwfTrace(swf_in).value();
     ASSERT_EQ(from_swf.size(), t.size());
 
     auto direct = sim::evaluateTrace(t, "bmbp", options());

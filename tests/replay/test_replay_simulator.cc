@@ -6,6 +6,7 @@
  */
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -84,7 +85,7 @@ TEST(Replay, AccountingIdentities)
     auto t = simpleTrace(100, 60.0, 10.0);
     ProbePredictor predictor;
     ReplaySimulator simulator({300.0, 0.10});
-    auto result = simulator.run(t, predictor);
+    auto result = simulator.run(t, predictor).value();
 
     EXPECT_EQ(result.totalJobs, 100u);
     EXPECT_EQ(result.trainingJobs, 10u);
@@ -100,7 +101,7 @@ TEST(Replay, FailuresCounted)
     auto t = simpleTrace(100, 60.0, 500.0);  // waits above the bound
     ProbePredictor predictor;
     ReplaySimulator simulator({300.0, 0.0});
-    auto result = simulator.run(t, predictor);
+    auto result = simulator.run(t, predictor).value();
     EXPECT_EQ(result.correct, 0u);
     EXPECT_DOUBLE_EQ(result.medianRatio, 5.0);
 }
@@ -116,7 +117,7 @@ TEST(Replay, WaitVisibleOnlyAfterRelease)
     t.add({20000.0, 1.0, 1, -1.0, ""});   // after the long release
     ProbePredictor predictor;
     ReplaySimulator simulator({300.0, 0.0});
-    simulator.run(t, predictor);
+    simulator.run(t, predictor).value();
     // The last job's release (t=20001) lies beyond the final arrival,
     // so only three waits ever become visible — in completion order
     // 501, 601, 10000, with the long wait strictly last.
@@ -131,7 +132,7 @@ TEST(Replay, EpochZeroRefitsPerJob)
     auto t = simpleTrace(50, 10.0, 1.0);
     ProbePredictor predictor;
     ReplaySimulator simulator({0.0, 0.0});
-    simulator.run(t, predictor);
+    simulator.run(t, predictor).value();
     // One refit per arrival (plus the finalize-training refit).
     EXPECT_GE(predictor.refits, 50u);
 }
@@ -142,7 +143,7 @@ TEST(Replay, EpochCountMatchesSpan)
     auto t = simpleTrace(100, 60.0, 1.0);
     ProbePredictor predictor;
     ReplaySimulator simulator({300.0, 0.0});
-    simulator.run(t, predictor);
+    simulator.run(t, predictor).value();
     EXPECT_GE(predictor.refits, 19u);
     EXPECT_LE(predictor.refits, 23u);
 }
@@ -155,7 +156,7 @@ TEST(Replay, InfinitePredictionsCountedCorrect)
     predictor.current = core::QuantileEstimate::infinite();
     predictor.fixedBound = std::numeric_limits<double>::infinity();
     ReplaySimulator simulator({300.0, 0.0});
-    auto result = simulator.run(t, predictor);
+    auto result = simulator.run(t, predictor).value();
     EXPECT_EQ(result.infinitePredictions, result.evaluatedJobs);
     EXPECT_DOUBLE_EQ(result.correctFraction, 1.0);
     EXPECT_DOUBLE_EQ(result.medianRatio, 0.0);  // no finite ratios
@@ -170,7 +171,7 @@ TEST(Replay, SeriesCaptureWindow)
     probe.captureSeries = true;
     probe.seriesBegin = 1000.0 + 3000.0;
     probe.seriesEnd = 1000.0 + 6000.0;
-    auto result = simulator.run(t, predictor, probe);
+    auto result = simulator.run(t, predictor, probe).value();
     ASSERT_FALSE(result.series.empty());
     for (const auto &point : result.series) {
         EXPECT_GE(point.time, probe.seriesBegin);
@@ -191,7 +192,7 @@ TEST(Replay, QuantileSnapshots)
     probe.seriesEnd = 1000.0 + 8000.0;
     probe.snapshotInterval = 2000.0;
     probe.snapshotQuantiles = {{0.25, false}, {0.5, true}, {0.95, true}};
-    auto result = simulator.run(t, predictor, probe);
+    auto result = simulator.run(t, predictor, probe).value();
     ASSERT_EQ(result.snapshots.size(), 4u);
     for (const auto &snap : result.snapshots) {
         ASSERT_EQ(snap.values.size(), 3u);
@@ -205,25 +206,89 @@ TEST(Replay, TrainingFractionZeroFinalizesBeforeFirstJob)
     auto t = simpleTrace(5, 10.0, 1.0);
     ProbePredictor predictor;
     ReplaySimulator simulator({300.0, 0.0});
-    simulator.run(t, predictor);
+    simulator.run(t, predictor).value();
     EXPECT_EQ(predictor.finalizations, 1u);
     EXPECT_EQ(predictor.trainingSizeAtFinalize, 0u);
 }
 
-TEST(ReplayDeath, RejectsUnsortedTrace)
+TEST(Replay, RejectsUnsortedTrace)
 {
     trace::Trace t;
     t.add({100.0, 1.0, 1, -1.0, ""});
     t.add({50.0, 1.0, 1, -1.0, ""});
     ProbePredictor predictor;
     ReplaySimulator simulator;
-    EXPECT_DEATH(simulator.run(t, predictor), "sorted");
+    auto result = simulator.run(t, predictor);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().reason.find("sorted"), std::string::npos);
 }
 
-TEST(ReplayDeath, RejectsBadConfig)
+TEST(Replay, RejectsBadConfig)
 {
-    EXPECT_DEATH(ReplaySimulator({300.0, 1.0}), "trainFraction");
-    EXPECT_DEATH(ReplaySimulator({-1.0, 0.1}), "epochSeconds");
+    auto t = simpleTrace(5, 10.0, 1.0);
+    ProbePredictor predictor;
+    {
+        auto result = ReplaySimulator({300.0, 1.0}).run(t, predictor);
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.error().field, "trainFraction");
+    }
+    {
+        auto result = ReplaySimulator({-1.0, 0.1}).run(t, predictor);
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.error().field, "epochSeconds");
+    }
+    {
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        EXPECT_FALSE(ReplaySimulator({nan, 0.1}).run(t, predictor).ok());
+        EXPECT_FALSE(ReplaySimulator({300.0, nan}).run(t, predictor).ok());
+    }
+}
+
+TEST(Replay, RejectsNonPositiveSnapshotInterval)
+{
+    // Regression: a snapshot probe with interval <= 0 used to re-arm
+    // the snapshot tick at the same virtual time and loop forever.
+    // It must now terminate with a validation error instead.
+    auto t = simpleTrace(50, 60.0, 1.0);
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.0});
+    ReplayProbe probe;
+    probe.seriesBegin = 1000.0;
+    probe.seriesEnd = 3000.0;
+    probe.snapshotQuantiles = {{0.5, true}};
+    for (double interval : {0.0, -5.0,
+                            std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity()}) {
+        probe.snapshotInterval = interval;
+        auto result = simulator.run(t, predictor, probe);
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.error().field, "snapshotInterval");
+    }
+}
+
+TEST(Replay, RejectsBadProbeQuantilesAndWindow)
+{
+    auto t = simpleTrace(10, 60.0, 1.0);
+    ProbePredictor predictor;
+    ReplaySimulator simulator({300.0, 0.0});
+    {
+        ReplayProbe probe;
+        probe.seriesBegin = 0.0;
+        probe.seriesEnd = 100.0;
+        probe.snapshotInterval = 10.0;
+        probe.snapshotQuantiles = {{1.5, true}};
+        auto result = simulator.run(t, predictor, probe);
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.error().field, "snapshotQuantiles");
+    }
+    {
+        ReplayProbe probe;
+        probe.captureSeries = true;
+        probe.seriesBegin = 100.0;
+        probe.seriesEnd = 0.0;  // end before begin
+        auto result = simulator.run(t, predictor, probe);
+        ASSERT_FALSE(result.ok());
+    }
 }
 
 TEST(Replay, EmptyTrace)
@@ -231,7 +296,7 @@ TEST(Replay, EmptyTrace)
     trace::Trace t;
     ProbePredictor predictor;
     ReplaySimulator simulator;
-    auto result = simulator.run(t, predictor);
+    auto result = simulator.run(t, predictor).value();
     EXPECT_EQ(result.totalJobs, 0u);
     EXPECT_EQ(result.evaluatedJobs, 0u);
 }

@@ -24,7 +24,7 @@ const char *kSample =
 TEST(SwfParse, FieldsMapped)
 {
     std::istringstream in(kSample);
-    auto t = parseSwfTrace(in);
+    auto t = parseSwfTrace(in).value();
     // Record 2 has missing wait (-1) and is skipped by default.
     ASSERT_EQ(t.size(), 2u);
     EXPECT_DOUBLE_EQ(t[0].submitTime, 1000.0);
@@ -32,8 +32,10 @@ TEST(SwfParse, FieldsMapped)
     EXPECT_DOUBLE_EQ(t[0].runSeconds, 600.0);
     EXPECT_EQ(t[0].procs, 16);
     EXPECT_EQ(t[0].queue, "q0");
+    EXPECT_EQ(t[0].status, 1);
     // Record 3 has no requested procs; allocated procs (field 5) used.
     EXPECT_EQ(t[1].procs, 4);
+    EXPECT_EQ(t[1].status, 0);
 }
 
 TEST(SwfParse, KeepMissingWait)
@@ -41,9 +43,12 @@ TEST(SwfParse, KeepMissingWait)
     std::istringstream in(kSample);
     SwfParseOptions options;
     options.skipMissingWait = false;
-    auto t = parseSwfTrace(in, "<in>", options);
+    auto t = parseSwfTrace(in, "<in>", options).value();
     ASSERT_EQ(t.size(), 3u);
-    EXPECT_DOUBLE_EQ(t[1].waitSeconds, 0.0);  // clamped
+    // A missing wait is preserved as -1, not clamped to zero.
+    EXPECT_DOUBLE_EQ(t[1].waitSeconds, -1.0);
+    EXPECT_FALSE(t[1].hasWait());
+    EXPECT_TRUE(t[0].hasWait());
 }
 
 TEST(SwfParse, SkipFailedJobs)
@@ -51,21 +56,91 @@ TEST(SwfParse, SkipFailedJobs)
     std::istringstream in(kSample);
     SwfParseOptions options;
     options.skipFailed = true;  // record 3 has status 0
-    auto t = parseSwfTrace(in, "<in>", options);
+    auto t = parseSwfTrace(in, "<in>", options).value();
     ASSERT_EQ(t.size(), 1u);
     EXPECT_EQ(t[0].procs, 16);
 }
 
-TEST(SwfParseDeath, MalformedLine)
+TEST(SwfParse, ReportAccountsForEveryLine)
 {
-    std::istringstream in("1 2 3\n");
-    EXPECT_DEATH(parseSwfTrace(in), "at least 5 fields");
+    std::istringstream in(kSample);
+    IngestReport report;
+    auto t = parseSwfTrace(in, "sample.swf", {}, &report);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(report.source, "sample.swf");
+    EXPECT_EQ(report.totalLines, 5u);
+    EXPECT_EQ(report.commentLines, 2u);
+    EXPECT_EQ(report.parsedRecords, 2u);
+    EXPECT_EQ(report.filteredRecords, 1u);  // missing-wait record
+    EXPECT_EQ(report.malformedLines, 0u);
+    EXPECT_EQ(report.accounted(), report.totalLines);
 }
 
-TEST(SwfParseDeath, GarbageField)
+TEST(SwfParse, StrictModeFailsWithContext)
 {
-    std::istringstream in("1 xyz 50 600 16\n");
-    EXPECT_DEATH(parseSwfTrace(in), "bad SWF field");
+    {
+        std::istringstream in("1 2 3\n");
+        auto t = parseSwfTrace(in, "bad.swf");
+        ASSERT_FALSE(t.ok());
+        EXPECT_EQ(t.error().file, "bad.swf");
+        EXPECT_EQ(t.error().line, 1u);
+        EXPECT_NE(t.error().reason.find("at least 5 fields"),
+                  std::string::npos);
+    }
+    {
+        std::istringstream in("; ok\n1 xyz 50 600 16\n");
+        auto t = parseSwfTrace(in, "bad.swf");
+        ASSERT_FALSE(t.ok());
+        EXPECT_EQ(t.error().line, 2u);
+        EXPECT_EQ(t.error().field, "field 2");
+        EXPECT_NE(t.error().reason.find("bad SWF numeric value"),
+                  std::string::npos);
+    }
+    {
+        std::istringstream in("1 1000 50 600 xyz\n");
+        auto t = parseSwfTrace(in, "bad.swf");
+        ASSERT_FALSE(t.ok());
+        EXPECT_EQ(t.error().field, "field 5");
+        EXPECT_NE(t.error().reason.find("bad SWF integer value"),
+                  std::string::npos);
+    }
+    {
+        // Non-finite numerics are data errors, not values.
+        std::istringstream in("1 nan 50 600 16\n");
+        EXPECT_FALSE(parseSwfTrace(in).ok());
+    }
+    {
+        // Processor counts beyond int range are rejected, not wrapped.
+        std::istringstream in("1 1000 50 600 99999999999\n");
+        auto t = parseSwfTrace(in);
+        ASSERT_FALSE(t.ok());
+        EXPECT_NE(t.error().reason.find("processor count"),
+                  std::string::npos);
+    }
+}
+
+TEST(SwfParse, LenientModeSkipsAndCounts)
+{
+    std::istringstream in("; header\n"
+                          "1 1000 50 600 16\n"
+                          "garbage line here x\n"
+                          "2 abc 50 600 16\n"
+                          "3 3000 10 100 4\n");
+    SwfParseOptions options;
+    options.mode = ParseMode::Lenient;
+    IngestReport report;
+    auto t = parseSwfTrace(in, "mixed.swf", options, &report);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.value().size(), 2u);
+    EXPECT_EQ(report.totalLines, 5u);
+    EXPECT_EQ(report.commentLines, 1u);
+    EXPECT_EQ(report.parsedRecords, 2u);
+    EXPECT_EQ(report.malformedLines, 2u);
+    EXPECT_EQ(report.accounted(), report.totalLines);
+    ASSERT_EQ(report.errors.size(), 2u);
+    EXPECT_EQ(report.errors[0].line, 3u);
+    EXPECT_EQ(report.errors[1].line, 4u);
+    EXPECT_NE(report.summary().find("2 malformed"), std::string::npos);
 }
 
 TEST(SwfRoundTrip, PreservesCoreFields)
@@ -79,7 +154,7 @@ TEST(SwfRoundTrip, PreservesCoreFields)
     std::ostringstream out;
     writeSwfTrace(original, out);
     std::istringstream in(out.str());
-    auto parsed = parseSwfTrace(in);
+    auto parsed = parseSwfTrace(in).value();
 
     ASSERT_EQ(parsed.size(), original.size());
     for (size_t i = 0; i < parsed.size(); ++i) {
@@ -92,6 +167,88 @@ TEST(SwfRoundTrip, PreservesCoreFields)
     // a queue id distinct from "debug"'s.
     EXPECT_EQ(parsed[0].queue, parsed[2].queue);
     EXPECT_NE(parsed[0].queue, parsed[1].queue);
+}
+
+TEST(SwfRoundTrip, QueueNumbersFollowFirstAppearance)
+{
+    // "zebra" appears before "alpha"; first-appearance numbering must
+    // win over alphabetical order, and the header must agree with the
+    // data lines so the parser recovers the original names.
+    Trace t("s", "m");
+    t.add({1000.0, 1.0, 1, -1.0, "zebra"});
+    t.add({2000.0, 2.0, 1, -1.0, "alpha"});
+    t.sortBySubmitTime();
+
+    std::ostringstream out;
+    writeSwfTrace(t, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("; Queue: 0 zebra"), std::string::npos);
+    EXPECT_NE(text.find("; Queue: 1 alpha"), std::string::npos);
+
+    std::istringstream in(text);
+    auto parsed = parseSwfTrace(in).value();
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].queue, "zebra");
+    EXPECT_EQ(parsed[1].queue, "alpha");
+    EXPECT_EQ(parsed.site(), "s");
+    EXPECT_EQ(parsed.machine(), "m");
+}
+
+TEST(SwfParse, QueueHeaderlessNumbersGetSyntheticNames)
+{
+    // Without "; Queue:" headers the number becomes "q<N>".
+    std::istringstream in(
+        "1 1000 50 600 16 -1 -1 16 3600 -1 1 4 2 -1 3 -1 -1 -1\n");
+    auto t = parseSwfTrace(in).value();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].queue, "q3");
+}
+
+TEST(SwfRoundTrip, PreservesMissingWaitAndStatus)
+{
+    Trace original("s", "m");
+    JobRecord failed{1000.0, 5.0, 4, 30.0, "q"};
+    failed.status = 0;
+    original.add(failed);
+    JobRecord nowait{2000.0, -1.0, 2, 60.0, "q"};
+    original.add(nowait);
+    original.sortBySubmitTime();
+
+    std::ostringstream out;
+    writeSwfTrace(original, out);
+
+    SwfParseOptions keep;
+    keep.skipMissingWait = false;
+    std::istringstream in(out.str());
+    auto parsed = parseSwfTrace(in, "<in>", keep).value();
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].status, 0);
+    EXPECT_FALSE(parsed[1].hasWait());
+    EXPECT_DOUBLE_EQ(parsed[1].waitSeconds, -1.0);
+}
+
+TEST(SwfRoundTrip, WriteParseWriteIsByteStable)
+{
+    Trace original("site", "machine");
+    original.add({1000.5, 42.0, 8, 3600.0, "regular"});
+    original.add({2000.0, -1.0, 64, -1.0, "debug"});
+    JobRecord cancelled{3000.0, 0.0, 1, 10.0, "regular"};
+    cancelled.status = 5;
+    original.add(cancelled);
+    original.sortBySubmitTime();
+
+    SwfParseOptions keep;
+    keep.skipMissingWait = false;
+
+    std::ostringstream first;
+    writeSwfTrace(original, first);
+
+    std::istringstream in1(first.str());
+    auto reparsed = parseSwfTrace(in1, "<in>", keep).value();
+    std::ostringstream second;
+    writeSwfTrace(reparsed, second);
+
+    EXPECT_EQ(first.str(), second.str());
 }
 
 TEST(SwfWrite, EmitsHeaderComments)
@@ -111,11 +268,19 @@ TEST(SwfFile, SaveAndLoad)
     const std::string path = ::testing::TempDir() + "qdel_swf_test.swf";
     Trace original("s", "m");
     original.add({5.0, 7.0, 2, 100.0, "q"});
-    saveSwfTrace(original, path);
-    auto loaded = loadSwfTrace(path);
+    ASSERT_TRUE(saveSwfTrace(original, path).ok());
+    auto loaded = loadSwfTrace(path).value();
     ASSERT_EQ(loaded.size(), 1u);
     EXPECT_DOUBLE_EQ(loaded[0].waitSeconds, 7.0);
     std::remove(path.c_str());
+}
+
+TEST(SwfFile, MissingFileIsAnError)
+{
+    auto t = loadSwfTrace("/no/such/dir/file.swf");
+    ASSERT_FALSE(t.ok());
+    EXPECT_NE(t.error().reason.find("cannot open"), std::string::npos);
+    EXPECT_EQ(t.error().file, "/no/such/dir/file.swf");
 }
 
 } // namespace

@@ -11,35 +11,37 @@ namespace qdel {
 namespace {
 
 CommandLine
-parse(std::initializer_list<const char *> args)
+parse(std::initializer_list<const char *> args,
+      std::initializer_list<const char *> bool_flags = {})
 {
     std::vector<const char *> argv = {"prog"};
     argv.insert(argv.end(), args.begin(), args.end());
-    return CommandLine(static_cast<int>(argv.size()), argv.data());
+    return CommandLine(static_cast<int>(argv.size()), argv.data(),
+                       bool_flags);
 }
 
 TEST(CommandLine, KeyEqualsValue)
 {
     auto cli = parse({"--seed=7", "--method=bmbp"});
-    EXPECT_EQ(cli.getInt("seed", 0), 7);
+    EXPECT_EQ(cli.getInt("seed", 0).value(), 7);
     EXPECT_EQ(cli.getString("method", ""), "bmbp");
 }
 
 TEST(CommandLine, KeySpaceValue)
 {
     auto cli = parse({"--epoch", "300", "--quantile", "0.9"});
-    EXPECT_EQ(cli.getInt("epoch", 0), 300);
-    EXPECT_DOUBLE_EQ(cli.getDouble("quantile", 0.0), 0.9);
+    EXPECT_EQ(cli.getInt("epoch", 0).value(), 300);
+    EXPECT_DOUBLE_EQ(cli.getDouble("quantile", 0.0).value(), 0.9);
 }
 
 TEST(CommandLine, BooleanFlags)
 {
     auto cli = parse({"--verbose", "--trim=false", "--fast=yes"});
-    EXPECT_TRUE(cli.getBool("verbose", false));
-    EXPECT_FALSE(cli.getBool("trim", true));
-    EXPECT_TRUE(cli.getBool("fast", false));
-    EXPECT_TRUE(cli.getBool("absent", true));
-    EXPECT_FALSE(cli.getBool("absent", false));
+    EXPECT_TRUE(cli.getBool("verbose", false).value());
+    EXPECT_FALSE(cli.getBool("trim", true).value());
+    EXPECT_TRUE(cli.getBool("fast", false).value());
+    EXPECT_TRUE(cli.getBool("absent", true).value());
+    EXPECT_FALSE(cli.getBool("absent", false).value());
 }
 
 TEST(CommandLine, Positional)
@@ -53,18 +55,95 @@ TEST(CommandLine, Positional)
 TEST(CommandLine, Defaults)
 {
     auto cli = parse({});
-    EXPECT_EQ(cli.getInt("n", 42), 42);
-    EXPECT_DOUBLE_EQ(cli.getDouble("x", 1.5), 1.5);
+    EXPECT_EQ(cli.getInt("n", 42).value(), 42);
+    EXPECT_DOUBLE_EQ(cli.getDouble("x", 1.5).value(), 1.5);
     EXPECT_EQ(cli.getString("s", "dflt"), "dflt");
     EXPECT_FALSE(cli.has("anything"));
+    EXPECT_TRUE(cli.errors().empty());
 }
 
 TEST(CommandLine, FlagFollowedByOption)
 {
     // "--verbose --seed=3": verbose must not swallow "--seed=3".
     auto cli = parse({"--verbose", "--seed=3"});
-    EXPECT_TRUE(cli.getBool("verbose", false));
-    EXPECT_EQ(cli.getInt("seed", 0), 3);
+    EXPECT_TRUE(cli.getBool("verbose", false).value());
+    EXPECT_EQ(cli.getInt("seed", 0).value(), 3);
+}
+
+TEST(CommandLine, DeclaredFlagDoesNotSwallowPositional)
+{
+    // Regression: undeclared "--verbose out.csv" consumed the
+    // positional as the flag's value. Declaring the flag prevents it.
+    auto cli = parse({"--verbose", "out.csv"}, {"verbose"});
+    EXPECT_TRUE(cli.getBool("verbose", false).value());
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "out.csv");
+}
+
+TEST(CommandLine, DeclaredFlagStillAcceptsEqualsValue)
+{
+    auto cli = parse({"--verbose=false", "out.csv"}, {"verbose"});
+    EXPECT_FALSE(cli.getBool("verbose", true).value());
+    ASSERT_EQ(cli.positional().size(), 1u);
+}
+
+TEST(CommandLine, UndeclaredOptionStillConsumesValue)
+{
+    // Backwards compatibility: "--epoch 300" keeps working without a
+    // declaration.
+    auto cli = parse({"--epoch", "300", "trace.txt"}, {"verbose"});
+    EXPECT_EQ(cli.getInt("epoch", 0).value(), 300);
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "trace.txt");
+}
+
+TEST(CommandLine, DoubleDashEndsOptions)
+{
+    auto cli = parse({"--seed=1", "--", "--not-an-option", "file"});
+    EXPECT_EQ(cli.getInt("seed", 0).value(), 1);
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "--not-an-option");
+    EXPECT_EQ(cli.positional()[1], "file");
+}
+
+TEST(CommandLine, NegativeValuesConsumed)
+{
+    // A following token starting with a single dash is a value, not an
+    // option.
+    auto cli = parse({"--offset", "-5"});
+    EXPECT_EQ(cli.getInt("offset", 0).value(), -5);
+}
+
+TEST(CommandLine, DuplicateOptionDiagnosed)
+{
+    auto cli = parse({"--seed=1", "--seed=2"});
+    ASSERT_EQ(cli.errors().size(), 1u);
+    EXPECT_EQ(cli.errors()[0].field, "--seed");
+    EXPECT_NE(cli.errors()[0].reason.find("duplicate"),
+              std::string::npos);
+    // Last value wins for callers who ignore the diagnostic.
+    EXPECT_EQ(cli.getInt("seed", 0).value(), 2);
+}
+
+TEST(CommandLine, MalformedValuesAreErrorsNotExits)
+{
+    auto cli = parse({"--seed=abc", "--rate=zz", "--flag=maybe"});
+    {
+        auto v = cli.getInt("seed", 0);
+        ASSERT_FALSE(v.ok());
+        EXPECT_EQ(v.error().field, "--seed");
+        EXPECT_NE(v.error().reason.find("abc"), std::string::npos);
+    }
+    {
+        auto v = cli.getDouble("rate", 0.0);
+        ASSERT_FALSE(v.ok());
+        EXPECT_EQ(v.error().field, "--rate");
+    }
+    {
+        auto v = cli.getBool("flag", false);
+        ASSERT_FALSE(v.ok());
+        EXPECT_EQ(v.error().field, "--flag");
+    }
 }
 
 } // namespace

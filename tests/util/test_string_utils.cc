@@ -3,6 +3,8 @@
  * Unit tests for the string helpers.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "util/string_utils.hh"
@@ -118,6 +120,30 @@ TEST(FormatDuration, EdgeCases)
     EXPECT_EQ(formatDuration(
                   std::numeric_limits<double>::infinity()),
               "inf");
+    EXPECT_EQ(formatDuration(
+                  -std::numeric_limits<double>::infinity()),
+              "-inf");
+    EXPECT_EQ(formatDuration(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "nan");
+    // Sub-minute values round to whole seconds.
+    EXPECT_EQ(formatDuration(59.7), "1m 0s");
+    EXPECT_EQ(formatDuration(59.4), "59s");
+}
+
+TEST(FormatDuration, HugeFiniteValuesClampInsteadOfOverflowing)
+{
+    // llround() is UB beyond long long's range; the clamp must keep
+    // these finite monsters well-defined (exact text matters less than
+    // not invoking UB, so only check the shape).
+    const std::string huge = formatDuration(1e19);
+    EXPECT_FALSE(huge.empty());
+    EXPECT_NE(huge.find('d'), std::string::npos);
+    EXPECT_EQ(formatDuration(std::numeric_limits<double>::max()),
+              huge);
+    const std::string negative = formatDuration(-1e19);
+    ASSERT_FALSE(negative.empty());
+    EXPECT_EQ(negative.front(), '-');
 }
 
 } // namespace

@@ -53,6 +53,28 @@ TEST(SiteCatalogDeath, FindProfileUnknown)
     EXPECT_DEATH(findProfile("nope", "nothing"), "no catalog profile");
 }
 
+TEST(SiteCatalog, LookupProfileReturnsErrorForUnknown)
+{
+    auto lookup = lookupProfile("nope", "nothing");
+    ASSERT_FALSE(lookup.ok());
+    EXPECT_NE(lookup.error().reason.find("no catalog profile"),
+              std::string::npos);
+    // The error names the known sites so a typo is easy to correct.
+    EXPECT_NE(lookup.error().reason.find("datastar"), std::string::npos);
+}
+
+TEST(SiteCatalog, LookupProfileReturnsErrorForUnknownQueue)
+{
+    EXPECT_FALSE(lookupProfile("datastar", "no-such-queue").ok());
+}
+
+TEST(SiteCatalog, LookupProfileFindsKnownPair)
+{
+    auto lookup = lookupProfile("datastar", "normal");
+    ASSERT_TRUE(lookup.ok());
+    EXPECT_EQ(lookup.value()->jobCount, 48543);
+}
+
 TEST(SiteCatalog, UniqueSiteQueueKeys)
 {
     std::set<std::pair<std::string, std::string>> keys;

@@ -18,6 +18,9 @@
  *   --by-procs         additionally subdivide by the paper's ranges
  *   --min-jobs=1000    drop subdivisions smaller than this
  *   --live             print the final bound a user would see now
+ *   --strict           fail on the first malformed trace line (default)
+ *   --lenient          skip malformed lines, report an ingest summary
+ *   --verbose          verbose logging (includes the ingest report)
  *
  * Exit status: 0 on success, 1 on input errors.
  */
@@ -46,41 +49,121 @@ endsWith(const std::string &text, const std::string &suffix)
                         suffix) == 0;
 }
 
+void
+usage(std::ostream &out)
+{
+    out << "usage: qdel_predict <trace-file> [--method=bmbp] "
+           "[--quantile=0.95] [--confidence=0.95]\n"
+           "                    [--epoch=300] [--train=0.10] "
+           "[--queue=NAME] [--by-procs] [--live]\n"
+           "                    [--strict|--lenient] [--verbose]\n"
+           "\n"
+           "  --strict    fail on the first malformed trace line "
+           "(default)\n"
+           "  --lenient   skip malformed lines and print a per-load "
+           "ingest report\n"
+           "              (lines parsed / comment / malformed / "
+           "filtered)\n";
+}
+
+/** Print the ingest accounting plus the retained per-line errors. */
+void
+printIngestReport(const trace::IngestReport &report)
+{
+    std::cerr << "ingest: " << report.summary() << "\n";
+    for (const auto &error : report.errors)
+        std::cerr << "ingest:   " << error.str() << "\n";
+    if (report.malformedLines > report.errors.size()) {
+        std::cerr << "ingest:   ... and "
+                  << report.malformedLines - report.errors.size()
+                  << " more malformed lines\n";
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    CommandLine cli(argc, argv);
+    CommandLine cli(argc, argv,
+                    {"by-procs", "live", "strict", "lenient", "verbose",
+                     "help"});
+    if (cliValue(cli.getBool("help", false))) {
+        usage(std::cout);
+        return 0;
+    }
+    if (reportCliErrors(cli))
+        return 1;
     if (cli.positional().empty()) {
-        std::cerr << "usage: qdel_predict <trace-file> [--method=bmbp] "
-                     "[--quantile=0.95] [--confidence=0.95]\n"
-                     "                    [--epoch=300] [--train=0.10] "
-                     "[--queue=NAME] [--by-procs] [--live]\n";
+        usage(std::cerr);
         return 1;
     }
+    setVerboseLogging(cliValue(cli.getBool("verbose", false)));
+
+    const bool lenient = cliValue(cli.getBool("lenient", false));
+    if (lenient && cliValue(cli.getBool("strict", false))) {
+        std::cerr << "error: --strict and --lenient are mutually "
+                     "exclusive\n";
+        return 1;
+    }
+    const trace::ParseMode mode = lenient ? trace::ParseMode::Lenient
+                                          : trace::ParseMode::Strict;
+
     const std::string path = cli.positional().front();
     const std::string method = cli.getString("method", "bmbp");
 
-    auto trace = endsWith(toLower(path), ".swf")
-                     ? trace::loadSwfTrace(path)
-                     : trace::loadNativeTrace(path);
-    inform("loaded ", trace.size(), " jobs from ", path);
-    if (trace.empty())
-        fatal("trace '", path, "' contains no jobs");
-
-    core::RareEventTable table(cli.getDouble("quantile", 0.95), 0.05);
+    // Validate every user-supplied knob up front, before the (possibly
+    // long) trace load.
     core::PredictorOptions options;
-    options.quantile = cli.getDouble("quantile", 0.95);
-    options.confidence = cli.getDouble("confidence", 0.95);
-    options.rareEventTable = &table;
+    options.quantile = cliValue(cli.getDouble("quantile", 0.95));
+    options.confidence = cliValue(cli.getDouble("confidence", 0.95));
+    if (auto probe = core::tryMakePredictor(method, options); !probe.ok()) {
+        std::cerr << "error: " << probe.error().str() << "\n";
+        return 1;
+    }
 
     sim::ReplayConfig replay;
-    replay.epochSeconds = cli.getDouble("epoch", 300.0);
-    replay.trainFraction = cli.getDouble("train", 0.10);
+    replay.epochSeconds = cliValue(cli.getDouble("epoch", 300.0));
+    replay.trainFraction = cliValue(cli.getDouble("train", 0.10));
+    if (auto valid = replay.validate(); !valid.ok()) {
+        std::cerr << "error: " << valid.error().str() << "\n";
+        return 1;
+    }
 
-    const auto min_jobs =
-        static_cast<size_t>(cli.getInt("min-jobs", 1000));
+    const long long min_jobs_raw = cliValue(cli.getInt("min-jobs", 1000));
+    if (min_jobs_raw < 0) {
+        std::cerr << "error: --min-jobs: must be >= 0, got "
+                  << min_jobs_raw << "\n";
+        return 1;
+    }
+    const auto min_jobs = static_cast<size_t>(min_jobs_raw);
+
+    trace::IngestReport report;
+    Expected<trace::Trace> loaded = [&]() -> Expected<trace::Trace> {
+        if (endsWith(toLower(path), ".swf")) {
+            trace::SwfParseOptions swf_options;
+            swf_options.mode = mode;
+            return trace::loadSwfTrace(path, swf_options, &report);
+        }
+        trace::NativeParseOptions native_options;
+        native_options.mode = mode;
+        return trace::loadNativeTrace(path, native_options, &report);
+    }();
+    if (!loaded.ok()) {
+        std::cerr << "error: " << loaded.error().str() << "\n";
+        return 1;
+    }
+    const trace::Trace trace = std::move(loaded).value();
+    if (report.malformedLines > 0 || detail::verbose())
+        printIngestReport(report);
+    inform("loaded ", trace.size(), " jobs from ", path);
+    if (trace.empty()) {
+        std::cerr << "error: trace '" << path << "' contains no jobs\n";
+        return 1;
+    }
+
+    core::RareEventTable table(options.quantile, 0.05);
+    options.rareEventTable = &table;
 
     std::vector<std::string> queues;
     if (cli.has("queue"))
@@ -89,7 +172,7 @@ main(int argc, char **argv)
         queues = trace.queueNames();
 
     TablePrinter results("qdel-predict: " + method + " on " + path);
-    if (cli.getBool("by-procs", false)) {
+    if (cliValue(cli.getBool("by-procs", false))) {
         results.setHeader({"queue", "1-4", "5-16", "17-64", "65+"});
         for (const auto &queue : queues) {
             auto subdivided = trace.filterByQueue(queue);
@@ -136,7 +219,7 @@ main(int argc, char **argv)
     }
     results.print(std::cout);
 
-    if (cli.getBool("live", false)) {
+    if (cliValue(cli.getBool("live", false))) {
         // The bound a user submitting *after the log ends* would see:
         // feed the full history, refit once.
         std::cout << "\nlive bounds (full history):\n";

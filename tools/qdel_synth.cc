@@ -8,6 +8,8 @@
  * Usage:
  *   qdel_synth --out=DIR [--format=native|swf] [--seed=1]
  *              [--site=S --queue=Q]      (default: the whole suite)
+ *              [--verify]  re-load each written file (strict) and
+ *                          check the record count round-trips
  */
 
 #include <filesystem>
@@ -24,29 +26,50 @@ int
 main(int argc, char **argv)
 {
     using namespace qdel;
-    CommandLine cli(argc, argv);
+    CommandLine cli(argc, argv, {"verify", "help"});
+    if (cliValue(cli.getBool("help", false))) {
+        std::cout << "usage: qdel_synth --out=DIR "
+                     "[--format=native|swf] [--seed=1] "
+                     "[--site=S --queue=Q] [--verify]\n"
+                     "  --verify  re-load each written trace (strict "
+                     "mode) and check it round-trips\n";
+        return 0;
+    }
+    if (reportCliErrors(cli))
+        return 1;
     const std::string out_dir = cli.getString("out", "");
     if (out_dir.empty()) {
         std::cerr << "usage: qdel_synth --out=DIR "
                      "[--format=native|swf] [--seed=1] "
-                     "[--site=S --queue=Q]\n";
+                     "[--site=S --queue=Q] [--verify]\n";
         return 1;
     }
     const std::string format = cli.getString("format", "native");
-    if (format != "native" && format != "swf")
-        fatal("--format must be 'native' or 'swf', got '", format, "'");
-    const auto seed = static_cast<uint64_t>(cli.getInt("seed", 1));
+    if (format != "native" && format != "swf") {
+        std::cerr << "error: --format must be 'native' or 'swf', got '"
+                  << format << "'\n";
+        return 1;
+    }
+    const auto seed = static_cast<uint64_t>(cliValue(cli.getInt("seed", 1)));
+    const bool verify = cliValue(cli.getBool("verify", false));
 
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
-    if (ec)
-        fatal("cannot create output directory '", out_dir, "': ",
-              ec.message());
+    if (ec) {
+        std::cerr << "error: cannot create output directory '" << out_dir
+                  << "': " << ec.message() << "\n";
+        return 1;
+    }
 
     std::vector<const workload::QueueProfile *> selection;
     if (cli.has("site") || cli.has("queue")) {
-        selection.push_back(&workload::findProfile(
-            cli.getString("site", ""), cli.getString("queue", "")));
+        auto profile = workload::lookupProfile(cli.getString("site", ""),
+                                               cli.getString("queue", ""));
+        if (!profile.ok()) {
+            std::cerr << "error: " << profile.error().str() << "\n";
+            return 1;
+        }
+        selection.push_back(profile.value());
     } else {
         for (const auto &profile : workload::siteCatalog())
             selection.push_back(&profile);
@@ -60,10 +83,36 @@ main(int argc, char **argv)
                                  profile->queue + "." +
                                  (format == "swf" ? "swf" : "txt");
         const std::string path = out_dir + "/" + name;
-        if (format == "swf")
-            trace::saveSwfTrace(trace, path);
-        else
-            trace::saveNativeTrace(trace, path);
+        const auto saved = format == "swf"
+                               ? trace::saveSwfTrace(trace, path)
+                               : trace::saveNativeTrace(trace, path);
+        if (!saved.ok()) {
+            std::cerr << "error: " << saved.error().str() << "\n";
+            return 1;
+        }
+        if (verify) {
+            trace::IngestReport report;
+            auto reloaded =
+                format == "swf"
+                    ? trace::loadSwfTrace(path, {}, &report)
+                    : trace::loadNativeTrace(path, {}, &report);
+            if (!reloaded.ok()) {
+                std::cerr << "error: verify failed: "
+                          << reloaded.error().str() << "\n";
+                return 1;
+            }
+            // SWF export may drop missing-wait records on re-load (the
+            // default import policy), but synthesized traces always
+            // carry waits, so the counts must match exactly.
+            if (reloaded.value().size() != trace.size()) {
+                std::cerr << "error: verify failed: " << path
+                          << " round-tripped " << reloaded.value().size()
+                          << " of " << trace.size() << " jobs ("
+                          << report.summary() << ")\n";
+                return 1;
+            }
+            inform("verified ", path, ": ", report.summary());
+        }
         std::cout << "wrote " << path << " (" << trace.size()
                   << " jobs)\n";
     }
