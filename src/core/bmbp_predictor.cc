@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "persist/state_codec.hh"
 #include "stats/descriptive.hh"
 #include "stats/quantile_bounds.hh"
 #include "util/logging.hh"
@@ -150,6 +151,82 @@ BmbpPredictor::finalizeTraining()
     }
     const RareEventTable &table = table_ ? *table_ : *ownedTable_;
     runThreshold_ = table.threshold(rho);
+}
+
+namespace {
+
+/** Bumped when the BMBP state payload layout changes incompatibly. */
+constexpr uint32_t kBmbpStateVersion = 1;
+
+} // namespace
+
+Expected<Unit>
+BmbpPredictor::saveState(persist::StateWriter &writer) const
+{
+    persist::writeStateHeader(writer, name(), kBmbpStateVersion);
+    // Config echo, verified on load: restoring into a differently
+    // configured instance would silently change the method.
+    writer.f64(config_.quantile);
+    writer.f64(config_.confidence);
+    writer.u8(config_.trimmingEnabled ? 1 : 0);
+    writer.i64(config_.runThresholdOverride);
+    writer.u64(config_.maxHistory);
+    // Mutable state. The sorted view and the index cache are derived
+    // and rebuilt on load; everything else is stored exactly.
+    writer.doubles(chronological_);
+    writer.f64(cachedBound_.value);
+    writer.i64(missRun_);
+    writer.i64(runThreshold_);
+    writer.u64(trimCount_);
+    return Unit{};
+}
+
+Expected<Unit>
+BmbpPredictor::loadState(persist::StateReader &reader)
+{
+    if (auto ok = persist::readStateHeader(reader, name(),
+                                           kBmbpStateVersion);
+        !ok.ok())
+        return ok.error();
+
+    auto quantile = reader.f64();
+    auto confidence = reader.f64();
+    auto trimming = reader.u8();
+    auto run_override = reader.i64();
+    auto max_history = reader.u64();
+    auto history = reader.doubles();
+    auto bound = reader.f64();
+    auto miss_run = reader.i64();
+    auto run_threshold = reader.i64();
+    auto trim_count = reader.u64();
+    for (const ParseError *error :
+         {quantile.errorIf(), confidence.errorIf(), trimming.errorIf(),
+          run_override.errorIf(), max_history.errorIf(),
+          history.errorIf(), bound.errorIf(), miss_run.errorIf(),
+          run_threshold.errorIf(), trim_count.errorIf()}) {
+        if (error)
+            return *error;
+    }
+    if (quantile.value() != config_.quantile ||
+        confidence.value() != config_.confidence ||
+        (trimming.value() != 0) != config_.trimmingEnabled ||
+        run_override.value() != config_.runThresholdOverride ||
+        static_cast<size_t>(max_history.value()) != config_.maxHistory) {
+        return ParseError{"", 0, "config",
+                          "state was saved by a differently-configured "
+                          "bmbp instance"};
+    }
+
+    // Everything parsed; commit (transactional contract of loadState).
+    chronological_.assign(history.value().begin(), history.value().end());
+    sorted_.assign(std::move(history).value());
+    boundIndex_ =
+        stats::BoundIndexCache(config_.quantile, config_.confidence);
+    cachedBound_.value = bound.value();
+    missRun_ = static_cast<int>(miss_run.value());
+    runThreshold_ = static_cast<int>(run_threshold.value());
+    trimCount_ = static_cast<size_t>(trim_count.value());
+    return Unit{};
 }
 
 void

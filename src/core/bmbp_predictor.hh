@@ -76,6 +76,8 @@ class BmbpPredictor : public Predictor
     QuantileEstimate boundAt(double q, bool upper) const override;
     void finalizeTraining() override;
     size_t historySize() const override { return chronological_.size(); }
+    Expected<Unit> saveState(persist::StateWriter &writer) const override;
+    Expected<Unit> loadState(persist::StateReader &reader) override;
 
     /** Run-length threshold currently in force. */
     int runThreshold() const { return runThreshold_; }

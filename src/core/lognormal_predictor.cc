@@ -8,6 +8,7 @@
 #include <cmath>
 #include <vector>
 
+#include "persist/state_codec.hh"
 #include "stats/descriptive.hh"
 #include "stats/quantile_bounds.hh"
 #include "stats/special_functions.hh"
@@ -130,6 +131,84 @@ LogNormalPredictor::finalizeTraining()
     }
     const RareEventTable &table = table_ ? *table_ : *ownedTable_;
     runThreshold_ = table.threshold(rho);
+}
+
+namespace {
+
+/** Bumped when the log-normal state payload changes incompatibly. */
+constexpr uint32_t kLogNormalStateVersion = 1;
+
+} // namespace
+
+Expected<Unit>
+LogNormalPredictor::saveState(persist::StateWriter &writer) const
+{
+    persist::writeStateHeader(writer, name(), kLogNormalStateVersion);
+    writer.f64(config_.quantile);
+    writer.f64(config_.confidence);
+    writer.u8(config_.trimmingEnabled ? 1 : 0);
+    writer.f64(config_.epsilonSeconds);
+    writer.i64(config_.runThresholdOverride);
+    // The running sums are stored in their exact rounding state, not
+    // recomputed on load: rebuilding them from logs_ could land on a
+    // different floating-point result than the uninterrupted run.
+    writer.doubles(logs_);
+    writer.f64(sum_);
+    writer.f64(sumSq_);
+    writer.f64(cachedBound_.value);
+    writer.i64(missRun_);
+    writer.i64(runThreshold_);
+    writer.u64(trimCount_);
+    return Unit{};
+}
+
+Expected<Unit>
+LogNormalPredictor::loadState(persist::StateReader &reader)
+{
+    if (auto ok = persist::readStateHeader(reader, name(),
+                                           kLogNormalStateVersion);
+        !ok.ok())
+        return ok.error();
+
+    auto quantile = reader.f64();
+    auto confidence = reader.f64();
+    auto trimming = reader.u8();
+    auto epsilon = reader.f64();
+    auto run_override = reader.i64();
+    auto logs = reader.doubles();
+    auto sum = reader.f64();
+    auto sum_sq = reader.f64();
+    auto bound = reader.f64();
+    auto miss_run = reader.i64();
+    auto run_threshold = reader.i64();
+    auto trim_count = reader.u64();
+    for (const ParseError *error :
+         {quantile.errorIf(), confidence.errorIf(), trimming.errorIf(),
+          epsilon.errorIf(), run_override.errorIf(), logs.errorIf(),
+          sum.errorIf(), sum_sq.errorIf(), bound.errorIf(),
+          miss_run.errorIf(), run_threshold.errorIf(),
+          trim_count.errorIf()}) {
+        if (error)
+            return *error;
+    }
+    if (quantile.value() != config_.quantile ||
+        confidence.value() != config_.confidence ||
+        (trimming.value() != 0) != config_.trimmingEnabled ||
+        epsilon.value() != config_.epsilonSeconds ||
+        run_override.value() != config_.runThresholdOverride) {
+        return ParseError{"", 0, "config",
+                          "state was saved by a differently-configured " +
+                              name() + " instance"};
+    }
+
+    logs_.assign(logs.value().begin(), logs.value().end());
+    sum_ = sum.value();
+    sumSq_ = sum_sq.value();
+    cachedBound_.value = bound.value();
+    missRun_ = static_cast<int>(miss_run.value());
+    runThreshold_ = static_cast<int>(run_threshold.value());
+    trimCount_ = static_cast<size_t>(trim_count.value());
+    return Unit{};
 }
 
 void

@@ -60,6 +60,8 @@ class LogNormalPredictor : public Predictor
     QuantileEstimate boundAt(double q, bool upper) const override;
     void finalizeTraining() override;
     size_t historySize() const override { return logs_.size(); }
+    Expected<Unit> saveState(persist::StateWriter &writer) const override;
+    Expected<Unit> loadState(persist::StateReader &reader) override;
 
     /** Number of change points detected (Trim variant only). */
     size_t trimCount() const { return trimCount_; }

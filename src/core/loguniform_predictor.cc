@@ -6,9 +6,19 @@
 #include "core/loguniform_predictor.hh"
 
 #include <cmath>
+#include <vector>
+
+#include "persist/state_codec.hh"
 
 namespace qdel {
 namespace core {
+
+namespace {
+
+/** Bumped when the log-uniform state payload changes incompatibly. */
+constexpr uint32_t kLogUniformStateVersion = 1;
+
+} // namespace
 
 LogUniformPredictor::LogUniformPredictor(LogUniformConfig config)
     : config_(config)
@@ -46,6 +56,54 @@ LogUniformPredictor::boundAt(double q, bool upper) const
 {
     (void)upper;  // point estimate: no one-sided confidence semantics
     return computeAt(q);
+}
+
+Expected<Unit>
+LogUniformPredictor::saveState(persist::StateWriter &writer) const
+{
+    persist::writeStateHeader(writer, name(), kLogUniformStateVersion);
+    writer.f64(config_.quantile);
+    writer.f64(config_.robustFraction);
+    writer.f64(config_.epsilonSeconds);
+    writer.u64(config_.maxHistory);
+    writer.doubles(chronological_);
+    writer.f64(cachedBound_.value);
+    return Unit{};
+}
+
+Expected<Unit>
+LogUniformPredictor::loadState(persist::StateReader &reader)
+{
+    if (auto ok = persist::readStateHeader(reader, name(),
+                                           kLogUniformStateVersion);
+        !ok.ok())
+        return ok.error();
+
+    auto quantile = reader.f64();
+    auto robust = reader.f64();
+    auto epsilon = reader.f64();
+    auto max_history = reader.u64();
+    auto history = reader.doubles();
+    auto bound = reader.f64();
+    for (const ParseError *error :
+         {quantile.errorIf(), robust.errorIf(), epsilon.errorIf(),
+          max_history.errorIf(), history.errorIf(), bound.errorIf()}) {
+        if (error)
+            return *error;
+    }
+    if (quantile.value() != config_.quantile ||
+        robust.value() != config_.robustFraction ||
+        epsilon.value() != config_.epsilonSeconds ||
+        static_cast<size_t>(max_history.value()) != config_.maxHistory) {
+        return ParseError{"", 0, "config",
+                          "state was saved by a differently-configured "
+                          "loguniform instance"};
+    }
+
+    chronological_.assign(history.value().begin(), history.value().end());
+    sorted_.assign(std::move(history).value());
+    cachedBound_.value = bound.value();
+    return Unit{};
 }
 
 QuantileEstimate

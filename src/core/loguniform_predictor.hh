@@ -52,6 +52,8 @@ class LogUniformPredictor : public Predictor
     QuantileEstimate upperBound() const override;
     QuantileEstimate boundAt(double q, bool upper) const override;
     size_t historySize() const override { return chronological_.size(); }
+    Expected<Unit> saveState(persist::StateWriter &writer) const override;
+    Expected<Unit> loadState(persist::StateReader &reader) override;
 
   private:
     QuantileEstimate computeAt(double q) const;

@@ -6,9 +6,19 @@
 #include "core/percentile_predictor.hh"
 
 #include <cmath>
+#include <vector>
+
+#include "persist/state_codec.hh"
 
 namespace qdel {
 namespace core {
+
+namespace {
+
+/** Bumped when the percentile state payload changes incompatibly. */
+constexpr uint32_t kPercentileStateVersion = 1;
+
+} // namespace
 
 PercentilePredictor::PercentilePredictor(double quantile, size_t max_history)
     : quantile_(quantile), maxHistory_(max_history)
@@ -45,6 +55,48 @@ PercentilePredictor::boundAt(double q, bool upper) const
 {
     (void)upper;  // No confidence machinery: same value either side.
     return computeAt(q);
+}
+
+Expected<Unit>
+PercentilePredictor::saveState(persist::StateWriter &writer) const
+{
+    persist::writeStateHeader(writer, name(), kPercentileStateVersion);
+    writer.f64(quantile_);
+    writer.u64(maxHistory_);
+    writer.doubles(chronological_);
+    writer.f64(cachedBound_.value);
+    return Unit{};
+}
+
+Expected<Unit>
+PercentilePredictor::loadState(persist::StateReader &reader)
+{
+    if (auto ok = persist::readStateHeader(reader, name(),
+                                           kPercentileStateVersion);
+        !ok.ok())
+        return ok.error();
+
+    auto quantile = reader.f64();
+    auto max_history = reader.u64();
+    auto history = reader.doubles();
+    auto bound = reader.f64();
+    for (const ParseError *error :
+         {quantile.errorIf(), max_history.errorIf(), history.errorIf(),
+          bound.errorIf()}) {
+        if (error)
+            return *error;
+    }
+    if (quantile.value() != quantile_ ||
+        static_cast<size_t>(max_history.value()) != maxHistory_) {
+        return ParseError{"", 0, "config",
+                          "state was saved by a differently-configured "
+                          "percentile instance"};
+    }
+
+    chronological_.assign(history.value().begin(), history.value().end());
+    sorted_.assign(std::move(history).value());
+    cachedBound_.value = bound.value();
+    return Unit{};
 }
 
 QuantileEstimate

@@ -28,5 +28,23 @@ Predictor::finalizeTraining()
 {
 }
 
+Expected<Unit>
+Predictor::saveState(persist::StateWriter &writer) const
+{
+    (void)writer;
+    return ParseError{"", 0, "saveState",
+                      "predictor '" + name() +
+                          "' does not support state persistence"};
+}
+
+Expected<Unit>
+Predictor::loadState(persist::StateReader &reader)
+{
+    (void)reader;
+    return ParseError{"", 0, "loadState",
+                      "predictor '" + name() +
+                          "' does not support state persistence"};
+}
+
 } // namespace core
 } // namespace qdel

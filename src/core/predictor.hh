@@ -23,7 +23,15 @@
 #include <string>
 #include <utility>
 
+#include "util/expected.hh"
+
 namespace qdel {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace core {
 
 /** A one-sided confidence bound on a wait-time quantile. */
@@ -108,6 +116,27 @@ class Predictor
 
     /** Number of wait times currently in the visible history. */
     virtual size_t historySize() const = 0;
+
+    /**
+     * Serialize the complete mutable state — everything needed so that
+     * a loadState()ed instance continues *bit-identically* (history,
+     * cached bounds, change-point run counters, running sums in their
+     * exact rounding state). Configuration is echoed into the payload
+     * and verified by loadState(), which refuses to restore into an
+     * instance configured differently.
+     *
+     * Default: unsupported (an error naming the method); predictors
+     * opt in by overriding both hooks.
+     */
+    virtual Expected<Unit> saveState(persist::StateWriter &writer) const;
+
+    /**
+     * Restore state written by saveState() on an equally-configured
+     * instance. Transactional: on error the instance is unchanged
+     * (implementations parse into locals and commit last), so recovery
+     * can fall back to an older snapshot on the same object.
+     */
+    virtual Expected<Unit> loadState(persist::StateReader &reader);
 };
 
 } // namespace core

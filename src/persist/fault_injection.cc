@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Implementation of the deterministic fault-injection hook.
+ */
+
+#include "persist/fault_injection.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace qdel {
+namespace fault {
+
+namespace {
+
+struct State
+{
+    std::mutex mutex;
+    Plan plan;
+    bool envChecked = false;
+    bool armed = false;      //!< triggerOp reached; fire at next match.
+    bool fired = false;      //!< The one-shot fault has fired.
+    bool crashed = false;
+    std::atomic<uint64_t> ops{0};
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+/** SplitMix64: one deterministic 64-bit mix for lengths/positions. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+bool
+matchesOp(Kind kind, detail::Op op)
+{
+    switch (kind) {
+    case Kind::FailOpen:
+        return op == detail::Op::Open;
+    case Kind::ShortWrite:
+    case Kind::TornWrite:
+    case Kind::BitFlip:
+    case Kind::ENoSpc:
+        return op == detail::Op::Write;
+    case Kind::FailFsync:
+        return op == detail::Op::Fsync;
+    case Kind::CrashBeforeRename:
+    case Kind::FailRename:
+        return op == detail::Op::Rename;
+    case Kind::None:
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+configure(const Plan &plan)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.plan = plan;
+    s.envChecked = true;  // explicit configuration overrides the env
+    s.armed = false;
+    s.fired = false;
+    s.crashed = false;
+    s.ops.store(0, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    configure(Plan{});
+}
+
+bool
+enabled()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.plan.kind != Kind::None;
+}
+
+uint64_t
+opCount()
+{
+    return state().ops.load(std::memory_order_relaxed);
+}
+
+bool
+crashed()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.crashed;
+}
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::None:
+        return "none";
+    case Kind::FailOpen:
+        return "fail-open";
+    case Kind::ShortWrite:
+        return "short-write";
+    case Kind::TornWrite:
+        return "torn-write";
+    case Kind::BitFlip:
+        return "bit-flip";
+    case Kind::ENoSpc:
+        return "enospc";
+    case Kind::FailFsync:
+        return "fail-fsync";
+    case Kind::CrashBeforeRename:
+        return "crash-before-rename";
+    case Kind::FailRename:
+        return "fail-rename";
+    }
+    return "none";
+}
+
+bool
+parseKind(const std::string &text, Kind *out)
+{
+    static constexpr Kind kAll[] = {
+        Kind::None,           Kind::FailOpen,   Kind::ShortWrite,
+        Kind::TornWrite,      Kind::BitFlip,    Kind::ENoSpc,
+        Kind::FailFsync,      Kind::CrashBeforeRename,
+        Kind::FailRename,
+    };
+    for (Kind kind : kAll) {
+        if (text == kindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+Plan
+planFromEnv()
+{
+    Plan plan;
+    const char *kind_env = std::getenv("QDEL_FAULT_KIND");
+    if (!kind_env || !parseKind(kind_env, &plan.kind))
+        return Plan{};
+    if (const char *op_env = std::getenv("QDEL_FAULT_OP")) {
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(op_env, &end, 10);
+        if (end != op_env && *end == '\0')
+            plan.triggerOp = parsed;
+    }
+    if (const char *seed_env = std::getenv("QDEL_FAULT_SEED")) {
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(seed_env, &end, 10);
+        if (end != seed_env && *end == '\0')
+            plan.seed = parsed;
+    }
+    return plan;
+}
+
+namespace detail {
+
+Outcome
+onOp(Op op, size_t write_len)
+{
+    State &s = state();
+    const uint64_t index = s.ops.fetch_add(1, std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.envChecked) {
+        s.envChecked = true;
+        s.plan = planFromEnv();
+    }
+
+    Outcome outcome;
+    if (s.crashed) {
+        // The process is "dead": nothing persists any more.
+        outcome.crash = true;
+        outcome.partial = true;
+        outcome.partialBytes = 0;
+        outcome.reason = "process already crashed (fault injection)";
+        return outcome;
+    }
+    if (s.plan.kind == Kind::None || s.fired)
+        return outcome;
+
+    if (index >= s.plan.triggerOp)
+        s.armed = true;
+    if (!s.armed || !matchesOp(s.plan.kind, op))
+        return outcome;
+
+    s.fired = true;
+    const uint64_t h = mix(s.plan.seed ^ (index * 0x9e3779b97f4a7c15ULL));
+    switch (s.plan.kind) {
+    case Kind::FailOpen:
+        outcome.fail = true;
+        outcome.reason = "simulated open failure";
+        break;
+    case Kind::ShortWrite:
+        outcome.crash = true;
+        outcome.partial = true;
+        outcome.partialBytes = write_len > 0 ? h % write_len : 0;
+        outcome.reason = "simulated short write + crash";
+        s.crashed = true;
+        break;
+    case Kind::TornWrite:
+        outcome.partial = true;
+        outcome.partialBytes = write_len > 0 ? h % write_len : 0;
+        outcome.reason = "simulated torn write";
+        break;
+    case Kind::BitFlip:
+        outcome.corrupt = write_len > 0;
+        outcome.corruptIndex = write_len > 0 ? h % write_len : 0;
+        outcome.corruptMask =
+            static_cast<uint8_t>(1u << (mix(h) % 8));
+        outcome.reason = "simulated bit flip";
+        break;
+    case Kind::ENoSpc:
+        outcome.fail = true;
+        outcome.reason = "simulated ENOSPC";
+        break;
+    case Kind::FailFsync:
+        outcome.fail = true;
+        outcome.reason = "simulated fsync failure";
+        break;
+    case Kind::CrashBeforeRename:
+        outcome.crash = true;
+        outcome.reason = "simulated crash before rename";
+        s.crashed = true;
+        break;
+    case Kind::FailRename:
+        outcome.fail = true;
+        outcome.reason = "simulated rename failure";
+        break;
+    case Kind::None:
+        break;
+    }
+    return outcome;
+}
+
+} // namespace detail
+} // namespace fault
+} // namespace qdel

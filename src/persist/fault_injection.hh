@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic fault injection for the persistence I/O path.
+ *
+ * Every durable operation the persist layer performs (open, write,
+ * fsync, rename) consults a single hook before touching the file
+ * system. When a fault plan is armed, the Nth matching operation
+ * misbehaves in one precisely defined way — a short write followed by
+ * simulated process death, a torn write that lies about success, a
+ * silent bit flip, ENOSPC, a failed fsync/rename, or death between the
+ * temp-file write and the publishing rename. Everything is driven by a
+ * seeded counter, so a failing fault point is a single (kind, op,
+ * seed) triple that replays exactly.
+ *
+ * The crash-recovery property tests sweep the op index across a whole
+ * checkpoint/WAL workload and assert that recovery always lands on a
+ * consistent prefix state. Faults can also be armed from the
+ * environment (QDEL_FAULT_KIND / QDEL_FAULT_OP / QDEL_FAULT_SEED) so
+ * CI can kill a real qdel_predict run mid-checkpoint and resume it.
+ *
+ * When no plan is armed the hook is one relaxed atomic increment —
+ * cheap enough to leave compiled into production builds.
+ */
+
+#ifndef QDEL_PERSIST_FAULT_INJECTION_HH
+#define QDEL_PERSIST_FAULT_INJECTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qdel {
+namespace fault {
+
+/** The fault repertoire; see file comment for semantics. */
+enum class Kind {
+    None,               //!< Disabled.
+    FailOpen,           //!< open() reports an error; process continues.
+    ShortWrite,         //!< Prefix of the buffer persisted, then death.
+    TornWrite,          //!< Prefix persisted but success reported.
+    BitFlip,            //!< One bit flipped in the buffer; "succeeds".
+    ENoSpc,             //!< write() fails with no bytes written.
+    FailFsync,          //!< fsync() reports an error; data stays.
+    CrashBeforeRename,  //!< Death after temp write, before rename.
+    FailRename,         //!< rename() reports an error; process continues.
+};
+
+/** A fully reproducible fault: fire @p kind at op index @p triggerOp. */
+struct Plan
+{
+    Kind kind = Kind::None;
+    /**
+     * Global persistence-op index at which the fault arms. The fault
+     * fires at the first op *of a matching type* whose index is
+     * >= triggerOp, so a sweep over [0, opCount) hits every window.
+     */
+    uint64_t triggerOp = 0;
+    /** Seed for the partial-write length and bit-flip position. */
+    uint64_t seed = 1;
+};
+
+/** Arm @p plan and reset the op counter and crashed flag. */
+void configure(const Plan &plan);
+
+/** Disarm, reset the op counter and the crashed flag. */
+void reset();
+
+/** @return true when a plan with kind != None is armed. */
+bool enabled();
+
+/** Number of persistence ops hooked since the last configure/reset. */
+uint64_t opCount();
+
+/**
+ * @return true once a death-simulating fault (ShortWrite,
+ * CrashBeforeRename) has fired; from then on every persistence op
+ * fails instantly, modeling a process that no longer exists. Cleared
+ * by configure()/reset() — the "restarted" process.
+ */
+bool crashed();
+
+/** Canonical name of @p kind (the QDEL_FAULT_KIND spelling). */
+const char *kindName(Kind kind);
+
+/**
+ * Parse a QDEL_FAULT_KIND spelling ("short-write", "bit-flip", ...).
+ * @return true and set @p out on success.
+ */
+bool parseKind(const std::string &text, Kind *out);
+
+/**
+ * Build a plan from QDEL_FAULT_KIND / QDEL_FAULT_OP / QDEL_FAULT_SEED.
+ * Unset or unparsable variables yield a disabled plan. The hook arms
+ * this automatically on first use unless configure() ran first.
+ */
+Plan planFromEnv();
+
+namespace detail {
+
+/** The operation classes the persist layer reports. */
+enum class Op { Open, Write, Fsync, Rename };
+
+/** What the hooked operation must do. */
+struct Outcome
+{
+    bool crash = false;        //!< Simulated death at this op.
+    bool fail = false;         //!< Report an error; process continues.
+    bool partial = false;      //!< Write only partialBytes bytes.
+    size_t partialBytes = 0;
+    bool corrupt = false;      //!< Flip corruptMask in byte corruptIndex.
+    size_t corruptIndex = 0;
+    uint8_t corruptMask = 0;
+    const char *reason = nullptr;  //!< Set when a fault fired.
+};
+
+/**
+ * Consult the fault plan for one persistence op. Counts the op,
+ * arms the env plan on first call, and returns what the caller must
+ * do. @p write_len is the buffer length for Op::Write, 0 otherwise.
+ */
+Outcome onOp(Op op, size_t write_len);
+
+} // namespace detail
+} // namespace fault
+} // namespace qdel
+
+#endif // QDEL_PERSIST_FAULT_INJECTION_HH

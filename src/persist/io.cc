@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Implementation of the durable file primitives.
+ */
+
+#include "persist/io.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "persist/fault_injection.hh"
+
+namespace qdel {
+namespace persist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Build the CRC-32 (reflected polynomial 0xEDB88320) lookup table. */
+std::array<uint32_t, 256>
+buildCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t value = i;
+        for (int bit = 0; bit < 8; ++bit)
+            value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
+        table[i] = value;
+    }
+    return table;
+}
+
+ParseError
+ioError(const std::string &path, const std::string &op,
+        const std::string &reason)
+{
+    return ParseError{path, 0, op, reason};
+}
+
+ParseError
+errnoError(const std::string &path, const std::string &op)
+{
+    return ioError(path, op, std::strerror(errno));
+}
+
+ParseError
+faultError(const std::string &path, const std::string &op,
+           const char *reason)
+{
+    return ioError(path, op,
+                   std::string(reason ? reason : "injected fault") +
+                       " (fault injection)");
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t crc)
+{
+    static const std::array<uint32_t, 256> table = buildCrcTable();
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+    return ~crc;
+}
+
+FileWriter::~FileWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);  // no sync: destruction models process death
+}
+
+FileWriter::FileWriter(FileWriter &&other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_))
+{
+    other.fd_ = -1;
+}
+
+FileWriter &
+FileWriter::operator=(FileWriter &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = other.fd_;
+        path_ = std::move(other.path_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Expected<FileWriter>
+FileWriter::create(const std::string &path)
+{
+    const auto outcome = fault::detail::onOp(fault::detail::Op::Open, 0);
+    if (outcome.crash || outcome.fail)
+        return faultError(path, "open", outcome.reason);
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        return errnoError(path, "open");
+    FileWriter writer;
+    writer.fd_ = fd;
+    writer.path_ = path;
+    return writer;
+}
+
+Expected<Unit>
+FileWriter::writeAll(const void *data, size_t len)
+{
+    if (fd_ < 0)
+        panic("FileWriter::writeAll on a closed file");
+    const auto outcome = fault::detail::onOp(fault::detail::Op::Write, len);
+    if (outcome.fail)
+        return faultError(path_, "write", outcome.reason);
+
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    std::string corrupted;
+    if (outcome.corrupt && len > 0) {
+        corrupted.assign(reinterpret_cast<const char *>(bytes), len);
+        corrupted[outcome.corruptIndex] = static_cast<char>(
+            static_cast<uint8_t>(corrupted[outcome.corruptIndex]) ^
+            outcome.corruptMask);
+        bytes = reinterpret_cast<const uint8_t *>(corrupted.data());
+    }
+
+    size_t to_write = outcome.partial ? outcome.partialBytes : len;
+    if (to_write > len)
+        to_write = len;
+    size_t written = 0;
+    while (written < to_write) {
+        const ssize_t n = ::write(fd_, bytes + written,
+                                  to_write - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoError(path_, "write");
+        }
+        written += static_cast<size_t>(n);
+    }
+    if (outcome.crash)
+        return faultError(path_, "write", outcome.reason);
+    if (outcome.partial && !outcome.crash) {
+        // Torn write: the data is short on disk but the caller is
+        // told everything went fine — recovery must catch it later.
+        return Unit{};
+    }
+    return Unit{};
+}
+
+Expected<Unit>
+FileWriter::sync()
+{
+    if (fd_ < 0)
+        panic("FileWriter::sync on a closed file");
+    const auto outcome = fault::detail::onOp(fault::detail::Op::Fsync, 0);
+    if (outcome.crash || outcome.fail)
+        return faultError(path_, "fsync", outcome.reason);
+    if (::fsync(fd_) != 0)
+        return errnoError(path_, "fsync");
+    return Unit{};
+}
+
+Expected<Unit>
+FileWriter::close()
+{
+    if (fd_ < 0)
+        return Unit{};
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0)
+        return errnoError(path_, "close");
+    return Unit{};
+}
+
+Expected<Unit>
+atomicRename(const std::string &from, const std::string &to)
+{
+    const auto outcome = fault::detail::onOp(fault::detail::Op::Rename, 0);
+    if (outcome.crash || outcome.fail)
+        return faultError(to, "rename", outcome.reason);
+    if (::rename(from.c_str(), to.c_str()) != 0)
+        return errnoError(to, "rename");
+    return Unit{};
+}
+
+Expected<Unit>
+syncDirectory(const std::string &dir)
+{
+    const auto outcome = fault::detail::onOp(fault::detail::Op::Fsync, 0);
+    if (outcome.crash || outcome.fail)
+        return faultError(dir, "fsync-dir", outcome.reason);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return Unit{};  // not syncable here; best effort
+    ::fsync(fd);
+    ::close(fd);
+    return Unit{};
+}
+
+Expected<Unit>
+atomicWriteFile(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    auto writer = FileWriter::create(tmp);
+    if (!writer.ok())
+        return writer.error();
+    if (auto ok = writer.value().writeAll(bytes.data(), bytes.size());
+        !ok.ok())
+        return ok.error();
+    if (auto ok = writer.value().sync(); !ok.ok())
+        return ok.error();
+    if (auto ok = writer.value().close(); !ok.ok())
+        return ok.error();
+    if (auto ok = atomicRename(tmp, path); !ok.ok())
+        return ok.error();
+    return syncDirectory(fs::path(path).parent_path().string());
+}
+
+Expected<std::string>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return ioError(path, "read", "cannot open file");
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad())
+        return ioError(path, "read", "read failed");
+    return bytes;
+}
+
+Expected<Unit>
+ensureDirectory(const std::string &path)
+{
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec)
+        return ioError(path, "mkdir", ec.message());
+    if (!fs::is_directory(path))
+        return ioError(path, "mkdir", "exists but is not a directory");
+    return Unit{};
+}
+
+Expected<std::vector<std::string>>
+listDirectory(const std::string &dir)
+{
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        names.push_back(entry.path().filename().string());
+    }
+    if (ec)
+        return ioError(dir, "list", ec.message());
+    return names;
+}
+
+Expected<Unit>
+removeFile(const std::string &path)
+{
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (ec)
+        return ioError(path, "remove", ec.message());
+    return Unit{};
+}
+
+bool
+pathExists(const std::string &path)
+{
+    std::error_code ec;
+    return fs::exists(path, ec);
+}
+
+} // namespace persist
+} // namespace qdel

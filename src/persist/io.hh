@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Durable file primitives for the persistence layer: CRC32, a POSIX
+ * file writer whose every open/write/fsync/rename passes through the
+ * qdel::fault hooks, and the atomic write-temp + fsync + rename
+ * publication pattern that keeps snapshots all-or-nothing.
+ *
+ * Reads are deliberately *not* fault-hooked: recovery runs in the
+ * healthy restarted process, and corruption reaches it through what
+ * the faulty writer left on disk.
+ */
+
+#ifndef QDEL_PERSIST_IO_HH
+#define QDEL_PERSIST_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expected.hh"
+
+namespace qdel {
+namespace persist {
+
+/**
+ * Standard CRC-32 (IEEE 802.3, reflected, as used by zip/png):
+ * crc32("123456789") == 0xCBF43926. Chain calls by passing the
+ * previous result as @p crc.
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t crc = 0);
+
+/**
+ * Move-only owning wrapper of a write-mode file descriptor. All
+ * mutating calls consult the fault hooks; see the file comment of
+ * fault_injection.hh for the repertoire. The destructor closes the
+ * descriptor without syncing — exactly what process death does — so
+ * durability is only ever claimed by an explicit sync().
+ */
+class FileWriter
+{
+  public:
+    FileWriter() = default;
+    ~FileWriter();
+    FileWriter(FileWriter &&other) noexcept;
+    FileWriter &operator=(FileWriter &&other) noexcept;
+    FileWriter(const FileWriter &) = delete;
+    FileWriter &operator=(const FileWriter &) = delete;
+
+    /** Open @p path for writing, creating or truncating it. */
+    static Expected<FileWriter> create(const std::string &path);
+
+    /** Write all @p len bytes (or fail/crash per the fault plan). */
+    Expected<Unit> writeAll(const void *data, size_t len);
+
+    /** fsync() the descriptor. */
+    Expected<Unit> sync();
+
+    /** Close the descriptor (no implicit sync). */
+    Expected<Unit> close();
+
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/** rename(@p from, @p to) through the fault hooks. */
+Expected<Unit> atomicRename(const std::string &from, const std::string &to);
+
+/**
+ * Best-effort fsync of a directory so a just-renamed entry survives
+ * power loss. Counted as a fault-hook fsync op; real-OS failures
+ * (e.g. directories not syncable on this file system) are ignored.
+ */
+Expected<Unit> syncDirectory(const std::string &dir);
+
+/**
+ * Publish @p bytes at @p path atomically: write "<path>.tmp", fsync,
+ * rename over @p path, fsync the directory. A crash at any point
+ * leaves either the old file or the new one, never a mix.
+ */
+Expected<Unit> atomicWriteFile(const std::string &path,
+                               const std::string &bytes);
+
+/** Slurp a whole file (not fault-hooked; used by recovery). */
+Expected<std::string> readFileBytes(const std::string &path);
+
+/** Create @p path (and missing parents) as a directory. */
+Expected<Unit> ensureDirectory(const std::string &path);
+
+/** Plain file names (not paths) inside @p dir, unsorted. */
+Expected<std::vector<std::string>> listDirectory(const std::string &dir);
+
+/** Delete one file; missing files are not an error. */
+Expected<Unit> removeFile(const std::string &path);
+
+/** @return true when @p path exists (any type). */
+bool pathExists(const std::string &path);
+
+} // namespace persist
+} // namespace qdel
+
+#endif // QDEL_PERSIST_IO_HH

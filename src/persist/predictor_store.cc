@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Implementation of the crash-safe predictor wrapper.
+ */
+
+#include "persist/predictor_store.hh"
+
+#include "persist/state_codec.hh"
+
+namespace qdel {
+namespace persist {
+
+Expected<PredictorStore>
+PredictorStore::open(const PredictorStoreConfig &config,
+                     core::Predictor *predictor)
+{
+    if (!predictor)
+        panic("PredictorStore::open with a null predictor");
+    if (auto valid = config.validate(); !valid.ok())
+        return valid.error();
+
+    auto manager = CheckpointManager::open(config.checkpoint);
+    if (!manager.ok())
+        return manager.error();
+
+    PredictorStore store;
+    store.config_ = config;
+    store.predictor_ = predictor;
+    store.manager_.emplace(std::move(manager).value());
+
+    if (store.manager_->hasExistingState()) {
+        auto report = recoverState(
+            config.checkpoint,
+            [predictor](const std::string &payload) -> Expected<Unit> {
+                StateReader reader(payload, "snapshot");
+                if (auto ok = predictor->loadState(reader); !ok.ok())
+                    return ok.error();
+                return reader.expectEnd();
+            },
+            [predictor](const WalRecord &record) -> Expected<Unit> {
+                switch (record.type) {
+                case WalRecordType::Observation:
+                    predictor->observe(record.value);
+                    break;
+                case WalRecordType::Refit:
+                    predictor->refit();
+                    break;
+                case WalRecordType::FinalizeTraining:
+                    predictor->finalizeTraining();
+                    break;
+                }
+                return Unit{};
+            });
+        if (!report.ok())
+            return report.error();
+        store.recovery_ = std::move(report).value();
+        // Re-checkpoint immediately: the recovered state becomes a
+        // fresh snapshot generation, and logging continues into a
+        // fresh WAL segment instead of a possibly-torn one.
+        if (auto ok = store.checkpoint(); !ok.ok())
+            return ok.error();
+    } else {
+        store.recovery_.notes.push_back("pristine checkpoint directory");
+        if (auto ok = store.manager_->startWal(); !ok.ok())
+            return ok.error();
+    }
+    return store;
+}
+
+Expected<Unit>
+PredictorStore::logThenApply(const WalRecord &record)
+{
+    if (auto ok = manager_->appendRecord(record); !ok.ok())
+        return ok.error();
+    switch (record.type) {
+    case WalRecordType::Observation:
+        predictor_->observe(record.value);
+        break;
+    case WalRecordType::Refit:
+        predictor_->refit();
+        break;
+    case WalRecordType::FinalizeTraining:
+        predictor_->finalizeTraining();
+        break;
+    }
+    ++recordsSinceCheckpoint_;
+    if (config_.checkpointEveryRecords > 0 &&
+        recordsSinceCheckpoint_ >= config_.checkpointEveryRecords)
+        return checkpoint();
+    return Unit{};
+}
+
+Expected<Unit>
+PredictorStore::observe(double wait_seconds)
+{
+    return logThenApply({WalRecordType::Observation, wait_seconds});
+}
+
+Expected<Unit>
+PredictorStore::refit()
+{
+    return logThenApply({WalRecordType::Refit, 0.0});
+}
+
+Expected<Unit>
+PredictorStore::finalizeTraining()
+{
+    return logThenApply({WalRecordType::FinalizeTraining, 0.0});
+}
+
+Expected<Unit>
+PredictorStore::checkpoint()
+{
+    StateWriter writer;
+    if (auto ok = predictor_->saveState(writer); !ok.ok())
+        return ok.error();
+    if (auto ok = manager_->checkpoint(writer.take()); !ok.ok())
+        return ok.error();
+    recordsSinceCheckpoint_ = 0;
+    return Unit{};
+}
+
+Expected<Unit>
+PredictorStore::sync()
+{
+    return manager_->sync();
+}
+
+} // namespace persist
+} // namespace qdel

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Crash-safe wrapper around a live Predictor: every mutation is
+ * WAL-logged before it is applied, full snapshots are taken on a
+ * configurable cadence, and open() runs the recovery ladder so a
+ * restarted process resumes from a consistent prefix of the history it
+ * had accumulated.
+ *
+ * Ordering contract: the WAL record is appended *before* the predictor
+ * mutates, so after a crash the recovered state is either the
+ * pre-mutation or the post-mutation state of the record being written —
+ * never a mix. (A record that was logged but whose mutation never ran
+ * is replayed on recovery, which lands on the post-state; that is the
+ * "pre or post" property the fault-injection tests verify.)
+ */
+
+#ifndef QDEL_PERSIST_PREDICTOR_STORE_HH
+#define QDEL_PERSIST_PREDICTOR_STORE_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "core/predictor.hh"
+#include "persist/checkpoint.hh"
+#include "util/expected.hh"
+
+namespace qdel {
+namespace persist {
+
+/** Persistence cadence for a PredictorStore. */
+struct PredictorStoreConfig
+{
+    CheckpointConfig checkpoint;
+    /**
+     * Take a full snapshot automatically every this many WAL records;
+     * 0 = only when checkpoint() is called explicitly.
+     */
+    size_t checkpointEveryRecords = 0;
+
+    Expected<Unit> validate() const { return checkpoint.validate(); }
+};
+
+/**
+ * Binds a Predictor (not owned; must outlive the store and support
+ * saveState/loadState) to a checkpoint directory.
+ */
+class PredictorStore
+{
+  public:
+    /**
+     * Open the directory, run the recovery ladder against
+     * @p predictor, and leave the store ready to log: a recovered or
+     * dirty directory is immediately re-checkpointed (fresh snapshot +
+     * fresh WAL segment), a pristine one starts wal-0.
+     */
+    static Expected<PredictorStore> open(const PredictorStoreConfig &config,
+                                         core::Predictor *predictor);
+
+    PredictorStore(PredictorStore &&) = default;
+    PredictorStore &operator=(PredictorStore &&) = default;
+
+    /** What the recovery ladder did during open(). */
+    const RecoveryReport &recovery() const { return recovery_; }
+
+    /** WAL-log then apply one observation. */
+    Expected<Unit> observe(double wait_seconds);
+
+    /** WAL-log then apply a refit epoch. */
+    Expected<Unit> refit();
+
+    /** WAL-log then apply the finalize-training transition. */
+    Expected<Unit> finalizeTraining();
+
+    /** Snapshot the predictor now and rotate the WAL. */
+    Expected<Unit> checkpoint();
+
+    /** fsync the open WAL segment. */
+    Expected<Unit> sync();
+
+    /** Newest published snapshot sequence number. */
+    uint64_t currentSeq() const { return manager_->currentSeq(); }
+
+  private:
+    PredictorStore() = default;
+
+    Expected<Unit> logThenApply(const WalRecord &record);
+
+    PredictorStoreConfig config_;
+    core::Predictor *predictor_ = nullptr;
+    std::optional<CheckpointManager> manager_;
+    RecoveryReport recovery_;
+    size_t recordsSinceCheckpoint_ = 0;
+};
+
+} // namespace persist
+} // namespace qdel
+
+#endif // QDEL_PERSIST_PREDICTOR_STORE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Versioned, checksummed snapshot files.
+ *
+ * On-disk layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *        0     8  magic "QDSNAP01"
+ *        8     4  format version (kSnapshotFormatVersion)
+ *       12     8  payload size in bytes
+ *       20     4  CRC-32 of the payload
+ *       24     4  CRC-32 of bytes [0, 24)
+ *       28     -  payload
+ *
+ * Snapshots are always published with atomicWriteFile() (write-temp +
+ * fsync + rename), so a reader only ever sees a complete previous or
+ * complete next file; the double CRC turns silent corruption into a
+ * recoverable read error that the recovery ladder can route around.
+ */
+
+#ifndef QDEL_PERSIST_SNAPSHOT_HH
+#define QDEL_PERSIST_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/expected.hh"
+
+namespace qdel {
+namespace persist {
+
+/** Bumped whenever the header layout changes incompatibly. */
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/** Atomically publish @p payload as a snapshot file at @p path. */
+Expected<Unit> writeSnapshotFile(const std::string &path,
+                                 const std::string &payload);
+
+/**
+ * Read and verify a snapshot file: magic, version, both CRCs, exact
+ * size. Any mismatch is a ParseError naming the failing check.
+ */
+Expected<std::string> readSnapshotFile(const std::string &path);
+
+} // namespace persist
+} // namespace qdel
+
+#endif // QDEL_PERSIST_SNAPSHOT_HH

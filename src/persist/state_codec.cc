@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Implementation of the binary state codec.
+ */
+
+#include "persist/state_codec.hh"
+
+#include <cstring>
+
+namespace qdel {
+namespace persist {
+
+namespace {
+
+void
+appendLe(std::string &out, uint64_t value, size_t bytes)
+{
+    for (size_t i = 0; i < bytes; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+}
+
+uint64_t
+readLe(std::string_view bytes, size_t offset, size_t count)
+{
+    uint64_t value = 0;
+    for (size_t i = 0; i < count; ++i) {
+        value |= static_cast<uint64_t>(
+                     static_cast<uint8_t>(bytes[offset + i]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+} // namespace
+
+void
+StateWriter::u8(uint8_t value)
+{
+    appendLe(bytes_, value, 1);
+}
+
+void
+StateWriter::u32(uint32_t value)
+{
+    appendLe(bytes_, value, 4);
+}
+
+void
+StateWriter::u64(uint64_t value)
+{
+    appendLe(bytes_, value, 8);
+}
+
+void
+StateWriter::i64(int64_t value)
+{
+    appendLe(bytes_, static_cast<uint64_t>(value), 8);
+}
+
+void
+StateWriter::f64(double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    appendLe(bytes_, bits, 8);
+}
+
+void
+StateWriter::str(const std::string &value)
+{
+    u64(value.size());
+    bytes_.append(value);
+}
+
+StateReader::StateReader(std::string_view bytes, std::string label)
+    : bytes_(bytes), label_(std::move(label))
+{
+}
+
+Expected<Unit>
+StateReader::need(size_t count, const char *what)
+{
+    if (bytes_.size() - offset_ < count) {
+        return ParseError{label_, 0, what,
+                          "truncated state: need " +
+                              std::to_string(count) + " bytes at offset " +
+                              std::to_string(offset_) + ", have " +
+                              std::to_string(bytes_.size() - offset_)};
+    }
+    return Unit{};
+}
+
+Expected<uint8_t>
+StateReader::u8()
+{
+    if (auto ok = need(1, "u8"); !ok.ok())
+        return ok.error();
+    const auto value =
+        static_cast<uint8_t>(readLe(bytes_, offset_, 1));
+    offset_ += 1;
+    return value;
+}
+
+Expected<uint32_t>
+StateReader::u32()
+{
+    if (auto ok = need(4, "u32"); !ok.ok())
+        return ok.error();
+    const auto value =
+        static_cast<uint32_t>(readLe(bytes_, offset_, 4));
+    offset_ += 4;
+    return value;
+}
+
+Expected<uint64_t>
+StateReader::u64()
+{
+    if (auto ok = need(8, "u64"); !ok.ok())
+        return ok.error();
+    const uint64_t value = readLe(bytes_, offset_, 8);
+    offset_ += 8;
+    return value;
+}
+
+Expected<int64_t>
+StateReader::i64()
+{
+    auto value = u64();
+    if (!value.ok())
+        return value.error();
+    return static_cast<int64_t>(value.value());
+}
+
+Expected<double>
+StateReader::f64()
+{
+    auto bits = u64();
+    if (!bits.ok())
+        return bits.error();
+    double value = 0.0;
+    const uint64_t raw = bits.value();
+    std::memcpy(&value, &raw, sizeof(value));
+    return value;
+}
+
+Expected<std::string>
+StateReader::str()
+{
+    auto length = u64();
+    if (!length.ok())
+        return length.error();
+    if (auto ok = need(length.value(), "str"); !ok.ok())
+        return ok.error();
+    std::string value(bytes_.substr(offset_, length.value()));
+    offset_ += length.value();
+    return value;
+}
+
+Expected<std::vector<double>>
+StateReader::doubles()
+{
+    auto count = u64();
+    if (!count.ok())
+        return count.error();
+    // Divide instead of multiplying so a corrupt huge count cannot
+    // overflow the size arithmetic.
+    if (count.value() > remaining() / 8) {
+        return ParseError{label_, 0, "doubles",
+                          "truncated state: " +
+                              std::to_string(count.value()) +
+                              " doubles declared, " +
+                              std::to_string(remaining()) +
+                              " bytes remain"};
+    }
+    std::vector<double> values;
+    values.reserve(count.value());
+    for (uint64_t i = 0; i < count.value(); ++i) {
+        double value = 0.0;
+        const uint64_t raw = readLe(bytes_, offset_, 8);
+        std::memcpy(&value, &raw, sizeof(value));
+        values.push_back(value);
+        offset_ += 8;
+    }
+    return values;
+}
+
+Expected<Unit>
+StateReader::expectEnd() const
+{
+    if (offset_ != bytes_.size()) {
+        return ParseError{label_, 0, "end",
+                          std::to_string(bytes_.size() - offset_) +
+                              " trailing bytes after state payload"};
+    }
+    return Unit{};
+}
+
+void
+writeStateHeader(StateWriter &writer, const std::string &tag,
+                 uint32_t version)
+{
+    writer.str(tag);
+    writer.u32(version);
+}
+
+Expected<Unit>
+readStateHeader(StateReader &reader, const std::string &tag,
+                uint32_t version)
+{
+    auto found_tag = reader.str();
+    if (!found_tag.ok())
+        return found_tag.error();
+    if (found_tag.value() != tag) {
+        return ParseError{"", 0, "tag",
+                          "state payload is for '" + found_tag.value() +
+                              "', this instance is '" + tag + "'"};
+    }
+    auto found_version = reader.u32();
+    if (!found_version.ok())
+        return found_version.error();
+    if (found_version.value() != version) {
+        return ParseError{"", 0, "version",
+                          "state version " +
+                              std::to_string(found_version.value()) +
+                              " unsupported (expected " +
+                              std::to_string(version) + ")"};
+    }
+    return Unit{};
+}
+
+} // namespace persist
+} // namespace qdel

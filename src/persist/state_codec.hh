@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bit-exact binary codec for predictor and simulator state.
+ *
+ * Fixed-width little-endian integers and raw IEEE-754 bit patterns
+ * for doubles, so a value serialized and reloaded is *identical* —
+ * including infinities, NaN payloads, and the exact rounding state of
+ * running sums. This is what makes "a resumed run emits byte-identical
+ * predictions" a provable property instead of an approximation.
+ *
+ * StateReader returns Expected values and never reads past the end of
+ * its buffer: a truncated or corrupt payload (the checksums should
+ * catch it first) surfaces as a ParseError, not undefined behaviour.
+ */
+
+#ifndef QDEL_PERSIST_STATE_CODEC_HH
+#define QDEL_PERSIST_STATE_CODEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hh"
+
+namespace qdel {
+namespace persist {
+
+/** Append-only binary encoder; see file comment. */
+class StateWriter
+{
+  public:
+    void u8(uint8_t value);
+    void u32(uint32_t value);
+    void u64(uint64_t value);
+    void i64(int64_t value);
+    /** Raw IEEE-754 bit pattern; round-trips inf/NaN exactly. */
+    void f64(double value);
+    /** Length-prefixed byte string. */
+    void str(const std::string &value);
+
+    /** Length-prefixed run of f64 values from any double range. */
+    template <typename Container>
+    void
+    doubles(const Container &values)
+    {
+        u64(values.size());
+        for (double value : values)
+            f64(value);
+    }
+
+    const std::string &bytes() const { return bytes_; }
+    std::string take() { return std::move(bytes_); }
+
+  private:
+    std::string bytes_;
+};
+
+/** Bounds-checked decoder over a byte buffer. */
+class StateReader
+{
+  public:
+    /**
+     * @param bytes Buffer to decode; must outlive the reader.
+     * @param label Name used in error messages (file path, "snapshot").
+     */
+    explicit StateReader(std::string_view bytes,
+                         std::string label = "state");
+
+    Expected<uint8_t> u8();
+    Expected<uint32_t> u32();
+    Expected<uint64_t> u64();
+    Expected<int64_t> i64();
+    Expected<double> f64();
+    Expected<std::string> str();
+    Expected<std::vector<double>> doubles();
+
+    /** Error unless the whole buffer has been consumed. */
+    Expected<Unit> expectEnd() const;
+
+    size_t remaining() const { return bytes_.size() - offset_; }
+
+  private:
+    Expected<Unit> need(size_t count, const char *what);
+
+    std::string_view bytes_;
+    std::string label_;
+    size_t offset_ = 0;
+};
+
+/**
+ * Write the "<tag>, version" preamble every typed state payload starts
+ * with (predictor snapshots, replay driver state).
+ */
+void writeStateHeader(StateWriter &writer, const std::string &tag,
+                      uint32_t version);
+
+/**
+ * Read and verify a preamble written by writeStateHeader(): the tag
+ * must match exactly (a payload saved by a different predictor type is
+ * not applicable) and the version must be one this build understands.
+ */
+Expected<Unit> readStateHeader(StateReader &reader, const std::string &tag,
+                               uint32_t version);
+
+} // namespace persist
+} // namespace qdel
+
+#endif // QDEL_PERSIST_STATE_CODEC_HH

@@ -11,6 +11,17 @@
 namespace qdel {
 namespace sim {
 
+size_t
+predictorTrimCount(const core::Predictor &predictor)
+{
+    if (auto *bmbp = dynamic_cast<const core::BmbpPredictor *>(&predictor))
+        return bmbp->trimCount();
+    if (auto *logn =
+            dynamic_cast<const core::LogNormalPredictor *>(&predictor))
+        return logn->trimCount();
+    return 0;
+}
+
 EvaluationCell
 evaluateTrace(const trace::Trace &t, const std::string &method,
               const core::PredictorOptions &options,
@@ -28,11 +39,7 @@ evaluateTrace(const trace::Trace &t, const std::string &method,
     cell.evaluated = outcome.evaluatedJobs;
     cell.correctFraction = outcome.correctFraction;
     cell.medianRatio = outcome.medianRatio;
-    if (auto *bmbp = dynamic_cast<core::BmbpPredictor *>(predictor.get()))
-        cell.trims = bmbp->trimCount();
-    else if (auto *logn =
-                 dynamic_cast<core::LogNormalPredictor *>(predictor.get()))
-        cell.trims = logn->trimCount();
+    cell.trims = predictorTrimCount(*predictor);
     return cell;
 }
 

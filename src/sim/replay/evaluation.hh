@@ -42,6 +42,13 @@ struct EvaluationCell
 };
 
 /**
+ * Change points detected by @p predictor so far — 0 for methods
+ * without trimming machinery. Centralizes the dynamic_cast dance over
+ * the trimming-capable predictor types.
+ */
+size_t predictorTrimCount(const core::Predictor &predictor);
+
+/**
  * Replay @p t against a factory-built predictor.
  *
  * @param t       Trace (sorted by submission).

@@ -7,9 +7,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 #include <limits>
-#include <queue>
+#include <optional>
 
+#include "persist/checkpoint.hh"
+#include "persist/io.hh"
+#include "persist/state_codec.hh"
 #include "stats/descriptive.hh"
 
 namespace qdel {
@@ -30,6 +35,253 @@ struct PendingRelease
     }
 };
 
+/**
+ * Everything the event loop needs to continue from a point mid-trace.
+ * The pending releases are kept as a plain vector in heap order
+ * (std::push_heap/pop_heap with the same comparator std::priority_queue
+ * is specified in terms of) so the exact layout can be serialized and
+ * restored — a resumed run pops releases in the identical order an
+ * uninterrupted run would have.
+ */
+struct LoopState
+{
+    size_t nextJob = 0;
+    bool trainingFinalized = false;
+    double nextRefit = 0.0;
+    double nextSnapshot = 0.0;
+    std::vector<PendingRelease> pending;
+    std::vector<double> ratios;
+};
+
+/** Bumped when the replay snapshot payload changes incompatibly. */
+constexpr uint32_t kReplayStateVersion = 1;
+constexpr char kReplayStateTag[] = "replay-driver";
+
+/**
+ * Identity of the input trace: size and a CRC over the raw bit
+ * patterns of every (submit, wait) pair. Resuming against a different
+ * trace would silently corrupt the evaluation, so decode rejects a
+ * fingerprint mismatch.
+ */
+uint64_t
+traceFingerprint(const trace::Trace &t)
+{
+    uint32_t crc = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+        uint64_t bits[2];
+        static_assert(sizeof(double) == sizeof(uint64_t));
+        std::memcpy(&bits[0], &t[i].submitTime, sizeof(bits[0]));
+        std::memcpy(&bits[1], &t[i].waitSeconds, sizeof(bits[1]));
+        crc = persist::crc32(bits, sizeof(bits), crc);
+    }
+    return (static_cast<uint64_t>(t.size()) << 32) ^ crc;
+}
+
+Expected<std::string>
+encodeReplayState(uint64_t fingerprint, const ReplayConfig &config,
+                  const ReplayProbe &probe, const LoopState &state,
+                  const ReplayResult &result,
+                  const core::Predictor &predictor)
+{
+    persist::StateWriter writer;
+    persist::writeStateHeader(writer, kReplayStateTag, kReplayStateVersion);
+    writer.u64(fingerprint);
+    // Config and probe echo: a resumed run must be asking the same
+    // question as the interrupted one.
+    writer.f64(config.epochSeconds);
+    writer.f64(config.trainFraction);
+    writer.u8(probe.captureSeries ? 1 : 0);
+    writer.f64(probe.seriesBegin);
+    writer.f64(probe.seriesEnd);
+    writer.f64(probe.snapshotInterval);
+    writer.u64(probe.snapshotQuantiles.size());
+    for (const auto &[q, upper] : probe.snapshotQuantiles) {
+        writer.f64(q);
+        writer.u8(upper ? 1 : 0);
+    }
+    // Driver position and accumulated results.
+    writer.u64(state.nextJob);
+    writer.u8(state.trainingFinalized ? 1 : 0);
+    writer.f64(state.nextRefit);
+    writer.f64(state.nextSnapshot);
+    writer.u64(result.evaluatedJobs);
+    writer.u64(result.correct);
+    writer.u64(result.infinitePredictions);
+    writer.doubles(state.ratios);
+    writer.u64(state.pending.size());
+    for (const PendingRelease &release : state.pending) {
+        writer.f64(release.time);
+        writer.f64(release.wait);
+    }
+    writer.u64(result.series.size());
+    for (const SeriesPoint &point : result.series) {
+        writer.f64(point.time);
+        writer.f64(point.value);
+    }
+    writer.u64(result.snapshots.size());
+    for (const QuantileSnapshot &snap : result.snapshots) {
+        writer.f64(snap.time);
+        writer.doubles(snap.values);
+    }
+    if (auto ok = predictor.saveState(writer); !ok.ok())
+        return ok.error();
+    return writer.take();
+}
+
+/**
+ * Inverse of encodeReplayState(). Parses into locals and commits to
+ * @p state / @p result only when the whole payload (including the
+ * predictor sub-payload) verified — except the predictor itself, whose
+ * loadState() commits as soon as *its* parse succeeds; the caller
+ * tracks that via @p predictor_loaded and refuses to cold-start with a
+ * half-restored predictor.
+ */
+Expected<Unit>
+decodeReplayState(const std::string &payload, uint64_t fingerprint,
+                  size_t trace_size, const ReplayConfig &config,
+                  const ReplayProbe &probe, LoopState *state,
+                  ReplayResult *result, core::Predictor &predictor,
+                  bool *predictor_loaded)
+{
+    persist::StateReader reader(payload, "replay-snapshot");
+    if (auto ok = persist::readStateHeader(reader, kReplayStateTag,
+                                           kReplayStateVersion);
+        !ok.ok())
+        return ok.error();
+
+    auto fp = reader.u64();
+    if (!fp.ok())
+        return fp.error();
+    if (fp.value() != fingerprint) {
+        return ParseError{"", 0, "fingerprint",
+                          "checkpoint was written for a different trace"};
+    }
+
+    auto epoch_seconds = reader.f64();
+    auto train_fraction = reader.f64();
+    auto capture_series = reader.u8();
+    auto series_begin = reader.f64();
+    auto series_end = reader.f64();
+    auto snap_interval = reader.f64();
+    auto n_quantiles = reader.u64();
+    for (const ParseError *error :
+         {epoch_seconds.errorIf(), train_fraction.errorIf(),
+          capture_series.errorIf(), series_begin.errorIf(),
+          series_end.errorIf(), snap_interval.errorIf(),
+          n_quantiles.errorIf()}) {
+        if (error)
+            return *error;
+    }
+    bool probe_matches =
+        epoch_seconds.value() == config.epochSeconds &&
+        train_fraction.value() == config.trainFraction &&
+        (capture_series.value() != 0) == probe.captureSeries &&
+        series_begin.value() == probe.seriesBegin &&
+        series_end.value() == probe.seriesEnd &&
+        snap_interval.value() == probe.snapshotInterval &&
+        n_quantiles.value() == probe.snapshotQuantiles.size();
+    for (uint64_t i = 0; i < n_quantiles.value(); ++i) {
+        auto q = reader.f64();
+        auto upper = reader.u8();
+        for (const ParseError *error : {q.errorIf(), upper.errorIf()}) {
+            if (error)
+                return *error;
+        }
+        probe_matches = probe_matches &&
+                        q.value() == probe.snapshotQuantiles[i].first &&
+                        (upper.value() != 0) ==
+                            probe.snapshotQuantiles[i].second;
+    }
+    if (!probe_matches) {
+        return ParseError{"", 0, "config",
+                          "checkpoint was written under a different "
+                          "replay config or probe"};
+    }
+
+    auto next_job = reader.u64();
+    auto finalized = reader.u8();
+    auto next_refit = reader.f64();
+    auto next_snapshot = reader.f64();
+    auto evaluated = reader.u64();
+    auto correct = reader.u64();
+    auto infinite = reader.u64();
+    auto ratios = reader.doubles();
+    auto n_pending = reader.u64();
+    for (const ParseError *error :
+         {next_job.errorIf(), finalized.errorIf(), next_refit.errorIf(),
+          next_snapshot.errorIf(), evaluated.errorIf(), correct.errorIf(),
+          infinite.errorIf(), ratios.errorIf(), n_pending.errorIf()}) {
+        if (error)
+            return *error;
+    }
+    if (next_job.value() > trace_size) {
+        return ParseError{"", 0, "nextJob",
+                          "checkpoint is ahead of the trace (" +
+                              std::to_string(next_job.value()) + " > " +
+                              std::to_string(trace_size) + " jobs)"};
+    }
+    std::vector<PendingRelease> pending;
+    pending.reserve(static_cast<size_t>(n_pending.value()));
+    for (uint64_t i = 0; i < n_pending.value(); ++i) {
+        auto time = reader.f64();
+        auto wait = reader.f64();
+        for (const ParseError *error : {time.errorIf(), wait.errorIf()}) {
+            if (error)
+                return *error;
+        }
+        pending.push_back({time.value(), wait.value()});
+    }
+    auto n_series = reader.u64();
+    if (!n_series.ok())
+        return n_series.error();
+    std::vector<SeriesPoint> series;
+    series.reserve(static_cast<size_t>(n_series.value()));
+    for (uint64_t i = 0; i < n_series.value(); ++i) {
+        auto time = reader.f64();
+        auto value = reader.f64();
+        for (const ParseError *error : {time.errorIf(), value.errorIf()}) {
+            if (error)
+                return *error;
+        }
+        series.push_back({time.value(), value.value()});
+    }
+    auto n_snapshots = reader.u64();
+    if (!n_snapshots.ok())
+        return n_snapshots.error();
+    std::vector<QuantileSnapshot> snapshots;
+    snapshots.reserve(static_cast<size_t>(n_snapshots.value()));
+    for (uint64_t i = 0; i < n_snapshots.value(); ++i) {
+        auto time = reader.f64();
+        if (!time.ok())
+            return time.error();
+        auto values = reader.doubles();
+        if (!values.ok())
+            return values.error();
+        snapshots.push_back({time.value(), std::move(values).value()});
+    }
+
+    *predictor_loaded = true;  // loadState commits on its own success
+    if (auto ok = predictor.loadState(reader); !ok.ok()) {
+        *predictor_loaded = false;
+        return ok.error();
+    }
+    if (auto ok = reader.expectEnd(); !ok.ok())
+        return ok.error();
+
+    state->nextJob = static_cast<size_t>(next_job.value());
+    state->trainingFinalized = finalized.value() != 0;
+    state->nextRefit = next_refit.value();
+    state->nextSnapshot = next_snapshot.value();
+    state->pending = std::move(pending);
+    state->ratios = std::move(ratios).value();
+    result->evaluatedJobs = static_cast<size_t>(evaluated.value());
+    result->correct = static_cast<size_t>(correct.value());
+    result->infinitePredictions = static_cast<size_t>(infinite.value());
+    result->series = std::move(series);
+    result->snapshots = std::move(snapshots);
+    return Unit{};
+}
+
 } // namespace
 
 Expected<Unit>
@@ -45,6 +297,18 @@ ReplayConfig::validate() const
         return ParseError{"", 0, "epochSeconds",
                           "must be finite and >= 0, got " +
                               std::to_string(epochSeconds)};
+    }
+    return Unit{};
+}
+
+Expected<Unit>
+ReplayCheckpointOptions::validate() const
+{
+    if (!enabled())
+        return Unit{};
+    if (keepSnapshots == 0) {
+        return ParseError{dir, 0, "keepSnapshots",
+                          "must retain at least one snapshot"};
     }
     return Unit{};
 }
@@ -87,11 +351,14 @@ ReplaySimulator::ReplaySimulator(ReplayConfig config)
 
 Expected<ReplayResult>
 ReplaySimulator::run(const trace::Trace &t, core::Predictor &predictor,
-                     const ReplayProbe &probe) const
+                     const ReplayProbe &probe,
+                     const ReplayCheckpointOptions &ckpt) const
 {
     if (auto valid = config_.validate(); !valid.ok())
         return valid.error();
     if (auto valid = probe.validate(); !valid.ok())
+        return valid.error();
+    if (auto valid = ckpt.validate(); !valid.ok())
         return valid.error();
     if (!t.isSorted()) {
         return ParseError{
@@ -112,27 +379,142 @@ ReplaySimulator::run(const trace::Trace &t, core::Predictor &predictor,
     const double inf = std::numeric_limits<double>::infinity();
     const bool epoch_per_job = config_.epochSeconds <= 0.0;
 
-    std::priority_queue<PendingRelease, std::vector<PendingRelease>,
-                        std::greater<PendingRelease>> pending;
+    LoopState state;
+    state.nextRefit = epoch_per_job ? inf : t[0].submitTime;
+    state.nextSnapshot = probe.snapshotQuantiles.empty()
+                             ? inf
+                             : probe.seriesBegin;
 
-    double next_refit = epoch_per_job ? inf : t[0].submitTime;
-    double next_snapshot = probe.snapshotQuantiles.empty()
-                               ? inf
-                               : probe.seriesBegin;
+    // --- Crash safety -------------------------------------------------
+    std::optional<persist::CheckpointManager> manager;
+    uint64_t fingerprint = 0;
+    if (ckpt.enabled()) {
+        fingerprint = traceFingerprint(t);
+        persist::CheckpointConfig cc;
+        cc.dir = ckpt.dir;
+        cc.keepSnapshots = ckpt.keepSnapshots;
+        cc.syncEveryRecords = ckpt.walSyncEveryRecords;
+        auto opened = persist::CheckpointManager::open(cc);
+        if (!opened.ok())
+            return opened.error();
+        manager.emplace(std::move(opened).value());
 
-    std::vector<double> ratios;
-    ratios.reserve(t.size() - training);
+        if (manager->hasExistingState()) {
+            if (!ckpt.resume) {
+                return ParseError{
+                    ckpt.dir, 0, "checkpoint-dir",
+                    "directory already contains checkpoint state; "
+                    "resume it (--resume) or use a fresh directory"};
+            }
+            bool predictor_loaded = false;
+            // A snapshot written for a different trace or under a
+            // different config is a mismatch, not corruption: the
+            // ladder must not degrade it into a silent cold start.
+            std::optional<ParseError> incompatible;
+            auto report = persist::recoverState(
+                cc,
+                [&](const std::string &payload) {
+                    auto decoded = decodeReplayState(
+                        payload, fingerprint, t.size(), config_, probe,
+                        &state, &result, predictor, &predictor_loaded);
+                    if (!decoded.ok() && !incompatible &&
+                        (decoded.error().field == "fingerprint" ||
+                         decoded.error().field == "config")) {
+                        incompatible = decoded.error();
+                    }
+                    return decoded;
+                },
+                // The trace is the replay's input log: driver position
+                // cannot be advanced by WAL records, so resume is
+                // snapshot-only (the WAL serves predictor-only
+                // rehydration, see persist::PredictorStore).
+                nullptr);
+            if (!report.ok())
+                return report.error();
+            if (incompatible)
+                return *incompatible;
+            result.recoveryNotes.push_back(
+                std::string("recovery source: ") +
+                persist::recoverySourceName(report.value().source));
+            for (const std::string &note : report.value().notes)
+                result.recoveryNotes.push_back(note);
+            if (report.value().source ==
+                    persist::RecoverySource::ColdStart &&
+                predictor_loaded) {
+                return ParseError{
+                    ckpt.dir, 0, "recovery",
+                    "no snapshot fully applied but the predictor was "
+                    "partially restored; use a fresh predictor instance"};
+            }
+            result.resumedFromJob = state.nextJob;
+        } else if (ckpt.resume) {
+            result.recoveryNotes.push_back(
+                "resume requested but directory is pristine; cold start");
+        }
+    }
 
-    bool training_finalized = false;
+    auto write_checkpoint = [&]() -> Expected<Unit> {
+        auto payload = encodeReplayState(fingerprint, config_, probe,
+                                         state, result, predictor);
+        if (!payload.ok())
+            return payload.error();
+        return manager->checkpoint(payload.value());
+    };
 
-    auto process_epoch = [&](double now) {
+    // The opening checkpoint both verifies the predictor supports
+    // persistence before hours of replay are invested and rotates any
+    // recovered generation to a clean snapshot + fresh WAL segment.
+    if (manager) {
+        if (auto ok = write_checkpoint(); !ok.ok())
+            return ok.error();
+    }
+
+    // --- Predictor mutations, WAL-logged when persistence is on ------
+    auto log_record = [&](persist::WalRecordType type,
+                          double value) -> Expected<Unit> {
+        if (!manager)
+            return Unit{};
+        return manager->appendRecord({type, value});
+    };
+
+    auto observe = [&](double wait) -> Expected<Unit> {
+        if (auto ok = log_record(persist::WalRecordType::Observation, wait);
+            !ok.ok())
+            return ok.error();
+        predictor.observe(wait);
+        return Unit{};
+    };
+
+    auto refit = [&]() -> Expected<Unit> {
+        if (auto ok = log_record(persist::WalRecordType::Refit, 0.0);
+            !ok.ok())
+            return ok.error();
         predictor.refit();
+        return Unit{};
+    };
+
+    auto finalize_training = [&]() -> Expected<Unit> {
+        if (auto ok = log_record(persist::WalRecordType::FinalizeTraining,
+                                 0.0);
+            !ok.ok())
+            return ok.error();
+        predictor.finalizeTraining();
+        return Unit{};
+    };
+
+    if (state.ratios.capacity() < t.size() - training)
+        state.ratios.reserve(t.size() - training);
+
+    auto process_epoch = [&](double now) -> Expected<Unit> {
+        if (auto ok = refit(); !ok.ok())
+            return ok.error();
         if (probe.captureSeries && now >= probe.seriesBegin &&
             now < probe.seriesEnd) {
             const auto bound = predictor.upperBound();
             if (bound.finite())
                 result.series.push_back({now, bound.value});
         }
+        return Unit{};
     };
 
     auto process_snapshot = [&](double now) {
@@ -148,44 +530,55 @@ ReplaySimulator::run(const trace::Trace &t, core::Predictor &predictor,
 
     // Advance virtual time to `horizon`, processing releases, refit
     // epochs, and snapshot ticks in chronological order.
-    auto advance_to = [&](double horizon) {
+    auto advance_to = [&](double horizon) -> Expected<Unit> {
         while (true) {
             const double t_release =
-                pending.empty() ? inf : pending.top().time;
-            const double t_epoch = next_refit;
-            const double t_snap = next_snapshot;
+                state.pending.empty() ? inf : state.pending.front().time;
+            const double t_epoch = state.nextRefit;
+            const double t_snap = state.nextSnapshot;
             const double now = std::min({t_release, t_epoch, t_snap});
             if (now > horizon)
                 break;
             if (t_release <= t_epoch && t_release <= t_snap) {
-                predictor.observe(pending.top().wait);
-                pending.pop();
+                if (auto ok = observe(state.pending.front().wait);
+                    !ok.ok())
+                    return ok.error();
+                std::pop_heap(state.pending.begin(), state.pending.end(),
+                              std::greater<PendingRelease>{});
+                state.pending.pop_back();
             } else if (t_epoch <= t_snap) {
-                process_epoch(now);
-                next_refit += config_.epochSeconds;
+                if (auto ok = process_epoch(now); !ok.ok())
+                    return ok.error();
+                state.nextRefit += config_.epochSeconds;
             } else {
                 if (now < probe.seriesEnd)
                     process_snapshot(now);
-                next_snapshot =
+                state.nextSnapshot =
                     now < probe.seriesEnd ? now + probe.snapshotInterval
                                           : inf;
             }
         }
+        return Unit{};
     };
 
-    for (size_t i = 0; i < t.size(); ++i) {
+    for (size_t i = state.nextJob; i < t.size(); ++i) {
         const trace::JobRecord &job = t[i];
-        advance_to(job.submitTime);
+        if (auto ok = advance_to(job.submitTime); !ok.ok())
+            return ok.error();
 
-        if (epoch_per_job)
-            predictor.refit();
+        if (epoch_per_job) {
+            if (auto ok = refit(); !ok.ok())
+                return ok.error();
+        }
 
-        if (!training_finalized && i >= training) {
-            predictor.finalizeTraining();
+        if (!state.trainingFinalized && i >= training) {
+            if (auto ok = finalize_training(); !ok.ok())
+                return ok.error();
             // Re-arm with the post-training state so the first scored
             // job sees a trained model even for epoch-based refits.
-            predictor.refit();
-            training_finalized = true;
+            if (auto ok = refit(); !ok.ok())
+                return ok.error();
+            state.trainingFinalized = true;
         }
 
         if (i >= training) {
@@ -197,27 +590,47 @@ ReplaySimulator::run(const trace::Trace &t, core::Predictor &predictor,
             } else {
                 if (bound.value >= job.waitSeconds)
                     ++result.correct;
-                ratios.push_back(job.waitSeconds /
-                                 std::max(bound.value, 1e-9));
+                state.ratios.push_back(job.waitSeconds /
+                                       std::max(bound.value, 1e-9));
             }
         }
 
-        pending.push({job.submitTime + job.waitSeconds, job.waitSeconds});
+        state.pending.push_back(
+            {job.submitTime + job.waitSeconds, job.waitSeconds});
+        std::push_heap(state.pending.begin(), state.pending.end(),
+                       std::greater<PendingRelease>{});
+        state.nextJob = i + 1;
+
+        if (manager && ckpt.intervalJobs > 0 &&
+            state.nextJob % ckpt.intervalJobs == 0 &&
+            state.nextJob < t.size()) {
+            if (auto ok = write_checkpoint(); !ok.ok())
+                return ok.error();
+        }
     }
 
     // Drain the window for the figure/table probes, and let the last
     // releases feed the history so snapshots after the final arrival
-    // stay live.
-    if (probe.captureSeries || !probe.snapshotQuantiles.empty())
-        advance_to(probe.seriesEnd);
+    // stay live. Idempotent on resume: a re-drained run finds every
+    // event at or before the window end already consumed.
+    if (probe.captureSeries || !probe.snapshotQuantiles.empty()) {
+        if (auto ok = advance_to(probe.seriesEnd); !ok.ok())
+            return ok.error();
+    }
+
+    // Closing checkpoint: a resume of a finished run replays nothing.
+    if (manager) {
+        if (auto ok = write_checkpoint(); !ok.ok())
+            return ok.error();
+    }
 
     if (result.evaluatedJobs > 0) {
         result.correctFraction =
             static_cast<double>(result.correct) /
             static_cast<double>(result.evaluatedJobs);
     }
-    if (!ratios.empty())
-        result.medianRatio = stats::median(std::move(ratios));
+    if (!state.ratios.empty())
+        result.medianRatio = stats::median(std::move(state.ratios));
     return result;
 }
 

@@ -22,6 +22,7 @@
 #ifndef QDEL_SIM_REPLAY_REPLAY_SIMULATOR_HH
 #define QDEL_SIM_REPLAY_REPLAY_SIMULATOR_HH
 
+#include <string>
 #include <vector>
 
 #include "core/predictor.hh"
@@ -38,6 +39,35 @@ struct ReplayConfig
     double trainFraction = 0.10;   //!< Unscored warm-up prefix.
 
     /** Check trainFraction in [0, 1) and epochSeconds finite >= 0. */
+    Expected<Unit> validate() const;
+};
+
+/**
+ * Crash-safety options for a replay run. When a directory is set, the
+ * simulator snapshots its full state (driver position, counters,
+ * pending releases, probe captures, and the predictor via saveState())
+ * every intervalJobs jobs, WAL-logs every predictor mutation in
+ * between, and — with resume = true — restarts from the newest
+ * recoverable snapshot, producing byte-identical results to an
+ * uninterrupted run. The trace itself is the replay's input log, so
+ * resume recovers from snapshots only; the WAL exists so the predictor
+ * alone can also be rehydrated from the directory (see
+ * persist::PredictorStore).
+ */
+struct ReplayCheckpointOptions
+{
+    std::string dir;            //!< Checkpoint directory; empty = off.
+    size_t intervalJobs = 5000; //!< Snapshot period in processed jobs;
+                                //!< 0 = only the initial/final snapshot.
+    bool resume = false;        //!< Resume from existing state; without
+                                //!< this, existing state is an error.
+    size_t keepSnapshots = 2;   //!< Snapshot generations to retain.
+    size_t walSyncEveryRecords = 256;  //!< WAL fsync cadence; 0 = only
+                                       //!< at snapshots.
+
+    bool enabled() const { return !dir.empty(); }
+
+    /** Check keepSnapshots >= 1 (only when enabled). */
     Expected<Unit> validate() const;
 };
 
@@ -101,6 +131,12 @@ struct ReplayResult
 
     /** Captured quantile snapshots (when the probe asked for them). */
     std::vector<QuantileSnapshot> snapshots;
+
+    /** Job index the run resumed from (0 = ran from the start). */
+    size_t resumedFromJob = 0;
+
+    /** Recovery-ladder decisions (empty when checkpointing was off). */
+    std::vector<std::string> recoveryNotes;
 };
 
 /** See file comment. */
@@ -117,13 +153,17 @@ class ReplaySimulator
      * @param predictor Freshly constructed predictor (the simulator
      *                  owns its lifecycle calls, not its lifetime).
      * @param probe     Optional instrumentation.
+     * @param ckpt      Optional crash-safety (see the struct comment).
      * @return The replay result, or a ParseError when the stored
-     *         config or @p probe fails validation or the trace is not
-     *         sorted by submission time.
+     *         config, @p probe, or @p ckpt fails validation, the trace
+     *         is not sorted by submission time, the checkpoint
+     *         directory holds state but resume was not requested, or a
+     *         persistence write fails mid-run.
      */
     Expected<ReplayResult> run(const trace::Trace &t,
                                core::Predictor &predictor,
-                               const ReplayProbe &probe = {}) const;
+                               const ReplayProbe &probe = {},
+                               const ReplayCheckpointOptions &ckpt = {}) const;
 
   private:
     ReplayConfig config_;

@@ -76,9 +76,13 @@ struct Unit
  * Accessing the wrong alternative is a programmer error and panics
  * (with the carried error message, so a mis-unwrapped parse failure is
  * still diagnosable).
+ *
+ * [[nodiscard]]: silently dropping a returned Expected discards an
+ * error the caller promised to consider; every call site must check
+ * ok() (or deliberately cast to void with a comment saying why).
  */
 template <typename T>
-class Expected
+class [[nodiscard]] Expected
 {
   public:
     Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
@@ -120,6 +124,19 @@ class Expected
         if (ok())
             panic("Expected::error() called on a success value");
         return std::get<1>(state_);
+    }
+
+    /**
+     * The held error, or nullptr on success — lets a batch of reads be
+     * performed first and checked together:
+     *
+     *   for (const ParseError *e : {a.errorIf(), b.errorIf()})
+     *       if (e) return *e;
+     */
+    const ParseError *
+    errorIf() const
+    {
+        return ok() ? nullptr : &std::get<1>(state_);
     }
 
   private:

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Crash-recovery property tests for the PredictorStore.
+ *
+ * The central property: run a fixed predictor workload through the
+ * store while a deterministic fault is armed, then "restart" (reset
+ * the fault hook) and recover. Whatever the fault did — short write,
+ * torn write, bit flip, ENOSPC, failed fsync/rename, death before a
+ * snapshot's publishing rename — the recovered predictor state must be
+ * byte-identical to some *prefix* of the fault-free history (pre- or
+ * post-record, never a mix), and continuing the remaining workload
+ * from that prefix must land on the exact fault-free final state.
+ *
+ * The sweep covers every fault kind at trigger points spread across
+ * the whole persistence-op sequence; QDEL_FAULT_ITERATIONS scales the
+ * number of trigger points per kind (default 12; CI raises it).
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bmbp_predictor.hh"
+#include "core/lognormal_predictor.hh"
+#include "persist/fault_injection.hh"
+#include "persist/io.hh"
+#include "persist/predictor_store.hh"
+#include "persist/state_codec.hh"
+
+namespace qdel {
+namespace persist {
+namespace {
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "qdel_cr_" + name;
+    std::filesystem::remove_all(dir);
+    EXPECT_TRUE(ensureDirectory(dir).ok());
+    return dir;
+}
+
+/** Serialized predictor state — the byte-equality currency. */
+std::string
+serialize(const core::Predictor &predictor)
+{
+    StateWriter writer;
+    auto ok = predictor.saveState(writer);
+    EXPECT_TRUE(ok.ok());
+    return writer.take();
+}
+
+/**
+ * The workload: a training prefix, a finalize, then observations with
+ * periodic refits and a regime change late enough that change-point
+ * trims straddle checkpoint boundaries.
+ */
+std::vector<WalRecord>
+buildOps()
+{
+    std::vector<WalRecord> ops;
+    for (int i = 0; i < 10; ++i)
+        ops.push_back({WalRecordType::Observation, 5.0 + i % 7});
+    ops.push_back({WalRecordType::FinalizeTraining, 0.0});
+    for (int i = 0; i < 40; ++i) {
+        const double wait =
+            i < 25 ? 8.0 + i % 5 : 900.0 + i;  // regime change at 25
+        ops.push_back({WalRecordType::Observation, wait});
+        if (i % 5 == 4)
+            ops.push_back({WalRecordType::Refit, 0.0});
+    }
+    ops.push_back({WalRecordType::Refit, 0.0});
+    return ops;
+}
+
+Expected<Unit>
+applyViaStore(PredictorStore &store, const WalRecord &op)
+{
+    switch (op.type) {
+    case WalRecordType::Observation:
+        return store.observe(op.value);
+    case WalRecordType::Refit:
+        return store.refit();
+    case WalRecordType::FinalizeTraining:
+        return store.finalizeTraining();
+    }
+    return Unit{};
+}
+
+void
+applyDirect(core::Predictor &predictor, const WalRecord &op)
+{
+    switch (op.type) {
+    case WalRecordType::Observation:
+        predictor.observe(op.value);
+        break;
+    case WalRecordType::Refit:
+        predictor.refit();
+        break;
+    case WalRecordType::FinalizeTraining:
+        predictor.finalizeTraining();
+        break;
+    }
+}
+
+/** Per-kind trigger-point count, scaled by QDEL_FAULT_ITERATIONS. */
+size_t
+sweepIterations()
+{
+    if (const char *env = std::getenv("QDEL_FAULT_ITERATIONS")) {
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<size_t>(parsed);
+    }
+    return 12;
+}
+
+PredictorStoreConfig
+storeConfig(const std::string &dir)
+{
+    PredictorStoreConfig config;
+    config.checkpoint.dir = dir;
+    config.checkpoint.keepSnapshots = 2;
+    config.checkpoint.syncEveryRecords = 1;
+    config.checkpointEveryRecords = 16;
+    return config;
+}
+
+/**
+ * Run the crash-equivalence sweep for one predictor family.
+ * @p makePredictor must build identically-configured instances.
+ */
+template <typename MakePredictor>
+void
+crashEquivalenceSweep(const std::string &tag,
+                      const MakePredictor &makePredictor,
+                      size_t iterations)
+{
+    const std::vector<WalRecord> ops = buildOps();
+
+    // Fault-free shadow history: shadows[i] is the exact serialized
+    // state after the first i operations.
+    std::vector<std::string> shadows;
+    auto shadow = makePredictor();
+    shadows.push_back(serialize(*shadow));
+    for (const WalRecord &op : ops) {
+        applyDirect(*shadow, op);
+        shadows.push_back(serialize(*shadow));
+    }
+
+    // Learn how many persistence ops the fault-free workload issues,
+    // so the trigger sweep spans the whole sequence.
+    fault::reset();
+    {
+        const std::string dir = freshDir(tag + "_profile");
+        auto predictor = makePredictor();
+        auto store = PredictorStore::open(storeConfig(dir),
+                                          predictor.get());
+        ASSERT_TRUE(store.ok());
+        for (const WalRecord &op : ops)
+            ASSERT_TRUE(applyViaStore(store.value(), op).ok());
+        EXPECT_EQ(serialize(*predictor), shadows.back());
+    }
+    const uint64_t total_ops = fault::opCount();
+    ASSERT_GT(total_ops, 0u);
+
+    const fault::Kind kinds[] = {
+        fault::Kind::FailOpen,          fault::Kind::ShortWrite,
+        fault::Kind::TornWrite,         fault::Kind::BitFlip,
+        fault::Kind::ENoSpc,            fault::Kind::FailFsync,
+        fault::Kind::CrashBeforeRename, fault::Kind::FailRename,
+    };
+    const uint64_t stride =
+        std::max<uint64_t>(1, total_ops / iterations);
+
+    size_t cycle = 0;
+    for (fault::Kind kind : kinds) {
+        for (uint64_t trigger = 0; trigger < total_ops;
+             trigger += stride, ++cycle) {
+            SCOPED_TRACE(std::string(fault::kindName(kind)) +
+                         " @ op " + std::to_string(trigger));
+            const std::string dir =
+                freshDir(tag + "_" + std::to_string(cycle));
+
+            // The doomed run: stop at the first persistence error
+            // (the process "died" or gave up).
+            fault::configure({kind, trigger, 1234 + cycle});
+            {
+                auto victim = makePredictor();
+                auto store = PredictorStore::open(storeConfig(dir),
+                                                  victim.get());
+                if (store.ok()) {
+                    for (const WalRecord &op : ops) {
+                        if (!applyViaStore(store.value(), op).ok())
+                            break;
+                    }
+                }
+            }
+
+            // Restart: recover into a fresh instance.
+            fault::reset();
+            auto recovered = makePredictor();
+            auto reopened = PredictorStore::open(storeConfig(dir),
+                                                 recovered.get());
+            ASSERT_TRUE(reopened.ok())
+                << reopened.error().str();
+
+            // Property 1: the recovered state is exactly some prefix
+            // of the fault-free history — never a torn hybrid.
+            const std::string got = serialize(*recovered);
+            size_t prefix = shadows.size();
+            for (size_t i = 0; i < shadows.size(); ++i) {
+                if (shadows[i] == got) {
+                    prefix = i;
+                    break;
+                }
+            }
+            ASSERT_LT(prefix, shadows.size())
+                << "recovered state matches no fault-free prefix";
+
+            // Property 2: replaying the remaining operations lands on
+            // the exact fault-free final state.
+            for (size_t i = prefix; i < ops.size(); ++i) {
+                ASSERT_TRUE(
+                    applyViaStore(reopened.value(), ops[i]).ok());
+            }
+            EXPECT_EQ(serialize(*recovered), shadows.back());
+        }
+    }
+}
+
+TEST(CrashRecovery, BmbpCrashEquivalence)
+{
+    core::BmbpConfig config;
+    config.quantile = 0.5;
+    config.confidence = 0.8;
+    config.trimmingEnabled = true;
+    config.runThresholdOverride = 2;
+    auto make = [config] {
+        return std::make_unique<core::BmbpPredictor>(config);
+    };
+    // The scenario must actually exercise the trimming machinery.
+    {
+        auto probe = make();
+        for (const WalRecord &op : buildOps())
+            applyDirect(*probe, op);
+        ASSERT_GT(probe->trimCount(), 0u);
+    }
+    crashEquivalenceSweep("bmbp", make, sweepIterations());
+    fault::reset();
+}
+
+TEST(CrashRecovery, LogNormalTrimCrashEquivalence)
+{
+    core::LogNormalConfig config;
+    config.quantile = 0.5;
+    config.confidence = 0.8;
+    config.trimmingEnabled = true;
+    config.runThresholdOverride = 2;
+    auto make = [config] {
+        return std::make_unique<core::LogNormalPredictor>(config);
+    };
+    // A lighter sweep: the mechanism is shared, this guards the
+    // predictor-specific running-sum serialization.
+    crashEquivalenceSweep("logn", make,
+                          std::max<size_t>(1, sweepIterations() / 3));
+    fault::reset();
+}
+
+TEST(CrashRecovery, LatestSnapshotRung)
+{
+    const std::string dir = freshDir("latest");
+    fault::reset();
+    core::BmbpConfig config;
+    config.runThresholdOverride = 2;
+    const std::vector<WalRecord> ops = buildOps();
+
+    auto shadow = std::make_unique<core::BmbpPredictor>(config);
+    for (const WalRecord &op : ops)
+        applyDirect(*shadow, op);
+
+    {
+        auto predictor = std::make_unique<core::BmbpPredictor>(config);
+        auto store =
+            PredictorStore::open(storeConfig(dir), predictor.get());
+        ASSERT_TRUE(store.ok());
+        for (const WalRecord &op : ops)
+            ASSERT_TRUE(applyViaStore(store.value(), op).ok());
+    }
+    auto recovered = std::make_unique<core::BmbpPredictor>(config);
+    auto reopened =
+        PredictorStore::open(storeConfig(dir), recovered.get());
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.value().recovery().source,
+              RecoverySource::LatestSnapshot);
+    EXPECT_EQ(serialize(*recovered), serialize(*shadow));
+}
+
+TEST(CrashRecovery, PreviousSnapshotRungAfterSnapshotCorruption)
+{
+    const std::string dir = freshDir("previous");
+    fault::reset();
+    core::BmbpConfig config;
+    config.runThresholdOverride = 2;
+    const std::vector<WalRecord> ops = buildOps();
+
+    auto shadow = std::make_unique<core::BmbpPredictor>(config);
+    for (const WalRecord &op : ops)
+        applyDirect(*shadow, op);
+
+    {
+        auto predictor = std::make_unique<core::BmbpPredictor>(config);
+        auto store =
+            PredictorStore::open(storeConfig(dir), predictor.get());
+        ASSERT_TRUE(store.ok());
+        for (const WalRecord &op : ops)
+            ASSERT_TRUE(applyViaStore(store.value(), op).ok());
+    }
+
+    // Silently corrupt the newest snapshot on disk.
+    auto entries = listDirectory(dir);
+    ASSERT_TRUE(entries.ok());
+    std::string newest;
+    for (const std::string &name : entries.value()) {
+        if (name.rfind("snapshot-", 0) == 0 && name > newest)
+            newest = name;
+    }
+    ASSERT_FALSE(newest.empty());
+    auto bytes = readFileBytes(dir + "/" + newest);
+    ASSERT_TRUE(bytes.ok());
+    std::string corrupt = bytes.value();
+    ASSERT_GT(corrupt.size(), 40u);
+    corrupt[40] = static_cast<char>(corrupt[40] ^ 0x01);
+    ASSERT_TRUE(atomicWriteFile(dir + "/" + newest, corrupt).ok());
+
+    // The WAL chain rolls the previous snapshot forward to the exact
+    // final state — nothing is lost, only the rung changes.
+    auto recovered = std::make_unique<core::BmbpPredictor>(config);
+    auto reopened =
+        PredictorStore::open(storeConfig(dir), recovered.get());
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.value().recovery().source,
+              RecoverySource::PreviousSnapshot);
+    EXPECT_FALSE(reopened.value().recovery().notes.empty());
+    EXPECT_EQ(serialize(*recovered), serialize(*shadow));
+}
+
+TEST(CrashRecovery, WalOnlyRungWithoutAnySnapshot)
+{
+    const std::string dir = freshDir("walonly");
+    fault::reset();
+    core::BmbpConfig config;
+    config.runThresholdOverride = 2;
+    const std::vector<WalRecord> ops = buildOps();
+
+    auto shadow = std::make_unique<core::BmbpPredictor>(config);
+    for (const WalRecord &op : ops)
+        applyDirect(*shadow, op);
+
+    PredictorStoreConfig no_snapshots = storeConfig(dir);
+    no_snapshots.checkpointEveryRecords = 0;  // WAL only, ever
+    {
+        auto predictor = std::make_unique<core::BmbpPredictor>(config);
+        auto store =
+            PredictorStore::open(no_snapshots, predictor.get());
+        ASSERT_TRUE(store.ok());
+        for (const WalRecord &op : ops)
+            ASSERT_TRUE(applyViaStore(store.value(), op).ok());
+    }
+    auto recovered = std::make_unique<core::BmbpPredictor>(config);
+    auto reopened =
+        PredictorStore::open(no_snapshots, recovered.get());
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.value().recovery().source,
+              RecoverySource::WalOnly);
+    EXPECT_EQ(reopened.value().recovery().walRecordsApplied,
+              ops.size());
+    EXPECT_EQ(serialize(*recovered), serialize(*shadow));
+}
+
+TEST(CrashRecovery, ColdStartWhenNothingIsSalvageable)
+{
+    const std::string dir = freshDir("cold");
+    fault::reset();
+    core::BmbpConfig config;
+    config.runThresholdOverride = 2;
+    const std::vector<WalRecord> ops = buildOps();
+
+    {
+        auto predictor = std::make_unique<core::BmbpPredictor>(config);
+        auto store =
+            PredictorStore::open(storeConfig(dir), predictor.get());
+        ASSERT_TRUE(store.ok());
+        for (const WalRecord &op : ops)
+            ASSERT_TRUE(applyViaStore(store.value(), op).ok());
+    }
+    // Corrupt every snapshot; pruning has already removed wal-0, so
+    // no rung can salvage anything.
+    auto entries = listDirectory(dir);
+    ASSERT_TRUE(entries.ok());
+    bool saw_snapshot = false;
+    for (const std::string &name : entries.value()) {
+        EXPECT_NE(name, "wal-0000000000.qdw")
+            << "pruning should have removed wal-0 by now";
+        if (name.rfind("snapshot-", 0) != 0)
+            continue;
+        saw_snapshot = true;
+        auto bytes = readFileBytes(dir + "/" + name);
+        ASSERT_TRUE(bytes.ok());
+        std::string corrupt = bytes.value();
+        corrupt[corrupt.size() - 1] =
+            static_cast<char>(corrupt[corrupt.size() - 1] ^ 0xFF);
+        ASSERT_TRUE(atomicWriteFile(dir + "/" + name, corrupt).ok());
+    }
+    ASSERT_TRUE(saw_snapshot);
+
+    auto recovered = std::make_unique<core::BmbpPredictor>(config);
+    auto reopened =
+        PredictorStore::open(storeConfig(dir), recovered.get());
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.value().recovery().source,
+              RecoverySource::ColdStart);
+    EXPECT_FALSE(reopened.value().recovery().notes.empty());
+    auto pristine = std::make_unique<core::BmbpPredictor>(config);
+    EXPECT_EQ(serialize(*recovered), serialize(*pristine));
+}
+
+} // namespace
+} // namespace persist
+} // namespace qdel

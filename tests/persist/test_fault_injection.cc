@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection hook: each fault kind's
+ * exact observable effect on disk, the op-index arming, the one-shot
+ * firing, the crashed latch, and the environment-variable plan.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "persist/fault_injection.hh"
+#include "persist/io.hh"
+
+namespace qdel {
+namespace {
+
+using persist::FileWriter;
+
+/** Disarm around every test: the hook state is process-global. */
+class FaultInjection : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+
+    std::string
+    freshDir(const std::string &name)
+    {
+        const std::string dir = ::testing::TempDir() + "qdel_fi_" + name;
+        std::filesystem::remove_all(dir);
+        EXPECT_TRUE(persist::ensureDirectory(dir).ok());
+        return dir;
+    }
+
+    size_t
+    fileSize(const std::string &path)
+    {
+        auto bytes = persist::readFileBytes(path);
+        return bytes.ok() ? bytes.value().size() : 0;
+    }
+};
+
+TEST_F(FaultInjection, DisabledHookCountsOpsOnly)
+{
+    const std::string dir = freshDir("count");
+    EXPECT_FALSE(fault::enabled());
+    const uint64_t before = fault::opCount();
+    auto writer = FileWriter::create(dir + "/f");  // open
+    ASSERT_TRUE(writer.ok());
+    FileWriter file = std::move(writer).value();
+    ASSERT_TRUE(file.writeAll("abc", 3).ok());     // write
+    ASSERT_TRUE(file.sync().ok());                 // fsync
+    ASSERT_TRUE(file.close().ok());                // close: not hooked
+    EXPECT_EQ(fault::opCount() - before, 3u);
+    EXPECT_FALSE(fault::crashed());
+}
+
+TEST_F(FaultInjection, FailOpenIsOneShot)
+{
+    const std::string dir = freshDir("open");
+    fault::configure({fault::Kind::FailOpen, 0, 1});
+    auto failed = FileWriter::create(dir + "/f");
+    ASSERT_FALSE(failed.ok());
+    EXPECT_NE(failed.error().str().find("fault injection"),
+              std::string::npos);
+    EXPECT_FALSE(fault::crashed());
+    // One-shot: the "retry" succeeds.
+    EXPECT_TRUE(FileWriter::create(dir + "/f").ok());
+}
+
+TEST_F(FaultInjection, ShortWriteLeavesPrefixAndLatchesCrash)
+{
+    const std::string dir = freshDir("short");
+    const std::string data(100, 'x');
+    fault::configure({fault::Kind::ShortWrite, 1, 7});
+    auto writer = FileWriter::create(dir + "/f");
+    ASSERT_TRUE(writer.ok());
+    FileWriter file = std::move(writer).value();
+    ASSERT_FALSE(file.writeAll(data.data(), data.size()).ok());
+    EXPECT_TRUE(fault::crashed());
+    // The dead process cannot persist anything any more.
+    EXPECT_FALSE(FileWriter::create(dir + "/g").ok());
+    EXPECT_FALSE(file.sync().ok());
+
+    file = FileWriter();  // close fd (destructor path, no sync)
+    EXPECT_LT(fileSize(dir + "/f"), data.size());  // strict prefix
+
+    // Restart: a reset process is healthy again.
+    fault::reset();
+    EXPECT_FALSE(fault::crashed());
+    EXPECT_TRUE(FileWriter::create(dir + "/g").ok());
+}
+
+TEST_F(FaultInjection, ShortWriteLengthIsSeedDeterministic)
+{
+    size_t sizes[2];
+    for (int round = 0; round < 2; ++round) {
+        const std::string dir =
+            freshDir("seed" + std::to_string(round));
+        const std::string data(100, 'y');
+        fault::configure({fault::Kind::ShortWrite, 1, 42});
+        {
+            auto writer = FileWriter::create(dir + "/f");
+            ASSERT_TRUE(writer.ok());
+            FileWriter file = std::move(writer).value();
+            EXPECT_FALSE(
+                file.writeAll(data.data(), data.size()).ok());
+        }
+        fault::reset();
+        sizes[round] = fileSize(dir + "/f");
+    }
+    EXPECT_EQ(sizes[0], sizes[1]);
+}
+
+TEST_F(FaultInjection, TornWriteLiesAboutSuccess)
+{
+    const std::string dir = freshDir("torn");
+    const std::string data(100, 'z');
+    fault::configure({fault::Kind::TornWrite, 1, 5});
+    {
+        auto writer = FileWriter::create(dir + "/f");
+        ASSERT_TRUE(writer.ok());
+        FileWriter file = std::move(writer).value();
+        // The caller is told everything is fine...
+        EXPECT_TRUE(file.writeAll(data.data(), data.size()).ok());
+        EXPECT_TRUE(file.close().ok());
+    }
+    // ...but the bytes are not all there.
+    EXPECT_LT(fileSize(dir + "/f"), data.size());
+    EXPECT_FALSE(fault::crashed());
+}
+
+TEST_F(FaultInjection, BitFlipCorruptsExactlyOneBit)
+{
+    const std::string dir = freshDir("flip");
+    const std::string data(64, '\x00');
+    fault::configure({fault::Kind::BitFlip, 1, 11});
+    {
+        auto writer = FileWriter::create(dir + "/f");
+        ASSERT_TRUE(writer.ok());
+        FileWriter file = std::move(writer).value();
+        EXPECT_TRUE(file.writeAll(data.data(), data.size()).ok());
+        EXPECT_TRUE(file.close().ok());
+    }
+    auto read = persist::readFileBytes(dir + "/f");
+    ASSERT_TRUE(read.ok());
+    ASSERT_EQ(read.value().size(), data.size());
+    int flipped_bits = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        uint8_t diff = static_cast<uint8_t>(read.value()[i]) ^
+                       static_cast<uint8_t>(data[i]);
+        while (diff) {
+            flipped_bits += diff & 1;
+            diff >>= 1;
+        }
+    }
+    EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST_F(FaultInjection, ENoSpcFailsWithNothingWritten)
+{
+    const std::string dir = freshDir("enospc");
+    fault::configure({fault::Kind::ENoSpc, 1, 1});
+    auto writer = FileWriter::create(dir + "/f");
+    ASSERT_TRUE(writer.ok());
+    FileWriter file = std::move(writer).value();
+    EXPECT_FALSE(file.writeAll("abcdef", 6).ok());
+    EXPECT_FALSE(fault::crashed());
+    EXPECT_TRUE(file.close().ok());
+    EXPECT_EQ(fileSize(dir + "/f"), 0u);
+}
+
+TEST_F(FaultInjection, FailFsyncKeepsData)
+{
+    const std::string dir = freshDir("fsync");
+    fault::configure({fault::Kind::FailFsync, 2, 1});
+    auto writer = FileWriter::create(dir + "/f");
+    ASSERT_TRUE(writer.ok());
+    FileWriter file = std::move(writer).value();
+    ASSERT_TRUE(file.writeAll("abc", 3).ok());
+    EXPECT_FALSE(file.sync().ok());  // durability not promised...
+    EXPECT_TRUE(file.close().ok());
+    EXPECT_EQ(fileSize(dir + "/f"), 3u);  // ...but the data stays
+    EXPECT_FALSE(fault::crashed());
+}
+
+TEST_F(FaultInjection, CrashBeforeRenameNeverPublishes)
+{
+    const std::string dir = freshDir("rename");
+    const std::string path = dir + "/state";
+    ASSERT_TRUE(persist::atomicWriteFile(path, "old").ok());
+    fault::configure({fault::Kind::CrashBeforeRename, 0, 1});
+    EXPECT_FALSE(persist::atomicWriteFile(path, "new").ok());
+    EXPECT_TRUE(fault::crashed());
+    fault::reset();
+    // The published file is untouched; the wreckage is only a .tmp.
+    auto read = persist::readFileBytes(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), "old");
+    EXPECT_TRUE(persist::pathExists(path + ".tmp"));
+}
+
+TEST_F(FaultInjection, FailRenameIsRecoverable)
+{
+    const std::string dir = freshDir("failrename");
+    const std::string path = dir + "/state";
+    fault::configure({fault::Kind::FailRename, 0, 1});
+    EXPECT_FALSE(persist::atomicWriteFile(path, "v1").ok());
+    EXPECT_FALSE(fault::crashed());
+    // One-shot: the retry publishes.
+    EXPECT_TRUE(persist::atomicWriteFile(path, "v1").ok());
+    auto read = persist::readFileBytes(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), "v1");
+}
+
+TEST_F(FaultInjection, TriggerOpDelaysTheFault)
+{
+    const std::string dir = freshDir("trigger");
+    // Ops: open is index 0, the first write index 1, the second
+    // index 2. triggerOp = 2 must spare the first write.
+    fault::configure({fault::Kind::ShortWrite, 2, 1});
+    auto writer = FileWriter::create(dir + "/f");
+    ASSERT_TRUE(writer.ok());
+    FileWriter file = std::move(writer).value();
+    EXPECT_TRUE(file.writeAll("aa", 2).ok());
+    EXPECT_FALSE(file.writeAll("bb", 2).ok());
+    EXPECT_TRUE(fault::crashed());
+}
+
+TEST_F(FaultInjection, KindNamesRoundTrip)
+{
+    const fault::Kind all[] = {
+        fault::Kind::None,
+        fault::Kind::FailOpen,
+        fault::Kind::ShortWrite,
+        fault::Kind::TornWrite,
+        fault::Kind::BitFlip,
+        fault::Kind::ENoSpc,
+        fault::Kind::FailFsync,
+        fault::Kind::CrashBeforeRename,
+        fault::Kind::FailRename,
+    };
+    for (fault::Kind kind : all) {
+        fault::Kind parsed;
+        ASSERT_TRUE(fault::parseKind(fault::kindName(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    fault::Kind parsed;
+    EXPECT_FALSE(fault::parseKind("bogus", &parsed));
+    EXPECT_FALSE(fault::parseKind("", &parsed));
+}
+
+TEST_F(FaultInjection, PlanFromEnv)
+{
+    ::setenv("QDEL_FAULT_KIND", "bit-flip", 1);
+    ::setenv("QDEL_FAULT_OP", "17", 1);
+    ::setenv("QDEL_FAULT_SEED", "99", 1);
+    fault::Plan plan = fault::planFromEnv();
+    EXPECT_EQ(plan.kind, fault::Kind::BitFlip);
+    EXPECT_EQ(plan.triggerOp, 17u);
+    EXPECT_EQ(plan.seed, 99u);
+
+    ::setenv("QDEL_FAULT_OP", "not-a-number", 1);
+    plan = fault::planFromEnv();
+    EXPECT_EQ(plan.kind, fault::Kind::BitFlip);
+    EXPECT_EQ(plan.triggerOp, 0u);  // unparsable op: default
+
+    ::setenv("QDEL_FAULT_KIND", "bogus", 1);
+    EXPECT_EQ(fault::planFromEnv().kind, fault::Kind::None);
+
+    ::unsetenv("QDEL_FAULT_KIND");
+    ::unsetenv("QDEL_FAULT_OP");
+    ::unsetenv("QDEL_FAULT_SEED");
+    EXPECT_EQ(fault::planFromEnv().kind, fault::Kind::None);
+}
+
+} // namespace
+} // namespace qdel

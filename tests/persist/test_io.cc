@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the durable file primitives: the CRC-32 reference vectors,
+ * the atomic write-temp + fsync + rename publication pattern, the
+ * FileWriter lifecycle, and the directory helpers recovery relies on.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "persist/io.hh"
+
+namespace qdel {
+namespace persist {
+namespace {
+
+/** Fresh empty scratch directory unique to @p name. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "qdel_io_" + name;
+    std::filesystem::remove_all(dir);
+    EXPECT_TRUE(ensureDirectory(dir).ok());
+    return dir;
+}
+
+TEST(Crc32, ReferenceVectors)
+{
+    // The IEEE 802.3 check value every CRC-32 implementation quotes.
+    const std::string check = "123456789";
+    EXPECT_EQ(crc32(check.data(), check.size()), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+    // One-byte vectors pin the reflected polynomial orientation.
+    const char zero = '\0';
+    EXPECT_EQ(crc32(&zero, 1), 0xD202EF8Du);
+    const char a = 'a';
+    EXPECT_EQ(crc32(&a, 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, ChainingMatchesOneShot)
+{
+    const std::string text = "predicting bounds on queuing delay";
+    const uint32_t whole = crc32(text.data(), text.size());
+    for (size_t split = 0; split <= text.size(); ++split) {
+        const uint32_t first = crc32(text.data(), split);
+        const uint32_t chained =
+            crc32(text.data() + split, text.size() - split, first);
+        EXPECT_EQ(chained, whole) << "split at " << split;
+    }
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    std::string data(64, '\x5a');
+    const uint32_t clean = crc32(data.data(), data.size());
+    for (size_t byte : {size_t(0), size_t(31), data.size() - 1}) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string corrupt = data;
+            corrupt[byte] =
+                static_cast<char>(corrupt[byte] ^ (1 << bit));
+            EXPECT_NE(crc32(corrupt.data(), corrupt.size()), clean);
+        }
+    }
+}
+
+TEST(Io, AtomicWriteFilePublishesExactBytes)
+{
+    const std::string dir = freshDir("atomic");
+    const std::string path = dir + "/payload.bin";
+    std::string bytes = "binary\0payload\xff with nul";
+    bytes[6] = '\0';
+    ASSERT_TRUE(atomicWriteFile(path, bytes).ok());
+
+    auto read = readFileBytes(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), bytes);
+
+    // The temp file must not survive a successful publication.
+    auto entries = listDirectory(dir);
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries.value().size(), 1u);
+    EXPECT_EQ(entries.value().front(), "payload.bin");
+}
+
+TEST(Io, AtomicWriteFileReplacesExisting)
+{
+    const std::string dir = freshDir("replace");
+    const std::string path = dir + "/state.bin";
+    ASSERT_TRUE(atomicWriteFile(path, "old generation").ok());
+    ASSERT_TRUE(atomicWriteFile(path, "new").ok());
+    auto read = readFileBytes(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), "new");  // fully replaced, not appended
+}
+
+TEST(Io, FileWriterLifecycle)
+{
+    const std::string dir = freshDir("writer");
+    const std::string path = dir + "/wal.bin";
+    auto writer = FileWriter::create(path);
+    ASSERT_TRUE(writer.ok());
+    FileWriter file = std::move(writer).value();
+    EXPECT_TRUE(file.isOpen());
+    EXPECT_EQ(file.path(), path);
+    ASSERT_TRUE(file.writeAll("abc", 3).ok());
+    ASSERT_TRUE(file.writeAll("def", 3).ok());
+    ASSERT_TRUE(file.sync().ok());
+    ASSERT_TRUE(file.close().ok());
+    EXPECT_FALSE(file.isOpen());
+
+    auto read = readFileBytes(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), "abcdef");
+}
+
+TEST(Io, FileWriterMoveTransfersOwnership)
+{
+    const std::string dir = freshDir("move");
+    auto writer = FileWriter::create(dir + "/moved.bin");
+    ASSERT_TRUE(writer.ok());
+    FileWriter a = std::move(writer).value();
+    FileWriter b = std::move(a);
+    EXPECT_FALSE(a.isOpen());
+    EXPECT_TRUE(b.isOpen());
+    ASSERT_TRUE(b.writeAll("x", 1).ok());
+    ASSERT_TRUE(b.close().ok());
+}
+
+TEST(Io, CreateFailsInMissingDirectory)
+{
+    auto writer =
+        FileWriter::create(::testing::TempDir() +
+                           "qdel_io_no_such_dir/sub/file.bin");
+    EXPECT_FALSE(writer.ok());
+}
+
+TEST(Io, ReadFileBytesMissingFileIsError)
+{
+    auto read = readFileBytes(::testing::TempDir() + "qdel_io_missing");
+    ASSERT_FALSE(read.ok());
+    EXPECT_NE(read.error().str().find("qdel_io_missing"),
+              std::string::npos);
+}
+
+TEST(Io, EnsureDirectoryCreatesParents)
+{
+    const std::string root = ::testing::TempDir() + "qdel_io_nested";
+    std::filesystem::remove_all(root);
+    const std::string deep = root + "/a/b/c";
+    ASSERT_TRUE(ensureDirectory(deep).ok());
+    EXPECT_TRUE(pathExists(deep));
+    // Idempotent on an existing directory.
+    EXPECT_TRUE(ensureDirectory(deep).ok());
+}
+
+TEST(Io, ListDirectoryReturnsPlainNames)
+{
+    const std::string dir = freshDir("list");
+    ASSERT_TRUE(atomicWriteFile(dir + "/one", "1").ok());
+    ASSERT_TRUE(atomicWriteFile(dir + "/two", "2").ok());
+    auto entries = listDirectory(dir);
+    ASSERT_TRUE(entries.ok());
+    std::vector<std::string> names = entries.value();
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Io, RemoveFileMissingIsNotAnError)
+{
+    const std::string dir = freshDir("remove");
+    const std::string path = dir + "/victim";
+    ASSERT_TRUE(atomicWriteFile(path, "x").ok());
+    EXPECT_TRUE(removeFile(path).ok());
+    EXPECT_FALSE(pathExists(path));
+    EXPECT_TRUE(removeFile(path).ok());  // second delete: already gone
+}
+
+} // namespace
+} // namespace persist
+} // namespace qdel

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Tests for the bit-exact state codec, the typed state-header
+ * preamble, the checksummed snapshot files, and the lenient-tail WAL
+ * segments — the formats DESIGN.md section 11 documents.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/io.hh"
+#include "persist/snapshot.hh"
+#include "persist/state_codec.hh"
+#include "persist/wal.hh"
+
+namespace qdel {
+namespace persist {
+namespace {
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "qdel_sw_" + name;
+    std::filesystem::remove_all(dir);
+    EXPECT_TRUE(ensureDirectory(dir).ok());
+    return dir;
+}
+
+TEST(StateCodec, RoundTripsEveryType)
+{
+    StateWriter writer;
+    writer.u8(0xAB);
+    writer.u32(0xDEADBEEFu);
+    writer.u64(0x0123456789ABCDEFull);
+    writer.i64(-42);
+    writer.f64(3.141592653589793);
+    writer.str("queue/name with spaces");
+    writer.doubles(std::vector<double>{1.0, -2.5, 1e300});
+
+    StateReader reader(writer.bytes(), "test");
+    EXPECT_EQ(reader.u8().value(), 0xAB);
+    EXPECT_EQ(reader.u32().value(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.u64().value(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.i64().value(), -42);
+    EXPECT_DOUBLE_EQ(reader.f64().value(), 3.141592653589793);
+    EXPECT_EQ(reader.str().value(), "queue/name with spaces");
+    EXPECT_EQ(reader.doubles().value(),
+              (std::vector<double>{1.0, -2.5, 1e300}));
+    EXPECT_TRUE(reader.expectEnd().ok());
+}
+
+TEST(StateCodec, RoundTripsNonFiniteAndSignedZero)
+{
+    // The codec's reason to exist: the exact IEEE-754 bit pattern
+    // survives, including infinities, NaN payloads and -0.0.
+    const double values[] = {
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+        -0.0,
+        std::numeric_limits<double>::denorm_min(),
+    };
+    StateWriter writer;
+    for (double value : values)
+        writer.f64(value);
+    StateReader reader(writer.bytes(), "test");
+    for (double value : values) {
+        const double got = reader.f64().value();
+        uint64_t want_bits = 0, got_bits = 0;
+        std::memcpy(&want_bits, &value, sizeof value);
+        std::memcpy(&got_bits, &got, sizeof got);
+        EXPECT_EQ(got_bits, want_bits);
+    }
+}
+
+TEST(StateCodec, TruncationIsAnErrorNotUb)
+{
+    StateWriter writer;
+    writer.u64(7);
+    for (size_t keep = 0; keep < writer.bytes().size(); ++keep) {
+        StateReader reader(
+            std::string_view(writer.bytes().data(), keep), "short");
+        auto value = reader.u64();
+        ASSERT_FALSE(value.ok());
+        EXPECT_NE(value.error().str().find("short"), std::string::npos);
+    }
+}
+
+TEST(StateCodec, ExpectEndRejectsTrailingBytes)
+{
+    StateWriter writer;
+    writer.u8(1);
+    writer.u8(2);
+    StateReader reader(writer.bytes(), "test");
+    EXPECT_TRUE(reader.u8().ok());
+    EXPECT_FALSE(reader.expectEnd().ok());
+    EXPECT_EQ(reader.remaining(), 1u);
+}
+
+TEST(StateCodec, StringLengthBeyondBufferIsAnError)
+{
+    StateWriter writer;
+    writer.u64(1u << 20);  // claims a megabyte that is not there
+    StateReader reader(writer.bytes(), "test");
+    EXPECT_FALSE(reader.str().ok());
+}
+
+TEST(StateCodec, DoublesCountBeyondBufferIsAnError)
+{
+    StateWriter writer;
+    writer.u64(std::numeric_limits<uint64_t>::max());  // overflow bait
+    StateReader reader(writer.bytes(), "test");
+    EXPECT_FALSE(reader.doubles().ok());
+}
+
+TEST(StateHeader, RoundTripAndMismatches)
+{
+    StateWriter writer;
+    writeStateHeader(writer, "bmbp", 3);
+    {
+        StateReader reader(writer.bytes(), "test");
+        EXPECT_TRUE(readStateHeader(reader, "bmbp", 3).ok());
+        EXPECT_TRUE(reader.expectEnd().ok());
+    }
+    {
+        // A payload saved by another predictor type is not applicable.
+        StateReader reader(writer.bytes(), "test");
+        auto result = readStateHeader(reader, "lognormal", 3);
+        ASSERT_FALSE(result.ok());
+        EXPECT_NE(result.error().str().find("bmbp"), std::string::npos);
+        EXPECT_NE(result.error().str().find("lognormal"),
+                  std::string::npos);
+    }
+    {
+        StateReader reader(writer.bytes(), "test");
+        EXPECT_FALSE(readStateHeader(reader, "bmbp", 4).ok());
+    }
+}
+
+TEST(Snapshot, RoundTrip)
+{
+    const std::string dir = freshDir("roundtrip");
+    const std::string path = dir + "/snapshot-0000000001.qds";
+    std::string payload = "opaque predictor state \x00\x01\x02";
+    payload[23] = '\0';
+    ASSERT_TRUE(writeSnapshotFile(path, payload).ok());
+    auto read = readSnapshotFile(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), payload);
+}
+
+TEST(Snapshot, EmptyPayloadRoundTrips)
+{
+    const std::string dir = freshDir("empty");
+    const std::string path = dir + "/s.qds";
+    ASSERT_TRUE(writeSnapshotFile(path, "").ok());
+    auto read = readSnapshotFile(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_TRUE(read.value().empty());
+}
+
+TEST(Snapshot, EveryBitFlipDetected)
+{
+    // Flip one bit anywhere — header or payload — and the read must
+    // fail. This is the whole point of the double CRC.
+    const std::string dir = freshDir("bitflip");
+    const std::string path = dir + "/s.qds";
+    ASSERT_TRUE(writeSnapshotFile(path, "payload-under-test").ok());
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    const std::string bytes = clean.value();
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        std::string corrupt = bytes;
+        corrupt[i] = static_cast<char>(corrupt[i] ^ 0x10);
+        ASSERT_TRUE(atomicWriteFile(path, corrupt).ok());
+        EXPECT_FALSE(readSnapshotFile(path).ok())
+            << "bit flip at byte " << i << " went undetected";
+    }
+}
+
+TEST(Snapshot, TruncationRejected)
+{
+    const std::string dir = freshDir("trunc");
+    const std::string path = dir + "/s.qds";
+    ASSERT_TRUE(writeSnapshotFile(path, "twelve bytes").ok());
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    for (size_t keep : {size_t(0), size_t(10), size_t(27),
+                        clean.value().size() - 1}) {
+        ASSERT_TRUE(
+            atomicWriteFile(path, clean.value().substr(0, keep)).ok());
+        EXPECT_FALSE(readSnapshotFile(path).ok()) << "kept " << keep;
+    }
+}
+
+TEST(Snapshot, TrailingGarbageRejected)
+{
+    // Exact-size check: a snapshot with bytes after the payload is not
+    // the file the writer produced.
+    const std::string dir = freshDir("tail");
+    const std::string path = dir + "/s.qds";
+    ASSERT_TRUE(writeSnapshotFile(path, "payload").ok());
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    ASSERT_TRUE(atomicWriteFile(path, clean.value() + "x").ok());
+    EXPECT_FALSE(readSnapshotFile(path).ok());
+}
+
+TEST(Snapshot, WrongMagicNamesTheCheck)
+{
+    const std::string dir = freshDir("magic");
+    const std::string path = dir + "/s.qds";
+    ASSERT_TRUE(writeSnapshotFile(path, "payload").ok());
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    std::string corrupt = clean.value();
+    corrupt.replace(0, 8, "NOTSNAPS");
+    ASSERT_TRUE(atomicWriteFile(path, corrupt).ok());
+    auto read = readSnapshotFile(path);
+    ASSERT_FALSE(read.ok());
+    EXPECT_NE(read.error().str().find("magic"), std::string::npos);
+}
+
+TEST(Snapshot, MissingFileIsAnError)
+{
+    EXPECT_FALSE(
+        readSnapshotFile(::testing::TempDir() + "qdel_sw_absent.qds")
+            .ok());
+}
+
+TEST(Wal, RoundTrip)
+{
+    const std::string dir = freshDir("wal");
+    const std::string path = dir + "/wal-0000000003.qdw";
+    {
+        auto writer = WalWriter::create(path, 3);
+        ASSERT_TRUE(writer.ok());
+        WalWriter wal = std::move(writer).value();
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Observation, 17.5}).ok());
+        ASSERT_TRUE(wal.append({WalRecordType::Refit, 0.0}).ok());
+        ASSERT_TRUE(
+            wal.append({WalRecordType::FinalizeTraining, 0.0}).ok());
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Observation, -0.0}).ok());
+        ASSERT_TRUE(wal.sync().ok());
+        ASSERT_TRUE(wal.close().ok());
+    }
+    auto contents = readWalFile(path);
+    ASSERT_TRUE(contents.ok());
+    const WalContents &wal = contents.value();
+    EXPECT_EQ(wal.snapshotSeq, 3u);
+    EXPECT_EQ(wal.droppedTailBytes, 0u);
+    ASSERT_EQ(wal.records.size(), 4u);
+    EXPECT_EQ(wal.records[0].type, WalRecordType::Observation);
+    EXPECT_DOUBLE_EQ(wal.records[0].value, 17.5);
+    EXPECT_EQ(wal.records[1].type, WalRecordType::Refit);
+    EXPECT_EQ(wal.records[2].type, WalRecordType::FinalizeTraining);
+    EXPECT_TRUE(std::signbit(wal.records[3].value));
+}
+
+TEST(Wal, EmptySegmentIsValid)
+{
+    const std::string dir = freshDir("walempty");
+    const std::string path = dir + "/wal-0000000000.qdw";
+    {
+        auto writer = WalWriter::create(path, 0);
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE(std::move(writer).value().close().ok());
+    }
+    auto contents = readWalFile(path);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents.value().snapshotSeq, 0u);
+    EXPECT_TRUE(contents.value().records.empty());
+}
+
+TEST(Wal, TornTailYieldsValidPrefix)
+{
+    // The lenient-tail contract: truncate the file at every byte
+    // boundary and the reader must return the longest record prefix
+    // that verifies, accounting for the dropped tail.
+    const std::string dir = freshDir("torn");
+    const std::string path = dir + "/wal-0000000001.qdw";
+    {
+        auto writer = WalWriter::create(path, 1);
+        ASSERT_TRUE(writer.ok());
+        WalWriter wal = std::move(writer).value();
+        for (int i = 0; i < 5; ++i) {
+            ASSERT_TRUE(
+                wal.append({WalRecordType::Observation, double(i)})
+                    .ok());
+        }
+        ASSERT_TRUE(wal.close().ok());
+    }
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    const std::string bytes = clean.value();
+    const size_t header = 24;
+    size_t last_count = 5;
+    for (size_t keep = bytes.size(); keep >= header; --keep) {
+        ASSERT_TRUE(
+            atomicWriteFile(path, bytes.substr(0, keep)).ok());
+        auto contents = readWalFile(path);
+        ASSERT_TRUE(contents.ok()) << "kept " << keep;
+        const WalContents &wal = contents.value();
+        // Records only ever disappear whole as the tail shrinks.
+        EXPECT_LE(wal.records.size(), last_count);
+        last_count = wal.records.size();
+        EXPECT_EQ(wal.records.size() * 17 + header + wal.droppedTailBytes,
+                  keep);
+        for (size_t i = 0; i < wal.records.size(); ++i)
+            EXPECT_DOUBLE_EQ(wal.records[i].value, double(i));
+        // A cut at a record boundary is indistinguishable from a
+        // shorter segment; only a mid-record cut leaves a note.
+        EXPECT_EQ(wal.droppedTailBytes > 0, !wal.note.empty());
+    }
+    EXPECT_EQ(last_count, 0u);
+}
+
+TEST(Wal, CorruptRecordEndsTheSegmentThere)
+{
+    const std::string dir = freshDir("corrupt");
+    const std::string path = dir + "/wal-0000000001.qdw";
+    {
+        auto writer = WalWriter::create(path, 1);
+        ASSERT_TRUE(writer.ok());
+        WalWriter wal = std::move(writer).value();
+        for (int i = 0; i < 4; ++i) {
+            ASSERT_TRUE(
+                wal.append({WalRecordType::Observation, double(i)})
+                    .ok());
+        }
+        ASSERT_TRUE(wal.close().ok());
+    }
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    std::string corrupt = clean.value();
+    // Flip a bit inside record 2's payload (header 24 + two 17-byte
+    // records + frame 8 puts us in the third record's payload).
+    corrupt[24 + 2 * 17 + 8] ^= 0x01;
+    ASSERT_TRUE(atomicWriteFile(path, corrupt).ok());
+    auto contents = readWalFile(path);
+    ASSERT_TRUE(contents.ok());
+    const WalContents &wal = contents.value();
+    ASSERT_EQ(wal.records.size(), 2u);  // the prefix before the damage
+    EXPECT_GT(wal.droppedTailBytes, 0u);
+    EXPECT_FALSE(wal.note.empty());
+}
+
+// A lying write() can drop a record cleanly from the middle of a
+// segment (zero bytes persisted, success reported, later appends land
+// contiguously). Every surviving record still has a self-consistent
+// frame, so only the chained CRC — each record's checksum seeded by
+// its predecessor's — can notice the hole. Replaying past it would
+// reconstruct a non-prefix history, which breaks crash equivalence.
+TEST(Wal, MissingMiddleRecordBreaksTheChain)
+{
+    const std::string dir = freshDir("hole");
+    const std::string path = dir + "/wal-0000000001.qdw";
+    {
+        auto writer = WalWriter::create(path, 1);
+        ASSERT_TRUE(writer.ok());
+        WalWriter wal = std::move(writer).value();
+        for (int i = 0; i < 4; ++i) {
+            ASSERT_TRUE(
+                wal.append({WalRecordType::Observation, double(i)})
+                    .ok());
+        }
+        ASSERT_TRUE(wal.close().ok());
+    }
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    // Excise record 2 (header 24, records are 17 bytes each) so
+    // records 0, 1, 3 sit contiguously on disk.
+    std::string holed = clean.value();
+    holed.erase(24 + 2 * 17, 17);
+    ASSERT_TRUE(atomicWriteFile(path, holed).ok());
+    auto contents = readWalFile(path);
+    ASSERT_TRUE(contents.ok());
+    const WalContents &wal = contents.value();
+    ASSERT_EQ(wal.records.size(), 2u);  // the true prefix, not 0,1,3
+    EXPECT_EQ(wal.records[0].value, 0.0);
+    EXPECT_EQ(wal.records[1].value, 1.0);
+    EXPECT_EQ(wal.droppedTailBytes, 17u);  // record 3, now orphaned
+    EXPECT_NE(wal.note.find("chain"), std::string::npos);
+}
+
+TEST(Wal, BadHeaderFailsTheWholeSegment)
+{
+    const std::string dir = freshDir("header");
+    const std::string path = dir + "/wal-0000000001.qdw";
+    {
+        auto writer = WalWriter::create(path, 1);
+        ASSERT_TRUE(writer.ok());
+        WalWriter wal = std::move(writer).value();
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Observation, 1.0}).ok());
+        ASSERT_TRUE(wal.close().ok());
+    }
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    // Any damage inside the 24-byte header is unrecoverable.
+    for (size_t i : {size_t(0), size_t(9), size_t(15), size_t(22)}) {
+        std::string corrupt = clean.value();
+        corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+        ASSERT_TRUE(atomicWriteFile(path, corrupt).ok());
+        EXPECT_FALSE(readWalFile(path).ok()) << "header byte " << i;
+    }
+    // So does a file shorter than the header.
+    ASSERT_TRUE(
+        atomicWriteFile(path, clean.value().substr(0, 12)).ok());
+    EXPECT_FALSE(readWalFile(path).ok());
+}
+
+} // namespace
+} // namespace persist
+} // namespace qdel

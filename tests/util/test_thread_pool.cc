@@ -10,6 +10,7 @@
 #include <future>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -96,6 +97,83 @@ TEST(ThreadPool, PropagatesExceptions)
     EXPECT_THROW(bad.get(), std::runtime_error);
     // A throwing task must not take its worker down with it.
     EXPECT_EQ(good.get(), 1);
+}
+
+TEST(ThreadPool, ExceptionMessagePreserved)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("observe(-1): negative"); });
+    try {
+        bad.get();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "observe(-1): negative");
+    }
+}
+
+TEST(ThreadPool, SingleWorkerSurvivesThrowingTask)
+{
+    // The deadlock-prone configuration: with one worker, a throwing
+    // task that took its thread down would strand everything queued
+    // behind it. Tasks after the thrower must still run.
+    ThreadPool pool(1);
+    auto bad = pool.submit([]() -> int { throw std::logic_error("boom"); });
+    std::vector<std::future<int>> after;
+    for (int i = 0; i < 32; ++i)
+        after.push_back(pool.submit([i] { return i; }));
+    EXPECT_THROW(bad.get(), std::logic_error);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(after[static_cast<size_t>(i)].get(), i);
+}
+
+TEST(ThreadPool, MixedThrowersAndNormalTasks)
+{
+    // Interleave failures with successes across every worker: each
+    // future resolves to exactly its own task's outcome, failures
+    // never leak into neighbouring results.
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([i]() -> int {
+            if (i % 3 == 0)
+                throw std::runtime_error("task " + std::to_string(i));
+            return i * 2;
+        }));
+    }
+    for (int i = 0; i < 100; ++i) {
+        auto &future = futures[static_cast<size_t>(i)];
+        if (i % 3 == 0) {
+            try {
+                future.get();
+                FAIL() << "task " << i << " should have thrown";
+            } catch (const std::runtime_error &error) {
+                EXPECT_EQ(std::string(error.what()),
+                          "task " + std::to_string(i));
+            }
+        } else {
+            EXPECT_EQ(future.get(), i * 2);
+        }
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsAfterDroppedThrowingFutures)
+{
+    // Callers sometimes fire-and-forget; exceptions parked in
+    // abandoned futures must not wedge or crash pool teardown.
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([i, &completed]() {
+                if (i % 2 == 0)
+                    throw std::runtime_error("dropped");
+                ++completed;
+            });
+            // Futures discarded immediately.
+        }
+    }
+    EXPECT_EQ(completed.load(), 25);
 }
 
 TEST(ThreadPool, DestructorDrainsQueue)

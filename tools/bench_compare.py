@@ -13,8 +13,14 @@ executable:
         --require 'BM_BmbpObserveAndRefit/350000=5' \\
         --require 'BM_RareEventTableBuild=3'
 
-Exit status: 0 when every --require is met (or none given), 1 when a
-required speedup is missed or a required benchmark is absent.
+--max-regress turns the comparison into a regression gate: any shared
+benchmark whose candidate time exceeds the baseline by more than the
+given percentage (default 10 when the flag is given bare) fails the
+run. Useful in CI, where the interesting signal is "did this change
+slow anything down", not a specific speedup target.
+
+Exit status: 0 when every --require is met (or none given) and no
+benchmark regresses past --max-regress; 1 otherwise.
 """
 
 import argparse
@@ -70,7 +76,15 @@ def main(argv=None):
         "--require", action="append", default=[], metavar="NAME=MIN",
         help="fail unless NAME speeds up by at least MINx "
              "(repeatable)")
+    parser.add_argument(
+        "--max-regress", nargs="?", const=10.0, default=None,
+        type=float, metavar="PCT",
+        help="fail when any shared benchmark is more than PCT%% slower "
+             "than the baseline (default 10 when given without a value)")
     args = parser.parse_args(argv)
+
+    if args.max_regress is not None and args.max_regress < 0:
+        raise SystemExit("--max-regress must be >= 0")
 
     old = load_times(args.baseline)
     new = load_times(args.candidate)
@@ -91,6 +105,13 @@ def main(argv=None):
                 marker = f"  (required >= {needed:g}x: FAIL)"
                 failures.append(
                     f"{name}: {speedup:.2f}x < required {needed:g}x")
+        if (args.max_regress is not None and
+                new[name] > old[name] * (1.0 + args.max_regress / 100.0)):
+            regress = (new[name] / old[name] - 1.0) * 100.0
+            marker += f"  (regressed {regress:.1f}% > {args.max_regress:g}%)"
+            failures.append(
+                f"{name}: regressed {regress:.1f}% "
+                f"(limit {args.max_regress:g}%)")
         print(f"{name:<{width}}  {format_ns(old[name]):>10}  "
               f"{format_ns(new[name]):>10}  {speedup:6.2f}x{marker}")
 

@@ -21,6 +21,11 @@
  *   --strict           fail on the first malformed trace line (default)
  *   --lenient          skip malformed lines, report an ingest summary
  *   --verbose          verbose logging (includes the ingest report)
+ *   --checkpoint-dir=D persist predictor + replay state into D so a
+ *                      killed run can be resumed (single queue only)
+ *   --checkpoint-every=5000  jobs between snapshots
+ *   --resume           recover from the checkpoint directory's newest
+ *                      usable state instead of failing on existing state
  *
  * Exit status: 0 on success, 1 on input errors.
  */
@@ -57,13 +62,21 @@ usage(std::ostream &out)
            "                    [--epoch=300] [--train=0.10] "
            "[--queue=NAME] [--by-procs] [--live]\n"
            "                    [--strict|--lenient] [--verbose]\n"
+           "                    [--checkpoint-dir=DIR "
+           "[--checkpoint-every=5000] [--resume]]\n"
            "\n"
            "  --strict    fail on the first malformed trace line "
            "(default)\n"
            "  --lenient   skip malformed lines and print a per-load "
            "ingest report\n"
            "              (lines parsed / comment / malformed / "
-           "filtered)\n";
+           "filtered)\n"
+           "  --checkpoint-dir=DIR  persist predictor + replay state "
+           "into DIR\n"
+           "              (crash-safe; single queue only)\n"
+           "  --resume    recover from DIR's newest usable state "
+           "instead of\n"
+           "              refusing to run on a non-empty directory\n";
 }
 
 /** Print the ingest accounting plus the retained per-line errors. */
@@ -87,7 +100,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"by-procs", "live", "strict", "lenient", "verbose",
-                     "help"});
+                     "resume", "help"});
     if (cliValue(cli.getBool("help", false))) {
         usage(std::cout);
         return 0;
@@ -138,6 +151,28 @@ main(int argc, char **argv)
     }
     const auto min_jobs = static_cast<size_t>(min_jobs_raw);
 
+    const std::string checkpoint_dir = cli.getString("checkpoint-dir", "");
+    const long long checkpoint_every_raw =
+        cliValue(cli.getInt("checkpoint-every", 5000));
+    const bool resume = cliValue(cli.getBool("resume", false));
+    if (checkpoint_dir.empty() &&
+        (resume || cli.has("checkpoint-every"))) {
+        std::cerr << "error: --resume/--checkpoint-every require "
+                     "--checkpoint-dir\n";
+        return 1;
+    }
+    if (checkpoint_every_raw < 0) {
+        std::cerr << "error: --checkpoint-every: must be >= 0, got "
+                  << checkpoint_every_raw << "\n";
+        return 1;
+    }
+    if (!checkpoint_dir.empty() &&
+        cliValue(cli.getBool("by-procs", false))) {
+        std::cerr << "error: --checkpoint-dir cannot be combined with "
+                     "--by-procs (one run, one state)\n";
+        return 1;
+    }
+
     trace::IngestReport report;
     Expected<trace::Trace> loaded = [&]() -> Expected<trace::Trace> {
         if (endsWith(toLower(path), ".swf")) {
@@ -170,6 +205,52 @@ main(int argc, char **argv)
         queues.push_back(cli.getString("queue", ""));
     else
         queues = trace.queueNames();
+
+    if (!checkpoint_dir.empty()) {
+        // A checkpoint directory holds the state of exactly one
+        // (trace, queue, predictor) run, so the multi-queue sweep is
+        // off the table here.
+        if (queues.size() != 1) {
+            std::cerr << "error: --checkpoint-dir requires a single "
+                         "queue; this trace has "
+                      << queues.size()
+                      << " queues, select one with --queue=NAME\n";
+            return 1;
+        }
+        const trace::Trace subdivided = trace.filterByQueue(queues[0]);
+        auto predictor = core::makePredictor(method, options);
+        sim::ReplaySimulator simulator(replay);
+        sim::ReplayCheckpointOptions copts;
+        copts.dir = checkpoint_dir;
+        copts.intervalJobs = static_cast<size_t>(checkpoint_every_raw);
+        copts.resume = resume;
+        auto outcome = simulator.run(subdivided, *predictor, {}, copts);
+        if (!outcome.ok()) {
+            std::cerr << "error: " << outcome.error().str() << "\n";
+            return 1;
+        }
+        const sim::ReplayResult &r = outcome.value();
+        for (const auto &note : r.recoveryNotes)
+            std::cerr << "recovery: " << note << "\n";
+        if (r.resumedFromJob > 0) {
+            std::cerr << "recovery: resumed at job " << r.resumedFromJob
+                      << " of " << r.totalJobs << "\n";
+        }
+        TablePrinter table("qdel-predict: " + method + " on " + path +
+                           " (checkpointed)");
+        table.setHeader({"queue", "jobs", "evaluated", "correct",
+                         "median actual/pred", "trims"});
+        std::string correct = TablePrinter::cell(r.correctFraction, 3);
+        table.addRow(
+            {queues[0].empty() ? "(all)" : queues[0],
+             TablePrinter::cell(static_cast<long long>(r.totalJobs)),
+             TablePrinter::cell(static_cast<long long>(r.evaluatedJobs)),
+             correct, TablePrinter::cellSci(r.medianRatio, 2),
+             TablePrinter::cell(static_cast<long long>(
+                 sim::predictorTrimCount(*predictor)))});
+        table.print(std::cout);
+        return 0;
+    }
 
     TablePrinter results("qdel-predict: " + method + " on " + path);
     if (cliValue(cli.getBool("by-procs", false))) {
