@@ -9,6 +9,7 @@
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <utility>
 
 #include "util/table_printer.hh"
 
@@ -18,7 +19,7 @@ namespace bench {
 BenchOptions
 parseOptions(int argc, char **argv)
 {
-    CommandLine cli(argc, argv);
+    CommandLine cli(argc, argv, {"trace-cache"});
     if (reportCliErrors(cli))
         std::exit(1);
     BenchOptions options;
@@ -29,6 +30,9 @@ parseOptions(int argc, char **argv)
     options.trainFraction = cliValue(cli.getDouble("train", 0.10));
     options.csvPath = cli.getString("csv", "");
     options.threads = cliValue(cli.getInt("threads", 0));
+    options.traceCache = cli.has("trace-cache");
+    options.traceCacheDir = cli.getString("trace-cache", "");
+    options.tracePaths = cli.positional();
 
     // Fail fast with context rather than letting a bad combination
     // panic deep inside the evaluation engine.
@@ -47,6 +51,22 @@ parseOptions(int argc, char **argv)
         std::exit(1);
     }
     return options;
+}
+
+trace::Trace
+loadBenchTrace(const std::string &path, const BenchOptions &options)
+{
+    trace::TraceLoadOptions load_options;
+    load_options.threads = options.threads;
+    load_options.cache = options.traceCache;
+    load_options.cacheDir = options.traceCacheDir;
+    auto loaded = trace::loadTrace(path, load_options);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.error().str().c_str());
+        std::exit(1);
+    }
+    return std::move(loaded).value();
 }
 
 const core::RareEventTable &

@@ -16,6 +16,7 @@
 #include "core/rare_event.hh"
 #include "sim/replay/evaluation.hh"
 #include "sim/replay/parallel_evaluation.hh"
+#include "trace/trace_loader.hh"
 #include "util/cli.hh"
 #include "workload/site_catalog.hh"
 #include "workload/synthesizer.hh"
@@ -33,6 +34,13 @@ struct BenchOptions
     double trainFraction = 0.1; //!< Warm-up fraction (paper: 10%).
     std::string csvPath;        //!< Optional machine-readable dump.
 
+    /** --trace-cache[=DIR]: maintain the binary ".qtc" trace cache. */
+    bool traceCache = false;
+    /** Cache directory; empty = ".qtc" sidecar next to each source. */
+    std::string traceCacheDir;
+    /** Positional arguments: trace files to evaluate, when given. */
+    std::vector<std::string> tracePaths;
+
     /**
      * Evaluation worker threads: --threads=N, else the QDEL_THREADS
      * environment variable, else hardware concurrency. Table output is
@@ -44,6 +52,14 @@ struct BenchOptions
 
 /** Parse the shared options from the command line. */
 BenchOptions parseOptions(int argc, char **argv);
+
+/**
+ * Load a trace file through the cache settings in @p options (strict
+ * mode, zero-copy mmap parse). Errors print to stderr and exit — this
+ * is bench front-end plumbing.
+ */
+trace::Trace loadBenchTrace(const std::string &path,
+                            const BenchOptions &options);
 
 /**
  * Process-wide rare-event table for the configured quantile.

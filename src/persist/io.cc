@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <bit>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -25,18 +26,31 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/** Build the CRC-32 (reflected polynomial 0xEDB88320) lookup table. */
-std::array<uint32_t, 256>
-buildCrcTable()
+/**
+ * Build the slicing-by-8 CRC-32 (reflected polynomial 0xEDB88320)
+ * tables. table[0] is the classic byte-at-a-time table; table[k]
+ * advances a byte that sits k positions deeper in the message, so
+ * eight bytes can be folded per iteration instead of one. The CRC
+ * values produced are bit-identical to the byte-at-a-time loop.
+ */
+std::array<std::array<uint32_t, 256>, 8>
+buildCrcTables()
 {
-    std::array<uint32_t, 256> table{};
+    std::array<std::array<uint32_t, 256>, 8> tables{};
     for (uint32_t i = 0; i < 256; ++i) {
         uint32_t value = i;
         for (int bit = 0; bit < 8; ++bit)
             value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
-        table[i] = value;
+        tables[0][i] = value;
     }
-    return table;
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t value = tables[0][i];
+        for (size_t k = 1; k < 8; ++k) {
+            value = (value >> 8) ^ tables[0][value & 0xFFu];
+            tables[k][i] = value;
+        }
+    }
+    return tables;
 }
 
 ParseError
@@ -66,11 +80,30 @@ faultError(const std::string &path, const std::string &op,
 uint32_t
 crc32(const void *data, size_t len, uint32_t crc)
 {
-    static const std::array<uint32_t, 256> table = buildCrcTable();
+    static const std::array<std::array<uint32_t, 256>, 8> tables =
+        buildCrcTables();
     const auto *bytes = static_cast<const uint8_t *>(data);
     crc = ~crc;
+    // Slicing-by-8: fold eight bytes per iteration. Each table lookup
+    // is independent, so the loop is throughput-bound instead of
+    // chained through the one-byte-at-a-time CRC dependency. The
+    // word-wise fold relies on little-endian loads; big-endian hosts
+    // take the tail loop for everything.
+    while (std::endian::native == std::endian::little && len >= 8) {
+        uint32_t low;
+        std::memcpy(&low, bytes, sizeof(low));
+        low ^= crc;
+        uint32_t high;
+        std::memcpy(&high, bytes + 4, sizeof(high));
+        crc = tables[7][low & 0xFFu] ^ tables[6][(low >> 8) & 0xFFu] ^
+              tables[5][(low >> 16) & 0xFFu] ^ tables[4][low >> 24] ^
+              tables[3][high & 0xFFu] ^ tables[2][(high >> 8) & 0xFFu] ^
+              tables[1][(high >> 16) & 0xFFu] ^ tables[0][high >> 24];
+        bytes += 8;
+        len -= 8;
+    }
     for (size_t i = 0; i < len; ++i)
-        crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+        crc = (crc >> 8) ^ tables[0][(crc ^ bytes[i]) & 0xFFu];
     return ~crc;
 }
 

@@ -1,18 +1,28 @@
 /**
  * @file
  * Implementation of the native trace format.
+ *
+ * As with the SWF parser, two paths produce byte-identical results:
+ * the getline reference path for streams, and the zero-copy buffer
+ * path (optionally parallel over newline-aligned chunks) used for
+ * files. See parse_buffer.hh for the determinism invariants.
  */
 
 #include "trace/native_format.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <istream>
 #include <limits>
+#include <optional>
 #include <ostream>
+#include <utility>
 #include <vector>
 
+#include "trace/parse_buffer.hh"
+#include "util/mapped_file.hh"
 #include "util/string_utils.hh"
 
 namespace qdel {
@@ -20,46 +30,164 @@ namespace trace {
 
 namespace {
 
+/** Highest field count a native data line can carry meaning in. */
+constexpr size_t kMaxNativeFields = 4;
+
 /**
- * Parse the fields of one native data line. Errors carry field/reason
- * only; the caller adds file and line number.
+ * Parse the fields of one native data line into @p job, overwriting
+ * every member (so one instance can be reused across lines). On
+ * failure fills @p err with field/reason only — the caller adds file
+ * and line number — and returns false. Operates on unowned views so
+ * both the getline path and the zero-copy path share the field
+ * semantics (the *scanning* machinery stays independent; see
+ * parseNativeTrace).
  */
-Expected<JobRecord>
-parseNativeFields(const std::vector<std::string> &fields)
+bool
+parseNativeFields(const std::string_view *fields, size_t field_count,
+                  JobRecord &job, ParseError &err)
 {
-    if (fields.size() < 2) {
-        return ParseError{
+    if (field_count < 2) {
+        err = ParseError{
             "", 0, "", "native trace lines need at least <submit> <wait>"};
+        return false;
     }
-    JobRecord job;
-    const auto submit = parseDouble(fields[0]);
+    const auto submit = detail::parseFieldDouble(fields[0]);
     if (!submit || !std::isfinite(*submit)) {
-        return ParseError{"", 0, "field 1 (submit)",
-                          "bad numeric value '" + fields[0] + "'"};
+        err = ParseError{"", 0, "field 1 (submit)",
+                         "bad numeric value '" + std::string(fields[0]) +
+                             "'"};
+        return false;
     }
-    const auto wait = parseDouble(fields[1]);
+    const auto wait = detail::parseFieldDouble(fields[1]);
     if (!wait || !std::isfinite(*wait)) {
-        return ParseError{"", 0, "field 2 (wait)",
-                          "bad numeric value '" + fields[1] + "'"};
+        err = ParseError{"", 0, "field 2 (wait)",
+                         "bad numeric value '" + std::string(fields[1]) +
+                             "'"};
+        return false;
     }
     if (*wait < 0.0) {
-        return ParseError{"", 0, "field 2 (wait)",
-                          "negative wait time '" + fields[1] + "'"};
+        err = ParseError{"", 0, "field 2 (wait)",
+                         "negative wait time '" + std::string(fields[1]) +
+                             "'"};
+        return false;
     }
+    job = JobRecord{};
     job.submitTime = *submit;
     job.waitSeconds = *wait;
-    if (fields.size() >= 3) {
-        const auto procs = parseInt(fields[2]);
+    if (field_count >= 3) {
+        const auto procs = detail::parseFieldInt(fields[2]);
         if (!procs || *procs < 1 ||
             *procs > std::numeric_limits<int>::max()) {
-            return ParseError{"", 0, "field 3 (procs)",
-                              "bad processor count '" + fields[2] + "'"};
+            err = ParseError{"", 0, "field 3 (procs)",
+                             "bad processor count '" +
+                                 std::string(fields[2]) + "'"};
+            return false;
         }
         job.procs = static_cast<int>(*procs);
     }
-    if (fields.size() >= 4 && fields[3] != "-")
-        job.queue = fields[3];
-    return job;
+    if (field_count >= 4 && fields[3] != "-")
+        job.queue = std::string(fields[3]);
+    return true;
+}
+
+/**
+ * Recover the "# site=<s> machine=<m>" header the writer emits so
+ * parse -> write round trips reproduce it. Unrecognized comments are
+ * skipped, never an error. @return the (site, machine) pair if found.
+ */
+std::optional<std::pair<std::string, std::string>>
+parseNativeHeader(std::string_view header)
+{
+    if (!startsWith(header, "site="))
+        return std::nullopt;
+    const size_t pos = header.find(" machine=");
+    if (pos == std::string_view::npos)
+        return std::nullopt;
+    return std::make_pair(std::string(trim(header.substr(5, pos - 5))),
+                          std::string(trim(header.substr(pos + 9))));
+}
+
+/**
+ * Everything one newline-aligned chunk contributes. Line numbers are
+ * chunk-relative; the merge rebases them by prefix sum.
+ */
+struct NativeChunkResult
+{
+    std::vector<JobRecord> records;
+    /** Last "# site=... machine=..." header in the chunk (last wins). */
+    std::optional<std::pair<std::string, std::string>> siteMachine;
+    size_t totalLines = 0;
+    size_t commentLines = 0;
+    size_t parsedRecords = 0;
+    size_t malformedLines = 0;
+    std::vector<ParseError> errors;  //!< .line is chunk-relative.
+    bool stopped = false;            //!< Strict-mode error: chunk ended.
+};
+
+/** Zero-copy scan of one chunk. */
+NativeChunkResult
+parseNativeChunk(std::string_view chunk, const NativeParseOptions &options)
+{
+    NativeChunkResult out;
+    // ~25-byte lines are typical; a rough reserve avoids most of the
+    // record vector's growth reallocations on large chunks.
+    out.records.reserve(chunk.size() / 25 + 1);
+    detail::LineCursor cursor(chunk);
+    std::string_view line;
+    std::string_view fields[kMaxNativeFields];
+    JobRecord job;
+    ParseError err;
+    while (cursor.next(line)) {
+        ++out.totalLines;
+        const size_t first = detail::firstNonSpace(line);
+        if (first == std::string_view::npos) {
+            ++out.commentLines;
+            continue;
+        }
+        if (line[first] == '#') {
+            ++out.commentLines;
+            if (auto header = parseNativeHeader(trim(line.substr(first + 1))))
+                out.siteMachine = std::move(header);
+            continue;
+        }
+        // tokenizeFields skips interior and trailing whitespace
+        // (including a trailing '\r'), so no trimmed copy is needed.
+        const size_t nf = detail::tokenizeFields(line.substr(first),
+                                                 fields, kMaxNativeFields);
+        if (!parseNativeFields(fields, nf, job, err)) {
+            ++out.malformedLines;
+            if (out.errors.size() < IngestReport::kMaxDetailedErrors) {
+                err.line = out.totalLines;
+                out.errors.push_back(err);
+            }
+            if (options.mode == ParseMode::Strict) {
+                out.stopped = true;
+                return out;
+            }
+            continue;
+        }
+        out.records.push_back(std::move(job));
+        ++out.parsedRecords;
+    }
+    return out;
+}
+
+/** Fold one chunk's counters into the report (detail cap preserved). */
+void
+accumulateCounts(IngestReport &rep, NativeChunkResult &chunk,
+                 size_t line_offset, const std::string &name)
+{
+    rep.totalLines += chunk.totalLines;
+    rep.commentLines += chunk.commentLines;
+    rep.parsedRecords += chunk.parsedRecords;
+    rep.malformedLines += chunk.malformedLines;
+    for (auto &err : chunk.errors) {
+        if (rep.errors.size() >= IngestReport::kMaxDetailedErrors)
+            break;
+        err.file = name;
+        err.line += line_offset;
+        rep.errors.push_back(std::move(err));
+    }
 }
 
 } // namespace
@@ -82,26 +210,27 @@ parseNativeTrace(std::istream &in, const std::string &name,
         std::string_view body = trim(line);
         if (body.empty() || body.front() == '#') {
             ++rep.commentLines;
-            // Recover the "# site=<s> machine=<m>" header the writer
-            // emits so parse -> write round trips reproduce it.
-            // Unrecognized comments are skipped, never an error.
-            if (!body.empty() && body.front() == '#') {
-                std::string_view header = trim(body.substr(1));
-                if (startsWith(header, "site=")) {
-                    const size_t pos = header.find(" machine=");
-                    if (pos != std::string_view::npos) {
-                        t.setSite(std::string(
-                            trim(header.substr(5, pos - 5))));
-                        t.setMachine(
-                            std::string(trim(header.substr(pos + 9))));
-                    }
+            if (!body.empty()) {
+                if (auto header = parseNativeHeader(trim(body.substr(1)))) {
+                    t.setSite(std::move(header->first));
+                    t.setMachine(std::move(header->second));
                 }
             }
             continue;
         }
-        auto parsed = parseNativeFields(splitWhitespace(body));
-        if (!parsed.ok()) {
-            ParseError err = parsed.error();
+        // Deliberately the allocating tokenizer: this path is the
+        // equivalence oracle for the zero-copy scanner, and the parity
+        // tests only mean something while the two line/tokenize
+        // machineries stay independent.
+        const auto field_strings = splitWhitespace(body);
+        std::string_view fields[kMaxNativeFields];
+        const size_t nf =
+            std::min(field_strings.size(), kMaxNativeFields);
+        for (size_t i = 0; i < nf; ++i)
+            fields[i] = field_strings[i];
+        JobRecord job;
+        ParseError err;
+        if (!parseNativeFields(fields, nf, job, err)) {
             err.file = name;
             err.line = lineno;
             if (options.mode == ParseMode::Strict) {
@@ -111,8 +240,63 @@ parseNativeTrace(std::istream &in, const std::string &name,
             rep.addError(std::move(err));
             continue;
         }
-        t.add(std::move(parsed).value());
+        t.add(std::move(job));
         ++rep.parsedRecords;
+    }
+    t.sortBySubmitTime();
+    return t;
+}
+
+Expected<Trace>
+parseNativeBuffer(std::string_view data, const std::string &name,
+                  const NativeParseOptions &options, IngestReport *report)
+{
+    IngestReport local;
+    IngestReport &rep = report ? *report : local;
+    rep = IngestReport{};
+    rep.source = name;
+
+    const size_t chunk_bytes = options.chunkBytes
+                                   ? options.chunkBytes
+                                   : detail::kDefaultChunkBytes;
+    const size_t threads =
+        ThreadPool::resolveThreadCount(options.threads);
+    const auto chunks = detail::splitChunksAtNewlines(data, chunk_bytes);
+    auto parsed = detail::parseChunks<NativeChunkResult>(
+        chunks, threads, [&options](std::string_view chunk) {
+            return parseNativeChunk(chunk, options);
+        });
+
+    // Strict mode: the first failing line wins, exactly as the
+    // sequential scan would have stopped there. Chunks before it are
+    // complete, so the failing line's absolute number is a prefix sum.
+    size_t record_total = 0;
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        if (!parsed[i].stopped) {
+            record_total += parsed[i].records.size();
+            continue;
+        }
+        size_t line_offset = 0;
+        for (size_t j = 0; j < i; ++j) {
+            accumulateCounts(rep, parsed[j], line_offset, name);
+            line_offset += parsed[j].totalLines;
+        }
+        accumulateCounts(rep, parsed[i], line_offset, name);
+        return rep.errors.back();
+    }
+
+    Trace t;
+    t.reserve(record_total);
+    size_t line_offset = 0;
+    for (auto &chunk : parsed) {
+        if (chunk.siteMachine) {
+            t.setSite(std::move(chunk.siteMachine->first));
+            t.setMachine(std::move(chunk.siteMachine->second));
+        }
+        for (auto &record : chunk.records)
+            t.add(std::move(record));
+        accumulateCounts(rep, chunk, line_offset, name);
+        line_offset += chunk.totalLines;
     }
     t.sortBySubmitTime();
     return t;
@@ -122,10 +306,10 @@ Expected<Trace>
 loadNativeTrace(const std::string &path, const NativeParseOptions &options,
                 IngestReport *report)
 {
-    std::ifstream in(path);
-    if (!in)
+    auto file = MappedFile::open(path);
+    if (!file.ok())
         return ParseError{path, 0, "", "cannot open native trace file"};
-    return parseNativeTrace(in, path, options, report);
+    return parseNativeBuffer(file.value().view(), path, options, report);
 }
 
 void

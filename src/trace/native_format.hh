@@ -17,8 +17,10 @@
 #ifndef QDEL_TRACE_NATIVE_FORMAT_HH
 #define QDEL_TRACE_NATIVE_FORMAT_HH
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/ingest.hh"
 #include "trace/trace.hh"
@@ -32,6 +34,18 @@ struct NativeParseOptions
 {
     /** Malformed-line policy (strict: fail the load; lenient: skip). */
     ParseMode mode = ParseMode::Strict;
+    /**
+     * Parse worker threads for the zero-copy buffer path: 1 (default)
+     * parses sequentially, 0 resolves ThreadPool::defaultThreadCount(),
+     * N > 1 fans newline-aligned chunks across a pool. The parsed
+     * Trace and IngestReport are byte-identical for every value.
+     */
+    long long threads = 1;
+    /**
+     * Target bytes per parallel chunk; 0 selects the default (4 MiB).
+     * Exposed so tests can force multi-chunk merges on small inputs.
+     */
+    size_t chunkBytes = 0;
 };
 
 /**
@@ -50,7 +64,22 @@ Expected<Trace> parseNativeTrace(std::istream &in,
                                  const NativeParseOptions &options = {},
                                  IngestReport *report = nullptr);
 
-/** Parse a native-format trace from the file at @p path. */
+/**
+ * Zero-copy parse of an in-memory native-format buffer: scans @p data
+ * in place (no per-line strings), optionally fanning newline-aligned
+ * chunks across a thread pool (options.threads). Produces a Trace and
+ * IngestReport byte-identical to parseNativeTrace() on the same bytes
+ * in both strict and lenient modes.
+ */
+Expected<Trace> parseNativeBuffer(std::string_view data,
+                                  const std::string &name,
+                                  const NativeParseOptions &options = {},
+                                  IngestReport *report = nullptr);
+
+/**
+ * Parse the native-format trace file at @p path. The file is
+ * memory-mapped and parsed through parseNativeBuffer().
+ */
 Expected<Trace> loadNativeTrace(const std::string &path,
                                 const NativeParseOptions &options = {},
                                 IngestReport *report = nullptr);

@@ -32,8 +32,10 @@
 #ifndef QDEL_TRACE_SWF_FORMAT_HH
 #define QDEL_TRACE_SWF_FORMAT_HH
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/ingest.hh"
 #include "trace/trace.hh"
@@ -51,6 +53,18 @@ struct SwfParseOptions
     bool skipFailed = false;
     /** Malformed-line policy (strict: fail the load; lenient: skip). */
     ParseMode mode = ParseMode::Strict;
+    /**
+     * Parse worker threads for the zero-copy buffer path: 1 (default)
+     * parses sequentially, 0 resolves ThreadPool::defaultThreadCount(),
+     * N > 1 fans newline-aligned chunks across a pool. The parsed
+     * Trace and IngestReport are byte-identical for every value.
+     */
+    long long threads = 1;
+    /**
+     * Target bytes per parallel chunk; 0 selects the default (4 MiB).
+     * Exposed so tests can force multi-chunk merges on small inputs.
+     */
+    size_t chunkBytes = 0;
 };
 
 /**
@@ -69,7 +83,22 @@ Expected<Trace> parseSwfTrace(std::istream &in,
                               const SwfParseOptions &options = {},
                               IngestReport *report = nullptr);
 
-/** Parse the SWF file at @p path; error when the file cannot be read. */
+/**
+ * Zero-copy parse of an in-memory SWF buffer: scans @p data in place
+ * (no per-line strings), optionally fanning newline-aligned chunks
+ * across a thread pool (options.threads). Produces a Trace and
+ * IngestReport byte-identical to parseSwfTrace() on the same bytes in
+ * both strict and lenient modes.
+ */
+Expected<Trace> parseSwfBuffer(std::string_view data,
+                               const std::string &name,
+                               const SwfParseOptions &options = {},
+                               IngestReport *report = nullptr);
+
+/**
+ * Parse the SWF file at @p path; error when the file cannot be read.
+ * The file is memory-mapped and parsed through parseSwfBuffer().
+ */
 Expected<Trace> loadSwfTrace(const std::string &path,
                              const SwfParseOptions &options = {},
                              IngestReport *report = nullptr);

@@ -25,10 +25,16 @@ Trace::add(JobRecord job)
 void
 Trace::sortBySubmitTime()
 {
-    std::stable_sort(jobs_.begin(), jobs_.end(),
-                     [](const JobRecord &a, const JobRecord &b) {
-                         return a.submitTime < b.submitTime;
-                     });
+    const auto by_submit = [](const JobRecord &a, const JobRecord &b) {
+        return a.submitTime < b.submitTime;
+    };
+    // Real traces are almost always submit-ordered already, and
+    // stable_sort on sorted input is an identity — but the is_sorted
+    // scan is far cheaper than letting it move the records to find
+    // that out.
+    if (std::is_sorted(jobs_.begin(), jobs_.end(), by_submit))
+        return;
+    std::stable_sort(jobs_.begin(), jobs_.end(), by_submit);
 }
 
 bool

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Implementation of the binary columnar trace cache. See the header
+ * for the on-disk layout.
+ */
+
+#include "trace/trace_cache.hh"
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "persist/io.hh"
+
+namespace qdel {
+namespace trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'T', 'C', '1'};
+constexpr size_t kHeaderBytes = 40;
+constexpr size_t kCrcBytes = 4;
+
+/** Options-word bits (bit 0 distinguishes the source format). */
+enum OptionBits : uint32_t
+{
+    kOptNative = 1u << 0,
+    kOptLenient = 1u << 1,
+    kOptSkipMissingWait = 1u << 2,
+    kOptSkipFailed = 1u << 3,
+};
+
+// ---------------------------------------------------------------------
+// Serialization
+
+template <typename T>
+void
+appendScalar(std::string &out, T value)
+{
+    char raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    out.append(raw, sizeof(T));
+}
+
+void
+appendString(std::string &out, const std::string &text)
+{
+    appendScalar<uint32_t>(out, static_cast<uint32_t>(text.size()));
+    out.append(text);
+}
+
+template <typename T>
+void
+appendColumn(std::string &out, const std::vector<T> &column)
+{
+    out.append(reinterpret_cast<const char *>(column.data()),
+               column.size() * sizeof(T));
+}
+
+// ---------------------------------------------------------------------
+// Deserialization: a bounds-checked forward cursor. Every read either
+// succeeds or trips the `bad` flag; callers check once at the end of a
+// section, which keeps the hot column loads branch-light.
+
+struct Cursor
+{
+    const char *data;
+    size_t size;
+    size_t pos = 0;
+    bool bad = false;
+
+    template <typename T>
+    T
+    scalar()
+    {
+        T value{};
+        if (bad || size - pos < sizeof(T)) {
+            bad = true;
+            return value;
+        }
+        std::memcpy(&value, data + pos, sizeof(T));
+        pos += sizeof(T);
+        return value;
+    }
+
+    std::string
+    str()
+    {
+        const uint32_t len = scalar<uint32_t>();
+        if (bad || size - pos < len) {
+            bad = true;
+            return {};
+        }
+        std::string out(data + pos, len);
+        pos += len;
+        return out;
+    }
+
+    template <typename T>
+    std::vector<T>
+    column(size_t count)
+    {
+        std::vector<T> out;
+        if (bad || (size - pos) / sizeof(T) < count) {
+            bad = true;
+            return out;
+        }
+        out.resize(count);
+        std::memcpy(out.data(), data + pos, count * sizeof(T));
+        pos += count * sizeof(T);
+        return out;
+    }
+};
+
+CacheReadResult
+miss(CacheStatus status, std::string detail)
+{
+    CacheReadResult out;
+    out.status = status;
+    out.detail = std::move(detail);
+    return out;
+}
+
+} // namespace
+
+uint32_t
+swfCacheOptions(const SwfParseOptions &options)
+{
+    uint32_t word = 0;
+    if (options.mode == ParseMode::Lenient)
+        word |= kOptLenient;
+    if (options.skipMissingWait)
+        word |= kOptSkipMissingWait;
+    if (options.skipFailed)
+        word |= kOptSkipFailed;
+    return word;
+}
+
+uint32_t
+nativeCacheOptions(const NativeParseOptions &options)
+{
+    uint32_t word = kOptNative;
+    if (options.mode == ParseMode::Lenient)
+        word |= kOptLenient;
+    return word;
+}
+
+std::string
+traceCachePath(const std::string &trace_path, const std::string &cache_dir)
+{
+    if (cache_dir.empty())
+        return trace_path + ".qtc";
+    const size_t slash = trace_path.find_last_of('/');
+    const std::string base = slash == std::string::npos
+                                 ? trace_path
+                                 : trace_path.substr(slash + 1);
+    return cache_dir + "/" + base + ".qtc";
+}
+
+Expected<Unit>
+writeTraceCache(const std::string &cache_path, const Trace &t,
+                const IngestReport &report, uint32_t options_word,
+                const FileStamp &source_stamp)
+{
+    const size_t n = t.size();
+
+    // Columns, transposed from the record array in one pass.
+    std::vector<double> submit(n), wait(n), run(n);
+    std::vector<int32_t> procs(n);
+    std::vector<int64_t> status(n);
+    std::vector<uint32_t> queue_id(n);
+    std::map<std::string, uint32_t> queue_ids;
+    std::vector<const std::string *> queue_order;
+    for (size_t i = 0; i < n; ++i) {
+        const JobRecord &job = t[i];
+        submit[i] = job.submitTime;
+        wait[i] = job.waitSeconds;
+        run[i] = job.runSeconds;
+        procs[i] = static_cast<int32_t>(job.procs);
+        status[i] = static_cast<int64_t>(job.status);
+        auto inserted = queue_ids.emplace(
+            job.queue, static_cast<uint32_t>(queue_order.size()));
+        if (inserted.second)
+            queue_order.push_back(&job.queue);
+        queue_id[i] = inserted.first->second;
+    }
+
+    std::string bytes;
+    bytes.reserve(kHeaderBytes + n * 36 + 1024);
+    bytes.append(kMagic, sizeof(kMagic));
+    appendScalar<uint32_t>(bytes, kTraceCacheVersion);
+    appendScalar<uint32_t>(bytes, options_word);
+    appendScalar<uint32_t>(bytes, 0);
+    appendScalar<uint64_t>(bytes, source_stamp.sizeBytes);
+    appendScalar<int64_t>(bytes, source_stamp.mtimeNs);
+    appendScalar<uint64_t>(bytes, static_cast<uint64_t>(n));
+
+    appendColumn(bytes, submit);
+    appendColumn(bytes, wait);
+    appendColumn(bytes, run);
+    appendColumn(bytes, procs);
+    appendColumn(bytes, status);
+    appendColumn(bytes, queue_id);
+
+    appendString(bytes, t.site());
+    appendString(bytes, t.machine());
+    appendScalar<uint32_t>(bytes,
+                           static_cast<uint32_t>(queue_order.size()));
+    for (const std::string *queue : queue_order)
+        appendString(bytes, *queue);
+
+    appendString(bytes, report.source);
+    appendScalar<uint64_t>(bytes, report.totalLines);
+    appendScalar<uint64_t>(bytes, report.commentLines);
+    appendScalar<uint64_t>(bytes, report.parsedRecords);
+    appendScalar<uint64_t>(bytes, report.malformedLines);
+    appendScalar<uint64_t>(bytes, report.filteredRecords);
+    appendScalar<uint32_t>(bytes,
+                           static_cast<uint32_t>(report.errors.size()));
+    for (const ParseError &error : report.errors) {
+        appendString(bytes, error.file);
+        appendScalar<uint64_t>(bytes, static_cast<uint64_t>(error.line));
+        appendString(bytes, error.field);
+        appendString(bytes, error.reason);
+    }
+
+    appendScalar<uint32_t>(bytes,
+                           persist::crc32(bytes.data(), bytes.size()));
+
+    // --trace-cache=DIR may name a directory that does not exist yet.
+    const size_t slash = cache_path.find_last_of('/');
+    if (slash != std::string::npos && slash > 0) {
+        if (auto made =
+                persist::ensureDirectory(cache_path.substr(0, slash));
+            !made.ok())
+            return made.error();
+    }
+    return persist::atomicWriteFile(cache_path, bytes);
+}
+
+CacheReadResult
+readTraceCache(const std::string &cache_path, uint32_t options_word,
+               const FileStamp &source_stamp)
+{
+    if (!persist::pathExists(cache_path))
+        return miss(CacheStatus::Missing, "no cache file");
+    auto file = MappedFile::open(cache_path);
+    if (!file.ok())
+        return miss(CacheStatus::Corrupt, file.error().reason);
+    const std::string_view bytes = file.value().view();
+
+    if (bytes.size() < kHeaderBytes + kCrcBytes)
+        return miss(CacheStatus::Corrupt,
+                    "truncated: " + std::to_string(bytes.size()) +
+                        " bytes");
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return miss(CacheStatus::Corrupt, "bad magic");
+
+    // Verify the CRC before trusting any field beyond the magic.
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + bytes.size() - kCrcBytes,
+                kCrcBytes);
+    const uint32_t actual_crc =
+        persist::crc32(bytes.data(), bytes.size() - kCrcBytes);
+    if (stored_crc != actual_crc)
+        return miss(CacheStatus::Corrupt, "CRC mismatch");
+
+    Cursor cursor{bytes.data(), bytes.size() - kCrcBytes, sizeof(kMagic)};
+    const auto version = cursor.scalar<uint32_t>();
+    const auto stored_options = cursor.scalar<uint32_t>();
+    cursor.scalar<uint32_t>();  // reserved
+    const auto source_size = cursor.scalar<uint64_t>();
+    const auto source_mtime = cursor.scalar<int64_t>();
+    const auto job_count = cursor.scalar<uint64_t>();
+    if (version != kTraceCacheVersion) {
+        return miss(CacheStatus::Stale,
+                    "format version " + std::to_string(version) +
+                        " != " + std::to_string(kTraceCacheVersion));
+    }
+    if (stored_options != options_word)
+        return miss(CacheStatus::Stale, "parse options differ");
+    if (source_size != source_stamp.sizeBytes ||
+        source_mtime != source_stamp.mtimeNs)
+        return miss(CacheStatus::Stale, "source file changed");
+
+    const size_t n = static_cast<size_t>(job_count);
+    const auto submit = cursor.column<double>(n);
+    const auto wait = cursor.column<double>(n);
+    const auto run = cursor.column<double>(n);
+    const auto procs = cursor.column<int32_t>(n);
+    const auto status = cursor.column<int64_t>(n);
+    const auto queue_id = cursor.column<uint32_t>(n);
+
+    const std::string site = cursor.str();
+    const std::string machine = cursor.str();
+    const auto queue_count = cursor.scalar<uint32_t>();
+    if (cursor.bad)
+        return miss(CacheStatus::Corrupt, "truncated columns");
+    std::vector<std::string> queue_names;
+    queue_names.reserve(queue_count);
+    for (uint32_t i = 0; i < queue_count && !cursor.bad; ++i)
+        queue_names.push_back(cursor.str());
+
+    CacheReadResult out;
+    out.report.source = cursor.str();
+    out.report.totalLines = static_cast<size_t>(cursor.scalar<uint64_t>());
+    out.report.commentLines =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    out.report.parsedRecords =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    out.report.malformedLines =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    out.report.filteredRecords =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    const auto error_count = cursor.scalar<uint32_t>();
+    if (cursor.bad || error_count > IngestReport::kMaxDetailedErrors)
+        return miss(CacheStatus::Corrupt, "malformed report section");
+    for (uint32_t i = 0; i < error_count && !cursor.bad; ++i) {
+        ParseError error;
+        error.file = cursor.str();
+        error.line = static_cast<size_t>(cursor.scalar<uint64_t>());
+        error.field = cursor.str();
+        error.reason = cursor.str();
+        out.report.errors.push_back(std::move(error));
+    }
+    if (cursor.bad || cursor.pos != cursor.size)
+        return miss(CacheStatus::Corrupt, "malformed string section");
+
+    out.trace.setSite(site);
+    out.trace.setMachine(machine);
+    out.trace.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (queue_id[i] >= queue_names.size())
+            return miss(CacheStatus::Corrupt, "queue id out of range");
+        JobRecord job;
+        job.submitTime = submit[i];
+        job.waitSeconds = wait[i];
+        job.runSeconds = run[i];
+        job.procs = static_cast<int>(procs[i]);
+        job.status = static_cast<long long>(status[i]);
+        job.queue = queue_names[queue_id[i]];
+        out.trace.add(std::move(job));
+    }
+    out.status = CacheStatus::Hit;
+    return out;
+}
+
+} // namespace trace
+} // namespace qdel

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Binary columnar trace cache (".qtc"): the parsed form of a text
+ * trace, written once and memory-map-loaded afterwards so repeat runs
+ * skip text parsing entirely.
+ *
+ * On-disk layout (host endianness; a cache is a per-machine artifact,
+ * not an interchange format — a foreign-endian file fails the CRC and
+ * falls back to text parse). All multi-byte values are stored with
+ * memcpy at natural packing, no padding:
+ *
+ *   [0]  magic           "QTC1" (4 bytes)
+ *   [4]  u32 version     kTraceCacheVersion
+ *   [8]  u32 options     parse-option word (format + mode + filters);
+ *                        see swfCacheOptions()/nativeCacheOptions()
+ *   [12] u32 reserved    0
+ *   [16] u64 sourceSize  byte size of the source text file
+ *   [24] i64 sourceMtime mtime of the source, in nanoseconds
+ *   [32] u64 jobCount    n
+ *   ---- columns, each a contiguous array of n elements ----
+ *        f64 submit[n], f64 wait[n], f64 run[n],
+ *        i32 procs[n], i64 status[n], u32 queueId[n]
+ *   ---- string section ----
+ *        str site, str machine
+ *        u32 queueNameCount, str queueName[...]   (queueId indexes this)
+ *        ingest report: str source, u64 totalLines, u64 commentLines,
+ *          u64 parsedRecords, u64 malformedLines, u64 filteredRecords,
+ *          u32 errorCount, { str file, u64 line, str field,
+ *          str reason } x errorCount
+ *   ---- trailer ----
+ *        u32 crc32 of every preceding byte (persist::crc32)
+ *
+ *   (str = u32 byte length + bytes, no terminator.)
+ *
+ * A cache is *valid* for a load when all of: magic/version match, the
+ * options word equals the one derived from the requested parse
+ * options, the source stamp equals the current stat() of the text
+ * file, and the CRC verifies. Anything else is a miss — reported with
+ * a reason so the loader can log why it re-parsed (recovery-ladder
+ * style, like persist/recovery.hh), never an error: the text file
+ * remains the source of truth.
+ */
+
+#ifndef QDEL_TRACE_TRACE_CACHE_HH
+#define QDEL_TRACE_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/ingest.hh"
+#include "trace/native_format.hh"
+#include "trace/swf_format.hh"
+#include "trace/trace.hh"
+#include "util/expected.hh"
+#include "util/mapped_file.hh"
+
+namespace qdel {
+namespace trace {
+
+/** Bump when the on-disk layout changes; stale versions re-parse. */
+constexpr uint32_t kTraceCacheVersion = 1;
+
+/**
+ * The parse options that determine a cache's contents, packed into the
+ * header's options word. threads/chunkBytes are deliberately excluded:
+ * they never change the parsed result.
+ */
+uint32_t swfCacheOptions(const SwfParseOptions &options);
+
+/** Native-format equivalent of swfCacheOptions(). */
+uint32_t nativeCacheOptions(const NativeParseOptions &options);
+
+/**
+ * Where the cache for @p trace_path lives: "<trace_path>.qtc" when
+ * @p cache_dir is empty, otherwise "<cache_dir>/<basename>.qtc".
+ */
+std::string traceCachePath(const std::string &trace_path,
+                           const std::string &cache_dir);
+
+/** Why a cache read did not produce a trace. */
+enum class CacheStatus
+{
+    Hit,      //!< Loaded; trace/report are filled.
+    Missing,  //!< No cache file (first run).
+    Stale,    //!< Version/options/source-stamp mismatch.
+    Corrupt,  //!< CRC failure, truncation, or malformed contents.
+};
+
+/** Outcome of readTraceCache(). */
+struct CacheReadResult
+{
+    CacheStatus status = CacheStatus::Missing;
+    std::string detail;   //!< Human-readable reason for a non-Hit.
+    Trace trace;          //!< Valid only when status == Hit.
+    IngestReport report;  //!< Valid only when status == Hit.
+};
+
+/**
+ * Try to load the cache at @p cache_path for a source currently
+ * stamped @p source_stamp and parsed under @p options_word. Never
+ * fails hard: every problem is a non-Hit status with a reason.
+ */
+CacheReadResult readTraceCache(const std::string &cache_path,
+                               uint32_t options_word,
+                               const FileStamp &source_stamp);
+
+/**
+ * Serialize @p t (+ its ingest @p report) to @p cache_path, keyed by
+ * @p options_word and @p source_stamp. Published atomically through
+ * persist::atomicWriteFile, so readers never observe a torn cache.
+ */
+Expected<Unit> writeTraceCache(const std::string &cache_path,
+                               const Trace &t, const IngestReport &report,
+                               uint32_t options_word,
+                               const FileStamp &source_stamp);
+
+} // namespace trace
+} // namespace qdel
+
+#endif // QDEL_TRACE_TRACE_CACHE_HH

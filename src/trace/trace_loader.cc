@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Implementation of the unified cached trace loader.
+ */
+
+#include "trace/trace_loader.hh"
+
+#include <utility>
+
+#include "trace/native_format.hh"
+#include "trace/swf_format.hh"
+#include "trace/trace_cache.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace qdel {
+namespace trace {
+
+namespace {
+
+SwfParseOptions
+swfOptions(const TraceLoadOptions &options)
+{
+    SwfParseOptions out;
+    out.mode = options.mode;
+    out.skipMissingWait = options.skipMissingWait;
+    out.skipFailed = options.skipFailed;
+    out.threads = options.threads;
+    out.chunkBytes = options.chunkBytes;
+    return out;
+}
+
+NativeParseOptions
+nativeOptions(const TraceLoadOptions &options)
+{
+    NativeParseOptions out;
+    out.mode = options.mode;
+    out.threads = options.threads;
+    out.chunkBytes = options.chunkBytes;
+    return out;
+}
+
+Expected<Trace>
+parseText(const std::string &path, const TraceLoadOptions &options,
+          IngestReport *report)
+{
+    if (isSwfPath(path))
+        return loadSwfTrace(path, swfOptions(options), report);
+    return loadNativeTrace(path, nativeOptions(options), report);
+}
+
+} // namespace
+
+bool
+isSwfPath(const std::string &path)
+{
+    const std::string lower = toLower(path);
+    const std::string suffix = ".swf";
+    return lower.size() >= suffix.size() &&
+           lower.compare(lower.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+}
+
+Expected<Trace>
+loadTrace(const std::string &path, const TraceLoadOptions &options,
+          IngestReport *report)
+{
+    if (!options.cache)
+        return parseText(path, options, report);
+
+    const uint32_t options_word =
+        isSwfPath(path) ? swfCacheOptions(swfOptions(options))
+                        : nativeCacheOptions(nativeOptions(options));
+    const std::string cache_path =
+        traceCachePath(path, options.cacheDir);
+
+    // The stamp both validates an existing cache and keys a new one; if
+    // the source cannot even be stat()ed, let the text parse produce
+    // its usual "cannot open" error.
+    auto stamp = FileStamp::of(path);
+    if (!stamp.ok())
+        return parseText(path, options, report);
+
+    auto cached =
+        readTraceCache(cache_path, options_word, stamp.value());
+    switch (cached.status) {
+      case CacheStatus::Hit:
+        inform("trace cache hit: ", cache_path, " (",
+               cached.trace.size(), " jobs)");
+        if (report)
+            *report = std::move(cached.report);
+        return std::move(cached.trace);
+      case CacheStatus::Missing:
+        inform("trace cache miss: ", cache_path, ": ", cached.detail,
+               "; parsing text");
+        break;
+      case CacheStatus::Stale:
+        inform("trace cache stale: ", cache_path, ": ", cached.detail,
+               "; re-parsing text");
+        break;
+      case CacheStatus::Corrupt:
+        warn("trace cache corrupt: ", cache_path, ": ", cached.detail,
+             "; falling back to text parse");
+        break;
+    }
+
+    IngestReport local;
+    IngestReport &rep = report ? *report : local;
+    auto parsed = parseText(path, options, &rep);
+    if (!parsed.ok())
+        return parsed;
+
+    if (auto written = writeTraceCache(cache_path, parsed.value(), rep,
+                                       options_word, stamp.value());
+        !written.ok()) {
+        warn("trace cache write failed: ", cache_path, ": ",
+             written.error().str());
+    } else {
+        inform("trace cache written: ", cache_path);
+    }
+    return std::move(parsed);
+}
+
+} // namespace trace
+} // namespace qdel

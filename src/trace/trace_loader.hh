@@ -1,0 +1,62 @@
+/**
+ * @file
+ * One-call trace loading for the front ends: format dispatch by file
+ * extension (".swf" vs native), the zero-copy mmap parse, and the
+ * optional binary trace cache (trace_cache.hh) behind a single flag.
+ *
+ * With caching enabled the loader tries the ".qtc" sidecar first and
+ * falls back down a recovery-style ladder, logging why at each rung:
+ * cache hit (inform) -> missing/stale (inform, re-parse, rewrite) ->
+ * corrupt (warn, re-parse, rewrite). Cache problems are never load
+ * errors — the text file stays the source of truth, and a failed
+ * cache *write* only costs the next run its speedup.
+ */
+
+#ifndef QDEL_TRACE_TRACE_LOADER_HH
+#define QDEL_TRACE_TRACE_LOADER_HH
+
+#include <cstddef>
+#include <string>
+
+#include "trace/ingest.hh"
+#include "trace/trace.hh"
+#include "util/expected.hh"
+
+namespace qdel {
+namespace trace {
+
+/** Options for loadTrace(). */
+struct TraceLoadOptions
+{
+    /** Malformed-line policy (strict: fail the load; lenient: skip). */
+    ParseMode mode = ParseMode::Strict;
+    /** SWF only: drop records whose wait time is missing (-1). */
+    bool skipMissingWait = true;
+    /** SWF only: drop records with status 0/5 (failed/cancelled). */
+    bool skipFailed = false;
+    /** Parse worker threads (see SwfParseOptions::threads). */
+    long long threads = 1;
+    /** Parallel-parse chunk size override; 0 = default. */
+    size_t chunkBytes = 0;
+    /** Consult/maintain the binary trace cache. */
+    bool cache = false;
+    /** Cache directory; empty = ".qtc" sidecar next to the source. */
+    std::string cacheDir;
+};
+
+/** @return true when @p path names an SWF file (case-insensitive). */
+bool isSwfPath(const std::string &path);
+
+/**
+ * Load the trace at @p path (format by extension), through the cache
+ * when options.cache is set. On a cache hit @p report is the report
+ * of the original text parse, verbatim.
+ */
+Expected<Trace> loadTrace(const std::string &path,
+                          const TraceLoadOptions &options = {},
+                          IngestReport *report = nullptr);
+
+} // namespace trace
+} // namespace qdel
+
+#endif // QDEL_TRACE_TRACE_LOADER_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Implementation of the memory-mapped file wrapper.
+ */
+
+#include "util/mapped_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if !defined(_WIN32)
+#define QDEL_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace qdel {
+
+namespace {
+
+#if QDEL_HAVE_MMAP
+Expected<FileStamp>
+statFd(int fd, const std::string &path, uint64_t *size_out)
+{
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        return ParseError{path, 0, "",
+                          std::string("fstat failed: ") +
+                              std::strerror(errno)};
+    }
+    FileStamp stamp;
+    stamp.sizeBytes = static_cast<uint64_t>(st.st_size);
+    stamp.mtimeNs = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                    static_cast<int64_t>(st.st_mtim.tv_nsec);
+    if (size_out)
+        *size_out = stamp.sizeBytes;
+    return stamp;
+}
+#endif
+
+/** Portable fallback: slurp the file through an ifstream. */
+Expected<std::string>
+readWhole(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return ParseError{path, 0, "", "cannot open file"};
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad())
+        return ParseError{path, 0, "", "read failed"};
+    return bytes;
+}
+
+} // namespace
+
+Expected<FileStamp>
+FileStamp::of(const std::string &path)
+{
+#if QDEL_HAVE_MMAP
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+        return ParseError{path, 0, "",
+                          std::string("stat failed: ") +
+                              std::strerror(errno)};
+    }
+    FileStamp stamp;
+    stamp.sizeBytes = static_cast<uint64_t>(st.st_size);
+    stamp.mtimeNs = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                    static_cast<int64_t>(st.st_mtim.tv_nsec);
+    return stamp;
+#else
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return ParseError{path, 0, "", "cannot open file"};
+    FileStamp stamp;
+    stamp.sizeBytes = static_cast<uint64_t>(in.tellg());
+    stamp.mtimeNs = 0;  // No portable mtime; size-only staleness.
+    return stamp;
+#endif
+}
+
+MappedFile::~MappedFile()
+{
+    release();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    release();
+    mapped_ = std::exchange(other.mapped_, nullptr);
+    mappedLen_ = std::exchange(other.mappedLen_, 0);
+    fallback_ = std::move(other.fallback_);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+    stamp_ = other.stamp_;
+    // data_ points into whichever backing store is live.
+    data_ = mapped_ ? static_cast<const char *>(mapped_)
+                    : fallback_.data();
+    other.data_ = "";
+    return *this;
+}
+
+void
+MappedFile::release()
+{
+#if QDEL_HAVE_MMAP
+    if (mapped_)
+        ::munmap(mapped_, mappedLen_);
+#endif
+    mapped_ = nullptr;
+    mappedLen_ = 0;
+    fallback_.clear();
+    data_ = "";
+    size_ = 0;
+}
+
+Expected<MappedFile>
+MappedFile::open(const std::string &path)
+{
+    MappedFile file;
+    file.path_ = path;
+#if QDEL_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        return ParseError{path, 0, "",
+                          std::string("cannot open file: ") +
+                              std::strerror(errno)};
+    }
+    uint64_t size = 0;
+    auto stamp = statFd(fd, path, &size);
+    if (!stamp.ok()) {
+        ::close(fd);
+        return stamp.error();
+    }
+    file.stamp_ = stamp.value();
+    if (size == 0) {
+        // mmap of length 0 is EINVAL; an empty view is the right answer.
+        ::close(fd);
+        return file;
+    }
+    void *base =
+        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base != MAP_FAILED) {
+#ifdef POSIX_MADV_SEQUENTIAL
+        // Advisory only; parsers stream front to back.
+        ::posix_madvise(base, size, POSIX_MADV_SEQUENTIAL);
+#endif
+        file.mapped_ = base;
+        file.mappedLen_ = static_cast<size_t>(size);
+        file.data_ = static_cast<const char *>(base);
+        file.size_ = static_cast<size_t>(size);
+        return file;
+    }
+    // Fall through to the read path (e.g. file systems without mmap).
+#endif
+    auto bytes = readWhole(path);
+    if (!bytes.ok())
+        return bytes.error();
+    file.fallback_ = std::move(bytes).value();
+    file.data_ = file.fallback_.data();
+    file.size_ = file.fallback_.size();
+    if (file.stamp_.sizeBytes == 0 && file.size_ > 0)
+        file.stamp_.sizeBytes = file.size_;
+    return file;
+}
+
+} // namespace qdel

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Read-only memory-mapped file wrapper — the zero-copy substrate of
+ * the trace ingestion pipeline.
+ *
+ * On POSIX the whole file is mmap()ed (with a sequential-access
+ * advisory) and exposed as a string_view over the mapped bytes, so
+ * parsers scan the kernel page cache in place: no read() copies, no
+ * per-line std::string. On platforms without mmap — or when mmap fails
+ * for any reason — the file is slurped into an owned buffer instead;
+ * callers observe the same string_view interface either way.
+ *
+ * The stat() results captured at open time (byte size, mtime in
+ * nanoseconds) double as the staleness key of the binary trace cache
+ * (trace/trace_cache.hh).
+ */
+
+#ifndef QDEL_UTIL_MAPPED_FILE_HH
+#define QDEL_UTIL_MAPPED_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/expected.hh"
+
+namespace qdel {
+
+/** Size + mtime fingerprint of a file, as captured by FileStamp::of. */
+struct FileStamp
+{
+    uint64_t sizeBytes = 0;   //!< st_size.
+    int64_t mtimeNs = 0;      //!< st_mtim, flattened to nanoseconds.
+
+    /** stat() @p path; error when it does not exist or is unreadable. */
+    static Expected<FileStamp> of(const std::string &path);
+
+    bool
+    operator==(const FileStamp &other) const
+    {
+        return sizeBytes == other.sizeBytes && mtimeNs == other.mtimeNs;
+    }
+};
+
+/** See file comment. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** Map (or, on failure, read) the whole file at @p path. */
+    static Expected<MappedFile> open(const std::string &path);
+
+    /** The file's bytes; valid for the lifetime of this object. */
+    std::string_view view() const { return {data_, size_}; }
+
+    size_t size() const { return size_; }
+    const std::string &path() const { return path_; }
+
+    /** Size/mtime captured at open() time. */
+    const FileStamp &stamp() const { return stamp_; }
+
+    /** @return true when backed by mmap (false: owned read buffer). */
+    bool isMapped() const { return mapped_ != nullptr; }
+
+  private:
+    void release();
+
+    const char *data_ = "";
+    size_t size_ = 0;
+    void *mapped_ = nullptr;     //!< mmap base, or nullptr for fallback.
+    size_t mappedLen_ = 0;
+    std::string fallback_;       //!< Owned bytes when not mapped.
+    std::string path_;
+    FileStamp stamp_;
+};
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_MAPPED_FILE_HH

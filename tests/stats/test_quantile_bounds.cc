@@ -68,6 +68,88 @@ TEST(UpperBoundIndexExact, DefiningInequalities)
     }
 }
 
+namespace {
+
+/**
+ * The pre-optimization binary searches, kept verbatim as the reference
+ * the anchored recurrence walk must reproduce index-for-index.
+ */
+BoundIndex
+upperBoundIndexBinarySearch(size_t n, double q, double confidence)
+{
+    const long long nn = static_cast<long long>(n);
+    if (binomialCdf(nn - 1, nn, q) < confidence)
+        return std::nullopt;
+    size_t lo = 1, hi = n;
+    while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (binomialCdf(static_cast<long long>(mid) - 1, nn, q) >=
+            confidence) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return hi;
+}
+
+BoundIndex
+lowerBoundIndexBinarySearch(size_t n, double q, double confidence)
+{
+    const long long nn = static_cast<long long>(n);
+    if (1.0 - binomialCdf(0, nn, q) < confidence)
+        return std::nullopt;
+    size_t lo = 1, hi = n;
+    while (lo < hi) {
+        const size_t mid = lo + (hi - lo + 1) / 2;
+        if (1.0 - binomialCdf(static_cast<long long>(mid) - 1, nn, q) >=
+            confidence) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return lo;
+}
+
+} // namespace
+
+TEST(BoundIndexExact, MatchesBinarySearchReference)
+{
+    // The anchored pmf-recurrence implementation must agree with the
+    // old binary search everywhere: a geometric ladder of sample sizes
+    // from 10 to 100k crossed with the paper's q/C grid (plus tail
+    // cases where the normal anchor is at its worst).
+    std::vector<size_t> sizes;
+    for (size_t n = 10; n <= 100000; n = n * 3 / 2 + 1)
+        sizes.push_back(n);
+    sizes.push_back(100000);
+    const double qs[] = {0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999};
+    const double cs[] = {0.8, 0.9, 0.95, 0.99};
+    for (size_t n : sizes) {
+        for (double q : qs) {
+            for (double c : cs) {
+                const auto upper = upperBoundIndexExact(n, q, c);
+                const auto upper_ref = upperBoundIndexBinarySearch(n, q, c);
+                ASSERT_EQ(upper.has_value(), upper_ref.has_value())
+                    << "upper n=" << n << " q=" << q << " C=" << c;
+                if (upper.has_value()) {
+                    ASSERT_EQ(*upper, *upper_ref)
+                        << "upper n=" << n << " q=" << q << " C=" << c;
+                }
+                const auto lower = lowerBoundIndexExact(n, q, c);
+                const auto lower_ref = lowerBoundIndexBinarySearch(n, q, c);
+                ASSERT_EQ(lower.has_value(), lower_ref.has_value())
+                    << "lower n=" << n << " q=" << q << " C=" << c;
+                if (lower.has_value()) {
+                    ASSERT_EQ(*lower, *lower_ref)
+                        << "lower n=" << n << " q=" << q << " C=" << c;
+                }
+            }
+        }
+    }
+}
+
 TEST(LowerBoundIndexExact, DefiningInequalities)
 {
     for (size_t n : {59u, 200u}) {

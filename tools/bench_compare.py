@@ -19,12 +19,18 @@ given percentage (default 10 when the flag is given bare) fails the
 run. Useful in CI, where the interesting signal is "did this change
 slow anything down", not a specific speedup target.
 
+Besides the per-benchmark table the report ends with a geometric-mean
+speedup over the shared benchmarks, and benchmarks present in only one
+report are listed as added (candidate only) / removed (baseline only)
+so renames and new coverage are visible rather than silently ignored.
+
 Exit status: 0 when every --require is met (or none given) and no
 benchmark regresses past --max-regress; 1 otherwise.
 """
 
 import argparse
 import json
+import math
 import sys
 
 # google-benchmark reports whatever unit each benchmark asked for;
@@ -115,12 +121,20 @@ def main(argv=None):
         print(f"{name:<{width}}  {format_ns(old[name]):>10}  "
               f"{format_ns(new[name]):>10}  {speedup:6.2f}x{marker}")
 
-    only_old = sorted(set(old) - set(new))
-    only_new = sorted(set(new) - set(old))
-    if only_old:
-        print(f"\nonly in baseline: {', '.join(only_old)}")
-    if only_new:
-        print(f"only in candidate: {', '.join(only_new)}")
+    speedups = [old[name] / new[name] for name in shared if new[name] > 0]
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups) /
+                           len(speedups))
+        print(f"\ngeomean speedup: {geomean:.2f}x "
+              f"over {len(speedups)} shared benchmark"
+              f"{'' if len(speedups) == 1 else 's'}")
+
+    removed = sorted(set(old) - set(new))
+    added = sorted(set(new) - set(old))
+    if removed:
+        print(f"\nremoved (baseline only): {', '.join(removed)}")
+    if added:
+        print(f"added (candidate only): {', '.join(added)}")
 
     for name, needed in requirements.items():
         failures.append(

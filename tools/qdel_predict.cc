@@ -20,6 +20,10 @@
  *   --live             print the final bound a user would see now
  *   --strict           fail on the first malformed trace line (default)
  *   --lenient          skip malformed lines, report an ingest summary
+ *   --threads=N        parse worker threads (default 1; 0 = auto)
+ *   --trace-cache[=D]  maintain a binary ".qtc" cache of the parsed
+ *                      trace (in D, default: next to the source) and
+ *                      load from it when fresh
  *   --verbose          verbose logging (includes the ingest report)
  *   --checkpoint-dir=D persist predictor + replay state into D so a
  *                      killed run can be resumed (single queue only)
@@ -35,8 +39,7 @@
 #include "core/predictor_factory.hh"
 #include "core/rare_event.hh"
 #include "sim/replay/evaluation.hh"
-#include "trace/native_format.hh"
-#include "trace/swf_format.hh"
+#include "trace/trace_loader.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
@@ -46,14 +49,6 @@ namespace {
 
 using namespace qdel;
 
-bool
-endsWith(const std::string &text, const std::string &suffix)
-{
-    return text.size() >= suffix.size() &&
-           text.compare(text.size() - suffix.size(), suffix.size(),
-                        suffix) == 0;
-}
-
 void
 usage(std::ostream &out)
 {
@@ -61,7 +56,8 @@ usage(std::ostream &out)
            "[--quantile=0.95] [--confidence=0.95]\n"
            "                    [--epoch=300] [--train=0.10] "
            "[--queue=NAME] [--by-procs] [--live]\n"
-           "                    [--strict|--lenient] [--verbose]\n"
+           "                    [--strict|--lenient] [--threads=N] "
+           "[--trace-cache[=DIR]] [--verbose]\n"
            "                    [--checkpoint-dir=DIR "
            "[--checkpoint-every=5000] [--resume]]\n"
            "\n"
@@ -71,6 +67,10 @@ usage(std::ostream &out)
            "ingest report\n"
            "              (lines parsed / comment / malformed / "
            "filtered)\n"
+           "  --trace-cache[=DIR]  write a binary \".qtc\" cache of the "
+           "parsed trace\n"
+           "              on first load and reuse it while the source "
+           "is unchanged\n"
            "  --checkpoint-dir=DIR  persist predictor + replay state "
            "into DIR\n"
            "              (crash-safe; single queue only)\n"
@@ -100,7 +100,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"by-procs", "live", "strict", "lenient", "verbose",
-                     "resume", "help"});
+                     "resume", "trace-cache", "help"});
     if (cliValue(cli.getBool("help", false))) {
         usage(std::cout);
         return 0;
@@ -173,17 +173,22 @@ main(int argc, char **argv)
         return 1;
     }
 
+    const long long threads = cliValue(cli.getInt("threads", 1));
+    if (threads < 0) {
+        std::cerr << "error: --threads: must be >= 0, got " << threads
+                  << "\n";
+        return 1;
+    }
+
+    trace::TraceLoadOptions load_options;
+    load_options.mode = mode;
+    load_options.threads = threads;
+    load_options.cache = cli.has("trace-cache");
+    load_options.cacheDir = cli.getString("trace-cache", "");
+
     trace::IngestReport report;
-    Expected<trace::Trace> loaded = [&]() -> Expected<trace::Trace> {
-        if (endsWith(toLower(path), ".swf")) {
-            trace::SwfParseOptions swf_options;
-            swf_options.mode = mode;
-            return trace::loadSwfTrace(path, swf_options, &report);
-        }
-        trace::NativeParseOptions native_options;
-        native_options.mode = mode;
-        return trace::loadNativeTrace(path, native_options, &report);
-    }();
+    Expected<trace::Trace> loaded =
+        trace::loadTrace(path, load_options, &report);
     if (!loaded.ok()) {
         std::cerr << "error: " << loaded.error().str() << "\n";
         return 1;

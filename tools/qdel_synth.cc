@@ -10,6 +10,9 @@
  *              [--site=S --queue=Q]      (default: the whole suite)
  *              [--verify]  re-load each written file (strict) and
  *                          check the record count round-trips
+ *              [--trace-cache[=DIR]]  also warm a binary ".qtc" cache
+ *                          for each written trace, so downstream runs
+ *                          with --trace-cache start hot
  */
 
 #include <filesystem>
@@ -17,6 +20,7 @@
 
 #include "trace/native_format.hh"
 #include "trace/swf_format.hh"
+#include "trace/trace_loader.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "workload/site_catalog.hh"
@@ -26,13 +30,16 @@ int
 main(int argc, char **argv)
 {
     using namespace qdel;
-    CommandLine cli(argc, argv, {"verify", "help"});
+    CommandLine cli(argc, argv, {"verify", "trace-cache", "help"});
     if (cliValue(cli.getBool("help", false))) {
         std::cout << "usage: qdel_synth --out=DIR "
                      "[--format=native|swf] [--seed=1] "
-                     "[--site=S --queue=Q] [--verify]\n"
+                     "[--site=S --queue=Q] [--verify] "
+                     "[--trace-cache[=DIR]]\n"
                      "  --verify  re-load each written trace (strict "
-                     "mode) and check it round-trips\n";
+                     "mode) and check it round-trips\n"
+                     "  --trace-cache[=DIR]  warm a binary \".qtc\" "
+                     "cache for each written trace\n";
         return 0;
     }
     if (reportCliErrors(cli))
@@ -89,6 +96,20 @@ main(int argc, char **argv)
         if (!saved.ok()) {
             std::cerr << "error: " << saved.error().str() << "\n";
             return 1;
+        }
+        if (cli.has("trace-cache")) {
+            // Re-load through the caching loader: the text parse runs
+            // once here and leaves a fresh ".qtc" behind, so every
+            // downstream --trace-cache consumer starts hot.
+            trace::TraceLoadOptions cache_options;
+            cache_options.cache = true;
+            cache_options.cacheDir = cli.getString("trace-cache", "");
+            auto warmed = trace::loadTrace(path, cache_options);
+            if (!warmed.ok()) {
+                std::cerr << "error: cache warm-up failed: "
+                          << warmed.error().str() << "\n";
+                return 1;
+            }
         }
         if (verify) {
             trace::IngestReport report;
