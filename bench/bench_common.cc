@@ -5,16 +5,65 @@
 
 #include "bench_common.hh"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <iostream>
 #include <map>
 #include <mutex>
 #include <utility>
 
+#include "obs/domain_metrics.hh"
 #include "util/table_printer.hh"
 
 namespace qdel {
 namespace bench {
+
+namespace {
+
+// Written once in parseOptions, read by the atexit handler. The bench
+// binaries have a dozen exit paths between them; a process-exit hook is
+// the one place that covers them all without per-binary plumbing.
+ObsFlags g_obs_flags;
+
+void
+writeObsAtExit()
+{
+    writeObsOutputs(g_obs_flags);
+}
+
+// Aggregate progress across every concurrent replay: the per-run
+// callback fires often, so throttle to one line per second and report
+// the process-wide job counter (the sharded obs counter already sums
+// across workers — no extra bookkeeping here).
+void
+benchProgress(const sim::ReplayProgress &)
+{
+    static std::atomic<int64_t> last_print_nanos{0};
+    const int64_t now = obs::nowNanos();
+    int64_t last = last_print_nanos.load(std::memory_order_relaxed);
+    if (now - last < 1'000'000'000)
+        return;
+    if (!last_print_nanos.compare_exchange_strong(
+            last, now, std::memory_order_relaxed))
+        return; // another worker just printed
+    const uint64_t jobs = obs::replayMetrics().jobsProcessed.value();
+    const double seconds = static_cast<double>(now) * 1e-9;
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(jobs) / seconds : 0.0;
+    // Not inform(): the user asked for these lines with --stats-every,
+    // so they print regardless of --verbose. One fwrite per line keeps
+    // concurrent workers from interleaving mid-line.
+    char line[96];
+    const int n = std::snprintf(
+        line, sizeof(line), "progress: %llu jobs replayed | %.0f jobs/s\n",
+        static_cast<unsigned long long>(jobs), rate);
+    if (n > 0)
+        std::fwrite(line, 1, static_cast<size_t>(n), stderr);
+}
+
+} // namespace
 
 BenchOptions
 parseOptions(int argc, char **argv)
@@ -33,6 +82,15 @@ parseOptions(int argc, char **argv)
     options.traceCache = cli.has("trace-cache");
     options.traceCacheDir = cli.getString("trace-cache", "");
     options.tracePaths = cli.positional();
+    if (!parseObsFlags(cli, &options.obs))
+        std::exit(1);
+    if (options.obs.any()) {
+        static std::once_flag once;
+        std::call_once(once, [&options] {
+            g_obs_flags = options.obs;
+            std::atexit(writeObsAtExit);
+        });
+    }
 
     // Fail fast with context rather than letting a bad combination
     // panic deep inside the evaluation engine.
@@ -100,6 +158,10 @@ replayConfig(const BenchOptions &options)
     sim::ReplayConfig config;
     config.epochSeconds = options.epochSeconds;
     config.trainFraction = options.trainFraction;
+    if (options.obs.statsEvery > 0) {
+        config.progressEveryJobs = options.obs.statsEvery;
+        config.onProgress = benchProgress;
+    }
     return config;
 }
 

@@ -18,6 +18,7 @@
 #include "sim/replay/parallel_evaluation.hh"
 #include "trace/trace_loader.hh"
 #include "util/cli.hh"
+#include "util/obs_cli.hh"
 #include "workload/site_catalog.hh"
 #include "workload/synthesizer.hh"
 
@@ -48,6 +49,15 @@ struct BenchOptions
      * submission order); 1 recovers the sequential behaviour.
      */
     long long threads = 0;
+
+    /**
+     * --metrics-out / --events-out / --stats-every: any of them turns
+     * the observability subsystem on. The output files are written by
+     * an atexit handler, so individual bench binaries need no exit-path
+     * plumbing; --stats-every prints an aggregate progress line across
+     * all concurrent replays (at most once a second).
+     */
+    ObsFlags obs;
 };
 
 /** Parse the shared options from the command line. */

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Overhead proof for the observability layer (google-benchmark).
+ *
+ * Built twice from this one source:
+ *
+ *  - obs_overhead: the shipped build — obs compiled in, collection off
+ *    by default (the disabled-registry fast path every production run
+ *    that passes no --metrics-out takes), plus micro-benchmarks of the
+ *    enabled primitives.
+ *  - obs_overhead_baseline: the same hot-path benchmarks with the core
+ *    sources recompiled under QDEL_OBS_DISABLE, so the macros vanish
+ *    from the binary entirely — the true no-obs baseline.
+ *
+ * The overhead gate diffs the two reports over the shared benchmark
+ * names (tools/bench_compare.py --max-regress): the disabled-registry
+ * path must stay within a couple of percent of the compiled-out build
+ * on the observe+refit hot path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/bmbp_predictor.hh"
+#include "stats/rng.hh"
+
+#ifndef QDEL_OBS_DISABLE
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#endif
+
+namespace {
+
+using namespace qdel;
+
+/** Preload a predictor with n log-normal observations. */
+void
+preload(core::BmbpPredictor &predictor, size_t n, uint64_t seed)
+{
+    stats::Rng rng(seed);
+    for (size_t i = 0; i < n; ++i)
+        predictor.observe(rng.logNormal(4.0, 2.0));
+    predictor.refit();
+}
+
+/**
+ * The instrumented hot path: one observation into the history plus a
+ * refit, exactly what the replay loop does per job. Identical name in
+ * both binaries so the overhead gate can diff them.
+ */
+void
+BM_ObserveRefitHotPath(benchmark::State &state)
+{
+    core::BmbpConfig config;
+    core::BmbpPredictor predictor(config);
+    preload(predictor, static_cast<size_t>(state.range(0)), 2);
+    stats::Rng rng(3);
+    for (auto _ : state) {
+        predictor.observe(rng.logNormal(4.0, 2.0));
+        predictor.refit();
+        benchmark::DoNotOptimize(predictor.upperBound());
+    }
+}
+BENCHMARK(BM_ObserveRefitHotPath)->Arg(59)->Arg(30000);
+
+#ifndef QDEL_OBS_DISABLE
+
+/** RAII toggle so enabled-state benchmarks cannot leak global state. */
+class EnabledScope
+{
+  public:
+    explicit EnabledScope(bool on) : saved_(obs::enabled())
+    {
+        obs::setEnabled(on);
+    }
+    ~EnabledScope() { obs::setEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+/** The same hot path with collection switched on. */
+void
+BM_ObserveRefitHotPathEnabled(benchmark::State &state)
+{
+    EnabledScope scope(true);
+    core::BmbpConfig config;
+    core::BmbpPredictor predictor(config);
+    preload(predictor, static_cast<size_t>(state.range(0)), 2);
+    stats::Rng rng(3);
+    for (auto _ : state) {
+        predictor.observe(rng.logNormal(4.0, 2.0));
+        predictor.refit();
+        benchmark::DoNotOptimize(predictor.upperBound());
+    }
+}
+BENCHMARK(BM_ObserveRefitHotPathEnabled)->Arg(59)->Arg(30000);
+
+/** One guarded counter increment, collection off: the common case. */
+void
+BM_CounterIncDisabled(benchmark::State &state)
+{
+    EnabledScope scope(false);
+    obs::Counter counter("bench_disabled_counter_total", "");
+    for (auto _ : state)
+        QDEL_OBS(counter.inc());
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterIncDisabled);
+
+/** One guarded counter increment, collection on: a relaxed add. */
+void
+BM_CounterIncEnabled(benchmark::State &state)
+{
+    EnabledScope scope(true);
+    obs::Counter counter("bench_enabled_counter_total", "");
+    for (auto _ : state)
+        QDEL_OBS(counter.inc());
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterIncEnabled);
+
+/** Contended counter: every pool worker bumping the same shards. */
+void
+BM_CounterIncEnabledThreaded(benchmark::State &state)
+{
+    static obs::Counter counter("bench_threaded_counter_total", "");
+    EnabledScope scope(true);
+    for (auto _ : state)
+        QDEL_OBS(counter.inc());
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterIncEnabledThreaded)->Threads(1)->Threads(8);
+
+/** One guarded histogram observation, collection on. */
+void
+BM_HistogramObserveEnabled(benchmark::State &state)
+{
+    EnabledScope scope(true);
+    obs::Histogram histogram("bench_histogram_seconds", "",
+                             obs::exponentialBounds(1e-6, 4.0, 13));
+    double value = 1e-6;
+    for (auto _ : state) {
+        QDEL_OBS(histogram.observe(value));
+        value = value > 1.0 ? 1e-6 : value * 1.7;
+    }
+    benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramObserveEnabled);
+
+/** One event into the bounded ring (mutex + slot write). */
+void
+BM_EventEmitEnabled(benchmark::State &state)
+{
+    EnabledScope scope(true);
+    obs::EventRing ring(1 << 12);
+    for (auto _ : state)
+        ring.emit(obs::EventType::BoundHit, 1.0, 2.0, "bench");
+    benchmark::DoNotOptimize(ring.dropped());
+}
+BENCHMARK(BM_EventEmitEnabled);
+
+#endif // QDEL_OBS_DISABLE
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,8 @@
 
 #include <vector>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "persist/state_codec.hh"
 #include "stats/descriptive.hh"
 #include "stats/quantile_bounds.hh"
@@ -75,6 +77,12 @@ BmbpPredictor::observe(double wait_seconds)
         }
     }
 
+    QDEL_OBS({
+        obs::coreMetrics().observations.inc();
+        obs::coreMetrics().historySize.set(
+            static_cast<double>(chronological_.size()));
+    });
+
     if (!config_.trimmingEnabled)
         return;
 
@@ -82,16 +90,33 @@ BmbpPredictor::observe(double wait_seconds)
     // current bound (only meaningful once a finite bound exists).
     if (cachedBound_.finite() && wait_seconds > cachedBound_.value) {
         ++missRun_;
+        QDEL_OBS({
+            if (missRun_ == 1) {
+                obs::coreMetrics().rareRunStarted.inc();
+                obs::events().emit(obs::EventType::RareRunStarted,
+                                   cachedBound_.value, wait_seconds);
+            }
+            obs::coreMetrics().rareRunLength.set(
+                static_cast<double>(missRun_));
+        });
         if (missRun_ >= runThreshold_)
             trimHistory();
     } else {
         missRun_ = 0;
+        QDEL_OBS(obs::coreMetrics().rareRunLength.set(0.0));
     }
 }
 
 void
 BmbpPredictor::refit()
 {
+    // The comma expression rides the span's single enabled() check so
+    // a disabled refit pays one branch, not two (refit is per-epoch but
+    // also the tightest instrumented function in the repo).
+    QDEL_OBS_SPAN(span,
+                  (obs::coreMetrics().refits.inc(),
+                   obs::coreMetrics().refitSeconds),
+                  obs::EventType::Span, "bmbp_refit");
     cachedBound_ = computeBound(config_.quantile, /*upper=*/true);
 }
 
@@ -233,6 +258,14 @@ void
 BmbpPredictor::trimHistory()
 {
     ++trimCount_;
+    QDEL_OBS({
+        obs::coreMetrics().rareEventFired.inc();
+        obs::events().emit(obs::EventType::RareEventFired,
+                           static_cast<double>(missRun_),
+                           static_cast<double>(chronological_.size()),
+                           "bmbp");
+        obs::coreMetrics().rareRunLength.set(0.0);
+    });
     missRun_ = 0;
     // Keep only the most recent observations that still allow a
     // meaningful bound at the configured quantile/confidence. When the
@@ -255,6 +288,13 @@ BmbpPredictor::trimHistory()
             chronological_.pop_front();
         }
     }
+    QDEL_OBS({
+        obs::events().emit(obs::EventType::HistoryTrimmed,
+                           static_cast<double>(chronological_.size()),
+                           0.0, "bmbp");
+        obs::coreMetrics().historySize.set(
+            static_cast<double>(chronological_.size()));
+    });
     // The old model is invalid; re-arm immediately rather than waiting
     // for the next epoch.
     refit();

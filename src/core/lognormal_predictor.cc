@@ -8,6 +8,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "persist/state_codec.hh"
 #include "stats/descriptive.hh"
 #include "stats/quantile_bounds.hh"
@@ -43,21 +45,44 @@ LogNormalPredictor::observe(double wait_seconds)
     sum_ += log_wait;
     sumSq_ += log_wait * log_wait;
 
+    QDEL_OBS({
+        obs::coreMetrics().observations.inc();
+        obs::coreMetrics().historySize.set(
+            static_cast<double>(logs_.size()));
+    });
+
     if (!config_.trimmingEnabled)
         return;
 
     if (cachedBound_.finite() && wait_seconds > cachedBound_.value) {
         ++missRun_;
+        QDEL_OBS({
+            if (missRun_ == 1) {
+                obs::coreMetrics().rareRunStarted.inc();
+                obs::events().emit(obs::EventType::RareRunStarted,
+                                   cachedBound_.value, wait_seconds);
+            }
+            obs::coreMetrics().rareRunLength.set(
+                static_cast<double>(missRun_));
+        });
         if (missRun_ >= runThreshold_)
             trimHistory();
     } else {
         missRun_ = 0;
+        QDEL_OBS(obs::coreMetrics().rareRunLength.set(0.0));
     }
 }
 
 void
 LogNormalPredictor::refit()
 {
+    // The comma expression rides the span's single enabled() check so
+    // a disabled refit pays one branch, not two (refit is per-epoch but
+    // also the tightest instrumented function in the repo).
+    QDEL_OBS_SPAN(span,
+                  (obs::coreMetrics().refits.inc(),
+                   obs::coreMetrics().refitSeconds),
+                  obs::EventType::Span, "lognormal_refit");
     cachedBound_ = computeBound(config_.quantile, /*upper=*/true);
 }
 
@@ -215,10 +240,25 @@ void
 LogNormalPredictor::trimHistory()
 {
     ++trimCount_;
+    QDEL_OBS({
+        obs::coreMetrics().rareEventFired.inc();
+        obs::events().emit(obs::EventType::RareEventFired,
+                           static_cast<double>(missRun_),
+                           static_cast<double>(logs_.size()),
+                           "lognormal");
+        obs::coreMetrics().rareRunLength.set(0.0);
+    });
     missRun_ = 0;
     while (logs_.size() > minimumHistory_)
         logs_.pop_front();
     rebuildSums();
+    QDEL_OBS({
+        obs::events().emit(obs::EventType::HistoryTrimmed,
+                           static_cast<double>(logs_.size()), 0.0,
+                           "lognormal");
+        obs::coreMetrics().historySize.set(
+            static_cast<double>(logs_.size()));
+    });
     refit();
 }
 

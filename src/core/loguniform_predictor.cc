@@ -8,6 +8,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "persist/state_codec.hh"
 
 namespace qdel {
@@ -37,11 +39,23 @@ LogUniformPredictor::observe(double wait_seconds)
             chronological_.pop_front();
         }
     }
+    QDEL_OBS({
+        obs::coreMetrics().observations.inc();
+        obs::coreMetrics().historySize.set(
+            static_cast<double>(chronological_.size()));
+    });
 }
 
 void
 LogUniformPredictor::refit()
 {
+    // The comma expression rides the span's single enabled() check so
+    // a disabled refit pays one branch, not two (refit is per-epoch but
+    // also the tightest instrumented function in the repo).
+    QDEL_OBS_SPAN(span,
+                  (obs::coreMetrics().refits.inc(),
+                   obs::coreMetrics().refitSeconds),
+                  obs::EventType::Span, "loguniform_refit");
     cachedBound_ = computeAt(config_.quantile);
 }
 

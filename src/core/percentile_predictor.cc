@@ -8,6 +8,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "persist/state_codec.hh"
 
 namespace qdel {
@@ -36,11 +38,23 @@ PercentilePredictor::observe(double wait_seconds)
             chronological_.pop_front();
         }
     }
+    QDEL_OBS({
+        obs::coreMetrics().observations.inc();
+        obs::coreMetrics().historySize.set(
+            static_cast<double>(chronological_.size()));
+    });
 }
 
 void
 PercentilePredictor::refit()
 {
+    // The comma expression rides the span's single enabled() check so
+    // a disabled refit pays one branch, not two (refit is per-epoch but
+    // also the tightest instrumented function in the repo).
+    QDEL_OBS_SPAN(span,
+                  (obs::coreMetrics().refits.inc(),
+                   obs::coreMetrics().refitSeconds),
+                  obs::EventType::Span, "percentile_refit");
     cachedBound_ = computeAt(quantile_);
 }
 

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Instrumentation-site macros. Every metric update and event emission
+ * in the codebase goes through QDEL_OBS()/QDEL_OBS_SPAN(), which gives
+ * two guarantees:
+ *
+ *  - at runtime, when observability is off (the default), a site costs
+ *    one relaxed atomic bool load and a predictable branch;
+ *  - at compile time, -DQDEL_OBS_DISABLE removes the sites entirely —
+ *    no load, no branch, no code — without changing any class
+ *    definition (so mixing translation units built with and without
+ *    the macro cannot violate the ODR).
+ *
+ * Usage:
+ *
+ *   QDEL_OBS(obs::coreMetrics().observations.inc());
+ *   QDEL_OBS_SPAN(span, obs::coreMetrics().refitSeconds,
+ *                 obs::EventType::Span, "refit");
+ */
+
+#ifndef QDEL_OBS_OBS_HH
+#define QDEL_OBS_OBS_HH
+
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+
+#ifdef QDEL_OBS_DISABLE
+
+#define QDEL_OBS(stmt)                                                 \
+    do {                                                               \
+    } while (0)
+
+#define QDEL_OBS_SPAN(var, histogram_expr, event_type, label_literal)  \
+    do {                                                               \
+    } while (0)
+
+#else // !QDEL_OBS_DISABLE
+
+/** Run @p stmt only when obs::enabled(); compiles away when disabled. */
+#define QDEL_OBS(stmt)                                                 \
+    do {                                                               \
+        if (::qdel::obs::enabled()) {                                  \
+            stmt;                                                      \
+        }                                                              \
+    } while (0)
+
+/**
+ * Declare a scoped timer @p var that, when observability is on, feeds
+ * the elapsed seconds into @p histogram_expr and emits a span event of
+ * @p event_type labeled @p label_literal (must be a string literal or
+ * other static-lifetime C string) when it goes out of scope.
+ */
+#define QDEL_OBS_SPAN(var, histogram_expr, event_type, label_literal)  \
+    ::qdel::obs::ScopedTimer var(                                      \
+        ::qdel::obs::enabled() ? &(histogram_expr) : nullptr,          \
+        (event_type), (label_literal))
+
+#endif // QDEL_OBS_DISABLE
+
+#endif // QDEL_OBS_OBS_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the progress/ETA estimator.
+ */
+
+#include "obs/progress.hh"
+
+#include <cstdio>
+
+#include "obs/events.hh"
+
+namespace qdel {
+namespace obs {
+
+ProgressMeter::ProgressMeter(uint64_t total)
+    : total_(total), startNanos_(nowNanos())
+{
+}
+
+void
+ProgressMeter::update(uint64_t done)
+{
+    if (done > done_)
+        done_ = done;
+}
+
+double
+ProgressMeter::fraction() const
+{
+    if (total_ == 0)
+        return 0.0;
+    const double f = static_cast<double>(done_) /
+                     static_cast<double>(total_);
+    return f > 1.0 ? 1.0 : f;
+}
+
+double
+ProgressMeter::ratePerSecond() const
+{
+    if (done_ == 0)
+        return 0.0;
+    const double elapsed =
+        static_cast<double>(nowNanos() - startNanos_) * 1e-9;
+    if (elapsed <= 0.0)
+        return 0.0;
+    return static_cast<double>(done_) / elapsed;
+}
+
+double
+ProgressMeter::etaSeconds() const
+{
+    const double rate = ratePerSecond();
+    if (rate <= 0.0 || total_ == 0 || done_ >= total_)
+        return done_ >= total_ && total_ != 0 ? 0.0 : -1.0;
+    return static_cast<double>(total_ - done_) / rate;
+}
+
+std::string
+ProgressMeter::formatLine(const std::string &unit) const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%llu/%llu %s (%.1f%%) | %.0f %s/s | eta %s",
+                  static_cast<unsigned long long>(done_),
+                  static_cast<unsigned long long>(total_),
+                  unit.c_str(), fraction() * 100.0, ratePerSecond(),
+                  unit.c_str(), formatEta(etaSeconds()).c_str());
+    return buf;
+}
+
+std::string
+ProgressMeter::formatEta(double seconds)
+{
+    if (seconds < 0.0)
+        return "--:--:--";
+    long long total = static_cast<long long>(seconds + 0.5);
+    const long long kMax = 99LL * 3600 + 59 * 60 + 59;
+    if (total < 0)
+        total = 0;
+    if (total > kMax)
+        total = kMax;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld",
+                  total / 3600, (total / 60) % 60, total % 60);
+    return buf;
+}
+
+} // namespace obs
+} // namespace qdel

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Progress/ETA arithmetic for --stats-every style periodic reporting:
+ * given "k of n units done", derive the processing rate from wall
+ * time since start and extrapolate the remaining time. Kept separate
+ * from the metrics registry because progress is per-run state, not a
+ * process-wide aggregate.
+ */
+
+#ifndef QDEL_OBS_PROGRESS_HH
+#define QDEL_OBS_PROGRESS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace qdel {
+namespace obs {
+
+/** Rate + ETA estimator over a known total amount of work. */
+class ProgressMeter
+{
+  public:
+    /** Starts the wall clock; @p total may be 0 when unknown. */
+    explicit ProgressMeter(uint64_t total);
+
+    /** Record that @p done units are complete (monotone, absolute). */
+    void update(uint64_t done);
+
+    uint64_t done() const { return done_; }
+    uint64_t total() const { return total_; }
+
+    /** Fraction complete in [0, 1]; 0 when the total is unknown. */
+    double fraction() const;
+
+    /** Units per second since construction; 0 before any progress. */
+    double ratePerSecond() const;
+
+    /** Estimated seconds remaining; negative when unknowable. */
+    double etaSeconds() const;
+
+    /**
+     * One-line summary, e.g.
+     * "12500/100000 jobs (12.5%) | 48321 jobs/s | eta 00:00:02".
+     * @p unit names the work item ("jobs", "traces").
+     */
+    std::string formatLine(const std::string &unit) const;
+
+    /** "HH:MM:SS" (clamped to 99:59:59); "--:--:--" when negative. */
+    static std::string formatEta(double seconds);
+
+  private:
+    uint64_t total_;
+    uint64_t done_ = 0;
+    int64_t startNanos_;
+};
+
+} // namespace obs
+} // namespace qdel
+
+#endif // QDEL_OBS_PROGRESS_HH

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "persist/io.hh"
 #include "persist/snapshot.hh"
 #include "util/logging.hh"
@@ -155,6 +157,8 @@ CheckpointManager::startWal()
 Expected<Unit>
 CheckpointManager::checkpoint(const std::string &payload)
 {
+    QDEL_OBS_SPAN(span, obs::persistMetrics().checkpointSeconds,
+                  obs::EventType::Span, "checkpoint");
     // Make the outgoing WAL chain durable before the snapshot that
     // supersedes it is published, then close the segment for good.
     if (wal_) {
@@ -172,6 +176,15 @@ CheckpointManager::checkpoint(const std::string &payload)
     snapshots_.push_back(new_seq);
     seq_ = new_seq;
     hasExisting_ = true;
+    QDEL_OBS({
+        obs::persistMetrics().checkpointsWritten.inc();
+        obs::persistMetrics().checkpointBytes.observe(
+            static_cast<double>(payload.size()));
+        obs::persistMetrics().walSegmentBytes.set(0.0);
+        obs::events().emit(obs::EventType::CheckpointWritten,
+                           static_cast<double>(new_seq),
+                           static_cast<double>(payload.size()));
+    });
 
     if (auto ok = startWal(); !ok.ok())
         return ok.error();
@@ -207,6 +220,14 @@ CheckpointManager::appendRecord(const WalRecord &record)
               "segment (call startWal() or checkpoint() first)");
     if (auto ok = wal_->append(record); !ok.ok())
         return ok.error();
+    QDEL_OBS({
+        obs::persistMetrics().walAppends.inc();
+        obs::persistMetrics().walSegmentBytes.set(
+            static_cast<double>(wal_->bytesWritten()));
+        obs::events().emit(obs::EventType::WalAppend,
+                           static_cast<double>(record.type),
+                           record.value);
+    });
     ++recordsSinceSync_;
     if (config_.syncEveryRecords > 0 &&
         recordsSinceSync_ >= config_.syncEveryRecords) {
@@ -242,6 +263,36 @@ recoverySourceName(RecoverySource source)
 }
 
 namespace {
+
+/** Ladder rung number of @p source, as exposed by the rung gauge. */
+[[maybe_unused]] int
+recoveryRung(RecoverySource source)
+{
+    switch (source) {
+    case RecoverySource::LatestSnapshot:   return 1;
+    case RecoverySource::PreviousSnapshot: return 2;
+    case RecoverySource::WalOnly:          return 3;
+    case RecoverySource::ColdStart:        return 4;
+    }
+    return 4;
+}
+
+/** Record which rung a completed recovery took. */
+void
+noteRecovery(const RecoveryReport &report)
+{
+    QDEL_OBS({
+        const int rung = recoveryRung(report.source);
+        obs::persistMetrics().recoveries.inc();
+        obs::persistMetrics().recoveryRung.set(
+            static_cast<double>(rung));
+        obs::events().emit(
+            obs::EventType::RecoveryRung, static_cast<double>(rung),
+            static_cast<double>(report.walRecordsApplied),
+            recoverySourceName(report.source));
+    });
+    (void)report;
+}
 
 /**
  * Roll @p report forward along the WAL chain starting at @p seq,
@@ -317,6 +368,7 @@ recoverState(
     if (!pathExists(config.dir)) {
         report.notes.push_back("checkpoint directory '" + config.dir +
                                "' does not exist; cold start");
+        noteRecovery(report);
         return report;
     }
     auto names = listDirectory(config.dir);
@@ -362,6 +414,7 @@ recoverState(
                                std::to_string(seq));
         if (applyWalRecord)
             applyWalChain(config, seq, applyWalRecord, &report);
+        noteRecovery(report);
         return report;
     }
 
@@ -371,6 +424,7 @@ recoverState(
             report.notes.push_back(
                 "no usable snapshot; replaying WAL from cold start");
             applyWalChain(config, 0, applyWalRecord, &report);
+            noteRecovery(report);
             return report;
         }
         report.notes.push_back(
@@ -382,6 +436,7 @@ recoverState(
     } else if (!snapshots.empty()) {
         report.notes.push_back("no snapshot usable; cold start");
     }
+    noteRecovery(report);
     return report;
 }
 

@@ -17,6 +17,8 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "persist/fault_injection.hh"
 
 namespace qdel {
@@ -199,6 +201,8 @@ FileWriter::sync()
     const auto outcome = fault::detail::onOp(fault::detail::Op::Fsync, 0);
     if (outcome.crash || outcome.fail)
         return faultError(path_, "fsync", outcome.reason);
+    QDEL_OBS_SPAN(span, obs::persistMetrics().fsyncSeconds,
+                  obs::EventType::Span, "fsync");
     if (::fsync(fd_) != 0)
         return errnoError(path_, "fsync");
     return Unit{};

@@ -85,6 +85,7 @@ WalWriter::create(const std::string &path, uint64_t snapshot_seq)
     if (auto ok = writer.file_.writeAll(header.data(), header.size());
         !ok.ok())
         return ok.error();
+    writer.bytesWritten_ = header.size();
     if (auto ok = writer.file_.sync(); !ok.ok())
         return ok.error();
     return writer;
@@ -103,8 +104,10 @@ WalWriter::append(const WalRecord &record)
     std::string bytes = frame.take();
     bytes += payload;
     auto ok = file_.writeAll(bytes.data(), bytes.size());
-    if (ok.ok())
+    if (ok.ok()) {
         chain_ = chained;
+        bytesWritten_ += bytes.size();
+    }
     return ok;
 }
 

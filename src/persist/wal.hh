@@ -86,9 +86,13 @@ class WalWriter
 
     bool isOpen() const { return file_.isOpen(); }
 
+    /** Bytes written to this segment so far (header + records). */
+    uint64_t bytesWritten() const { return bytesWritten_; }
+
   private:
     FileWriter file_;
     uint32_t chain_ = 0;  //!< Running chain CRC (see file comment).
+    uint64_t bytesWritten_ = 0;
 };
 
 /** A parsed WAL segment: the valid record prefix plus tail accounting. */

@@ -7,6 +7,8 @@
 
 #include <future>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace qdel {
@@ -26,6 +28,8 @@ ParallelEvaluator::evaluateSuite(const std::vector<EvaluationJob> &jobs)
         if (!job.trace)
             panic("ParallelEvaluator::evaluateSuite: null trace");
         futures.push_back(pool_.submit([&job] {
+            QDEL_OBS_SPAN(span, obs::replayMetrics().evalTaskSeconds,
+                          obs::EventType::Span, "eval_trace");
             return evaluateTrace(*job.trace, job.method, job.options,
                                  job.config);
         }));
@@ -52,6 +56,9 @@ ParallelEvaluator::evaluateByProcRange(const trace::Trace &t,
         futures.push_back(
             pool_.submit([&t, &method, &options, &config, range,
                           min_jobs] {
+                QDEL_OBS_SPAN(span,
+                              obs::replayMetrics().evalTaskSeconds,
+                              obs::EventType::Span, "eval_proc_range");
                 const trace::Trace sub = t.filterByProcRange(range);
                 if (sub.size() < min_jobs) {
                     EvaluationCell cell;

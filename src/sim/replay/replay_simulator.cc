@@ -12,6 +12,8 @@
 #include <limits>
 #include <optional>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "persist/checkpoint.hh"
 #include "persist/io.hh"
 #include "persist/state_codec.hh"
@@ -584,12 +586,33 @@ ReplaySimulator::run(const trace::Trace &t, core::Predictor &predictor,
         if (i >= training) {
             const auto bound = predictor.upperBound();
             ++result.evaluatedJobs;
+            QDEL_OBS({
+                obs::replayMetrics().predictions.inc();
+                obs::events().emit(obs::EventType::PredictionIssued,
+                                   bound.value, job.waitSeconds);
+            });
             if (!bound.finite()) {
                 ++result.infinitePredictions;
                 ++result.correct;
+                QDEL_OBS(
+                    obs::replayMetrics().infinitePredictions.inc());
             } else {
-                if (bound.value >= job.waitSeconds)
+                if (bound.value >= job.waitSeconds) {
                     ++result.correct;
+                    QDEL_OBS({
+                        obs::replayMetrics().boundHits.inc();
+                        obs::events().emit(obs::EventType::BoundHit,
+                                           bound.value,
+                                           job.waitSeconds);
+                    });
+                } else {
+                    QDEL_OBS({
+                        obs::replayMetrics().boundMisses.inc();
+                        obs::events().emit(obs::EventType::BoundMiss,
+                                           bound.value,
+                                           job.waitSeconds);
+                    });
+                }
                 state.ratios.push_back(job.waitSeconds /
                                        std::max(bound.value, 1e-9));
             }
@@ -600,6 +623,13 @@ ReplaySimulator::run(const trace::Trace &t, core::Predictor &predictor,
         std::push_heap(state.pending.begin(), state.pending.end(),
                        std::greater<PendingRelease>{});
         state.nextJob = i + 1;
+        QDEL_OBS(obs::replayMetrics().jobsProcessed.inc());
+
+        if (config_.progressEveryJobs > 0 && config_.onProgress &&
+            state.nextJob % config_.progressEveryJobs == 0) {
+            config_.onProgress({state.nextJob, t.size(),
+                                result.evaluatedJobs, result.correct});
+        }
 
         if (manager && ckpt.intervalJobs > 0 &&
             state.nextJob % ckpt.intervalJobs == 0 &&
@@ -622,6 +652,11 @@ ReplaySimulator::run(const trace::Trace &t, core::Predictor &predictor,
     if (manager) {
         if (auto ok = write_checkpoint(); !ok.ok())
             return ok.error();
+    }
+
+    if (config_.progressEveryJobs > 0 && config_.onProgress) {
+        config_.onProgress({state.nextJob, t.size(),
+                            result.evaluatedJobs, result.correct});
     }
 
     if (result.evaluatedJobs > 0) {

@@ -22,6 +22,8 @@
 #ifndef QDEL_SIM_REPLAY_REPLAY_SIMULATOR_HH
 #define QDEL_SIM_REPLAY_REPLAY_SIMULATOR_HH
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,11 +34,28 @@
 namespace qdel {
 namespace sim {
 
+/** One periodic progress sample of an in-flight replay. */
+struct ReplayProgress
+{
+    size_t jobsProcessed = 0;  //!< Jobs stepped through so far.
+    size_t totalJobs = 0;      //!< Jobs in the trace.
+    size_t evaluated = 0;      //!< Scored predictions so far.
+    size_t correct = 0;        //!< Correct predictions so far.
+};
+
 /** Replay parameters (paper defaults). */
 struct ReplayConfig
 {
     double epochSeconds = 300.0;   //!< Refit period; 0 = refit per job.
     double trainFraction = 0.10;   //!< Unscored warm-up prefix.
+
+    /**
+     * Invoke onProgress every progressEveryJobs processed jobs (and
+     * once at the end). 0 disables. Purely observational: no effect
+     * on results, checkpoints, or resume equivalence.
+     */
+    size_t progressEveryJobs = 0;
+    std::function<void(const ReplayProgress &)> onProgress = nullptr;
 
     /** Check trainFraction in [0, 1) and epochSeconds finite >= 0. */
     Expected<Unit> validate() const;

@@ -5,8 +5,11 @@
 
 #include "trace/trace_loader.hh"
 
+#include <filesystem>
 #include <utility>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "trace/native_format.hh"
 #include "trace/swf_format.hh"
 #include "trace/trace_cache.hh"
@@ -44,9 +47,27 @@ Expected<Trace>
 parseText(const std::string &path, const TraceLoadOptions &options,
           IngestReport *report)
 {
-    if (isSwfPath(path))
-        return loadSwfTrace(path, swfOptions(options), report);
-    return loadNativeTrace(path, nativeOptions(options), report);
+    IngestReport local;
+    IngestReport &rep = report ? *report : local;
+    Expected<Trace> parsed = [&] {
+        QDEL_OBS_SPAN(span, obs::ingestMetrics().parseSeconds,
+                      obs::EventType::ParseDone, "parse_text");
+        if (isSwfPath(path))
+            return loadSwfTrace(path, swfOptions(options), &rep);
+        return loadNativeTrace(path, nativeOptions(options), &rep);
+    }();
+    QDEL_OBS({
+        auto &metrics = obs::ingestMetrics();
+        metrics.linesParsed.inc(rep.totalLines);
+        metrics.recordsParsed.inc(rep.parsedRecords);
+        metrics.malformed.inc(rep.malformedLines);
+        metrics.filtered.inc(rep.filteredRecords);
+        std::error_code ec;
+        const auto bytes = std::filesystem::file_size(path, ec);
+        if (!ec)
+            metrics.parseBytes.inc(bytes);
+    });
+    return parsed;
 }
 
 } // namespace
@@ -87,20 +108,37 @@ loadTrace(const std::string &path, const TraceLoadOptions &options,
       case CacheStatus::Hit:
         inform("trace cache hit: ", cache_path, " (",
                cached.trace.size(), " jobs)");
+        QDEL_OBS({
+            obs::ingestMetrics().cacheHits.inc();
+            obs::events().emit(obs::EventType::CacheHit,
+                               static_cast<double>(cached.trace.size()));
+        });
         if (report)
             *report = std::move(cached.report);
         return std::move(cached.trace);
       case CacheStatus::Missing:
         inform("trace cache miss: ", cache_path, ": ", cached.detail,
                "; parsing text");
+        QDEL_OBS({
+            obs::ingestMetrics().cacheMisses.inc();
+            obs::events().emit(obs::EventType::CacheMiss);
+        });
         break;
       case CacheStatus::Stale:
         inform("trace cache stale: ", cache_path, ": ", cached.detail,
                "; re-parsing text");
+        QDEL_OBS({
+            obs::ingestMetrics().cacheStale.inc();
+            obs::events().emit(obs::EventType::CacheStale);
+        });
         break;
       case CacheStatus::Corrupt:
         warn("trace cache corrupt: ", cache_path, ": ", cached.detail,
              "; falling back to text parse");
+        QDEL_OBS({
+            obs::ingestMetrics().cacheCorrupt.inc();
+            obs::events().emit(obs::EventType::CacheCorrupt);
+        });
         break;
     }
 

@@ -5,15 +5,32 @@
 
 #include "util/logging.hh"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <mutex>
 
 namespace qdel {
 namespace detail {
 
 namespace {
 
-bool verboseEnabled = false;
+std::atomic<bool> verboseEnabled{false};
+
+/**
+ * Serializes concurrent emitters. The mutex alone is not what keeps
+ * lines whole — each message is formatted into one buffer and written
+ * with a single fwrite, so even an fwrite racing from a non-qdel
+ * caller cannot split a line in half — but it keeps whole *lines*
+ * from interleaving in arbitrary order mid-stream and makes the
+ * flush-after-write pairing atomic.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 const char *
 levelTag(LogLevel level)
@@ -32,7 +49,19 @@ levelTag(LogLevel level)
 void
 logMessage(LogLevel level, const std::string &message)
 {
-    std::cerr << levelTag(level) << ": " << message << std::endl;
+    // One pre-formatted buffer, one fwrite: a log line from a
+    // thread-pool worker can never appear with another thread's
+    // output spliced between its tag and its newline.
+    std::string line;
+    const char *tag = levelTag(level);
+    line.reserve(message.size() + 16);
+    line += tag;
+    line += ": ";
+    line += message;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 
 void
@@ -47,13 +76,13 @@ logAndDie(LogLevel level, const std::string &message)
 void
 setVerbose(bool verbose)
 {
-    verboseEnabled = verbose;
+    verboseEnabled.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseEnabled;
+    return verboseEnabled.load(std::memory_order_relaxed);
 }
 
 } // namespace detail

@@ -14,6 +14,11 @@
  * Two advisory paths:
  *  - warn():   something is suspicious but execution can continue.
  *  - inform(): purely informational progress output.
+ *
+ * All helpers are safe to call from any thread: each message is
+ * formatted into a single buffer and written to stderr with one
+ * fwrite under a process-wide mutex, so lines emitted concurrently
+ * (e.g. from thread-pool workers) never interleave mid-line.
  */
 
 #ifndef QDEL_UTIL_LOGGING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared --metrics-out / --events-out / --stats-every handling for the
+ * front ends (tools and bench binaries). Any of the three flags
+ * switches the observability subsystem on for the run; the two output
+ * files are written right before exit (success paths only — a run that
+ * dies on bad input has nothing worth exposing).
+ */
+
+#ifndef QDEL_UTIL_OBS_CLI_HH
+#define QDEL_UTIL_OBS_CLI_HH
+
+#include <iostream>
+#include <string>
+
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+
+/** Parsed observability options of one front-end invocation. */
+struct ObsFlags
+{
+    std::string metricsOut;  //!< --metrics-out FILE ("" = off).
+    std::string eventsOut;   //!< --events-out FILE ("" = off).
+    size_t statsEvery = 0;   //!< --stats-every N jobs (0 = off).
+
+    bool any() const
+    {
+        return !metricsOut.empty() || !eventsOut.empty() ||
+               statsEvery > 0;
+    }
+};
+
+/**
+ * Read the three flags from @p cli, enable collection when any is
+ * set, and return them. Prints to stderr and returns false on an
+ * invalid --stats-every.
+ */
+inline bool
+parseObsFlags(CommandLine &cli, ObsFlags *out)
+{
+    out->metricsOut = cli.getString("metrics-out", "");
+    out->eventsOut = cli.getString("events-out", "");
+    const long long every = cliValue(cli.getInt("stats-every", 0));
+    if (every < 0) {
+        std::cerr << "error: --stats-every: must be >= 0, got "
+                  << every << "\n";
+        return false;
+    }
+    out->statsEvery = static_cast<size_t>(every);
+    if (out->any())
+        obs::setEnabled(true);
+    return true;
+}
+
+/** Write the requested output files; warns (not fails) on IO errors. */
+inline void
+writeObsOutputs(const ObsFlags &flags)
+{
+    std::string error;
+    if (!flags.metricsOut.empty()) {
+        if (!obs::writeMetricsFile(flags.metricsOut, &error))
+            warn("metrics-out: ", error);
+        else
+            inform("metrics written to ", flags.metricsOut);
+    }
+    if (!flags.eventsOut.empty()) {
+        if (!obs::writeEventsFile(flags.eventsOut, &error))
+            warn("events-out: ", error);
+        else
+            inform("events written to ", flags.eventsOut);
+    }
+}
+
+} // namespace qdel
+
+#endif // QDEL_UTIL_OBS_CLI_HH

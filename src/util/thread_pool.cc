@@ -8,6 +8,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
+
 namespace qdel {
 
 ThreadPool::ThreadPool(size_t workers)
@@ -45,9 +48,27 @@ ThreadPool::workerLoop()
                 return;
             task = std::move(queue_.front());
             queue_.pop_front();
+            QDEL_OBS(obs::poolMetrics().queueDepth.set(
+                static_cast<double>(queue_.size())));
         }
-        task();
+        {
+            QDEL_OBS_SPAN(span, obs::poolMetrics().taskSeconds,
+                          obs::EventType::Span, "pool_task");
+            task();
+        }
+        QDEL_OBS(obs::poolMetrics().tasksCompleted.inc());
     }
+}
+
+void
+ThreadPool::noteSubmit(size_t queueDepth)
+{
+    QDEL_OBS({
+        obs::poolMetrics().tasksSubmitted.inc();
+        obs::poolMetrics().queueDepth.set(
+            static_cast<double>(queueDepth));
+    });
+    (void)queueDepth;
 }
 
 size_t

@@ -65,10 +65,13 @@ class ThreadPool
         auto packaged = std::make_shared<std::packaged_task<Result()>>(
             std::forward<Task>(task));
         std::future<Result> future = packaged->get_future();
+        size_t depth;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             queue_.emplace_back([packaged] { (*packaged)(); });
+            depth = queue_.size();
         }
+        noteSubmit(depth);
         available_.notify_one();
         return future;
     }
@@ -89,6 +92,9 @@ class ThreadPool
 
   private:
     void workerLoop();
+
+    /** Observability hook for submit() (kept out of the template). */
+    static void noteSubmit(size_t queueDepth);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (the --metrics-out dump).
+
+Checks the subset of the exposition format the obs layer emits:
+
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - every sample is preceded by # HELP and # TYPE lines for its family
+  - TYPE is one of counter / gauge / histogram
+  - counter sample names end in _total
+  - histogram families expose _bucket{le=...}, _sum and _count; bucket
+    counts are monotonically non-decreasing in le-order; the +Inf
+    bucket equals _count
+  - no duplicate samples (same name + label set)
+  - sample values parse as floats
+
+Optional requirements make CI assertions executable:
+
+    tools/prom_lint.py m.prom \\
+        --require qdel_rare_event_fired_total \\
+        --require-nonzero qdel_replay_bound_hits_total
+
+--require fails unless the named sample is present; --require-nonzero
+additionally demands a value > 0.
+
+Exit status: 0 when the file is well-formed and all requirements hold;
+1 otherwise, with every problem listed on stderr.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+_TYPES = {"counter", "gauge", "histogram"}
+
+
+def base_family(name):
+    """Family a sample belongs to (strip histogram sample suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_le(labels):
+    match = re.search(r'le="([^"]*)"', labels or "")
+    if match is None:
+        return None
+    text = match.group(1)
+    return math.inf if text == "+Inf" else float(text)
+
+
+def lint(path, require, require_nonzero):
+    problems = []
+    helps = {}
+    types = {}
+    samples = {}  # (name, labels) -> value
+    buckets = {}  # family -> list of (le, value)
+
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                problems.append(f"line {lineno}: malformed HELP line")
+                continue
+            name = parts[2]
+            if name in helps:
+                problems.append(
+                    f"line {lineno}: duplicate HELP for {name}")
+            helps[name] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in _TYPES:
+                problems.append(
+                    f"line {lineno}: unknown TYPE {kind!r} for {name}")
+            if name in types:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels") or ""
+        if not _NAME_RE.match(name):
+            problems.append(f"line {lineno}: bad metric name {name!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric value for {name}: "
+                f"{match.group('value')!r}")
+            continue
+        key = (name, labels)
+        if key in samples:
+            problems.append(
+                f"line {lineno}: duplicate sample {name}{labels}")
+        samples[key] = value
+
+        family = base_family(name)
+        kind = types.get(family)
+        if kind is None:
+            problems.append(
+                f"line {lineno}: sample {name} has no preceding "
+                f"# TYPE {family}")
+        if family not in helps:
+            problems.append(
+                f"line {lineno}: sample {name} has no preceding "
+                f"# HELP {family}")
+        if kind == "counter" and not name.endswith("_total"):
+            problems.append(
+                f"line {lineno}: counter sample {name} does not end "
+                "in _total")
+        if name.endswith("_bucket"):
+            le = parse_le(labels)
+            if le is None:
+                problems.append(
+                    f"line {lineno}: {name} bucket without le label")
+            else:
+                buckets.setdefault(family, []).append((le, value))
+
+    for family, entries in sorted(buckets.items()):
+        les = [le for le, _ in entries]
+        if math.inf not in les:
+            problems.append(f"{family}: histogram missing +Inf bucket")
+        if les != sorted(les):
+            problems.append(f"{family}: bucket le values out of order")
+        values = [value for _, value in entries]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(
+                f"{family}: bucket counts are not monotonically "
+                "non-decreasing")
+        count = samples.get((family + "_count", ""))
+        if count is None:
+            problems.append(f"{family}: histogram missing _count sample")
+        elif math.inf in les and entries[-1][1] != count:
+            problems.append(
+                f"{family}: +Inf bucket ({entries[-1][1]:g}) != _count "
+                f"({count:g})")
+        if (family + "_sum", "") not in samples:
+            problems.append(f"{family}: histogram missing _sum sample")
+
+    by_name = {}
+    for (name, _labels), value in samples.items():
+        by_name.setdefault(name, []).append(value)
+    for name in require:
+        if name not in by_name:
+            problems.append(f"required sample {name} is absent")
+    for name in require_nonzero:
+        if name not in by_name:
+            problems.append(f"required sample {name} is absent")
+        elif not any(value > 0 for value in by_name[name]):
+            problems.append(f"required sample {name} is zero")
+
+    return problems, len(samples)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("path", help="Prometheus text file to validate")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="fail unless sample NAME is present (repeatable)")
+    parser.add_argument(
+        "--require-nonzero", action="append", default=[], metavar="NAME",
+        help="fail unless sample NAME is present and > 0 (repeatable)")
+    args = parser.parse_args(argv)
+
+    problems, count = lint(args.path, args.require, args.require_nonzero)
+    if problems:
+        print(f"{args.path}: {len(problems)} problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: OK ({count} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,15 +30,26 @@
  *   --checkpoint-every=5000  jobs between snapshots
  *   --resume           recover from the checkpoint directory's newest
  *                      usable state instead of failing on existing state
+ *   --metrics-out=F    write a metrics dump on exit (Prometheus text
+ *                      exposition, or JSON when F ends in ".json")
+ *   --events-out=F     write the event trace on exit (Chrome
+ *                      trace_event JSON; JSON Lines when F ends in
+ *                      ".jsonl")
+ *   --stats-every=N    print a progress line with rate + ETA every N
+ *                      replayed jobs (see README for the format)
  *
  * Exit status: 0 on success, 1 on input errors.
  */
 
+#include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "core/predictor_factory.hh"
 #include "core/rare_event.hh"
+#include "obs/progress.hh"
 #include "sim/replay/evaluation.hh"
+#include "util/obs_cli.hh"
 #include "trace/trace_loader.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -76,8 +87,58 @@ usage(std::ostream &out)
            "              (crash-safe; single queue only)\n"
            "  --resume    recover from DIR's newest usable state "
            "instead of\n"
-           "              refusing to run on a non-empty directory\n";
+           "              refusing to run on a non-empty directory\n"
+           "  --metrics-out=FILE  dump metrics on exit (Prometheus "
+           "text, or JSON\n"
+           "              when FILE ends in \".json\")\n"
+           "  --events-out=FILE   dump the event trace on exit (Chrome "
+           "trace_event\n"
+           "              JSON for chrome://tracing / Perfetto; JSON "
+           "Lines when FILE\n"
+           "              ends in \".jsonl\")\n"
+           "  --stats-every=N     print a progress line (rate, hit "
+           "rate, ETA)\n"
+           "              every N replayed jobs\n";
 }
+
+/**
+ * Stateful progress printer for --stats-every: one meter per replay
+ * run (a jobs-processed counter that moved backwards means a new
+ * queue's replay started).
+ */
+class ProgressPrinter
+{
+  public:
+    void
+    operator()(const sim::ReplayProgress &p)
+    {
+        if (!meter_ || p.jobsProcessed < last_)
+            meter_ = std::make_shared<obs::ProgressMeter>(p.totalJobs);
+        last_ = p.jobsProcessed;
+        meter_->update(p.jobsProcessed);
+        const double hit_rate =
+            p.evaluated > 0 ? static_cast<double>(p.correct) /
+                                  static_cast<double>(p.evaluated)
+                            : 0.0;
+        char buf[224];
+        std::snprintf(
+            buf, sizeof(buf),
+            "progress: %llu/%llu jobs (%.1f%%) | %.0f jobs/s | "
+            "hit rate %.3f | eta %s",
+            static_cast<unsigned long long>(meter_->done()),
+            static_cast<unsigned long long>(meter_->total()),
+            meter_->fraction() * 100.0, meter_->ratePerSecond(),
+            hit_rate,
+            obs::ProgressMeter::formatEta(meter_->etaSeconds()).c_str());
+        std::cerr << buf << "\n";
+    }
+
+  private:
+    // shared_ptr, not unique_ptr: the printer is stored in a
+    // std::function, which requires a copyable callable.
+    std::shared_ptr<obs::ProgressMeter> meter_;
+    size_t last_ = 0;
+};
 
 /** Print the ingest accounting plus the retained per-line errors. */
 void
@@ -135,9 +196,17 @@ main(int argc, char **argv)
         return 1;
     }
 
+    ObsFlags obs_flags;
+    if (!parseObsFlags(cli, &obs_flags))
+        return 1;
+
     sim::ReplayConfig replay;
     replay.epochSeconds = cliValue(cli.getDouble("epoch", 300.0));
     replay.trainFraction = cliValue(cli.getDouble("train", 0.10));
+    if (obs_flags.statsEvery > 0) {
+        replay.progressEveryJobs = obs_flags.statsEvery;
+        replay.onProgress = ProgressPrinter();
+    }
     if (auto valid = replay.validate(); !valid.ok()) {
         std::cerr << "error: " << valid.error().str() << "\n";
         return 1;
@@ -254,6 +323,7 @@ main(int argc, char **argv)
              TablePrinter::cell(static_cast<long long>(
                  sim::predictorTrimCount(*predictor)))});
         table.print(std::cout);
+        writeObsOutputs(obs_flags);
         return 0;
     }
 
@@ -327,5 +397,6 @@ main(int argc, char **argv)
             }
         }
     }
+    writeObsOutputs(obs_flags);
     return 0;
 }

@@ -13,11 +13,14 @@
  *              [--trace-cache[=DIR]]  also warm a binary ".qtc" cache
  *                          for each written trace, so downstream runs
  *                          with --trace-cache start hot
+ *              [--metrics-out=F --events-out=F]  dump observability
+ *                          output on exit (see qdel_predict)
  */
 
 #include <filesystem>
 #include <iostream>
 
+#include "util/obs_cli.hh"
 #include "trace/native_format.hh"
 #include "trace/swf_format.hh"
 #include "trace/trace_loader.hh"
@@ -39,10 +42,17 @@ main(int argc, char **argv)
                      "  --verify  re-load each written trace (strict "
                      "mode) and check it round-trips\n"
                      "  --trace-cache[=DIR]  warm a binary \".qtc\" "
-                     "cache for each written trace\n";
+                     "cache for each written trace\n"
+                     "  --metrics-out=FILE  dump metrics on exit "
+                     "(Prometheus text / JSON)\n"
+                     "  --events-out=FILE   dump the event trace on "
+                     "exit\n";
         return 0;
     }
     if (reportCliErrors(cli))
+        return 1;
+    ObsFlags obs_flags;
+    if (!parseObsFlags(cli, &obs_flags))
         return 1;
     const std::string out_dir = cli.getString("out", "");
     if (out_dir.empty()) {
@@ -139,5 +149,6 @@ main(int argc, char **argv)
     }
     std::cout << "total: " << selection.size() << " traces, "
               << total_jobs << " jobs (seed " << seed << ")\n";
+    writeObsOutputs(obs_flags);
     return 0;
 }
