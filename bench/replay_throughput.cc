@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Out-of-core replay throughput benchmarks (google-benchmark): the
+ * numbers behind the streaming columnar replay path.
+ *
+ * Four layers are measured over synthesized sharded .qtc sets (built
+ * once per size by the StreamingSynthesizer, multi-shard so shard
+ * turnover is part of the cost):
+ *
+ *  - shard-set synthesis: StreamingSynthesizer -> ShardedTraceWriter,
+ *    jobs/second to disk in O(shard) memory;
+ *  - raw stream read: StreamingTraceReader batch iteration (map +
+ *    CRC + column walk), the upper bound on replay throughput;
+ *  - streaming replay: replayStream() end to end (batched observes +
+ *    scores, per-queue event loops), single- and multi-threaded,
+ *    reporting peak sampled RSS alongside the rate;
+ *  - in-memory replay on the same jobs (materialize + evaluateTrace),
+ *    the baseline the streaming path must not regress against.
+ *
+ * Every benchmark reports a jobs_per_sec rate counter; the replay
+ * benchmarks add peak_rss_mb so the bounded-memory claim is a gated
+ * number, not a doc assertion.
+ */
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/predictor.hh"
+#include "sim/replay/evaluation.hh"
+#include "sim/replay/stream_replay.hh"
+#include "trace/qtc_stream.hh"
+#include "util/resource_usage.hh"
+#include "workload/site_catalog.hh"
+#include "workload/stream_synth.hh"
+
+namespace {
+
+using namespace qdel;
+
+/** Profile every shard set is synthesized from (single queue). */
+const workload::QueueProfile &
+benchProfile()
+{
+    return workload::siteCatalog().front();
+}
+
+/** Jobs per shard: small enough that every size is multi-shard. */
+constexpr size_t kShardSize = 500'000;
+
+/**
+ * A lazily synthesized shard set of @p jobs jobs, cached on disk for
+ * the life of the process (and across runs: an existing manifest with
+ * the right job count is reused instead of re-synthesized).
+ */
+const std::string &
+shardSet(size_t jobs)
+{
+    static std::map<size_t, std::string> sets;
+    auto it = sets.find(jobs);
+    if (it != sets.end())
+        return it->second;
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("qdel_replay_bench_" + std::to_string(jobs));
+    std::filesystem::create_directories(dir);
+    trace::ShardWriterOptions options;
+    options.directory = dir.string();
+    options.baseName = "bench";
+    options.shardSize = kShardSize;
+    options.site = benchProfile().site;
+    options.machine = benchProfile().display;
+    const std::string manifest =
+        options.directory + "/" + options.baseName +
+        trace::kQtcManifestExtension;
+
+    if (auto existing = trace::StreamingTraceReader::open(manifest);
+        existing.ok() && existing.value().jobCount() == jobs) {
+        return sets.emplace(jobs, manifest).first->second;
+    }
+
+    trace::ShardedTraceWriter writer(options);
+    workload::StreamSynthOptions synth_options;
+    synth_options.jobCountOverride = jobs;
+    workload::StreamingSynthesizer synth(benchProfile(), synth_options);
+    trace::JobRecord job;
+    while (synth.next(&job))
+        writer.add(job);
+    if (!writer.finish().ok())
+        std::abort();  // Bench fixture; no recovery story.
+    return sets.emplace(jobs, manifest).first->second;
+}
+
+void
+reportJobs(benchmark::State &state, size_t jobs)
+{
+    state.counters["jobs_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * jobs),
+        benchmark::Counter::kIsRate);
+}
+
+// ---------------------------------------------------------------------
+// Generation: synthesize straight to a sharded .qtc set.
+
+void
+BM_ShardSetSynthesis(benchmark::State &state)
+{
+    const auto jobs = static_cast<size_t>(state.range(0));
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "qdel_replay_bench_synth";
+    for (auto _ : state) {
+        std::filesystem::remove_all(dir);
+        std::filesystem::create_directories(dir);
+        trace::ShardWriterOptions options;
+        options.directory = dir.string();
+        options.shardSize = kShardSize;
+        options.site = benchProfile().site;
+        options.machine = benchProfile().display;
+        trace::ShardedTraceWriter writer(options);
+        workload::StreamSynthOptions synth_options;
+        synth_options.jobCountOverride = jobs;
+        workload::StreamingSynthesizer synth(benchProfile(),
+                                             synth_options);
+        trace::JobRecord job;
+        while (synth.next(&job))
+            writer.add(job);
+        if (!writer.finish().ok())
+            state.SkipWithError("shard write failed");
+        benchmark::DoNotOptimize(writer.totalJobs());
+    }
+    std::filesystem::remove_all(dir);
+    reportJobs(state, jobs);
+}
+BENCHMARK(BM_ShardSetSynthesis)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Raw stream read: map + CRC + batch walk, no prediction.
+
+void
+BM_StreamRead(benchmark::State &state)
+{
+    const auto jobs = static_cast<size_t>(state.range(0));
+    const std::string &manifest = shardSet(jobs);
+    for (auto _ : state) {
+        auto reader = trace::StreamingTraceReader::open(manifest);
+        if (!reader.ok()) {
+            state.SkipWithError("open failed");
+            break;
+        }
+        double sum = 0.0;
+        trace::ColumnBatch batch;
+        while (true) {
+            auto more = reader.value().next(&batch);
+            if (!more.ok()) {
+                state.SkipWithError("stream failed");
+                break;
+            }
+            if (!more.value())
+                break;
+            for (size_t i = 0; i < batch.size; ++i)
+                sum += batch.wait[i];
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    reportJobs(state, jobs);
+}
+BENCHMARK(BM_StreamRead)->Arg(10'000'000)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Streaming replay end to end.
+
+void
+runStreamReplay(benchmark::State &state, const std::string &method,
+                size_t jobs, long long threads)
+{
+    const std::string &manifest = shardSet(jobs);
+    size_t peak_rss = 0;
+    for (auto _ : state) {
+        auto reader = trace::StreamingTraceReader::open(manifest);
+        if (!reader.ok()) {
+            state.SkipWithError("open failed");
+            break;
+        }
+        sim::StreamReplayConfig config;
+        config.threads = threads;
+        auto outcome =
+            sim::replayStream(reader.value(), method, {}, config);
+        if (!outcome.ok()) {
+            state.SkipWithError("replay failed");
+            break;
+        }
+        peak_rss = std::max(peak_rss,
+                            outcome.value().peakResidentBytes);
+        benchmark::DoNotOptimize(
+            outcome.value().queues.front().result.correctFraction);
+    }
+    reportJobs(state, jobs);
+    state.counters["peak_rss_mb"] = benchmark::Counter(
+        static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+}
+
+void
+BM_StreamReplayBmbp(benchmark::State &state)
+{
+    runStreamReplay(state, "bmbp",
+                    static_cast<size_t>(state.range(0)),
+                    state.range(1));
+}
+BENCHMARK(BM_StreamReplayBmbp)
+    ->Args({10'000'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StreamReplayLognormalTrim(benchmark::State &state)
+{
+    runStreamReplay(state, "lognormal-trim",
+                    static_cast<size_t>(state.range(0)),
+                    state.range(1));
+}
+BENCHMARK(BM_StreamReplayLognormalTrim)
+    ->Args({10'000'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// In-memory baseline on the same jobs (1M: it materializes the lot).
+
+void
+BM_InMemoryReplayBmbp(benchmark::State &state)
+{
+    const auto jobs = static_cast<size_t>(state.range(0));
+    auto reader = trace::StreamingTraceReader::open(shardSet(jobs));
+    if (!reader.ok()) {
+        state.SkipWithError("open failed");
+        return;
+    }
+    auto materialized = reader.value().materialize();
+    if (!materialized.ok()) {
+        state.SkipWithError("materialize failed");
+        return;
+    }
+    for (auto _ : state) {
+        auto cell = sim::evaluateTrace(materialized.value(), "bmbp", {},
+                                       {});
+        benchmark::DoNotOptimize(cell.correctFraction);
+    }
+    reportJobs(state, jobs);
+}
+BENCHMARK(BM_InMemoryReplayBmbp)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

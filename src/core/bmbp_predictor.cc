@@ -65,7 +65,16 @@ BmbpPredictor::BmbpPredictor(BmbpConfig config, const RareEventTable *table)
 }
 
 void
-BmbpPredictor::observe(double wait_seconds)
+BmbpPredictor::observeBatch(const double *waits, size_t count)
+{
+    // Same semantics as count observe() calls, minus the per-call
+    // virtual dispatch: observeOne is non-virtual and inlines here.
+    for (size_t i = 0; i < count; ++i)
+        observeOne(waits[i]);
+}
+
+void
+BmbpPredictor::observeOne(double wait_seconds)
 {
     chronological_.push_back(wait_seconds);
     sorted_.insert(wait_seconds);

@@ -70,7 +70,8 @@ class BmbpPredictor : public Predictor
                            const RareEventTable *table = nullptr);
 
     std::string name() const override { return "bmbp"; }
-    void observe(double wait_seconds) override;
+    void observe(double wait_seconds) override { observeOne(wait_seconds); }
+    void observeBatch(const double *waits, size_t count) override;
     void refit() override;
     QuantileEstimate upperBound() const override;
     QuantileEstimate boundAt(double q, bool upper) const override;
@@ -92,6 +93,7 @@ class BmbpPredictor : public Predictor
     size_t minimumHistory() const { return minimumHistory_; }
 
   private:
+    void observeOne(double wait_seconds);
     void trimHistory();
     QuantileEstimate computeBound(double q, bool upper) const;
 

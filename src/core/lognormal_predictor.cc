@@ -37,7 +37,14 @@ LogNormalPredictor::name() const
 }
 
 void
-LogNormalPredictor::observe(double wait_seconds)
+LogNormalPredictor::observeBatch(const double *waits, size_t count)
+{
+    for (size_t i = 0; i < count; ++i)
+        observeOne(waits[i]);
+}
+
+void
+LogNormalPredictor::observeOne(double wait_seconds)
 {
     const double log_wait =
         std::log(std::max(wait_seconds, config_.epsilonSeconds));

@@ -54,7 +54,8 @@ class LogNormalPredictor : public Predictor
                                 const RareEventTable *table = nullptr);
 
     std::string name() const override;
-    void observe(double wait_seconds) override;
+    void observe(double wait_seconds) override { observeOne(wait_seconds); }
+    void observeBatch(const double *waits, size_t count) override;
     void refit() override;
     QuantileEstimate upperBound() const override;
     QuantileEstimate boundAt(double q, bool upper) const override;
@@ -70,6 +71,7 @@ class LogNormalPredictor : public Predictor
     int runThreshold() const { return runThreshold_; }
 
   private:
+    void observeOne(double wait_seconds);
     void trimHistory();
     void rebuildSums();
     QuantileEstimate computeBound(double q, bool upper) const;

@@ -28,7 +28,14 @@ LogUniformPredictor::LogUniformPredictor(LogUniformConfig config)
 }
 
 void
-LogUniformPredictor::observe(double wait_seconds)
+LogUniformPredictor::observeBatch(const double *waits, size_t count)
+{
+    for (size_t i = 0; i < count; ++i)
+        observeOne(waits[i]);
+}
+
+void
+LogUniformPredictor::observeOne(double wait_seconds)
 {
     const double floored = std::max(wait_seconds, config_.epsilonSeconds);
     chronological_.push_back(floored);

@@ -47,7 +47,8 @@ class LogUniformPredictor : public Predictor
     explicit LogUniformPredictor(LogUniformConfig config = {});
 
     std::string name() const override { return "loguniform"; }
-    void observe(double wait_seconds) override;
+    void observe(double wait_seconds) override { observeOne(wait_seconds); }
+    void observeBatch(const double *waits, size_t count) override;
     void refit() override;
     QuantileEstimate upperBound() const override;
     QuantileEstimate boundAt(double q, bool upper) const override;
@@ -56,6 +57,7 @@ class LogUniformPredictor : public Predictor
     Expected<Unit> loadState(persist::StateReader &reader) override;
 
   private:
+    void observeOne(double wait_seconds);
     QuantileEstimate computeAt(double q) const;
 
     LogUniformConfig config_;

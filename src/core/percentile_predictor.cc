@@ -28,7 +28,14 @@ PercentilePredictor::PercentilePredictor(double quantile, size_t max_history)
 }
 
 void
-PercentilePredictor::observe(double wait_seconds)
+PercentilePredictor::observeBatch(const double *waits, size_t count)
+{
+    for (size_t i = 0; i < count; ++i)
+        observeOne(waits[i]);
+}
+
+void
+PercentilePredictor::observeOne(double wait_seconds)
 {
     chronological_.push_back(wait_seconds);
     sorted_.insert(wait_seconds);

@@ -29,7 +29,8 @@ class PercentilePredictor : public Predictor
                                  size_t max_history = 0);
 
     std::string name() const override { return "percentile"; }
-    void observe(double wait_seconds) override;
+    void observe(double wait_seconds) override { observeOne(wait_seconds); }
+    void observeBatch(const double *waits, size_t count) override;
     void refit() override;
     QuantileEstimate upperBound() const override;
     QuantileEstimate boundAt(double q, bool upper) const override;
@@ -38,6 +39,7 @@ class PercentilePredictor : public Predictor
     Expected<Unit> loadState(persist::StateReader &reader) override;
 
   private:
+    void observeOne(double wait_seconds);
     QuantileEstimate computeAt(double q) const;
 
     double quantile_;

@@ -5,8 +5,37 @@
 
 #include "core/predictor.hh"
 
+#include <algorithm>
+
 namespace qdel {
 namespace core {
+
+void
+Predictor::observeBatch(const double *waits, size_t count)
+{
+    for (size_t i = 0; i < count; ++i)
+        observe(waits[i]);
+}
+
+Predictor::BatchScore
+Predictor::scoreBatch(const double *waits, size_t count,
+                      double *ratios) const
+{
+    BatchScore score;
+    const QuantileEstimate bound = upperBound();
+    if (!bound.finite()) {
+        score.correct = count;
+        score.infinite = count;
+        return score;
+    }
+    const double divisor = std::max(bound.value, 1e-9);
+    for (size_t i = 0; i < count; ++i) {
+        if (bound.value >= waits[i])
+            ++score.correct;
+        ratios[i] = waits[i] / divisor;
+    }
+    return score;
+}
 
 QuantileEstimate
 Predictor::boundAt(double q, bool upper) const

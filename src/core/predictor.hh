@@ -75,6 +75,37 @@ class Predictor
     virtual void observe(double wait_seconds) = 0;
 
     /**
+     * Feed @p count completed wait times in order — semantically
+     * identical to count observe() calls. The default does exactly
+     * that; the concrete predictors override it to run their
+     * (non-virtual) per-observation logic in a tight loop, so the
+     * streaming replay path pays one virtual dispatch per column
+     * slice instead of one per job.
+     */
+    virtual void observeBatch(const double *waits, size_t count);
+
+    /** Aggregate outcome of one scoreBatch() call. */
+    struct BatchScore
+    {
+        size_t correct = 0;   //!< Jobs whose wait met the bound.
+        size_t infinite = 0;  //!< Jobs scored under an infinite bound
+                              //!< (all count as correct, no ratio).
+    };
+
+    /**
+     * Score @p count actual waits against the current bound with a
+     * single upperBound() virtual call — valid for a run of jobs that
+     * crosses no refit(), because bounds are frozen between refits
+     * (see the lifecycle comment). When the bound is finite,
+     * @p ratios[i] receives waits[i] / max(bound, 1e-9) for every i;
+     * when infinite, @p ratios is untouched (infinite == count and
+     * every job counts correct, matching the replay scoring rule).
+     * Non-virtual: the semantics are fixed by the interface contract.
+     */
+    BatchScore scoreBatch(const double *waits, size_t count,
+                          double *ratios) const;
+
+    /**
      * Recompute the prediction from the current history. Called on
      * epoch boundaries by the replay simulator.
      */

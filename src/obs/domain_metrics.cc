@@ -74,6 +74,14 @@ replayMetrics()
         registry().histogram("qdel_replay_eval_task_seconds",
                              "Latency of one per-queue evaluation task",
                              latencyBounds()),
+        registry().counter("qdel_replay_batches_total",
+                           "Column batches consumed by streaming replay"),
+        registry().gauge("qdel_replay_resident_bytes",
+                         "Process resident set size sampled by"
+                         " streaming replay"),
+        registry().gauge("qdel_replay_stream_shard_lag",
+                         "Shards mapped but not yet fully evaluated by"
+                         " streaming replay"),
     };
     return metrics;
 }

@@ -41,6 +41,9 @@ struct ReplayMetrics
     Counter &boundMisses;          //!< qdel_replay_bound_misses_total
     Counter &infinitePredictions;  //!< qdel_replay_infinite_predictions_total
     Histogram &evalTaskSeconds;    //!< qdel_replay_eval_task_seconds
+    Counter &batches;              //!< qdel_replay_batches_total
+    Gauge &residentBytes;          //!< qdel_replay_resident_bytes
+    Gauge &streamShardLag;         //!< qdel_replay_stream_shard_lag
 };
 
 /** util::ThreadPool saturation. */

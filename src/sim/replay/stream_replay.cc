@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Implementation of the out-of-core streaming replay evaluator.
+ */
+
+#include "sim/replay/stream_replay.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
+#include "sim/replay/evaluation.hh"
+#include "stats/spill_doubles.hh"
+#include "util/resource_usage.hh"
+#include "util/thread_pool.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace qdel {
+namespace sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Mirror of the replay simulator's pending-queue entry. */
+struct PendingRelease
+{
+    double time;  //!< Release (start) time: submit + wait.
+    double wait;  //!< The wait that becomes visible at release.
+
+    bool
+    operator>(const PendingRelease &other) const
+    {
+        return time > other.time;
+    }
+};
+
+/** RSS sampling cadence, in batches (plus once per shard change). */
+constexpr size_t kRssSampleEveryBatches = 32;
+
+/** Distinguishes spill files of concurrent runs in one process. */
+std::atomic<uint64_t> spillSerial{0};
+
+std::string
+spillFilePath(const std::string &dir, uint64_t serial, size_t queue_id)
+{
+    long long pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+    pid = static_cast<long long>(::getpid());
+#endif
+    return dir + "/qdel_stream_ratios_" + std::to_string(pid) + "_" +
+           std::to_string(serial) + "_" + std::to_string(queue_id) +
+           ".spill";
+}
+
+/**
+ * The replay event loop of exactly one queue, consuming (submit, wait)
+ * runs in global order. State and event ordering mirror
+ * ReplaySimulator::run() on the queue-filtered trace line for line;
+ * the only differences are batched predictor entry points (see the
+ * header's semantics contract) and spill-backed ratios.
+ */
+class QueueCore
+{
+  public:
+    QueueCore(std::unique_ptr<core::Predictor> predictor,
+              size_t queue_total, const StreamReplayConfig &config,
+              std::string spill_path)
+        : predictor_(std::move(predictor)),
+          epochSeconds_(config.epochSeconds),
+          epochPerJob_(config.epochSeconds <= 0.0),
+          training_(static_cast<size_t>(
+              config.trainFraction * static_cast<double>(queue_total))),
+          queueTotal_(queue_total),
+          ratios_(std::move(spill_path), config.spillThresholdDoubles)
+    {
+    }
+
+    /** Feed the next @p n rows of this queue, in submission order. */
+    void
+    processRows(const double *submit, const double *wait, size_t n)
+    {
+        if (!armed_ && n > 0) {
+            // state.nextRefit = epoch_per_job ? inf : t[0].submitTime
+            nextRefit_ = epochPerJob_ ? kInf : submit[0];
+            armed_ = true;
+        }
+        ratioScratch_.resize(std::max(ratioScratch_.size(), n));
+
+        size_t r = 0;
+        while (r < n) {
+            advanceTo(submit[r]);
+
+            if (epochPerJob_)
+                predictor_->refit();
+
+            const size_t i = processed_ + r;
+            if (!trainingFinalized_ && i >= training_) {
+                predictor_->finalizeTraining();
+                predictor_->refit();
+                trainingFinalized_ = true;
+            }
+
+            // Extend a run of jobs that see no event (release or
+            // epoch) between their submits: the bound is frozen over
+            // the run, so it scores with one scoreBatch call. Events
+            // fire at times <= submit (inclusive), hence strict <;
+            // each job's own release joins the horizon because it can
+            // fire before a zero/short-wait successor.
+            size_t s = r + 1;
+            if (!epochPerJob_) {
+                double horizon =
+                    std::min(pending_.empty() ? kInf
+                                              : pending_.front().time,
+                             nextRefit_);
+                horizon = std::min(horizon, submit[r] + wait[r]);
+                const size_t limit =
+                    trainingFinalized_ ? n
+                                       : std::min(n, r + (training_ - i));
+                while (s < limit && submit[s] < horizon) {
+                    horizon = std::min(horizon, submit[s] + wait[s]);
+                    ++s;
+                }
+            }
+            const size_t count = s - r;
+
+            if (i >= training_) {
+                const auto score = predictor_->scoreBatch(
+                    wait + r, count, ratioScratch_.data());
+                evaluated_ += count;
+                correct_ += score.correct;
+                infinite_ += score.infinite;
+                if (score.infinite == 0)
+                    ratios_.append(ratioScratch_.data(), count);
+                QDEL_OBS({
+                    obs::replayMetrics().predictions.inc(count);
+                    if (score.infinite > 0) {
+                        obs::replayMetrics().infinitePredictions.inc(
+                            score.infinite);
+                    } else {
+                        obs::replayMetrics().boundHits.inc(score.correct);
+                        obs::replayMetrics().boundMisses.inc(
+                            count - score.correct);
+                    }
+                });
+            }
+
+            for (size_t k = r; k < s; ++k) {
+                pending_.push_back({submit[k] + wait[k], wait[k]});
+                std::push_heap(pending_.begin(), pending_.end(),
+                               std::greater<PendingRelease>{});
+            }
+            QDEL_OBS(obs::replayMetrics().jobsProcessed.inc(count));
+            r = s;
+        }
+        processed_ += n;
+    }
+
+    /** Close out the queue and assemble its ReplayResult. */
+    Expected<QueueStreamResult>
+    finish(const std::string &queue_name)
+    {
+        QueueStreamResult out;
+        out.queue = queue_name;
+        out.result.totalJobs = queueTotal_;
+        if (queueTotal_ == 0)
+            return out;
+        out.result.trainingJobs = training_;
+        out.result.evaluatedJobs = evaluated_;
+        out.result.correct = correct_;
+        out.result.infinitePredictions = infinite_;
+        if (evaluated_ > 0) {
+            out.result.correctFraction =
+                static_cast<double>(correct_) /
+                static_cast<double>(evaluated_);
+        }
+        if (ratios_.size() > 0) {
+            auto median = ratios_.median();
+            if (!median.ok())
+                return median.error();
+            out.result.medianRatio = median.value();
+        }
+        out.trims = predictorTrimCount(*predictor_);
+        return out;
+    }
+
+  private:
+    /**
+     * Process events with time <= @p horizon in chronological order,
+     * releases before an epoch at the same instant — the simulator's
+     * advance_to(), with runs of releases between epoch ticks gathered
+     * into one observeBatch call (same pop order, same trim behaviour).
+     */
+    void
+    advanceTo(double horizon)
+    {
+        while (true) {
+            const double t_release =
+                pending_.empty() ? kInf : pending_.front().time;
+            const double now = std::min(t_release, nextRefit_);
+            if (now > horizon)
+                break;
+            if (t_release <= nextRefit_) {
+                waitScratch_.clear();
+                const double cap = std::min(horizon, nextRefit_);
+                while (!pending_.empty() &&
+                       pending_.front().time <= cap) {
+                    waitScratch_.push_back(pending_.front().wait);
+                    std::pop_heap(pending_.begin(), pending_.end(),
+                                  std::greater<PendingRelease>{});
+                    pending_.pop_back();
+                }
+                predictor_->observeBatch(waitScratch_.data(),
+                                         waitScratch_.size());
+            } else {
+                predictor_->refit();
+                nextRefit_ += epochSeconds_;
+            }
+        }
+    }
+
+    std::unique_ptr<core::Predictor> predictor_;
+    const double epochSeconds_;
+    const bool epochPerJob_;
+    const size_t training_;
+    const size_t queueTotal_;
+
+    bool armed_ = false;
+    double nextRefit_ = kInf;
+    size_t processed_ = 0;
+    bool trainingFinalized_ = false;
+    std::vector<PendingRelease> pending_;
+
+    size_t evaluated_ = 0;
+    size_t correct_ = 0;
+    size_t infinite_ = 0;
+    stats::SpillDoubles ratios_;
+
+    std::vector<double> ratioScratch_;
+    std::vector<double> waitScratch_;
+};
+
+/** Reusable per-queue (submit, wait) staging for multi-queue batches. */
+struct QueueRun
+{
+    std::vector<double> submit;
+    std::vector<double> wait;
+};
+
+} // namespace
+
+Expected<Unit>
+StreamReplayConfig::validate() const
+{
+    ReplayConfig replay;
+    replay.epochSeconds = epochSeconds;
+    replay.trainFraction = trainFraction;
+    if (auto ok = replay.validate(); !ok.ok())
+        return ok.error();
+    if (batchSize == 0) {
+        return ParseError{"", 0, "batchSize",
+                          "must be at least 1 row per batch"};
+    }
+    return Unit{};
+}
+
+Expected<StreamReplayResult>
+replayStream(trace::StreamingTraceReader &reader, const std::string &method,
+             const core::PredictorOptions &options,
+             const StreamReplayConfig &config)
+{
+    if (auto valid = config.validate(); !valid.ok())
+        return valid.error();
+
+    std::string spill_dir = config.spillDir;
+    if (spill_dir.empty()) {
+        std::error_code ec;
+        auto tmp = std::filesystem::temp_directory_path(ec);
+        spill_dir = ec ? "." : tmp.string();
+    }
+    const uint64_t serial =
+        spillSerial.fetch_add(1, std::memory_order_relaxed);
+
+    const auto &queue_names = reader.queueNames();
+    const auto &queue_totals = reader.queueJobCounts();
+    const size_t n_queues = queue_names.size();
+
+    std::vector<std::unique_ptr<QueueCore>> cores;
+    cores.reserve(n_queues);
+    for (size_t q = 0; q < n_queues; ++q) {
+        auto predictor = core::tryMakePredictor(method, options);
+        if (!predictor.ok())
+            return predictor.error();
+        cores.push_back(std::make_unique<QueueCore>(
+            std::move(predictor).value(),
+            static_cast<size_t>(queue_totals[q]), config,
+            spillFilePath(spill_dir, serial, q)));
+    }
+
+    StreamReplayResult result;
+    result.site = reader.site();
+    result.machine = reader.machine();
+    result.shards = reader.shardCount();
+
+    ThreadPool pool(ThreadPool::resolveThreadCount(config.threads));
+    std::vector<QueueRun> runs(n_queues);
+    std::vector<size_t> touched;
+    touched.reserve(n_queues);
+
+    size_t shards_completed = 0;
+    size_t last_shard = 0;
+    auto sample_memory = [&]() {
+        const size_t resident = util::currentResidentBytes();
+        result.peakResidentBytes =
+            std::max(result.peakResidentBytes, resident);
+        QDEL_OBS({
+            obs::replayMetrics().residentBytes.set(
+                static_cast<double>(resident));
+            obs::replayMetrics().streamShardLag.set(static_cast<double>(
+                std::min(reader.currentShard() + 1, reader.shardCount()) -
+                shards_completed));
+        });
+    };
+
+    trace::ColumnBatch batch;
+    while (true) {
+        auto more = reader.next(&batch);
+        if (!more.ok())
+            return more.error();
+        if (!more.value())
+            break;
+
+        result.totalJobs += batch.size;
+        ++result.batches;
+        QDEL_OBS(obs::replayMetrics().batches.inc());
+
+        if (n_queues == 1) {
+            // Single queue: evaluate straight off the mapped columns.
+            cores[0]->processRows(batch.submit, batch.wait, batch.size);
+        } else {
+            // Scatter the batch into per-queue runs (order-preserving
+            // within each queue), then fan the touched queues out and
+            // join before the next batch invalidates the columns.
+            touched.clear();
+            for (size_t row = 0; row < batch.size; ++row) {
+                QueueRun &run = runs[batch.queueId[row]];
+                if (run.submit.empty())
+                    touched.push_back(batch.queueId[row]);
+                run.submit.push_back(batch.submit[row]);
+                run.wait.push_back(batch.wait[row]);
+            }
+            if (touched.size() == 1 || pool.size() == 1) {
+                for (size_t q : touched) {
+                    cores[q]->processRows(runs[q].submit.data(),
+                                          runs[q].wait.data(),
+                                          runs[q].submit.size());
+                }
+            } else {
+                std::vector<std::future<void>> joins;
+                joins.reserve(touched.size());
+                for (size_t q : touched) {
+                    joins.push_back(pool.submit([&, q] {
+                        cores[q]->processRows(runs[q].submit.data(),
+                                              runs[q].wait.data(),
+                                              runs[q].submit.size());
+                    }));
+                }
+                for (auto &join : joins)
+                    join.get();
+            }
+            for (size_t q : touched) {
+                runs[q].submit.clear();
+                runs[q].wait.clear();
+            }
+        }
+
+        const size_t shard = reader.currentShard();
+        if (shard != last_shard) {
+            // All rows of every shard before `shard` are evaluated
+            // (the join above is a barrier).
+            shards_completed = shard;
+            last_shard = shard;
+            sample_memory();
+        } else if (result.batches % kRssSampleEveryBatches == 0) {
+            sample_memory();
+        }
+    }
+
+    shards_completed = reader.shardCount();
+    sample_memory();
+
+    result.queues.reserve(n_queues);
+    for (size_t q = 0; q < n_queues; ++q) {
+        auto finished = cores[q]->finish(queue_names[q]);
+        if (!finished.ok())
+            return finished.error();
+        result.queues.push_back(std::move(finished).value());
+    }
+    return result;
+}
+
+} // namespace sim
+} // namespace qdel

@@ -51,10 +51,10 @@ appendString(std::string &out, const std::string &text)
 
 template <typename T>
 void
-appendColumn(std::string &out, const std::vector<T> &column)
+appendColumn(std::string &out, const T *column, size_t count)
 {
-    out.append(reinterpret_cast<const char *>(column.data()),
-               column.size() * sizeof(T));
+    out.append(reinterpret_cast<const char *>(column),
+               count * sizeof(T));
 }
 
 // ---------------------------------------------------------------------
@@ -96,26 +96,39 @@ struct Cursor
         return out;
     }
 
-    template <typename T>
-    std::vector<T>
-    column(size_t count)
-    {
-        std::vector<T> out;
-        if (bad || (size - pos) / sizeof(T) < count) {
-            bad = true;
-            return out;
-        }
-        out.resize(count);
-        std::memcpy(out.data(), data + pos, count * sizeof(T));
-        pos += count * sizeof(T);
-        return out;
-    }
 };
+
+/**
+ * Hand out a typed pointer into the cursor's buffer instead of
+ * copying the column out — sound because the v2 layout keeps every
+ * column start naturally aligned (see trace_cache.hh).
+ */
+template <typename T>
+const T *
+columnPtr(Cursor &cursor, size_t count)
+{
+    if (cursor.bad || (cursor.size - cursor.pos) / sizeof(T) < count) {
+        cursor.bad = true;
+        return nullptr;
+    }
+    const T *ptr = reinterpret_cast<const T *>(cursor.data + cursor.pos);
+    cursor.pos += count * sizeof(T);
+    return ptr;
+}
 
 CacheReadResult
 miss(CacheStatus status, std::string detail)
 {
     CacheReadResult out;
+    out.status = status;
+    out.detail = std::move(detail);
+    return out;
+}
+
+QtcParseResult
+parseMiss(CacheStatus status, std::string detail)
+{
+    QtcParseResult out;
     out.status = status;
     out.detail = std::move(detail);
     return out;
@@ -157,34 +170,14 @@ traceCachePath(const std::string &trace_path, const std::string &cache_dir)
     return cache_dir + "/" + base + ".qtc";
 }
 
-Expected<Unit>
-writeTraceCache(const std::string &cache_path, const Trace &t,
-                const IngestReport &report, uint32_t options_word,
-                const FileStamp &source_stamp)
+std::string
+encodeQtcImage(const QtcColumnsRef &columns, const std::string &site,
+               const std::string &machine,
+               const std::vector<std::string> &queue_names,
+               const IngestReport &report, uint32_t options_word,
+               const FileStamp &source_stamp)
 {
-    const size_t n = t.size();
-
-    // Columns, transposed from the record array in one pass.
-    std::vector<double> submit(n), wait(n), run(n);
-    std::vector<int32_t> procs(n);
-    std::vector<int64_t> status(n);
-    std::vector<uint32_t> queue_id(n);
-    std::map<std::string, uint32_t> queue_ids;
-    std::vector<const std::string *> queue_order;
-    for (size_t i = 0; i < n; ++i) {
-        const JobRecord &job = t[i];
-        submit[i] = job.submitTime;
-        wait[i] = job.waitSeconds;
-        run[i] = job.runSeconds;
-        procs[i] = static_cast<int32_t>(job.procs);
-        status[i] = static_cast<int64_t>(job.status);
-        auto inserted = queue_ids.emplace(
-            job.queue, static_cast<uint32_t>(queue_order.size()));
-        if (inserted.second)
-            queue_order.push_back(&job.queue);
-        queue_id[i] = inserted.first->second;
-    }
-
+    const size_t n = columns.n;
     std::string bytes;
     bytes.reserve(kHeaderBytes + n * 36 + 1024);
     bytes.append(kMagic, sizeof(kMagic));
@@ -195,19 +188,19 @@ writeTraceCache(const std::string &cache_path, const Trace &t,
     appendScalar<int64_t>(bytes, source_stamp.mtimeNs);
     appendScalar<uint64_t>(bytes, static_cast<uint64_t>(n));
 
-    appendColumn(bytes, submit);
-    appendColumn(bytes, wait);
-    appendColumn(bytes, run);
-    appendColumn(bytes, procs);
-    appendColumn(bytes, status);
-    appendColumn(bytes, queue_id);
+    appendColumn(bytes, columns.submit, n);
+    appendColumn(bytes, columns.wait, n);
+    appendColumn(bytes, columns.run, n);
+    appendColumn(bytes, columns.status, n);
+    appendColumn(bytes, columns.procs, n);
+    appendColumn(bytes, columns.queueId, n);
 
-    appendString(bytes, t.site());
-    appendString(bytes, t.machine());
+    appendString(bytes, site);
+    appendString(bytes, machine);
     appendScalar<uint32_t>(bytes,
-                           static_cast<uint32_t>(queue_order.size()));
-    for (const std::string *queue : queue_order)
-        appendString(bytes, *queue);
+                           static_cast<uint32_t>(queue_names.size()));
+    for (const std::string &queue : queue_names)
+        appendString(bytes, queue);
 
     appendString(bytes, report.source);
     appendScalar<uint64_t>(bytes, report.totalLines);
@@ -226,6 +219,48 @@ writeTraceCache(const std::string &cache_path, const Trace &t,
 
     appendScalar<uint32_t>(bytes,
                            persist::crc32(bytes.data(), bytes.size()));
+    return bytes;
+}
+
+Expected<Unit>
+writeTraceCache(const std::string &cache_path, const Trace &t,
+                const IngestReport &report, uint32_t options_word,
+                const FileStamp &source_stamp)
+{
+    const size_t n = t.size();
+
+    // Columns, transposed from the record array in one pass.
+    std::vector<double> submit(n), wait(n), run(n);
+    std::vector<int32_t> procs(n);
+    std::vector<int64_t> status(n);
+    std::vector<uint32_t> queue_id(n);
+    std::map<std::string, uint32_t> queue_ids;
+    std::vector<std::string> queue_order;
+    for (size_t i = 0; i < n; ++i) {
+        const JobRecord &job = t[i];
+        submit[i] = job.submitTime;
+        wait[i] = job.waitSeconds;
+        run[i] = job.runSeconds;
+        procs[i] = static_cast<int32_t>(job.procs);
+        status[i] = static_cast<int64_t>(job.status);
+        auto inserted = queue_ids.emplace(
+            job.queue, static_cast<uint32_t>(queue_order.size()));
+        if (inserted.second)
+            queue_order.push_back(job.queue);
+        queue_id[i] = inserted.first->second;
+    }
+
+    QtcColumnsRef columns;
+    columns.n = n;
+    columns.submit = submit.data();
+    columns.wait = wait.data();
+    columns.run = run.data();
+    columns.status = status.data();
+    columns.procs = procs.data();
+    columns.queueId = queue_id.data();
+    const std::string bytes =
+        encodeQtcImage(columns, t.site(), t.machine(), queue_order,
+                       report, options_word, source_stamp);
 
     // --trace-cache=DIR may name a directory that does not exist yet.
     const size_t slash = cache_path.find_last_of('/');
@@ -238,6 +273,100 @@ writeTraceCache(const std::string &cache_path, const Trace &t,
     return persist::atomicWriteFile(cache_path, bytes);
 }
 
+QtcParseResult
+parseQtcView(std::string_view bytes, bool verify_crc)
+{
+    if (reinterpret_cast<uintptr_t>(bytes.data()) % alignof(double) != 0)
+        return parseMiss(CacheStatus::Corrupt, "misaligned buffer");
+    if (bytes.size() < kHeaderBytes + kCrcBytes)
+        return parseMiss(CacheStatus::Corrupt,
+                         "truncated: " + std::to_string(bytes.size()) +
+                             " bytes");
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return parseMiss(CacheStatus::Corrupt, "bad magic");
+
+    // Verify the CRC before trusting any field beyond the magic.
+    if (verify_crc) {
+        uint32_t stored_crc = 0;
+        std::memcpy(&stored_crc, bytes.data() + bytes.size() - kCrcBytes,
+                    kCrcBytes);
+        const uint32_t actual_crc =
+            persist::crc32(bytes.data(), bytes.size() - kCrcBytes);
+        if (stored_crc != actual_crc)
+            return parseMiss(CacheStatus::Corrupt, "CRC mismatch");
+    }
+
+    Cursor cursor{bytes.data(), bytes.size() - kCrcBytes, sizeof(kMagic)};
+    QtcParseResult out;
+    QtcView &view = out.view;
+    view.version = cursor.scalar<uint32_t>();
+    view.options = cursor.scalar<uint32_t>();
+    cursor.scalar<uint32_t>();  // reserved
+    view.sourceSize = cursor.scalar<uint64_t>();
+    view.sourceMtime = cursor.scalar<int64_t>();
+    const auto job_count = cursor.scalar<uint64_t>();
+    if (view.version != kTraceCacheVersion) {
+        // The column layout is version-specific, so an old image can
+        // only be reported stale, never parsed.
+        return parseMiss(CacheStatus::Stale,
+                         "format version " +
+                             std::to_string(view.version) + " != " +
+                             std::to_string(kTraceCacheVersion));
+    }
+
+    const size_t n = static_cast<size_t>(job_count);
+    view.jobCount = n;
+    view.submit = columnPtr<double>(cursor, n);
+    view.wait = columnPtr<double>(cursor, n);
+    view.run = columnPtr<double>(cursor, n);
+    view.status = columnPtr<int64_t>(cursor, n);
+    view.procs = columnPtr<int32_t>(cursor, n);
+    view.queueId = columnPtr<uint32_t>(cursor, n);
+
+    view.site = cursor.str();
+    view.machine = cursor.str();
+    const auto queue_count = cursor.scalar<uint32_t>();
+    if (cursor.bad)
+        return parseMiss(CacheStatus::Corrupt, "truncated columns");
+    view.queueNames.reserve(queue_count);
+    for (uint32_t i = 0; i < queue_count && !cursor.bad; ++i)
+        view.queueNames.push_back(cursor.str());
+
+    view.report.source = cursor.str();
+    view.report.totalLines =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    view.report.commentLines =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    view.report.parsedRecords =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    view.report.malformedLines =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    view.report.filteredRecords =
+        static_cast<size_t>(cursor.scalar<uint64_t>());
+    const auto error_count = cursor.scalar<uint32_t>();
+    if (cursor.bad || error_count > IngestReport::kMaxDetailedErrors)
+        return parseMiss(CacheStatus::Corrupt,
+                         "malformed report section");
+    for (uint32_t i = 0; i < error_count && !cursor.bad; ++i) {
+        ParseError error;
+        error.file = cursor.str();
+        error.line = static_cast<size_t>(cursor.scalar<uint64_t>());
+        error.field = cursor.str();
+        error.reason = cursor.str();
+        view.report.errors.push_back(std::move(error));
+    }
+    if (cursor.bad || cursor.pos != cursor.size)
+        return parseMiss(CacheStatus::Corrupt,
+                         "malformed string section");
+    for (size_t i = 0; i < n; ++i) {
+        if (view.queueId[i] >= view.queueNames.size())
+            return parseMiss(CacheStatus::Corrupt,
+                             "queue id out of range");
+    }
+    out.status = CacheStatus::Hit;
+    return out;
+}
+
 CacheReadResult
 readTraceCache(const std::string &cache_path, uint32_t options_word,
                const FileStamp &source_stamp)
@@ -247,98 +376,31 @@ readTraceCache(const std::string &cache_path, uint32_t options_word,
     auto file = MappedFile::open(cache_path);
     if (!file.ok())
         return miss(CacheStatus::Corrupt, file.error().reason);
-    const std::string_view bytes = file.value().view();
 
-    if (bytes.size() < kHeaderBytes + kCrcBytes)
-        return miss(CacheStatus::Corrupt,
-                    "truncated: " + std::to_string(bytes.size()) +
-                        " bytes");
-    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
-        return miss(CacheStatus::Corrupt, "bad magic");
-
-    // Verify the CRC before trusting any field beyond the magic.
-    uint32_t stored_crc = 0;
-    std::memcpy(&stored_crc, bytes.data() + bytes.size() - kCrcBytes,
-                kCrcBytes);
-    const uint32_t actual_crc =
-        persist::crc32(bytes.data(), bytes.size() - kCrcBytes);
-    if (stored_crc != actual_crc)
-        return miss(CacheStatus::Corrupt, "CRC mismatch");
-
-    Cursor cursor{bytes.data(), bytes.size() - kCrcBytes, sizeof(kMagic)};
-    const auto version = cursor.scalar<uint32_t>();
-    const auto stored_options = cursor.scalar<uint32_t>();
-    cursor.scalar<uint32_t>();  // reserved
-    const auto source_size = cursor.scalar<uint64_t>();
-    const auto source_mtime = cursor.scalar<int64_t>();
-    const auto job_count = cursor.scalar<uint64_t>();
-    if (version != kTraceCacheVersion) {
-        return miss(CacheStatus::Stale,
-                    "format version " + std::to_string(version) +
-                        " != " + std::to_string(kTraceCacheVersion));
-    }
-    if (stored_options != options_word)
+    QtcParseResult parsed = parseQtcView(file.value().view());
+    if (parsed.status != CacheStatus::Hit)
+        return miss(parsed.status, std::move(parsed.detail));
+    const QtcView &view = parsed.view;
+    if (view.options != options_word)
         return miss(CacheStatus::Stale, "parse options differ");
-    if (source_size != source_stamp.sizeBytes ||
-        source_mtime != source_stamp.mtimeNs)
+    if (view.sourceSize != source_stamp.sizeBytes ||
+        view.sourceMtime != source_stamp.mtimeNs)
         return miss(CacheStatus::Stale, "source file changed");
 
-    const size_t n = static_cast<size_t>(job_count);
-    const auto submit = cursor.column<double>(n);
-    const auto wait = cursor.column<double>(n);
-    const auto run = cursor.column<double>(n);
-    const auto procs = cursor.column<int32_t>(n);
-    const auto status = cursor.column<int64_t>(n);
-    const auto queue_id = cursor.column<uint32_t>(n);
-
-    const std::string site = cursor.str();
-    const std::string machine = cursor.str();
-    const auto queue_count = cursor.scalar<uint32_t>();
-    if (cursor.bad)
-        return miss(CacheStatus::Corrupt, "truncated columns");
-    std::vector<std::string> queue_names;
-    queue_names.reserve(queue_count);
-    for (uint32_t i = 0; i < queue_count && !cursor.bad; ++i)
-        queue_names.push_back(cursor.str());
-
     CacheReadResult out;
-    out.report.source = cursor.str();
-    out.report.totalLines = static_cast<size_t>(cursor.scalar<uint64_t>());
-    out.report.commentLines =
-        static_cast<size_t>(cursor.scalar<uint64_t>());
-    out.report.parsedRecords =
-        static_cast<size_t>(cursor.scalar<uint64_t>());
-    out.report.malformedLines =
-        static_cast<size_t>(cursor.scalar<uint64_t>());
-    out.report.filteredRecords =
-        static_cast<size_t>(cursor.scalar<uint64_t>());
-    const auto error_count = cursor.scalar<uint32_t>();
-    if (cursor.bad || error_count > IngestReport::kMaxDetailedErrors)
-        return miss(CacheStatus::Corrupt, "malformed report section");
-    for (uint32_t i = 0; i < error_count && !cursor.bad; ++i) {
-        ParseError error;
-        error.file = cursor.str();
-        error.line = static_cast<size_t>(cursor.scalar<uint64_t>());
-        error.field = cursor.str();
-        error.reason = cursor.str();
-        out.report.errors.push_back(std::move(error));
-    }
-    if (cursor.bad || cursor.pos != cursor.size)
-        return miss(CacheStatus::Corrupt, "malformed string section");
-
-    out.trace.setSite(site);
-    out.trace.setMachine(machine);
+    out.report = view.report;
+    out.trace.setSite(view.site);
+    out.trace.setMachine(view.machine);
+    const size_t n = view.jobCount;
     out.trace.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-        if (queue_id[i] >= queue_names.size())
-            return miss(CacheStatus::Corrupt, "queue id out of range");
         JobRecord job;
-        job.submitTime = submit[i];
-        job.waitSeconds = wait[i];
-        job.runSeconds = run[i];
-        job.procs = static_cast<int>(procs[i]);
-        job.status = static_cast<long long>(status[i]);
-        job.queue = queue_names[queue_id[i]];
+        job.submitTime = view.submit[i];
+        job.waitSeconds = view.wait[i];
+        job.runSeconds = view.run[i];
+        job.procs = static_cast<int>(view.procs[i]);
+        job.status = static_cast<long long>(view.status[i]);
+        job.queue = view.queueNames[view.queueId[i]];
         out.trace.add(std::move(job));
     }
     out.status = CacheStatus::Hit;

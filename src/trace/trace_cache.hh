@@ -19,7 +19,13 @@
  *   [32] u64 jobCount    n
  *   ---- columns, each a contiguous array of n elements ----
  *        f64 submit[n], f64 wait[n], f64 run[n],
- *        i32 procs[n], i64 status[n], u32 queueId[n]
+ *        i64 status[n], i32 procs[n], u32 queueId[n]
+ *
+ *        (8-byte columns first: the header is 40 bytes, so every
+ *        column start stays naturally aligned for *any* n — the
+ *        property that lets the streaming reader (qtc_stream.hh) hand
+ *        out zero-copy typed pointers into the mapped file instead of
+ *        memcpy-ing columns out.)
  *   ---- string section ----
  *        str site, str machine
  *        u32 queueNameCount, str queueName[...]   (queueId indexes this)
@@ -46,6 +52,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "trace/ingest.hh"
 #include "trace/native_format.hh"
@@ -57,8 +65,10 @@
 namespace qdel {
 namespace trace {
 
-/** Bump when the on-disk layout changes; stale versions re-parse. */
-constexpr uint32_t kTraceCacheVersion = 1;
+/** Bump when the on-disk layout changes; stale versions re-parse.
+ *  v2: 8-byte columns moved ahead of the 4-byte ones so every column
+ *  is naturally aligned in the mapped file (v1 caches re-parse). */
+constexpr uint32_t kTraceCacheVersion = 2;
 
 /**
  * The parse options that determine a cache's contents, packed into the
@@ -94,6 +104,75 @@ struct CacheReadResult
     Trace trace;          //!< Valid only when status == Hit.
     IngestReport report;  //!< Valid only when status == Hit.
 };
+
+/**
+ * Zero-copy view of one .qtc image: header fields plus typed pointers
+ * aimed directly into the caller's byte buffer (legal because every
+ * column is naturally aligned — see the layout comment above). The
+ * backing bytes must outlive the view; no column data is copied.
+ */
+struct QtcView
+{
+    uint32_t version = 0;
+    uint32_t options = 0;
+    uint64_t sourceSize = 0;
+    int64_t sourceMtime = 0;
+    size_t jobCount = 0;
+    const double *submit = nullptr;
+    const double *wait = nullptr;
+    const double *run = nullptr;
+    const int64_t *status = nullptr;
+    const int32_t *procs = nullptr;
+    const uint32_t *queueId = nullptr;
+    std::string site;
+    std::string machine;
+    std::vector<std::string> queueNames;
+    IngestReport report;
+};
+
+/** Outcome of parseQtcView(): Hit carries the view. */
+struct QtcParseResult
+{
+    CacheStatus status = CacheStatus::Corrupt;
+    std::string detail;  //!< Human-readable reason for a non-Hit.
+    QtcView view;        //!< Valid only when status == Hit.
+};
+
+/**
+ * Parse @p bytes (one complete .qtc image, e.g. a MappedFile view)
+ * into a zero-copy QtcView. Structural damage -> Corrupt; a version
+ * other than kTraceCacheVersion -> Stale. @p bytes.data() must be
+ * 8-byte aligned (mmap pages and heap buffers both are). Pass
+ * @p verify_crc = false only when the image was checksummed already.
+ */
+QtcParseResult parseQtcView(std::string_view bytes,
+                            bool verify_crc = true);
+
+/** SoA column pointers describing one .qtc image to be written. */
+struct QtcColumnsRef
+{
+    size_t n = 0;
+    const double *submit = nullptr;
+    const double *wait = nullptr;
+    const double *run = nullptr;
+    const int64_t *status = nullptr;
+    const int32_t *procs = nullptr;
+    const uint32_t *queueId = nullptr;
+};
+
+/**
+ * Serialize one complete .qtc image (header, columns, string section,
+ * trailing CRC) from already-transposed columns. Shared by
+ * writeTraceCache and the shard writer in qtc_stream.hh; every
+ * queueId must index @p queue_names.
+ */
+std::string encodeQtcImage(const QtcColumnsRef &columns,
+                           const std::string &site,
+                           const std::string &machine,
+                           const std::vector<std::string> &queue_names,
+                           const IngestReport &report,
+                           uint32_t options_word,
+                           const FileStamp &source_stamp);
 
 /**
  * Try to load the cache at @p cache_path for a source currently

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Implementation of the process memory probes.
+ */
+
+#include "util/resource_usage.hh"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace qdel {
+namespace util {
+
+size_t
+currentResidentBytes()
+{
+#if defined(__linux__)
+    std::FILE *statm = std::fopen("/proc/self/statm", "r");
+    if (statm == nullptr)
+        return 0;
+    unsigned long long total_pages = 0;
+    unsigned long long resident_pages = 0;
+    const int matched = std::fscanf(statm, "%llu %llu", &total_pages,
+                                    &resident_pages);
+    std::fclose(statm);
+    if (matched != 2)
+        return 0;
+    return static_cast<size_t>(resident_pages) *
+           static_cast<size_t>(sysconf(_SC_PAGESIZE));
+#else
+    return 0;
+#endif
+}
+
+size_t
+peakResidentBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace util
+} // namespace qdel

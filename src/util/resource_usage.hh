@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Process memory introspection for the out-of-core paths: the
+ * streaming replay samples its resident set into a gauge so a
+ * "bounded memory" claim is observable, not just asserted.
+ */
+
+#ifndef QDEL_UTIL_RESOURCE_USAGE_HH
+#define QDEL_UTIL_RESOURCE_USAGE_HH
+
+#include <cstddef>
+
+namespace qdel {
+namespace util {
+
+/**
+ * Current resident set size in bytes (/proc/self/statm), or 0 when
+ * the platform does not expose it. Cheap enough to sample per batch.
+ */
+size_t currentResidentBytes();
+
+/** Peak resident set size in bytes (getrusage), or 0 if unavailable. */
+size_t peakResidentBytes();
+
+} // namespace util
+} // namespace qdel
+
+#endif // QDEL_UTIL_RESOURCE_USAGE_HH

@@ -243,6 +243,105 @@ profileSeed(const QueueProfile &profile, uint64_t baseSeed)
     return hash;
 }
 
+JobSampler::JobSampler(const QueueProfile &profile,
+                       std::vector<RegimeSegment> regimes,
+                       size_t jobCount, stats::Rng &rng)
+    : profile_(profile), regimes_(std::move(regimes)), count_(jobCount),
+      innovation_(std::sqrt(1.0 - profile.rho * profile.rho)),
+      z_(0.0),
+      // The favored-large-jobs regime begins in late May so predictors
+      // have adapted by the plotted June window (the paper plots June
+      // only).
+      fig2Begin_(dateUnix(2004, 5, 20)), fig2End_(dateUnix(2004, 7, 1)),
+      burstStart_(static_cast<size_t>(
+          0.92 * static_cast<double>(jobCount)))
+{
+    // The regime offsets are centered in log space, but exp() is convex
+    // so they still inflate the arithmetic mean of the waits. Measure
+    // the inflation and calibrate the mixture against a deflated target
+    // so the synthesized trace reproduces the published Table 1 mean.
+    double inflation = 0.0;
+    for (size_t s = 0; s < regimes_.size(); ++s) {
+        const size_t seg_end =
+            s + 1 < regimes_.size() ? regimes_[s + 1].startIndex : count_;
+        inflation += std::exp(regimes_[s].muOffset) *
+                     static_cast<double>(seg_end -
+                                         regimes_[s].startIndex);
+    }
+    inflation =
+        count_ > 0 ? inflation / static_cast<double>(count_) : 1.0;
+
+    QueueProfile adjusted = profile;
+    adjusted.meanDelay =
+        std::max(profile.meanDelay / std::max(inflation, 1e-9),
+                 profile.medianDelay * 1.05);
+    cal_ = calibrateMixture(adjusted);
+
+    z_ = rng.normal();
+}
+
+void
+JobSampler::sample(size_t i, double submit, stats::Rng &rng, int *procs,
+                   double *wait)
+{
+    while (regimeIdx_ + 1 < regimes_.size() &&
+           regimes_[regimeIdx_ + 1].startIndex <= i) {
+        ++regimeIdx_;
+    }
+    const RegimeSegment &regime = regimes_[regimeIdx_];
+
+    // Shared latent autocorrelated state.
+    z_ = profile_.rho * z_ + innovation_ * rng.normal();
+
+    // Processor bin and concrete processor count.
+    const int bin = rng.categorical(profile_.procMix, 4);
+    *procs = static_cast<int>(rng.uniformInt(kBinLow[bin],
+                                             kBinHigh[bin]));
+
+    const bool in_fig2 = profile_.figure2Window &&
+                         submit >= fig2Begin_ && submit < fig2End_;
+
+    double factor = profile_.procDelayFactor[bin];
+    double fast_bias = kFastBias[bin];
+    if (in_fig2) {
+        factor = kFigure2Factor[bin];
+        fast_bias = kFigure2FastBias[bin];
+    }
+
+    double mu_offset = regime.muOffset;
+    double weight = clampWeight(cal_.fastWeight * fast_bias *
+                                regime.weightScale);
+    // The terminal burst spares the 17-64 processor bin: the paper's
+    // Table 5 shows lanl/short passing when subdivided to that range
+    // even though the whole queue fails in Table 3.
+    if (profile_.terminalBurst && i >= burstStart_ && bin != 2) {
+        // The lanl/short end-of-log anomaly: the last 8% of jobs see
+        // escalating, unusually long delays — fast enough that even
+        // adaptive predictors cannot keep up (the paper's one BMBP
+        // miss, Table 3).
+        const double progress =
+            static_cast<double>(i - burstStart_) /
+            std::max(1.0, static_cast<double>(count_ - burstStart_));
+        mu_offset += std::log(40.0) + 4.0 * progress;
+        weight *= 0.3 * (1.0 - progress);
+    }
+
+    double drawn;
+    const double mode_draw = rng.uniform();
+    if (mode_draw < weight) {
+        drawn = std::exp(cal_.mu1 + 0.3 * mu_offset + cal_.sigma1 * z_);
+    } else if (mode_draw < weight + cal_.tailWeight) {
+        // Rare extreme-delay mode (jammed machine); rides the same
+        // regime level and processor-bin factor as the bulk.
+        drawn = std::exp(cal_.muT + mu_offset + std::log(factor) +
+                         cal_.sigmaT * z_);
+    } else {
+        drawn = std::exp(cal_.mu2 + mu_offset + std::log(factor) +
+                         cal_.sigma2 * regime.sigmaScale * z_);
+    }
+    *wait = std::max(0.0, drawn);
+}
+
 trace::Trace
 synthesizeTrace(const QueueProfile &profile, uint64_t baseSeed)
 {
@@ -265,101 +364,19 @@ synthesizeTrace(const QueueProfile &profile, uint64_t baseSeed)
     auto arrivals = generateArrivals(begin, end, count, arrival_model, rng);
 
     auto regimes = makeRegimeSchedule(profile, count, rng);
-
-    // The regime offsets are centered in log space, but exp() is convex
-    // so they still inflate the arithmetic mean of the waits. Measure
-    // the inflation and calibrate the mixture against a deflated target
-    // so the synthesized trace reproduces the published Table 1 mean.
-    double inflation = 0.0;
-    for (size_t s = 0; s < regimes.size(); ++s) {
-        const size_t seg_end =
-            s + 1 < regimes.size() ? regimes[s + 1].startIndex : count;
-        inflation += std::exp(regimes[s].muOffset) *
-                     static_cast<double>(seg_end - regimes[s].startIndex);
-    }
-    inflation = count > 0 ? inflation / static_cast<double>(count) : 1.0;
-
-    QueueProfile adjusted = profile;
-    adjusted.meanDelay =
-        std::max(profile.meanDelay / std::max(inflation, 1e-9),
-                 profile.medianDelay * 1.05);
-    const MixtureCalibration cal = calibrateMixture(adjusted);
-
-    // The favored-large-jobs regime begins in late May so predictors have
-    // adapted by the plotted June window (the paper plots June only).
-    const double fig2_begin = dateUnix(2004, 5, 20);
-    const double fig2_end = dateUnix(2004, 7, 1);
-    const size_t burst_start = static_cast<size_t>(
-        0.92 * static_cast<double>(count));
+    JobSampler sampler(profile, std::move(regimes), count, rng);
 
     trace::Trace t(profile.site, profile.display);
     t.reserve(count);
 
-    const double innovation = std::sqrt(1.0 - profile.rho * profile.rho);
-    double z = rng.normal();
-    size_t regime_idx = 0;
-
     for (size_t i = 0; i < count; ++i) {
-        while (regime_idx + 1 < regimes.size() &&
-               regimes[regime_idx + 1].startIndex <= i) {
-            ++regime_idx;
-        }
-        const RegimeSegment &regime = regimes[regime_idx];
-
-        // Shared latent autocorrelated state.
-        z = profile.rho * z + innovation * rng.normal();
-
-        // Processor bin and concrete processor count.
-        const int bin = rng.categorical(profile.procMix, 4);
-        const int procs = static_cast<int>(
-            rng.uniformInt(kBinLow[bin], kBinHigh[bin]));
-
-        const double submit = arrivals[i];
-        const bool in_fig2 = profile.figure2Window &&
-                             submit >= fig2_begin && submit < fig2_end;
-
-        double factor = profile.procDelayFactor[bin];
-        double fast_bias = kFastBias[bin];
-        if (in_fig2) {
-            factor = kFigure2Factor[bin];
-            fast_bias = kFigure2FastBias[bin];
-        }
-
-        double mu_offset = regime.muOffset;
-        double weight = clampWeight(cal.fastWeight * fast_bias *
-                                    regime.weightScale);
-        // The terminal burst spares the 17-64 processor bin: the
-        // paper's Table 5 shows lanl/short passing when subdivided to
-        // that range even though the whole queue fails in Table 3.
-        if (profile.terminalBurst && i >= burst_start && bin != 2) {
-            // The lanl/short end-of-log anomaly: the last 8% of jobs
-            // see escalating, unusually long delays — fast enough that
-            // even adaptive predictors cannot keep up (the paper's one
-            // BMBP miss, Table 3).
-            const double progress =
-                static_cast<double>(i - burst_start) /
-                std::max(1.0, static_cast<double>(count - burst_start));
-            mu_offset += std::log(40.0) + 4.0 * progress;
-            weight *= 0.3 * (1.0 - progress);
-        }
-
-        double wait;
-        const double mode_draw = rng.uniform();
-        if (mode_draw < weight) {
-            wait = std::exp(cal.mu1 + 0.3 * mu_offset + cal.sigma1 * z);
-        } else if (mode_draw < weight + cal.tailWeight) {
-            // Rare extreme-delay mode (jammed machine); rides the same
-            // regime level and processor-bin factor as the bulk.
-            wait = std::exp(cal.muT + mu_offset + std::log(factor) +
-                            cal.sigmaT * z);
-        } else {
-            wait = std::exp(cal.mu2 + mu_offset + std::log(factor) +
-                            cal.sigma2 * regime.sigmaScale * z);
-        }
+        int procs = 0;
+        double wait = 0.0;
+        sampler.sample(i, arrivals[i], rng, &procs, &wait);
 
         trace::JobRecord job;
-        job.submitTime = submit;
-        job.waitSeconds = std::max(0.0, wait);
+        job.submitTime = arrivals[i];
+        job.waitSeconds = wait;
         job.procs = procs;
         job.queue = profile.queue;
         t.add(std::move(job));

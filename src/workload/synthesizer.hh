@@ -80,6 +80,49 @@ std::vector<RegimeSegment> makeRegimeSchedule(const QueueProfile &profile,
 uint64_t profileSeed(const QueueProfile &profile, uint64_t baseSeed);
 
 /**
+ * The shared per-job sampling core of the generative model: regime
+ * tracking, the latent AR(1) state, processor-bin selection, and the
+ * three-mode wait draw. Both synthesizeTrace() (in-memory) and
+ * StreamingSynthesizer (out-of-core) drive one of these; the RNG draw
+ * sequence is part of the contract (construction consumes one normal
+ * for the latent init; each sample() consumes one normal, one
+ * categorical, one uniformInt, and one uniform, in that order) so the
+ * in-memory trace family is bitwise stable across refactors.
+ */
+class JobSampler
+{
+  public:
+    /**
+     * @param profile  Catalog row (must outlive the sampler).
+     * @param regimes  Schedule from makeRegimeSchedule().
+     * @param jobCount Total jobs the caller will sample.
+     * @param rng      Draws the latent AR(1) initial state.
+     */
+    JobSampler(const QueueProfile &profile,
+               std::vector<RegimeSegment> regimes, size_t jobCount,
+               stats::Rng &rng);
+
+    /**
+     * Draw job @p i (indices must be fed in increasing order) arriving
+     * at @p submit: its processor count and wait in seconds (>= 0).
+     */
+    void sample(size_t i, double submit, stats::Rng &rng, int *procs,
+                double *wait);
+
+  private:
+    const QueueProfile &profile_;
+    std::vector<RegimeSegment> regimes_;
+    MixtureCalibration cal_;
+    size_t count_;
+    size_t regimeIdx_ = 0;
+    double innovation_;
+    double z_;
+    double fig2Begin_;
+    double fig2End_;
+    size_t burstStart_;
+};
+
+/**
  * Generate the full synthetic trace for @p profile.
  *
  * @param profile  Catalog row to reproduce.

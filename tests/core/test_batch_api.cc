@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Batched predictor API contract: observeBatch must be exactly
+ * equivalent to element-wise observe() for every factory method
+ * (including mid-batch change-point trims), and scoreBatch must
+ * reproduce the replay scoring rule against the frozen bound.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/predictor_factory.hh"
+
+namespace qdel {
+namespace core {
+namespace {
+
+/** A wait series with a regime shift to provoke trims mid-batch. */
+std::vector<double>
+shiftedWaits(size_t n)
+{
+    std::vector<double> waits;
+    waits.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double base = i < n / 2 ? 100.0 : 4000.0;
+        waits.push_back(base + static_cast<double>((i * 37) % 173));
+    }
+    return waits;
+}
+
+class BatchApiTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BatchApiTest, ObserveBatchMatchesScalarObserve)
+{
+    PredictorOptions options;
+    auto scalar = makePredictor(GetParam(), options);
+    auto batched = makePredictor(GetParam(), options);
+
+    const auto waits = shiftedWaits(600);
+    // Interleave refits so change-point detection runs against live
+    // bounds in both instances, then feed the same tail through the
+    // two entry points in uneven chunks.
+    for (size_t i = 0; i < 200; ++i) {
+        scalar->observe(waits[i]);
+        batched->observe(waits[i]);
+    }
+    scalar->finalizeTraining();
+    batched->finalizeTraining();
+    scalar->refit();
+    batched->refit();
+
+    size_t i = 200;
+    const size_t chunks[] = {1, 7, 64, 128, 200};
+    for (size_t chunk : chunks) {
+        for (size_t k = 0; k < chunk; ++k)
+            scalar->observe(waits[i + k]);
+        batched->observeBatch(waits.data() + i, chunk);
+        i += chunk;
+        scalar->refit();
+        batched->refit();
+        const auto a = scalar->upperBound();
+        const auto b = batched->upperBound();
+        ASSERT_EQ(a.finite(), b.finite());
+        if (a.finite())
+            ASSERT_EQ(a.value, b.value) << "after chunk " << chunk;
+        ASSERT_EQ(scalar->historySize(), batched->historySize());
+    }
+}
+
+TEST_P(BatchApiTest, ScoreBatchMatchesReplayScoringRule)
+{
+    PredictorOptions options;
+    auto predictor = makePredictor(GetParam(), options);
+    const auto waits = shiftedWaits(300);
+    predictor->observeBatch(waits.data(), 200);
+    predictor->finalizeTraining();
+    predictor->refit();
+
+    const auto bound = predictor->upperBound();
+    std::vector<double> ratios(100, -1.0);
+    const auto score =
+        predictor->scoreBatch(waits.data() + 200, 100, ratios.data());
+
+    size_t correct = 0;
+    for (size_t i = 0; i < 100; ++i) {
+        const double wait = waits[200 + i];
+        if (!bound.finite()) {
+            ++correct;
+            continue;
+        }
+        if (bound.value >= wait)
+            ++correct;
+        EXPECT_EQ(ratios[i], wait / std::max(bound.value, 1e-9));
+    }
+    EXPECT_EQ(score.correct, correct);
+    EXPECT_EQ(score.infinite, bound.finite() ? 0u : 100u);
+}
+
+TEST(BatchApi, ScoreBatchInfiniteBoundCountsAllCorrect)
+{
+    PredictorOptions options;
+    auto predictor = makePredictor("bmbp", options);
+    // No history at all: BMBP cannot produce a finite bound.
+    predictor->refit();
+    ASSERT_FALSE(predictor->upperBound().finite());
+    const double waits[3] = {1.0, 2.0, 3.0};
+    double ratios[3] = {-1.0, -1.0, -1.0};
+    const auto score = predictor->scoreBatch(waits, 3, ratios);
+    EXPECT_EQ(score.correct, 3u);
+    EXPECT_EQ(score.infinite, 3u);
+    EXPECT_EQ(ratios[0], -1.0);  // untouched
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BatchApiTest,
+                         ::testing::Values("bmbp", "lognormal",
+                                           "lognormal-trim", "loguniform",
+                                           "percentile"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+} // namespace
+} // namespace core
+} // namespace qdel

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the spilling exact-median accumulator: bitwise agreement
+ * with stats::median() in both the in-RAM and spilled regimes, across
+ * even/odd counts, negatives, duplicates, and repeated queries.
+ */
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hh"
+#include "stats/spill_doubles.hh"
+
+namespace qdel {
+namespace stats {
+namespace {
+
+std::string
+scratchPath(const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir() + "qdel_spill_" + tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir + "/spill.bin";
+}
+
+/** A messy deterministic series: regime shifts, repeats, negatives. */
+std::vector<double>
+series(size_t n)
+{
+    std::vector<double> values;
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        double v = static_cast<double>((i * 2654435761u) % 10007) / 7.0;
+        if (i % 5 == 0)
+            v = -v;
+        if (i % 11 == 0)
+            v = 42.0;  // heavy duplicate mass
+        values.push_back(v);
+    }
+    return values;
+}
+
+TEST(SpillDoubles, InRamMatchesStatsMedian)
+{
+    SpillDoubles spill(scratchPath("inram"), 1 << 20);
+    const auto values = series(999);
+    spill.append(values.data(), values.size());
+    ASSERT_FALSE(spill.spilled());
+    auto result = spill.median();
+    ASSERT_TRUE(result.ok()) << result.error().str();
+    EXPECT_EQ(result.value(), median(values));
+}
+
+TEST(SpillDoubles, SpilledMatchesStatsMedianBitwise)
+{
+    for (size_t n : {2u, 3u, 101u, 5000u, 5001u}) {
+        SpillDoubles spill(scratchPath("spilled" + std::to_string(n)),
+                           /*threshold_doubles=*/1);
+        const auto values = series(n);
+        for (double v : values)
+            spill.add(v);
+        ASSERT_TRUE(spill.spilled());
+        auto result = spill.median();
+        ASSERT_TRUE(result.ok()) << result.error().str();
+        EXPECT_EQ(result.value(), median(values)) << "n=" << n;
+    }
+}
+
+TEST(SpillDoubles, SingleSpilledValue)
+{
+    SpillDoubles spill(scratchPath("one"), 0);
+    spill.add(17.25);
+    ASSERT_TRUE(spill.spilled());
+    auto result = spill.median();
+    ASSERT_TRUE(result.ok()) << result.error().str();
+    EXPECT_EQ(result.value(), 17.25);
+}
+
+TEST(SpillDoubles, AllDuplicates)
+{
+    SpillDoubles spill(scratchPath("dup"), 4);
+    for (int i = 0; i < 1000; ++i)
+        spill.add(-3.5);
+    auto result = spill.median();
+    ASSERT_TRUE(result.ok()) << result.error().str();
+    EXPECT_EQ(result.value(), -3.5);
+}
+
+TEST(SpillDoubles, ReusableAfterMedian)
+{
+    SpillDoubles spill(scratchPath("reuse"), 8);
+    auto values = series(100);
+    spill.append(values.data(), values.size());
+    auto first = spill.median();
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value(), median(values));
+
+    const auto more = series(250);
+    spill.append(more.data(), more.size());
+    values.insert(values.end(), more.begin(), more.end());
+    auto second = spill.median();
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value(), median(values));
+}
+
+TEST(SpillDoubles, EmptyIsAnError)
+{
+    SpillDoubles spill(scratchPath("empty"));
+    auto result = spill.median();
+    ASSERT_FALSE(result.ok());
+}
+
+} // namespace
+} // namespace stats
+} // namespace qdel

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the sharded .qtc writer and streaming column reader:
+ * write/stream round-trips across shard boundaries, the global
+ * queue-id invariant when queues first appear mid-stream, per-queue
+ * manifest counts, single-file .qtc streaming, batch-size slicing,
+ * and corruption detection at both the shard and manifest level.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/qtc_stream.hh"
+#include "trace/trace_cache.hh"
+
+namespace qdel {
+namespace trace {
+namespace {
+
+std::string
+scratchDir(const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir() + "qdel_qtc_stream_" +
+                            tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** A deterministic synthetic trace with two queues, "fast" late. */
+Trace
+sampleTrace(size_t n)
+{
+    Trace t("site", "machine");
+    for (size_t i = 0; i < n; ++i) {
+        JobRecord job;
+        job.submitTime = 1000.0 + static_cast<double>(i) * 3.5;
+        job.waitSeconds = static_cast<double>(i % 97) * 2.25;
+        job.runSeconds = 60.0 + static_cast<double>(i % 11);
+        job.procs = 1 + static_cast<int>(i % 64);
+        job.status = i % 13 == 0 ? 0 : 1;
+        // "fast" first appears past the first shard boundary (when
+        // shardSize < 2n/3), exercising the growing queue table.
+        job.queue = i > 2 * n / 3 && i % 5 == 0 ? "fast" : "normal";
+        t.add(std::move(job));
+    }
+    return t;
+}
+
+void
+expectTracesEqual(const Trace &actual, const Trace &expected)
+{
+    EXPECT_EQ(actual.site(), expected.site());
+    EXPECT_EQ(actual.machine(), expected.machine());
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(actual[i].submitTime, expected[i].submitTime);
+        EXPECT_EQ(actual[i].waitSeconds, expected[i].waitSeconds);
+        EXPECT_EQ(actual[i].runSeconds, expected[i].runSeconds);
+        EXPECT_EQ(actual[i].procs, expected[i].procs);
+        EXPECT_EQ(actual[i].status, expected[i].status);
+        EXPECT_EQ(actual[i].queue, expected[i].queue);
+    }
+}
+
+std::string
+writeShardSet(const Trace &t, const std::string &dir, size_t shard_size)
+{
+    ShardWriterOptions options;
+    options.directory = dir;
+    options.baseName = "sample";
+    options.shardSize = shard_size;
+    options.site = t.site();
+    options.machine = t.machine();
+    ShardedTraceWriter writer(options);
+    for (const JobRecord &job : t)
+        writer.add(job);
+    EXPECT_TRUE(writer.finish().ok());
+    EXPECT_EQ(writer.totalJobs(), t.size());
+    return writer.manifestPath();
+}
+
+TEST(QtcStream, ShardedRoundTripMaterializes)
+{
+    const Trace t = sampleTrace(1000);
+    const std::string dir = scratchDir("round_trip");
+    const std::string manifest = writeShardSet(t, dir, 137);
+
+    auto reader = StreamingTraceReader::open(manifest);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    EXPECT_EQ(reader.value().jobCount(), t.size());
+    EXPECT_EQ(reader.value().shardCount(), (1000 + 136) / 137);
+    EXPECT_EQ(reader.value().site(), "site");
+    EXPECT_EQ(reader.value().machine(), "machine");
+
+    auto materialized = reader.value().materialize();
+    ASSERT_TRUE(materialized.ok()) << materialized.error().str();
+    expectTracesEqual(materialized.value(), t);
+}
+
+TEST(QtcStream, GlobalQueueIdsAndPerQueueCounts)
+{
+    const Trace t = sampleTrace(900);
+    const std::string dir = scratchDir("queue_counts");
+    const std::string manifest = writeShardSet(t, dir, 100);
+
+    auto reader = StreamingTraceReader::open(manifest);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    const auto &names = reader.value().queueNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "normal");
+    EXPECT_EQ(names[1], "fast");
+
+    std::vector<uint64_t> expected(names.size(), 0);
+    for (const JobRecord &job : t)
+        ++expected[job.queue == "normal" ? 0 : 1];
+    EXPECT_EQ(reader.value().queueJobCounts(), expected);
+
+    // The streamed queueId column must agree with the global table on
+    // every row, including rows in shards written before "fast"
+    // existed.
+    ColumnBatch batch;
+    size_t row = 0;
+    while (true) {
+        auto more = reader.value().next(&batch);
+        ASSERT_TRUE(more.ok()) << more.error().str();
+        if (!more.value())
+            break;
+        EXPECT_EQ(batch.begin, row);
+        for (size_t i = 0; i < batch.size; ++i, ++row)
+            EXPECT_EQ(names[batch.queueId[i]], t[row].queue);
+    }
+    EXPECT_EQ(row, t.size());
+}
+
+TEST(QtcStream, BatchesRespectBatchSizeAndShardBoundaries)
+{
+    const Trace t = sampleTrace(500);
+    const std::string dir = scratchDir("batching");
+    const std::string manifest = writeShardSet(t, dir, 150);
+
+    StreamReadOptions options;
+    options.batchSize = 64;
+    auto reader = StreamingTraceReader::open(manifest, options);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+
+    // Shards are 150/150/150/50; batches of <=64 must tile each shard
+    // exactly: 64,64,22 then repeat, then 50.
+    std::vector<size_t> sizes;
+    ColumnBatch batch;
+    while (true) {
+        auto more = reader.value().next(&batch);
+        ASSERT_TRUE(more.ok());
+        if (!more.value())
+            break;
+        sizes.push_back(batch.size);
+    }
+    const std::vector<size_t> expected = {64, 64, 22, 64, 64, 22,
+                                          64, 64, 22, 50};
+    EXPECT_EQ(sizes, expected);
+
+    // reset() rewinds to an identical stream.
+    reader.value().reset();
+    std::vector<size_t> again;
+    while (true) {
+        auto more = reader.value().next(&batch);
+        ASSERT_TRUE(more.ok());
+        if (!more.value())
+            break;
+        again.push_back(batch.size);
+    }
+    EXPECT_EQ(again, expected);
+}
+
+TEST(QtcStream, SingleQtcFileStreams)
+{
+    const Trace t = sampleTrace(300);
+    const std::string dir = scratchDir("single_file");
+    const std::string path = dir + "/single.qtc";
+    IngestReport report;
+    report.source = "single";
+    report.parsedRecords = t.size();
+    ASSERT_TRUE(
+        writeTraceCache(path, t, report, /*options_word=*/0, FileStamp{})
+            .ok());
+
+    auto reader = StreamingTraceReader::open(path);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    EXPECT_EQ(reader.value().jobCount(), t.size());
+    EXPECT_EQ(reader.value().shardCount(), 1u);
+    std::vector<uint64_t> expected(2, 0);
+    for (const JobRecord &job : t)
+        ++expected[job.queue == "normal" ? 0 : 1];
+    EXPECT_EQ(reader.value().queueJobCounts(), expected);
+
+    auto materialized = reader.value().materialize();
+    ASSERT_TRUE(materialized.ok()) << materialized.error().str();
+    expectTracesEqual(materialized.value(), t);
+}
+
+TEST(QtcStream, EmptyWriterProducesEmptyStream)
+{
+    const std::string dir = scratchDir("empty");
+    ShardWriterOptions options;
+    options.directory = dir;
+    options.baseName = "empty";
+    options.shardSize = 10;
+    ShardedTraceWriter writer(options);
+    ASSERT_TRUE(writer.finish().ok());
+    EXPECT_EQ(writer.shardCount(), 0u);
+
+    auto reader = StreamingTraceReader::open(writer.manifestPath());
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    EXPECT_EQ(reader.value().jobCount(), 0u);
+    ColumnBatch batch;
+    auto more = reader.value().next(&batch);
+    ASSERT_TRUE(more.ok());
+    EXPECT_FALSE(more.value());
+}
+
+TEST(QtcStream, CorruptShardDetectedOnLoad)
+{
+    const Trace t = sampleTrace(400);
+    const std::string dir = scratchDir("corrupt_shard");
+    const std::string manifest = writeShardSet(t, dir, 100);
+
+    // Flip a bit in the middle of the second shard's columns.
+    const std::string shard = dir + "/sample-00001.qtc";
+    std::string bytes;
+    {
+        std::ifstream in(shard, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        bytes = std::move(buf).str();
+    }
+    ASSERT_GT(bytes.size(), 100u);
+    bytes[bytes.size() / 2] ^= 0x04;
+    {
+        std::ofstream out(shard, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+
+    auto reader = StreamingTraceReader::open(manifest);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    ColumnBatch batch;
+    // Shard 0 streams fine; the damaged shard 1 must error out.
+    auto first = reader.value().next(&batch);
+    ASSERT_TRUE(first.ok());
+    EXPECT_TRUE(first.value());
+    bool failed = false;
+    while (true) {
+        auto more = reader.value().next(&batch);
+        if (!more.ok()) {
+            failed = true;
+            EXPECT_NE(more.error().str().find("CRC"), std::string::npos);
+            break;
+        }
+        if (!more.value())
+            break;
+    }
+    EXPECT_TRUE(failed);
+}
+
+TEST(QtcStream, TruncatedManifestRejected)
+{
+    const Trace t = sampleTrace(200);
+    const std::string dir = scratchDir("bad_manifest");
+    const std::string manifest = writeShardSet(t, dir, 50);
+
+    std::string text;
+    {
+        std::ifstream in(manifest);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = std::move(buf).str();
+    }
+    {
+        std::ofstream out(manifest, std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+    auto reader = StreamingTraceReader::open(manifest);
+    EXPECT_FALSE(reader.ok());
+}
+
+} // namespace
+} // namespace trace
+} // namespace qdel

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the out-of-core synthetic trace generator: determinism,
+ * job-count control, arrival ordering, calibration sanity, and the
+ * end-to-end bridge into a sharded .qtc set (whose materialization
+ * must be independent of shard size).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hh"
+#include "trace/qtc_stream.hh"
+#include "workload/site_catalog.hh"
+#include "workload/stream_synth.hh"
+
+namespace qdel {
+namespace workload {
+namespace {
+
+const QueueProfile &
+someProfile()
+{
+    return siteCatalog().front();
+}
+
+std::vector<trace::JobRecord>
+collect(const QueueProfile &profile, StreamSynthOptions options)
+{
+    StreamingSynthesizer synth(profile, options);
+    std::vector<trace::JobRecord> jobs;
+    jobs.reserve(synth.jobCount());
+    trace::JobRecord job;
+    while (synth.next(&job))
+        jobs.push_back(job);
+    return jobs;
+}
+
+std::string
+scratchDir(const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir() + tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+TEST(StreamSynth, DeterministicSortedAndComplete)
+{
+    const auto &profile = someProfile();
+    StreamSynthOptions options;
+    options.jobCountOverride = 4000;
+
+    const auto a = collect(profile, options);
+    const auto b = collect(profile, options);
+    ASSERT_EQ(a.size(), 4000u);
+    ASSERT_EQ(b.size(), a.size());
+
+    const double begin =
+        monthStartUnix(profile.startYear, profile.startMonth);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].submitTime, b[i].submitTime);
+        EXPECT_EQ(a[i].waitSeconds, b[i].waitSeconds);
+        EXPECT_EQ(a[i].procs, b[i].procs);
+        EXPECT_EQ(a[i].queue, profile.queue);
+        EXPECT_GE(a[i].waitSeconds, 0.0);
+        EXPECT_GE(a[i].submitTime, begin);
+        if (i > 0)
+            EXPECT_GE(a[i].submitTime, a[i - 1].submitTime);
+    }
+}
+
+TEST(StreamSynth, SeedChangesTheStream)
+{
+    const auto &profile = someProfile();
+    StreamSynthOptions options;
+    options.jobCountOverride = 500;
+    const auto a = collect(profile, options);
+    options.baseSeed = 2;
+    const auto b = collect(profile, options);
+    ASSERT_EQ(a.size(), b.size());
+    size_t differing = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        differing += a[i].waitSeconds != b[i].waitSeconds;
+    EXPECT_GT(differing, a.size() / 2);
+}
+
+TEST(StreamSynth, JobCountOverride)
+{
+    const auto &profile = someProfile();
+    StreamSynthOptions options;
+    options.jobCountOverride = 123;
+    StreamingSynthesizer synth(profile, options);
+    EXPECT_EQ(synth.jobCount(), 123u);
+    trace::JobRecord job;
+    size_t n = 0;
+    while (synth.next(&job))
+        ++n;
+    EXPECT_EQ(n, 123u);
+    EXPECT_EQ(synth.produced(), 123u);
+    EXPECT_FALSE(synth.next(&job));
+
+    StreamingSynthesizer whole(profile, {});
+    EXPECT_EQ(whole.jobCount(),
+              static_cast<size_t>(profile.jobCount));
+}
+
+TEST(StreamSynth, CalibrationSurvivesStreaming)
+{
+    // The streaming family shares the calibrated mixture with
+    // synthesizeTrace(), so its marginal median must land near the
+    // published one (loose bounds: the regime walk moves it around).
+    const auto &profile = someProfile();
+    StreamSynthOptions options;
+    options.jobCountOverride = 20000;
+    const auto jobs = collect(profile, options);
+    std::vector<double> waits;
+    waits.reserve(jobs.size());
+    for (const auto &job : jobs)
+        waits.push_back(job.waitSeconds);
+    const double median = stats::median(waits);
+    EXPECT_GT(median, 0.2 * profile.medianDelay);
+    EXPECT_LT(median, 5.0 * profile.medianDelay);
+}
+
+TEST(StreamSynth, ShardSetMaterializationIsShardSizeInvariant)
+{
+    const auto &profile = someProfile();
+    StreamSynthOptions options;
+    options.jobCountOverride = 5000;
+    const auto direct = collect(profile, options);
+
+    trace::Trace reference;
+    for (const size_t shard_size : {512u, 1250u, 100000u}) {
+        const std::string dir = scratchDir(
+            "stream_synth_shard_" + std::to_string(shard_size));
+        trace::ShardWriterOptions writer_options;
+        writer_options.directory = dir;
+        writer_options.baseName = "synth";
+        writer_options.shardSize = shard_size;
+        writer_options.site = profile.site;
+        writer_options.machine = profile.display;
+        trace::ShardedTraceWriter writer(writer_options);
+
+        StreamingSynthesizer synth(profile, options);
+        trace::JobRecord job;
+        while (synth.next(&job))
+            writer.add(job);
+        ASSERT_TRUE(writer.finish().ok());
+
+        auto reader =
+            trace::StreamingTraceReader::open(writer.manifestPath());
+        ASSERT_TRUE(reader.ok()) << reader.error().str();
+        auto materialized = reader.value().materialize();
+        ASSERT_TRUE(materialized.ok()) << materialized.error().str();
+        const trace::Trace &got = materialized.value();
+
+        ASSERT_EQ(got.size(), direct.size());
+        for (size_t i = 0; i < direct.size(); ++i) {
+            EXPECT_EQ(got[i].submitTime, direct[i].submitTime);
+            EXPECT_EQ(got[i].waitSeconds, direct[i].waitSeconds);
+            EXPECT_EQ(got[i].procs, direct[i].procs);
+            EXPECT_EQ(got[i].queue, direct[i].queue);
+        }
+        if (reference.empty()) {
+            reference = got;
+        } else {
+            ASSERT_EQ(reference.size(), got.size());
+            for (size_t i = 0; i < got.size(); ++i)
+                EXPECT_EQ(reference[i].waitSeconds,
+                          got[i].waitSeconds);
+        }
+        std::filesystem::remove_all(dir);
+    }
+}
+
+} // namespace
+} // namespace workload
+} // namespace qdel

@@ -7,7 +7,9 @@
  *   qdel_predict <trace-file> [options]
  *
  * The trace format is chosen by extension: ".swf" parses Standard
- * Workload Format (Parallel Workloads Archive), anything else the
+ * Workload Format (Parallel Workloads Archive), ".qtc"/".qtcs"
+ * streams columnar data out-of-core through the batched evaluator
+ * (bounded resident memory, any trace size), anything else the
  * native "<submit> <wait> [procs [queue]]" format.
  *
  * Options:
@@ -37,6 +39,8 @@
  *                      ".jsonl")
  *   --stats-every=N    print a progress line with rate + ETA every N
  *                      replayed jobs (see README for the format)
+ *   --batch-size=N     rows per streamed batch (columnar input only;
+ *                      default 65536)
  *
  * Exit status: 0 on success, 1 on input errors.
  */
@@ -49,7 +53,10 @@
 #include "core/rare_event.hh"
 #include "obs/progress.hh"
 #include "sim/replay/evaluation.hh"
+#include "sim/replay/stream_replay.hh"
+#include "trace/qtc_stream.hh"
 #include "util/obs_cli.hh"
+#include "util/resource_usage.hh"
 #include "trace/trace_loader.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -98,7 +105,11 @@ usage(std::ostream &out)
            "              ends in \".jsonl\")\n"
            "  --stats-every=N     print a progress line (rate, hit "
            "rate, ETA)\n"
-           "              every N replayed jobs\n";
+           "              every N replayed jobs\n"
+           "  --batch-size=N      rows per streamed batch for "
+           "\".qtc\"/\".qtcs\" input\n"
+           "              (out-of-core columnar replay; default "
+           "65536)\n";
 }
 
 /**
@@ -139,6 +150,20 @@ class ProgressPrinter
     std::shared_ptr<obs::ProgressMeter> meter_;
     size_t last_ = 0;
 };
+
+/** True for ".qtc" / ".qtcs" paths (case-insensitive). */
+bool
+isColumnarPath(const std::string &path)
+{
+    const std::string lower = toLower(path);
+    for (const char *suffix : {".qtc", ".qtcs"}) {
+        const size_t n = std::string(suffix).size();
+        if (lower.size() >= n &&
+            lower.compare(lower.size() - n, n, suffix) == 0)
+            return true;
+    }
+    return false;
+}
 
 /** Print the ingest accounting plus the retained per-line errors. */
 void
@@ -247,6 +272,88 @@ main(int argc, char **argv)
         std::cerr << "error: --threads: must be >= 0, got " << threads
                   << "\n";
         return 1;
+    }
+
+    // Columnar input (a ".qtcs" shard-set manifest or a single ".qtc"
+    // image) takes the out-of-core path: stream batches through the
+    // batched SoA evaluator instead of materializing a Trace.
+    if (isColumnarPath(path)) {
+        for (const char *flag : {"by-procs", "live", "checkpoint-dir",
+                                 "trace-cache", "lenient"}) {
+            if (cli.has(flag)) {
+                std::cerr << "error: --" << flag
+                          << " is not supported with columnar "
+                             "(.qtc/.qtcs) input\n";
+                return 1;
+            }
+        }
+        const long long batch_size =
+            cliValue(cli.getInt("batch-size", 1 << 16));
+        if (batch_size <= 0) {
+            std::cerr << "error: --batch-size must be positive\n";
+            return 1;
+        }
+
+        trace::StreamReadOptions read_options;
+        read_options.batchSize = static_cast<size_t>(batch_size);
+        auto reader = trace::StreamingTraceReader::open(path, read_options);
+        if (!reader.ok()) {
+            std::cerr << "error: " << reader.error().str() << "\n";
+            return 1;
+        }
+        inform("streaming ", reader.value().jobCount(), " jobs in ",
+               reader.value().shardCount(), " shards from ", path);
+
+        sim::StreamReplayConfig stream_config;
+        stream_config.epochSeconds = replay.epochSeconds;
+        stream_config.trainFraction = replay.trainFraction;
+        stream_config.batchSize = static_cast<size_t>(batch_size);
+        stream_config.threads = threads == 1 ? 1 : threads;
+        auto outcome = sim::replayStream(reader.value(), method, options,
+                                         stream_config);
+        if (!outcome.ok()) {
+            std::cerr << "error: " << outcome.error().str() << "\n";
+            return 1;
+        }
+        const sim::StreamReplayResult &stream = outcome.value();
+
+        TablePrinter results("qdel-predict: " + method + " on " + path +
+                             " (streamed)");
+        results.setHeader({"queue", "jobs", "evaluated", "correct",
+                           "median actual/pred", "trims"});
+        const std::string only_queue = cli.getString("queue", "");
+        for (const auto &qr : stream.queues) {
+            if (cli.has("queue") && qr.queue != only_queue)
+                continue;
+            const sim::ReplayResult &r = qr.result;
+            if (r.totalJobs < 2)
+                continue;
+            std::string correct =
+                TablePrinter::cell(r.correctFraction, 3);
+            // Same two-decimal rounding rule as EvalCell::correct().
+            const double rounded =
+                static_cast<double>(static_cast<long long>(
+                    r.correctFraction * 100.0 + 0.5)) /
+                100.0;
+            if (r.evaluatedJobs > 0 && rounded < options.quantile)
+                correct = TablePrinter::flagged(correct);
+            results.addRow(
+                {qr.queue.empty() ? "(all)" : qr.queue,
+                 TablePrinter::cell(static_cast<long long>(r.totalJobs)),
+                 TablePrinter::cell(
+                     static_cast<long long>(r.evaluatedJobs)),
+                 correct, TablePrinter::cellSci(r.medianRatio, 2),
+                 TablePrinter::cell(static_cast<long long>(qr.trims))});
+        }
+        results.print(std::cout);
+        std::cerr << "stream: " << stream.totalJobs << " jobs, "
+                  << stream.batches << " batches, " << stream.shards
+                  << " shards, peak rss "
+                  << (stream.peakResidentBytes >> 20)
+                  << " MiB sampled / "
+                  << (util::peakResidentBytes() >> 20) << " MiB process\n";
+        writeObsOutputs(obs_flags);
+        return 0;
     }
 
     trace::TraceLoadOptions load_options;

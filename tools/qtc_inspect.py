@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Inspect .qtc columnar trace images and .qtcs shard-set manifests.
+
+Dumps the header (magic, version, options word, source stamp, job
+count), the computed column offsets with their types, the string
+section (site/machine/queue table, ingest accounting), and verifies
+the trailing CRC-32 — the debugging companion to trace_cache.hh /
+qtc_stream.hh and the corruption check CI runs on benchmark shard
+sets.
+
+Usage:
+  qtc_inspect.py FILE...            # .qtc images and/or .qtcs manifests
+  qtc_inspect.py --quiet FILE...    # only errors (CI mode)
+  qtc_inspect.py --no-crc FILE...   # skip checksumming (fast listing)
+
+Exit status: 0 when every file parses and every checked CRC matches,
+1 otherwise.
+"""
+
+import argparse
+import os
+import struct
+import sys
+import zlib
+
+HEADER_SIZE = 40
+MAGIC = b"QTC1"
+MANIFEST_MAGIC = "QTCS1"
+
+# (name, element struct format, element size) in on-disk column order;
+# 8-byte columns first keep every column start naturally aligned.
+COLUMNS = [
+    ("submit", "d", 8),
+    ("wait", "d", 8),
+    ("run", "d", 8),
+    ("status", "q", 8),
+    ("procs", "i", 4),
+    ("queueId", "I", 4),
+]
+
+
+class Corrupt(Exception):
+    pass
+
+
+class Cursor:
+    """Bounds-checked reader over the mapped image bytes."""
+
+    def __init__(self, data, offset=0):
+        self.data = data
+        self.offset = offset
+
+    def take(self, n, what):
+        if self.offset + n > len(self.data):
+            raise Corrupt(
+                f"truncated: {what} needs {n} bytes at offset "
+                f"{self.offset}, file has {len(self.data)}"
+            )
+        chunk = self.data[self.offset : self.offset + n]
+        self.offset += n
+        return chunk
+
+    def u32(self, what):
+        return struct.unpack("<I", self.take(4, what))[0]
+
+    def u64(self, what):
+        return struct.unpack("<Q", self.take(8, what))[0]
+
+    def i64(self, what):
+        return struct.unpack("<q", self.take(8, what))[0]
+
+    def string(self, what):
+        n = self.u32(what + " length")
+        return self.take(n, what).decode("utf-8", errors="replace")
+
+
+def inspect_qtc(path, check_crc=True, quiet=False):
+    """Dump one .qtc image; raises Corrupt on structural damage."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < HEADER_SIZE + 4:
+        raise Corrupt(f"file too small for a .qtc header ({len(data)} bytes)")
+
+    cur = Cursor(data)
+    magic = cur.take(4, "magic")
+    if magic != MAGIC:
+        raise Corrupt(f"bad magic {magic!r} (want {MAGIC!r})")
+    version = cur.u32("version")
+    options = cur.u32("options")
+    reserved = cur.u32("reserved")
+    source_size = cur.u64("sourceSize")
+    source_mtime = cur.i64("sourceMtime")
+    job_count = cur.u64("jobCount")
+
+    say = (lambda *a: None) if quiet else print
+    say(f"{path}:")
+    say(f"  header   magic=QTC1 version={version} options=0x{options:08x}"
+        f" reserved={reserved}")
+    say(f"  source   size={source_size} mtime_ns={source_mtime}")
+    say(f"  jobs     {job_count}")
+
+    offset = HEADER_SIZE
+    say("  columns")
+    for name, fmt, width in COLUMNS:
+        say(f"    {name:8s} {fmt}{width * 8}[{job_count}]  "
+            f"@{offset}  ({width * job_count} bytes, "
+            f"aligned={'yes' if offset % width == 0 else 'NO'})")
+        if offset % width != 0:
+            raise Corrupt(f"column {name} misaligned at offset {offset}")
+        offset += width * job_count
+
+    cur = Cursor(data, offset)
+    site = cur.string("site")
+    machine = cur.string("machine")
+    queue_count = cur.u32("queueNameCount")
+    if queue_count > 1_000_000:
+        raise Corrupt(f"implausible queue count {queue_count}")
+    queues = [cur.string(f"queueName[{i}]") for i in range(queue_count)]
+    say(f"  strings  site={site!r} machine={machine!r}")
+    say(f"  queues   {queue_count}: " + ", ".join(repr(q) for q in queues))
+
+    report_source = cur.string("report.source")
+    total_lines = cur.u64("report.totalLines")
+    comment_lines = cur.u64("report.commentLines")
+    parsed = cur.u64("report.parsedRecords")
+    malformed = cur.u64("report.malformedLines")
+    filtered = cur.u64("report.filteredRecords")
+    error_count = cur.u32("report.errorCount")
+    if error_count > 1_000_000:
+        raise Corrupt(f"implausible error count {error_count}")
+    for i in range(error_count):
+        cur.string(f"error[{i}].file")
+        cur.u64(f"error[{i}].line")
+        cur.string(f"error[{i}].field")
+        cur.string(f"error[{i}].reason")
+    say(f"  ingest   source={report_source!r} lines={total_lines}"
+        f" comments={comment_lines} parsed={parsed}"
+        f" malformed={malformed} filtered={filtered}"
+        f" errors={error_count}")
+
+    if cur.offset + 4 != len(data):
+        raise Corrupt(
+            f"trailing garbage: string section ends at {cur.offset}, "
+            f"file holds {len(data)} bytes (want string end + 4)"
+        )
+    (stored_crc,) = struct.unpack("<I", data[-4:])
+    if check_crc:
+        computed = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+        if computed != stored_crc:
+            raise Corrupt(
+                f"CRC mismatch: stored 0x{stored_crc:08x}, "
+                f"computed 0x{computed:08x}"
+            )
+        say(f"  crc      0x{stored_crc:08x} ok")
+    else:
+        say(f"  crc      0x{stored_crc:08x} (not verified)")
+    return {"jobs": job_count, "queues": queues}
+
+
+def inspect_manifest(path, check_crc=True, quiet=False):
+    """Dump a .qtcs manifest and inspect each shard it references."""
+    say = (lambda *a: None) if quiet else print
+    with open(path, "r", encoding="utf-8") as f:
+        lines = [line.rstrip("\n") for line in f]
+    if not lines or lines[0] != MANIFEST_MAGIC:
+        raise Corrupt(f"bad manifest magic (want {MANIFEST_MAGIC})")
+
+    def field(index, key):
+        if index >= len(lines) or not lines[index].startswith(key + "="):
+            raise Corrupt(f"manifest line {index + 1}: expected {key}=")
+        return lines[index][len(key) + 1 :]
+
+    site = field(1, "site")
+    machine = field(2, "machine")
+    queue_count = int(field(3, "queues"))
+    queues = lines[4 : 4 + queue_count]
+    if len(queues) != queue_count:
+        raise Corrupt("manifest truncated inside the queue table")
+    row = 4 + queue_count
+    shard_count = int(field(row, "shards"))
+    say(f"{path}:")
+    say(f"  site={site!r} machine={machine!r}")
+    say(f"  queues   {queue_count}: " + ", ".join(repr(q) for q in queues))
+    say(f"  shards   {shard_count}")
+
+    base = os.path.dirname(path)
+    total = 0
+    per_queue = [0] * queue_count
+    shards = []
+    for i in range(shard_count):
+        parts = lines[row + 1 + i].split()
+        if len(parts) != 2 + queue_count:
+            raise Corrupt(
+                f"shard row {i}: want {2 + queue_count} columns, "
+                f"got {len(parts)}"
+            )
+        jobs = int(parts[1])
+        counts = [int(c) for c in parts[2:]]
+        if sum(counts) != jobs:
+            raise Corrupt(
+                f"shard row {i}: per-queue counts sum to {sum(counts)}, "
+                f"row says {jobs}"
+            )
+        say(f"    {parts[0]}  jobs={jobs}  per-queue={counts}")
+        total += jobs
+        per_queue = [a + b for a, b in zip(per_queue, counts)]
+        shards.append((parts[0], jobs))
+    declared_total = int(field(row + 1 + shard_count, "total"))
+    if declared_total != total:
+        raise Corrupt(
+            f"manifest total={declared_total} but shard rows sum to {total}"
+        )
+    say(f"  total    {total}  per-queue={per_queue}")
+
+    for name, jobs in shards:
+        shard_path = os.path.join(base, name)
+        info = inspect_qtc(shard_path, check_crc=check_crc, quiet=quiet)
+        if info["jobs"] != jobs:
+            raise Corrupt(
+                f"{shard_path}: manifest says {jobs} jobs, "
+                f"shard header says {info['jobs']}"
+            )
+        # Every shard's queue table must be a prefix of the manifest's
+        # (global queue ids; see qtc_stream.hh).
+        if info["queues"] != queues[: len(info["queues"])]:
+            raise Corrupt(
+                f"{shard_path}: queue table {info['queues']} is not a "
+                f"prefix of the manifest's {queues}"
+            )
+    return {"jobs": total, "queues": queues}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Inspect .qtc images / .qtcs shard-set manifests"
+    )
+    parser.add_argument("files", nargs="+")
+    parser.add_argument(
+        "--no-crc", action="store_true", help="skip CRC verification"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print errors only (CI mode)"
+    )
+    args = parser.parse_args()
+
+    failed = 0
+    for path in args.files:
+        try:
+            if path.endswith(".qtcs"):
+                inspect_manifest(
+                    path, check_crc=not args.no_crc, quiet=args.quiet
+                )
+            else:
+                inspect_qtc(
+                    path, check_crc=not args.no_crc, quiet=args.quiet
+                )
+            if args.quiet:
+                print(f"{path}: ok")
+        except (OSError, ValueError, Corrupt) as error:
+            print(f"{path}: CORRUPT: {error}", file=sys.stderr)
+            failed = 1
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main())
