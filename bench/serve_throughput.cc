@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Serve-path throughput benchmarks (google-benchmark): the numbers
+ * behind the online bound service.
+ *
+ * Three layers are measured against a populated in-process registry
+ * (the same objects the daemon serves from — the socket is deliberately
+ * excluded so the numbers isolate the prediction path from kernel
+ * networking):
+ *
+ *  - bound queries: the lock-free snapshot-read path, single- and
+ *    multi-threaded, with a queries_per_sec rate counter (the PR
+ *    target is >= 1M queries/sec on one thread) and a sampled
+ *    latency distribution reported as p50/p99 nanosecond counters;
+ *  - event ingest: apply() through the serialized per-shard writer,
+ *    events_per_sec, including the periodic refit + republish cost;
+ *  - wire codec: encode -> frame -> unframe -> decode round-trips for
+ *    the query and event message types.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "serve/bound_registry.hh"
+#include "serve/wire.hh"
+
+namespace {
+
+using namespace qdel;
+
+/** Keys the populated registry serves; queries cycle through them. */
+constexpr size_t kMachines = 4;
+constexpr size_t kQueues = 4;
+constexpr int kProcChoices[] = {1, 8, 64, 512};
+
+std::string
+machineName(size_t i)
+{
+    return "machine" + std::to_string(i);
+}
+
+std::string
+queueName(size_t i)
+{
+    return "queue" + std::to_string(i);
+}
+
+/**
+ * A registry with every (machine, queue, bucket) combination trained
+ * past finalization, built once and shared by all benchmarks (queries
+ * never mutate it).
+ */
+serve::BoundRegistry &
+populatedRegistry()
+{
+    static serve::BoundRegistry *registry = [] {
+        serve::BoundRegistry::Options options;
+        options.shards = 8;
+        options.trainObservations = 100;
+        options.refitEvery = 50;
+        auto *r = new serve::BoundRegistry(options);
+        uint64_t job_id = 0;
+        for (size_t m = 0; m < kMachines; ++m) {
+            for (size_t q = 0; q < kQueues; ++q) {
+                for (int procs : kProcChoices) {
+                    for (size_t i = 0; i < 150; ++i) {
+                        serve::JobEvent submit;
+                        submit.kind = serve::EventKind::Submit;
+                        submit.jobId = ++job_id;
+                        submit.time = 0.0;
+                        submit.machine = machineName(m);
+                        submit.queue = queueName(q);
+                        submit.procs = procs;
+                        r->apply(submit);
+                        serve::JobEvent start = submit;
+                        start.kind = serve::EventKind::Start;
+                        start.time =
+                            30.0 + static_cast<double>((i * 37) % 900);
+                        r->apply(start);
+                    }
+                }
+            }
+        }
+        return r;
+    }();
+    return *registry;
+}
+
+serve::BoundQuery
+queryFor(size_t i)
+{
+    serve::BoundQuery query;
+    query.machine = machineName(i % kMachines);
+    query.queue = queueName((i / kMachines) % kQueues);
+    query.procs = kProcChoices[(i / (kMachines * kQueues)) % 4];
+    query.quantile = serve::kGridQuantiles[i % serve::kGridCount];
+    return query;
+}
+
+/** Pure query throughput over the shared registry. */
+void
+BM_ServeQueryThroughput(benchmark::State &state)
+{
+    auto &registry = populatedRegistry();
+    // Pre-built queries so string construction is outside the loop —
+    // the daemon reuses decoded request objects the same way.
+    std::vector<serve::BoundQuery> queries;
+    for (size_t i = 0; i < 1024; ++i)
+        queries.push_back(queryFor(i));
+    size_t i = static_cast<size_t>(state.thread_index()) * 131;
+    for (auto _ : state) {
+        const serve::BoundAnswer answer =
+            registry.query(queries[i++ & 1023]);
+        benchmark::DoNotOptimize(answer.upper);
+    }
+    state.counters["queries_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeQueryThroughput)->Threads(1)->Threads(4)->Threads(8);
+
+/**
+ * Per-query latency distribution: every iteration is timed
+ * individually (clock overhead is part of the measured cost, so the
+ * rate here underestimates BM_ServeQueryThroughput — the p50/p99
+ * counters are the point of this benchmark).
+ */
+void
+BM_ServeQueryLatency(benchmark::State &state)
+{
+    auto &registry = populatedRegistry();
+    std::vector<serve::BoundQuery> queries;
+    for (size_t i = 0; i < 1024; ++i)
+        queries.push_back(queryFor(i));
+    std::vector<double> samples;
+    samples.reserve(1 << 20);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto begin = std::chrono::steady_clock::now();
+        const serve::BoundAnswer answer =
+            registry.query(queries[i++ & 1023]);
+        const auto end = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(answer.upper);
+        samples.push_back(
+            std::chrono::duration<double, std::nano>(end - begin)
+                .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    const auto at = [&](double p) {
+        return samples.empty()
+                   ? 0.0
+                   : samples[std::min(
+                         samples.size() - 1,
+                         static_cast<size_t>(
+                             p * static_cast<double>(samples.size())))];
+    };
+    state.counters["p50_ns"] = at(0.50);
+    state.counters["p99_ns"] = at(0.99);
+    state.counters["queries_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeQueryLatency);
+
+/** Ingest throughput: WAL-less apply() through the shard writers. */
+void
+BM_ServeIngestThroughput(benchmark::State &state)
+{
+    serve::BoundRegistry::Options options;
+    options.shards = 8;
+    options.trainObservations = 100;
+    options.refitEvery = 50;
+    serve::BoundRegistry registry(options);
+    uint64_t job_id = 0;
+    for (auto _ : state) {
+        serve::JobEvent submit;
+        submit.kind = serve::EventKind::Submit;
+        submit.jobId = ++job_id;
+        submit.time = 0.0;
+        submit.machine = "machine0";
+        submit.queue = "queue0";
+        submit.procs = 8;
+        benchmark::DoNotOptimize(registry.apply(submit).applied);
+        serve::JobEvent start = submit;
+        start.kind = serve::EventKind::Start;
+        start.time = 30.0 + static_cast<double>((job_id * 37) % 900);
+        benchmark::DoNotOptimize(registry.apply(start).applied);
+    }
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 2.0,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeIngestThroughput);
+
+/** Wire codec round-trip for the two hot message types. */
+void
+BM_ServeWireQueryRoundTrip(benchmark::State &state)
+{
+    const serve::BoundQuery query = queryFor(7);
+    for (auto _ : state) {
+        const std::string framed = serve::frameRequest(
+            serve::Opcode::Query, serve::encodeQuery(query));
+        std::string_view payload;
+        size_t consumed = 0;
+        benchmark::DoNotOptimize(
+            serve::unframe(framed, &payload, &consumed).value());
+        auto decoded = serve::decodeQuery(payload.substr(1));
+        benchmark::DoNotOptimize(decoded.value().quantile);
+    }
+    state.counters["messages_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeWireQueryRoundTrip);
+
+void
+BM_ServeWireEventRoundTrip(benchmark::State &state)
+{
+    serve::JobEvent event;
+    event.kind = serve::EventKind::Start;
+    event.jobId = 42;
+    event.time = 1234.5;
+    event.machine = "machine0";
+    event.queue = "queue0";
+    event.procs = 64;
+    for (auto _ : state) {
+        const std::string framed = serve::frameRequest(
+            serve::Opcode::Event, serve::encodeEvent(event));
+        std::string_view payload;
+        size_t consumed = 0;
+        benchmark::DoNotOptimize(
+            serve::unframe(framed, &payload, &consumed).value());
+        auto decoded = serve::decodeEvent(payload.substr(1));
+        benchmark::DoNotOptimize(decoded.value().time);
+    }
+    state.counters["messages_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeWireEventRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -37,6 +37,18 @@ Predictor::scoreBatch(const double *waits, size_t count,
     return score;
 }
 
+void
+Predictor::boundGrid(const double *qs, size_t count, QuantileEstimate *upper,
+                     QuantileEstimate *lower) const
+{
+    for (size_t i = 0; i < count; ++i) {
+        if (upper != nullptr)
+            upper[i] = boundAt(qs[i], /*upper=*/true);
+        if (lower != nullptr)
+            lower[i] = boundAt(qs[i], /*upper=*/false);
+    }
+}
+
 QuantileEstimate
 Predictor::boundAt(double q, bool upper) const
 {

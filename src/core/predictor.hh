@@ -106,6 +106,19 @@ class Predictor
                           double *ratios) const;
 
     /**
+     * Fill @p upper[i] (and @p lower[i] when non-null) with
+     * boundAt(qs[i], ...) for @p count quantiles in one pass over the
+     * frozen state. Like scoreBatch(), this leans on the lifecycle
+     * invariant that bounds are frozen between refit() calls: a grid
+     * captured right after a mutation stays valid until the next one,
+     * which is what lets the serve read path publish grids as
+     * immutable snapshots instead of taking a lock per query.
+     * Non-virtual: the semantics are fixed by the interface contract.
+     */
+    void boundGrid(const double *qs, size_t count, QuantileEstimate *upper,
+                   QuantileEstimate *lower) const;
+
+    /**
      * Recompute the prediction from the current history. Called on
      * epoch boundaries by the replay simulator.
      */

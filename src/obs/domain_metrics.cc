@@ -159,5 +159,42 @@ ingestMetrics()
     return metrics;
 }
 
+ServeMetrics &
+serveMetrics()
+{
+    static ServeMetrics metrics{
+        registry().counter("qdel_serve_requests_total",
+                           "Requests handled by the bound service"
+                           " (all opcodes + HTTP)"),
+        registry().counter("qdel_serve_queries_total",
+                           "Bound queries answered"),
+        registry().counter("qdel_serve_events_applied_total",
+                           "Job events applied to the registry"),
+        registry().counter("qdel_serve_events_rejected_total",
+                           "Job events rejected by validation"),
+        registry().counter("qdel_serve_bad_frames_total",
+                           "Malformed request frames dropped"),
+        registry().counter("qdel_serve_snapshot_publishes_total",
+                           "Bound snapshots published to the read path"),
+        registry().counter("qdel_serve_http_requests_total",
+                           "Requests that arrived over the HTTP"
+                           " fallback"),
+        registry().gauge("qdel_serve_entries",
+                         "Live (machine, queue, proc-bucket) predictor"
+                         " entries"),
+        registry().gauge("qdel_serve_pending_jobs",
+                         "Submitted jobs not yet started"),
+        registry().gauge("qdel_serve_connections",
+                         "Open client connections"),
+        registry().histogram("qdel_serve_request_seconds",
+                             "Latency of one served request",
+                             latencyBounds()),
+        registry().histogram("qdel_serve_query_seconds",
+                             "Latency of one bound query",
+                             latencyBounds()),
+    };
+    return metrics;
+}
+
 } // namespace obs
 } // namespace qdel

@@ -83,11 +83,29 @@ struct IngestMetrics
     Histogram &parseSeconds;  //!< qdel_ingest_parse_seconds
 };
 
+/** Online bound service (src/serve/): request mix + shard health. */
+struct ServeMetrics
+{
+    Counter &requests;           //!< qdel_serve_requests_total
+    Counter &queries;            //!< qdel_serve_queries_total
+    Counter &eventsApplied;      //!< qdel_serve_events_applied_total
+    Counter &eventsRejected;     //!< qdel_serve_events_rejected_total
+    Counter &badFrames;          //!< qdel_serve_bad_frames_total
+    Counter &snapshotPublishes;  //!< qdel_serve_snapshot_publishes_total
+    Counter &httpRequests;       //!< qdel_serve_http_requests_total
+    Gauge &entries;              //!< qdel_serve_entries
+    Gauge &pendingJobs;          //!< qdel_serve_pending_jobs
+    Gauge &connections;          //!< qdel_serve_connections
+    Histogram &requestSeconds;   //!< qdel_serve_request_seconds
+    Histogram &querySeconds;     //!< qdel_serve_query_seconds
+};
+
 CoreMetrics &coreMetrics();
 ReplayMetrics &replayMetrics();
 PoolMetrics &poolMetrics();
 PersistMetrics &persistMetrics();
 IngestMetrics &ingestMetrics();
+ServeMetrics &serveMetrics();
 
 } // namespace obs
 } // namespace qdel

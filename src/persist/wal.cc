@@ -18,8 +18,12 @@ constexpr char kMagic[8] = {'Q', 'D', 'W', 'A', 'L', '0', '0', '1'};
 constexpr size_t kHeaderSize = 24;  // magic + version + seq + crc
 constexpr size_t kRecordFrame = 8;  // u32 len + u32 crc
 
-/** Largest payload a well-formed record can carry (u8 + f64). */
-constexpr uint32_t kMaxRecordPayload = 9;
+/**
+ * Largest payload a well-formed record can carry: a Blob record is
+ * u8 type + up to kMaxWalBlobBytes of opaque bytes. Fixed-layout
+ * record types are still validated exactly by decodeRecordPayload().
+ */
+constexpr uint32_t kMaxRecordPayload = 1 + kMaxWalBlobBytes;
 
 std::string
 encodeRecordPayload(const WalRecord &record)
@@ -28,7 +32,13 @@ encodeRecordPayload(const WalRecord &record)
     writer.u8(static_cast<uint8_t>(record.type));
     if (record.type == WalRecordType::Observation)
         writer.f64(record.value);
-    return writer.take();
+    std::string payload = writer.take();
+    if (record.type == WalRecordType::Blob) {
+        if (record.blob.size() > kMaxWalBlobBytes)
+            panic("WAL blob record exceeds kMaxWalBlobBytes");
+        payload += record.blob;
+    }
+    return payload;
 }
 
 bool
@@ -53,6 +63,10 @@ decodeRecordPayload(std::string_view payload, WalRecord *out)
     case WalRecordType::FinalizeTraining:
         out->type = WalRecordType::FinalizeTraining;
         break;
+    case WalRecordType::Blob:
+        out->type = WalRecordType::Blob;
+        out->blob.assign(payload.substr(1));
+        return true;
     default:
         return false;
     }

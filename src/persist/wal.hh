@@ -54,13 +54,28 @@ enum class WalRecordType : uint8_t {
     Observation = 1,       //!< observe(value)
     Refit = 2,             //!< refit()
     FinalizeTraining = 3,  //!< finalizeTraining()
+    Blob = 4,              //!< opaque caller-encoded payload (see blob)
 };
 
-/** One WAL entry; @p value is meaningful for Observation only. */
+/**
+ * Largest blob payload a Blob record may carry. Frame lengths above
+ * this are treated as corruption by the reader, so a torn length field
+ * cannot make it wait on gigabytes of phantom payload.
+ */
+constexpr uint32_t kMaxWalBlobBytes = 1u << 20;
+
+/**
+ * One WAL entry. @p value is meaningful for Observation only; @p blob
+ * is meaningful for Blob only. Blob records carry an opaque payload
+ * whose schema belongs to the subsystem that owns the checkpoint
+ * directory (e.g. serve event frames) — the WAL layer only frames and
+ * checksums them.
+ */
 struct WalRecord
 {
     WalRecordType type = WalRecordType::Observation;
     double value = 0.0;
+    std::string blob;
 };
 
 /** Appends records to one WAL segment; created truncating. */

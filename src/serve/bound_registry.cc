@@ -1,0 +1,606 @@
+/**
+ * @file
+ * Implementation of the sharded bound registry.
+ */
+
+#include "serve/bound_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/predictor_factory.hh"
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
+#include "persist/io.hh"
+#include "persist/state_codec.hh"
+#include "sim/replay/evaluation.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace serve {
+
+namespace {
+
+constexpr uint32_t kShardStateVersion = 1;
+const char *const kShardStateTag = "qdel-serve-shard";
+
+std::string
+keyString(const std::string &machine, const std::string &queue, int bucket)
+{
+    std::string key;
+    key.reserve(machine.size() + queue.size() + 4);
+    key += machine;
+    key += '\x1f';
+    key += queue;
+    key += '\x1f';
+    key += static_cast<char>('0' + bucket);
+    return key;
+}
+
+} // namespace
+
+size_t
+gridIndexFor(double q)
+{
+    if (std::isnan(q))
+        q = 0.95;
+    size_t best = 0;
+    double best_distance = std::fabs(kGridQuantiles[0] - q);
+    for (size_t i = 1; i < kGridCount; ++i) {
+        const double distance = std::fabs(kGridQuantiles[i] - q);
+        if (distance < best_distance) {
+            best = i;
+            best_distance = distance;
+        }
+    }
+    return best;
+}
+
+/** Writer-owned entry state + the reader-visible published snapshot. */
+struct BoundRegistry::Entry
+{
+    std::string machine;
+    std::string queue;
+    int bucket = 0;
+
+    std::unique_ptr<core::Predictor> predictor;
+    uint64_t observations = 0;
+    uint64_t refits = 0;
+    bool finalized = false;
+    uint64_t running = 0;
+    uint64_t version = 0;
+    size_t lastTrims = 0;
+    std::map<uint64_t, double> pending;  //!< jobId -> submit time.
+
+    std::atomic<std::shared_ptr<const BoundSnapshot>> snapshot;
+};
+
+struct BoundRegistry::Shard
+{
+    std::mutex writer;
+    std::atomic<std::shared_ptr<const KeyMap>> keys;
+    uint64_t applied = 0;
+    uint64_t rejected = 0;
+};
+
+Expected<Unit>
+BoundRegistry::Options::validate() const
+{
+    if (shards < 1 || shards > 4096) {
+        return ParseError{"", 0, "shards",
+                          "shard count must be in [1, 4096], got " +
+                              std::to_string(shards)};
+    }
+    if (refitEvery < 1) {
+        return ParseError{"", 0, "refitEvery",
+                          "refit interval must be >= 1 observation"};
+    }
+    if (trainObservations < 1) {
+        return ParseError{"", 0, "trainObservations",
+                          "training length must be >= 1 observation"};
+    }
+    core::PredictorOptions predictor_options;
+    predictor_options.quantile = quantile;
+    predictor_options.confidence = confidence;
+    auto probe = core::tryMakePredictor(method, predictor_options);
+    if (!probe.ok())
+        return probe.error();
+    return Unit{};
+}
+
+BoundRegistry::BoundRegistry(const Options &options)
+    : options_(options), rareTable_(options.quantile)
+{
+    if (auto valid = options_.validate(); !valid.ok())
+        panic("BoundRegistry constructed with invalid options: " +
+              valid.error().reason);
+    shards_.reserve(options_.shards);
+    for (size_t s = 0; s < options_.shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->keys.store(std::make_shared<const KeyMap>());
+        shards_.push_back(std::move(shard));
+    }
+}
+
+BoundRegistry::~BoundRegistry() = default;
+
+size_t
+BoundRegistry::shardForKey(const std::string &machine,
+                           const std::string &queue, int bucket) const
+{
+    const std::string key = keyString(machine, queue, bucket);
+    return persist::crc32(key.data(), key.size()) % shards_.size();
+}
+
+size_t
+BoundRegistry::shardForEvent(const JobEvent &event) const
+{
+    return shardForKey(event.machine, event.queue,
+                       procBucketFor(event.procs));
+}
+
+std::unique_lock<std::mutex>
+BoundRegistry::lockShard(size_t s)
+{
+    return std::unique_lock<std::mutex>(shards_[s]->writer);
+}
+
+std::shared_ptr<BoundRegistry::Entry>
+BoundRegistry::findEntry(size_t s, const std::string &key) const
+{
+    const auto keys = shards_[s]->keys.load(std::memory_order_acquire);
+    const auto it = keys->find(key);
+    if (it == keys->end())
+        return nullptr;
+    return it->second;
+}
+
+std::shared_ptr<BoundRegistry::Entry>
+BoundRegistry::getOrCreateLocked(size_t s, const JobEvent &event,
+                                 const std::string &key)
+{
+    if (auto existing = findEntry(s, key))
+        return existing;
+
+    auto entry = std::make_shared<Entry>();
+    entry->machine = event.machine;
+    entry->queue = event.queue;
+    entry->bucket = procBucketFor(event.procs);
+    core::PredictorOptions predictor_options;
+    predictor_options.quantile = options_.quantile;
+    predictor_options.confidence = options_.confidence;
+    predictor_options.rareEventTable = &rareTable_;
+    entry->predictor = core::makePredictor(options_.method,
+                                           predictor_options);
+    publish(*entry, /*bump_version=*/true);
+
+    Shard &shard = *shards_[s];
+    const auto old_keys = shard.keys.load(std::memory_order_acquire);
+    auto next_keys = std::make_shared<KeyMap>(*old_keys);
+    (*next_keys)[key] = entry;
+    shard.keys.store(std::move(next_keys), std::memory_order_release);
+    QDEL_OBS(obs::serveMetrics().entries.add(1.0));
+    return entry;
+}
+
+void
+BoundRegistry::publish(Entry &entry, bool bump_version)
+{
+    core::QuantileEstimate upper[kGridCount];
+    core::QuantileEstimate lower[kGridCount];
+    entry.predictor->boundGrid(kGridQuantiles, kGridCount, upper, lower);
+    auto snapshot = std::make_shared<BoundSnapshot>();
+    for (size_t i = 0; i < kGridCount; ++i) {
+        snapshot->upper[i] = upper[i].value;
+        snapshot->lower[i] = lower[i].value;
+    }
+    snapshot->historySize = entry.predictor->historySize();
+    snapshot->observations = entry.observations;
+    if (bump_version)
+        ++entry.version;
+    snapshot->version = entry.version;
+    entry.snapshot.store(
+        std::shared_ptr<const BoundSnapshot>(std::move(snapshot)),
+        std::memory_order_release);
+    QDEL_OBS(obs::serveMetrics().snapshotPublishes.inc());
+}
+
+void
+BoundRegistry::observeLocked(Entry &entry, double wait)
+{
+    entry.predictor->observe(wait);
+    ++entry.observations;
+    bool moved = false;
+    if (!entry.finalized &&
+        entry.observations >= options_.trainObservations) {
+        entry.predictor->finalizeTraining();
+        entry.predictor->refit();
+        ++entry.refits;
+        entry.finalized = true;
+        moved = true;
+    } else if (entry.observations % options_.refitEvery == 0) {
+        entry.predictor->refit();
+        ++entry.refits;
+        moved = true;
+    }
+    // A change-point trim refits internally and moves the frozen
+    // bound; republishing here is what keeps the published grid equal
+    // to what boundAt() would answer.
+    const size_t trims = sim::predictorTrimCount(*entry.predictor);
+    if (trims != entry.lastTrims) {
+        entry.lastTrims = trims;
+        moved = true;
+    }
+    if (moved)
+        publish(entry, /*bump_version=*/true);
+}
+
+ApplyOutcome
+BoundRegistry::applyLocked(size_t s, const JobEvent &event)
+{
+    Shard &shard = *shards_[s];
+    ApplyOutcome outcome;
+    const std::string key = keyString(event.machine, event.queue,
+                                      procBucketFor(event.procs));
+    switch (event.kind) {
+    case EventKind::Submit: {
+        auto entry = getOrCreateLocked(s, event, key);
+        if (!entry->pending.emplace(event.jobId, event.time).second) {
+            outcome.rejectReason = "duplicate submit for job id";
+            break;
+        }
+        QDEL_OBS(obs::serveMetrics().pendingJobs.add(1.0));
+        outcome.applied = true;
+        break;
+    }
+    case EventKind::Start: {
+        auto entry = findEntry(s, key);
+        if (entry == nullptr) {
+            outcome.rejectReason = "start for unknown key";
+            break;
+        }
+        const auto it = entry->pending.find(event.jobId);
+        if (it == entry->pending.end()) {
+            outcome.rejectReason = "start without a pending submit";
+            break;
+        }
+        const double wait = event.time - it->second;
+        if (!(wait >= 0.0)) {  // NaN rejects too.
+            outcome.rejectReason = "start time precedes submit time";
+            break;
+        }
+        entry->pending.erase(it);
+        QDEL_OBS(obs::serveMetrics().pendingJobs.add(-1.0));
+        ++entry->running;
+        observeLocked(*entry, wait);
+        outcome.applied = true;
+        break;
+    }
+    case EventKind::Done: {
+        auto entry = findEntry(s, key);
+        if (entry == nullptr || entry->running == 0) {
+            outcome.rejectReason = "done without a running job";
+            break;
+        }
+        --entry->running;
+        outcome.applied = true;
+        break;
+    }
+    }
+    if (outcome.applied) {
+        ++shard.applied;
+        QDEL_OBS(obs::serveMetrics().eventsApplied.inc());
+    } else {
+        ++shard.rejected;
+        QDEL_OBS(obs::serveMetrics().eventsRejected.inc());
+    }
+    return outcome;
+}
+
+ApplyOutcome
+BoundRegistry::apply(const JobEvent &event)
+{
+    const size_t s = shardForEvent(event);
+    auto lock = lockShard(s);
+    return applyLocked(s, event);
+}
+
+BoundAnswer
+BoundRegistry::query(const BoundQuery &query) const
+{
+    BoundAnswer answer;
+    answer.confidence = options_.confidence;
+    const size_t gi = gridIndexFor(query.quantile);
+    answer.quantile = kGridQuantiles[gi];
+
+    const int bucket = procBucketFor(query.procs);
+    const size_t s = shardForKey(query.machine, query.queue, bucket);
+    const auto entry =
+        findEntry(s, keyString(query.machine, query.queue, bucket));
+    if (entry == nullptr)
+        return answer;
+    const auto snapshot = entry->snapshot.load(std::memory_order_acquire);
+    answer.known = true;
+    answer.upper = snapshot->upper[gi];
+    answer.lower = snapshot->lower[gi];
+    answer.historySize = snapshot->historySize;
+    answer.observations = snapshot->observations;
+    answer.version = snapshot->version;
+    QDEL_OBS(obs::serveMetrics().queries.inc());
+    return answer;
+}
+
+uint64_t
+BoundRegistry::processedCount(size_t s) const
+{
+    const Shard &shard = *shards_[s];
+    return shard.applied + shard.rejected;
+}
+
+ServeStats
+BoundRegistry::stats() const
+{
+    ServeStats stats;
+    stats.processedPerShard.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        stats.processedPerShard.push_back(processedCount(s));
+        const auto keys = shards_[s]->keys.load(std::memory_order_acquire);
+        stats.entries += keys->size();
+    }
+    return stats;
+}
+
+std::vector<BoundRegistry::EntryView>
+BoundRegistry::enumerate() const
+{
+    std::vector<EntryView> views;
+    for (const auto &shard : shards_) {
+        const auto keys = shard->keys.load(std::memory_order_acquire);
+        for (const auto &[key, entry] : *keys) {
+            EntryView view;
+            view.machine = entry->machine;
+            view.queue = entry->queue;
+            view.bucket = entry->bucket;
+            view.snapshot =
+                *entry->snapshot.load(std::memory_order_acquire);
+            views.push_back(std::move(view));
+        }
+    }
+    std::sort(views.begin(), views.end(),
+              [](const EntryView &a, const EntryView &b) {
+                  const std::string ka =
+                      keyString(a.machine, a.queue, a.bucket);
+                  const std::string kb =
+                      keyString(b.machine, b.queue, b.bucket);
+                  return ka < kb;
+              });
+    return views;
+}
+
+Expected<Unit>
+BoundRegistry::saveShard(size_t s, persist::StateWriter &writer) const
+{
+    const Shard &shard = *shards_[s];
+    persist::writeStateHeader(writer, kShardStateTag, kShardStateVersion);
+    writer.str(options_.method);
+    writer.f64(options_.quantile);
+    writer.f64(options_.confidence);
+    writer.u64(options_.refitEvery);
+    writer.u64(options_.trainObservations);
+    writer.u64(shards_.size());
+    writer.u64(kGridCount);
+
+    writer.u64(shard.applied);
+    writer.u64(shard.rejected);
+    const auto keys = shard.keys.load(std::memory_order_acquire);
+    writer.u64(keys->size());
+    for (const auto &[key, entry] : *keys) {
+        writer.str(entry->machine);
+        writer.str(entry->queue);
+        writer.i64(entry->bucket);
+        writer.u64(entry->observations);
+        writer.u64(entry->refits);
+        writer.u8(entry->finalized ? 1 : 0);
+        writer.u64(entry->running);
+        writer.u64(entry->version);
+        // The published grid is frozen at the last refit; the live
+        // predictor history has moved past it, so the grid cannot be
+        // recomputed on load — persist it verbatim.
+        const auto snapshot =
+            entry->snapshot.load(std::memory_order_acquire);
+        for (size_t i = 0; i < kGridCount; ++i) {
+            writer.f64(snapshot->upper[i]);
+            writer.f64(snapshot->lower[i]);
+        }
+        writer.u64(snapshot->historySize);
+        writer.u64(snapshot->observations);
+        writer.u64(entry->pending.size());
+        for (const auto &[job_id, submit_time] : entry->pending) {
+            writer.u64(job_id);
+            writer.f64(submit_time);
+        }
+        if (auto saved = entry->predictor->saveState(writer); !saved.ok())
+            return saved.error();
+    }
+    return Unit{};
+}
+
+Expected<Unit>
+BoundRegistry::loadShard(size_t s, persist::StateReader &reader)
+{
+    if (auto header = persist::readStateHeader(reader, kShardStateTag,
+                                               kShardStateVersion);
+        !header.ok())
+        return header.error();
+
+    // Config echo: a shard saved under different serving parameters
+    // would replay to a different state, so refuse it outright.
+    auto method = reader.str();
+    if (!method.ok())
+        return method.error();
+    auto quantile = reader.f64();
+    if (!quantile.ok())
+        return quantile.error();
+    auto confidence = reader.f64();
+    if (!confidence.ok())
+        return confidence.error();
+    auto refit_every = reader.u64();
+    if (!refit_every.ok())
+        return refit_every.error();
+    auto train_observations = reader.u64();
+    if (!train_observations.ok())
+        return train_observations.error();
+    auto shard_count = reader.u64();
+    if (!shard_count.ok())
+        return shard_count.error();
+    auto grid_count = reader.u64();
+    if (!grid_count.ok())
+        return grid_count.error();
+    if (method.value() != options_.method ||
+        quantile.value() != options_.quantile ||
+        confidence.value() != options_.confidence ||
+        refit_every.value() != options_.refitEvery ||
+        train_observations.value() != options_.trainObservations ||
+        shard_count.value() != shards_.size() ||
+        grid_count.value() != kGridCount) {
+        return ParseError{"", 0, "serveConfig",
+                          "shard state was saved under a different serve"
+                          " configuration"};
+    }
+
+    auto applied = reader.u64();
+    if (!applied.ok())
+        return applied.error();
+    auto rejected = reader.u64();
+    if (!rejected.ok())
+        return rejected.error();
+    auto entry_count = reader.u64();
+    if (!entry_count.ok())
+        return entry_count.error();
+
+    // Parse into locals, commit last: recovery retries older rungs on
+    // the same registry after a parse error.
+    auto next_keys = std::make_shared<KeyMap>();
+    double pending_delta = 0.0;
+    for (uint64_t i = 0; i < entry_count.value(); ++i) {
+        auto entry = std::make_shared<Entry>();
+        auto machine = reader.str();
+        if (!machine.ok())
+            return machine.error();
+        entry->machine = std::move(machine).value();
+        auto queue = reader.str();
+        if (!queue.ok())
+            return queue.error();
+        entry->queue = std::move(queue).value();
+        auto bucket = reader.i64();
+        if (!bucket.ok())
+            return bucket.error();
+        entry->bucket = static_cast<int>(bucket.value());
+        auto observations = reader.u64();
+        if (!observations.ok())
+            return observations.error();
+        entry->observations = observations.value();
+        auto refits = reader.u64();
+        if (!refits.ok())
+            return refits.error();
+        entry->refits = refits.value();
+        auto finalized = reader.u8();
+        if (!finalized.ok())
+            return finalized.error();
+        entry->finalized = finalized.value() != 0;
+        auto running = reader.u64();
+        if (!running.ok())
+            return running.error();
+        entry->running = running.value();
+        auto version = reader.u64();
+        if (!version.ok())
+            return version.error();
+        entry->version = version.value();
+        auto snapshot = std::make_shared<BoundSnapshot>();
+        for (size_t g = 0; g < kGridCount; ++g) {
+            auto upper = reader.f64();
+            if (!upper.ok())
+                return upper.error();
+            snapshot->upper[g] = upper.value();
+            auto lower = reader.f64();
+            if (!lower.ok())
+                return lower.error();
+            snapshot->lower[g] = lower.value();
+        }
+        auto history_size = reader.u64();
+        if (!history_size.ok())
+            return history_size.error();
+        snapshot->historySize = history_size.value();
+        auto snapshot_observations = reader.u64();
+        if (!snapshot_observations.ok())
+            return snapshot_observations.error();
+        snapshot->observations = snapshot_observations.value();
+        snapshot->version = entry->version;
+        auto pending_count = reader.u64();
+        if (!pending_count.ok())
+            return pending_count.error();
+        for (uint64_t p = 0; p < pending_count.value(); ++p) {
+            auto job_id = reader.u64();
+            if (!job_id.ok())
+                return job_id.error();
+            auto submit_time = reader.f64();
+            if (!submit_time.ok())
+                return submit_time.error();
+            entry->pending.emplace(job_id.value(), submit_time.value());
+        }
+        core::PredictorOptions predictor_options;
+        predictor_options.quantile = options_.quantile;
+        predictor_options.confidence = options_.confidence;
+        predictor_options.rareEventTable = &rareTable_;
+        entry->predictor =
+            core::makePredictor(options_.method, predictor_options);
+        if (auto loaded = entry->predictor->loadState(reader); !loaded.ok())
+            return loaded.error();
+        entry->lastTrims = sim::predictorTrimCount(*entry->predictor);
+        // Restore the published grid exactly as saved — recomputing it
+        // from the restored predictor would fold in observations made
+        // after the last refit, which the frozen grid excludes.
+        entry->snapshot.store(
+            std::shared_ptr<const BoundSnapshot>(std::move(snapshot)),
+            std::memory_order_release);
+        pending_delta += static_cast<double>(entry->pending.size());
+        (*next_keys)[keyString(entry->machine, entry->queue,
+                               entry->bucket)] = entry;
+    }
+
+    Shard &shard = *shards_[s];
+    const auto old_keys = shard.keys.load(std::memory_order_acquire);
+    double old_pending = 0.0;
+    for (const auto &[key, entry] : *old_keys)
+        old_pending += static_cast<double>(entry->pending.size());
+    QDEL_OBS({
+        obs::serveMetrics().entries.add(
+            static_cast<double>(next_keys->size()) -
+            static_cast<double>(old_keys->size()));
+        obs::serveMetrics().pendingJobs.add(pending_delta - old_pending);
+    });
+    shard.applied = applied.value();
+    shard.rejected = rejected.value();
+    shard.keys.store(std::move(next_keys), std::memory_order_release);
+    return Unit{};
+}
+
+std::string
+BoundRegistry::digest() const
+{
+    persist::StateWriter writer;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::unique_lock<std::mutex> lock(shards_[s]->writer);
+        if (auto saved = saveShard(s, writer); !saved.ok())
+            panic("BoundRegistry::digest: " + saved.error().reason);
+    }
+    const uint32_t crc =
+        persist::crc32(writer.bytes().data(), writer.bytes().size());
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "%08x", crc);
+    return hex;
+}
+
+} // namespace serve
+} // namespace qdel

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Sharded registry of per-(machine, queue, proc-bucket) predictors —
+ * the in-memory core of the online bound service.
+ *
+ * Write path: events route to a shard by a CRC of their key; one
+ * mutex per shard serializes every mutation in that shard, which is
+ * also what makes the shard a WAL domain — the lock is taken across
+ * "append to WAL, then apply" so the log order is the apply order.
+ *
+ * Read path: queries never take a lock. Each entry publishes an
+ * immutable BoundSnapshot (a grid of quantile bounds captured with
+ * Predictor::boundGrid() while the bound is frozen) through an
+ * std::atomic<std::shared_ptr>; the shard's key map itself is
+ * copy-on-write behind another atomic shared_ptr, so a query is two
+ * acquire loads and a map lookup. Writers republish a snapshot only
+ * when the frozen bound actually moved — after a refit, a
+ * finalizeTraining, or a change-point trim (detected via
+ * sim::predictorTrimCount) — so the scoreBatch frozen-bound invariant
+ * from the streaming replay carries over: between publishes, every
+ * answer the grid gives is exactly what boundAt() would return.
+ *
+ * Determinism: every mutation (entry creation, refit-every-K policy,
+ * training finalization at a fixed observation count, snapshot version
+ * bumps, accept/reject decisions) is a pure function of the per-shard
+ * event sequence, so WAL replay reconstructs a shard bit-identically.
+ */
+
+#ifndef QDEL_SERVE_BOUND_REGISTRY_HH
+#define QDEL_SERVE_BOUND_REGISTRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "core/rare_event.hh"
+#include "serve/wire.hh"
+#include "util/expected.hh"
+
+namespace qdel {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
+namespace serve {
+
+/** Quantile grid every published snapshot carries. */
+constexpr double kGridQuantiles[] = {0.25, 0.50, 0.60, 0.70, 0.75,
+                                     0.80, 0.85, 0.90, 0.95, 0.96,
+                                     0.97, 0.98, 0.99};
+constexpr size_t kGridCount =
+    sizeof(kGridQuantiles) / sizeof(kGridQuantiles[0]);
+
+/** Nearest grid index to @p q (NaN and out-of-range snap inward). */
+size_t gridIndexFor(double q);
+
+/** Immutable published bounds for one entry; see file comment. */
+struct BoundSnapshot
+{
+    double upper[kGridCount];  //!< Upper confidence bounds, seconds.
+    double lower[kGridCount];  //!< Lower confidence bounds, seconds.
+    uint64_t historySize = 0;
+    uint64_t observations = 0;
+    uint64_t version = 0;  //!< Publish counter, 1 = first publish.
+};
+
+/** What applying one event did (all outcomes are deterministic). */
+struct ApplyOutcome
+{
+    bool applied = false;
+    const char *rejectReason = nullptr;  //!< Set when !applied.
+};
+
+class BoundRegistry
+{
+  public:
+    struct Options
+    {
+        size_t shards = 8;            //!< Power of two not required.
+        std::string method = "bmbp";  //!< core::makePredictor() name.
+        double quantile = 0.95;       //!< Primary quantile to bound.
+        double confidence = 0.95;     //!< Confidence level C.
+        /** refit() after every this many observations per key (>= 1). */
+        uint64_t refitEvery = 50;
+        /** finalizeTraining() once a key has this many observations. */
+        uint64_t trainObservations = 100;
+
+        /** Validate ranges and the method name (CLI entry point). */
+        Expected<Unit> validate() const;
+    };
+
+    /** Precondition: options.validate() passed (panics otherwise). */
+    explicit BoundRegistry(const Options &options);
+
+    /** Out-of-line so unique_ptr<Shard> deletes where Shard is complete. */
+    ~BoundRegistry();
+
+    const Options &options() const { return options_; }
+    size_t shardCount() const { return shards_.size(); }
+
+    /** Shard owning @p event's key. */
+    size_t shardForEvent(const JobEvent &event) const;
+    size_t shardForKey(const std::string &machine, const std::string &queue,
+                       int bucket) const;
+
+    /**
+     * Take shard @p s's writer lock. Callers that persist hold this
+     * across WAL append + applyLocked so log order == apply order.
+     */
+    std::unique_lock<std::mutex> lockShard(size_t s);
+
+    /** Apply one event to shard @p s; caller holds the shard lock. */
+    ApplyOutcome applyLocked(size_t s, const JobEvent &event);
+
+    /** Convenience for non-durable callers: lock, apply, unlock. */
+    ApplyOutcome apply(const JobEvent &event);
+
+    /** Lock-free bound lookup; known=false for an unseen key. */
+    BoundAnswer query(const BoundQuery &query) const;
+
+    /** Events processed (applied + rejected) by shard @p s. */
+    uint64_t processedCount(size_t s) const;
+
+    /** Per-shard processed counts + live entry total. */
+    ServeStats stats() const;
+
+    /** One row per entry, key-sorted, read from published snapshots. */
+    struct EntryView
+    {
+        std::string machine;
+        std::string queue;
+        int bucket = 0;
+        BoundSnapshot snapshot;
+    };
+    std::vector<EntryView> enumerate() const;
+
+    /**
+     * Serialize shard @p s's complete state (counters, pending jobs,
+     * predictor states, publish versions) in key order; caller holds
+     * the shard lock. loadShard() restores bit-identically and
+     * republishes every entry's snapshot without bumping versions.
+     */
+    Expected<Unit> saveShard(size_t s, persist::StateWriter &writer) const;
+    Expected<Unit> loadShard(size_t s, persist::StateReader &reader);
+
+    /**
+     * Hex CRC-32 over the canonical serialization of every shard —
+     * equal digests mean bit-identical registry state. Takes every
+     * shard lock (briefly); not for the hot path.
+     */
+    std::string digest() const;
+
+  private:
+    struct Entry;
+    /** Copy-on-write key map: ordered so serialization is canonical. */
+    using KeyMap = std::map<std::string, std::shared_ptr<Entry>>;
+
+    struct Shard;
+
+    std::shared_ptr<Entry> findEntry(size_t s, const std::string &key) const;
+    std::shared_ptr<Entry> getOrCreateLocked(size_t s, const JobEvent &event,
+                                             const std::string &key);
+    void observeLocked(Entry &entry, double wait);
+    void publish(Entry &entry, bool bump_version);
+
+    Options options_;
+    core::RareEventTable rareTable_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace serve
+} // namespace qdel
+
+#endif // QDEL_SERVE_BOUND_REGISTRY_HH

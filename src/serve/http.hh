@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 request parsing and response rendering for the
+ * serve fallback path. Deliberately tiny: enough for curl, python
+ * urllib, and Prometheus scrapes — request line + headers + optional
+ * Content-Length body, query-string parameters, percent decoding.
+ * Anything fancier (chunked bodies, continuations) is a ParseError,
+ * answered with 400 by the server.
+ */
+
+#ifndef QDEL_SERVE_HTTP_HH
+#define QDEL_SERVE_HTTP_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/expected.hh"
+
+namespace qdel {
+namespace serve {
+
+/** One parsed request head (body is read separately by the server). */
+struct HttpRequest
+{
+    std::string method;  //!< Uppercase: "GET", "POST", ...
+    std::string path;    //!< Percent-decoded path without the query.
+    std::map<std::string, std::string> params;  //!< Decoded query args.
+    size_t contentLength = 0;
+};
+
+/**
+ * @return true when @p prefix starts like an HTTP request line — the
+ * protocol sniff that lets binary frames and HTTP share one port (a
+ * binary frame's first byte is a length LSB, never an ASCII method).
+ */
+bool looksLikeHttp(std::string_view prefix);
+
+/**
+ * Parse a request head: everything up to (not including) the blank
+ * line. Lines may be CRLF or bare LF terminated.
+ */
+Expected<HttpRequest> parseRequestHead(std::string_view head);
+
+/** Decode %XX escapes and '+' (as space) in a URL component. */
+std::string percentDecode(std::string_view text);
+
+/** Render a complete close-delimited HTTP/1.1 response. */
+std::string renderHttpResponse(int status, const std::string &contentType,
+                               std::string_view body);
+
+/** Standard reason phrase for the handful of statuses we emit. */
+const char *httpReason(int status);
+
+} // namespace serve
+} // namespace qdel
+
+#endif // QDEL_SERVE_HTTP_HH

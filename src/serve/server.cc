@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Implementation of the TCP front end.
+ */
+
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
+#include "persist/state_codec.hh"
+#include "serve/http.hh"
+#include "util/logging.hh"
+
+namespace qdel {
+namespace serve {
+
+namespace {
+
+/** send() the whole buffer, suppressing SIGPIPE. */
+bool
+sendAll(int fd, std::string_view bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Append up to @p max more bytes; false on EOF/error. */
+bool
+recvSome(int fd, std::string *buffer, size_t max = 64 * 1024)
+{
+    const size_t old_size = buffer->size();
+    buffer->resize(old_size + max);
+    for (;;) {
+        const ssize_t n = ::recv(fd, buffer->data() + old_size, max, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            buffer->resize(old_size);
+            return false;
+        }
+        buffer->resize(old_size + static_cast<size_t>(n));
+        return true;
+    }
+}
+
+} // namespace
+
+Expected<Unit>
+ServerOptions::validate() const
+{
+    if (port < 0 || port > 65535) {
+        return ParseError{"", 0, "port",
+                          "port must be in [0, 65535], got " +
+                              std::to_string(port)};
+    }
+    struct in_addr parsed;
+    if (::inet_pton(AF_INET, bindAddress.c_str(), &parsed) != 1) {
+        return ParseError{"", 0, "bindAddress",
+                          "'" + bindAddress +
+                              "' is not an IPv4 address"};
+    }
+    return Unit{};
+}
+
+struct BoundServer::Impl
+{
+    BoundService *service = nullptr;
+    int listenFd = -1;
+    int boundPort = 0;
+    std::thread acceptThread;
+
+    std::mutex mutex;
+    bool stopping = false;
+    std::vector<std::thread> connectionThreads;
+    std::vector<int> connectionFds;
+
+    void acceptLoop();
+    void serveConnection(int fd);
+    void serveBinary(int fd, std::string buffer);
+    void serveHttp(int fd, std::string buffer);
+    std::string handleFrame(std::string_view payload);
+    std::string handleHttpRequest(const HttpRequest &request);
+    void stop();
+
+    ~Impl() { stop(); }
+};
+
+BoundServer::BoundServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl))
+{
+}
+
+BoundServer::~BoundServer()
+{
+    stop();
+}
+
+int
+BoundServer::port() const
+{
+    return impl_->boundPort;
+}
+
+void
+BoundServer::stop()
+{
+    if (impl_ != nullptr)
+        impl_->stop();
+}
+
+Expected<std::unique_ptr<BoundServer>>
+BoundServer::start(BoundService &service, const ServerOptions &options)
+{
+    if (auto ok = options.validate(); !ok.ok())
+        return ok.error();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return ParseError{"", 0, "socket",
+                          std::string("socket(): ") + std::strerror(errno)};
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in address;
+    std::memset(&address, 0, sizeof(address));
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<uint16_t>(options.port));
+    ::inet_pton(AF_INET, options.bindAddress.c_str(), &address.sin_addr);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&address),
+               sizeof(address)) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        return ParseError{"", 0, "bind",
+                          "bind(" + options.bindAddress + ":" +
+                              std::to_string(options.port) +
+                              "): " + reason};
+    }
+    if (::listen(fd, 64) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        return ParseError{"", 0, "listen",
+                          std::string("listen(): ") + reason};
+    }
+    socklen_t address_length = sizeof(address);
+    ::getsockname(fd, reinterpret_cast<struct sockaddr *>(&address),
+                  &address_length);
+
+    auto impl = std::make_unique<Impl>();
+    impl->service = &service;
+    impl->listenFd = fd;
+    impl->boundPort = static_cast<int>(ntohs(address.sin_port));
+    impl->acceptThread = std::thread([raw = impl.get()] {
+        raw->acceptLoop();
+    });
+    return std::unique_ptr<BoundServer>(new BoundServer(std::move(impl)));
+}
+
+void
+BoundServer::Impl::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // Listener closed by stop().
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopping) {
+            ::close(fd);
+            return;
+        }
+        connectionFds.push_back(fd);
+        QDEL_OBS(obs::serveMetrics().connections.add(1.0));
+        connectionThreads.emplace_back([this, fd] {
+            serveConnection(fd);
+            {
+                // Unregister before close so stop() never shutdown()s
+                // a recycled descriptor number.
+                std::lock_guard<std::mutex> conn_lock(mutex);
+                connectionFds.erase(std::remove(connectionFds.begin(),
+                                                connectionFds.end(), fd),
+                                    connectionFds.end());
+            }
+            ::close(fd);
+            QDEL_OBS(obs::serveMetrics().connections.add(-1.0));
+        });
+    }
+}
+
+void
+BoundServer::Impl::serveConnection(int fd)
+{
+    // Sniff the protocol: a binary frame's 4th byte is always NUL
+    // (payload lengths are < 2^24); an HTTP method line never has one.
+    std::string buffer;
+    while (buffer.size() < 4) {
+        if (!recvSome(fd, &buffer))
+            return;
+    }
+    if (looksLikeHttp(std::string_view(buffer).substr(0, 4)))
+        serveHttp(fd, std::move(buffer));
+    else
+        serveBinary(fd, std::move(buffer));
+}
+
+void
+BoundServer::Impl::serveBinary(int fd, std::string buffer)
+{
+    for (;;) {
+        std::string_view payload;
+        size_t consumed = 0;
+        auto framed = unframe(buffer, &payload, &consumed);
+        if (!framed.ok()) {
+            QDEL_OBS(obs::serveMetrics().badFrames.inc());
+            sendAll(fd, frameError(framed.error().reason));
+            return;  // Cannot resynchronize after a corrupt length.
+        }
+        if (!framed.value()) {
+            if (!recvSome(fd, &buffer))
+                return;
+            continue;
+        }
+        const std::string response = handleFrame(payload);
+        buffer.erase(0, consumed);
+        if (!sendAll(fd, response))
+            return;
+    }
+}
+
+std::string
+BoundServer::Impl::handleFrame(std::string_view payload)
+{
+    QDEL_OBS(obs::serveMetrics().requests.inc());
+    QDEL_OBS_SPAN(span, obs::serveMetrics().requestSeconds,
+                  obs::EventType::Span, "serve_request");
+    persist::StateReader reader(payload, "request");
+    auto opcode = reader.u8();
+    if (!opcode.ok()) {
+        QDEL_OBS(obs::serveMetrics().badFrames.inc());
+        return frameError("empty request frame");
+    }
+    const std::string_view body = payload.substr(1);
+    switch (static_cast<Opcode>(opcode.value())) {
+    case Opcode::Event: {
+        auto event = decodeEvent(body);
+        if (!event.ok()) {
+            QDEL_OBS(obs::serveMetrics().badFrames.inc());
+            return frameError(event.error().reason);
+        }
+        auto outcome = service->ingest(event.value());
+        if (!outcome.ok())
+            return frameError(outcome.error().reason);
+        persist::StateWriter response;
+        response.u8(outcome.value().applied ? 1 : 0);
+        response.str(outcome.value().applied
+                         ? std::string()
+                         : std::string(outcome.value().rejectReason));
+        return frameOk(response.bytes());
+    }
+    case Opcode::Query: {
+        QDEL_OBS_SPAN(query_span, obs::serveMetrics().querySeconds,
+                      obs::EventType::Span, "serve_query");
+        auto query = decodeQuery(body);
+        if (!query.ok()) {
+            QDEL_OBS(obs::serveMetrics().badFrames.inc());
+            return frameError(query.error().reason);
+        }
+        return frameOk(encodeAnswer(service->query(query.value())));
+    }
+    case Opcode::Ping: {
+        persist::StateWriter response;
+        response.u32(kWireVersion);
+        return frameOk(response.bytes());
+    }
+    case Opcode::Checkpoint: {
+        if (auto ok = service->checkpointAll(); !ok.ok())
+            return frameError(ok.error().reason);
+        return frameOk("");
+    }
+    case Opcode::Stats:
+        return frameOk(encodeStats(service->stats()));
+    }
+    QDEL_OBS(obs::serveMetrics().badFrames.inc());
+    return frameError("unknown opcode " + std::to_string(opcode.value()));
+}
+
+void
+BoundServer::Impl::serveHttp(int fd, std::string buffer)
+{
+    // Read to the end of the head.
+    size_t head_end;
+    for (;;) {
+        head_end = buffer.find("\r\n\r\n");
+        size_t separator = 4;
+        if (head_end == std::string::npos) {
+            head_end = buffer.find("\n\n");
+            separator = 2;
+        }
+        if (head_end != std::string::npos) {
+            head_end += separator;
+            break;
+        }
+        if (buffer.size() > kMaxFrameBytes ||
+            !recvSome(fd, &buffer)) {
+            sendAll(fd, renderHttpResponse(400, "text/plain",
+                                           "unterminated request head\n"));
+            return;
+        }
+    }
+    auto parsed = parseRequestHead(
+        std::string_view(buffer).substr(0, head_end));
+    if (!parsed.ok()) {
+        QDEL_OBS(obs::serveMetrics().badFrames.inc());
+        sendAll(fd, renderHttpResponse(400, "text/plain",
+                                       parsed.error().reason + "\n"));
+        return;
+    }
+    HttpRequest request = std::move(parsed).value();
+    if (request.contentLength > kMaxFrameBytes) {
+        sendAll(fd, renderHttpResponse(400, "text/plain",
+                                       "request body too large\n"));
+        return;
+    }
+    while (buffer.size() - head_end < request.contentLength) {
+        if (!recvSome(fd, &buffer)) {
+            sendAll(fd, renderHttpResponse(400, "text/plain",
+                                           "truncated request body\n"));
+            return;
+        }
+    }
+    sendAll(fd, handleHttpRequest(request));
+}
+
+std::string
+BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
+{
+    QDEL_OBS({
+        obs::serveMetrics().requests.inc();
+        obs::serveMetrics().httpRequests.inc();
+    });
+    QDEL_OBS_SPAN(span, obs::serveMetrics().requestSeconds,
+                  obs::EventType::Span, "serve_http");
+
+    auto param = [&](const char *name, const char *fallback) {
+        const auto it = request.params.find(name);
+        return it == request.params.end() ? std::string(fallback)
+                                          : it->second;
+    };
+
+    if (request.method == "GET" && request.path == "/healthz")
+        return renderHttpResponse(200, "application/json",
+                                  "{\"status\":\"ok\"}");
+    if (request.method == "GET" && request.path == "/metrics") {
+        return renderHttpResponse(
+            200, "text/plain; version=0.0.4",
+            obs::renderPrometheus(obs::registry().snapshot()));
+    }
+    if (request.method == "GET" && request.path == "/bound") {
+        QDEL_OBS_SPAN(query_span, obs::serveMetrics().querySeconds,
+                      obs::EventType::Span, "serve_query");
+        BoundQuery query;
+        query.machine = param("machine", "");
+        query.queue = param("queue", "");
+        query.procs = std::atoi(param("procs", "1").c_str());
+        query.quantile = std::atof(param("q", "0.95").c_str());
+        return renderHttpResponse(200, "application/json",
+                                  answerToJson(service->query(query)));
+    }
+    if (request.method == "POST" && request.path == "/event") {
+        JobEvent event;
+        const std::string kind = param("kind", "");
+        if (kind == "submit") {
+            event.kind = EventKind::Submit;
+        } else if (kind == "start") {
+            event.kind = EventKind::Start;
+        } else if (kind == "done") {
+            event.kind = EventKind::Done;
+        } else {
+            return renderHttpResponse(400, "text/plain",
+                                      "kind must be submit|start|done\n");
+        }
+        event.jobId = std::strtoull(param("job", "0").c_str(), nullptr, 10);
+        event.time = std::atof(param("time", "0").c_str());
+        event.machine = param("machine", "");
+        event.queue = param("queue", "");
+        event.procs = std::atoi(param("procs", "1").c_str());
+        auto outcome = service->ingest(event);
+        if (!outcome.ok())
+            return renderHttpResponse(500, "text/plain",
+                                      outcome.error().reason + "\n");
+        std::string body = "{\"applied\":";
+        body += outcome.value().applied ? "true" : "false";
+        if (!outcome.value().applied) {
+            body += ",\"reason\":\"";
+            body += jsonEscape(outcome.value().rejectReason);
+            body += "\"";
+        }
+        body += "}";
+        return renderHttpResponse(200, "application/json", body);
+    }
+    if (request.method == "POST" && request.path == "/checkpoint") {
+        if (auto ok = service->checkpointAll(); !ok.ok())
+            return renderHttpResponse(500, "text/plain",
+                                      ok.error().reason + "\n");
+        return renderHttpResponse(200, "application/json",
+                                  "{\"ok\":true}");
+    }
+    if (request.method == "GET" && request.path == "/stats")
+        return renderHttpResponse(200, "application/json",
+                                  statsToJson(service->stats()));
+    return renderHttpResponse(404, "text/plain", "unknown route\n");
+}
+
+void
+BoundServer::Impl::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopping)
+            return;
+        stopping = true;
+    }
+    if (listenFd >= 0) {
+        ::shutdown(listenFd, SHUT_RDWR);
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    if (acceptThread.joinable())
+        acceptThread.join();
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (int fd : connectionFds)
+            ::shutdown(fd, SHUT_RDWR);
+        threads.swap(connectionThreads);
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+}
+
+} // namespace serve
+} // namespace qdel

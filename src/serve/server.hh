@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The TCP front end of the bound service: one listening port speaking
+ * both the length-prefixed binary framing and HTTP/1.1.
+ *
+ * Protocol sniff: the first four bytes of a connection decide. A
+ * binary frame starts with a little-endian u32 payload length below
+ * kMaxFrameBytes (< 2^24), so its fourth byte is always NUL; an HTTP
+ * request starts with an ASCII method and never contains NUL there.
+ * Binary connections then loop frames until EOF; HTTP connections are
+ * answered one request at a time and closed (Connection: close).
+ *
+ * Threading: an accept loop thread plus one thread per connection —
+ * the intended deployment is a handful of resource-manager clients,
+ * not the open internet. Queries run lock-free against published
+ * snapshots; events serialize per shard inside BoundService.
+ */
+
+#ifndef QDEL_SERVE_SERVER_HH
+#define QDEL_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/service.hh"
+#include "util/expected.hh"
+
+namespace qdel {
+namespace serve {
+
+struct ServerOptions
+{
+    /** Port to bind; 0 picks an ephemeral port (see port()). */
+    int port = 0;
+    /** Bind address; the default keeps the daemon loopback-only. */
+    std::string bindAddress = "127.0.0.1";
+
+    Expected<Unit> validate() const;
+};
+
+class BoundServer
+{
+  public:
+    /** Bind + listen + start the accept loop. @p service must outlive
+     *  the server. */
+    static Expected<std::unique_ptr<BoundServer>>
+    start(BoundService &service, const ServerOptions &options);
+
+    ~BoundServer();
+
+    /** The bound port (the chosen one when options.port was 0). */
+    int port() const;
+
+    /** Close the listener and every connection; join all threads.
+     *  Idempotent. */
+    void stop();
+
+  private:
+    struct Impl;
+    explicit BoundServer(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace serve
+} // namespace qdel
+
+#endif // QDEL_SERVE_SERVER_HH

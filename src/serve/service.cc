@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Implementation of the durable bound service.
+ */
+
+#include "serve/service.hh"
+
+#include <cstdio>
+
+#include "core/predictor_factory.hh"
+#include "persist/state_codec.hh"
+
+namespace qdel {
+namespace serve {
+
+namespace {
+
+std::string
+shardDir(const std::string &root, size_t s)
+{
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "/shard-%04zu", s);
+    return root + suffix;
+}
+
+} // namespace
+
+Expected<Unit>
+ServiceConfig::validate() const
+{
+    if (auto ok = registry.validate(); !ok.ok())
+        return ok.error();
+    if (keepSnapshots < 1) {
+        return ParseError{"", 0, "keepSnapshots",
+                          "must retain at least one snapshot"};
+    }
+    if (!stateDir.empty()) {
+        // Durable mode snapshots predictor state, so the method must
+        // support the persistence hooks; probe one instance up front
+        // instead of failing at the first checkpoint.
+        core::PredictorOptions predictor_options;
+        predictor_options.quantile = registry.quantile;
+        predictor_options.confidence = registry.confidence;
+        auto probe =
+            core::tryMakePredictor(registry.method, predictor_options);
+        if (!probe.ok())
+            return probe.error();
+        persist::StateWriter writer;
+        if (auto saved = probe.value()->saveState(writer); !saved.ok()) {
+            return ParseError{"", 0, "method",
+                              "method '" + registry.method +
+                                  "' does not support state persistence"
+                                  " (required with a state dir)"};
+        }
+    }
+    return Unit{};
+}
+
+Expected<std::unique_ptr<BoundService>>
+BoundService::open(const ServiceConfig &config)
+{
+    if (auto ok = config.validate(); !ok.ok())
+        return ok.error();
+
+    auto service = std::unique_ptr<BoundService>(new BoundService());
+    service->config_ = config;
+    service->registry_ = std::make_unique<BoundRegistry>(config.registry);
+    if (config.stateDir.empty())
+        return service;
+
+    const size_t shards = service->registry_->shardCount();
+    service->stores_.reserve(shards);
+    service->eventsSinceCheckpoint_.assign(shards, 0);
+    service->recoveries_.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        persist::CheckpointConfig shard_config;
+        shard_config.dir = shardDir(config.stateDir, s);
+        shard_config.keepSnapshots = config.keepSnapshots;
+        shard_config.syncEveryRecords = config.syncEveryRecords;
+
+        auto lock = service->registry_->lockShard(s);
+        auto recovered = persist::recoverState(
+            shard_config,
+            [&](const std::string &payload) -> Expected<Unit> {
+                persist::StateReader reader(payload, shard_config.dir +
+                                                        "/snapshot");
+                if (auto ok = service->registry_->loadShard(s, reader);
+                    !ok.ok())
+                    return ok.error();
+                return reader.expectEnd();
+            },
+            [&](const persist::WalRecord &record) -> Expected<Unit> {
+                if (record.type != persist::WalRecordType::Blob) {
+                    return ParseError{shard_config.dir, 0, "wal",
+                                      "unexpected non-blob WAL record in"
+                                      " a serve shard"};
+                }
+                auto event = decodeEvent(record.blob);
+                if (!event.ok())
+                    return event.error();
+                // Rejections are deterministic and counted; replay
+                // must not fail on them.
+                service->registry_->applyLocked(s, event.value());
+                return Unit{};
+            });
+        if (!recovered.ok())
+            return recovered.error();
+        service->recoveries_.push_back(recovered.value());
+
+        auto manager = persist::CheckpointManager::open(shard_config);
+        if (!manager.ok())
+            return manager.error();
+        service->stores_.push_back(std::make_unique<
+                                   persist::CheckpointManager>(
+            std::move(manager).value()));
+
+        if (service->stores_[s]->hasExistingState()) {
+            // Fold the replayed WAL into a fresh snapshot so the next
+            // crash recovers from one read instead of a long replay.
+            if (auto ok = service->checkpointShardLocked(s); !ok.ok())
+                return ok.error();
+        } else {
+            if (auto ok = service->stores_[s]->startWal(); !ok.ok())
+                return ok.error();
+        }
+    }
+    return service;
+}
+
+Expected<ApplyOutcome>
+BoundService::ingest(const JobEvent &event)
+{
+    const size_t s = registry_->shardForEvent(event);
+    auto lock = registry_->lockShard(s);
+    if (durable()) {
+        persist::WalRecord record;
+        record.type = persist::WalRecordType::Blob;
+        record.blob = encodeEvent(event);
+        if (auto ok = stores_[s]->appendRecord(record); !ok.ok())
+            return ok.error();
+    }
+    const ApplyOutcome outcome = registry_->applyLocked(s, event);
+    if (durable() && config_.checkpointEveryEvents > 0 &&
+        ++eventsSinceCheckpoint_[s] >= config_.checkpointEveryEvents) {
+        if (auto ok = checkpointShardLocked(s); !ok.ok())
+            return ok.error();
+    }
+    return outcome;
+}
+
+Expected<Unit>
+BoundService::checkpointShardLocked(size_t s)
+{
+    persist::StateWriter writer;
+    if (auto saved = registry_->saveShard(s, writer); !saved.ok())
+        return saved.error();
+    if (auto ok = stores_[s]->checkpoint(writer.take()); !ok.ok())
+        return ok.error();
+    eventsSinceCheckpoint_[s] = 0;
+    return Unit{};
+}
+
+Expected<Unit>
+BoundService::checkpointAll()
+{
+    if (!durable())
+        return Unit{};
+    for (size_t s = 0; s < registry_->shardCount(); ++s) {
+        auto lock = registry_->lockShard(s);
+        if (auto ok = checkpointShardLocked(s); !ok.ok())
+            return ok.error();
+    }
+    return Unit{};
+}
+
+Expected<Unit>
+BoundService::syncAll()
+{
+    if (!durable())
+        return Unit{};
+    for (size_t s = 0; s < registry_->shardCount(); ++s) {
+        auto lock = registry_->lockShard(s);
+        if (auto ok = stores_[s]->sync(); !ok.ok())
+            return ok.error();
+    }
+    return Unit{};
+}
+
+} // namespace serve
+} // namespace qdel

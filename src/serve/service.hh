@@ -1,0 +1,132 @@
+/**
+ * @file
+ * BoundService: the bound registry wired to the persistence ladder.
+ *
+ * Durability model — one checkpoint directory per shard:
+ *
+ *   stateDir/shard-0000/snapshot-NNNN.qds + wal-NNNN.qdw
+ *   stateDir/shard-0001/...
+ *
+ * Each shard is an independent WAL domain. ingest() takes the shard's
+ * writer lock, appends the event (encoded with the wire codec) as a
+ * persist::WalRecordType::Blob record, *then* applies it to the
+ * registry — the same WAL-before-mutate discipline as PredictorStore,
+ * held under one lock so log order is apply order. Because every
+ * registry mutation is a deterministic function of the per-shard event
+ * sequence, replaying a shard's WAL against its snapshot reconstructs
+ * the shard bit-identically; a SIGKILLed server therefore resumes with
+ * byte-identical state (the kill/resume fault sweep proves it).
+ *
+ * Multi-shard coordination: shards checkpoint independently (count
+ * triggered), and checkpointAll() walks every shard under its lock for
+ * an explicit consistent cut — consistent because no event spans two
+ * shards. Recovery runs the 4-rung ladder per shard and then
+ * re-checkpoints, so one corrupted shard directory degrades only that
+ * shard's tail, never its neighbours.
+ *
+ * With an empty stateDir the service runs ephemeral (no disk at all) —
+ * that is what the throughput bench measures.
+ */
+
+#ifndef QDEL_SERVE_SERVICE_HH
+#define QDEL_SERVE_SERVICE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.hh"
+#include "serve/bound_registry.hh"
+#include "serve/wire.hh"
+#include "util/expected.hh"
+
+namespace qdel {
+namespace serve {
+
+struct ServiceConfig
+{
+    BoundRegistry::Options registry;
+
+    /** Root of the per-shard checkpoint tree; "" = ephemeral. */
+    std::string stateDir;
+
+    /** Checkpoint a shard every this many ingested events (0 = only
+     *  explicit checkpointAll() calls). */
+    size_t checkpointEveryEvents = 0;
+
+    /** persist::CheckpointConfig knobs, applied per shard. */
+    size_t keepSnapshots = 2;
+    size_t syncEveryRecords = 1;
+
+    Expected<Unit> validate() const;
+};
+
+class BoundService
+{
+  public:
+    /**
+     * Validate, create/scan the shard directories, run recovery on
+     * each, and re-checkpoint recovered shards. On success the service
+     * is ready to ingest.
+     */
+    static Expected<std::unique_ptr<BoundService>>
+    open(const ServiceConfig &config);
+
+    const ServiceConfig &config() const { return config_; }
+    bool durable() const { return !stores_.empty(); }
+    size_t shardCount() const { return registry_->shardCount(); }
+
+    /**
+     * Durably ingest one event: WAL append, apply, maybe checkpoint —
+     * all under the shard lock. The outcome reports whether the
+     * (logged) event was applied or deterministically rejected; an
+     * error means the WAL write itself failed and the event must be
+     * retried by the client.
+     */
+    Expected<ApplyOutcome> ingest(const JobEvent &event);
+
+    /** Lock-free read path; see BoundRegistry::query(). */
+    BoundAnswer
+    query(const BoundQuery &query) const
+    {
+        return registry_->query(query);
+    }
+
+    /** Snapshot every shard under its lock (no-op when ephemeral). */
+    Expected<Unit> checkpointAll();
+
+    /** fsync every open WAL segment (no-op when ephemeral). */
+    Expected<Unit> syncAll();
+
+    const BoundRegistry &registry() const { return *registry_; }
+
+    /** Per-shard processed counts + entries (resume fencing). */
+    ServeStats stats() const { return registry_->stats(); }
+
+    /** Hex digest of the full registry state. */
+    std::string digest() const { return registry_->digest(); }
+
+    /** Recovery reports, one per shard (empty when ephemeral). */
+    const std::vector<persist::RecoveryReport> &
+    recoveries() const
+    {
+        return recoveries_;
+    }
+
+  private:
+    BoundService() = default;
+
+    Expected<Unit> checkpointShardLocked(size_t s);
+
+    ServiceConfig config_;
+    std::unique_ptr<BoundRegistry> registry_;
+    /** One manager per shard; empty in ephemeral mode. */
+    std::vector<std::unique_ptr<persist::CheckpointManager>> stores_;
+    std::vector<size_t> eventsSinceCheckpoint_;
+    std::vector<persist::RecoveryReport> recoveries_;
+};
+
+} // namespace serve
+} // namespace qdel
+
+#endif // QDEL_SERVE_SERVICE_HH

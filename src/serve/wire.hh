@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Wire types and codec for the online bound service.
+ *
+ * Everything the daemon speaks is defined here so the server, the
+ * client tooling, the durability layer, and the tests share one
+ * schema:
+ *
+ *  - JobEvent / BoundQuery / BoundAnswer value types, with field
+ *    semantics lifted from SWF: times are seconds (SWF field 2 for
+ *    submit, submit + field 3 for start), procs is the allocated
+ *    processor count (SWF field 5), and a job's wait is derived as
+ *    startTime - submitTime exactly like SWF field 3;
+ *
+ *  - the length-prefixed binary framing: every frame is
+ *    u32 payloadLen (little-endian) | payload, where a request payload
+ *    is u8 opcode | body and a response payload is u8 status | body.
+ *    Bodies are encoded with persist::StateWriter/StateReader — the
+ *    same bit-exact codec the snapshots use — so a decoded double is
+ *    the double that was sent, NaN payloads and all;
+ *
+ *  - the same event body encoding doubles as the WAL blob payload for
+ *    durability (persist::WalRecordType::Blob), so replaying a WAL is
+ *    literally re-ingesting the original frames.
+ *
+ * Start/Done events repeat the routing key (machine/queue/procs): the
+ * registry shards by key, and a self-routing event is what keeps every
+ * shard an independent, independently-recoverable WAL domain.
+ */
+
+#ifndef QDEL_SERVE_WIRE_HH
+#define QDEL_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/job_record.hh"
+#include "util/expected.hh"
+
+namespace qdel {
+namespace serve {
+
+/** Largest frame payload either side will accept. */
+constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/** Wire protocol version, echoed in ping responses. */
+constexpr uint32_t kWireVersion = 1;
+
+/** Request opcodes (first payload byte of a request frame). */
+enum class Opcode : uint8_t {
+    Event = 1,       //!< body: encoded JobEvent
+    Query = 2,       //!< body: encoded BoundQuery
+    Ping = 3,        //!< body: empty; response body: u32 wire version
+    Checkpoint = 4,  //!< body: empty; force a checkpoint of every shard
+    Stats = 5,       //!< body: empty; response: per-shard ingest counts
+};
+
+/** First payload byte of a response frame. */
+enum class Status : uint8_t {
+    Ok = 0,
+    Error = 1,  //!< body: str message
+};
+
+/** Job lifecycle transitions the service ingests. */
+enum class EventKind : uint8_t {
+    Submit = 1,  //!< job entered the queue at time
+    Start = 2,   //!< job began executing at time (defines its wait)
+    Done = 3,    //!< job finished (bookkeeping only)
+};
+
+/** One job lifecycle event; see the file comment for SWF semantics. */
+struct JobEvent
+{
+    EventKind kind = EventKind::Submit;
+    uint64_t jobId = 0;   //!< Client-assigned id, unique per key.
+    double time = 0.0;    //!< Event time, seconds.
+    std::string machine;  //!< Routing key: machine name.
+    std::string queue;    //!< Routing key: queue name ("" = default).
+    int procs = 1;        //!< Routing key: allocated processors.
+};
+
+/** "What wait bound do I face right now?" */
+struct BoundQuery
+{
+    std::string machine;
+    std::string queue;
+    int procs = 1;
+    double quantile = 0.95;  //!< Quantile to bound (snapped to grid).
+    bool upper = true;       //!< Upper vs lower confidence bound.
+};
+
+/** Answer to a BoundQuery, read from a published shard snapshot. */
+struct BoundAnswer
+{
+    bool known = false;        //!< false: no predictor for that key yet.
+    double upper = 0.0;        //!< Upper bound, seconds (+inf possible).
+    double lower = 0.0;        //!< Lower bound, seconds.
+    double quantile = 0.0;     //!< Grid quantile actually answered.
+    double confidence = 0.0;   //!< Configured confidence level C.
+    uint64_t historySize = 0;  //!< Observations in the visible history.
+    uint64_t observations = 0; //!< Waits ever observed for the key.
+    uint64_t version = 0;      //!< Snapshot publish counter.
+};
+
+/** Per-shard ingest counters, for client resume fencing. */
+struct ServeStats
+{
+    std::vector<uint64_t> processedPerShard;  //!< applied + rejected.
+    uint64_t entries = 0;                     //!< Live predictor keys.
+};
+
+/**
+ * Paper proc-bucket index (Table 5 bins 1-4 / 5-16 / 17-64 / 65+) for
+ * an allocated processor count; procs < 1 clamps into the first bin.
+ */
+int procBucketFor(int procs);
+
+/** Label ("1-4", "65+") for a bucket index from procBucketFor(). */
+std::string procBucketLabel(int bucket);
+
+// --- body codecs (no frame header) ---------------------------------
+
+std::string encodeEvent(const JobEvent &event);
+Expected<JobEvent> decodeEvent(std::string_view body);
+
+std::string encodeQuery(const BoundQuery &query);
+Expected<BoundQuery> decodeQuery(std::string_view body);
+
+std::string encodeAnswer(const BoundAnswer &answer);
+Expected<BoundAnswer> decodeAnswer(std::string_view body);
+
+std::string encodeStats(const ServeStats &stats);
+Expected<ServeStats> decodeStats(std::string_view body);
+
+// --- framing -------------------------------------------------------
+
+/** Prepend the u32 length header to @p payload. */
+std::string frame(std::string_view payload);
+
+/** Request frame: u32 len | u8 opcode | body. */
+std::string frameRequest(Opcode op, std::string_view body);
+
+/** Ok-response frame: u32 len | u8 Status::Ok | body. */
+std::string frameOk(std::string_view body);
+
+/** Error-response frame: u32 len | u8 Status::Error | str message. */
+std::string frameError(const std::string &message);
+
+/**
+ * Try to strip one frame off the front of @p buffer. Returns true and
+ * fills @p payload (pointing into @p buffer) and @p consumed when a
+ * complete frame is present; false when more bytes are needed. A frame
+ * whose length field exceeds kMaxFrameBytes is a ParseError — the
+ * connection cannot be resynchronized after a corrupt length.
+ */
+Expected<bool> unframe(std::string_view buffer, std::string_view *payload,
+                       size_t *consumed);
+
+// --- SWF bridging --------------------------------------------------
+
+/**
+ * Expand trace jobs into the Submit/Start event stream a live resource
+ * manager would have emitted, ordered by (time, jobId, Submit<Start).
+ * Jobs without a recorded wait get a Submit only; jobId is the 1-based
+ * position in @p jobs (SWF job-number semantics).
+ */
+std::vector<JobEvent> eventsFromJobs(const std::vector<trace::JobRecord> &jobs,
+                                     const std::string &machine);
+
+// --- JSON rendering (HTTP fallback) --------------------------------
+
+/** Escape for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/** Render a BoundAnswer as a JSON object (inf/nan become null). */
+std::string answerToJson(const BoundAnswer &answer);
+
+/** Render ServeStats as a JSON object. */
+std::string statsToJson(const ServeStats &stats);
+
+} // namespace serve
+} // namespace qdel
+
+#endif // QDEL_SERVE_WIRE_HH

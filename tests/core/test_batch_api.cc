@@ -115,6 +115,35 @@ TEST(BatchApi, ScoreBatchInfiniteBoundCountsAllCorrect)
     EXPECT_EQ(ratios[0], -1.0);  // untouched
 }
 
+TEST_P(BatchApiTest, BoundGridMatchesElementWiseBoundAt)
+{
+    PredictorOptions options;
+    auto predictor = makePredictor(GetParam(), options);
+    const auto waits = shiftedWaits(300);
+    for (double wait : waits)
+        predictor->observe(wait);
+    predictor->finalizeTraining();
+    predictor->refit();
+
+    const double qs[] = {0.25, 0.5, 0.75, 0.9, 0.95, 0.99};
+    const size_t count = sizeof(qs) / sizeof(qs[0]);
+    QuantileEstimate upper[count];
+    QuantileEstimate lower[count];
+    predictor->boundGrid(qs, count, upper, lower);
+    for (size_t i = 0; i < count; ++i) {
+        // Bit-exact: the grid is a snapshot of the frozen bound.
+        EXPECT_EQ(upper[i].value, predictor->boundAt(qs[i], true).value)
+            << GetParam() << " upper q=" << qs[i];
+        EXPECT_EQ(lower[i].value, predictor->boundAt(qs[i], false).value)
+            << GetParam() << " lower q=" << qs[i];
+    }
+    // The lower array is optional; a null pointer only fills upper.
+    QuantileEstimate upper_only[count];
+    predictor->boundGrid(qs, count, upper_only, nullptr);
+    for (size_t i = 0; i < count; ++i)
+        EXPECT_EQ(upper_only[i].value, upper[i].value);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllMethods, BatchApiTest,
                          ::testing::Values("bmbp", "lognormal",
                                            "lognormal-trim", "loguniform",

@@ -419,6 +419,101 @@ TEST(Wal, BadHeaderFailsTheWholeSegment)
     EXPECT_FALSE(readWalFile(path).ok());
 }
 
+TEST(Wal, BlobRecordsRoundTripAmongTypedRecords)
+{
+    const std::string dir = freshDir("blob");
+    const std::string path = dir + "/wal-0000000002.qdw";
+    // Payloads that exercise the framing: empty, embedded NULs, every
+    // byte value, and a payload that *looks* like a typed record.
+    std::string all_bytes;
+    for (int b = 0; b < 256; ++b)
+        all_bytes.push_back(static_cast<char>(b));
+    const std::string looks_typed("\x01payload", 8);
+    {
+        auto writer = WalWriter::create(path, 2);
+        ASSERT_TRUE(writer.ok());
+        WalWriter wal = std::move(writer).value();
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Blob, 0.0, std::string()}).ok());
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Observation, 4.25}).ok());
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Blob, 0.0, all_bytes}).ok());
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Blob, 0.0, looks_typed}).ok());
+        ASSERT_TRUE(wal.close().ok());
+    }
+    auto contents = readWalFile(path);
+    ASSERT_TRUE(contents.ok());
+    const WalContents &wal = contents.value();
+    EXPECT_EQ(wal.droppedTailBytes, 0u);
+    ASSERT_EQ(wal.records.size(), 4u);
+    EXPECT_EQ(wal.records[0].type, WalRecordType::Blob);
+    EXPECT_TRUE(wal.records[0].blob.empty());
+    EXPECT_EQ(wal.records[1].type, WalRecordType::Observation);
+    EXPECT_DOUBLE_EQ(wal.records[1].value, 4.25);
+    EXPECT_EQ(wal.records[2].type, WalRecordType::Blob);
+    EXPECT_EQ(wal.records[2].blob, all_bytes);
+    EXPECT_EQ(wal.records[3].type, WalRecordType::Blob);
+    EXPECT_EQ(wal.records[3].blob, looks_typed);
+}
+
+TEST(Wal, BlobAtTheSizeCapRoundTrips)
+{
+    const std::string dir = freshDir("blobcap");
+    const std::string path = dir + "/wal-0000000000.qdw";
+    const std::string big(kMaxWalBlobBytes, '\x5a');
+    {
+        auto writer = WalWriter::create(path, 0);
+        ASSERT_TRUE(writer.ok());
+        WalWriter wal = std::move(writer).value();
+        ASSERT_TRUE(wal.append({WalRecordType::Blob, 0.0, big}).ok());
+        ASSERT_TRUE(wal.close().ok());
+    }
+    auto contents = readWalFile(path);
+    ASSERT_TRUE(contents.ok());
+    ASSERT_EQ(contents.value().records.size(), 1u);
+    EXPECT_EQ(contents.value().records[0].blob.size(),
+              size_t(kMaxWalBlobBytes));
+    EXPECT_EQ(contents.value().records[0].blob, big);
+}
+
+TEST(Wal, TornBlobTailYieldsValidPrefix)
+{
+    // The lenient-tail contract must hold for variable-length records
+    // too: cut a blob record anywhere and the reader keeps exactly the
+    // records before it.
+    const std::string dir = freshDir("blobtorn");
+    const std::string path = dir + "/wal-0000000001.qdw";
+    {
+        auto writer = WalWriter::create(path, 1);
+        ASSERT_TRUE(writer.ok());
+        WalWriter wal = std::move(writer).value();
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Blob, 0.0, "first"}).ok());
+        ASSERT_TRUE(
+            wal.append({WalRecordType::Blob, 0.0, "second-longer"}).ok());
+        ASSERT_TRUE(wal.close().ok());
+    }
+    auto clean = readFileBytes(path);
+    ASSERT_TRUE(clean.ok());
+    const std::string bytes = clean.value();
+    const size_t header = 24;
+    const size_t first_record_end = header + 8 + 1 + 5;
+    for (size_t keep = bytes.size() - 1; keep >= header; --keep) {
+        ASSERT_TRUE(atomicWriteFile(path, bytes.substr(0, keep)).ok());
+        auto contents = readWalFile(path);
+        ASSERT_TRUE(contents.ok()) << "kept " << keep;
+        const WalContents &wal = contents.value();
+        if (keep >= first_record_end) {
+            ASSERT_EQ(wal.records.size(), 1u) << "kept " << keep;
+            EXPECT_EQ(wal.records[0].blob, "first");
+        } else {
+            EXPECT_TRUE(wal.records.empty()) << "kept " << keep;
+        }
+    }
+}
+
 } // namespace
 } // namespace persist
 } // namespace qdel

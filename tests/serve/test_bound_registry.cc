@@ -1,0 +1,423 @@
+/**
+ * @file
+ * BoundRegistry contract tests. The load-bearing one compares the
+ * registry's published snapshots against a standalone reference
+ * predictor driven with the identical observe/refit/finalize policy:
+ * every grid answer must bit-match boundAt() on the frozen reference —
+ * that is the scoreBatch frozen-bound invariant carried to the serve
+ * read path.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/predictor_factory.hh"
+#include "core/rare_event.hh"
+#include "persist/state_codec.hh"
+#include "serve/bound_registry.hh"
+
+namespace qdel {
+namespace serve {
+namespace {
+
+/** Deterministic wait series with enough spread to provoke refits. */
+std::vector<double>
+syntheticWaits(size_t n, uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::lognormal_distribution<double> dist(5.0, 1.5);
+    std::vector<double> waits;
+    waits.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        waits.push_back(dist(rng));
+    return waits;
+}
+
+/**
+ * Feed one submit/start pair carrying @p wait into the registry.
+ * Submits at time zero so the observed wait (start − submit) is the
+ * given double bit-exactly; a nonzero submit time would round away
+ * low bits of the difference.
+ */
+void
+feedWait(BoundRegistry &registry, uint64_t job_id, double wait,
+         const std::string &machine = "m", const std::string &queue = "q",
+         int procs = 4)
+{
+    JobEvent submit;
+    submit.kind = EventKind::Submit;
+    submit.jobId = job_id;
+    submit.time = 0.0;
+    submit.machine = machine;
+    submit.queue = queue;
+    submit.procs = procs;
+    ASSERT_TRUE(registry.apply(submit).applied);
+    JobEvent start = submit;
+    start.kind = EventKind::Start;
+    start.time = wait;
+    ASSERT_TRUE(registry.apply(start).applied);
+}
+
+TEST(GridIndex, SnapsToNearestAndHandlesNaN)
+{
+    EXPECT_EQ(kGridQuantiles[gridIndexFor(0.95)], 0.95);
+    EXPECT_EQ(kGridQuantiles[gridIndexFor(0.951)], 0.95);
+    EXPECT_EQ(kGridQuantiles[gridIndexFor(0.0)], 0.25);
+    EXPECT_EQ(kGridQuantiles[gridIndexFor(1.0)], 0.99);
+    EXPECT_EQ(kGridQuantiles[gridIndexFor(-5.0)], 0.25);
+    EXPECT_EQ(kGridQuantiles[gridIndexFor(
+                  std::numeric_limits<double>::quiet_NaN())],
+              0.95);
+}
+
+TEST(BoundRegistryOptions, ValidateRejectsBadKnobs)
+{
+    BoundRegistry::Options options;
+    EXPECT_TRUE(options.validate().ok());
+    options.shards = 0;
+    EXPECT_FALSE(options.validate().ok());
+    options.shards = 8;
+    options.refitEvery = 0;
+    EXPECT_FALSE(options.validate().ok());
+    options.refitEvery = 50;
+    options.trainObservations = 0;
+    EXPECT_FALSE(options.validate().ok());
+    options.trainObservations = 100;
+    options.method = "no-such-method";
+    EXPECT_FALSE(options.validate().ok());
+}
+
+TEST(BoundRegistry, PublishedGridBitMatchesReferencePredictor)
+{
+    BoundRegistry::Options options;
+    options.shards = 4;
+    options.refitEvery = 25;
+    options.trainObservations = 60;
+    BoundRegistry registry(options);
+
+    // Reference: a standalone predictor driven by hand with the exact
+    // registry policy (finalize+refit at trainObservations, refit
+    // every refitEvery afterwards).
+    core::RareEventTable rare_table(options.quantile);
+    core::PredictorOptions predictor_options;
+    predictor_options.quantile = options.quantile;
+    predictor_options.confidence = options.confidence;
+    predictor_options.rareEventTable = &rare_table;
+    auto reference = core::makePredictor(options.method, predictor_options);
+
+    // The registry publishes a grid only at refit points; between
+    // them the published bounds stay frozen even though the live
+    // predictor history keeps growing. Mirror that: snapshot the
+    // reference grid at each publish point and compare the registry's
+    // answers against the *last published* reference grid.
+    double ref_upper[kGridCount];
+    double ref_lower[kGridCount];
+    const auto capture_grid = [&]() {
+        for (size_t gi = 0; gi < kGridCount; ++gi) {
+            ref_upper[gi] =
+                reference->boundAt(kGridQuantiles[gi], true).value;
+            ref_lower[gi] =
+                reference->boundAt(kGridQuantiles[gi], false).value;
+        }
+    };
+    capture_grid();  // entry creation publishes the empty-history grid
+
+    const auto waits = syntheticWaits(200, 42);
+    uint64_t observations = 0;
+    bool finalized = false;
+    for (size_t i = 0; i < waits.size(); ++i) {
+        feedWait(registry, i + 1, waits[i]);
+        reference->observe(waits[i]);
+        ++observations;
+        if (!finalized && observations >= options.trainObservations) {
+            reference->finalizeTraining();
+            reference->refit();
+            finalized = true;
+            capture_grid();
+        } else if (observations % options.refitEvery == 0) {
+            reference->refit();
+            capture_grid();
+        }
+
+        BoundQuery query;
+        query.machine = "m";
+        query.queue = "q";
+        query.procs = 4;
+        for (size_t gi = 0; gi < kGridCount; ++gi) {
+            query.quantile = kGridQuantiles[gi];
+            const BoundAnswer answer = registry.query(query);
+            ASSERT_TRUE(answer.known);
+            EXPECT_EQ(answer.quantile, kGridQuantiles[gi]);
+            // Bit-exact, including +inf before training finalizes.
+            ASSERT_EQ(answer.upper, ref_upper[gi])
+                << "job " << i + 1 << " q=" << kGridQuantiles[gi];
+            ASSERT_EQ(answer.lower, ref_lower[gi])
+                << "job " << i + 1 << " q=" << kGridQuantiles[gi];
+        }
+    }
+    EXPECT_EQ(registry.stats().entries, 1u);
+}
+
+TEST(BoundRegistry, SnapshotVersionBumpsOnlyWhenBoundMoves)
+{
+    BoundRegistry::Options options;
+    options.refitEvery = 10;
+    options.trainObservations = 1000;  // never finalizes in this test
+    BoundRegistry registry(options);
+
+    BoundQuery query;
+    query.machine = "m";
+    query.queue = "q";
+    query.procs = 4;
+
+    const auto waits = syntheticWaits(9, 7);
+    for (size_t i = 0; i < waits.size(); ++i)
+        feedWait(registry, i + 1, waits[i]);
+    const BoundAnswer before = registry.query(query);
+    ASSERT_TRUE(before.known);
+    EXPECT_EQ(before.version, 1u) << "creation publishes version 1; no"
+                                     " refit happened in 9 observations";
+
+    feedWait(registry, 10, 123.0);  // 10th observation: refit fires
+    const BoundAnswer after = registry.query(query);
+    EXPECT_EQ(after.version, 2u);
+    EXPECT_EQ(after.observations, 10u);
+}
+
+TEST(BoundRegistry, RejectsAreDeterministicAndCounted)
+{
+    BoundRegistry::Options options;
+    options.shards = 1;
+    BoundRegistry registry(options);
+
+    JobEvent submit;
+    submit.kind = EventKind::Submit;
+    submit.jobId = 5;
+    submit.time = 100.0;
+    submit.machine = "m";
+    submit.queue = "q";
+    submit.procs = 1;
+    EXPECT_TRUE(registry.apply(submit).applied);
+
+    // Duplicate submit.
+    const auto duplicate = registry.apply(submit);
+    EXPECT_FALSE(duplicate.applied);
+    EXPECT_STREQ(duplicate.rejectReason, "duplicate submit for job id");
+
+    // Start for a key nobody ever submitted to.
+    JobEvent other_key;
+    other_key.kind = EventKind::Start;
+    other_key.jobId = 5;
+    other_key.time = 150.0;
+    other_key.machine = "elsewhere";
+    other_key.queue = "q";
+    other_key.procs = 1;
+    EXPECT_STREQ(registry.apply(other_key).rejectReason,
+                 "start for unknown key");
+
+    // Start without a pending submit (wrong job id).
+    JobEvent wrong_id = submit;
+    wrong_id.kind = EventKind::Start;
+    wrong_id.jobId = 6;
+    wrong_id.time = 150.0;
+    EXPECT_STREQ(registry.apply(wrong_id).rejectReason,
+                 "start without a pending submit");
+
+    // Start before submit: negative wait must never reach observe().
+    JobEvent early = submit;
+    early.kind = EventKind::Start;
+    early.time = 99.0;
+    EXPECT_STREQ(registry.apply(early).rejectReason,
+                 "start time precedes submit time");
+
+    // NaN start time rejects through the same guard.
+    JobEvent nan_start = submit;
+    nan_start.kind = EventKind::Start;
+    nan_start.time = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_STREQ(registry.apply(nan_start).rejectReason,
+                 "start time precedes submit time");
+
+    // Done without a running job.
+    JobEvent done = submit;
+    done.kind = EventKind::Done;
+    EXPECT_STREQ(registry.apply(done).rejectReason,
+                 "done without a running job");
+
+    // The pending submit is still there: a correct start applies.
+    JobEvent start = submit;
+    start.kind = EventKind::Start;
+    start.time = 160.0;
+    EXPECT_TRUE(registry.apply(start).applied);
+    EXPECT_TRUE(registry.apply(done).applied);
+
+    // processed = applied + rejected, all on shard 0.
+    EXPECT_EQ(registry.processedCount(0), 9u);
+}
+
+TEST(BoundRegistry, UnknownKeyAnswersUnknown)
+{
+    BoundRegistry registry(BoundRegistry::Options{});
+    BoundQuery query;
+    query.machine = "nobody";
+    query.queue = "nothing";
+    const BoundAnswer answer = registry.query(query);
+    EXPECT_FALSE(answer.known);
+    EXPECT_EQ(answer.confidence, 0.95);
+    EXPECT_EQ(answer.quantile, 0.95);
+}
+
+TEST(BoundRegistry, KeysRouteToStableShardsAndBucketsShareEntries)
+{
+    BoundRegistry::Options options;
+    options.shards = 8;
+    options.refitEvery = 1;  // publish a snapshot on every observation
+    BoundRegistry registry(options);
+    // procs 1 and 4 share a bucket, so they share an entry and shard.
+    EXPECT_EQ(registry.shardForKey("m", "q", procBucketFor(1)),
+              registry.shardForKey("m", "q", procBucketFor(4)));
+    feedWait(registry, 1, 10.0, "m", "q", 1);
+    feedWait(registry, 2, 20.0, "m", "q", 4);
+    EXPECT_EQ(registry.stats().entries, 1u);
+    BoundQuery query;
+    query.machine = "m";
+    query.queue = "q";
+    query.procs = 3;
+    EXPECT_EQ(registry.query(query).observations, 2u);
+}
+
+TEST(BoundRegistry, SaveLoadRoundTripsBitIdentically)
+{
+    BoundRegistry::Options options;
+    options.shards = 2;
+    options.refitEvery = 10;
+    options.trainObservations = 30;
+    BoundRegistry registry(options);
+    const auto waits = syntheticWaits(80, 3);
+    for (size_t i = 0; i < waits.size(); ++i) {
+        feedWait(registry, i + 1, waits[i], "m1", "q", 4);
+        feedWait(registry, i + 1, waits[i] * 2.0, "m2", "q", 64);
+    }
+    // Leave a pending submit in flight so the map round-trips too.
+    JobEvent pending;
+    pending.kind = EventKind::Submit;
+    pending.jobId = 9999;
+    pending.time = 5.5;
+    pending.machine = "m1";
+    pending.queue = "q";
+    pending.procs = 4;
+    ASSERT_TRUE(registry.apply(pending).applied);
+
+    const std::string digest_before = registry.digest();
+
+    BoundRegistry restored(options);
+    for (size_t s = 0; s < registry.shardCount(); ++s) {
+        persist::StateWriter writer;
+        {
+            auto lock = registry.lockShard(s);
+            ASSERT_TRUE(registry.saveShard(s, writer).ok());
+        }
+        persist::StateReader reader(writer.bytes(), "shard");
+        ASSERT_TRUE(restored.loadShard(s, reader).ok());
+        ASSERT_TRUE(reader.expectEnd().ok());
+    }
+    EXPECT_EQ(restored.digest(), digest_before);
+
+    // The restored registry continues identically: same next event,
+    // same digests afterwards.
+    feedWait(registry, 500, 777.0, "m1", "q", 4);
+    feedWait(restored, 500, 777.0, "m1", "q", 4);
+    EXPECT_EQ(restored.digest(), registry.digest());
+}
+
+TEST(BoundRegistry, LoadShardRejectsForeignConfiguration)
+{
+    BoundRegistry::Options options;
+    options.shards = 2;
+    BoundRegistry registry(options);
+    feedWait(registry, 1, 10.0);
+
+    persist::StateWriter writer;
+    {
+        auto lock = registry.lockShard(0);
+        ASSERT_TRUE(registry.saveShard(0, writer).ok());
+    }
+
+    BoundRegistry::Options different = options;
+    different.quantile = 0.90;
+    BoundRegistry other(different);
+    persist::StateReader reader(writer.bytes(), "shard");
+    auto loaded = other.loadShard(0, reader);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.error().str().find("different serve configuration"),
+              std::string::npos);
+}
+
+TEST(BoundRegistry, EnumerateIsKeySorted)
+{
+    BoundRegistry registry(BoundRegistry::Options{});
+    feedWait(registry, 1, 10.0, "zeta", "q", 1);
+    feedWait(registry, 1, 10.0, "alpha", "q", 1);
+    feedWait(registry, 1, 10.0, "alpha", "a", 1);
+    const auto views = registry.enumerate();
+    ASSERT_EQ(views.size(), 3u);
+    EXPECT_EQ(views[0].machine, "alpha");
+    EXPECT_EQ(views[0].queue, "a");
+    EXPECT_EQ(views[1].machine, "alpha");
+    EXPECT_EQ(views[1].queue, "q");
+    EXPECT_EQ(views[2].machine, "zeta");
+}
+
+TEST(BoundRegistry, ConcurrentQueriesDuringWritesStayCoherent)
+{
+    // Readers race a writer; every answer must be internally
+    // consistent (a version implies its observation count is at least
+    // the count the previous version published — monotone per reader).
+    BoundRegistry::Options options;
+    options.shards = 2;
+    options.refitEvery = 5;
+    options.trainObservations = 20;
+    BoundRegistry registry(options);
+    feedWait(registry, 0, 1.0);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> answered{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&] {
+            BoundQuery query;
+            query.machine = "m";
+            query.queue = "q";
+            query.procs = 4;
+            uint64_t last_version = 0;
+            // do-while: every reader answers at least once even if the
+            // writer finishes before this thread is scheduled.
+            do {
+                const BoundAnswer answer = registry.query(query);
+                ASSERT_TRUE(answer.known);
+                ASSERT_GE(answer.version, last_version)
+                    << "published versions must be monotone";
+                last_version = answer.version;
+                answered.fetch_add(1, std::memory_order_relaxed);
+            } while (!stop.load(std::memory_order_relaxed));
+        });
+    }
+    const auto waits = syntheticWaits(400, 11);
+    for (size_t i = 0; i < waits.size(); ++i)
+        feedWait(registry, i + 1, waits[i]);
+    stop.store(true);
+    for (auto &reader : readers)
+        reader.join();
+    EXPECT_GT(answered.load(), 0u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace qdel

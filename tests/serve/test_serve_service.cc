@@ -1,0 +1,248 @@
+/**
+ * @file
+ * BoundService durability contract: WAL-before-mutate ingest, the
+ * per-shard checkpoint tree, count-triggered checkpoints, recovery to
+ * a byte-identical registry (digest equality), and the ephemeral mode
+ * the throughput bench runs in.
+ */
+
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/io.hh"
+#include "serve/service.hh"
+#include "serve/wire.hh"
+
+namespace qdel {
+namespace serve {
+namespace {
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "qdel_serve_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** Deterministic mixed-key event stream: submits then starts. */
+std::vector<JobEvent>
+eventStream(size_t jobs, uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::lognormal_distribution<double> wait(4.0, 1.0);
+    const char *machines[] = {"m1", "m2"};
+    const char *queues[] = {"normal", "express"};
+    const int procs[] = {1, 8, 32, 128};
+    std::vector<JobEvent> events;
+    for (size_t i = 0; i < jobs; ++i) {
+        JobEvent submit;
+        submit.kind = EventKind::Submit;
+        submit.jobId = i + 1;
+        submit.time = 100.0 * static_cast<double>(i);
+        submit.machine = machines[i % 2];
+        submit.queue = queues[(i / 2) % 2];
+        submit.procs = procs[i % 4];
+        events.push_back(submit);
+        JobEvent start = submit;
+        start.kind = EventKind::Start;
+        start.time = submit.time + wait(rng);
+        events.push_back(start);
+    }
+    return events;
+}
+
+ServiceConfig
+smallConfig(const std::string &state_dir)
+{
+    ServiceConfig config;
+    config.registry.shards = 4;
+    config.registry.refitEvery = 10;
+    config.registry.trainObservations = 25;
+    config.stateDir = state_dir;
+    return config;
+}
+
+TEST(ServiceConfig, ValidatePropagatesRegistryErrors)
+{
+    ServiceConfig config;
+    config.registry.method = "no-such-method";
+    EXPECT_FALSE(config.validate().ok());
+
+    config = ServiceConfig{};
+    config.keepSnapshots = 0;
+    EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(BoundService, EphemeralModeHasNoDiskFootprint)
+{
+    auto opened = BoundService::open(ServiceConfig{});
+    ASSERT_TRUE(opened.ok());
+    auto &service = *opened.value();
+    EXPECT_FALSE(service.durable());
+    EXPECT_TRUE(service.recoveries().empty());
+    for (const auto &event : eventStream(30, 1)) {
+        auto outcome = service.ingest(event);
+        ASSERT_TRUE(outcome.ok());
+        EXPECT_TRUE(outcome.value().applied);
+    }
+    EXPECT_TRUE(service.checkpointAll().ok());  // no-op, not an error
+    EXPECT_TRUE(service.syncAll().ok());
+    BoundQuery query;
+    query.machine = "m1";
+    query.queue = "normal";
+    query.procs = 1;
+    EXPECT_TRUE(service.query(query).known);
+}
+
+TEST(BoundService, DurableIngestRecoversByteIdentically)
+{
+    const std::string dir = freshDir("roundtrip");
+    const auto events = eventStream(120, 2);
+    std::string digest_before;
+    {
+        auto opened = BoundService::open(smallConfig(dir));
+        ASSERT_TRUE(opened.ok());
+        auto &service = *opened.value();
+        EXPECT_TRUE(service.durable());
+        for (const auto &event : events)
+            ASSERT_TRUE(service.ingest(event).ok());
+        digest_before = service.digest();
+        // No checkpointAll: recovery must come from WAL replay alone.
+    }
+    auto reopened = BoundService::open(smallConfig(dir));
+    ASSERT_TRUE(reopened.ok());
+    auto &service = *reopened.value();
+    EXPECT_EQ(service.digest(), digest_before);
+    uint64_t replayed = 0;
+    for (const auto &report : service.recoveries())
+        replayed += report.walRecordsApplied;
+    EXPECT_EQ(replayed, events.size());
+
+    // Resume fencing data: per-shard processed counts must cover the
+    // whole stream.
+    uint64_t processed = 0;
+    for (uint64_t count : service.stats().processedPerShard)
+        processed += count;
+    EXPECT_EQ(processed, events.size());
+}
+
+TEST(BoundService, CheckpointsFoldTheWalAndStillRecover)
+{
+    const std::string dir = freshDir("ckpt");
+    auto config = smallConfig(dir);
+    config.checkpointEveryEvents = 16;
+    const auto events = eventStream(100, 3);
+    std::string digest_before;
+    {
+        auto opened = BoundService::open(config);
+        ASSERT_TRUE(opened.ok());
+        auto &service = *opened.value();
+        for (const auto &event : events)
+            ASSERT_TRUE(service.ingest(event).ok());
+        ASSERT_TRUE(service.checkpointAll().ok());
+        digest_before = service.digest();
+    }
+    // Count triggers fired: at least one shard rotated snapshots.
+    bool saw_snapshot = false;
+    for (size_t s = 0; s < config.registry.shards; ++s) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "/shard-%04zu", s);
+        for (const auto &entry : std::filesystem::directory_iterator(
+                 dir + name)) {
+            const std::string file = entry.path().filename().string();
+            if (file.rfind("snapshot-", 0) == 0)
+                saw_snapshot = true;
+        }
+    }
+    EXPECT_TRUE(saw_snapshot);
+
+    auto reopened = BoundService::open(config);
+    ASSERT_TRUE(reopened.ok());
+    auto &service = *reopened.value();
+    EXPECT_EQ(service.digest(), digest_before);
+    for (const auto &report : service.recoveries()) {
+        EXPECT_EQ(report.walRecordsApplied, 0u)
+            << "checkpointAll left nothing to replay";
+    }
+}
+
+TEST(BoundService, ReopenWithDifferentConfigRefusesSnapshots)
+{
+    // A snapshot saved under other serving parameters must never be
+    // restored (its predictor state would be wrong for this config).
+    // The ladder instead degrades to replaying the raw event WAL,
+    // which *is* config-independent — recovery succeeds, but from the
+    // wal-only rung with every event re-applied under the new config.
+    const std::string dir = freshDir("foreign");
+    const auto events = eventStream(40, 4);
+    {
+        auto opened = BoundService::open(smallConfig(dir));
+        ASSERT_TRUE(opened.ok());
+        auto &service = *opened.value();
+        for (const auto &event : events)
+            ASSERT_TRUE(service.ingest(event).ok());
+        ASSERT_TRUE(service.checkpointAll().ok());
+    }
+    auto config = smallConfig(dir);
+    config.registry.quantile = 0.90;  // different serving parameters
+    auto reopened = BoundService::open(config);
+    ASSERT_TRUE(reopened.ok());
+    uint64_t replayed = 0;
+    for (const auto &report : reopened.value()->recoveries()) {
+        EXPECT_NE(report.source, persist::RecoverySource::LatestSnapshot);
+        EXPECT_NE(report.source,
+                  persist::RecoverySource::PreviousSnapshot);
+        replayed += report.walRecordsApplied;
+    }
+    EXPECT_EQ(replayed, events.size());
+}
+
+TEST(BoundService, RecoveredServiceContinuesIdenticallyToUnkilledOne)
+{
+    // The core durability property behind the kill/resume sweep: a
+    // service recovered mid-stream and fed the remaining events ends
+    // bit-identical to one that saw the whole stream uninterrupted.
+    const auto events = eventStream(150, 5);
+    const size_t cut = 173;  // mid-stream, not on a job boundary
+
+    const std::string ref_dir = freshDir("contref");
+    auto reference = BoundService::open(smallConfig(ref_dir));
+    ASSERT_TRUE(reference.ok());
+    for (const auto &event : events)
+        ASSERT_TRUE(reference.value()->ingest(event).ok());
+    const std::string want = reference.value()->digest();
+
+    const std::string dir = freshDir("contkill");
+    {
+        auto opened = BoundService::open(smallConfig(dir));
+        ASSERT_TRUE(opened.ok());
+        for (size_t i = 0; i < cut; ++i)
+            ASSERT_TRUE(opened.value()->ingest(events[i]).ok());
+        // Destroyed without checkpointAll: an orderly SIGKILL stand-in
+        // (every record was WAL-logged and synced).
+    }
+    auto recovered = BoundService::open(smallConfig(dir));
+    ASSERT_TRUE(recovered.ok());
+    auto &service = *recovered.value();
+
+    // Per-shard resume fencing, exactly as a driving client would.
+    std::vector<uint64_t> skip = service.stats().processedPerShard;
+    for (const auto &event : events) {
+        const size_t s = service.registry().shardForEvent(event);
+        if (skip[s] > 0) {
+            --skip[s];
+            continue;
+        }
+        ASSERT_TRUE(service.ingest(event).ok());
+    }
+    EXPECT_EQ(service.digest(), want);
+}
+
+} // namespace
+} // namespace serve
+} // namespace qdel

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Wire-schema contract tests: bit-exact body codecs (including NaN
+ * payloads in event times), the length-prefixed framing and its
+ * resynchronization rules, the paper proc buckets, the SWF job ->
+ * event expansion, and the JSON fallback rendering.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/wire.hh"
+#include "trace/job_record.hh"
+
+namespace qdel {
+namespace serve {
+namespace {
+
+TEST(WireCodec, EventRoundTripsBitExactly)
+{
+    JobEvent event;
+    event.kind = EventKind::Start;
+    event.jobId = 0xFEEDFACE01234567ull;
+    event.time = -0.0;
+    event.machine = "datastar";
+    event.queue = "queue with spaces\x1f";
+    event.procs = -3;
+
+    auto decoded = decodeEvent(encodeEvent(event));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().kind, EventKind::Start);
+    EXPECT_EQ(decoded.value().jobId, event.jobId);
+    EXPECT_TRUE(std::signbit(decoded.value().time));
+    EXPECT_EQ(decoded.value().machine, event.machine);
+    EXPECT_EQ(decoded.value().queue, event.queue);
+    EXPECT_EQ(decoded.value().procs, -3);
+}
+
+TEST(WireCodec, EventNaNTimeSurvivesTheWire)
+{
+    // A NaN submit time must arrive as NaN so the registry's NaN-safe
+    // wait check (`!(wait >= 0)`) sees it and rejects deterministically
+    // — the WAL replay path depends on the byte surviving.
+    JobEvent event;
+    event.time = std::numeric_limits<double>::quiet_NaN();
+    auto decoded = decodeEvent(encodeEvent(event));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(std::isnan(decoded.value().time));
+}
+
+TEST(WireCodec, EventDecodeRejectsTruncationAndTrailingBytes)
+{
+    JobEvent event;
+    event.machine = "m";
+    const std::string body = encodeEvent(event);
+    for (size_t keep = 0; keep < body.size(); ++keep)
+        EXPECT_FALSE(decodeEvent(body.substr(0, keep)).ok())
+            << "kept " << keep;
+    EXPECT_FALSE(decodeEvent(body + "x").ok());
+    EXPECT_FALSE(decodeEvent(std::string(1, '\x09') + body.substr(1)).ok())
+        << "unknown event kind must be rejected";
+}
+
+TEST(WireCodec, QueryRoundTrips)
+{
+    BoundQuery query;
+    query.machine = "lanl";
+    query.queue = "chammpq";
+    query.procs = 64;
+    query.quantile = 0.75;
+    query.upper = false;
+    auto decoded = decodeQuery(encodeQuery(query));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().machine, "lanl");
+    EXPECT_EQ(decoded.value().queue, "chammpq");
+    EXPECT_EQ(decoded.value().procs, 64);
+    EXPECT_EQ(decoded.value().quantile, 0.75);
+    EXPECT_FALSE(decoded.value().upper);
+}
+
+TEST(WireCodec, AnswerRoundTripsInfinity)
+{
+    BoundAnswer answer;
+    answer.known = true;
+    answer.upper = std::numeric_limits<double>::infinity();
+    answer.lower = 12.5;
+    answer.quantile = 0.95;
+    answer.confidence = 0.95;
+    answer.historySize = 321;
+    answer.observations = 1000;
+    answer.version = 7;
+    auto decoded = decodeAnswer(encodeAnswer(answer));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded.value().known);
+    EXPECT_TRUE(std::isinf(decoded.value().upper));
+    EXPECT_EQ(decoded.value().lower, 12.5);
+    EXPECT_EQ(decoded.value().historySize, 321u);
+    EXPECT_EQ(decoded.value().observations, 1000u);
+    EXPECT_EQ(decoded.value().version, 7u);
+}
+
+TEST(WireCodec, StatsRoundTrips)
+{
+    ServeStats stats;
+    stats.processedPerShard = {0, 17, 0, 9999999};
+    stats.entries = 12;
+    auto decoded = decodeStats(encodeStats(stats));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().processedPerShard,
+              stats.processedPerShard);
+    EXPECT_EQ(decoded.value().entries, 12u);
+}
+
+TEST(WireFraming, UnframeNeedsMoreUntilComplete)
+{
+    const std::string framed = frame("hello");
+    std::string_view payload;
+    size_t consumed = 0;
+    for (size_t keep = 0; keep < framed.size(); ++keep) {
+        auto partial =
+            unframe(std::string_view(framed).substr(0, keep), &payload,
+                    &consumed);
+        ASSERT_TRUE(partial.ok()) << "kept " << keep;
+        EXPECT_FALSE(partial.value()) << "kept " << keep;
+    }
+    auto complete = unframe(framed, &payload, &consumed);
+    ASSERT_TRUE(complete.ok());
+    ASSERT_TRUE(complete.value());
+    EXPECT_EQ(payload, "hello");
+    EXPECT_EQ(consumed, framed.size());
+}
+
+TEST(WireFraming, UnframeLeavesFollowingFrameInPlace)
+{
+    const std::string two = frame("one") + frame("two-longer");
+    std::string_view payload;
+    size_t consumed = 0;
+    auto first = unframe(two, &payload, &consumed);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first.value());
+    EXPECT_EQ(payload, "one");
+    auto second = unframe(std::string_view(two).substr(consumed),
+                          &payload, &consumed);
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(second.value());
+    EXPECT_EQ(payload, "two-longer");
+}
+
+TEST(WireFraming, OversizeLengthIsAFatalParseError)
+{
+    // A corrupt length cannot be resynchronized; the connection must
+    // be torn down rather than waiting on phantom bytes.
+    std::string corrupt(4, '\0');
+    const uint32_t huge = kMaxFrameBytes + 1;
+    std::memcpy(corrupt.data(), &huge, 4);
+    std::string_view payload;
+    size_t consumed = 0;
+    EXPECT_FALSE(unframe(corrupt, &payload, &consumed).ok());
+}
+
+TEST(WireFraming, RequestAndResponseFramesCarryTheirTag)
+{
+    const std::string request = frameRequest(Opcode::Ping, "");
+    ASSERT_EQ(request.size(), 5u);
+    EXPECT_EQ(static_cast<uint8_t>(request[4]),
+              static_cast<uint8_t>(Opcode::Ping));
+
+    const std::string ok = frameOk("body");
+    EXPECT_EQ(static_cast<uint8_t>(ok[4]),
+              static_cast<uint8_t>(Status::Ok));
+
+    const std::string error = frameError("boom");
+    EXPECT_EQ(static_cast<uint8_t>(error[4]),
+              static_cast<uint8_t>(Status::Error));
+}
+
+TEST(WireBuckets, PaperProcRangesAndClamping)
+{
+    // Table 5 bins: 1-4 / 5-16 / 17-64 / 65+.
+    EXPECT_EQ(procBucketFor(1), procBucketFor(4));
+    EXPECT_EQ(procBucketFor(5), procBucketFor(16));
+    EXPECT_EQ(procBucketFor(17), procBucketFor(64));
+    EXPECT_EQ(procBucketFor(65), procBucketFor(1 << 20));
+    EXPECT_NE(procBucketFor(4), procBucketFor(5));
+    EXPECT_NE(procBucketFor(16), procBucketFor(17));
+    EXPECT_NE(procBucketFor(64), procBucketFor(65));
+    // Degenerate proc counts clamp into the first bin.
+    EXPECT_EQ(procBucketFor(0), procBucketFor(1));
+    EXPECT_EQ(procBucketFor(-7), procBucketFor(1));
+
+    EXPECT_EQ(procBucketLabel(procBucketFor(1)), "1-4");
+    EXPECT_EQ(procBucketLabel(procBucketFor(100)), "65+");
+}
+
+TEST(WireEvents, EventsFromJobsExpandsAndOrders)
+{
+    std::vector<trace::JobRecord> jobs;
+    trace::JobRecord a;
+    a.submitTime = 100.0;
+    a.waitSeconds = 50.0;  // starts at 150
+    a.procs = 4;
+    a.queue = "q";
+    jobs.push_back(a);
+    trace::JobRecord b;
+    b.submitTime = 120.0;
+    b.waitSeconds = 0.0;  // starts at 120: same instant as its submit
+    b.procs = 32;
+    b.queue = "q";
+    jobs.push_back(b);
+    trace::JobRecord c;  // never started: submit only
+    c.submitTime = 130.0;
+    c.waitSeconds = -1.0;
+    c.procs = 8;
+    c.queue = "q";
+    jobs.push_back(c);
+
+    const auto events = eventsFromJobs(jobs, "m");
+    ASSERT_EQ(events.size(), 5u);
+    for (const auto &event : events)
+        EXPECT_EQ(event.machine, "m");
+    // Time order with Submit before Start at equal times.
+    EXPECT_EQ(events[0].kind, EventKind::Submit);  // a @100
+    EXPECT_EQ(events[0].jobId, 1u);
+    EXPECT_EQ(events[1].kind, EventKind::Submit);  // b @120
+    EXPECT_EQ(events[1].jobId, 2u);
+    EXPECT_EQ(events[2].kind, EventKind::Start);  // b @120
+    EXPECT_EQ(events[2].jobId, 2u);
+    EXPECT_EQ(events[3].kind, EventKind::Submit);  // c @130
+    EXPECT_EQ(events[3].jobId, 3u);
+    EXPECT_EQ(events[4].kind, EventKind::Start);  // a @150
+    EXPECT_EQ(events[4].jobId, 1u);
+    EXPECT_EQ(events[4].time, 150.0);
+}
+
+TEST(WireJson, EscapeAndNonFiniteRendering)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x02')), "\\u0002");
+
+    BoundAnswer answer;
+    answer.known = true;
+    answer.upper = std::numeric_limits<double>::infinity();
+    answer.lower = 0.0;
+    const std::string json = answerToJson(answer);
+    EXPECT_NE(json.find("\"known\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"upper\":null"), std::string::npos)
+        << "infinity must render as null, not break JSON parsers";
+
+    ServeStats stats;
+    stats.processedPerShard = {1, 2};
+    stats.entries = 3;
+    const std::string stats_json = statsToJson(stats);
+    EXPECT_NE(stats_json.find("[1,2]"), std::string::npos);
+    EXPECT_NE(stats_json.find("\"entries\":3"), std::string::npos);
+}
+
+} // namespace
+} // namespace serve
+} // namespace qdel

@@ -5,6 +5,7 @@
  * even/odd counts, negatives, duplicates, and repeated queries.
  */
 
+#include <cmath>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -112,6 +113,87 @@ TEST(SpillDoubles, EmptyIsAnError)
     SpillDoubles spill(scratchPath("empty"));
     auto result = spill.median();
     ASSERT_FALSE(result.ok());
+}
+
+TEST(SpillDoubles, SpillTriggersExactlyWhenThresholdExceeded)
+{
+    // The RAM buffer holds up to threshold values; the (threshold+1)th
+    // add is what spills. Medians must agree bitwise in all three
+    // states: one under, at, and one over the threshold.
+    const size_t threshold = 64;
+    for (size_t n : {threshold - 1, threshold, threshold + 1}) {
+        SpillDoubles spill(
+            scratchPath("boundary" + std::to_string(n)), threshold);
+        const auto values = series(n);
+        for (double v : values)
+            spill.add(v);
+        EXPECT_EQ(spill.spilled(), n > threshold) << "n=" << n;
+        auto result = spill.median();
+        ASSERT_TRUE(result.ok()) << result.error().str();
+        EXPECT_EQ(result.value(), median(values)) << "n=" << n;
+    }
+}
+
+TEST(SpillDoubles, OddAndEvenCountsStraddlingTheThreshold)
+{
+    // Odd counts pick a single middle element, even counts average
+    // two; both parities on both sides of the spill boundary.
+    const size_t threshold = 10;
+    for (size_t n : {9u, 10u, 11u, 12u}) {
+        SpillDoubles spill(scratchPath("parity" + std::to_string(n)),
+                           threshold);
+        const auto values = series(n);
+        spill.append(values.data(), values.size());
+        auto result = spill.median();
+        ASSERT_TRUE(result.ok()) << result.error().str();
+        EXPECT_EQ(result.value(), median(values)) << "n=" << n;
+    }
+}
+
+TEST(SpillDoubles, AllEqualKeysSpilled)
+{
+    // Every value identical while spilled: the histogram degenerates
+    // to one bucket holding the full mass.
+    for (size_t n : {5u, 6u}) {
+        SpillDoubles spill(scratchPath("equal" + std::to_string(n)), 2);
+        for (size_t i = 0; i < n; ++i)
+            spill.add(1234.5);
+        ASSERT_TRUE(spill.spilled());
+        auto result = spill.median();
+        ASSERT_TRUE(result.ok()) << result.error().str();
+        EXPECT_EQ(result.value(), 1234.5);
+    }
+}
+
+TEST(SpillDoubles, SignedZerosOrderLikeStatsMedian)
+{
+    // -0.0 and +0.0 compare equal under operator< but differ bitwise;
+    // the spilled path must produce the same bit pattern the in-RAM
+    // stats::median does, sign included.
+    const std::vector<double> values = {-0.0, 0.0, -0.0, 0.0, -0.0};
+    const double want = median(values);
+    SpillDoubles spill(scratchPath("signed_zero"), 2);
+    for (double v : values)
+        spill.add(v);
+    ASSERT_TRUE(spill.spilled());
+    auto result = spill.median();
+    ASSERT_TRUE(result.ok()) << result.error().str();
+    EXPECT_EQ(result.value(), want);
+    EXPECT_EQ(std::signbit(result.value()), std::signbit(want))
+        << "zero sign must round-trip through the spill file";
+
+    // An even count averages the two middle zeros; sign agreement must
+    // hold there too ((-0.0 + 0.0)/2 == +0.0 under IEEE round-to-
+    // nearest).
+    const std::vector<double> even = {-0.0, -0.0, 0.0, 0.0};
+    const double even_want = median(even);
+    SpillDoubles even_spill(scratchPath("signed_zero_even"), 1);
+    even_spill.append(even.data(), even.size());
+    ASSERT_TRUE(even_spill.spilled());
+    auto even_result = even_spill.median();
+    ASSERT_TRUE(even_result.ok()) << even_result.error().str();
+    EXPECT_EQ(even_result.value(), even_want);
+    EXPECT_EQ(std::signbit(even_result.value()), std::signbit(even_want));
 }
 
 } // namespace

@@ -288,6 +288,149 @@ TEST(QtcStream, TruncatedManifestRejected)
     EXPECT_FALSE(reader.ok());
 }
 
+TEST(QtcStream, JobCountAtExactShardMultipleLeavesNoEmptyShard)
+{
+    // finish() lands exactly on a flush boundary: the writer must not
+    // emit a trailing zero-job shard, and the stream must tile into
+    // full shards only.
+    const Trace t = sampleTrace(300);
+    const std::string dir = scratchDir("exact_multiple");
+    const std::string manifest = writeShardSet(t, dir, 100);
+
+    auto reader = StreamingTraceReader::open(manifest);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    EXPECT_EQ(reader.value().shardCount(), 3u);
+    EXPECT_EQ(reader.value().jobCount(), 300u);
+    ColumnBatch batch;
+    size_t rows = 0;
+    while (true) {
+        auto more = reader.value().next(&batch);
+        ASSERT_TRUE(more.ok()) << more.error().str();
+        if (!more.value())
+            break;
+        EXPECT_GT(batch.size, 0u) << "no empty batches at boundaries";
+        rows += batch.size;
+    }
+    EXPECT_EQ(rows, 300u);
+    auto materialized = reader.value().materialize();
+    ASSERT_TRUE(materialized.ok());
+    expectTracesEqual(materialized.value(), t);
+}
+
+TEST(QtcStream, QueueAbsentFromTheLastShardKeepsGlobalCounts)
+{
+    // "early" appears only in the first shard; later shards carry
+    // zero jobs for it. The manifest's per-queue totals and the global
+    // queue-id table must still agree with the trace.
+    Trace t("site", "machine");
+    for (size_t i = 0; i < 250; ++i) {
+        JobRecord job;
+        job.submitTime = static_cast<double>(i);
+        job.waitSeconds = static_cast<double>(i % 7);
+        job.runSeconds = 10.0;
+        job.procs = 1;
+        job.status = 1;
+        job.queue = i < 40 ? "early" : "late";
+        t.add(std::move(job));
+    }
+    const std::string dir = scratchDir("queue_absent_late");
+    const std::string manifest = writeShardSet(t, dir, 100);
+
+    auto reader = StreamingTraceReader::open(manifest);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    const auto &names = reader.value().queueNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "early");
+    EXPECT_EQ(names[1], "late");
+    const std::vector<uint64_t> expected = {40, 210};
+    EXPECT_EQ(reader.value().queueJobCounts(), expected);
+
+    ColumnBatch batch;
+    size_t row = 0;
+    while (true) {
+        auto more = reader.value().next(&batch);
+        ASSERT_TRUE(more.ok()) << more.error().str();
+        if (!more.value())
+            break;
+        for (size_t i = 0; i < batch.size; ++i, ++row)
+            EXPECT_EQ(names[batch.queueId[i]], t[row].queue);
+    }
+    EXPECT_EQ(row, t.size());
+}
+
+TEST(QtcStream, FinalBatchOfOneRow)
+{
+    // n % batchSize == 1: the stream must end with a single-row batch,
+    // not drop it or merge it across the shard boundary.
+    const Trace t = sampleTrace(129);
+    const std::string dir = scratchDir("final_single");
+    const std::string manifest = writeShardSet(t, dir, 129);
+
+    StreamReadOptions options;
+    options.batchSize = 64;
+    auto reader = StreamingTraceReader::open(manifest, options);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    std::vector<size_t> sizes;
+    ColumnBatch batch;
+    while (true) {
+        auto more = reader.value().next(&batch);
+        ASSERT_TRUE(more.ok());
+        if (!more.value())
+            break;
+        sizes.push_back(batch.size);
+    }
+    const std::vector<size_t> expected = {64, 64, 1};
+    EXPECT_EQ(sizes, expected);
+}
+
+TEST(QtcStream, SingleJobTraceRoundTrips)
+{
+    Trace t("site", "machine");
+    JobRecord job;
+    job.submitTime = 42.0;
+    job.waitSeconds = 7.5;
+    job.runSeconds = 60.0;
+    job.procs = 8;
+    job.status = 1;
+    job.queue = "only";
+    t.add(std::move(job));
+    const std::string dir = scratchDir("single_job");
+    const std::string manifest = writeShardSet(t, dir, 1000);
+
+    auto reader = StreamingTraceReader::open(manifest);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    EXPECT_EQ(reader.value().shardCount(), 1u);
+    EXPECT_EQ(reader.value().jobCount(), 1u);
+    ColumnBatch batch;
+    auto more = reader.value().next(&batch);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(more.value());
+    ASSERT_EQ(batch.size, 1u);
+    EXPECT_EQ(batch.wait[0], 7.5);
+    more = reader.value().next(&batch);
+    ASSERT_TRUE(more.ok());
+    EXPECT_FALSE(more.value());
+    auto materialized = reader.value().materialize();
+    ASSERT_TRUE(materialized.ok());
+    expectTracesEqual(materialized.value(), t);
+}
+
+TEST(QtcStream, ShardOfOneJobEach)
+{
+    // shardSize 1 produces one shard per job — the degenerate maximum
+    // shard count; every shard must still stream in order.
+    const Trace t = sampleTrace(7);
+    const std::string dir = scratchDir("shard_of_one");
+    const std::string manifest = writeShardSet(t, dir, 1);
+
+    auto reader = StreamingTraceReader::open(manifest);
+    ASSERT_TRUE(reader.ok()) << reader.error().str();
+    EXPECT_EQ(reader.value().shardCount(), 7u);
+    auto materialized = reader.value().materialize();
+    ASSERT_TRUE(materialized.ok());
+    expectTracesEqual(materialized.value(), t);
+}
+
 } // namespace
 } // namespace trace
 } // namespace qdel

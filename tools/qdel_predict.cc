@@ -255,8 +255,10 @@ main(int argc, char **argv)
                      "--checkpoint-dir\n";
         return 1;
     }
-    if (checkpoint_every_raw < 0) {
-        std::cerr << "error: --checkpoint-every: must be >= 0, got "
+    // 0 would silently disable snapshots while still WAL-logging every
+    // mutation — never what a user asking for checkpoints wants.
+    if (checkpoint_every_raw <= 0) {
+        std::cerr << "error: --checkpoint-every: must be >= 1, got "
                   << checkpoint_every_raw << "\n";
         return 1;
     }
@@ -274,6 +276,21 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Validated up front (not only on the columnar path below) so a
+    // bad value is an error on every input type instead of being
+    // silently ignored for row-oriented traces.
+    const long long batch_size =
+        cliValue(cli.getInt("batch-size", 1 << 16));
+    if (batch_size <= 0) {
+        std::cerr << "error: --batch-size must be positive\n";
+        return 1;
+    }
+    if (cli.has("batch-size") && !isColumnarPath(path)) {
+        std::cerr << "error: --batch-size only applies to columnar "
+                     "(.qtc/.qtcs) input\n";
+        return 1;
+    }
+
     // Columnar input (a ".qtcs" shard-set manifest or a single ".qtc"
     // image) takes the out-of-core path: stream batches through the
     // batched SoA evaluator instead of materializing a Trace.
@@ -287,13 +304,6 @@ main(int argc, char **argv)
                 return 1;
             }
         }
-        const long long batch_size =
-            cliValue(cli.getInt("batch-size", 1 << 16));
-        if (batch_size <= 0) {
-            std::cerr << "error: --batch-size must be positive\n";
-            return 1;
-        }
-
         trace::StreamReadOptions read_options;
         read_options.batchSize = static_cast<size_t>(batch_size);
         auto reader = trace::StreamingTraceReader::open(path, read_options);

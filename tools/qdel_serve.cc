@@ -1,0 +1,324 @@
+/**
+ * @file
+ * qdel_serve: the online bound-prediction daemon.
+ *
+ * Ingests job lifecycle events (submit/start/done) and answers "what
+ * wait bound do I face right now?" queries over one TCP port speaking
+ * both the length-prefixed binary framing and HTTP/JSON (including a
+ * Prometheus /metrics endpoint). State is durable under --state-dir:
+ * every event is WAL-logged before it is applied, shards checkpoint
+ * on a count trigger, and a killed daemon resumes byte-identical.
+ *
+ * Offline drive mode (--drive) ingests a trace file through the exact
+ * same durable path without a listener — the kill/resume CI sweeps use
+ * it, with --resume consulting the per-shard processed counts so a
+ * restart skips exactly the events that survived the crash.
+ *
+ * Flags:
+ *   --port N             listen on port N (0 = pick ephemeral; omit
+ *                        the flag entirely for drive-only runs)
+ *   --bind ADDR          bind address (default 127.0.0.1)
+ *   --port-file FILE     write the bound port for scripts
+ *   --state-dir DIR      durable per-shard checkpoints + WALs
+ *   --shards N           registry shards (default 8)
+ *   --method NAME        predictor method (default bmbp)
+ *   --quantile Q         primary quantile to bound (default .95)
+ *   --confidence C       confidence level (default .95)
+ *   --refit-every N      refit a key every N observations (default 50)
+ *   --train-obs N        finalize training after N observations (100)
+ *   --checkpoint-every N auto-checkpoint a shard every N events (1000)
+ *   --keep-snapshots N   retained snapshot generations (default 2)
+ *   --sync-every N       fsync the WAL every N records (default 1;
+ *                        0 defers syncs to checkpoints)
+ *   --drive FILE         ingest a trace (.swf/.txt/.qtc source formats
+ *                        accepted by the trace loader) and exit unless
+ *                        --port is also given
+ *   --machine NAME       key machine label for driven events
+ *   --resume             with --drive: skip already-applied events
+ *   --digest             print the registry state digest on exit
+ *   --dump-bounds FILE   write every entry's bound grid (sorted)
+ *   --lenient            skip malformed trace lines in --drive
+ *   --metrics-out/--events-out/--stats-every: see other tools
+ */
+
+#include <csignal>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "trace/trace.hh"
+#include "trace/trace_loader.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/obs_cli.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace {
+
+using namespace qdel;
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void
+onSignal(int)
+{
+    g_shutdown = 1;
+}
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: qdel_serve [--port=N] [--state-dir=DIR] [--shards=N]\n"
+           "                  [--method=bmbp] [--quantile=.95] "
+           "[--confidence=.95]\n"
+           "                  [--refit-every=50] [--train-obs=100]\n"
+           "                  [--checkpoint-every=1000] "
+           "[--keep-snapshots=2] [--sync-every=1]\n"
+           "                  [--drive=TRACE [--machine=NAME] [--resume]]\n"
+           "                  [--digest] [--dump-bounds=FILE] "
+           "[--port-file=FILE]\n"
+           "run with --help for the full flag reference in the file "
+           "header\n";
+}
+
+/** Deterministic text dump of every entry's published bounds. */
+bool
+dumpBounds(const serve::BoundRegistry &registry, const std::string &path)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        warn("dump-bounds: cannot open ", path);
+        return false;
+    }
+    for (const auto &view : registry.enumerate()) {
+        std::fprintf(out, "%s|%s|%s obs=%" PRIu64 " hist=%" PRIu64
+                          " version=%" PRIu64 "\n",
+                     view.machine.c_str(), view.queue.c_str(),
+                     serve::procBucketLabel(view.bucket).c_str(),
+                     view.snapshot.observations, view.snapshot.historySize,
+                     view.snapshot.version);
+        for (size_t i = 0; i < serve::kGridCount; ++i) {
+            std::fprintf(out, "  q=%.4f upper=%.17g lower=%.17g\n",
+                         serve::kGridQuantiles[i], view.snapshot.upper[i],
+                         view.snapshot.lower[i]);
+        }
+    }
+    std::fclose(out);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv,
+                    {"resume", "digest", "lenient", "verbose", "help"});
+    if (cliValue(cli.getBool("help", false))) {
+        usage(std::cout);
+        return 0;
+    }
+    if (reportCliErrors(cli))
+        return 1;
+    setVerboseLogging(cliValue(cli.getBool("verbose", false)));
+
+    // Validate every knob up front, through the library validate()
+    // hooks, so a bad flag is a clean error instead of a late panic.
+    serve::ServiceConfig config;
+    config.registry.shards =
+        static_cast<size_t>(cliValue(cli.getInt("shards", 8)));
+    config.registry.method = cli.getString("method", "bmbp");
+    config.registry.quantile = cliValue(cli.getDouble("quantile", 0.95));
+    config.registry.confidence =
+        cliValue(cli.getDouble("confidence", 0.95));
+    const long long refit_every = cliValue(cli.getInt("refit-every", 50));
+    const long long train_obs = cliValue(cli.getInt("train-obs", 100));
+    if (refit_every < 1) {
+        std::cerr << "error: --refit-every: must be >= 1, got "
+                  << refit_every << "\n";
+        return 1;
+    }
+    if (train_obs < 1) {
+        std::cerr << "error: --train-obs: must be >= 1, got " << train_obs
+                  << "\n";
+        return 1;
+    }
+    config.registry.refitEvery = static_cast<uint64_t>(refit_every);
+    config.registry.trainObservations = static_cast<uint64_t>(train_obs);
+    config.stateDir = cli.getString("state-dir", "");
+    const long long checkpoint_every =
+        cliValue(cli.getInt("checkpoint-every", 1000));
+    if (checkpoint_every < 1) {
+        std::cerr << "error: --checkpoint-every: must be >= 1, got "
+                  << checkpoint_every << " (checkpoints also happen at"
+                  << " shutdown and on POST /checkpoint)\n";
+        return 1;
+    }
+    config.checkpointEveryEvents = static_cast<size_t>(checkpoint_every);
+    const long long keep_snapshots =
+        cliValue(cli.getInt("keep-snapshots", 2));
+    const long long sync_every = cliValue(cli.getInt("sync-every", 1));
+    if (keep_snapshots < 1) {
+        std::cerr << "error: --keep-snapshots: must be >= 1, got "
+                  << keep_snapshots << "\n";
+        return 1;
+    }
+    if (sync_every < 0) {
+        std::cerr << "error: --sync-every: must be >= 0, got "
+                  << sync_every << "\n";
+        return 1;
+    }
+    config.keepSnapshots = static_cast<size_t>(keep_snapshots);
+    config.syncEveryRecords = static_cast<size_t>(sync_every);
+    if (auto valid = config.validate(); !valid.ok()) {
+        std::cerr << "error: " << valid.error().str() << "\n";
+        return 1;
+    }
+
+    serve::ServerOptions server_options;
+    const bool serve_port = cli.has("port");
+    server_options.port =
+        static_cast<int>(cliValue(cli.getInt("port", 0)));
+    server_options.bindAddress = cli.getString("bind", "127.0.0.1");
+    if (serve_port) {
+        if (auto valid = server_options.validate(); !valid.ok()) {
+            std::cerr << "error: " << valid.error().str() << "\n";
+            return 1;
+        }
+    }
+
+    const std::string drive_path = cli.getString("drive", "");
+    const bool resume = cliValue(cli.getBool("resume", false));
+    if (resume && drive_path.empty()) {
+        std::cerr << "error: --resume requires --drive\n";
+        return 1;
+    }
+    if (!serve_port && drive_path.empty()) {
+        std::cerr << "error: nothing to do: give --port and/or --drive\n";
+        usage(std::cerr);
+        return 1;
+    }
+
+    ObsFlags obs_flags;
+    if (!parseObsFlags(cli, &obs_flags))
+        return 1;
+    // A server's /metrics endpoint is part of its contract; collection
+    // is always on for the daemon (benches measure the library path).
+    obs::setEnabled(true);
+
+    auto opened = serve::BoundService::open(config);
+    if (!opened.ok()) {
+        std::cerr << "error: " << opened.error().str() << "\n";
+        return 1;
+    }
+    auto service = std::move(opened).value();
+    for (size_t s = 0; s < service->recoveries().size(); ++s) {
+        const auto &report = service->recoveries()[s];
+        if (report.source != persist::RecoverySource::ColdStart ||
+            report.walRecordsApplied > 0) {
+            inform("shard ", s, ": recovered from ",
+                   persist::recoverySourceName(report.source), ", ",
+                   report.walRecordsApplied, " WAL records replayed");
+        }
+    }
+
+    if (!drive_path.empty()) {
+        trace::TraceLoadOptions load_options;
+        load_options.mode = cliValue(cli.getBool("lenient", false))
+                                ? trace::ParseMode::Lenient
+                                : trace::ParseMode::Strict;
+        auto loaded = trace::loadTrace(drive_path, load_options);
+        if (!loaded.ok()) {
+            std::cerr << "error: " << loaded.error().str() << "\n";
+            return 1;
+        }
+        const std::string machine =
+            cli.getString("machine", loaded.value().machine().empty()
+                                         ? "local"
+                                         : loaded.value().machine());
+        const std::vector<trace::JobRecord> jobs(loaded.value().begin(),
+                                                 loaded.value().end());
+        const auto events = serve::eventsFromJobs(jobs, machine);
+
+        // Resume fencing: the per-shard processed counts say exactly
+        // how many of each shard's events survived the crash; skip
+        // that prefix and the WAL continues as if never interrupted.
+        std::vector<uint64_t> skip(service->shardCount(), 0);
+        if (resume) {
+            const auto stats = service->stats();
+            skip = stats.processedPerShard;
+        }
+        uint64_t ingested = 0;
+        uint64_t skipped = 0;
+        for (const auto &event : events) {
+            const size_t s = service->registry().shardForEvent(event);
+            if (skip[s] > 0) {
+                --skip[s];
+                ++skipped;
+                continue;
+            }
+            auto outcome = service->ingest(event);
+            if (!outcome.ok()) {
+                std::cerr << "error: ingest failed: "
+                          << outcome.error().str() << "\n";
+                return 2;
+            }
+            ++ingested;
+        }
+        inform("drive: ", ingested, " events ingested, ", skipped,
+               " skipped as already applied");
+        if (auto ok = service->checkpointAll(); !ok.ok()) {
+            std::cerr << "error: final checkpoint: " << ok.error().str()
+                      << "\n";
+            return 2;
+        }
+    }
+
+    if (serve_port) {
+        auto server = serve::BoundServer::start(*service, server_options);
+        if (!server.ok()) {
+            std::cerr << "error: " << server.error().str() << "\n";
+            return 1;
+        }
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        const int port = server.value()->port();
+        std::cout << "qdel_serve: listening on "
+                  << server_options.bindAddress << ":" << port
+                  << std::endl;
+        const std::string port_file = cli.getString("port-file", "");
+        if (!port_file.empty()) {
+            std::FILE *out = std::fopen(port_file.c_str(), "w");
+            if (out != nullptr) {
+                std::fprintf(out, "%d\n", port);
+                std::fclose(out);
+            } else {
+                warn("port-file: cannot open ", port_file);
+            }
+        }
+        while (g_shutdown == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        inform("shutting down");
+        server.value()->stop();
+        if (auto ok = service->checkpointAll(); !ok.ok()) {
+            std::cerr << "error: shutdown checkpoint: "
+                      << ok.error().str() << "\n";
+            return 2;
+        }
+    }
+
+    const std::string dump_path = cli.getString("dump-bounds", "");
+    if (!dump_path.empty() && !dumpBounds(service->registry(), dump_path))
+        return 1;
+    if (cliValue(cli.getBool("digest", false)))
+        std::cout << "digest: " << service->digest() << "\n";
+
+    writeObsOutputs(obs_flags);
+    return 0;
+}

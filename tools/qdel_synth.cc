@@ -250,7 +250,9 @@ main(int argc, char **argv)
         return 1;
     }
     const long long jobs_arg = cliValue(cli.getInt("jobs", 0));
-    if (jobs_arg < 0) {
+    // An explicit --jobs 0 would silently fall back to the profile's
+    // own job count (0 is the no-override sentinel); reject it.
+    if (jobs_arg < 0 || (cli.has("jobs") && jobs_arg == 0)) {
         std::cerr << "error: --jobs must be positive\n";
         return 1;
     }

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Scripted client for the qdel_serve daemon (stdlib only).
+
+Speaks both wire protocols the daemon multiplexes on one port:
+
+  - the length-prefixed binary framing (u32 LE length | u8 opcode |
+    body; strings are u64 LE length + bytes, matching the C++
+    persist::StateWriter codec), used for ping/event/query/stats/
+    checkpoint;
+  - the HTTP/1.1 fallback (GET /healthz, /bound, /stats, /metrics;
+    POST /event, /checkpoint), used for http-* subcommands.
+
+Every subcommand prints a one-line machine-greppable result and exits
+nonzero on any protocol or application error, so CI can drive a full
+session:
+
+  port=$(cat serve.port)
+  python3 tools/serve_client.py --port "$port" ping
+  python3 tools/serve_client.py --port "$port" event \
+      --kind submit --job 1 --time 100 --machine m --queue q --procs 8
+  python3 tools/serve_client.py --port "$port" query \
+      --machine m --queue q --procs 8 --quantile 0.95
+  python3 tools/serve_client.py --port "$port" http-metrics > m.prom
+"""
+
+import argparse
+import socket
+import struct
+import sys
+
+OP_EVENT = 1
+OP_QUERY = 2
+OP_PING = 3
+OP_CHECKPOINT = 4
+OP_STATS = 5
+
+KINDS = {"submit": 1, "start": 2, "done": 3}
+
+
+def enc_str(value: str) -> bytes:
+    raw = value.encode()
+    return struct.pack("<Q", len(raw)) + raw
+
+
+class Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.at = 0
+
+    def take(self, count: int) -> bytes:
+        if self.at + count > len(self.data):
+            raise ValueError("truncated response body")
+        out = self.data[self.at:self.at + count]
+        self.at += count
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def s(self) -> str:
+        return self.take(self.u64()).decode()
+
+
+def connect(host: str, port: int) -> socket.socket:
+    sock = socket.create_connection((host, port), timeout=10)
+    return sock
+
+
+def recv_exactly(sock: socket.socket, count: int) -> bytes:
+    out = b""
+    while len(out) < count:
+        chunk = sock.recv(count - len(out))
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        out += chunk
+    return out
+
+
+def roundtrip(sock: socket.socket, opcode: int, body: bytes) -> Reader:
+    payload = bytes([opcode]) + body
+    sock.sendall(struct.pack("<I", len(payload)) + payload)
+    length = struct.unpack("<I", recv_exactly(sock, 4))[0]
+    response = Reader(recv_exactly(sock, length))
+    status = response.u8()
+    if status != 0:
+        raise RuntimeError("server error: " + response.s())
+    return response
+
+
+def http_request(host: str, port: int, method: str, target: str) -> str:
+    sock = connect(host, port)
+    try:
+        head = f"{method} {target} HTTP/1.1\r\nHost: {host}\r\n\r\n"
+        sock.sendall(head.encode())
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    finally:
+        sock.close()
+    head_text, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head_text.split(b"\r\n", 1)[0].decode()
+    code = int(status_line.split()[1])
+    if code != 200:
+        raise RuntimeError(f"HTTP {code}: {body.decode().strip()}")
+    return body.decode()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--port-file",
+                        help="read the port from this file (written by "
+                             "qdel_serve --port-file)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ping")
+    sub.add_parser("stats")
+    sub.add_parser("checkpoint")
+    sub.add_parser("http-healthz")
+    sub.add_parser("http-metrics")
+    sub.add_parser("http-stats")
+
+    event = sub.add_parser("event")
+    event.add_argument("--kind", choices=sorted(KINDS), required=True)
+    event.add_argument("--job", type=int, required=True)
+    event.add_argument("--time", type=float, required=True)
+    event.add_argument("--machine", required=True)
+    event.add_argument("--queue", required=True)
+    event.add_argument("--procs", type=int, default=1)
+
+    query = sub.add_parser("query")
+    query.add_argument("--machine", required=True)
+    query.add_argument("--queue", required=True)
+    query.add_argument("--procs", type=int, default=1)
+    query.add_argument("--quantile", type=float, default=0.95)
+    query.add_argument("--lower", action="store_true",
+                       help="ask for the lower bound instead of upper")
+
+    bound = sub.add_parser("http-bound")
+    bound.add_argument("--machine", required=True)
+    bound.add_argument("--queue", required=True)
+    bound.add_argument("--procs", type=int, default=1)
+    bound.add_argument("--quantile", type=float, default=0.95)
+
+    args = parser.parse_args()
+    if args.port is None:
+        if not args.port_file:
+            parser.error("one of --port / --port-file is required")
+        with open(args.port_file) as handle:
+            args.port = int(handle.read().strip())
+
+    if args.command == "http-healthz":
+        print(http_request(args.host, args.port, "GET", "/healthz"))
+        return 0
+    if args.command == "http-metrics":
+        sys.stdout.write(
+            http_request(args.host, args.port, "GET", "/metrics"))
+        return 0
+    if args.command == "http-stats":
+        print(http_request(args.host, args.port, "GET", "/stats"))
+        return 0
+    if args.command == "http-bound":
+        target = (f"/bound?machine={args.machine}&queue={args.queue}"
+                  f"&procs={args.procs}&q={args.quantile}")
+        print(http_request(args.host, args.port, "GET", target))
+        return 0
+
+    sock = connect(args.host, args.port)
+    try:
+        if args.command == "ping":
+            response = roundtrip(sock, OP_PING, b"")
+            print(f"pong wire-version={response.u32()}")
+        elif args.command == "checkpoint":
+            roundtrip(sock, OP_CHECKPOINT, b"")
+            print("checkpoint ok")
+        elif args.command == "stats":
+            response = roundtrip(sock, OP_STATS, b"")
+            entries = response.u64()
+            shards = [response.u64() for _ in range(response.u64())]
+            print(f"entries={entries} processed={sum(shards)} "
+                  f"per-shard={','.join(str(s) for s in shards)}")
+        elif args.command == "event":
+            body = (bytes([KINDS[args.kind]]) +
+                    struct.pack("<Q", args.job) +
+                    struct.pack("<d", args.time) +
+                    struct.pack("<q", args.procs) +
+                    enc_str(args.machine) + enc_str(args.queue))
+            response = roundtrip(sock, OP_EVENT, body)
+            applied = response.u8()
+            reason = response.s()
+            print(f"applied={bool(applied)}"
+                  + (f" reason={reason!r}" if reason else ""))
+            if not applied:
+                return 2
+        elif args.command == "query":
+            body = (enc_str(args.machine) + enc_str(args.queue) +
+                    struct.pack("<q", args.procs) +
+                    struct.pack("<d", args.quantile) +
+                    bytes([0 if args.lower else 1]))
+            response = roundtrip(sock, OP_QUERY, body)
+            known = response.u8()
+            upper = response.f64()
+            lower = response.f64()
+            quantile = response.f64()
+            confidence = response.f64()
+            history = response.u64()
+            observations = response.u64()
+            version = response.u64()
+            print(f"known={bool(known)} upper={upper} lower={lower} "
+                  f"q={quantile} conf={confidence} history={history} "
+                  f"observations={observations} version={version}")
+    finally:
+        sock.close()
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except (RuntimeError, ConnectionError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(1)
