@@ -18,15 +18,24 @@
  *    the query and event message types.
  */
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "serve/bound_registry.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
 #include "serve/wire.hh"
 
 namespace {
@@ -243,6 +252,220 @@ BM_ServeWireEventRoundTrip(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ServeWireEventRoundTrip);
+
+// --- overload scenario: N stalled clients + a healthy client --------
+
+int
+connectLoopback(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    struct sockaddr_in address;
+    std::memset(&address, 0, sizeof(address));
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&address),
+                  sizeof(address)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, std::string_view bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Read one response frame; false on EOF/error. */
+bool
+readFrame(int fd, std::string *payload)
+{
+    std::string header;
+    char chunk[4096];
+    while (header.size() < 4) {
+        const ssize_t n =
+            ::recv(fd, chunk, 4 - header.size(), 0);
+        if (n <= 0)
+            return false;
+        header.append(chunk, static_cast<size_t>(n));
+    }
+    uint32_t length = 0;
+    std::memcpy(&length, header.data(), 4);
+    if (length > serve::kMaxFrameBytes)
+        return false;
+    payload->clear();
+    while (payload->size() < length) {
+        const size_t want =
+            std::min(static_cast<size_t>(length) - payload->size(),
+                     sizeof(chunk));
+        const ssize_t n = ::recv(fd, chunk, want, 0);
+        if (n <= 0)
+            return false;
+        payload->append(chunk, static_cast<size_t>(n));
+    }
+    return true;
+}
+
+/**
+ * The overload row: a real BoundServer over loopback with
+ * state.range(0) slow-loris connections parked in slots (each sent a
+ * partial frame header and went silent), while one healthy client
+ * measures query round-trip latency through the same server. Deadlines
+ * are set long so the stalled connections keep their slots for the
+ * whole measurement — the bench isolates "does a stalled neighbour
+ * slow a healthy client", not the reaper. A final pass measures shed
+ * latency: connect + ping against a full server, timed until the
+ * Status::Shed frame lands (the number the runbook quotes).
+ */
+void
+BM_ServeOverloadHealthyLatency(benchmark::State &state)
+{
+    const size_t stalled = static_cast<size_t>(state.range(0));
+    serve::ServiceConfig config;
+    config.registry.shards = 8;
+    config.registry.trainObservations = 100;
+    config.registry.refitEvery = 50;
+    auto opened = serve::BoundService::open(config);
+    if (!opened.ok()) {
+        state.SkipWithError("service open failed");
+        return;
+    }
+    auto service = std::move(opened).value();
+    // Train one key so the measured query answers from a snapshot.
+    uint64_t job_id = 0;
+    for (size_t i = 0; i < 150; ++i) {
+        serve::JobEvent submit;
+        submit.kind = serve::EventKind::Submit;
+        submit.jobId = ++job_id;
+        submit.time = 0.0;
+        submit.machine = "machine0";
+        submit.queue = "queue0";
+        submit.procs = 8;
+        (void)service->ingest(submit);
+        serve::JobEvent start = submit;
+        start.kind = serve::EventKind::Start;
+        start.time = 30.0 + static_cast<double>((i * 37) % 900);
+        (void)service->ingest(start);
+    }
+
+    serve::ServerOptions options;
+    options.maxConnections = stalled + 1;
+    options.ioTimeoutMs = 120000;   // park the stallers, not the bench
+    options.idleTimeoutMs = 120000;
+    auto started = serve::BoundServer::start(*service, options);
+    if (!started.ok()) {
+        state.SkipWithError("server start failed");
+        return;
+    }
+    auto server = std::move(started).value();
+
+    std::vector<int> stalledFds;
+    for (size_t i = 0; i < stalled; ++i) {
+        const int fd = connectLoopback(server->port());
+        if (fd < 0) {
+            state.SkipWithError("stalled connect failed");
+            server->stop();
+            return;
+        }
+        sendAll(fd, std::string_view("\x09\x00", 2));  // half a header
+        stalledFds.push_back(fd);
+    }
+
+    const int healthy = connectLoopback(server->port());
+    if (healthy < 0) {
+        state.SkipWithError("healthy connect failed");
+        server->stop();
+        return;
+    }
+    serve::BoundQuery query;
+    query.machine = "machine0";
+    query.queue = "queue0";
+    query.procs = 8;
+    query.quantile = 0.95;
+    const std::string request = serve::frameRequest(
+        serve::Opcode::Query, serve::encodeQuery(query));
+
+    std::vector<double> samples;
+    samples.reserve(1 << 16);
+    std::string payload;
+    bool failed = false;
+    for (auto _ : state) {
+        const auto begin = std::chrono::steady_clock::now();
+        if (!sendAll(healthy, request) ||
+            !readFrame(healthy, &payload)) {
+            failed = true;
+            break;
+        }
+        const auto end = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::micro>(end - begin)
+                .count());
+    }
+    if (failed)
+        state.SkipWithError("healthy round trip failed");
+
+    // Shed latency: every slot is now occupied (stallers + healthy),
+    // so a fresh connection is answered by the shed path and closed.
+    std::vector<double> shed_samples;
+    for (size_t i = 0; i < 64 && !failed; ++i) {
+        const auto begin = std::chrono::steady_clock::now();
+        const int fd = connectLoopback(server->port());
+        if (fd < 0)
+            break;
+        sendAll(fd, serve::frameRequest(serve::Opcode::Ping, ""));
+        std::string shed_payload;
+        const bool answered = readFrame(fd, &shed_payload);
+        const auto end = std::chrono::steady_clock::now();
+        ::close(fd);
+        if (answered && !shed_payload.empty() &&
+            static_cast<uint8_t>(shed_payload[0]) ==
+                static_cast<uint8_t>(serve::Status::Shed)) {
+            shed_samples.push_back(
+                std::chrono::duration<double, std::micro>(end - begin)
+                    .count());
+        }
+    }
+
+    ::close(healthy);
+    for (int fd : stalledFds)
+        ::close(fd);
+    server->stop();
+
+    const auto at = [](std::vector<double> &values, double p) {
+        if (values.empty())
+            return 0.0;
+        std::sort(values.begin(), values.end());
+        return values[std::min(
+            values.size() - 1,
+            static_cast<size_t>(p *
+                                static_cast<double>(values.size())))];
+    };
+    state.counters["healthy_p50_us"] = at(samples, 0.50);
+    state.counters["healthy_p99_us"] = at(samples, 0.99);
+    state.counters["shed_p50_us"] = at(shed_samples, 0.50);
+    state.counters["shed_p99_us"] = at(shed_samples, 0.99);
+    state.counters["queries_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeOverloadHealthyLatency)
+    ->Arg(4)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -179,6 +179,19 @@ serveMetrics()
         registry().counter("qdel_serve_http_requests_total",
                            "Requests that arrived over the HTTP"
                            " fallback"),
+        registry().counter("qdel_serve_shed_total",
+                           "Requests refused by admission control"
+                           " (connection slots or pending bound"
+                           " exhausted)"),
+        registry().counter("qdel_serve_reaped_connections_total",
+                           "Connections closed for exceeding an io or"
+                           " idle deadline"),
+        registry().counter("qdel_serve_dedup_hits_total",
+                           "Retried events answered from the per-client"
+                           " seq fence without re-applying"),
+        registry().counter("qdel_serve_accept_errors_total",
+                           "accept() failures absorbed by the backoff"
+                           " loop"),
         registry().gauge("qdel_serve_entries",
                          "Live (machine, queue, proc-bucket) predictor"
                          " entries"),

@@ -93,6 +93,10 @@ struct ServeMetrics
     Counter &badFrames;          //!< qdel_serve_bad_frames_total
     Counter &snapshotPublishes;  //!< qdel_serve_snapshot_publishes_total
     Counter &httpRequests;       //!< qdel_serve_http_requests_total
+    Counter &shedTotal;          //!< qdel_serve_shed_total
+    Counter &reapedConnections;  //!< qdel_serve_reaped_connections_total
+    Counter &dedupHits;          //!< qdel_serve_dedup_hits_total
+    Counter &acceptErrors;       //!< qdel_serve_accept_errors_total
     Gauge &entries;              //!< qdel_serve_entries
     Gauge &pendingJobs;          //!< qdel_serve_pending_jobs
     Gauge &connections;          //!< qdel_serve_connections

@@ -22,7 +22,8 @@ namespace serve {
 
 namespace {
 
-constexpr uint32_t kShardStateVersion = 1;
+// v2 added the per-client retry-dedup fences (clientSeq).
+constexpr uint32_t kShardStateVersion = 2;
 const char *const kShardStateTag = "qdel-serve-shard";
 
 std::string
@@ -82,6 +83,12 @@ struct BoundRegistry::Shard
     std::atomic<std::shared_ptr<const KeyMap>> keys;
     uint64_t applied = 0;
     uint64_t rejected = 0;
+    /** Highest processed seq per clientId — the retry-dedup fence.
+     *  Mutated only by applyLocked, so WAL replay rebuilds it. */
+    std::map<std::string, uint64_t> clientSeq;
+    /** Sum of pending.size() over the shard's entries, maintained
+     *  incrementally so admission control is O(1). */
+    uint64_t pendingTotal = 0;
 };
 
 Expected<Unit>
@@ -236,11 +243,32 @@ BoundRegistry::observeLocked(Entry &entry, double wait)
         publish(entry, /*bump_version=*/true);
 }
 
+bool
+BoundRegistry::isDuplicateLocked(size_t s, const JobEvent &event) const
+{
+    if (event.clientId.empty())
+        return false;
+    const Shard &shard = *shards_[s];
+    const auto it = shard.clientSeq.find(event.clientId);
+    return it != shard.clientSeq.end() && event.seq <= it->second;
+}
+
+uint64_t
+BoundRegistry::pendingCountLocked(size_t s) const
+{
+    return shards_[s]->pendingTotal;
+}
+
 ApplyOutcome
 BoundRegistry::applyLocked(size_t s, const JobEvent &event)
 {
     Shard &shard = *shards_[s];
     ApplyOutcome outcome;
+    // Any processed event — applied or deterministically rejected —
+    // advances the client's fence, so a retry of either outcome
+    // dedups instead of replaying the decision.
+    if (!event.clientId.empty())
+        shard.clientSeq[event.clientId] = event.seq;
     const std::string key = keyString(event.machine, event.queue,
                                       procBucketFor(event.procs));
     switch (event.kind) {
@@ -250,6 +278,7 @@ BoundRegistry::applyLocked(size_t s, const JobEvent &event)
             outcome.rejectReason = "duplicate submit for job id";
             break;
         }
+        ++shard.pendingTotal;
         QDEL_OBS(obs::serveMetrics().pendingJobs.add(1.0));
         outcome.applied = true;
         break;
@@ -271,6 +300,7 @@ BoundRegistry::applyLocked(size_t s, const JobEvent &event)
             break;
         }
         entry->pending.erase(it);
+        --shard.pendingTotal;
         QDEL_OBS(obs::serveMetrics().pendingJobs.add(-1.0));
         ++entry->running;
         observeLocked(*entry, wait);
@@ -393,6 +423,11 @@ BoundRegistry::saveShard(size_t s, persist::StateWriter &writer) const
 
     writer.u64(shard.applied);
     writer.u64(shard.rejected);
+    writer.u64(shard.clientSeq.size());
+    for (const auto &[client, seq] : shard.clientSeq) {
+        writer.str(client);
+        writer.u64(seq);
+    }
     const auto keys = shard.keys.load(std::memory_order_acquire);
     writer.u64(keys->size());
     for (const auto &[key, entry] : *keys) {
@@ -475,6 +510,19 @@ BoundRegistry::loadShard(size_t s, persist::StateReader &reader)
     auto rejected = reader.u64();
     if (!rejected.ok())
         return rejected.error();
+    auto client_count = reader.u64();
+    if (!client_count.ok())
+        return client_count.error();
+    std::map<std::string, uint64_t> next_client_seq;
+    for (uint64_t c = 0; c < client_count.value(); ++c) {
+        auto client = reader.str();
+        if (!client.ok())
+            return client.error();
+        auto seq = reader.u64();
+        if (!seq.ok())
+            return seq.error();
+        next_client_seq[std::move(client).value()] = seq.value();
+    }
     auto entry_count = reader.u64();
     if (!entry_count.ok())
         return entry_count.error();
@@ -582,6 +630,8 @@ BoundRegistry::loadShard(size_t s, persist::StateReader &reader)
     });
     shard.applied = applied.value();
     shard.rejected = rejected.value();
+    shard.clientSeq = std::move(next_client_seq);
+    shard.pendingTotal = static_cast<uint64_t>(pending_delta);
     shard.keys.store(std::move(next_keys), std::memory_order_release);
     return Unit{};
 }

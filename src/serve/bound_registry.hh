@@ -76,6 +76,13 @@ struct ApplyOutcome
 {
     bool applied = false;
     const char *rejectReason = nullptr;  //!< Set when !applied.
+    /** The event was a retry of one already processed; its effect is
+     *  present and it was neither logged nor re-applied. */
+    bool deduped = false;
+    /** Admission control refused the event before logging; the client
+     *  should retry after retryAfterSeconds. */
+    bool shed = false;
+    uint32_t retryAfterSeconds = 0;
 };
 
 class BoundRegistry
@@ -118,6 +125,18 @@ class BoundRegistry
 
     /** Apply one event to shard @p s; caller holds the shard lock. */
     ApplyOutcome applyLocked(size_t s, const JobEvent &event);
+
+    /**
+     * @return true when @p event carries a clientId and its seq is at
+     * or below the highest this shard has processed for that client —
+     * the retry-dedup check. Caller holds the shard lock. Pure: does
+     * not mutate the fence (applyLocked advances it).
+     */
+    bool isDuplicateLocked(size_t s, const JobEvent &event) const;
+
+    /** Jobs submitted but not yet started in shard @p s; caller holds
+     *  the shard lock. The admission-control pressure signal. */
+    uint64_t pendingCountLocked(size_t s) const;
 
     /** Convenience for non-durable callers: lock, apply, unlock. */
     ApplyOutcome apply(const JobEvent &event);

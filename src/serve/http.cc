@@ -142,10 +142,17 @@ parseRequestHead(std::string_view head)
         }
     }
 
+    size_t header_count = 0;
     while (!rest.empty()) {
         const std::string_view line = takeLine(&rest);
         if (line.empty())
             break;
+        if (++header_count > kMaxHttpHeaderCount) {
+            return ParseError{"", 0, "http.headerCount",
+                              "more than " +
+                                  std::to_string(kMaxHttpHeaderCount) +
+                                  " header lines"};
+        }
         const size_t colon = line.find(':');
         if (colon == std::string_view::npos) {
             return ParseError{"", 0, "http.header",
@@ -186,21 +193,32 @@ httpReason(int status)
         return "Not Found";
     case 405:
         return "Method Not Allowed";
+    case 411:
+        return "Length Required";
+    case 413:
+        return "Content Too Large";
+    case 431:
+        return "Request Header Fields Too Large";
     case 500:
         return "Internal Server Error";
+    case 503:
+        return "Service Unavailable";
     default:
         return "Unknown";
     }
 }
 
 std::string
-renderHttpResponse(int status, const std::string &contentType,
-                   std::string_view body)
+renderHttpResponse(
+    int status, const std::string &contentType, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>> &extraHeaders)
 {
     std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
                            httpReason(status) + "\r\n";
     response += "Content-Type: " + contentType + "\r\n";
     response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    for (const auto &[name, value] : extraHeaders)
+        response += name + ": " + value + "\r\n";
     response += "Connection: close\r\n\r\n";
     response.append(body.data(), body.size());
     return response;

@@ -15,11 +15,20 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/expected.hh"
 
 namespace qdel {
 namespace serve {
+
+/** Largest request head (request line + headers) accepted; beyond
+ *  this the server answers 431 and closes — the slow-loris bound. */
+constexpr size_t kMaxHttpHeadBytes = 16 * 1024;
+
+/** Most header lines accepted before the head is rejected with 431. */
+constexpr size_t kMaxHttpHeaderCount = 64;
 
 /** One parsed request head (body is read separately by the server). */
 struct HttpRequest
@@ -46,9 +55,12 @@ Expected<HttpRequest> parseRequestHead(std::string_view head);
 /** Decode %XX escapes and '+' (as space) in a URL component. */
 std::string percentDecode(std::string_view text);
 
-/** Render a complete close-delimited HTTP/1.1 response. */
-std::string renderHttpResponse(int status, const std::string &contentType,
-                               std::string_view body);
+/** Render a complete close-delimited HTTP/1.1 response.
+ *  @p extraHeaders are emitted verbatim (e.g. {"Retry-After", "1"}). */
+std::string renderHttpResponse(
+    int status, const std::string &contentType, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>> &extraHeaders =
+        {});
 
 /** Standard reason phrase for the handful of statuses we emit. */
 const char *httpReason(int status);

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Implementation of the deterministic network fault hook.
+ */
+
+#include "serve/netfault.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace qdel {
+namespace serve {
+namespace netfault {
+
+namespace {
+
+struct State
+{
+    std::mutex mutex;
+    Plan plan;
+    bool envChecked = false;
+    bool armed = false;  //!< triggerOp reached; fire at next match.
+    bool fired = false;  //!< The one-shot fault has fired.
+    std::atomic<uint64_t> ops{0};
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+/** SplitMix64, same mix as persist::fault for reproducibility. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+bool
+matchesOp(Kind kind, detail::Op op)
+{
+    switch (kind) {
+    case Kind::ShortRead:
+    case Kind::Stall:
+        return op == detail::Op::Recv;
+    case Kind::ShortWrite:
+        return op == detail::Op::Send;
+    case Kind::ConnReset:
+        return op == detail::Op::Recv || op == detail::Op::Send;
+    case Kind::AcceptFail:
+        return op == detail::Op::Accept;
+    case Kind::None:
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+configure(const Plan &plan)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.plan = plan;
+    s.envChecked = true;  // explicit configuration overrides the env
+    s.armed = false;
+    s.fired = false;
+    s.ops.store(0, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    configure(Plan{});
+}
+
+bool
+enabled()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.plan.kind != Kind::None;
+}
+
+uint64_t
+opCount()
+{
+    return state().ops.load(std::memory_order_relaxed);
+}
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::None:
+        return "none";
+    case Kind::ShortRead:
+        return "short-read";
+    case Kind::ShortWrite:
+        return "short-write";
+    case Kind::ConnReset:
+        return "conn-reset";
+    case Kind::AcceptFail:
+        return "accept-fail";
+    case Kind::Stall:
+        return "stall";
+    }
+    return "none";
+}
+
+bool
+parseKind(const std::string &text, Kind *out)
+{
+    static constexpr Kind kAll[] = {
+        Kind::None,       Kind::ShortRead, Kind::ShortWrite,
+        Kind::ConnReset,  Kind::AcceptFail, Kind::Stall,
+    };
+    for (Kind kind : kAll) {
+        if (text == kindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+Plan
+planFromEnv()
+{
+    Plan plan;
+    const char *kind_env = std::getenv("QDEL_NETFAULT_KIND");
+    if (!kind_env || !parseKind(kind_env, &plan.kind))
+        return Plan{};
+    if (const char *op_env = std::getenv("QDEL_NETFAULT_OP")) {
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(op_env, &end, 10);
+        if (end != op_env && *end == '\0')
+            plan.triggerOp = parsed;
+    }
+    if (const char *seed_env = std::getenv("QDEL_NETFAULT_SEED")) {
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(seed_env, &end, 10);
+        if (end != seed_env && *end == '\0')
+            plan.seed = parsed;
+    }
+    return plan;
+}
+
+namespace detail {
+
+Outcome
+onOp(Op op, size_t io_len)
+{
+    State &s = state();
+    const uint64_t index = s.ops.fetch_add(1, std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.envChecked) {
+        s.envChecked = true;
+        s.plan = planFromEnv();
+    }
+
+    Outcome outcome;
+    if (s.plan.kind == Kind::None || s.fired)
+        return outcome;
+
+    if (index >= s.plan.triggerOp)
+        s.armed = true;
+    if (!s.armed || !matchesOp(s.plan.kind, op))
+        return outcome;
+
+    s.fired = true;
+    const uint64_t h = mix(s.plan.seed ^ (index * 0x9e3779b97f4a7c15ULL));
+    switch (s.plan.kind) {
+    case Kind::ShortRead:
+        // Hand the reader a 1..4 byte dribble: legal kernel behaviour
+        // the framing layer must absorb without losing sync.
+        outcome.clampBytes = 1 + h % 4;
+        outcome.reason = "simulated short read";
+        break;
+    case Kind::ShortWrite:
+        outcome.partial = true;
+        outcome.partialBytes = io_len > 0 ? h % io_len : 0;
+        outcome.fail = true;
+        outcome.reason = "simulated short write + connection loss";
+        break;
+    case Kind::ConnReset:
+        outcome.fail = true;
+        outcome.reason = "simulated connection reset";
+        break;
+    case Kind::AcceptFail:
+        outcome.fail = true;
+        outcome.reason = "simulated accept failure";
+        break;
+    case Kind::Stall:
+        outcome.stall = true;
+        outcome.reason = "simulated peer stall";
+        break;
+    case Kind::None:
+        break;
+    }
+    return outcome;
+}
+
+} // namespace detail
+} // namespace netfault
+} // namespace serve
+} // namespace qdel

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic fault injection for the serve network path — the
+ * persist::fault discipline (src/persist/fault_injection.hh) extended
+ * to sockets.
+ *
+ * Every socket operation the server performs (accept, recv, send)
+ * consults one hook before touching the kernel. When a plan is armed,
+ * the first matching operation at or past the trigger index misbehaves
+ * in one precisely defined way: a short read (the kernel hands back a
+ * 1..4 byte dribble), a short write followed by connection loss, an
+ * immediate ECONNRESET-style failure, a failed accept(), or a stall
+ * (the poll deadline reports expiry, as a silent peer would). A fault
+ * point is a (kind, op, seed) triple that replays exactly, so the
+ * chaos sweep in tests/serve/test_netfault.cc can walk the whole op
+ * space and assert the registry digest never diverges from a
+ * fault-free run.
+ *
+ * Faults arm from the environment too (QDEL_NETFAULT_KIND /
+ * QDEL_NETFAULT_OP / QDEL_NETFAULT_SEED) so CI can torment a real
+ * qdel_serve daemon. When no plan is armed the hook is one relaxed
+ * atomic increment.
+ */
+
+#ifndef QDEL_SERVE_NETFAULT_HH
+#define QDEL_SERVE_NETFAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qdel {
+namespace serve {
+namespace netfault {
+
+/** The network fault repertoire; see file comment for semantics. */
+enum class Kind {
+    None,       //!< Disabled.
+    ShortRead,  //!< recv() delivers only a few bytes (framing dribble).
+    ShortWrite, //!< Prefix of the response sent, then connection loss.
+    ConnReset,  //!< The next recv/send fails as if ECONNRESET.
+    AcceptFail, //!< accept() reports a transient failure.
+    Stall,      //!< The peer goes silent: the wait reports a timeout.
+};
+
+/** A fully reproducible fault: fire @p kind at op index @p triggerOp. */
+struct Plan
+{
+    Kind kind = Kind::None;
+    /** Socket-op index at which the fault arms; it fires at the first
+     *  op of a matching type whose index is >= triggerOp. */
+    uint64_t triggerOp = 0;
+    /** Seed for short-read/short-write lengths. */
+    uint64_t seed = 1;
+};
+
+/** Arm @p plan and reset the op counter and one-shot latch. */
+void configure(const Plan &plan);
+
+/** Disarm and reset (also clears any env-armed plan). */
+void reset();
+
+/** @return true when a plan with kind != None is armed. */
+bool enabled();
+
+/** Socket ops hooked since the last configure/reset. */
+uint64_t opCount();
+
+/** Canonical name of @p kind (the QDEL_NETFAULT_KIND spelling). */
+const char *kindName(Kind kind);
+
+/** Parse a QDEL_NETFAULT_KIND spelling ("short-read", "stall", ...). */
+bool parseKind(const std::string &text, Kind *out);
+
+/**
+ * Build a plan from QDEL_NETFAULT_KIND / QDEL_NETFAULT_OP /
+ * QDEL_NETFAULT_SEED. Unset or unparsable variables yield a disabled
+ * plan. The hook arms this automatically on first use unless
+ * configure() ran first.
+ */
+Plan planFromEnv();
+
+namespace detail {
+
+/** The socket operation classes the server reports. */
+enum class Op { Accept, Recv, Send };
+
+/** What the hooked operation must do. */
+struct Outcome
+{
+    bool fail = false;      //!< Report a connection-level error.
+    bool stall = false;     //!< Report a deadline expiry (Recv only).
+    /** Recv: read at most clampBytes (0 = no clamp). Send: transmit
+     *  exactly partialBytes, then fail. */
+    size_t clampBytes = 0;
+    bool partial = false;
+    size_t partialBytes = 0;
+    const char *reason = nullptr;  //!< Set when a fault fired.
+};
+
+/**
+ * Consult the plan for one socket op. Counts the op, arms the env
+ * plan on first call, and returns what the caller must do.
+ * @p io_len is the buffer length for Recv/Send, 0 for Accept.
+ */
+Outcome onOp(Op op, size_t io_len);
+
+} // namespace detail
+} // namespace netfault
+} // namespace serve
+} // namespace qdel
+
+#endif // QDEL_SERVE_NETFAULT_HH

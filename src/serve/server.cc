@@ -1,6 +1,7 @@
 /**
  * @file
- * Implementation of the TCP front end.
+ * Implementation of the TCP front end. See server.hh for the worker
+ * model, deadline, and shedding semantics.
  */
 
 #include "serve/server.hh"
@@ -8,13 +9,18 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,6 +29,7 @@
 #include "obs/obs.hh"
 #include "persist/state_codec.hh"
 #include "serve/http.hh"
+#include "serve/netfault.hh"
 #include "util/logging.hh"
 
 namespace qdel {
@@ -30,41 +37,130 @@ namespace serve {
 
 namespace {
 
-/** send() the whole buffer, suppressing SIGPIPE. */
-bool
-sendAll(int fd, std::string_view bytes)
+using Clock = std::chrono::steady_clock;
+
+/** Accept-error backoff cap; the first retry sleeps 1ms and doubles. */
+constexpr uint64_t kAcceptBackoffCapMs = 100;
+
+/** Retry-After advertised when connection slots are exhausted. */
+constexpr uint32_t kShedRetryAfterSeconds = 1;
+
+/** Grace window the shed path grants a client to reveal its protocol
+ *  (and to drain the refusal); a silent client gets the binary frame. */
+constexpr int kShedGraceMs = 100;
+
+/** Most connections the shed thread will queue before refusing the
+ *  overflow with a bare close. */
+constexpr size_t kShedQueueCap = 64;
+
+std::chrono::milliseconds
+ms(int count)
 {
-    size_t sent = 0;
-    while (sent < bytes.size()) {
-        const ssize_t n = ::send(fd, bytes.data() + sent,
-                                 bytes.size() - sent, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        sent += static_cast<size_t>(n);
-    }
-    return true;
+    return std::chrono::milliseconds(count);
 }
 
-/** Append up to @p max more bytes; false on EOF/error. */
-bool
-recvSome(int fd, std::string *buffer, size_t max = 64 * 1024)
+/** Remaining poll() budget until @p deadline; 0 once it passed. */
+int
+remainingMs(Clock::time_point deadline)
 {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+enum class IoResult { Ok, Eof, Timeout, Error };
+
+/**
+ * Append up to @p max more bytes, waiting for readability until
+ * @p deadline. Runs the netfault Recv hook: an injected stall reports
+ * Timeout (the reaper path a real stalled peer would eventually hit),
+ * a reset reports Error, a short read clamps @p max to a dribble.
+ */
+IoResult
+recvSomeDeadline(int fd, std::string *buffer, Clock::time_point deadline,
+                 size_t max = 64 * 1024)
+{
+    const auto fault =
+        netfault::detail::onOp(netfault::detail::Op::Recv, max);
+    if (fault.stall)
+        return IoResult::Timeout;
+    if (fault.fail)
+        return IoResult::Error;
+    if (fault.clampBytes > 0)
+        max = std::min(max, fault.clampBytes);
+
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    for (;;) {
+        const int ready = ::poll(&pfd, 1, remainingMs(deadline));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoResult::Error;
+        }
+        if (ready == 0)
+            return IoResult::Timeout;
+        break;
+    }
     const size_t old_size = buffer->size();
     buffer->resize(old_size + max);
     for (;;) {
         const ssize_t n = ::recv(fd, buffer->data() + old_size, max, 0);
         if (n < 0 && errno == EINTR)
             continue;
-        if (n <= 0) {
+        if (n < 0) {
             buffer->resize(old_size);
-            return false;
+            return IoResult::Error;
+        }
+        if (n == 0) {
+            buffer->resize(old_size);
+            return IoResult::Eof;
         }
         buffer->resize(old_size + static_cast<size_t>(n));
-        return true;
+        return IoResult::Ok;
     }
+}
+
+/**
+ * send() the whole buffer (suppressing SIGPIPE), waiting for
+ * writability until @p deadline. Runs the netfault Send hook: an
+ * injected short write pushes a prefix and then reports Error, as a
+ * peer resetting mid-response would.
+ */
+IoResult
+sendAllDeadline(int fd, std::string_view bytes, Clock::time_point deadline)
+{
+    const auto fault =
+        netfault::detail::onOp(netfault::detail::Op::Send, bytes.size());
+    if (fault.partial)
+        bytes = bytes.substr(0, fault.partialBytes);
+
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        const int ready = ::poll(&pfd, 1, remainingMs(deadline));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoResult::Error;
+        }
+        if (ready == 0)
+            return IoResult::Timeout;
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoResult::Error;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return fault.fail ? IoResult::Error : IoResult::Ok;
 }
 
 } // namespace
@@ -83,6 +179,15 @@ ServerOptions::validate() const
                           "'" + bindAddress +
                               "' is not an IPv4 address"};
     }
+    if (maxConnections < 1 || maxConnections > 4096) {
+        return ParseError{"", 0, "maxConnections",
+                          "connection slots must be in [1, 4096], got " +
+                              std::to_string(maxConnections)};
+    }
+    if (ioTimeoutMs < 1 || idleTimeoutMs < 1) {
+        return ParseError{"", 0, "timeouts",
+                          "io and idle timeouts must be >= 1 ms"};
+    }
     return Unit{};
 }
 
@@ -91,14 +196,37 @@ struct BoundServer::Impl
     BoundService *service = nullptr;
     int listenFd = -1;
     int boundPort = 0;
+    ServerOptions options;
     std::thread acceptThread;
 
-    std::mutex mutex;
-    bool stopping = false;
-    std::vector<std::thread> connectionThreads;
+    std::atomic<bool> stopping{false};
+
+    /** One slot per allowed concurrent connection. A slot whose
+     *  done flag is set holds only a joinable-but-finished thread,
+     *  joined on reuse (or by stop()). */
+    struct Slot
+    {
+        std::thread thread;
+        std::atomic<bool> done{true};
+    };
+    std::mutex mutex;  //!< Guards slots claiming + connectionFds.
+    std::vector<std::unique_ptr<Slot>> slots;
     std::vector<int> connectionFds;
 
+    /** Overflow connections queue here for a structured refusal so
+     *  the accept loop never blocks on a slow client. */
+    std::thread shedThread;
+    std::mutex shedMutex;
+    std::condition_variable shedCv;
+    std::deque<int> shedQueue;
+    bool shedStopping = false;
+
     void acceptLoop();
+    Slot *claimSlotLocked();
+    void enqueueShed(int fd);
+    void shedLoop();
+    void answerShed(int fd);
+    void reap(int fd, const char *what);
     void serveConnection(int fd);
     void serveBinary(int fd, std::string buffer);
     void serveHttp(int fd, std::string buffer);
@@ -174,32 +302,86 @@ BoundServer::start(BoundService &service, const ServerOptions &options)
     impl->service = &service;
     impl->listenFd = fd;
     impl->boundPort = static_cast<int>(ntohs(address.sin_port));
+    impl->options = options;
+    impl->slots.reserve(options.maxConnections);
+    for (size_t i = 0; i < options.maxConnections; ++i)
+        impl->slots.push_back(std::make_unique<Impl::Slot>());
+    impl->shedThread = std::thread([raw = impl.get()] {
+        raw->shedLoop();
+    });
     impl->acceptThread = std::thread([raw = impl.get()] {
         raw->acceptLoop();
     });
     return std::unique_ptr<BoundServer>(new BoundServer(std::move(impl)));
 }
 
+BoundServer::Impl::Slot *
+BoundServer::Impl::claimSlotLocked()
+{
+    for (auto &slot : slots) {
+        if (slot->thread.joinable()) {
+            if (!slot->done.load(std::memory_order_acquire))
+                continue;
+            slot->thread.join();
+        }
+        return slot.get();
+    }
+    return nullptr;
+}
+
 void
 BoundServer::Impl::acceptLoop()
 {
+    uint64_t backoff_ms = 1;
     for (;;) {
-        const int fd = ::accept(listenFd, nullptr, nullptr);
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            const auto fault =
+                netfault::detail::onOp(netfault::detail::Op::Accept, 0);
+            if (fault.fail) {
+                ::close(fd);
+                fd = -1;
+                errno = ECONNABORTED;
+            }
+        }
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            return;  // Listener closed by stop().
+            if (stopping.load(std::memory_order_acquire))
+                return;
+            if (errno == EBADF || errno == EINVAL || errno == ENOTSOCK)
+                return;  // Listener closed by stop().
+            // EMFILE/ENFILE/ENOBUFS/ECONNABORTED and friends are
+            // transient: count, back off (capped exponential — never
+            // the old busy-spin), and keep accepting.
+            QDEL_OBS(obs::serveMetrics().acceptErrors.inc());
+            std::this_thread::sleep_for(ms(static_cast<int>(backoff_ms)));
+            backoff_ms = std::min(backoff_ms * 2, kAcceptBackoffCapMs);
+            continue;
         }
+        backoff_ms = 1;
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        std::lock_guard<std::mutex> lock(mutex);
-        if (stopping) {
-            ::close(fd);
-            return;
+
+        Slot *slot = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (stopping.load(std::memory_order_acquire)) {
+                ::close(fd);
+                return;
+            }
+            slot = claimSlotLocked();
+            if (slot != nullptr) {
+                slot->done.store(false, std::memory_order_relaxed);
+                connectionFds.push_back(fd);
+            }
         }
-        connectionFds.push_back(fd);
+        if (slot == nullptr) {
+            enqueueShed(fd);
+            continue;
+        }
         QDEL_OBS(obs::serveMetrics().connections.add(1.0));
-        connectionThreads.emplace_back([this, fd] {
+        slot->thread = std::thread([this, slot, fd] {
             serveConnection(fd);
             {
                 // Unregister before close so stop() never shutdown()s
@@ -211,8 +393,83 @@ BoundServer::Impl::acceptLoop()
             }
             ::close(fd);
             QDEL_OBS(obs::serveMetrics().connections.add(-1.0));
+            slot->done.store(true, std::memory_order_release);
         });
     }
+}
+
+void
+BoundServer::Impl::enqueueShed(int fd)
+{
+    {
+        std::lock_guard<std::mutex> lock(shedMutex);
+        if (!shedStopping && shedQueue.size() < kShedQueueCap) {
+            shedQueue.push_back(fd);
+            shedCv.notify_one();
+            return;
+        }
+    }
+    // Shed path itself saturated: refuse with a bare close.
+    QDEL_OBS(obs::serveMetrics().shedTotal.inc());
+    ::close(fd);
+}
+
+void
+BoundServer::Impl::shedLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(shedMutex);
+            shedCv.wait(lock, [this] {
+                return shedStopping || !shedQueue.empty();
+            });
+            if (!shedQueue.empty()) {
+                fd = shedQueue.front();
+                shedQueue.pop_front();
+            } else if (shedStopping) {
+                return;
+            }
+        }
+        if (fd < 0)
+            continue;
+        answerShed(fd);
+        ::close(fd);
+    }
+}
+
+void
+BoundServer::Impl::answerShed(int fd)
+{
+    QDEL_OBS(obs::serveMetrics().shedTotal.inc());
+    // Sniff just enough of the request to answer in the client's own
+    // protocol; a client that sends nothing within the grace window
+    // gets the binary frame.
+    std::string buffer;
+    const auto deadline = Clock::now() + ms(kShedGraceMs);
+    while (buffer.size() < 4) {
+        if (recvSomeDeadline(fd, &buffer, deadline) != IoResult::Ok)
+            break;
+    }
+    std::string response;
+    if (looksLikeHttp(std::string_view(buffer).substr(
+            0, std::min<size_t>(buffer.size(), 4)))) {
+        response = renderHttpResponse(
+            503, "text/plain", "overloaded: connection slots exhausted\n",
+            {{"Retry-After", std::to_string(kShedRetryAfterSeconds)}});
+    } else {
+        response = frameShed("connection slots exhausted",
+                             kShedRetryAfterSeconds);
+    }
+    sendAllDeadline(fd, response, Clock::now() + ms(kShedGraceMs));
+}
+
+void
+BoundServer::Impl::reap(int fd, const char *what)
+{
+    (void)fd;
+    (void)what;
+    QDEL_OBS(obs::serveMetrics().reapedConnections.inc());
 }
 
 void
@@ -221,9 +478,22 @@ BoundServer::Impl::serveConnection(int fd)
     // Sniff the protocol: a binary frame's 4th byte is always NUL
     // (payload lengths are < 2^24); an HTTP method line never has one.
     std::string buffer;
+    auto deadline = Clock::now() + ms(options.idleTimeoutMs);
     while (buffer.size() < 4) {
-        if (!recvSome(fd, &buffer))
+        switch (recvSomeDeadline(fd, &buffer, deadline)) {
+        case IoResult::Ok:
+            // First bytes arrived: the rest of the sniff is I/O, not
+            // idleness.
+            deadline = std::min(deadline,
+                                Clock::now() + ms(options.ioTimeoutMs));
+            continue;
+        case IoResult::Timeout:
+            reap(fd, buffer.empty() ? "idle" : "io");
             return;
+        case IoResult::Eof:
+        case IoResult::Error:
+            return;
+        }
     }
     if (looksLikeHttp(std::string_view(buffer).substr(0, 4)))
         serveHttp(fd, std::move(buffer));
@@ -234,24 +504,54 @@ BoundServer::Impl::serveConnection(int fd)
 void
 BoundServer::Impl::serveBinary(int fd, std::string buffer)
 {
+    auto idle_deadline = Clock::now() + ms(options.idleTimeoutMs);
+    auto io_deadline = Clock::now() + ms(options.ioTimeoutMs);
     for (;;) {
         std::string_view payload;
         size_t consumed = 0;
         auto framed = unframe(buffer, &payload, &consumed);
         if (!framed.ok()) {
             QDEL_OBS(obs::serveMetrics().badFrames.inc());
-            sendAll(fd, frameError(framed.error().reason));
+            sendAllDeadline(fd, frameError(framed.error().reason),
+                            Clock::now() + ms(options.ioTimeoutMs));
             return;  // Cannot resynchronize after a corrupt length.
         }
-        if (!framed.value()) {
-            if (!recvSome(fd, &buffer))
+        if (framed.value()) {
+            const std::string response = handleFrame(payload);
+            buffer.erase(0, consumed);
+            switch (sendAllDeadline(fd, response,
+                                    Clock::now() +
+                                        ms(options.ioTimeoutMs))) {
+            case IoResult::Ok:
+                break;
+            case IoResult::Timeout:
+                reap(fd, "send");
                 return;
+            case IoResult::Eof:
+            case IoResult::Error:
+                return;
+            }
+            idle_deadline = Clock::now() + ms(options.idleTimeoutMs);
+            io_deadline = Clock::now() + ms(options.ioTimeoutMs);
             continue;
         }
-        const std::string response = handleFrame(payload);
-        buffer.erase(0, consumed);
-        if (!sendAll(fd, response))
+        const bool idle = buffer.empty();
+        switch (recvSomeDeadline(fd, &buffer,
+                                 idle ? idle_deadline : io_deadline)) {
+        case IoResult::Ok:
+            if (idle) {
+                // A new frame began: it must now finish within the
+                // I/O budget regardless of how long we idled.
+                io_deadline = Clock::now() + ms(options.ioTimeoutMs);
+            }
+            break;
+        case IoResult::Timeout:
+            reap(fd, idle ? "idle" : "io");
             return;
+        case IoResult::Eof:
+        case IoResult::Error:
+            return;
+        }
     }
 }
 
@@ -278,11 +578,17 @@ BoundServer::Impl::handleFrame(std::string_view payload)
         auto outcome = service->ingest(event.value());
         if (!outcome.ok())
             return frameError(outcome.error().reason);
+        const ApplyOutcome &applied = outcome.value();
+        if (applied.shed) {
+            return frameShed("shard pending bound exceeded",
+                             applied.retryAfterSeconds);
+        }
         persist::StateWriter response;
-        response.u8(outcome.value().applied ? 1 : 0);
-        response.str(outcome.value().applied
+        response.u8(applied.applied ? 1 : 0);
+        response.str(applied.applied || applied.deduped
                          ? std::string()
-                         : std::string(outcome.value().rejectReason));
+                         : std::string(applied.rejectReason));
+        response.u8(applied.deduped ? 1 : 0);
         return frameOk(response.bytes());
     }
     case Opcode::Query: {
@@ -315,7 +621,15 @@ BoundServer::Impl::handleFrame(std::string_view payload)
 void
 BoundServer::Impl::serveHttp(int fd, std::string buffer)
 {
-    // Read to the end of the head.
+    const auto deadline = Clock::now() + ms(options.ioTimeoutMs);
+    auto answer = [&](const std::string &response) {
+        if (sendAllDeadline(fd, response,
+                            Clock::now() + ms(options.ioTimeoutMs)) ==
+            IoResult::Timeout)
+            reap(fd, "send");
+    };
+
+    // Read to the end of the head, bounded in bytes and in time.
     size_t head_end;
     for (;;) {
         head_end = buffer.find("\r\n\r\n");
@@ -328,35 +642,72 @@ BoundServer::Impl::serveHttp(int fd, std::string buffer)
             head_end += separator;
             break;
         }
-        if (buffer.size() > kMaxFrameBytes ||
-            !recvSome(fd, &buffer)) {
-            sendAll(fd, renderHttpResponse(400, "text/plain",
-                                           "unterminated request head\n"));
+        if (buffer.size() > kMaxHttpHeadBytes) {
+            answer(renderHttpResponse(431, "text/plain",
+                                      "request head exceeds " +
+                                          std::to_string(
+                                              kMaxHttpHeadBytes) +
+                                          " bytes\n"));
             return;
         }
+        switch (recvSomeDeadline(fd, &buffer, deadline)) {
+        case IoResult::Ok:
+            continue;
+        case IoResult::Timeout:
+            reap(fd, "head");
+            return;
+        case IoResult::Eof:
+        case IoResult::Error:
+            answer(renderHttpResponse(400, "text/plain",
+                                      "unterminated request head\n"));
+            return;
+        }
+    }
+    if (head_end > kMaxHttpHeadBytes) {
+        answer(renderHttpResponse(431, "text/plain",
+                                  "request head exceeds " +
+                                      std::to_string(kMaxHttpHeadBytes) +
+                                      " bytes\n"));
+        return;
     }
     auto parsed = parseRequestHead(
         std::string_view(buffer).substr(0, head_end));
     if (!parsed.ok()) {
         QDEL_OBS(obs::serveMetrics().badFrames.inc());
-        sendAll(fd, renderHttpResponse(400, "text/plain",
-                                       parsed.error().reason + "\n"));
+        // Chunked bodies have no declared length; oversized header
+        // blocks get the dedicated status, everything else is a 400.
+        int status = 400;
+        if (parsed.error().field == "http.transferEncoding")
+            status = 411;
+        else if (parsed.error().field == "http.headerCount")
+            status = 431;
+        answer(renderHttpResponse(status, "text/plain",
+                                  parsed.error().reason + "\n"));
         return;
     }
     HttpRequest request = std::move(parsed).value();
     if (request.contentLength > kMaxFrameBytes) {
-        sendAll(fd, renderHttpResponse(400, "text/plain",
-                                       "request body too large\n"));
+        answer(renderHttpResponse(413, "text/plain",
+                                  "request body exceeds " +
+                                      std::to_string(kMaxFrameBytes) +
+                                      " bytes\n"));
         return;
     }
     while (buffer.size() - head_end < request.contentLength) {
-        if (!recvSome(fd, &buffer)) {
-            sendAll(fd, renderHttpResponse(400, "text/plain",
-                                           "truncated request body\n"));
+        switch (recvSomeDeadline(fd, &buffer, deadline)) {
+        case IoResult::Ok:
+            continue;
+        case IoResult::Timeout:
+            reap(fd, "body");
+            return;
+        case IoResult::Eof:
+        case IoResult::Error:
+            answer(renderHttpResponse(400, "text/plain",
+                                      "truncated request body\n"));
             return;
         }
     }
-    sendAll(fd, handleHttpRequest(request));
+    answer(handleHttpRequest(request));
 }
 
 std::string
@@ -412,15 +763,28 @@ BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
         event.machine = param("machine", "");
         event.queue = param("queue", "");
         event.procs = std::atoi(param("procs", "1").c_str());
+        event.clientId = param("client", "");
+        event.seq =
+            std::strtoull(param("seq", "0").c_str(), nullptr, 10);
         auto outcome = service->ingest(event);
         if (!outcome.ok())
             return renderHttpResponse(500, "text/plain",
                                       outcome.error().reason + "\n");
+        const ApplyOutcome &applied = outcome.value();
+        if (applied.shed) {
+            return renderHttpResponse(
+                503, "text/plain",
+                "overloaded: shard pending bound exceeded\n",
+                {{"Retry-After",
+                  std::to_string(applied.retryAfterSeconds)}});
+        }
         std::string body = "{\"applied\":";
-        body += outcome.value().applied ? "true" : "false";
-        if (!outcome.value().applied) {
+        body += applied.applied ? "true" : "false";
+        if (applied.deduped)
+            body += ",\"deduped\":true";
+        if (!applied.applied && !applied.deduped) {
             body += ",\"reason\":\"";
-            body += jsonEscape(outcome.value().rejectReason);
+            body += jsonEscape(applied.rejectReason);
             body += "\"";
         }
         body += "}";
@@ -442,12 +806,9 @@ BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
 void
 BoundServer::Impl::stop()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (stopping)
-            return;
-        stopping = true;
-    }
+    bool expected = false;
+    if (!stopping.compare_exchange_strong(expected, true))
+        return;
     if (listenFd >= 0) {
         ::shutdown(listenFd, SHUT_RDWR);
         ::close(listenFd);
@@ -455,15 +816,27 @@ BoundServer::Impl::stop()
     }
     if (acceptThread.joinable())
         acceptThread.join();
-    std::vector<std::thread> threads;
     {
         std::lock_guard<std::mutex> lock(mutex);
         for (int fd : connectionFds)
             ::shutdown(fd, SHUT_RDWR);
-        threads.swap(connectionThreads);
     }
-    for (std::thread &thread : threads)
-        thread.join();
+    // The accept thread is gone, so no new slot threads can start;
+    // join whatever is still draining.
+    for (auto &slot : slots) {
+        if (slot->thread.joinable())
+            slot->thread.join();
+    }
+    {
+        std::lock_guard<std::mutex> lock(shedMutex);
+        shedStopping = true;
+    }
+    shedCv.notify_all();
+    if (shedThread.joinable())
+        shedThread.join();
+    for (int fd : shedQueue)
+        ::close(fd);
+    shedQueue.clear();
 }
 
 } // namespace serve

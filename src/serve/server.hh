@@ -10,15 +10,30 @@
  * Binary connections then loop frames until EOF; HTTP connections are
  * answered one request at a time and closed (Connection: close).
  *
- * Threading: an accept loop thread plus one thread per connection —
- * the intended deployment is a handful of resource-manager clients,
- * not the open internet. Queries run lock-free against published
- * snapshots; events serialize per shard inside BoundService.
+ * Threading and overload behaviour: one accept thread plus a fixed
+ * pool of maxConnections connection slots — a connection occupies a
+ * slot for its lifetime, and when every slot is busy new connections
+ * are handed to a dedicated shed thread that answers a structured
+ * refusal (HTTP 503 + Retry-After, or a binary Status::Shed frame)
+ * and closes. The lock-free query path keeps serving the
+ * last-published snapshots throughout; shedding never blocks it.
+ *
+ * Deadlines: every socket wait runs through poll(). A connection
+ * waiting for the next request may idle up to idleTimeoutMs; once a
+ * request is partially received (or a response partially sent) the
+ * remainder must complete within ioTimeoutMs or the connection is
+ * reaped (counted in qdel_serve_reaped_connections_total) — the
+ * slow-loris bound.
+ *
+ * Fault injection: accept/recv/send run through serve::netfault, the
+ * deterministic network-fault hook the chaos sweep drives (short
+ * reads, short writes, resets, accept failures, stalls).
  */
 
 #ifndef QDEL_SERVE_SERVER_HH
 #define QDEL_SERVE_SERVER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -35,6 +50,18 @@ struct ServerOptions
     int port = 0;
     /** Bind address; the default keeps the daemon loopback-only. */
     std::string bindAddress = "127.0.0.1";
+
+    /** Connection slots; the (maxConnections + 1)th concurrent
+     *  connection is shed with 503 / Status::Shed. */
+    size_t maxConnections = 64;
+
+    /** Budget for finishing a partially-received request or a
+     *  partially-sent response, milliseconds. */
+    int ioTimeoutMs = 5000;
+
+    /** How long a connection may sit idle between requests before it
+     *  is reaped, milliseconds. */
+    int idleTimeoutMs = 30000;
 
     Expected<Unit> validate() const;
 };

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "core/predictor_factory.hh"
+#include "obs/domain_metrics.hh"
+#include "obs/obs.hh"
 #include "persist/state_codec.hh"
 
 namespace qdel {
@@ -132,6 +134,23 @@ BoundService::ingest(const JobEvent &event)
 {
     const size_t s = registry_->shardForEvent(event);
     auto lock = registry_->lockShard(s);
+    // Dedup before shed: a retry of an already-processed event must
+    // report its (deterministic) prior outcome, never a fresh shed.
+    if (registry_->isDuplicateLocked(s, event)) {
+        ApplyOutcome outcome;
+        outcome.deduped = true;
+        QDEL_OBS(obs::serveMetrics().dedupHits.inc());
+        return outcome;
+    }
+    if (event.kind == EventKind::Submit &&
+        config_.maxPendingPerShard > 0 &&
+        registry_->pendingCountLocked(s) >= config_.maxPendingPerShard) {
+        ApplyOutcome outcome;
+        outcome.shed = true;
+        outcome.retryAfterSeconds = config_.shedRetryAfterSeconds;
+        QDEL_OBS(obs::serveMetrics().shedTotal.inc());
+        return outcome;
+    }
     if (durable()) {
         persist::WalRecord record;
         record.type = persist::WalRecordType::Blob;

@@ -58,6 +58,17 @@ struct ServiceConfig
     size_t keepSnapshots = 2;
     size_t syncEveryRecords = 1;
 
+    /**
+     * Admission control: shed Submit events once a shard holds this
+     * many pending (submitted, not yet started) jobs. 0 = unlimited.
+     * Deliberately NOT part of the registry Options config echo —
+     * retuning the knob must not invalidate saved state.
+     */
+    uint64_t maxPendingPerShard = 0;
+
+    /** Retry-After advertised on shed responses, seconds. */
+    uint32_t shedRetryAfterSeconds = 1;
+
     Expected<Unit> validate() const;
 };
 
@@ -77,11 +88,17 @@ class BoundService
     size_t shardCount() const { return registry_->shardCount(); }
 
     /**
-     * Durably ingest one event: WAL append, apply, maybe checkpoint —
-     * all under the shard lock. The outcome reports whether the
-     * (logged) event was applied or deterministically rejected; an
-     * error means the WAL write itself failed and the event must be
-     * retried by the client.
+     * Durably ingest one event: dedup check, admission check, WAL
+     * append, apply, maybe checkpoint — all under the shard lock. The
+     * outcome reports whether the (logged) event was applied or
+     * deterministically rejected, whether it was a deduplicated retry
+     * (deduped, not logged or re-applied), or whether admission
+     * control shed it (shed, not logged — retry later); an error means
+     * the WAL write itself failed and the event must be retried by the
+     * client. Dedup is checked before shedding so a retried event
+     * whose original was processed never gets a spurious shed; neither
+     * dedup hits nor sheds touch the WAL or the digest, which is what
+     * keeps faulty and fault-free runs byte-identical.
      */
     Expected<ApplyOutcome> ingest(const JobEvent &event);
 

@@ -66,6 +66,8 @@ encodeEvent(const JobEvent &event)
     writer.i64(event.procs);
     writer.str(event.machine);
     writer.str(event.queue);
+    writer.str(event.clientId);
+    writer.u64(event.seq);
     return writer.take();
 }
 
@@ -101,6 +103,18 @@ decodeEvent(std::string_view body)
     if (!queue.ok())
         return queue.error();
     event.queue = std::move(queue).value();
+    // v1 events (WAL blobs written before the idempotency fields
+    // existed) end here; v2 carries clientId + seq.
+    if (reader.remaining() > 0) {
+        auto client_id = reader.str();
+        if (!client_id.ok())
+            return client_id.error();
+        event.clientId = std::move(client_id).value();
+        auto seq = reader.u64();
+        if (!seq.ok())
+            return seq.error();
+        event.seq = seq.value();
+    }
     if (auto end = reader.expectEnd(); !end.ok())
         return end.error();
     return event;
@@ -281,6 +295,16 @@ frameError(const std::string &message)
     StateWriter payload;
     payload.u8(static_cast<uint8_t>(Status::Error));
     payload.str(message);
+    return frame(payload.bytes());
+}
+
+std::string
+frameShed(const std::string &reason, uint32_t retryAfterSeconds)
+{
+    StateWriter payload;
+    payload.u8(static_cast<uint8_t>(Status::Shed));
+    payload.str(reason);
+    payload.u32(retryAfterSeconds);
     return frame(payload.bytes());
 }
 

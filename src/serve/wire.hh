@@ -45,8 +45,10 @@ namespace serve {
 /** Largest frame payload either side will accept. */
 constexpr uint32_t kMaxFrameBytes = 1u << 20;
 
-/** Wire protocol version, echoed in ping responses. */
-constexpr uint32_t kWireVersion = 1;
+/** Wire protocol version, echoed in ping responses. v2 added the
+ *  per-client (clientId, seq) idempotency fields on JobEvent and the
+ *  Status::Shed response frame. */
+constexpr uint32_t kWireVersion = 2;
 
 /** Request opcodes (first payload byte of a request frame). */
 enum class Opcode : uint8_t {
@@ -61,6 +63,10 @@ enum class Opcode : uint8_t {
 enum class Status : uint8_t {
     Ok = 0,
     Error = 1,  //!< body: str message
+    /** Load shed under overload: body is str reason | u32 retry-after
+     *  seconds. The request was NOT logged or applied; an idempotent
+     *  client retries it after the advertised delay. */
+    Shed = 2,
 };
 
 /** Job lifecycle transitions the service ingests. */
@@ -79,6 +85,17 @@ struct JobEvent
     std::string machine;  //!< Routing key: machine name.
     std::string queue;    //!< Routing key: queue name ("" = default).
     int procs = 1;        //!< Routing key: allocated processors.
+
+    /**
+     * At-most-once fencing for retries: a client that tags its events
+     * with a stable clientId and a per-client monotonically increasing
+     * seq may resend after any network failure — the shard remembers
+     * the highest seq it has processed per client and answers a
+     * duplicate with deduped=true instead of applying it twice. An
+     * empty clientId opts out (every event applies).
+     */
+    std::string clientId;
+    uint64_t seq = 0;
 };
 
 /** "What wait bound do I face right now?" */
@@ -147,6 +164,11 @@ std::string frameOk(std::string_view body);
 
 /** Error-response frame: u32 len | u8 Status::Error | str message. */
 std::string frameError(const std::string &message);
+
+/** Shed-response frame: u32 len | u8 Status::Shed | str reason |
+ *  u32 retry-after seconds. */
+std::string frameShed(const std::string &reason,
+                      uint32_t retryAfterSeconds);
 
 /**
  * Try to strip one frame off the front of @p buffer. Returns true and

@@ -368,6 +368,251 @@ TEST_F(ServerSocketTest, HttpRoutes)
     }
 }
 
+TEST_F(ServerSocketTest, RetriedEventIsDedupedOverTheSocket)
+{
+    Client client(server_->port());
+    ASSERT_TRUE(client.connected());
+    JobEvent submit;
+    submit.kind = EventKind::Submit;
+    submit.jobId = 1;
+    submit.time = 10.0;
+    submit.machine = "m";
+    submit.queue = "q";
+    submit.procs = 4;
+    submit.clientId = "sock-test";
+    submit.seq = 1;
+
+    std::string payload =
+        requestPayload(Opcode::Event, encodeEvent(submit), client);
+    ASSERT_FALSE(payload.empty());
+    ASSERT_EQ(payload[0], 0);
+    {
+        persist::StateReader reader(std::string_view(payload).substr(1),
+                                    "event-response");
+        EXPECT_EQ(reader.u8().value(), 1);   // applied
+        EXPECT_EQ(reader.str().value(), ""); // no reject reason
+        EXPECT_EQ(reader.u8().value(), 0);   // not a dedup
+    }
+
+    // The retry (same clientId + seq, e.g. after a lost response) is
+    // acknowledged but not re-applied.
+    payload = requestPayload(Opcode::Event, encodeEvent(submit), client);
+    ASSERT_FALSE(payload.empty());
+    ASSERT_EQ(payload[0], 0);
+    {
+        persist::StateReader reader(std::string_view(payload).substr(1),
+                                    "event-response");
+        EXPECT_EQ(reader.u8().value(), 0);   // not applied...
+        EXPECT_EQ(reader.str().value(), "");
+        EXPECT_EQ(reader.u8().value(), 1);   // ...because deduped
+    }
+    uint64_t processed = 0;
+    for (uint64_t count : service_->stats().processedPerShard)
+        processed += count;
+    EXPECT_EQ(processed, 1u) << "the retry must not count as processed";
+}
+
+TEST_F(ServerSocketTest, HttpRetryWithClientSeqIsDeduped)
+{
+    const char *request =
+        "POST /event?kind=submit&job=9&time=5&machine=h&queue=q&procs=2"
+        "&client=web&seq=1 HTTP/1.1\r\n\r\n";
+    {
+        Client client(server_->port());
+        ASSERT_TRUE(client.send(request));
+        EXPECT_NE(client.readToEof().find("\"applied\":true"),
+                  std::string::npos);
+    }
+    {
+        Client client(server_->port());
+        ASSERT_TRUE(client.send(request));
+        const std::string response = client.readToEof();
+        EXPECT_NE(response.find("\"applied\":false"), std::string::npos);
+        EXPECT_NE(response.find("\"deduped\":true"), std::string::npos);
+    }
+}
+
+/** Overload and deadline behaviour needs custom ServerOptions, so
+ *  these tests build their own server instead of using the fixture. */
+class OverloadTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(const ServerOptions &options, uint64_t maxPending = 0,
+                uint32_t retryAfter = 1)
+    {
+        obs::setEnabled(true);
+        ServiceConfig config;
+        config.registry.shards = 2;
+        config.registry.refitEvery = 5;
+        config.registry.trainObservations = 10;
+        config.maxPendingPerShard = maxPending;
+        config.shedRetryAfterSeconds = retryAfter;
+        auto opened = BoundService::open(config);
+        ASSERT_TRUE(opened.ok());
+        service_ = std::move(opened).value();
+        auto server = BoundServer::start(*service_, options);
+        ASSERT_TRUE(server.ok());
+        server_ = std::move(server).value();
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_ != nullptr)
+            server_->stop();
+        obs::setEnabled(false);
+    }
+
+    std::unique_ptr<BoundService> service_;
+    std::unique_ptr<BoundServer> server_;
+};
+
+TEST_F(OverloadTest, ExcessBinaryConnectionGetsAShedFrame)
+{
+    ServerOptions options;
+    options.maxConnections = 1;
+    startServer(options);
+
+    Client holder(server_->port());
+    ASSERT_TRUE(holder.connected());
+    // A round trip guarantees the holder occupies the one slot.
+    ASSERT_TRUE(holder.send(frameRequest(Opcode::Ping, "")));
+    ASSERT_EQ(holder.readFrame().size(), 5u);
+
+    Client excess(server_->port());
+    ASSERT_TRUE(excess.connected());
+    ASSERT_TRUE(excess.send(frameRequest(Opcode::Ping, "")));
+    const std::string payload = excess.readFrame();
+    ASSERT_FALSE(payload.empty());
+    ASSERT_EQ(static_cast<uint8_t>(payload[0]),
+              static_cast<uint8_t>(Status::Shed));
+    persist::StateReader reader(std::string_view(payload).substr(1),
+                                "shed-response");
+    EXPECT_FALSE(reader.str().value().empty());  // reason
+    EXPECT_GE(reader.u32().value(), 1u);         // retry-after seconds
+    // The shed connection is closed; the held one still works.
+    EXPECT_TRUE(excess.readFrame().empty());
+    ASSERT_TRUE(holder.send(frameRequest(Opcode::Ping, "")));
+    EXPECT_EQ(holder.readFrame().size(), 5u);
+}
+
+TEST_F(OverloadTest, ExcessHttpConnectionGets503WithRetryAfter)
+{
+    ServerOptions options;
+    options.maxConnections = 1;
+    startServer(options);
+
+    Client holder(server_->port());
+    ASSERT_TRUE(holder.connected());
+    ASSERT_TRUE(holder.send(frameRequest(Opcode::Ping, "")));
+    ASSERT_EQ(holder.readFrame().size(), 5u);
+
+    Client excess(server_->port());
+    ASSERT_TRUE(excess.connected());
+    ASSERT_TRUE(excess.send("GET /healthz HTTP/1.1\r\n\r\n"));
+    const std::string response = excess.readToEof();
+    EXPECT_EQ(response.rfind("HTTP/1.1 503", 0), 0u) << response;
+    EXPECT_NE(response.find("Retry-After:"), std::string::npos);
+}
+
+TEST_F(OverloadTest, IdleAndStalledConnectionsAreReaped)
+{
+    ServerOptions options;
+    options.ioTimeoutMs = 100;
+    options.idleTimeoutMs = 150;
+    startServer(options);
+
+    {
+        // Fully idle: never sends a byte; reaped at the idle deadline.
+        Client idle(server_->port());
+        ASSERT_TRUE(idle.connected());
+        EXPECT_TRUE(idle.readFrame().empty()) << "expected reap EOF";
+    }
+    {
+        // Slow-loris: half a frame header, then silence; reaped at the
+        // io deadline.
+        Client loris(server_->port());
+        ASSERT_TRUE(loris.connected());
+        ASSERT_TRUE(loris.send(std::string_view("\x09\x00", 2)));
+        EXPECT_TRUE(loris.readFrame().empty()) << "expected reap EOF";
+    }
+    // The server is healthy afterwards.
+    Client fresh(server_->port());
+    ASSERT_TRUE(fresh.connected());
+    ASSERT_TRUE(fresh.send(frameRequest(Opcode::Ping, "")));
+    EXPECT_EQ(fresh.readFrame().size(), 5u);
+}
+
+TEST_F(OverloadTest, PendingBoundShedsSubmitsUntilStartsDrain)
+{
+    startServer(ServerOptions{}, /*maxPending=*/1, /*retryAfter=*/7);
+
+    Client client(server_->port());
+    ASSERT_TRUE(client.connected());
+    JobEvent submit;
+    submit.kind = EventKind::Submit;
+    submit.jobId = 1;
+    submit.time = 10.0;
+    submit.machine = "m";
+    submit.queue = "q";
+    submit.procs = 4;
+
+    std::string payload;
+    {
+        EXPECT_TRUE(client.send(frameRequest(Opcode::Event,
+                                             encodeEvent(submit))));
+        payload = client.readFrame();
+        ASSERT_FALSE(payload.empty());
+        EXPECT_EQ(payload[0], 0);
+    }
+    {
+        // Second submit for the same shard: over the pending bound.
+        JobEvent second = submit;
+        second.jobId = 2;
+        second.time = 11.0;
+        EXPECT_TRUE(client.send(frameRequest(Opcode::Event,
+                                             encodeEvent(second))));
+        payload = client.readFrame();
+        ASSERT_FALSE(payload.empty());
+        ASSERT_EQ(static_cast<uint8_t>(payload[0]),
+                  static_cast<uint8_t>(Status::Shed));
+        persist::StateReader reader(std::string_view(payload).substr(1),
+                                    "shed-response");
+        EXPECT_FALSE(reader.str().value().empty());
+        EXPECT_EQ(reader.u32().value(), 7u) << "configured Retry-After";
+        // Shedding an event does NOT tear down the connection.
+    }
+    {
+        // Draining the pending job re-opens admission.
+        JobEvent start = submit;
+        start.kind = EventKind::Start;
+        start.time = 40.0;
+        EXPECT_TRUE(client.send(frameRequest(Opcode::Event,
+                                             encodeEvent(start))));
+        payload = client.readFrame();
+        ASSERT_FALSE(payload.empty());
+        EXPECT_EQ(payload[0], 0);
+        JobEvent second = submit;
+        second.jobId = 2;
+        second.time = 41.0;
+        EXPECT_TRUE(client.send(frameRequest(Opcode::Event,
+                                             encodeEvent(second))));
+        payload = client.readFrame();
+        ASSERT_FALSE(payload.empty());
+        EXPECT_EQ(payload[0], 0) << "submit after drain must be admitted";
+        persist::StateReader reader(std::string_view(payload).substr(1),
+                                    "event-response");
+        EXPECT_EQ(reader.u8().value(), 1);
+    }
+    // Shed events were never logged or applied: only the three
+    // processed events count.
+    uint64_t processed = 0;
+    for (uint64_t count : service_->stats().processedPerShard)
+        processed += count;
+    EXPECT_EQ(processed, 3u);
+}
+
 TEST_F(ServerSocketTest, StopIsIdempotentAndClosesClients)
 {
     Client client(server_->port());

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "persist/state_codec.hh"
 #include "serve/wire.hh"
 #include "trace/job_record.hh"
 
@@ -58,9 +59,24 @@ TEST(WireCodec, EventDecodeRejectsTruncationAndTrailingBytes)
     JobEvent event;
     event.machine = "m";
     const std::string body = encodeEvent(event);
-    for (size_t keep = 0; keep < body.size(); ++keep)
-        EXPECT_FALSE(decodeEvent(body.substr(0, keep)).ok())
-            << "kept " << keep;
+    // v2 appended the clientId + seq idempotency tail; a body cut at
+    // exactly the v1 boundary is a pre-upgrade WAL blob and must still
+    // decode (with the fields defaulted) — every other cut must fail.
+    persist::StateWriter tail;
+    tail.str("");
+    tail.u64(0);
+    ASSERT_GT(body.size(), tail.bytes().size());
+    const size_t v1_size = body.size() - tail.bytes().size();
+    for (size_t keep = 0; keep < body.size(); ++keep) {
+        auto decoded = decodeEvent(body.substr(0, keep));
+        if (keep == v1_size) {
+            ASSERT_TRUE(decoded.ok()) << "v1 boundary must decode";
+            EXPECT_TRUE(decoded.value().clientId.empty());
+            EXPECT_EQ(decoded.value().seq, 0u);
+        } else {
+            EXPECT_FALSE(decoded.ok()) << "kept " << keep;
+        }
+    }
     EXPECT_FALSE(decodeEvent(body + "x").ok());
     EXPECT_FALSE(decodeEvent(std::string(1, '\x09') + body.substr(1)).ok())
         << "unknown event kind must be rejected";

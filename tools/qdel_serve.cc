@@ -18,6 +18,16 @@
  *   --port N             listen on port N (0 = pick ephemeral; omit
  *                        the flag entirely for drive-only runs)
  *   --bind ADDR          bind address (default 127.0.0.1)
+ *   --max-conns N        connection slots; further concurrent clients
+ *                        are shed with 503/Status::Shed (default 64)
+ *   --io-timeout MS      budget for finishing a partial request or
+ *                        response before the connection is reaped
+ *                        (default 5000)
+ *   --idle-timeout MS    how long a connection may idle between
+ *                        requests (default 30000)
+ *   --max-pending N      shed Submit events once a shard holds N
+ *                        pending jobs (0 = unlimited, the default)
+ *   --retry-after S      Retry-After advertised on shed events (1)
  *   --port-file FILE     write the bound port for scripts
  *   --state-dir DIR      durable per-shard checkpoints + WALs
  *   --shards N           registry shards (default 8)
@@ -74,7 +84,10 @@ onSignal(int)
 void
 usage(std::ostream &out)
 {
-    out << "usage: qdel_serve [--port=N] [--state-dir=DIR] [--shards=N]\n"
+    out << "usage: qdel_serve [--port=N] [--max-conns=64] "
+           "[--io-timeout=5000]\n"
+           "                  [--idle-timeout=30000] [--max-pending=0]\n"
+           "                  [--state-dir=DIR] [--shards=N]\n"
            "                  [--method=bmbp] [--quantile=.95] "
            "[--confidence=.95]\n"
            "                  [--refit-every=50] [--train-obs=100]\n"
@@ -176,6 +189,20 @@ main(int argc, char **argv)
     }
     config.keepSnapshots = static_cast<size_t>(keep_snapshots);
     config.syncEveryRecords = static_cast<size_t>(sync_every);
+    const long long max_pending = cliValue(cli.getInt("max-pending", 0));
+    if (max_pending < 0) {
+        std::cerr << "error: --max-pending: must be >= 0, got "
+                  << max_pending << "\n";
+        return 1;
+    }
+    config.maxPendingPerShard = static_cast<uint64_t>(max_pending);
+    const long long retry_after = cliValue(cli.getInt("retry-after", 1));
+    if (retry_after < 1 || retry_after > 3600) {
+        std::cerr << "error: --retry-after: must be in [1, 3600], got "
+                  << retry_after << "\n";
+        return 1;
+    }
+    config.shedRetryAfterSeconds = static_cast<uint32_t>(retry_after);
     if (auto valid = config.validate(); !valid.ok()) {
         std::cerr << "error: " << valid.error().str() << "\n";
         return 1;
@@ -186,6 +213,23 @@ main(int argc, char **argv)
     server_options.port =
         static_cast<int>(cliValue(cli.getInt("port", 0)));
     server_options.bindAddress = cli.getString("bind", "127.0.0.1");
+    const long long max_conns = cliValue(cli.getInt("max-conns", 64));
+    const long long io_timeout = cliValue(cli.getInt("io-timeout", 5000));
+    const long long idle_timeout =
+        cliValue(cli.getInt("idle-timeout", 30000));
+    if (max_conns < 1 || max_conns > 4096) {
+        std::cerr << "error: --max-conns: must be in [1, 4096], got "
+                  << max_conns << "\n";
+        return 1;
+    }
+    if (io_timeout < 1 || idle_timeout < 1) {
+        std::cerr << "error: --io-timeout/--idle-timeout: must be >= 1 ms"
+                  << "\n";
+        return 1;
+    }
+    server_options.maxConnections = static_cast<size_t>(max_conns);
+    server_options.ioTimeoutMs = static_cast<int>(io_timeout);
+    server_options.idleTimeoutMs = static_cast<int>(idle_timeout);
     if (serve_port) {
         if (auto valid = server_options.validate(); !valid.ok()) {
             std::cerr << "error: " << valid.error().str() << "\n";

@@ -10,6 +10,14 @@ Speaks both wire protocols the daemon multiplexes on one port:
   - the HTTP/1.1 fallback (GET /healthz, /bound, /stats, /metrics;
     POST /event, /checkpoint), used for http-* subcommands.
 
+Fault tolerance: the `event` subcommand is idempotent when given
+--client and --seq. The server remembers the highest seq it has
+processed per client, so a retry of an event whose response was lost
+to a network failure is answered deduped=True instead of being applied
+twice. On connection loss or a Status::Shed refusal the client retries
+with exponential backoff + jitter (--retries / --backoff), which is
+safe exactly because of that fence.
+
 Every subcommand prints a one-line machine-greppable result and exits
 nonzero on any protocol or application error, so CI can drive a full
 session:
@@ -17,22 +25,30 @@ session:
   port=$(cat serve.port)
   python3 tools/serve_client.py --port "$port" ping
   python3 tools/serve_client.py --port "$port" event \
-      --kind submit --job 1 --time 100 --machine m --queue q --procs 8
+      --kind submit --job 1 --time 100 --machine m --queue q --procs 8 \
+      --client ci --seq 1
   python3 tools/serve_client.py --port "$port" query \
       --machine m --queue q --procs 8 --quantile 0.95
+  python3 tools/serve_client.py --port "$port" flood --conns 32
   python3 tools/serve_client.py --port "$port" http-metrics > m.prom
 """
 
 import argparse
+import random
 import socket
 import struct
 import sys
+import time
 
 OP_EVENT = 1
 OP_QUERY = 2
 OP_PING = 3
 OP_CHECKPOINT = 4
 OP_STATS = 5
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+STATUS_SHED = 2
 
 KINDS = {"submit": 1, "start": 2, "done": 3}
 
@@ -70,6 +86,14 @@ class Reader:
         return self.take(self.u64()).decode()
 
 
+class ShedError(RuntimeError):
+    """The server refused the request under overload."""
+
+    def __init__(self, reason: str, retry_after: int):
+        super().__init__(reason)
+        self.retry_after = retry_after
+
+
 def connect(host: str, port: int) -> socket.socket:
     sock = socket.create_connection((host, port), timeout=10)
     return sock
@@ -91,9 +115,47 @@ def roundtrip(sock: socket.socket, opcode: int, body: bytes) -> Reader:
     length = struct.unpack("<I", recv_exactly(sock, 4))[0]
     response = Reader(recv_exactly(sock, length))
     status = response.u8()
-    if status != 0:
+    if status == STATUS_SHED:
+        reason = response.s()
+        raise ShedError(reason, response.u32())
+    if status != STATUS_OK:
         raise RuntimeError("server error: " + response.s())
     return response
+
+
+def backoff_delay(attempt: int, base: float,
+                  shed_retry_after: int = 0) -> float:
+    """Exponential backoff with full jitter; a Shed response's
+    Retry-After acts as a floor (capped so CI never sleeps long)."""
+    delay = base * (2 ** attempt) + random.uniform(0.0, base)
+    if shed_retry_after > 0:
+        delay = max(delay, min(float(shed_retry_after), 1.0))
+    return delay
+
+
+def retrying_roundtrip(host: str, port: int, opcode: int, body: bytes,
+                       retries: int, base: float) -> Reader:
+    """Reconnect-and-resend on connection failures and sheds. Only safe
+    for idempotent requests (events tagged with --client/--seq, and all
+    read-only opcodes)."""
+    last_error = None
+    for attempt in range(retries + 1):
+        shed_after = 0
+        try:
+            sock = connect(host, port)
+            try:
+                return roundtrip(sock, opcode, body)
+            finally:
+                sock.close()
+        except ShedError as error:
+            last_error = error
+            shed_after = error.retry_after
+        except (ConnectionError, socket.timeout, OSError) as error:
+            last_error = error
+        if attempt < retries:
+            time.sleep(backoff_delay(attempt, base, shed_after))
+    raise RuntimeError(
+        f"request failed after {retries + 1} attempts: {last_error}")
 
 
 def http_request(host: str, port: int, method: str, target: str) -> str:
@@ -117,6 +179,46 @@ def http_request(host: str, port: int, method: str, target: str) -> str:
     return body.decode()
 
 
+def flood(host: str, port: int, conns: int, hold: float) -> int:
+    """Open many connections that send nothing (slow-loris style) and
+    report how the server disposed of each: `shed` (Status::Shed frame
+    or HTTP 503), `closed` (reaped/EOF), or `held` (still open when the
+    watch window expired). Used by the CI overload smoke."""
+    sockets = []
+    refused = 0
+    for _ in range(conns):
+        try:
+            sockets.append(connect(host, port))
+        except OSError:
+            refused += 1
+    shed = closed = held = 0
+    deadline = time.monotonic() + hold
+    for sock in sockets:
+        try:
+            sock.settimeout(max(0.05, deadline - time.monotonic()))
+            header = recv_exactly(sock, 4)
+            if header[:4].isascii() and header.startswith(b"HTTP"):
+                shed += 1  # 503 head (never sent a request: only shed)
+            else:
+                length = struct.unpack("<I", header)[0]
+                response = Reader(recv_exactly(sock, length))
+                if response.u8() == STATUS_SHED:
+                    shed += 1
+                else:
+                    closed += 1  # Unexpected; count as non-shed.
+        except ConnectionError:
+            closed += 1
+        except socket.timeout:
+            held += 1
+        except OSError:
+            closed += 1
+        finally:
+            sock.close()
+    print(f"flood conns={conns} shed={shed} closed={closed} "
+          f"held={held} refused={refused}")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--host", default="127.0.0.1")
@@ -124,6 +226,11 @@ def main() -> int:
     parser.add_argument("--port-file",
                         help="read the port from this file (written by "
                              "qdel_serve --port-file)")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="retry attempts for event/ping on network "
+                             "failures or sheds (default 3)")
+    parser.add_argument("--backoff", type=float, default=0.1,
+                        help="base backoff in seconds (default 0.1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("ping")
@@ -140,6 +247,12 @@ def main() -> int:
     event.add_argument("--machine", required=True)
     event.add_argument("--queue", required=True)
     event.add_argument("--procs", type=int, default=1)
+    event.add_argument("--client", default="",
+                       help="stable client id enabling server-side "
+                            "retry dedup (empty opts out)")
+    event.add_argument("--seq", type=int, default=0,
+                       help="per-client monotonically increasing "
+                            "sequence number")
 
     query = sub.add_parser("query")
     query.add_argument("--machine", required=True)
@@ -154,6 +267,12 @@ def main() -> int:
     bound.add_argument("--queue", required=True)
     bound.add_argument("--procs", type=int, default=1)
     bound.add_argument("--quantile", type=float, default=0.95)
+
+    flood_cmd = sub.add_parser("flood")
+    flood_cmd.add_argument("--conns", type=int, default=32,
+                           help="connections to open and stall")
+    flood_cmd.add_argument("--hold", type=float, default=5.0,
+                           help="seconds to watch for shed/reap")
 
     args = parser.parse_args()
     if args.port is None:
@@ -177,13 +296,41 @@ def main() -> int:
                   f"&procs={args.procs}&q={args.quantile}")
         print(http_request(args.host, args.port, "GET", target))
         return 0
+    if args.command == "flood":
+        return flood(args.host, args.port, args.conns, args.hold)
+
+    if args.command == "event":
+        body = (bytes([KINDS[args.kind]]) +
+                struct.pack("<Q", args.job) +
+                struct.pack("<d", args.time) +
+                struct.pack("<q", args.procs) +
+                enc_str(args.machine) + enc_str(args.queue) +
+                enc_str(args.client) + struct.pack("<Q", args.seq))
+        # The (client, seq) fence makes the resend safe: if the first
+        # send applied but its response was lost, the retry dedups.
+        response = retrying_roundtrip(args.host, args.port, OP_EVENT,
+                                      body, args.retries, args.backoff)
+        applied = response.u8()
+        reason = response.s()
+        deduped = response.u8()
+        line = f"applied={bool(applied)}"
+        if deduped:
+            line += " deduped=True"
+        if reason:
+            line += f" reason={reason!r}"
+        print(line)
+        if not applied and not deduped:
+            return 2
+        return 0
+    if args.command == "ping":
+        response = retrying_roundtrip(args.host, args.port, OP_PING, b"",
+                                      args.retries, args.backoff)
+        print(f"pong wire-version={response.u32()}")
+        return 0
 
     sock = connect(args.host, args.port)
     try:
-        if args.command == "ping":
-            response = roundtrip(sock, OP_PING, b"")
-            print(f"pong wire-version={response.u32()}")
-        elif args.command == "checkpoint":
+        if args.command == "checkpoint":
             roundtrip(sock, OP_CHECKPOINT, b"")
             print("checkpoint ok")
         elif args.command == "stats":
@@ -192,19 +339,6 @@ def main() -> int:
             shards = [response.u64() for _ in range(response.u64())]
             print(f"entries={entries} processed={sum(shards)} "
                   f"per-shard={','.join(str(s) for s in shards)}")
-        elif args.command == "event":
-            body = (bytes([KINDS[args.kind]]) +
-                    struct.pack("<Q", args.job) +
-                    struct.pack("<d", args.time) +
-                    struct.pack("<q", args.procs) +
-                    enc_str(args.machine) + enc_str(args.queue))
-            response = roundtrip(sock, OP_EVENT, body)
-            applied = response.u8()
-            reason = response.s()
-            print(f"applied={bool(applied)}"
-                  + (f" reason={reason!r}" if reason else ""))
-            if not applied:
-                return 2
         elif args.command == "query":
             body = (enc_str(args.machine) + enc_str(args.queue) +
                     struct.pack("<q", args.procs) +
