@@ -3,10 +3,9 @@
  * Serve-path throughput benchmarks (google-benchmark): the numbers
  * behind the online bound service.
  *
- * Three layers are measured against a populated in-process registry
- * (the same objects the daemon serves from — the socket is deliberately
- * excluded so the numbers isolate the prediction path from kernel
- * networking):
+ * Most rows measure a populated in-process registry (the same objects
+ * the daemon serves from — the socket excluded so the numbers isolate
+ * the prediction path from kernel networking):
  *
  *  - bound queries: the lock-free snapshot-read path, single- and
  *    multi-threaded, with a queries_per_sec rate counter (the PR
@@ -16,6 +15,12 @@
  *    events_per_sec, including the periodic refit + republish cost;
  *  - wire codec: encode -> frame -> unframe -> decode round-trips for
  *    the query and event message types.
+ *
+ * Two rows then put the kernel back in, against a real BoundServer on
+ * loopback: BM_ServeNetworkQps (pipelined clients through the epoll
+ * reactor — the >= 1M queries/sec *network* target) and
+ * BM_ServeOverloadHealthyLatency (a healthy client among stalled
+ * neighbours, plus the shed path's refusal latency).
  */
 
 #include <arpa/inet.h>
@@ -33,6 +38,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/metrics.hh"
 #include "serve/bound_registry.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
@@ -319,6 +325,192 @@ readFrame(int fd, std::string *payload)
     }
     return true;
 }
+
+/**
+ * Shared loopback server for the network-throughput rows: a trained
+ * ephemeral service behind a real BoundServer, built once and reused
+ * by every thread/arg variant (leaked — process-lifetime statics).
+ * Observability is enabled so the server-side batch-size histogram
+ * (qdel_serve_batch_frames) can be reported alongside the rates.
+ */
+serve::BoundServer &
+networkServer()
+{
+    static serve::BoundServer *server = [] {
+        obs::setEnabled(true);
+        serve::ServiceConfig config;
+        config.registry.shards = 8;
+        config.registry.trainObservations = 100;
+        config.registry.refitEvery = 50;
+        auto opened = serve::BoundService::open(config);
+        auto *service =
+            new std::unique_ptr<serve::BoundService>(
+                std::move(opened).value());
+        uint64_t job_id = 0;
+        for (size_t m = 0; m < kMachines; ++m) {
+            for (size_t q = 0; q < kQueues; ++q) {
+                for (int procs : kProcChoices) {
+                    for (size_t i = 0; i < 150; ++i) {
+                        serve::JobEvent submit;
+                        submit.kind = serve::EventKind::Submit;
+                        submit.jobId = ++job_id;
+                        submit.time = 0.0;
+                        submit.machine = machineName(m);
+                        submit.queue = queueName(q);
+                        submit.procs = procs;
+                        (void)(*service)->ingest(submit);
+                        serve::JobEvent start = submit;
+                        start.kind = serve::EventKind::Start;
+                        start.time =
+                            30.0 + static_cast<double>((i * 37) % 900);
+                        (void)(*service)->ingest(start);
+                    }
+                }
+            }
+        }
+        serve::ServerOptions options;
+        options.maxConnections = 64;
+        auto started =
+            serve::BoundServer::start(**service, options);
+        return started.value().release();
+    }();
+    return *server;
+}
+
+/** (sum, count) of the server's batch-size histogram right now. */
+std::pair<double, uint64_t>
+batchFramesHistogram()
+{
+    for (const auto &histogram :
+         obs::registry().snapshot().histograms) {
+        if (histogram.name == "qdel_serve_batch_frames")
+            return {histogram.sum, histogram.count};
+    }
+    return {0.0, 0};
+}
+
+/**
+ * The headline network row: pipelined clients against a real
+ * BoundServer over loopback. Each thread keeps one connection and
+ * stop-and-waits batches of state.range(0) pre-encoded query frames —
+ * the server drains the whole batch off one epoll wakeup, answers
+ * through the batched registry path, and flushes one response burst,
+ * so the syscall cost amortizes across the batch. queries_per_sec
+ * aggregates across threads; rtt_p50/p99/p999_us are per-batch
+ * round-trip latencies as the client observes them (divide by the
+ * batch depth for amortized per-query cost); server_batch_mean is the
+ * server-side frames-per-wakeup histogram mean over the run.
+ */
+void
+BM_ServeNetworkQps(benchmark::State &state)
+{
+    const size_t depth = static_cast<size_t>(state.range(0));
+    auto &server = networkServer();
+    const int fd = connectLoopback(server.port());
+    if (fd < 0) {
+        state.SkipWithError("connect failed");
+        return;
+    }
+    std::string batch;
+    for (size_t i = 0; i < depth; ++i) {
+        batch += serve::frameRequest(
+            serve::Opcode::Query,
+            serve::encodeQuery(queryFor(
+                i * 7 + static_cast<size_t>(state.thread_index()))));
+    }
+
+    const auto histogram_before = batchFramesHistogram();
+    std::vector<double> rtts;
+    rtts.reserve(1 << 16);
+    std::string buffer;
+    buffer.reserve(depth * 128);
+    char chunk[64 * 1024];
+    bool failed = false;
+    for (auto _ : state) {
+        const auto begin = std::chrono::steady_clock::now();
+        if (!sendAll(fd, batch)) {
+            failed = true;
+            break;
+        }
+        buffer.clear();
+        size_t got = 0;
+        size_t off = 0;
+        while (got < depth && !failed) {
+            while (buffer.size() - off >= 4) {
+                uint32_t length = 0;
+                std::memcpy(&length, buffer.data() + off, 4);
+                if (length > serve::kMaxFrameBytes) {
+                    failed = true;
+                    break;
+                }
+                if (buffer.size() - off < 4 + length)
+                    break;
+                if (buffer[off + 4] !=
+                    static_cast<char>(serve::Status::Ok)) {
+                    failed = true;
+                    break;
+                }
+                off += 4 + length;
+                ++got;
+            }
+            if (failed || got >= depth)
+                break;
+            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+                failed = true;
+                break;
+            }
+            buffer.append(chunk, static_cast<size_t>(n));
+        }
+        if (failed)
+            break;
+        const auto end = std::chrono::steady_clock::now();
+        rtts.push_back(
+            std::chrono::duration<double, std::micro>(end - begin)
+                .count());
+    }
+    ::close(fd);
+    if (failed) {
+        state.SkipWithError("pipelined round trip failed");
+        return;
+    }
+    const auto histogram_after = batchFramesHistogram();
+
+    std::sort(rtts.begin(), rtts.end());
+    const auto at = [&](double p) {
+        return rtts.empty()
+                   ? 0.0
+                   : rtts[std::min(
+                         rtts.size() - 1,
+                         static_cast<size_t>(
+                             p * static_cast<double>(rtts.size())))];
+    };
+    state.counters["rtt_p50_us"] =
+        benchmark::Counter(at(0.50), benchmark::Counter::kAvgThreads);
+    state.counters["rtt_p99_us"] =
+        benchmark::Counter(at(0.99), benchmark::Counter::kAvgThreads);
+    state.counters["rtt_p999_us"] =
+        benchmark::Counter(at(0.999), benchmark::Counter::kAvgThreads);
+    state.counters["batch_depth"] = benchmark::Counter(
+        static_cast<double>(depth), benchmark::Counter::kAvgThreads);
+    const uint64_t batches =
+        histogram_after.second - histogram_before.second;
+    state.counters["server_batch_mean"] = benchmark::Counter(
+        batches == 0 ? 0.0
+                     : (histogram_after.first - histogram_before.first) /
+                           static_cast<double>(batches),
+        benchmark::Counter::kAvgThreads);
+    state.counters["queries_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(depth),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeNetworkQps)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->UseRealTime();
+BENCHMARK(BM_ServeNetworkQps)->Arg(64)->Threads(4)->UseRealTime();
 
 /**
  * The overload row: a real BoundServer over loopback with

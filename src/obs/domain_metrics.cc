@@ -192,6 +192,11 @@ serveMetrics()
         registry().counter("qdel_serve_accept_errors_total",
                            "accept() failures absorbed by the backoff"
                            " loop"),
+        registry().counter("qdel_serve_loop_wakeups_total",
+                           "epoll_wait() returns across reactor loops"),
+        registry().counter("qdel_serve_buffer_shrinks_total",
+                           "Per-connection buffers released back to the"
+                           " small default after an oversized request"),
         registry().gauge("qdel_serve_entries",
                          "Live (machine, queue, proc-bucket) predictor"
                          " entries"),
@@ -199,12 +204,18 @@ serveMetrics()
                          "Submitted jobs not yet started"),
         registry().gauge("qdel_serve_connections",
                          "Open client connections"),
+        registry().gauge("qdel_serve_reactor_loops",
+                         "Reactor event-loop threads running"),
         registry().histogram("qdel_serve_request_seconds",
                              "Latency of one served request",
                              latencyBounds()),
         registry().histogram("qdel_serve_query_seconds",
                              "Latency of one bound query",
                              latencyBounds()),
+        registry().histogram("qdel_serve_batch_frames",
+                             "Complete frames serviced per reactor"
+                             " drain batch",
+                             exponentialBounds(1.0, 4.0, 8)),
     };
     return metrics;
 }

@@ -97,11 +97,15 @@ struct ServeMetrics
     Counter &reapedConnections;  //!< qdel_serve_reaped_connections_total
     Counter &dedupHits;          //!< qdel_serve_dedup_hits_total
     Counter &acceptErrors;       //!< qdel_serve_accept_errors_total
+    Counter &loopWakeups;        //!< qdel_serve_loop_wakeups_total
+    Counter &bufferShrinks;      //!< qdel_serve_buffer_shrinks_total
     Gauge &entries;              //!< qdel_serve_entries
     Gauge &pendingJobs;          //!< qdel_serve_pending_jobs
     Gauge &connections;          //!< qdel_serve_connections
+    Gauge &reactorLoops;         //!< qdel_serve_reactor_loops
     Histogram &requestSeconds;   //!< qdel_serve_request_seconds
     Histogram &querySeconds;     //!< qdel_serve_query_seconds
+    Histogram &batchFrames;      //!< qdel_serve_batch_frames
 };
 
 CoreMetrics &coreMetrics();

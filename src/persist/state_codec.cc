@@ -157,6 +157,19 @@ StateReader::str()
     return value;
 }
 
+Expected<std::string_view>
+StateReader::strView()
+{
+    auto length = u64();
+    if (!length.ok())
+        return length.error();
+    if (auto ok = need(length.value(), "str"); !ok.ok())
+        return ok.error();
+    std::string_view value = bytes_.substr(offset_, length.value());
+    offset_ += length.value();
+    return value;
+}
+
 Expected<std::vector<double>>
 StateReader::doubles()
 {

@@ -74,6 +74,12 @@ class StateReader
     Expected<int64_t> i64();
     Expected<double> f64();
     Expected<std::string> str();
+
+    /** Zero-copy str(): a view into the underlying buffer, valid only
+     *  while that buffer is. Lets hot decode paths assign into reused
+     *  string storage instead of allocating per field. */
+    Expected<std::string_view> strView();
+
     Expected<std::vector<double>> doubles();
 
     /** Error unless the whole buffer has been consumed. */

@@ -361,10 +361,62 @@ BoundRegistry::query(const BoundQuery &query) const
     return answer;
 }
 
+void
+BoundRegistry::queryBatch(const BoundQuery *queries, size_t count,
+                          BoundAnswer *answers, QueryScratch &scratch) const
+{
+    if (count == 0)
+        return;
+    // assign() reuses the vector's capacity, so after the first batch
+    // this only releases the previous batch's key-map pins.
+    scratch.maps_.assign(shards_.size(), nullptr);
+    std::string &key = scratch.key_;
+    for (size_t i = 0; i < count; ++i) {
+        const BoundQuery &query = queries[i];
+        BoundAnswer &answer = answers[i];
+        answer = BoundAnswer{};
+        answer.confidence = options_.confidence;
+        const size_t gi = gridIndexFor(query.quantile);
+        answer.quantile = kGridQuantiles[gi];
+
+        const int bucket = procBucketFor(query.procs);
+        key.clear();
+        key += query.machine;
+        key += '\x1f';
+        key += query.queue;
+        key += '\x1f';
+        key += static_cast<char>('0' + bucket);
+        const size_t s =
+            persist::crc32(key.data(), key.size()) % shards_.size();
+        if (scratch.maps_[s] == nullptr) {
+            scratch.maps_[s] =
+                shards_[s]->keys.load(std::memory_order_acquire);
+        }
+        const KeyMap &keys =
+            *static_cast<const KeyMap *>(scratch.maps_[s].get());
+        const auto it = keys.find(key);
+        if (it == keys.end())
+            continue;
+        const auto snapshot =
+            it->second->snapshot.load(std::memory_order_acquire);
+        answer.known = true;
+        answer.upper = snapshot->upper[gi];
+        answer.lower = snapshot->lower[gi];
+        answer.historySize = snapshot->historySize;
+        answer.observations = snapshot->observations;
+        answer.version = snapshot->version;
+    }
+    QDEL_OBS(obs::serveMetrics().queries.inc(count));
+}
+
 uint64_t
 BoundRegistry::processedCount(size_t s) const
 {
-    const Shard &shard = *shards_[s];
+    // stats() runs on whatever reactor loop got the request, racing
+    // event appliers on other loops; the counters are guarded by the
+    // shard writer lock (cold path — stats only).
+    Shard &shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.writer);
     return shard.applied + shard.rejected;
 }
 

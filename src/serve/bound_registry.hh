@@ -144,6 +144,32 @@ class BoundRegistry
     /** Lock-free bound lookup; known=false for an unseen key. */
     BoundAnswer query(const BoundQuery &query) const;
 
+    /**
+     * Reusable scratch for queryBatch(). The key string and the
+     * per-shard key-map pins inside are reset (capacity retained, maps
+     * released) between batches, so a steady-state batch allocates
+     * nothing and performs at most one atomic key-map load per shard
+     * touched. One scratch per reactor loop; not thread-safe.
+     */
+    class QueryScratch
+    {
+        friend class BoundRegistry;
+        std::string key_;
+        /** Type-erased shared_ptr<const KeyMap> pins (KeyMap is
+         *  private); index = shard, null = not yet loaded. */
+        std::vector<std::shared_ptr<const void>> maps_;
+    };
+
+    /**
+     * Answer @p count queries through the same lock-free snapshot path
+     * as query(), amortizing key construction and key-map acquire
+     * loads across the batch — the reactor's pipelined hot path.
+     * Results land in @p answers[0..count); identical to calling
+     * query() per element.
+     */
+    void queryBatch(const BoundQuery *queries, size_t count,
+                    BoundAnswer *answers, QueryScratch &scratch) const;
+
     /** Events processed (applied + rejected) by shard @p s. */
     uint64_t processedCount(size_t s) const;
 

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reusable per-connection byte buffer for the reactor's receive path.
+ *
+ * The reactor reads edge-triggered sockets into one of these per
+ * connection: writable tail space is handed to recv(), complete frames
+ * are consumed off the head, and the storage is recycled — not freed —
+ * between batches, so a steady-state connection performs zero
+ * allocations per request.
+ *
+ * Consumption is an offset, not an erase: erase(0, n) memmoves the
+ * whole remainder on every frame, which is O(bytes^2) for a pipelined
+ * burst. Here consumed bytes advance head_, and the live region is
+ * compacted to the front only when tail space is needed — at which
+ * point the live region is almost always empty (a fully-drained batch)
+ * and compaction is a no-op.
+ *
+ * Capacity is also bounded over time: a single near-kMaxFrameBytes
+ * frame would otherwise pin ~1 MiB for the connection's lifetime.
+ * shrinkIfOversized() releases storage back to the small default once
+ * the oversized request has been serviced; the reactor calls it after
+ * every drained batch and counts releases in
+ * qdel_serve_buffer_shrinks_total.
+ */
+
+#ifndef QDEL_SERVE_CONN_BUFFER_HH
+#define QDEL_SERVE_CONN_BUFFER_HH
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace qdel {
+namespace serve {
+
+class ConnBuffer
+{
+  public:
+    /** Steady-state capacity; also the recv() chunk size. */
+    static constexpr size_t kDefaultCapacity = 16 * 1024;
+
+    /** Capacities above this are released once the live region fits
+     *  the default again. */
+    static constexpr size_t kShrinkThreshold = 4 * kDefaultCapacity;
+
+    ConnBuffer() { bytes_.resize(kDefaultCapacity); }
+
+    /** Unconsumed bytes (the live region). */
+    std::string_view view() const
+    {
+        return std::string_view(bytes_.data() + head_, tail_ - head_);
+    }
+
+    size_t size() const { return tail_ - head_; }
+    bool empty() const { return head_ == tail_; }
+    size_t capacity() const { return bytes_.size(); }
+
+    /**
+     * Guarantee @p want writable bytes past the live region and return
+     * a pointer to them; commit(n) after the read. Compacts the live
+     * region to the front first, and only grows storage when the live
+     * bytes plus @p want genuinely exceed capacity.
+     */
+    char *writePtr(size_t want)
+    {
+        if (bytes_.size() - tail_ < want) {
+            compact();
+            if (bytes_.size() - tail_ < want)
+                bytes_.resize(tail_ + want);
+        }
+        return bytes_.data() + tail_;
+    }
+
+    /** Publish @p n bytes written through writePtr(). */
+    void commit(size_t n) { tail_ += n; }
+
+    /** Drop @p n bytes off the head of the live region. */
+    void consume(size_t n)
+    {
+        head_ += n;
+        if (head_ == tail_)
+            head_ = tail_ = 0;
+    }
+
+    void clear() { head_ = tail_ = 0; }
+
+    /**
+     * Release oversized storage once the live region fits the default
+     * capacity again. Returns true when memory was actually given back
+     * (the caller counts these). Never shrinks mid-request: a live
+     * region larger than the default keeps its storage.
+     */
+    bool shrinkIfOversized()
+    {
+        if (bytes_.size() <= kShrinkThreshold ||
+            size() > kDefaultCapacity)
+            return false;
+        std::vector<char> fresh(kDefaultCapacity);
+        const size_t live = size();
+        if (live > 0)
+            std::memcpy(fresh.data(), bytes_.data() + head_, live);
+        bytes_.swap(fresh);
+        head_ = 0;
+        tail_ = live;
+        return true;
+    }
+
+  private:
+    void compact()
+    {
+        if (head_ == 0)
+            return;
+        const size_t live = size();
+        if (live > 0)
+            std::memmove(bytes_.data(), bytes_.data() + head_, live);
+        head_ = 0;
+        tail_ = live;
+    }
+
+    std::vector<char> bytes_;
+    size_t head_ = 0;  //!< First unconsumed byte.
+    size_t tail_ = 0;  //!< One past the last committed byte.
+};
+
+} // namespace serve
+} // namespace qdel
+
+#endif // QDEL_SERVE_CONN_BUFFER_HH

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace qdel {
@@ -176,6 +177,8 @@ parseRequestHead(std::string_view head)
         } else if (name == "transfer-encoding") {
             return ParseError{"", 0, "http.transferEncoding",
                               "chunked bodies are not supported"};
+        } else if (name == "connection") {
+            request.keepAlive = lowered(value) == "keep-alive";
         }
     }
     return request;
@@ -213,15 +216,36 @@ renderHttpResponse(
     int status, const std::string &contentType, std::string_view body,
     const std::vector<std::pair<std::string, std::string>> &extraHeaders)
 {
-    std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
-                           httpReason(status) + "\r\n";
-    response += "Content-Type: " + contentType + "\r\n";
-    response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-    for (const auto &[name, value] : extraHeaders)
-        response += name + ": " + value + "\r\n";
-    response += "Connection: close\r\n\r\n";
-    response.append(body.data(), body.size());
+    std::string response;
+    appendHttpResponse(response, status, contentType, body,
+                       /*keepAlive=*/false, extraHeaders);
     return response;
+}
+
+void
+appendHttpResponse(
+    std::string &out, int status, std::string_view contentType,
+    std::string_view body, bool keepAlive,
+    const std::vector<std::pair<std::string, std::string>> &extraHeaders)
+{
+    char buf[64];
+    const int head = std::snprintf(buf, sizeof(buf), "HTTP/1.1 %d ", status);
+    out.append(buf, static_cast<size_t>(head));
+    out += httpReason(status);
+    out += "\r\nContent-Type: ";
+    out.append(contentType.data(), contentType.size());
+    const int len = std::snprintf(buf, sizeof(buf),
+                                  "\r\nContent-Length: %zu\r\n", body.size());
+    out.append(buf, static_cast<size_t>(len));
+    for (const auto &[name, value] : extraHeaders) {
+        out += name;
+        out += ": ";
+        out += value;
+        out += "\r\n";
+    }
+    out += keepAlive ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
+    out.append(body.data(), body.size());
 }
 
 } // namespace serve

@@ -37,6 +37,11 @@ struct HttpRequest
     std::string path;    //!< Percent-decoded path without the query.
     std::map<std::string, std::string> params;  //!< Decoded query args.
     size_t contentLength = 0;
+
+    /** True when the client explicitly sent "Connection: keep-alive".
+     *  Responses stay close-delimited unless the client opts in, so
+     *  read-to-EOF clients keep working unchanged. */
+    bool keepAlive = false;
 };
 
 /**
@@ -59,6 +64,19 @@ std::string percentDecode(std::string_view text);
  *  @p extraHeaders are emitted verbatim (e.g. {"Retry-After", "1"}). */
 std::string renderHttpResponse(
     int status, const std::string &contentType, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>> &extraHeaders =
+        {});
+
+/**
+ * Append-style renderHttpResponse() for the reactor hot path: the
+ * response is appended to @p out (a per-connection scratch buffer that
+ * is reset, not freed, between batches). @p keepAlive selects the
+ * Connection header; Content-Length is always emitted, so a keep-alive
+ * client can frame the body without waiting for EOF.
+ */
+void appendHttpResponse(
+    std::string &out, int status, std::string_view contentType,
+    std::string_view body, bool keepAlive,
     const std::vector<std::pair<std::string, std::string>> &extraHeaders =
         {});
 

@@ -1,15 +1,34 @@
 /**
  * @file
- * Implementation of the TCP front end. See server.hh for the worker
- * model, deadline, and shedding semantics.
+ * Implementation of the TCP front end: one accept thread plus a
+ * sharded epoll reactor. See server.hh for the loop model, deadline,
+ * and shedding semantics.
+ *
+ * Hot-path invariants the reactor maintains:
+ *
+ *  - a connection belongs to exactly one loop, so all of its state
+ *    (buffers, deadlines, timer links) is touched by one thread only;
+ *  - reads are edge-triggered and drained to EAGAIN; every complete
+ *    frame in the drained bytes is handled before a single flush, so a
+ *    pipelined client costs ~2 syscalls per batch;
+ *  - responses are appended into a per-connection scratch string that
+ *    is cleared (capacity retained) after each flush, and consecutive
+ *    bound queries dispatch through BoundRegistry::queryBatch — the
+ *    steady state allocates nothing per request;
+ *  - deadlines live in a per-loop hashed timing wheel (10ms ticks);
+ *    arming is two pointer writes, so every serviced request can
+ *    re-arm without heap or lock traffic.
  */
 
 #include "serve/server.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -23,11 +42,13 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/domain_metrics.hh"
 #include "obs/obs.hh"
 #include "persist/state_codec.hh"
+#include "serve/conn_buffer.hh"
 #include "serve/http.hh"
 #include "serve/netfault.hh"
 #include "util/logging.hh"
@@ -53,6 +74,13 @@ constexpr int kShedGraceMs = 100;
  *  overflow with a bare close. */
 constexpr size_t kShedQueueCap = 64;
 
+/** Most events one epoll_wait() hands back per loop iteration. */
+constexpr int kMaxEpollEvents = 64;
+
+/** Response scratch capacities above this are released after a flush
+ *  (the out-buffer twin of ConnBuffer::shrinkIfOversized). */
+constexpr size_t kOutScratchShrinkBytes = ConnBuffer::kShrinkThreshold;
+
 std::chrono::milliseconds
 ms(int count)
 {
@@ -72,9 +100,10 @@ enum class IoResult { Ok, Eof, Timeout, Error };
 
 /**
  * Append up to @p max more bytes, waiting for readability until
- * @p deadline. Runs the netfault Recv hook: an injected stall reports
- * Timeout (the reaper path a real stalled peer would eventually hit),
- * a reset reports Error, a short read clamps @p max to a dribble.
+ * @p deadline. Blocking-path helper used by the shed thread only; the
+ * reactor reads nonblocking sockets directly. Runs the netfault Recv
+ * hook: an injected stall reports Timeout, a reset reports Error, a
+ * short read clamps @p max to a dribble.
  */
 IoResult
 recvSomeDeadline(int fd, std::string *buffer, Clock::time_point deadline,
@@ -125,9 +154,10 @@ recvSomeDeadline(int fd, std::string *buffer, Clock::time_point deadline,
 
 /**
  * send() the whole buffer (suppressing SIGPIPE), waiting for
- * writability until @p deadline. Runs the netfault Send hook: an
- * injected short write pushes a prefix and then reports Error, as a
- * peer resetting mid-response would.
+ * writability until @p deadline. Blocking-path helper used by the shed
+ * thread only. Runs the netfault Send hook: an injected short write
+ * pushes a prefix and then reports Error, as a peer resetting
+ * mid-response would.
  */
 IoResult
 sendAllDeadline(int fd, std::string_view bytes, Clock::time_point deadline)
@@ -163,6 +193,198 @@ sendAllDeadline(int fd, std::string_view bytes, Clock::time_point deadline)
     return fault.fail ? IoResult::Error : IoResult::Ok;
 }
 
+struct Loop;
+
+/** One reactor-owned connection; touched only by its loop's thread. */
+struct Conn
+{
+    int fd = -1;
+    Loop *loop = nullptr;
+
+    enum class Proto { Sniff, Binary, Http };
+    Proto proto = Proto::Sniff;
+
+    ConnBuffer in;         //!< Receive buffer (reused, shrinkable).
+    std::string out;       //!< Response arena: cleared, not freed.
+    size_t outSent = 0;    //!< Bytes of out already on the wire.
+    bool wantWrite = false;  //!< Waiting for EPOLLOUT to finish out.
+    bool closing = false;    //!< Close once out is fully flushed.
+
+    /** Absolute deadline + which budget armed it (idle vs io). An io
+     *  deadline is sticky: dribbled bytes never extend it. */
+    Clock::time_point deadline{};
+    bool idleDeadline = true;
+
+    /** Intrusive timing-wheel links (slot < 0 = disarmed). */
+    Conn *timerPrev = nullptr;
+    Conn *timerNext = nullptr;
+    int timerSlot = -1;
+};
+
+/**
+ * Hashed timing wheel: 256 slots x 10ms ticks. arm()/disarm() are O(1)
+ * pointer splices; advance() visits only the slots the clock crossed
+ * and checks each resident's absolute deadline, so entries further
+ * than one rotation out are merely re-homed once per rotation.
+ */
+class TimerWheel
+{
+  public:
+    static constexpr int kTickMs = 10;
+    static constexpr int64_t kSlots = 256;  // Power of two.
+
+    TimerWheel() : lastTick_(tickOf(Clock::now())) {}
+
+    bool armed() const { return armed_ > 0; }
+
+    /** epoll_wait budget: tick-resolution while anything is armed. */
+    int pollTimeoutMs() const { return armed_ > 0 ? kTickMs : 500; }
+
+    void
+    arm(Conn *c, Clock::time_point deadline)
+    {
+        disarm(c);
+        // Never arm into the tick being/just scanned: a deadline inside
+        // the current tick lands in the next one and expires there.
+        const int64_t tick = std::max(tickOf(deadline), lastTick_ + 1);
+        const size_t slot = static_cast<size_t>(tick & (kSlots - 1));
+        c->timerSlot = static_cast<int>(slot);
+        c->timerPrev = nullptr;
+        c->timerNext = slots_[slot];
+        if (slots_[slot] != nullptr)
+            slots_[slot]->timerPrev = c;
+        slots_[slot] = c;
+        ++armed_;
+    }
+
+    void
+    disarm(Conn *c)
+    {
+        if (c->timerSlot < 0)
+            return;
+        if (c->timerPrev != nullptr)
+            c->timerPrev->timerNext = c->timerNext;
+        else
+            slots_[c->timerSlot] = c->timerNext;
+        if (c->timerNext != nullptr)
+            c->timerNext->timerPrev = c->timerPrev;
+        c->timerPrev = nullptr;
+        c->timerNext = nullptr;
+        c->timerSlot = -1;
+        --armed_;
+    }
+
+    /** Advance to @p now; expired connections land in @p expired. */
+    void
+    advance(Clock::time_point now, std::vector<Conn *> &expired)
+    {
+        const int64_t now_tick = tickOf(now);
+        if (now_tick <= lastTick_)
+            return;
+        int64_t from = lastTick_ + 1;
+        // After a stall longer than one rotation every slot is due
+        // exactly once; scanning further would revisit slots.
+        if (now_tick - from >= kSlots)
+            from = now_tick - kSlots + 1;
+        lastTick_ = now_tick;
+        for (int64_t t = from; t <= now_tick; ++t) {
+            Conn *c = slots_[t & (kSlots - 1)];
+            while (c != nullptr) {
+                Conn *next = c->timerNext;
+                if (c->deadline <= now) {
+                    disarm(c);
+                    expired.push_back(c);
+                } else {
+                    // Resident from a later rotation (or due later in
+                    // this tick): re-home it past lastTick_.
+                    disarm(c);
+                    arm(c, c->deadline);
+                }
+                c = next;
+            }
+        }
+    }
+
+  private:
+    static int64_t
+    tickOf(Clock::time_point tp)
+    {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   tp.time_since_epoch())
+                   .count() /
+               kTickMs;
+    }
+
+    Conn *slots_[kSlots] = {};
+    int64_t lastTick_ = 0;
+    size_t armed_ = 0;
+};
+
+/** One event loop: epoll instance + timer wheel + batch scratch. */
+struct Loop
+{
+    BoundService *service = nullptr;
+    const ServerOptions *options = nullptr;
+    const std::atomic<bool> *stopping = nullptr;
+    int epollFd = -1;
+    int wakeFd = -1;  //!< eventfd the accept thread signals.
+    std::thread thread;
+
+    /** New fds handed over by the accept thread. */
+    std::mutex inboxMutex;
+    std::vector<int> inbox;
+
+    /** Connections owned by (or reserved for) this loop. Incremented
+     *  by the accept thread at hand-off so admission control sees a
+     *  connection the instant it is accepted. */
+    std::atomic<size_t> connCount{0};
+
+    TimerWheel wheel;
+    std::unordered_set<Conn *> conns;
+    std::vector<Conn *> expired;
+
+    /** Query-batch scratch: reset (not freed) between batches. */
+    std::vector<BoundQuery> queries;
+    std::vector<BoundAnswer> answers;
+    size_t queryCount = 0;
+    BoundRegistry::QueryScratch queryScratch;
+
+    ~Loop()
+    {
+        if (epollFd >= 0)
+            ::close(epollFd);
+        if (wakeFd >= 0)
+            ::close(wakeFd);
+    }
+
+    void
+    wake()
+    {
+        const uint64_t one = 1;
+        [[maybe_unused]] const ssize_t n =
+            ::write(wakeFd, &one, sizeof(one));
+    }
+
+    void run();
+    void adoptInbox();
+    void closeConn(Conn *c);
+    void shutdownAll();
+    void onReadable(Conn *c);
+    bool onWritable(Conn *c);
+    bool flushOut(Conn *c);
+    void rearmDeadline(Conn *c, bool serviced);
+    void processInput(Conn *c, size_t *frames);
+    void processBinary(Conn *c, size_t *frames);
+    void processHttp(Conn *c, size_t *frames);
+    void handleFramePayload(Conn *c, std::string_view payload);
+    void flushQueryBatch(Conn *c);
+    BoundQuery &nextQuerySlot();
+};
+
+/** Route one parsed HTTP request, appending the response to @p out. */
+void handleHttpRequest(BoundService *service, const HttpRequest &request,
+                       std::string &out, bool keepAlive);
+
 } // namespace
 
 Expected<Unit>
@@ -184,6 +406,11 @@ ServerOptions::validate() const
                           "connection slots must be in [1, 4096], got " +
                               std::to_string(maxConnections)};
     }
+    if (reactorThreads > 256) {
+        return ParseError{"", 0, "reactorThreads",
+                          "reactor threads must be in [0, 256], got " +
+                              std::to_string(reactorThreads)};
+    }
     if (ioTimeoutMs < 1 || idleTimeoutMs < 1) {
         return ParseError{"", 0, "timeouts",
                           "io and idle timeouts must be >= 1 ms"};
@@ -201,17 +428,8 @@ struct BoundServer::Impl
 
     std::atomic<bool> stopping{false};
 
-    /** One slot per allowed concurrent connection. A slot whose
-     *  done flag is set holds only a joinable-but-finished thread,
-     *  joined on reuse (or by stop()). */
-    struct Slot
-    {
-        std::thread thread;
-        std::atomic<bool> done{true};
-    };
-    std::mutex mutex;  //!< Guards slots claiming + connectionFds.
-    std::vector<std::unique_ptr<Slot>> slots;
-    std::vector<int> connectionFds;
+    std::vector<std::unique_ptr<Loop>> loops;
+    size_t nextLoop = 0;  //!< Accept-thread only: round-robin start.
 
     /** Overflow connections queue here for a structured refusal so
      *  the accept loop never blocks on a slow client. */
@@ -222,16 +440,9 @@ struct BoundServer::Impl
     bool shedStopping = false;
 
     void acceptLoop();
-    Slot *claimSlotLocked();
     void enqueueShed(int fd);
     void shedLoop();
     void answerShed(int fd);
-    void reap(int fd, const char *what);
-    void serveConnection(int fd);
-    void serveBinary(int fd, std::string buffer);
-    void serveHttp(int fd, std::string buffer);
-    std::string handleFrame(std::string_view payload);
-    std::string handleHttpRequest(const HttpRequest &request);
     void stop();
 
     ~Impl() { stop(); }
@@ -303,9 +514,41 @@ BoundServer::start(BoundService &service, const ServerOptions &options)
     impl->listenFd = fd;
     impl->boundPort = static_cast<int>(ntohs(address.sin_port));
     impl->options = options;
-    impl->slots.reserve(options.maxConnections);
-    for (size_t i = 0; i < options.maxConnections; ++i)
-        impl->slots.push_back(std::make_unique<Impl::Slot>());
+
+    size_t threads = options.reactorThreads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    // More loops than admissible connections would only idle.
+    threads = std::min(threads, options.maxConnections);
+
+    for (size_t i = 0; i < threads; ++i) {
+        auto loop = std::make_unique<Loop>();
+        loop->service = impl->service;
+        loop->options = &impl->options;
+        loop->stopping = &impl->stopping;
+        loop->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+        loop->wakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+        if (loop->epollFd < 0 || loop->wakeFd < 0) {
+            const std::string reason = std::strerror(errno);
+            return ParseError{"", 0, "reactor",
+                              "epoll/eventfd setup failed: " + reason};
+        }
+        struct epoll_event event;
+        std::memset(&event, 0, sizeof(event));
+        event.events = EPOLLIN;
+        event.data.ptr = nullptr;  // nullptr marks the wake eventfd.
+        if (::epoll_ctl(loop->epollFd, EPOLL_CTL_ADD, loop->wakeFd,
+                        &event) != 0) {
+            const std::string reason = std::strerror(errno);
+            return ParseError{"", 0, "reactor",
+                              "epoll_ctl(wakeFd): " + reason};
+        }
+        impl->loops.push_back(std::move(loop));
+    }
+    for (auto &loop : impl->loops) {
+        loop->thread = std::thread([raw = loop.get()] { raw->run(); });
+    }
+
     impl->shedThread = std::thread([raw = impl.get()] {
         raw->shedLoop();
     });
@@ -313,20 +556,6 @@ BoundServer::start(BoundService &service, const ServerOptions &options)
         raw->acceptLoop();
     });
     return std::unique_ptr<BoundServer>(new BoundServer(std::move(impl)));
-}
-
-BoundServer::Impl::Slot *
-BoundServer::Impl::claimSlotLocked()
-{
-    for (auto &slot : slots) {
-        if (slot->thread.joinable()) {
-            if (!slot->done.load(std::memory_order_acquire))
-                continue;
-            slot->thread.join();
-        }
-        return slot.get();
-    }
-    return nullptr;
 }
 
 void
@@ -360,43 +589,536 @@ BoundServer::Impl::acceptLoop()
             continue;
         }
         backoff_ms = 1;
+        if (stopping.load(std::memory_order_acquire)) {
+            ::close(fd);
+            return;
+        }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-        Slot *slot = nullptr;
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            if (stopping.load(std::memory_order_acquire)) {
-                ::close(fd);
-                return;
-            }
-            slot = claimSlotLocked();
-            if (slot != nullptr) {
-                slot->done.store(false, std::memory_order_relaxed);
-                connectionFds.push_back(fd);
+        // Admission control: the loops' counts include reservations
+        // made here, so the (maxConnections + 1)th concurrent
+        // connection always sheds. Pin admitted fds to the
+        // least-loaded loop (round-robin start breaks ties).
+        size_t total = 0;
+        size_t best = nextLoop % loops.size();
+        size_t best_count = static_cast<size_t>(-1);
+        for (size_t i = 0; i < loops.size(); ++i) {
+            const size_t at = (nextLoop + i) % loops.size();
+            const size_t count =
+                loops[at]->connCount.load(std::memory_order_relaxed);
+            total += count;
+            if (count < best_count) {
+                best_count = count;
+                best = at;
             }
         }
-        if (slot == nullptr) {
+        ++nextLoop;
+        if (total >= options.maxConnections) {
             enqueueShed(fd);
             continue;
         }
-        QDEL_OBS(obs::serveMetrics().connections.add(1.0));
-        slot->thread = std::thread([this, slot, fd] {
-            serveConnection(fd);
-            {
-                // Unregister before close so stop() never shutdown()s
-                // a recycled descriptor number.
-                std::lock_guard<std::mutex> conn_lock(mutex);
-                connectionFds.erase(std::remove(connectionFds.begin(),
-                                                connectionFds.end(), fd),
-                                    connectionFds.end());
-            }
-            ::close(fd);
-            QDEL_OBS(obs::serveMetrics().connections.add(-1.0));
-            slot->done.store(true, std::memory_order_release);
-        });
+        Loop &loop = *loops[best];
+        loop.connCount.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(loop.inboxMutex);
+            loop.inbox.push_back(fd);
+        }
+        loop.wake();
     }
 }
+
+namespace {
+
+void
+Loop::run()
+{
+    QDEL_OBS(obs::serveMetrics().reactorLoops.add(1.0));
+    struct epoll_event events[kMaxEpollEvents];
+    for (;;) {
+        const int n = ::epoll_wait(epollFd, events, kMaxEpollEvents,
+                                   wheel.pollTimeoutMs());
+        if (n < 0 && errno != EINTR)
+            break;
+        QDEL_OBS(obs::serveMetrics().loopWakeups.inc());
+        if (stopping->load(std::memory_order_acquire))
+            break;
+        for (int i = 0; i < n; ++i) {
+            if (events[i].data.ptr == nullptr) {
+                uint64_t drained = 0;
+                [[maybe_unused]] const ssize_t r =
+                    ::read(wakeFd, &drained, sizeof(drained));
+                adoptInbox();
+                continue;
+            }
+            Conn *c = static_cast<Conn *>(events[i].data.ptr);
+            if ((events[i].events & EPOLLERR) != 0) {
+                closeConn(c);
+                continue;
+            }
+            if ((events[i].events & EPOLLOUT) != 0 && !onWritable(c))
+                continue;
+            if ((events[i].events &
+                 (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0)
+                onReadable(c);
+        }
+        expired.clear();
+        wheel.advance(Clock::now(), expired);
+        for (Conn *c : expired) {
+            QDEL_OBS(obs::serveMetrics().reapedConnections.inc());
+            closeConn(c);
+        }
+    }
+    shutdownAll();
+    QDEL_OBS(obs::serveMetrics().reactorLoops.add(-1.0));
+}
+
+void
+Loop::adoptInbox()
+{
+    std::vector<int> pending;
+    {
+        std::lock_guard<std::mutex> lock(inboxMutex);
+        pending.swap(inbox);
+    }
+    const auto now = Clock::now();
+    for (int fd : pending) {
+        if (stopping->load(std::memory_order_acquire)) {
+            ::close(fd);
+            connCount.fetch_sub(1, std::memory_order_relaxed);
+            continue;
+        }
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+        Conn *c = new Conn();
+        c->fd = fd;
+        c->loop = this;
+        c->idleDeadline = true;
+        c->deadline = now + ms(options->idleTimeoutMs);
+
+        struct epoll_event event;
+        std::memset(&event, 0, sizeof(event));
+        // EPOLLOUT is registered up front: with edge triggering the
+        // spurious initial writability costs one no-op, and no MOD
+        // syscalls are ever needed afterwards.
+        event.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+        event.data.ptr = c;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &event) != 0) {
+            ::close(fd);
+            connCount.fetch_sub(1, std::memory_order_relaxed);
+            delete c;
+            continue;
+        }
+        conns.insert(c);
+        wheel.arm(c, c->deadline);
+        QDEL_OBS(obs::serveMetrics().connections.add(1.0));
+    }
+}
+
+void
+Loop::closeConn(Conn *c)
+{
+    wheel.disarm(c);
+    conns.erase(c);
+    ::close(c->fd);
+    connCount.fetch_sub(1, std::memory_order_relaxed);
+    QDEL_OBS(obs::serveMetrics().connections.add(-1.0));
+    delete c;
+}
+
+void
+Loop::shutdownAll()
+{
+    std::vector<int> pending;
+    {
+        std::lock_guard<std::mutex> lock(inboxMutex);
+        pending.swap(inbox);
+    }
+    for (int fd : pending) {
+        ::close(fd);
+        connCount.fetch_sub(1, std::memory_order_relaxed);
+    }
+    while (!conns.empty())
+        closeConn(*conns.begin());
+}
+
+void
+Loop::onReadable(Conn *c)
+{
+    size_t frames = 0;
+    bool fatal = false;
+    for (;;) {
+        size_t want = ConnBuffer::kDefaultCapacity;
+        const auto fault =
+            netfault::detail::onOp(netfault::detail::Op::Recv, want);
+        if (fault.stall) {
+            // A silent peer would hit the io deadline; the injected
+            // stall reports the same reap immediately.
+            QDEL_OBS(obs::serveMetrics().reapedConnections.inc());
+            closeConn(c);
+            return;
+        }
+        if (fault.fail) {
+            closeConn(c);
+            return;
+        }
+        if (fault.clampBytes > 0)
+            want = std::min(want, fault.clampBytes);
+
+        char *p = c->in.writePtr(want);
+        const ssize_t n = ::recv(c->fd, p, want, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            fatal = true;
+            break;
+        }
+        if (n == 0) {
+            // EOF: flush whatever the already-processed frames
+            // produced, then close.
+            c->closing = true;
+            break;
+        }
+        c->in.commit(static_cast<size_t>(n));
+        processInput(c, &frames);
+        if (c->closing)
+            break;
+        // recv() returned less than asked: the kernel buffer is
+        // drained, no further edge will be missed.
+        if (static_cast<size_t>(n) < want)
+            break;
+    }
+    if (fatal) {
+        closeConn(c);
+        return;
+    }
+    if (frames > 0) {
+        QDEL_OBS(obs::serveMetrics().batchFrames.observe(
+            static_cast<double>(frames)));
+    }
+    if (!flushOut(c))
+        return;
+    if (c->in.shrinkIfOversized())
+        QDEL_OBS(obs::serveMetrics().bufferShrinks.inc());
+    rearmDeadline(c, frames > 0);
+}
+
+bool
+Loop::onWritable(Conn *c)
+{
+    if (!c->wantWrite)
+        return true;
+    c->wantWrite = false;
+    if (!flushOut(c))
+        return false;
+    rearmDeadline(c, false);
+    return true;
+}
+
+bool
+Loop::flushOut(Conn *c)
+{
+    if (c->outSent == c->out.size()) {
+        c->out.clear();
+        c->outSent = 0;
+        if (c->closing) {
+            closeConn(c);
+            return false;
+        }
+        return true;
+    }
+    const auto fault = netfault::detail::onOp(
+        netfault::detail::Op::Send, c->out.size() - c->outSent);
+    bool fail_after = fault.fail;
+    size_t limit = c->out.size();
+    if (fault.partial) {
+        limit = std::min(c->out.size(), c->outSent + fault.partialBytes);
+        fail_after = true;
+    }
+    while (c->outSent < limit) {
+        const ssize_t n = ::send(c->fd, c->out.data() + c->outSent,
+                                 limit - c->outSent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+                !fail_after) {
+                c->wantWrite = true;
+                return true;
+            }
+            closeConn(c);
+            return false;
+        }
+        c->outSent += static_cast<size_t>(n);
+    }
+    if (fail_after) {
+        closeConn(c);
+        return false;
+    }
+    c->out.clear();
+    c->outSent = 0;
+    if (c->out.capacity() > kOutScratchShrinkBytes) {
+        std::string fresh;
+        c->out.swap(fresh);
+        QDEL_OBS(obs::serveMetrics().bufferShrinks.inc());
+    }
+    if (c->closing) {
+        closeConn(c);
+        return false;
+    }
+    return true;
+}
+
+void
+Loop::rearmDeadline(Conn *c, bool serviced)
+{
+    const bool busy = !c->in.empty() || c->outSent < c->out.size();
+    const auto now = Clock::now();
+    if (!busy) {
+        c->idleDeadline = true;
+        c->deadline = now + ms(options->idleTimeoutMs);
+    } else if (serviced || c->idleDeadline) {
+        // A fresh request (or the first bytes after idling) gets a
+        // full io budget.
+        c->idleDeadline = false;
+        c->deadline = now + ms(options->ioTimeoutMs);
+    } else {
+        // Sticky io deadline: dribbled bytes never extend the budget.
+        return;
+    }
+    wheel.arm(c, c->deadline);
+}
+
+void
+Loop::processInput(Conn *c, size_t *frames)
+{
+    if (c->proto == Conn::Proto::Sniff) {
+        // A binary frame's 4th byte is always NUL (payload lengths
+        // are < 2^24); an HTTP method line never has one there.
+        if (c->in.size() < 4)
+            return;
+        c->proto = looksLikeHttp(c->in.view().substr(0, 4))
+                       ? Conn::Proto::Http
+                       : Conn::Proto::Binary;
+    }
+    if (c->proto == Conn::Proto::Binary)
+        processBinary(c, frames);
+    else
+        processHttp(c, frames);
+}
+
+void
+Loop::processBinary(Conn *c, size_t *frames)
+{
+    for (;;) {
+        std::string_view payload;
+        size_t consumed = 0;
+        auto framed = unframe(c->in.view(), &payload, &consumed);
+        if (!framed.ok()) {
+            flushQueryBatch(c);
+            QDEL_OBS(obs::serveMetrics().badFrames.inc());
+            appendErrorFrame(c->out, framed.error().reason);
+            c->closing = true;  // Cannot resync after a corrupt length.
+            return;
+        }
+        if (!framed.value())
+            break;
+        ++*frames;
+        handleFramePayload(c, payload);
+        c->in.consume(consumed);
+    }
+    flushQueryBatch(c);
+}
+
+BoundQuery &
+Loop::nextQuerySlot()
+{
+    if (queryCount == queries.size())
+        queries.emplace_back();
+    return queries[queryCount];
+}
+
+void
+Loop::handleFramePayload(Conn *c, std::string_view payload)
+{
+    QDEL_OBS(obs::serveMetrics().requests.inc());
+    if (payload.empty()) {
+        flushQueryBatch(c);
+        QDEL_OBS(obs::serveMetrics().badFrames.inc());
+        appendErrorFrame(c->out, "empty request frame");
+        return;
+    }
+    const auto opcode = static_cast<Opcode>(
+        static_cast<uint8_t>(payload[0]));
+    const std::string_view body = payload.substr(1);
+
+    if (opcode == Opcode::Query) {
+        // Hot path: batch consecutive queries; answers are appended
+        // (in order) when the batch flushes.
+        BoundQuery &slot = nextQuerySlot();
+        if (auto decoded = decodeQueryInto(body, &slot); !decoded.ok()) {
+            flushQueryBatch(c);
+            QDEL_OBS(obs::serveMetrics().badFrames.inc());
+            appendErrorFrame(c->out, decoded.error().reason);
+            return;
+        }
+        ++queryCount;
+        return;
+    }
+
+    // Any non-query frame is an ordering barrier for the batch.
+    flushQueryBatch(c);
+    QDEL_OBS_SPAN(span, obs::serveMetrics().requestSeconds,
+                  obs::EventType::Span, "serve_request");
+    switch (opcode) {
+    case Opcode::Event: {
+        auto event = decodeEvent(body);
+        if (!event.ok()) {
+            QDEL_OBS(obs::serveMetrics().badFrames.inc());
+            appendErrorFrame(c->out, event.error().reason);
+            return;
+        }
+        auto outcome = service->ingest(event.value());
+        if (!outcome.ok()) {
+            appendErrorFrame(c->out, outcome.error().reason);
+            return;
+        }
+        const ApplyOutcome &applied = outcome.value();
+        if (applied.shed) {
+            appendShedFrame(c->out, "shard pending bound exceeded",
+                            applied.retryAfterSeconds);
+            return;
+        }
+        const size_t mark = beginFrame(c->out);
+        putU8(c->out, static_cast<uint8_t>(Status::Ok));
+        putU8(c->out, applied.applied ? 1 : 0);
+        putStr(c->out, applied.applied || applied.deduped
+                           ? std::string_view()
+                           : std::string_view(applied.rejectReason));
+        putU8(c->out, applied.deduped ? 1 : 0);
+        endFrame(c->out, mark);
+        return;
+    }
+    case Opcode::Query:
+        return;  // Handled above.
+    case Opcode::Ping: {
+        const size_t mark = beginFrame(c->out);
+        putU8(c->out, static_cast<uint8_t>(Status::Ok));
+        putU32(c->out, kWireVersion);
+        endFrame(c->out, mark);
+        return;
+    }
+    case Opcode::Checkpoint: {
+        if (auto ok = service->checkpointAll(); !ok.ok()) {
+            appendErrorFrame(c->out, ok.error().reason);
+            return;
+        }
+        appendOkFrame(c->out, std::string_view());
+        return;
+    }
+    case Opcode::Stats:
+        appendOkFrame(c->out, encodeStats(service->stats()));
+        return;
+    }
+    QDEL_OBS(obs::serveMetrics().badFrames.inc());
+    appendErrorFrame(c->out,
+                     "unknown opcode " +
+                         std::to_string(static_cast<uint8_t>(payload[0])));
+}
+
+void
+Loop::flushQueryBatch(Conn *c)
+{
+    if (queryCount == 0)
+        return;
+    QDEL_OBS_SPAN(span, obs::serveMetrics().requestSeconds,
+                  obs::EventType::Span, "serve_request");
+    QDEL_OBS_SPAN(query_span, obs::serveMetrics().querySeconds,
+                  obs::EventType::Span, "serve_query");
+    if (answers.size() < queryCount)
+        answers.resize(queryCount);
+    service->queryBatch(queries.data(), queryCount, answers.data(),
+                              queryScratch);
+    for (size_t i = 0; i < queryCount; ++i)
+        appendAnswerFrame(c->out, answers[i]);
+    queryCount = 0;
+}
+
+void
+Loop::processHttp(Conn *c, size_t *frames)
+{
+    for (;;) {
+        const std::string_view data = c->in.view();
+        size_t head_end = data.find("\r\n\r\n");
+        size_t separator = 4;
+        if (head_end == std::string_view::npos) {
+            head_end = data.find("\n\n");
+            separator = 2;
+        }
+        if (head_end == std::string_view::npos) {
+            if (data.size() > kMaxHttpHeadBytes) {
+                appendHttpResponse(
+                    c->out, 431, "text/plain",
+                    "request head exceeds " +
+                        std::to_string(kMaxHttpHeadBytes) + " bytes\n",
+                    /*keepAlive=*/false);
+                c->closing = true;
+            }
+            return;  // Need more head bytes.
+        }
+        head_end += separator;
+        if (head_end > kMaxHttpHeadBytes) {
+            appendHttpResponse(c->out, 431, "text/plain",
+                               "request head exceeds " +
+                                   std::to_string(kMaxHttpHeadBytes) +
+                                   " bytes\n",
+                               /*keepAlive=*/false);
+            c->closing = true;
+            return;
+        }
+        auto parsed = parseRequestHead(data.substr(0, head_end));
+        if (!parsed.ok()) {
+            QDEL_OBS(obs::serveMetrics().badFrames.inc());
+            // Chunked bodies have no declared length; oversized header
+            // blocks get the dedicated status, the rest is a 400.
+            int status = 400;
+            if (parsed.error().field == "http.transferEncoding")
+                status = 411;
+            else if (parsed.error().field == "http.headerCount")
+                status = 431;
+            appendHttpResponse(c->out, status, "text/plain",
+                               parsed.error().reason + "\n",
+                               /*keepAlive=*/false);
+            c->closing = true;
+            return;
+        }
+        HttpRequest request = std::move(parsed).value();
+        if (request.contentLength > kMaxFrameBytes) {
+            appendHttpResponse(c->out, 413, "text/plain",
+                               "request body exceeds " +
+                                   std::to_string(kMaxFrameBytes) +
+                                   " bytes\n",
+                               /*keepAlive=*/false);
+            c->closing = true;
+            return;
+        }
+        if (data.size() - head_end < request.contentLength)
+            return;  // Need the body; head is re-parsed next pass.
+        ++*frames;
+        handleHttpRequest(service, request, c->out, request.keepAlive);
+        c->in.consume(head_end + request.contentLength);
+        if (!request.keepAlive) {
+            c->closing = true;
+            return;
+        }
+        // Keep-alive: loop in case the client pipelined more requests.
+    }
+}
+
+} // namespace
 
 void
 BoundServer::Impl::enqueueShed(int fd)
@@ -464,254 +1186,11 @@ BoundServer::Impl::answerShed(int fd)
     sendAllDeadline(fd, response, Clock::now() + ms(kShedGraceMs));
 }
 
-void
-BoundServer::Impl::reap(int fd, const char *what)
-{
-    (void)fd;
-    (void)what;
-    QDEL_OBS(obs::serveMetrics().reapedConnections.inc());
-}
+namespace {
 
 void
-BoundServer::Impl::serveConnection(int fd)
-{
-    // Sniff the protocol: a binary frame's 4th byte is always NUL
-    // (payload lengths are < 2^24); an HTTP method line never has one.
-    std::string buffer;
-    auto deadline = Clock::now() + ms(options.idleTimeoutMs);
-    while (buffer.size() < 4) {
-        switch (recvSomeDeadline(fd, &buffer, deadline)) {
-        case IoResult::Ok:
-            // First bytes arrived: the rest of the sniff is I/O, not
-            // idleness.
-            deadline = std::min(deadline,
-                                Clock::now() + ms(options.ioTimeoutMs));
-            continue;
-        case IoResult::Timeout:
-            reap(fd, buffer.empty() ? "idle" : "io");
-            return;
-        case IoResult::Eof:
-        case IoResult::Error:
-            return;
-        }
-    }
-    if (looksLikeHttp(std::string_view(buffer).substr(0, 4)))
-        serveHttp(fd, std::move(buffer));
-    else
-        serveBinary(fd, std::move(buffer));
-}
-
-void
-BoundServer::Impl::serveBinary(int fd, std::string buffer)
-{
-    auto idle_deadline = Clock::now() + ms(options.idleTimeoutMs);
-    auto io_deadline = Clock::now() + ms(options.ioTimeoutMs);
-    for (;;) {
-        std::string_view payload;
-        size_t consumed = 0;
-        auto framed = unframe(buffer, &payload, &consumed);
-        if (!framed.ok()) {
-            QDEL_OBS(obs::serveMetrics().badFrames.inc());
-            sendAllDeadline(fd, frameError(framed.error().reason),
-                            Clock::now() + ms(options.ioTimeoutMs));
-            return;  // Cannot resynchronize after a corrupt length.
-        }
-        if (framed.value()) {
-            const std::string response = handleFrame(payload);
-            buffer.erase(0, consumed);
-            switch (sendAllDeadline(fd, response,
-                                    Clock::now() +
-                                        ms(options.ioTimeoutMs))) {
-            case IoResult::Ok:
-                break;
-            case IoResult::Timeout:
-                reap(fd, "send");
-                return;
-            case IoResult::Eof:
-            case IoResult::Error:
-                return;
-            }
-            idle_deadline = Clock::now() + ms(options.idleTimeoutMs);
-            io_deadline = Clock::now() + ms(options.ioTimeoutMs);
-            continue;
-        }
-        const bool idle = buffer.empty();
-        switch (recvSomeDeadline(fd, &buffer,
-                                 idle ? idle_deadline : io_deadline)) {
-        case IoResult::Ok:
-            if (idle) {
-                // A new frame began: it must now finish within the
-                // I/O budget regardless of how long we idled.
-                io_deadline = Clock::now() + ms(options.ioTimeoutMs);
-            }
-            break;
-        case IoResult::Timeout:
-            reap(fd, idle ? "idle" : "io");
-            return;
-        case IoResult::Eof:
-        case IoResult::Error:
-            return;
-        }
-    }
-}
-
-std::string
-BoundServer::Impl::handleFrame(std::string_view payload)
-{
-    QDEL_OBS(obs::serveMetrics().requests.inc());
-    QDEL_OBS_SPAN(span, obs::serveMetrics().requestSeconds,
-                  obs::EventType::Span, "serve_request");
-    persist::StateReader reader(payload, "request");
-    auto opcode = reader.u8();
-    if (!opcode.ok()) {
-        QDEL_OBS(obs::serveMetrics().badFrames.inc());
-        return frameError("empty request frame");
-    }
-    const std::string_view body = payload.substr(1);
-    switch (static_cast<Opcode>(opcode.value())) {
-    case Opcode::Event: {
-        auto event = decodeEvent(body);
-        if (!event.ok()) {
-            QDEL_OBS(obs::serveMetrics().badFrames.inc());
-            return frameError(event.error().reason);
-        }
-        auto outcome = service->ingest(event.value());
-        if (!outcome.ok())
-            return frameError(outcome.error().reason);
-        const ApplyOutcome &applied = outcome.value();
-        if (applied.shed) {
-            return frameShed("shard pending bound exceeded",
-                             applied.retryAfterSeconds);
-        }
-        persist::StateWriter response;
-        response.u8(applied.applied ? 1 : 0);
-        response.str(applied.applied || applied.deduped
-                         ? std::string()
-                         : std::string(applied.rejectReason));
-        response.u8(applied.deduped ? 1 : 0);
-        return frameOk(response.bytes());
-    }
-    case Opcode::Query: {
-        QDEL_OBS_SPAN(query_span, obs::serveMetrics().querySeconds,
-                      obs::EventType::Span, "serve_query");
-        auto query = decodeQuery(body);
-        if (!query.ok()) {
-            QDEL_OBS(obs::serveMetrics().badFrames.inc());
-            return frameError(query.error().reason);
-        }
-        return frameOk(encodeAnswer(service->query(query.value())));
-    }
-    case Opcode::Ping: {
-        persist::StateWriter response;
-        response.u32(kWireVersion);
-        return frameOk(response.bytes());
-    }
-    case Opcode::Checkpoint: {
-        if (auto ok = service->checkpointAll(); !ok.ok())
-            return frameError(ok.error().reason);
-        return frameOk("");
-    }
-    case Opcode::Stats:
-        return frameOk(encodeStats(service->stats()));
-    }
-    QDEL_OBS(obs::serveMetrics().badFrames.inc());
-    return frameError("unknown opcode " + std::to_string(opcode.value()));
-}
-
-void
-BoundServer::Impl::serveHttp(int fd, std::string buffer)
-{
-    const auto deadline = Clock::now() + ms(options.ioTimeoutMs);
-    auto answer = [&](const std::string &response) {
-        if (sendAllDeadline(fd, response,
-                            Clock::now() + ms(options.ioTimeoutMs)) ==
-            IoResult::Timeout)
-            reap(fd, "send");
-    };
-
-    // Read to the end of the head, bounded in bytes and in time.
-    size_t head_end;
-    for (;;) {
-        head_end = buffer.find("\r\n\r\n");
-        size_t separator = 4;
-        if (head_end == std::string::npos) {
-            head_end = buffer.find("\n\n");
-            separator = 2;
-        }
-        if (head_end != std::string::npos) {
-            head_end += separator;
-            break;
-        }
-        if (buffer.size() > kMaxHttpHeadBytes) {
-            answer(renderHttpResponse(431, "text/plain",
-                                      "request head exceeds " +
-                                          std::to_string(
-                                              kMaxHttpHeadBytes) +
-                                          " bytes\n"));
-            return;
-        }
-        switch (recvSomeDeadline(fd, &buffer, deadline)) {
-        case IoResult::Ok:
-            continue;
-        case IoResult::Timeout:
-            reap(fd, "head");
-            return;
-        case IoResult::Eof:
-        case IoResult::Error:
-            answer(renderHttpResponse(400, "text/plain",
-                                      "unterminated request head\n"));
-            return;
-        }
-    }
-    if (head_end > kMaxHttpHeadBytes) {
-        answer(renderHttpResponse(431, "text/plain",
-                                  "request head exceeds " +
-                                      std::to_string(kMaxHttpHeadBytes) +
-                                      " bytes\n"));
-        return;
-    }
-    auto parsed = parseRequestHead(
-        std::string_view(buffer).substr(0, head_end));
-    if (!parsed.ok()) {
-        QDEL_OBS(obs::serveMetrics().badFrames.inc());
-        // Chunked bodies have no declared length; oversized header
-        // blocks get the dedicated status, everything else is a 400.
-        int status = 400;
-        if (parsed.error().field == "http.transferEncoding")
-            status = 411;
-        else if (parsed.error().field == "http.headerCount")
-            status = 431;
-        answer(renderHttpResponse(status, "text/plain",
-                                  parsed.error().reason + "\n"));
-        return;
-    }
-    HttpRequest request = std::move(parsed).value();
-    if (request.contentLength > kMaxFrameBytes) {
-        answer(renderHttpResponse(413, "text/plain",
-                                  "request body exceeds " +
-                                      std::to_string(kMaxFrameBytes) +
-                                      " bytes\n"));
-        return;
-    }
-    while (buffer.size() - head_end < request.contentLength) {
-        switch (recvSomeDeadline(fd, &buffer, deadline)) {
-        case IoResult::Ok:
-            continue;
-        case IoResult::Timeout:
-            reap(fd, "body");
-            return;
-        case IoResult::Eof:
-        case IoResult::Error:
-            answer(renderHttpResponse(400, "text/plain",
-                                      "truncated request body\n"));
-            return;
-        }
-    }
-    answer(handleHttpRequest(request));
-}
-
-std::string
-BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
+handleHttpRequest(BoundService *service, const HttpRequest &request,
+                  std::string &out, bool keepAlive)
 {
     QDEL_OBS({
         obs::serveMetrics().requests.inc();
@@ -726,13 +1205,16 @@ BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
                                           : it->second;
     };
 
-    if (request.method == "GET" && request.path == "/healthz")
-        return renderHttpResponse(200, "application/json",
-                                  "{\"status\":\"ok\"}");
+    if (request.method == "GET" && request.path == "/healthz") {
+        appendHttpResponse(out, 200, "application/json",
+                           "{\"status\":\"ok\"}", keepAlive);
+        return;
+    }
     if (request.method == "GET" && request.path == "/metrics") {
-        return renderHttpResponse(
-            200, "text/plain; version=0.0.4",
-            obs::renderPrometheus(obs::registry().snapshot()));
+        appendHttpResponse(
+            out, 200, "text/plain; version=0.0.4",
+            obs::renderPrometheus(obs::registry().snapshot()), keepAlive);
+        return;
     }
     if (request.method == "GET" && request.path == "/bound") {
         QDEL_OBS_SPAN(query_span, obs::serveMetrics().querySeconds,
@@ -742,8 +1224,9 @@ BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
         query.queue = param("queue", "");
         query.procs = std::atoi(param("procs", "1").c_str());
         query.quantile = std::atof(param("q", "0.95").c_str());
-        return renderHttpResponse(200, "application/json",
-                                  answerToJson(service->query(query)));
+        appendHttpResponse(out, 200, "application/json",
+                           answerToJson(service->query(query)), keepAlive);
+        return;
     }
     if (request.method == "POST" && request.path == "/event") {
         JobEvent event;
@@ -755,8 +1238,10 @@ BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
         } else if (kind == "done") {
             event.kind = EventKind::Done;
         } else {
-            return renderHttpResponse(400, "text/plain",
-                                      "kind must be submit|start|done\n");
+            appendHttpResponse(out, 400, "text/plain",
+                               "kind must be submit|start|done\n",
+                               keepAlive);
+            return;
         }
         event.jobId = std::strtoull(param("job", "0").c_str(), nullptr, 10);
         event.time = std::atof(param("time", "0").c_str());
@@ -767,16 +1252,19 @@ BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
         event.seq =
             std::strtoull(param("seq", "0").c_str(), nullptr, 10);
         auto outcome = service->ingest(event);
-        if (!outcome.ok())
-            return renderHttpResponse(500, "text/plain",
-                                      outcome.error().reason + "\n");
+        if (!outcome.ok()) {
+            appendHttpResponse(out, 500, "text/plain",
+                               outcome.error().reason + "\n", keepAlive);
+            return;
+        }
         const ApplyOutcome &applied = outcome.value();
         if (applied.shed) {
-            return renderHttpResponse(
-                503, "text/plain",
-                "overloaded: shard pending bound exceeded\n",
+            appendHttpResponse(
+                out, 503, "text/plain",
+                "overloaded: shard pending bound exceeded\n", keepAlive,
                 {{"Retry-After",
                   std::to_string(applied.retryAfterSeconds)}});
+            return;
         }
         std::string body = "{\"applied\":";
         body += applied.applied ? "true" : "false";
@@ -788,20 +1276,29 @@ BoundServer::Impl::handleHttpRequest(const HttpRequest &request)
             body += "\"";
         }
         body += "}";
-        return renderHttpResponse(200, "application/json", body);
+        appendHttpResponse(out, 200, "application/json", body, keepAlive);
+        return;
     }
     if (request.method == "POST" && request.path == "/checkpoint") {
-        if (auto ok = service->checkpointAll(); !ok.ok())
-            return renderHttpResponse(500, "text/plain",
-                                      ok.error().reason + "\n");
-        return renderHttpResponse(200, "application/json",
-                                  "{\"ok\":true}");
+        if (auto ok = service->checkpointAll(); !ok.ok()) {
+            appendHttpResponse(out, 500, "text/plain",
+                               ok.error().reason + "\n", keepAlive);
+            return;
+        }
+        appendHttpResponse(out, 200, "application/json", "{\"ok\":true}",
+                           keepAlive);
+        return;
     }
-    if (request.method == "GET" && request.path == "/stats")
-        return renderHttpResponse(200, "application/json",
-                                  statsToJson(service->stats()));
-    return renderHttpResponse(404, "text/plain", "unknown route\n");
+    if (request.method == "GET" && request.path == "/stats") {
+        appendHttpResponse(out, 200, "application/json",
+                           statsToJson(service->stats()), keepAlive);
+        return;
+    }
+    appendHttpResponse(out, 404, "text/plain", "unknown route\n",
+                       keepAlive);
 }
+
+} // namespace
 
 void
 BoundServer::Impl::stop()
@@ -812,20 +1309,18 @@ BoundServer::Impl::stop()
     if (listenFd >= 0) {
         ::shutdown(listenFd, SHUT_RDWR);
         ::close(listenFd);
-        listenFd = -1;
     }
     if (acceptThread.joinable())
         acceptThread.join();
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        for (int fd : connectionFds)
-            ::shutdown(fd, SHUT_RDWR);
-    }
-    // The accept thread is gone, so no new slot threads can start;
-    // join whatever is still draining.
-    for (auto &slot : slots) {
-        if (slot->thread.joinable())
-            slot->thread.join();
+    // Reset only after the accept thread (which reads listenFd) is
+    // joined; the close above is what unblocks its accept().
+    listenFd = -1;
+    // The accept thread is gone: no new inbox pushes. Wake every loop
+    // so it observes stopping, closes its connections, and exits.
+    for (auto &loop : loops) {
+        loop->wake();
+        if (loop->thread.joinable())
+            loop->thread.join();
     }
     {
         std::lock_guard<std::mutex> lock(shedMutex);

@@ -10,15 +10,22 @@
  * Binary connections then loop frames until EOF; HTTP connections are
  * answered one request at a time and closed (Connection: close).
  *
- * Threading and overload behaviour: one accept thread plus a fixed
- * pool of maxConnections connection slots — a connection occupies a
- * slot for its lifetime, and when every slot is busy new connections
- * are handed to a dedicated shed thread that answers a structured
- * refusal (HTTP 503 + Retry-After, or a binary Status::Shed frame)
- * and closes. The lock-free query path keeps serving the
+ * Threading and overload behaviour: one accept thread plus a sharded
+ * epoll reactor — reactorThreads event loops, each owning an epoll
+ * instance, with every connection pinned to one loop for its lifetime
+ * (no cross-thread migration, so connection state needs no locks).
+ * Sockets are nonblocking and edge-triggered: a readable connection is
+ * drained into a reusable per-connection buffer, every complete frame
+ * in the batch is handled (consecutive bound queries dispatch through
+ * BoundRegistry::queryBatch), and the concatenated responses flush
+ * with one send — a pipelined client costs ~2 syscalls per batch.
+ * When the total connection count reaches maxConnections, new
+ * connections are handed to a dedicated shed thread that answers a
+ * structured refusal (HTTP 503 + Retry-After, or a binary Status::Shed
+ * frame) and closes. The lock-free query path keeps serving the
  * last-published snapshots throughout; shedding never blocks it.
  *
- * Deadlines: every socket wait runs through poll(). A connection
+ * Deadlines: each loop runs a hashed timing wheel. A connection
  * waiting for the next request may idle up to idleTimeoutMs; once a
  * request is partially received (or a response partially sent) the
  * remainder must complete within ioTimeoutMs or the connection is
@@ -54,6 +61,10 @@ struct ServerOptions
     /** Connection slots; the (maxConnections + 1)th concurrent
      *  connection is shed with 503 / Status::Shed. */
     size_t maxConnections = 64;
+
+    /** Reactor event-loop threads; 0 picks the hardware concurrency.
+     *  Connections are pinned to the least-loaded loop at accept. */
+    size_t reactorThreads = 0;
 
     /** Budget for finishing a partially-received request or a
      *  partially-sent response, milliseconds. */

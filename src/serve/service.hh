@@ -109,6 +109,14 @@ class BoundService
         return registry_->query(query);
     }
 
+    /** Batched lock-free read path; see BoundRegistry::queryBatch(). */
+    void
+    queryBatch(const BoundQuery *queries, size_t count, BoundAnswer *answers,
+               BoundRegistry::QueryScratch &scratch) const
+    {
+        registry_->queryBatch(queries, count, answers, scratch);
+    }
+
     /** Snapshot every shard under its lock (no-op when ephemeral). */
     Expected<Unit> checkpointAll();
 

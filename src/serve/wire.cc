@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "persist/state_codec.hh"
 
@@ -33,6 +34,109 @@ kindFromByte(uint8_t byte, const char *field)
 }
 
 } // namespace
+
+void
+putU8(std::string &out, uint8_t value)
+{
+    out.push_back(static_cast<char>(value));
+}
+
+void
+putU32(std::string &out, uint32_t value)
+{
+    for (size_t i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+}
+
+void
+putU64(std::string &out, uint64_t value)
+{
+    for (size_t i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+}
+
+void
+putI64(std::string &out, int64_t value)
+{
+    putU64(out, static_cast<uint64_t>(value));
+}
+
+void
+putF64(std::string &out, double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putStr(std::string &out, std::string_view value)
+{
+    putU64(out, value.size());
+    out.append(value.data(), value.size());
+}
+
+size_t
+beginFrame(std::string &out)
+{
+    const size_t mark = out.size();
+    out.append(4, '\0');
+    return mark;
+}
+
+void
+endFrame(std::string &out, size_t mark)
+{
+    const uint32_t length = static_cast<uint32_t>(out.size() - mark - 4);
+    for (size_t i = 0; i < 4; ++i)
+        out[mark + i] = static_cast<char>((length >> (8 * i)) & 0xFFu);
+}
+
+void
+appendOkFrame(std::string &out, std::string_view body)
+{
+    const size_t mark = beginFrame(out);
+    putU8(out, static_cast<uint8_t>(Status::Ok));
+    out.append(body.data(), body.size());
+    endFrame(out, mark);
+}
+
+void
+appendErrorFrame(std::string &out, std::string_view message)
+{
+    const size_t mark = beginFrame(out);
+    putU8(out, static_cast<uint8_t>(Status::Error));
+    putStr(out, message);
+    endFrame(out, mark);
+}
+
+void
+appendShedFrame(std::string &out, std::string_view reason,
+                uint32_t retryAfterSeconds)
+{
+    const size_t mark = beginFrame(out);
+    putU8(out, static_cast<uint8_t>(Status::Shed));
+    putStr(out, reason);
+    putU32(out, retryAfterSeconds);
+    endFrame(out, mark);
+}
+
+void
+appendAnswerFrame(std::string &out, const BoundAnswer &answer)
+{
+    const size_t mark = beginFrame(out);
+    putU8(out, static_cast<uint8_t>(Status::Ok));
+    putU8(out, answer.known ? 1 : 0);
+    putF64(out, answer.upper);
+    putF64(out, answer.lower);
+    putF64(out, answer.quantile);
+    putF64(out, answer.confidence);
+    putU64(out, answer.historySize);
+    putU64(out, answer.observations);
+    putU64(out, answer.version);
+    endFrame(out, mark);
+}
 
 int
 procBucketFor(int procs)
@@ -135,31 +239,39 @@ encodeQuery(const BoundQuery &query)
 Expected<BoundQuery>
 decodeQuery(std::string_view body)
 {
-    StateReader reader(body, "query");
     BoundQuery query;
-    auto machine = reader.str();
+    if (auto decoded = decodeQueryInto(body, &query); !decoded.ok())
+        return decoded.error();
+    return query;
+}
+
+Expected<Unit>
+decodeQueryInto(std::string_view body, BoundQuery *query)
+{
+    StateReader reader(body, "query");
+    auto machine = reader.strView();
     if (!machine.ok())
         return machine.error();
-    query.machine = std::move(machine).value();
-    auto queue = reader.str();
+    query->machine.assign(machine.value());
+    auto queue = reader.strView();
     if (!queue.ok())
         return queue.error();
-    query.queue = std::move(queue).value();
+    query->queue.assign(queue.value());
     auto procs = reader.i64();
     if (!procs.ok())
         return procs.error();
-    query.procs = static_cast<int>(procs.value());
+    query->procs = static_cast<int>(procs.value());
     auto quantile = reader.f64();
     if (!quantile.ok())
         return quantile.error();
-    query.quantile = quantile.value();
+    query->quantile = quantile.value();
     auto upper = reader.u8();
     if (!upper.ok())
         return upper.error();
-    query.upper = upper.value() != 0;
+    query->upper = upper.value() != 0;
     if (auto end = reader.expectEnd(); !end.ok())
         return end.error();
-    return query;
+    return Unit{};
 }
 
 std::string

@@ -145,6 +145,12 @@ Expected<JobEvent> decodeEvent(std::string_view body);
 std::string encodeQuery(const BoundQuery &query);
 Expected<BoundQuery> decodeQuery(std::string_view body);
 
+/**
+ * Decode into an existing BoundQuery, assigning its string members in
+ * place so their heap capacity is reused across a pipelined batch.
+ */
+Expected<Unit> decodeQueryInto(std::string_view body, BoundQuery *query);
+
 std::string encodeAnswer(const BoundAnswer &answer);
 Expected<BoundAnswer> decodeAnswer(std::string_view body);
 
@@ -179,6 +185,44 @@ std::string frameShed(const std::string &reason,
  */
 Expected<bool> unframe(std::string_view buffer, std::string_view *payload,
                        size_t *consumed);
+
+// --- zero-allocation append path -----------------------------------
+//
+// The reactor's wire hot path encodes responses by appending into a
+// caller-owned buffer that is reset (clear(), capacity retained)
+// rather than freed between batches, so a steady-state connection
+// allocates nothing per request. The primitives below emit the exact
+// persist::StateWriter byte layout (little-endian fixed-width ints,
+// raw IEEE-754 doubles, str = u64 length | bytes); the string-returning
+// codecs above are thin wrappers over them.
+
+void putU8(std::string &out, uint8_t value);
+void putU32(std::string &out, uint32_t value);
+void putU64(std::string &out, uint64_t value);
+void putI64(std::string &out, int64_t value);
+void putF64(std::string &out, double value);
+void putStr(std::string &out, std::string_view value);
+
+/** Append a 4-byte frame-length placeholder; pass the returned mark to
+ *  endFrame() once the payload bytes have been appended after it. */
+size_t beginFrame(std::string &out);
+
+/** Backpatch the length header appended by beginFrame(@p mark). */
+void endFrame(std::string &out, size_t mark);
+
+/** Append a complete Ok-response frame carrying @p body. */
+void appendOkFrame(std::string &out, std::string_view body);
+
+/** Append a complete Error-response frame. */
+void appendErrorFrame(std::string &out, std::string_view message);
+
+/** Append a complete Shed-response frame. */
+void appendShedFrame(std::string &out, std::string_view reason,
+                     uint32_t retryAfterSeconds);
+
+/** Append an Ok frame carrying an encoded BoundAnswer — the batched
+ *  query path's encoder; no intermediate strings are built. */
+void appendAnswerFrame(std::string &out, const BoundAnswer &answer);
 
 // --- SWF bridging --------------------------------------------------
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for ConnBuffer, the reactor's per-connection receive
+ * buffer: commit/consume bookkeeping, compaction, and — the regression
+ * the oversized-request bug demands — capacity release after a burst.
+ */
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/conn_buffer.hh"
+
+namespace qdel {
+namespace serve {
+namespace {
+
+void
+append(ConnBuffer &buffer, std::string_view bytes)
+{
+    char *p = buffer.writePtr(bytes.size());
+    std::memcpy(p, bytes.data(), bytes.size());
+    buffer.commit(bytes.size());
+}
+
+TEST(ConnBuffer, CommitAndConsumeRoundTrip)
+{
+    ConnBuffer buffer;
+    EXPECT_TRUE(buffer.empty());
+    EXPECT_EQ(buffer.size(), 0u);
+
+    append(buffer, "hello ");
+    append(buffer, "world");
+    EXPECT_EQ(buffer.view(), "hello world");
+
+    buffer.consume(6);
+    EXPECT_EQ(buffer.view(), "world");
+    buffer.consume(5);
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(ConnBuffer, DrainingResetsToTheFront)
+{
+    ConnBuffer buffer;
+    append(buffer, "abc");
+    buffer.consume(3);
+    // A fully-drained buffer restarts at offset zero, so the next
+    // write needs no compaction.
+    append(buffer, "xyz");
+    EXPECT_EQ(buffer.view(), "xyz");
+}
+
+TEST(ConnBuffer, CompactionPreservesUnconsumedBytes)
+{
+    ConnBuffer buffer;
+    const std::string filler(ConnBuffer::kDefaultCapacity - 8, 'a');
+    append(buffer, filler);
+    append(buffer, "KEEPME");
+    buffer.consume(filler.size());
+    ASSERT_EQ(buffer.view(), "KEEPME");
+
+    // The next large write cannot fit behind the tail without moving
+    // the live region to the front first.
+    const std::string more(ConnBuffer::kDefaultCapacity - 8, 'b');
+    append(buffer, more);
+    EXPECT_EQ(buffer.view().substr(0, 6), "KEEPME");
+    EXPECT_EQ(buffer.view().substr(6), more);
+}
+
+TEST(ConnBuffer, OversizedBurstReleasesCapacity)
+{
+    ConnBuffer buffer;
+    const size_t huge = ConnBuffer::kShrinkThreshold * 2;
+    append(buffer, std::string(huge, 'x'));
+    ASSERT_GE(buffer.capacity(), huge);
+
+    // Still holding the bytes: must not shrink.
+    EXPECT_FALSE(buffer.shrinkIfOversized());
+    ASSERT_GE(buffer.capacity(), huge);
+
+    buffer.consume(huge - 10);  // 10 live bytes left: small enough.
+    EXPECT_TRUE(buffer.shrinkIfOversized());
+    EXPECT_EQ(buffer.capacity(), ConnBuffer::kDefaultCapacity);
+    EXPECT_EQ(buffer.view(), std::string(10, 'x'));
+
+    // Already small: a second call is a no-op.
+    EXPECT_FALSE(buffer.shrinkIfOversized());
+}
+
+TEST(ConnBuffer, ShrinkKeepsWorkingAfterwards)
+{
+    ConnBuffer buffer;
+    append(buffer, std::string(ConnBuffer::kShrinkThreshold + 1, 'y'));
+    buffer.consume(buffer.size());
+    ASSERT_TRUE(buffer.shrinkIfOversized());
+    append(buffer, "fresh");
+    EXPECT_EQ(buffer.view(), "fresh");
+}
+
+TEST(ConnBuffer, ClearDropsBytesButNotNecessarilyCapacity)
+{
+    ConnBuffer buffer;
+    append(buffer, "some bytes");
+    buffer.clear();
+    EXPECT_TRUE(buffer.empty());
+    append(buffer, "more");
+    EXPECT_EQ(buffer.view(), "more");
+}
+
+} // namespace
+} // namespace serve
+} // namespace qdel

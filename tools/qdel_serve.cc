@@ -20,6 +20,8 @@
  *   --bind ADDR          bind address (default 127.0.0.1)
  *   --max-conns N        connection slots; further concurrent clients
  *                        are shed with 503/Status::Shed (default 64)
+ *   --reactor-threads N  epoll event-loop threads; 0 picks the
+ *                        hardware concurrency (the default)
  *   --io-timeout MS      budget for finishing a partial request or
  *                        response before the connection is reaped
  *                        (default 5000)
@@ -85,7 +87,8 @@ void
 usage(std::ostream &out)
 {
     out << "usage: qdel_serve [--port=N] [--max-conns=64] "
-           "[--io-timeout=5000]\n"
+           "[--reactor-threads=0]\n"
+           "                  [--io-timeout=5000]\n"
            "                  [--idle-timeout=30000] [--max-pending=0]\n"
            "                  [--state-dir=DIR] [--shards=N]\n"
            "                  [--method=bmbp] [--quantile=.95] "
@@ -227,7 +230,15 @@ main(int argc, char **argv)
                   << "\n";
         return 1;
     }
+    const long long reactor_threads =
+        cliValue(cli.getInt("reactor-threads", 0));
+    if (reactor_threads < 0 || reactor_threads > 256) {
+        std::cerr << "error: --reactor-threads: must be in [0, 256], got "
+                  << reactor_threads << " (0 = hardware concurrency)\n";
+        return 1;
+    }
     server_options.maxConnections = static_cast<size_t>(max_conns);
+    server_options.reactorThreads = static_cast<size_t>(reactor_threads);
     server_options.ioTimeoutMs = static_cast<int>(io_timeout);
     server_options.idleTimeoutMs = static_cast<int>(idle_timeout);
     if (serve_port) {

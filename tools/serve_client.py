@@ -261,6 +261,11 @@ def main() -> int:
     query.add_argument("--quantile", type=float, default=0.95)
     query.add_argument("--lower", action="store_true",
                        help="ask for the lower bound instead of upper")
+    query.add_argument("--pipeline", type=int, default=1,
+                       help="send N copies of the query back-to-back on "
+                            "one connection before reading any answer, "
+                            "exercising the server's batched read path "
+                            "(default 1)")
 
     bound = sub.add_parser("http-bound")
     bound.add_argument("--machine", required=True)
@@ -344,7 +349,34 @@ def main() -> int:
                     struct.pack("<q", args.procs) +
                     struct.pack("<d", args.quantile) +
                     bytes([0 if args.lower else 1]))
-            response = roundtrip(sock, OP_QUERY, body)
+            if args.pipeline < 1:
+                raise ValueError("--pipeline must be >= 1")
+            if args.pipeline > 1:
+                # Pipelined mode: one write carrying every request, then
+                # read the answers in order — the server must answer
+                # exactly pipeline frames, each decoding identically.
+                payload = bytes([OP_QUERY]) + body
+                frame = struct.pack("<I", len(payload)) + payload
+                sock.sendall(frame * args.pipeline)
+                first = None
+                for index in range(args.pipeline):
+                    length = struct.unpack(
+                        "<I", recv_exactly(sock, 4))[0]
+                    response = Reader(recv_exactly(sock, length))
+                    status = response.u8()
+                    if status != STATUS_OK:
+                        raise RuntimeError(
+                            f"pipelined answer {index}: status={status}")
+                    answer = response.data[response.at:]
+                    if first is None:
+                        first = answer
+                    elif answer != first:
+                        raise RuntimeError(
+                            f"pipelined answer {index} diverged from "
+                            "answer 0")
+                response = Reader(first)
+            else:
+                response = roundtrip(sock, OP_QUERY, body)
             known = response.u8()
             upper = response.f64()
             lower = response.f64()
@@ -353,7 +385,10 @@ def main() -> int:
             history = response.u64()
             observations = response.u64()
             version = response.u64()
-            print(f"known={bool(known)} upper={upper} lower={lower} "
+            prefix = (f"pipelined={args.pipeline} "
+                      if args.pipeline > 1 else "")
+            print(f"{prefix}known={bool(known)} upper={upper} "
+                  f"lower={lower} "
                   f"q={quantile} conf={confidence} history={history} "
                   f"observations={observations} version={version}")
     finally:
