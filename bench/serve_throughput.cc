@@ -402,7 +402,7 @@ batchFramesHistogram()
  * server-side frames-per-wakeup histogram mean over the run.
  */
 void
-BM_ServeNetworkQps(benchmark::State &state)
+runNetworkQps(benchmark::State &state, bool traced)
 {
     const size_t depth = static_cast<size_t>(state.range(0));
     auto &server = networkServer();
@@ -413,10 +413,17 @@ BM_ServeNetworkQps(benchmark::State &state)
     }
     std::string batch;
     for (size_t i = 0; i < depth; ++i) {
-        batch += serve::frameRequest(
-            serve::Opcode::Query,
-            serve::encodeQuery(queryFor(
-                i * 7 + static_cast<size_t>(state.thread_index()))));
+        serve::BoundQuery query = queryFor(
+            i * 7 + static_cast<size_t>(state.thread_index()));
+        // The traced variant pays the v3 tail decode plus the
+        // per-query trace instant into the event ring — the cost the
+        // tracing budget (bench_compare --alias gate in CI) bounds.
+        if (traced)
+            query.traceId =
+                (static_cast<uint64_t>(state.thread_index() + 1) << 32) |
+                (i + 1);
+        batch += serve::frameRequest(serve::Opcode::Query,
+                                     serve::encodeQuery(query));
     }
 
     const auto histogram_before = batchFramesHistogram();
@@ -505,12 +512,31 @@ BM_ServeNetworkQps(benchmark::State &state)
             static_cast<double>(depth),
         benchmark::Counter::kIsRate);
 }
+void
+BM_ServeNetworkQps(benchmark::State &state)
+{
+    runNetworkQps(state, false);
+}
 BENCHMARK(BM_ServeNetworkQps)
     ->Arg(16)
     ->Arg(64)
     ->Arg(256)
     ->UseRealTime();
 BENCHMARK(BM_ServeNetworkQps)->Arg(64)->Threads(4)->UseRealTime();
+
+/** Same batches, every query carrying a v3 trace id; compare against
+ *  BM_ServeNetworkQps via bench_compare --alias to bound the tracing
+ *  overhead. */
+void
+BM_ServeNetworkQpsTraced(benchmark::State &state)
+{
+    runNetworkQps(state, true);
+}
+BENCHMARK(BM_ServeNetworkQpsTraced)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->UseRealTime();
 
 /**
  * The overload row: a real BoundServer over loopback with

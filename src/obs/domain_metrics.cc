@@ -197,6 +197,9 @@ serveMetrics()
         registry().counter("qdel_serve_buffer_shrinks_total",
                            "Per-connection buffers released back to the"
                            " small default after an oversized request"),
+        registry().counter("qdel_serve_slow_requests_total",
+                           "Requests whose handling exceeded the"
+                           " --slow-request-us threshold"),
         registry().gauge("qdel_serve_entries",
                          "Live (machine, queue, proc-bucket) predictor"
                          " entries"),
@@ -216,6 +219,44 @@ serveMetrics()
                              "Complete frames serviced per reactor"
                              " drain batch",
                              exponentialBounds(1.0, 4.0, 8)),
+    };
+    return metrics;
+}
+
+CalibrationMetrics &
+calibrationMetrics()
+{
+    static CalibrationMetrics metrics{
+        registry().counter("qdel_calib_scored_total",
+                           "Started jobs scored against the bound"
+                           " captured at their submit"),
+        registry().counter("qdel_calib_hits_total",
+                           "Scored waits covered by the captured"
+                           " bound (infinite bounds count as hits)"),
+        registry().counter("qdel_calib_misses_total",
+                           "Scored waits that exceeded the captured"
+                           " finite bound"),
+        registry().counter("qdel_calib_infinite_total",
+                           "Scored jobs whose captured bound was"
+                           " infinite (insufficient history)"),
+        registry().counter("qdel_calib_unscored_total",
+                           "Started jobs with no scoreable bound"
+                           " (entry still training at submit)"),
+        registry().gauge("qdel_calib_entries",
+                         "Predictor entries with at least one scored"
+                         " outcome"),
+        registry().gauge("qdel_calib_failing_entries",
+                         "Entries whose rolling coverage is"
+                         " significantly below the requested"
+                         " confidence (one-sided binomial test)"),
+        registry().gauge("qdel_calib_worst_coverage",
+                         "Smallest rolling-window empirical coverage"
+                         " across entries (-1 until something is"
+                         " scored)"),
+        registry().gauge("qdel_calib_max_undercoverage",
+                         "Largest (confidence - rolling coverage)"
+                         " across entries; positive means some entry"
+                         " under-covers"),
     };
     return metrics;
 }

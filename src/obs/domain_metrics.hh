@@ -99,6 +99,7 @@ struct ServeMetrics
     Counter &acceptErrors;       //!< qdel_serve_accept_errors_total
     Counter &loopWakeups;        //!< qdel_serve_loop_wakeups_total
     Counter &bufferShrinks;      //!< qdel_serve_buffer_shrinks_total
+    Counter &slowRequests;       //!< qdel_serve_slow_requests_total
     Gauge &entries;              //!< qdel_serve_entries
     Gauge &pendingJobs;          //!< qdel_serve_pending_jobs
     Gauge &connections;          //!< qdel_serve_connections
@@ -108,12 +109,34 @@ struct ServeMetrics
     Histogram &batchFrames;      //!< qdel_serve_batch_frames
 };
 
+/**
+ * Online bound-calibration telemetry (src/serve/ scoring path): the
+ * live analogue of the offline correct-fraction tables. Counters move
+ * when a started job's wait is scored against the bound captured at
+ * its submit; gauges summarize the per-entry rolling windows and are
+ * refreshed by BoundRegistry::calibrationReport() (on every /metrics
+ * and /debug/calibration render).
+ */
+struct CalibrationMetrics
+{
+    Counter &scored;        //!< qdel_calib_scored_total
+    Counter &hits;          //!< qdel_calib_hits_total
+    Counter &misses;        //!< qdel_calib_misses_total
+    Counter &infinite;      //!< qdel_calib_infinite_total
+    Counter &unscored;      //!< qdel_calib_unscored_total
+    Gauge &entries;         //!< qdel_calib_entries
+    Gauge &failingEntries;  //!< qdel_calib_failing_entries
+    Gauge &worstCoverage;   //!< qdel_calib_worst_coverage
+    Gauge &maxUndercoverage; //!< qdel_calib_max_undercoverage
+};
+
 CoreMetrics &coreMetrics();
 ReplayMetrics &replayMetrics();
 PoolMetrics &poolMetrics();
 PersistMetrics &persistMetrics();
 IngestMetrics &ingestMetrics();
 ServeMetrics &serveMetrics();
+CalibrationMetrics &calibrationMetrics();
 
 } // namespace obs
 } // namespace qdel

@@ -66,6 +66,15 @@ renderEventObject(const Event &event)
         out += std::string(first ? "" : ",") +
                "\"a\":" + formatPayload(event.a) +
                ",\"b\":" + formatPayload(event.b);
+        first = false;
+    }
+    if (event.trace != 0) {
+        // Hex string, zero-padded to 16 digits, matching the
+        // X-Qdel-Trace header format so grep finds it verbatim.
+        std::snprintf(buf, sizeof(buf),
+                      "%s\"trace\":\"%016" PRIx64 "\"",
+                      first ? "" : ",", event.trace);
+        out += buf;
     }
     out += "}}";
     return out;
@@ -125,7 +134,8 @@ EventRing::push(Shard &shard, const Event &event)
 }
 
 void
-EventRing::emit(EventType type, double a, double b, const char *label)
+EventRing::emit(EventType type, double a, double b, const char *label,
+                uint64_t trace)
 {
     Event event;
     event.type = type;
@@ -133,19 +143,21 @@ EventRing::emit(EventType type, double a, double b, const char *label)
     event.tsNanos = nowNanos();
     event.a = a;
     event.b = b;
+    event.trace = trace;
     event.label = label;
     push(shards_[detail::threadShard()], event);
 }
 
 void
 EventRing::emitSpan(EventType type, int64_t tsNanos, int64_t durNanos,
-                    const char *label)
+                    const char *label, uint64_t trace)
 {
     Event event;
     event.type = type;
     event.tid = static_cast<uint32_t>(detail::threadIndex());
     event.tsNanos = tsNanos;
     event.durNanos = durNanos;
+    event.trace = trace;
     event.label = label;
     push(shards_[detail::threadShard()], event);
 }
@@ -250,7 +262,8 @@ ScopedTimer::finish()
     const int64_t durNanos = nowNanos() - startNanos_;
     histogram_->observe(static_cast<double>(durNanos) * 1e-9);
     if (enabled())
-        events().emitSpan(type_, startNanos_, durNanos, label_);
+        events().emitSpan(type_, startNanos_, durNanos, label_,
+                          trace_);
 }
 
 } // namespace obs

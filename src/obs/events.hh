@@ -71,6 +71,7 @@ struct Event
     int64_t durNanos = 0;    //!< span duration; 0 for instant events.
     double a = 0.0;          //!< payload, meaning depends on type.
     double b = 0.0;          //!< payload, meaning depends on type.
+    uint64_t trace = 0;      //!< request trace id; 0 when untraced.
     const char *label = "";  //!< static string; "" when unused.
 };
 
@@ -90,11 +91,11 @@ class EventRing
 
     /** Append to the calling thread's shard (tid/ts filled here). */
     void emit(EventType type, double a = 0.0, double b = 0.0,
-              const char *label = "");
+              const char *label = "", uint64_t trace = 0);
 
     /** Append a completed span covering [tsNanos, tsNanos+durNanos]. */
     void emitSpan(EventType type, int64_t tsNanos, int64_t durNanos,
-                  const char *label);
+                  const char *label, uint64_t trace = 0);
 
     /** All buffered events, merged and sorted by timestamp. */
     std::vector<Event> drain() const;
@@ -165,6 +166,14 @@ class ScopedTimer
     ScopedTimer(const ScopedTimer &) = delete;
     ScopedTimer &operator=(const ScopedTimer &) = delete;
 
+    /**
+     * Attach a request trace id; the emitted span carries it so a
+     * client-chosen id can be matched against the drained event
+     * stream. Call via QDEL_OBS() so the site compiles away under
+     * QDEL_OBS_DISABLE.
+     */
+    void setTrace(uint64_t trace) { trace_ = trace; }
+
   private:
     /** The enabled-path tail: observe the duration, emit the span. */
     void finish();
@@ -173,6 +182,7 @@ class ScopedTimer
     EventType type_;
     const char *label_;
     int64_t startNanos_;
+    uint64_t trace_ = 0;
 };
 
 } // namespace obs

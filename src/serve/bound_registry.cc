@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "core/predictor_factory.hh"
+#include "obs/calibration.hh"
 #include "obs/domain_metrics.hh"
 #include "obs/obs.hh"
 #include "persist/io.hh"
@@ -22,8 +24,10 @@ namespace serve {
 
 namespace {
 
-// v2 added the per-client retry-dedup fences (clientSeq).
-constexpr uint32_t kShardStateVersion = 2;
+// v2 added the per-client retry-dedup fences (clientSeq); v3 added
+// the bound captured at submit on each pending job plus the per-entry
+// calibration counters and rolling window.
+constexpr uint32_t kShardStateVersion = 3;
 const char *const kShardStateTag = "qdel-serve-shard";
 
 std::string
@@ -72,7 +76,32 @@ struct BoundRegistry::Entry
     uint64_t running = 0;
     uint64_t version = 0;
     size_t lastTrims = 0;
-    std::map<uint64_t, double> pending;  //!< jobId -> submit time.
+
+    /**
+     * One submitted-but-not-started job. boundAtSubmit captures the
+     * published primary-quantile upper bound the instant the submit
+     * was applied — exactly what a query at that moment would have
+     * answered — so the wait can be scored against the bound the
+     * service actually stood behind, mirroring the offline replay's
+     * predict-at-submit / score-at-start rule. scoreable is false
+     * while the entry is still training (offline scores only
+     * post-training jobs).
+     */
+    struct PendingJob
+    {
+        double submitTime = 0.0;
+        double boundAtSubmit = 0.0;
+        bool scoreable = false;
+    };
+    std::map<uint64_t, PendingJob> pending;  //!< by jobId.
+
+    // Calibration state: mutated only under the shard writer lock, so
+    // it is a deterministic function of the event sequence and WAL
+    // replay reconstructs it exactly (it is part of the digest).
+    uint64_t calibScored = 0;    //!< Waits scored against a bound.
+    uint64_t calibHits = 0;      //!< Covered (infinite bound = hit).
+    uint64_t calibInfinite = 0;  //!< Scored against an infinite bound.
+    obs::CalibrationWindow calibWindow;
 
     std::atomic<std::shared_ptr<const BoundSnapshot>> snapshot;
 };
@@ -117,7 +146,8 @@ BoundRegistry::Options::validate() const
 }
 
 BoundRegistry::BoundRegistry(const Options &options)
-    : options_(options), rareTable_(options.quantile)
+    : options_(options), primaryGridIndex_(gridIndexFor(options.quantile)),
+      rareTable_(options.quantile)
 {
     if (auto valid = options_.validate(); !valid.ok())
         panic("BoundRegistry constructed with invalid options: " +
@@ -274,7 +304,20 @@ BoundRegistry::applyLocked(size_t s, const JobEvent &event)
     switch (event.kind) {
     case EventKind::Submit: {
         auto entry = getOrCreateLocked(s, event, key);
-        if (!entry->pending.emplace(event.jobId, event.time).second) {
+        Entry::PendingJob pending_job;
+        pending_job.submitTime = event.time;
+        if (entry->finalized) {
+            // Capture the bound the service stands behind right now:
+            // the published snapshot is what any concurrent query
+            // answers, and it only moves under this same shard lock,
+            // so the capture is deterministic under WAL replay.
+            const auto snapshot =
+                entry->snapshot.load(std::memory_order_acquire);
+            pending_job.boundAtSubmit =
+                snapshot->upper[primaryGridIndex_];
+            pending_job.scoreable = true;
+        }
+        if (!entry->pending.emplace(event.jobId, pending_job).second) {
             outcome.rejectReason = "duplicate submit for job id";
             break;
         }
@@ -294,15 +337,21 @@ BoundRegistry::applyLocked(size_t s, const JobEvent &event)
             outcome.rejectReason = "start without a pending submit";
             break;
         }
-        const double wait = event.time - it->second;
+        const double wait = event.time - it->second.submitTime;
         if (!(wait >= 0.0)) {  // NaN rejects too.
             outcome.rejectReason = "start time precedes submit time";
             break;
         }
+        const bool scoreable = it->second.scoreable;
+        const double bound = it->second.boundAtSubmit;
         entry->pending.erase(it);
         --shard.pendingTotal;
         QDEL_OBS(obs::serveMetrics().pendingJobs.add(-1.0));
         ++entry->running;
+        // Score against the submit-time bound before observing the
+        // wait: the outcome must judge the bound that was answered,
+        // not one refreshed by this very observation.
+        scoreLocked(*entry, scoreable, bound, wait, event.traceId);
         observeLocked(*entry, wait);
         outcome.applied = true;
         break;
@@ -325,7 +374,58 @@ BoundRegistry::applyLocked(size_t s, const JobEvent &event)
         ++shard.rejected;
         QDEL_OBS(obs::serveMetrics().eventsRejected.inc());
     }
+    // Traced ingests leave an instant marker at the registry layer so
+    // the drained event stream shows the full reactor -> service ->
+    // registry path for one request.
+    QDEL_OBS({
+        if (event.traceId != 0) {
+            obs::events().emit(obs::EventType::Span,
+                               static_cast<double>(event.jobId),
+                               outcome.applied ? 1.0 : 0.0,
+                               "registry_apply", event.traceId);
+        }
+    });
     return outcome;
+}
+
+void
+BoundRegistry::scoreLocked(Entry &entry, bool scoreable, double bound,
+                           double wait, uint64_t traceId)
+{
+    if (!scoreable) {
+        QDEL_OBS(obs::calibrationMetrics().unscored.inc());
+        return;
+    }
+    ++entry.calibScored;
+    bool hit = true;
+    if (!std::isfinite(bound)) {
+        // Mirror the offline scorer: a bound the predictor could not
+        // make finite is counted as covering (and tallied) rather
+        // than failing — the service answered "no useful bound", not
+        // a wrong one.
+        ++entry.calibInfinite;
+        QDEL_OBS(obs::calibrationMetrics().infinite.inc());
+    } else {
+        hit = bound >= wait;
+    }
+    if (hit)
+        ++entry.calibHits;
+    entry.calibWindow.record(hit);
+    QDEL_OBS({
+        obs::calibrationMetrics().scored.inc();
+        if (hit)
+            obs::calibrationMetrics().hits.inc();
+        else
+            obs::calibrationMetrics().misses.inc();
+        // Like the offline scorer, infinite bounds are tallied but not
+        // evented — inf has no JSON rendering, and the interesting
+        // payload (bound vs wait) only exists when the bound is real.
+        if (std::isfinite(bound)) {
+            obs::events().emit(hit ? obs::EventType::BoundHit
+                                   : obs::EventType::BoundMiss,
+                               bound, wait, "serve_calibration", traceId);
+        }
+    });
 }
 
 ApplyOutcome
@@ -503,10 +603,17 @@ BoundRegistry::saveShard(size_t s, persist::StateWriter &writer) const
         writer.u64(snapshot->historySize);
         writer.u64(snapshot->observations);
         writer.u64(entry->pending.size());
-        for (const auto &[job_id, submit_time] : entry->pending) {
+        for (const auto &[job_id, pending_job] : entry->pending) {
             writer.u64(job_id);
-            writer.f64(submit_time);
+            writer.f64(pending_job.submitTime);
+            writer.f64(pending_job.boundAtSubmit);
+            writer.u8(pending_job.scoreable ? 1 : 0);
         }
+        writer.u64(entry->calibScored);
+        writer.u64(entry->calibHits);
+        writer.u64(entry->calibInfinite);
+        const std::vector<uint8_t> window = entry->calibWindow.serialize();
+        writer.str(std::string(window.begin(), window.end()));
         if (auto saved = entry->predictor->saveState(writer); !saved.ok())
             return saved.error();
     }
@@ -647,8 +754,39 @@ BoundRegistry::loadShard(size_t s, persist::StateReader &reader)
             auto submit_time = reader.f64();
             if (!submit_time.ok())
                 return submit_time.error();
-            entry->pending.emplace(job_id.value(), submit_time.value());
+            auto bound_at_submit = reader.f64();
+            if (!bound_at_submit.ok())
+                return bound_at_submit.error();
+            auto scoreable = reader.u8();
+            if (!scoreable.ok())
+                return scoreable.error();
+            Entry::PendingJob pending_job;
+            pending_job.submitTime = submit_time.value();
+            pending_job.boundAtSubmit = bound_at_submit.value();
+            pending_job.scoreable = scoreable.value() != 0;
+            entry->pending.emplace(job_id.value(), pending_job);
         }
+        auto calib_scored = reader.u64();
+        if (!calib_scored.ok())
+            return calib_scored.error();
+        entry->calibScored = calib_scored.value();
+        auto calib_hits = reader.u64();
+        if (!calib_hits.ok())
+            return calib_hits.error();
+        entry->calibHits = calib_hits.value();
+        auto calib_infinite = reader.u64();
+        if (!calib_infinite.ok())
+            return calib_infinite.error();
+        entry->calibInfinite = calib_infinite.value();
+        auto window = reader.str();
+        if (!window.ok())
+            return window.error();
+        if (window.value().size() > obs::CalibrationWindow::kCapacity) {
+            return ParseError{"", 0, "calibWindow",
+                              "calibration window longer than capacity"};
+        }
+        entry->calibWindow.restore(std::vector<uint8_t>(
+            window.value().begin(), window.value().end()));
         core::PredictorOptions predictor_options;
         predictor_options.quantile = options_.quantile;
         predictor_options.confidence = options_.confidence;
@@ -686,6 +824,91 @@ BoundRegistry::loadShard(size_t s, persist::StateReader &reader)
     shard.pendingTotal = static_cast<uint64_t>(pending_delta);
     shard.keys.store(std::move(next_keys), std::memory_order_release);
     return Unit{};
+}
+
+BoundRegistry::CalibrationReport
+BoundRegistry::calibrationReport() const
+{
+    CalibrationReport report;
+    report.confidence = options_.confidence;
+    report.quantile = kGridQuantiles[primaryGridIndex_];
+    report.windowCapacity = obs::CalibrationWindow::kCapacity;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        // The calibration fields are writer-owned, so reading them
+        // takes the shard lock — cold path, same as stats().
+        std::lock_guard<std::mutex> lock(shards_[s]->writer);
+        const auto keys =
+            shards_[s]->keys.load(std::memory_order_acquire);
+        for (const auto &[key, entry] : *keys) {
+            CalibrationRow row;
+            row.machine = entry->machine;
+            row.queue = entry->queue;
+            row.bucket = entry->bucket;
+            row.observations = entry->observations;
+            row.finalized = entry->finalized;
+            row.scored = entry->calibScored;
+            row.hits = entry->calibHits;
+            row.infinite = entry->calibInfinite;
+            row.windowCount = entry->calibWindow.count();
+            row.windowHits = entry->calibWindow.hits();
+            if (row.scored > 0) {
+                row.lifetimeCoverage =
+                    static_cast<double>(row.hits) /
+                    static_cast<double>(row.scored);
+            }
+            row.windowCoverage = entry->calibWindow.coverage();
+            const obs::CalibrationVerdict verdict =
+                obs::assessCalibration(row.windowHits, row.windowCount,
+                                       options_.confidence);
+            row.drift = verdict.drift;
+            row.pValue = verdict.pValue;
+            row.failing = verdict.failing;
+            report.rows.push_back(std::move(row));
+        }
+    }
+    std::sort(report.rows.begin(), report.rows.end(),
+              [](const CalibrationRow &a, const CalibrationRow &b) {
+                  return keyString(a.machine, a.queue, a.bucket) <
+                         keyString(b.machine, b.queue, b.bucket);
+              });
+    for (const CalibrationRow &row : report.rows) {
+        if (row.windowCount == 0)
+            continue;
+        ++report.scoredEntries;
+        if (row.failing)
+            ++report.failingEntries;
+        if (report.worstCoverage < 0.0 ||
+            row.windowCoverage < report.worstCoverage)
+            report.worstCoverage = row.windowCoverage;
+        report.maxUndercoverage = std::max(
+            report.maxUndercoverage,
+            options_.confidence - row.windowCoverage);
+    }
+    QDEL_OBS({
+        obs::CalibrationMetrics &metrics = obs::calibrationMetrics();
+        metrics.entries.set(
+            static_cast<double>(report.scoredEntries));
+        metrics.failingEntries.set(
+            static_cast<double>(report.failingEntries));
+        metrics.worstCoverage.set(report.worstCoverage);
+        metrics.maxUndercoverage.set(report.maxUndercoverage);
+    });
+    return report;
+}
+
+BoundRegistry::ShardInfo
+BoundRegistry::shardInfo(size_t s) const
+{
+    Shard &shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.writer);
+    ShardInfo info;
+    const auto keys = shard.keys.load(std::memory_order_acquire);
+    info.entries = keys->size();
+    info.pending = shard.pendingTotal;
+    info.applied = shard.applied;
+    info.rejected = shard.rejected;
+    info.clients = shard.clientSeq.size();
+    return info;
 }
 
 std::string

@@ -187,6 +187,66 @@ class BoundRegistry
     std::vector<EntryView> enumerate() const;
 
     /**
+     * One entry's calibration state: the live analogue of an offline
+     * correct-fraction table row. Lifetime counters never forget; the
+     * window fields cover only the most recent outcomes, so they are
+     * what the failing verdict is judged on.
+     */
+    struct CalibrationRow
+    {
+        std::string machine;
+        std::string queue;
+        int bucket = 0;
+        uint64_t observations = 0;  //!< Waits ever observed.
+        bool finalized = false;     //!< Past training, bounds scoreable.
+        uint64_t scored = 0;        //!< Waits scored against a bound.
+        uint64_t hits = 0;          //!< Covered (infinite counts as hit).
+        uint64_t infinite = 0;      //!< Scored against an infinite bound.
+        uint64_t windowCount = 0;   //!< Outcomes in the rolling window.
+        uint64_t windowHits = 0;
+        double lifetimeCoverage = -1.0;  //!< hits/scored; -1 when none.
+        double windowCoverage = -1.0;
+        double drift = 0.0;   //!< windowCoverage - confidence.
+        double pValue = 1.0;  //!< P[Bin(windowCount, C) <= windowHits].
+        bool failing = false; //!< Binomial test rejects coverage >= C.
+    };
+
+    /** calibrationReport() output: key-sorted rows + aggregates. */
+    struct CalibrationReport
+    {
+        double confidence = 0.0;  //!< Requested C (options().confidence).
+        double quantile = 0.0;    //!< Grid quantile bounds are scored at.
+        uint64_t windowCapacity = 0;
+        std::vector<CalibrationRow> rows;
+        uint64_t scoredEntries = 0;   //!< Rows with windowCount > 0.
+        uint64_t failingEntries = 0;
+        double worstCoverage = -1.0;  //!< Min window coverage; -1 if none.
+        /** Max (confidence - window coverage) over scored rows; positive
+         *  means at least one entry under-covers. 0 when none scored. */
+        double maxUndercoverage = 0.0;
+    };
+
+    /**
+     * Snapshot every entry's calibration state (takes each shard lock
+     * briefly — cold path) and refresh the qdel_calib_* gauges from
+     * the aggregates. Drives /debug/calibration and /metrics.
+     */
+    CalibrationReport calibrationReport() const;
+
+    /** Per-shard introspection counters for /debug/shards. */
+    struct ShardInfo
+    {
+        uint64_t entries = 0;   //!< Live predictor keys.
+        uint64_t pending = 0;   //!< Submitted-not-started jobs.
+        uint64_t applied = 0;
+        uint64_t rejected = 0;
+        uint64_t clients = 0;   //!< Client retry fences held.
+    };
+
+    /** Counters for shard @p s (takes its lock briefly). */
+    ShardInfo shardInfo(size_t s) const;
+
+    /**
      * Serialize shard @p s's complete state (counters, pending jobs,
      * predictor states, publish versions) in key order; caller holds
      * the shard lock. loadShard() restores bit-identically and
@@ -213,9 +273,12 @@ class BoundRegistry
     std::shared_ptr<Entry> getOrCreateLocked(size_t s, const JobEvent &event,
                                              const std::string &key);
     void observeLocked(Entry &entry, double wait);
+    void scoreLocked(Entry &entry, bool scoreable, double bound,
+                     double wait, uint64_t traceId);
     void publish(Entry &entry, bool bump_version);
 
     Options options_;
+    size_t primaryGridIndex_ = 0;  //!< gridIndexFor(options_.quantile).
     core::RareEventTable rareTable_;
     std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -179,6 +179,22 @@ parseRequestHead(std::string_view head)
                               "chunked bodies are not supported"};
         } else if (name == "connection") {
             request.keepAlive = lowered(value) == "keep-alive";
+        } else if (name == "x-qdel-trace") {
+            // Best-effort hex parse; reject (to 0) rather than erroring
+            // so a garbled trace id cannot break an otherwise valid
+            // request.
+            uint64_t trace = 0;
+            size_t digits = 0;
+            for (char c : value) {
+                const int digit = hexDigit(c);
+                if (digit < 0 || ++digits > 16) {
+                    trace = 0;
+                    break;
+                }
+                trace = (trace << 4) | static_cast<uint64_t>(digit);
+            }
+            if (digits > 0 && digits <= 16)
+                request.traceId = trace;
         }
     }
     return request;

@@ -12,6 +12,7 @@
 #define QDEL_SERVE_HTTP_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -42,6 +43,14 @@ struct HttpRequest
      *  Responses stay close-delimited unless the client opts in, so
      *  read-to-EOF clients keep working unchanged. */
     bool keepAlive = false;
+
+    /**
+     * Parsed X-Qdel-Trace header: up to 16 hex digits naming the
+     * request for end-to-end tracing (same id space as the wire v3
+     * trace tail). 0 = header absent or unparsable — tracing is best
+     * effort, so a malformed id never fails the request.
+     */
+    uint64_t traceId = 0;
 };
 
 /**

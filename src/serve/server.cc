@@ -36,7 +36,10 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
+#include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -46,6 +49,7 @@
 #include <vector>
 
 #include "obs/domain_metrics.hh"
+#include "obs/events.hh"
 #include "obs/obs.hh"
 #include "persist/state_codec.hh"
 #include "serve/conn_buffer.hh"
@@ -219,6 +223,36 @@ struct Conn
     Conn *timerPrev = nullptr;
     Conn *timerNext = nullptr;
     int timerSlot = -1;
+
+    /**
+     * Introspection mirrors for GET /debug/conns: refreshed by the
+     * owning loop thread with relaxed stores whenever the deadline is
+     * re-armed, read by whichever loop serves the debug request. The
+     * plain fields above stay strictly single-threaded; only these
+     * mirrors (and fd, which is written once before the connection is
+     * published) ever cross threads.
+     */
+    std::atomic<uint8_t> protoView{0};      //!< Proto enum value.
+    std::atomic<uint64_t> inBytesView{0};   //!< Unparsed receive bytes.
+    std::atomic<uint64_t> outBytesView{0};  //!< Unflushed response bytes.
+    std::atomic<int64_t> deadlineView{0};   //!< Deadline, steady-clock ns.
+    std::atomic<bool> idleView{true};       //!< Idle (vs io) budget armed.
+
+    void
+    publishView()
+    {
+        protoView.store(static_cast<uint8_t>(proto),
+                        std::memory_order_relaxed);
+        inBytesView.store(in.size(), std::memory_order_relaxed);
+        outBytesView.store(out.size() - outSent,
+                           std::memory_order_relaxed);
+        deadlineView.store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                deadline.time_since_epoch())
+                .count(),
+            std::memory_order_relaxed);
+        idleView.store(idleDeadline, std::memory_order_relaxed);
+    }
 };
 
 /**
@@ -340,8 +374,22 @@ struct Loop
     std::atomic<size_t> connCount{0};
 
     TimerWheel wheel;
+
+    /** Guards conns membership only, for GET /debug/conns: the owning
+     *  thread takes it around insert/erase, a dumping thread around its
+     *  walk. Never held across request handling, so the hot path pays
+     *  one uncontended lock per connection lifetime, not per request. */
+    std::mutex connsMutex;
     std::unordered_set<Conn *> conns;
     std::vector<Conn *> expired;
+
+    /** Every loop of this server, for GET /debug/conns (set once
+     *  before the loop threads start; read-only afterwards). */
+    const std::vector<std::unique_ptr<Loop>> *allLoops = nullptr;
+
+    /** Slow-request log rate limiter: obs::nowNanos() of the last
+     *  emitted line (loop-thread only). */
+    int64_t lastSlowLogNanos = 0;
 
     /** Query-batch scratch: reset (not freed) between batches. */
     std::vector<BoundQuery> queries;
@@ -379,10 +427,38 @@ struct Loop
     void handleFramePayload(Conn *c, std::string_view payload);
     void flushQueryBatch(Conn *c);
     BoundQuery &nextQuerySlot();
+    void maybeLogSlow(const char *what, int64_t startNanos, uint64_t trace);
+};
+
+/**
+ * Measures one request for the --slow-request-us log. Lives on the
+ * stack next to the request span; the destructor logs when the elapsed
+ * time crossed the threshold. Deliberately separate from QDEL_OBS_SPAN
+ * so the log keeps working when observability is compiled out or
+ * disabled — it is an operator tool, not a metric.
+ */
+struct SlowLogGuard
+{
+    Loop *loop;
+    const char *what;      //!< "frame", "query_batch", or "http".
+    uint64_t trace = 0;    //!< Filled in once the request is decoded.
+    int64_t startNanos;    //!< -1 when the log is disabled.
+
+    SlowLogGuard(Loop *l, const char *w)
+        : loop(l), what(w),
+          startNanos(l->options->slowRequestUs > 0 ? obs::nowNanos() : -1)
+    {
+    }
+
+    ~SlowLogGuard()
+    {
+        if (startNanos >= 0)
+            loop->maybeLogSlow(what, startNanos, trace);
+    }
 };
 
 /** Route one parsed HTTP request, appending the response to @p out. */
-void handleHttpRequest(BoundService *service, const HttpRequest &request,
+void handleHttpRequest(Loop *loop, const HttpRequest &request,
                        std::string &out, bool keepAlive);
 
 } // namespace
@@ -414,6 +490,11 @@ ServerOptions::validate() const
     if (ioTimeoutMs < 1 || idleTimeoutMs < 1) {
         return ParseError{"", 0, "timeouts",
                           "io and idle timeouts must be >= 1 ms"};
+    }
+    if (slowRequestUs < 0) {
+        return ParseError{"", 0, "slowRequestUs",
+                          "slow-request threshold must be >= 0 us, got " +
+                              std::to_string(slowRequestUs)};
     }
     return Unit{};
 }
@@ -545,6 +626,10 @@ BoundServer::start(BoundService &service, const ServerOptions &options)
         }
         impl->loops.push_back(std::move(loop));
     }
+    // Loops can see each other (for GET /debug/conns) — published
+    // before any loop thread exists, immutable afterwards.
+    for (auto &loop : impl->loops)
+        loop->allLoops = &impl->loops;
     for (auto &loop : impl->loops) {
         loop->thread = std::thread([raw = loop.get()] { raw->run(); });
     }
@@ -710,7 +795,11 @@ Loop::adoptInbox()
             delete c;
             continue;
         }
-        conns.insert(c);
+        c->publishView();
+        {
+            std::lock_guard<std::mutex> lock(connsMutex);
+            conns.insert(c);
+        }
         wheel.arm(c, c->deadline);
         QDEL_OBS(obs::serveMetrics().connections.add(1.0));
     }
@@ -720,7 +809,12 @@ void
 Loop::closeConn(Conn *c)
 {
     wheel.disarm(c);
-    conns.erase(c);
+    {
+        // Unpublish before freeing: a /debug/conns walk on another
+        // thread only ever sees members of this set.
+        std::lock_guard<std::mutex> lock(connsMutex);
+        conns.erase(c);
+    }
     ::close(c->fd);
     connCount.fetch_sub(1, std::memory_order_relaxed);
     QDEL_OBS(obs::serveMetrics().connections.add(-1.0));
@@ -886,10 +980,13 @@ Loop::rearmDeadline(Conn *c, bool serviced)
         c->idleDeadline = false;
         c->deadline = now + ms(options->ioTimeoutMs);
     } else {
-        // Sticky io deadline: dribbled bytes never extend the budget.
+        // Sticky io deadline: dribbled bytes never extend the budget
+        // (but the introspection mirror still tracks buffer levels).
+        c->publishView();
         return;
     }
     wheel.arm(c, c->deadline);
+    c->publishView();
 }
 
 void
@@ -973,6 +1070,7 @@ Loop::handleFramePayload(Conn *c, std::string_view payload)
     flushQueryBatch(c);
     QDEL_OBS_SPAN(span, obs::serveMetrics().requestSeconds,
                   obs::EventType::Span, "serve_request");
+    SlowLogGuard slow(this, "frame");
     switch (opcode) {
     case Opcode::Event: {
         auto event = decodeEvent(body);
@@ -981,6 +1079,11 @@ Loop::handleFramePayload(Conn *c, std::string_view payload)
             appendErrorFrame(c->out, event.error().reason);
             return;
         }
+        // A traced ingest stamps the reactor span, so the drained
+        // event stream shows reactor -> service -> registry hops all
+        // carrying the same id.
+        QDEL_OBS(span.setTrace(event.value().traceId));
+        slow.trace = event.value().traceId;
         auto outcome = service->ingest(event.value());
         if (!outcome.ok()) {
             appendErrorFrame(c->out, outcome.error().reason);
@@ -1038,10 +1141,28 @@ Loop::flushQueryBatch(Conn *c)
                   obs::EventType::Span, "serve_request");
     QDEL_OBS_SPAN(query_span, obs::serveMetrics().querySeconds,
                   obs::EventType::Span, "serve_query");
+    SlowLogGuard slow(this, "query_batch");
+    if (slow.startNanos >= 0) {
+        // Attribute a slow batch to its first traced query (if any).
+        for (size_t i = 0; i < queryCount && slow.trace == 0; ++i)
+            slow.trace = queries[i].traceId;
+    }
     if (answers.size() < queryCount)
         answers.resize(queryCount);
     service->queryBatch(queries.data(), queryCount, answers.data(),
                               queryScratch);
+    // Traced queries get an instant mark each: the read path is
+    // lock-free, so the reactor hop is the whole story for a query.
+    QDEL_OBS({
+        for (size_t i = 0; i < queryCount; ++i) {
+            if (queries[i].traceId != 0) {
+                obs::events().emit(obs::EventType::Span,
+                                   answers[i].known ? 1.0 : 0.0,
+                                   static_cast<double>(i), "serve_query",
+                                   queries[i].traceId);
+            }
+        }
+    });
     for (size_t i = 0; i < queryCount; ++i)
         appendAnswerFrame(c->out, answers[i]);
     queryCount = 0;
@@ -1108,7 +1229,7 @@ Loop::processHttp(Conn *c, size_t *frames)
         if (data.size() - head_end < request.contentLength)
             return;  // Need the body; head is re-parsed next pass.
         ++*frames;
-        handleHttpRequest(service, request, c->out, request.keepAlive);
+        handleHttpRequest(this, request, c->out, request.keepAlive);
         c->in.consume(head_end + request.contentLength);
         if (!request.keepAlive) {
             c->closing = true;
@@ -1116,6 +1237,26 @@ Loop::processHttp(Conn *c, size_t *frames)
         }
         // Keep-alive: loop in case the client pipelined more requests.
     }
+}
+
+void
+Loop::maybeLogSlow(const char *what, int64_t startNanos, uint64_t trace)
+{
+    const int64_t now = obs::nowNanos();
+    const int64_t elapsed = now - startNanos;
+    if (elapsed < options->slowRequestUs * 1000)
+        return;
+    QDEL_OBS(obs::serveMetrics().slowRequests.inc());
+    // At most one line per 100ms per loop: the log exists to diagnose
+    // slowness, it must never add any.
+    if (now - lastSlowLogNanos < 100'000'000)
+        return;
+    lastSlowLogNanos = now;
+    char suffix[32] = "";
+    if (trace != 0)
+        std::snprintf(suffix, sizeof(suffix), " trace=%016" PRIx64, trace);
+    warn("slow ", what, " request: ", elapsed / 1000, "us (threshold ",
+         options->slowRequestUs, "us)", suffix);
 }
 
 } // namespace
@@ -1188,16 +1329,169 @@ BoundServer::Impl::answerShed(int fd)
 
 namespace {
 
+/** Append a JSON number: %.17g round-trips doubles exactly; the JSON
+ *  grammar has no inf/nan, so non-finite values become null (the same
+ *  convention as wire.cc's answer rendering). */
 void
-handleHttpRequest(BoundService *service, const HttpRequest &request,
+appendJsonNumber(std::string &out, double value)
+{
+    if (!std::isfinite(value)) {
+        out += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+/** GET /debug/calibration: the live analogue of the offline
+ *  correct-fraction table, one row per (machine, queue, bucket). */
+std::string
+calibrationToJson(const BoundRegistry::CalibrationReport &report)
+{
+    std::string out = "{\"confidence\":";
+    appendJsonNumber(out, report.confidence);
+    out += ",\"quantile\":";
+    appendJsonNumber(out, report.quantile);
+    out += ",\"windowCapacity\":" + std::to_string(report.windowCapacity);
+    out += ",\"entries\":" + std::to_string(report.rows.size());
+    out += ",\"scoredEntries\":" + std::to_string(report.scoredEntries);
+    out += ",\"failingEntries\":" + std::to_string(report.failingEntries);
+    out += ",\"worstCoverage\":";
+    appendJsonNumber(out, report.worstCoverage);
+    out += ",\"maxUndercoverage\":";
+    appendJsonNumber(out, report.maxUndercoverage);
+    out += ",\"rows\":[";
+    bool first = true;
+    for (const auto &row : report.rows) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"machine\":\"" + jsonEscape(row.machine) + "\"";
+        out += ",\"queue\":\"" + jsonEscape(row.queue) + "\"";
+        out += ",\"bucket\":" + std::to_string(row.bucket);
+        out += ",\"bucketLabel\":\"" +
+               jsonEscape(procBucketLabel(row.bucket)) + "\"";
+        out += ",\"observations\":" + std::to_string(row.observations);
+        out += ",\"finalized\":";
+        out += row.finalized ? "true" : "false";
+        out += ",\"scored\":" + std::to_string(row.scored);
+        out += ",\"hits\":" + std::to_string(row.hits);
+        out += ",\"infinite\":" + std::to_string(row.infinite);
+        out += ",\"windowCount\":" + std::to_string(row.windowCount);
+        out += ",\"windowHits\":" + std::to_string(row.windowHits);
+        out += ",\"lifetimeCoverage\":";
+        appendJsonNumber(out, row.lifetimeCoverage);
+        out += ",\"windowCoverage\":";
+        appendJsonNumber(out, row.windowCoverage);
+        out += ",\"drift\":";
+        appendJsonNumber(out, row.drift);
+        out += ",\"pValue\":";
+        appendJsonNumber(out, row.pValue);
+        out += ",\"failing\":";
+        out += row.failing ? "true" : "false";
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+/** GET /debug/shards: per-shard registry counters + WAL replay depth. */
+std::string
+shardsToJson(const BoundService &service)
+{
+    const auto rows = service.debugShards();
+    std::string out = "{\"durable\":";
+    out += service.durable() ? "true" : "false";
+    out += ",\"shards\":[";
+    for (size_t s = 0; s < rows.size(); ++s) {
+        if (s > 0)
+            out += ",";
+        const auto &row = rows[s];
+        out += "{\"shard\":" + std::to_string(s);
+        out += ",\"entries\":" + std::to_string(row.info.entries);
+        out += ",\"pending\":" + std::to_string(row.info.pending);
+        out += ",\"applied\":" + std::to_string(row.info.applied);
+        out += ",\"rejected\":" + std::to_string(row.info.rejected);
+        out += ",\"clients\":" + std::to_string(row.info.clients);
+        out += ",\"walSinceCheckpoint\":" +
+               std::to_string(row.walSinceCheckpoint);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+/** GET /debug/conns: every loop's connections from the relaxed
+ *  introspection mirrors — buffer depths, deadline, protocol. */
+std::string
+connsToJson(const std::vector<std::unique_ptr<Loop>> &loops)
+{
+    const int64_t now_nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    std::string out = "{\"loops\":[";
+    for (size_t i = 0; i < loops.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        Loop &loop = *loops[i];
+        out += "{\"loop\":" + std::to_string(i);
+        out += ",\"connCount\":" +
+               std::to_string(
+                   loop.connCount.load(std::memory_order_relaxed));
+        out += ",\"conns\":[";
+        bool first = true;
+        std::lock_guard<std::mutex> lock(loop.connsMutex);
+        for (const Conn *c : loop.conns) {
+            if (!first)
+                out += ",";
+            first = false;
+            static const char *const kProtoNames[] = {"sniff", "binary",
+                                                      "http"};
+            const uint8_t proto =
+                c->protoView.load(std::memory_order_relaxed);
+            out += "{\"fd\":" + std::to_string(c->fd);
+            out += ",\"proto\":\"";
+            out += proto < 3 ? kProtoNames[proto] : "?";
+            out += "\",\"inBytes\":" +
+                   std::to_string(
+                       c->inBytesView.load(std::memory_order_relaxed));
+            out += ",\"outBytes\":" +
+                   std::to_string(
+                       c->outBytesView.load(std::memory_order_relaxed));
+            out += ",\"idleDeadline\":";
+            out += c->idleView.load(std::memory_order_relaxed) ? "true"
+                                                               : "false";
+            out += ",\"deadlineMs\":";
+            appendJsonNumber(
+                out,
+                static_cast<double>(
+                    c->deadlineView.load(std::memory_order_relaxed) -
+                    now_nanos) /
+                    1e6);
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+handleHttpRequest(Loop *loop, const HttpRequest &request,
                   std::string &out, bool keepAlive)
 {
+    BoundService *service = loop->service;
     QDEL_OBS({
         obs::serveMetrics().requests.inc();
         obs::serveMetrics().httpRequests.inc();
     });
     QDEL_OBS_SPAN(span, obs::serveMetrics().requestSeconds,
                   obs::EventType::Span, "serve_http");
+    QDEL_OBS(span.setTrace(request.traceId));
+    SlowLogGuard slow(loop, "http");
+    slow.trace = request.traceId;
 
     auto param = [&](const char *name, const char *fallback) {
         const auto it = request.params.find(name);
@@ -1211,6 +1505,9 @@ handleHttpRequest(BoundService *service, const HttpRequest &request,
         return;
     }
     if (request.method == "GET" && request.path == "/metrics") {
+        // Refresh the calibration gauges so the scrape reflects the
+        // entries as of this instant (counters are always live).
+        service->registry().calibrationReport();
         appendHttpResponse(
             out, 200, "text/plain; version=0.0.4",
             obs::renderPrometheus(obs::registry().snapshot()), keepAlive);
@@ -1219,13 +1516,33 @@ handleHttpRequest(BoundService *service, const HttpRequest &request,
     if (request.method == "GET" && request.path == "/bound") {
         QDEL_OBS_SPAN(query_span, obs::serveMetrics().querySeconds,
                       obs::EventType::Span, "serve_query");
+        QDEL_OBS(query_span.setTrace(request.traceId));
         BoundQuery query;
         query.machine = param("machine", "");
         query.queue = param("queue", "");
         query.procs = std::atoi(param("procs", "1").c_str());
         query.quantile = std::atof(param("q", "0.95").c_str());
+        query.traceId = request.traceId;
         appendHttpResponse(out, 200, "application/json",
                            answerToJson(service->query(query)), keepAlive);
+        return;
+    }
+    if (request.method == "GET" &&
+        request.path == "/debug/calibration") {
+        appendHttpResponse(
+            out, 200, "application/json",
+            calibrationToJson(service->registry().calibrationReport()),
+            keepAlive);
+        return;
+    }
+    if (request.method == "GET" && request.path == "/debug/shards") {
+        appendHttpResponse(out, 200, "application/json",
+                           shardsToJson(*service), keepAlive);
+        return;
+    }
+    if (request.method == "GET" && request.path == "/debug/conns") {
+        appendHttpResponse(out, 200, "application/json",
+                           connsToJson(*loop->allLoops), keepAlive);
         return;
     }
     if (request.method == "POST" && request.path == "/event") {
@@ -1251,6 +1568,7 @@ handleHttpRequest(BoundService *service, const HttpRequest &request,
         event.clientId = param("client", "");
         event.seq =
             std::strtoull(param("seq", "0").c_str(), nullptr, 10);
+        event.traceId = request.traceId;
         auto outcome = service->ingest(event);
         if (!outcome.ok()) {
             appendHttpResponse(out, 500, "text/plain",

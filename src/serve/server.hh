@@ -74,6 +74,16 @@ struct ServerOptions
      *  is reaped, milliseconds. */
     int idleTimeoutMs = 30000;
 
+    /**
+     * Slow-request log threshold, microseconds; 0 disables. Requests
+     * (binary frames, query batches, HTTP requests) whose handling
+     * exceeds the threshold are logged with their duration and trace
+     * id, rate-limited to at most one line per 100ms per reactor loop
+     * so a pathological workload cannot turn the log into the
+     * bottleneck it is diagnosing.
+     */
+    int64_t slowRequestUs = 0;
+
     Expected<Unit> validate() const;
 };
 

@@ -164,7 +164,39 @@ BoundService::ingest(const JobEvent &event)
         if (auto ok = checkpointShardLocked(s); !ok.ok())
             return ok.error();
     }
+    // Traced ingests mark the service layer too, so the drained event
+    // stream shows reactor -> service -> registry for one request.
+    QDEL_OBS({
+        if (event.traceId != 0) {
+            obs::events().emit(obs::EventType::Span,
+                               static_cast<double>(event.jobId),
+                               static_cast<double>(s), "service_ingest",
+                               event.traceId);
+        }
+    });
     return outcome;
+}
+
+std::vector<BoundService::ShardDebug>
+BoundService::debugShards() const
+{
+    std::vector<ShardDebug> out;
+    const size_t shards = registry_->shardCount();
+    out.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        ShardDebug row;
+        row.info = registry_->shardInfo(s);
+        if (durable()) {
+            // eventsSinceCheckpoint_ is written under the shard lock;
+            // take it (shardInfo above released its hold) so the read
+            // is race-free. The two reads are not one atomic cut —
+            // fine for an introspection endpoint.
+            auto lock = registry_->lockShard(s);
+            row.walSinceCheckpoint = eventsSinceCheckpoint_[s];
+        }
+        out.push_back(row);
+    }
+    return out;
 }
 
 Expected<Unit>

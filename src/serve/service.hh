@@ -138,6 +138,19 @@ class BoundService
         return recoveries_;
     }
 
+    /** One shard's introspection row for GET /debug/shards. */
+    struct ShardDebug
+    {
+        BoundRegistry::ShardInfo info;
+        /** Events WAL-logged since the shard's last checkpoint — the
+         *  replay depth a crash right now would pay. 0 when ephemeral. */
+        uint64_t walSinceCheckpoint = 0;
+    };
+
+    /** Per-shard registry counters + WAL depth (cold path: takes each
+     *  shard lock briefly, twice). */
+    std::vector<ShardDebug> debugShards() const;
+
   private:
     BoundService() = default;
 

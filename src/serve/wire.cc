@@ -175,6 +175,15 @@ encodeEvent(const JobEvent &event)
     return writer.take();
 }
 
+std::string
+encodeEventWire(const JobEvent &event)
+{
+    std::string bytes = encodeEvent(event);
+    if (event.traceId != 0)
+        putU64(bytes, event.traceId);
+    return bytes;
+}
+
 Expected<JobEvent>
 decodeEvent(std::string_view body)
 {
@@ -208,7 +217,8 @@ decodeEvent(std::string_view body)
         return queue.error();
     event.queue = std::move(queue).value();
     // v1 events (WAL blobs written before the idempotency fields
-    // existed) end here; v2 carries clientId + seq.
+    // existed) end here; v2 carries clientId + seq, and v3 may append
+    // a trace id after them.
     if (reader.remaining() > 0) {
         auto client_id = reader.str();
         if (!client_id.ok())
@@ -218,6 +228,12 @@ decodeEvent(std::string_view body)
         if (!seq.ok())
             return seq.error();
         event.seq = seq.value();
+    }
+    if (reader.remaining() > 0) {
+        auto trace = reader.u64();
+        if (!trace.ok())
+            return trace.error();
+        event.traceId = trace.value();
     }
     if (auto end = reader.expectEnd(); !end.ok())
         return end.error();
@@ -233,6 +249,10 @@ encodeQuery(const BoundQuery &query)
     writer.i64(query.procs);
     writer.f64(query.quantile);
     writer.u8(query.upper ? 1 : 0);
+    // v3 trace tail: omitted when untraced so the v2 byte layout is
+    // preserved exactly for the common case.
+    if (query.traceId != 0)
+        writer.u64(query.traceId);
     return writer.take();
 }
 
@@ -269,6 +289,15 @@ decodeQueryInto(std::string_view body, BoundQuery *query)
     if (!upper.ok())
         return upper.error();
     query->upper = upper.value() != 0;
+    // Assign unconditionally: @p query is reused scratch, and a stale
+    // trace id from a previous batch slot must not leak forward.
+    query->traceId = 0;
+    if (reader.remaining() > 0) {
+        auto trace = reader.u64();
+        if (!trace.ok())
+            return trace.error();
+        query->traceId = trace.value();
+    }
     if (auto end = reader.expectEnd(); !end.ok())
         return end.error();
     return Unit{};

@@ -47,8 +47,10 @@ constexpr uint32_t kMaxFrameBytes = 1u << 20;
 
 /** Wire protocol version, echoed in ping responses. v2 added the
  *  per-client (clientId, seq) idempotency fields on JobEvent and the
- *  Status::Shed response frame. */
-constexpr uint32_t kWireVersion = 2;
+ *  Status::Shed response frame; v3 added the optional trailing trace
+ *  id on Event and Query bodies (absent = untraced, so every v2 frame
+ *  is a valid v3 frame and response layouts are unchanged). */
+constexpr uint32_t kWireVersion = 3;
 
 /** Request opcodes (first payload byte of a request frame). */
 enum class Opcode : uint8_t {
@@ -96,6 +98,16 @@ struct JobEvent
      */
     std::string clientId;
     uint64_t seq = 0;
+
+    /**
+     * Optional request trace id (v3): when nonzero, the reactor tags
+     * the QDEL_OBS spans this event generates so one request can be
+     * followed reactor -> service -> registry in the drained event
+     * stream. Deliberately NOT written by encodeEvent() — the WAL blob
+     * layout (and therefore shard digests) is identical whether or not
+     * a client traced the ingest; use encodeEventWire() to send one.
+     */
+    uint64_t traceId = 0;
 };
 
 /** "What wait bound do I face right now?" */
@@ -106,6 +118,7 @@ struct BoundQuery
     int procs = 1;
     double quantile = 0.95;  //!< Quantile to bound (snapped to grid).
     bool upper = true;       //!< Upper vs lower confidence bound.
+    uint64_t traceId = 0;    //!< Optional v3 trace id; 0 = untraced.
 };
 
 /** Answer to a BoundQuery, read from a published shard snapshot. */
@@ -139,7 +152,13 @@ std::string procBucketLabel(int bucket);
 
 // --- body codecs (no frame header) ---------------------------------
 
+/** WAL/canonical layout: never includes traceId (see JobEvent). */
 std::string encodeEvent(const JobEvent &event);
+
+/** Wire layout: encodeEvent() plus the trailing trace id when the
+ *  event carries one (traceId == 0 encodes byte-identically to v2). */
+std::string encodeEventWire(const JobEvent &event);
+
 Expected<JobEvent> decodeEvent(std::string_view body);
 
 std::string encodeQuery(const BoundQuery &query);

@@ -5,9 +5,12 @@
  * rendering, and the scoped-timer span helper.
  */
 
+#include <atomic>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -89,6 +92,80 @@ TEST_F(EventsTest, RingOverwritesOldestAndCountsDropped)
     ring.clear();
     EXPECT_TRUE(ring.drain().empty());
     EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST_F(EventsTest, ConcurrentSpanEmissionMidDrainKeepsAccounting)
+{
+    // Reactor threads emit spans into a small ring while another
+    // thread drains repeatedly (the /debug + --events-out pattern).
+    // Two invariants survive the races: drain() never observes a torn
+    // event (label pointers stay valid string literals, tids stay in
+    // range), and once the writers stop, every emission is accounted
+    // for as either resident or dropped.
+    constexpr int kThreads = 6;
+    constexpr int kEmits = 3000;
+    EventRing ring(kShards * 8);  // 8 slots per shard: wraps constantly.
+
+    std::atomic<bool> stop{false};
+    std::thread drainer([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            for (const auto &event : ring.drain()) {
+                ASSERT_TRUE(event.type == EventType::Span ||
+                            event.type == EventType::BoundHit);
+                ASSERT_NE(event.label, nullptr);
+                if (event.type == EventType::Span)
+                    ASSERT_STREQ(event.label, "mid_flush_span");
+            }
+        }
+    });
+
+    std::vector<std::thread> emitters;
+    for (int t = 0; t < kThreads; ++t) {
+        emitters.emplace_back([&ring, t] {
+            for (int i = 0; i < kEmits; ++i) {
+                if (i % 2 == 0) {
+                    ring.emitSpan(EventType::Span, i * 1000, 500,
+                                  "mid_flush_span",
+                                  static_cast<uint64_t>(t) << 32 | i);
+                } else {
+                    ring.emit(EventType::BoundHit,
+                              static_cast<double>(t),
+                              static_cast<double>(i), "hit");
+                }
+            }
+        });
+    }
+    for (auto &thread : emitters)
+        thread.join();
+    stop.store(true, std::memory_order_relaxed);
+    drainer.join();
+
+    // Overwrite accounting: resident + dropped == emitted, exactly.
+    const auto drained = ring.drain();
+    EXPECT_EQ(drained.size() + ring.dropped(),
+              static_cast<uint64_t>(kThreads) * kEmits);
+    EXPECT_LE(drained.size(), static_cast<size_t>(kShards) * 8);
+    EXPECT_GT(ring.dropped(), 0u);
+}
+
+TEST_F(EventsTest, TraceIdRendersAsPaddedHexOnlyWhenSet)
+{
+    EventRing ring(64);
+    ring.emit(EventType::BoundMiss, 9.0, 11.0, "scored",
+              0x00000000deadbeefULL);
+    ring.emit(EventType::CacheHit);  // untraced
+    const std::string text = renderJsonLines(ring.drain());
+
+    // Traced events carry the id as a 16-digit zero-padded hex string
+    // (a JSON string, not a number: u64 does not fit in a double).
+    EXPECT_NE(text.find("\"trace\":\"00000000deadbeef\""),
+              std::string::npos);
+    // The untraced line has no trace key at all.
+    const size_t cache_line = text.find("\"name\":\"cache_hit\"");
+    ASSERT_NE(cache_line, std::string::npos);
+    const std::string rest = text.substr(cache_line);
+    const std::string line = rest.substr(0, rest.find('\n'));
+    EXPECT_EQ(line.find("\"trace\""), std::string::npos);
 }
 
 TEST_F(EventsTest, EventTypeNamesAreStable)

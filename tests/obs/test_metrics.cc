@@ -5,10 +5,12 @@
  * merge rules, both serializers, and registry idempotence.
  */
 
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <iterator>
 #include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -147,6 +149,84 @@ TEST_F(MetricsTest, ConcurrentHistogramObservationsSumExactly)
         thread.join();
     EXPECT_EQ(histogram.count(),
               static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, ConcurrentRegistrationSnapshotAndMergeAgree)
+{
+    // Registration is idempotent per name and must stay so when many
+    // threads race to register the same families while a reader
+    // snapshots and merges mid-registration. Every increment lands on
+    // whatever instance the registry handed out, so the final snapshot
+    // must sum exactly — no lost updates, no duplicate families.
+    constexpr int kThreads = 8;
+    constexpr int kFamilies = 5;
+    constexpr int kIncrements = 2000;
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> merged_reads{0};
+    std::thread reader([&] {
+        MetricsSnapshot accumulated;
+        while (!stop.load(std::memory_order_relaxed)) {
+            // snapshot() walks the deques under the registration
+            // mutex; merge() must tolerate families appearing between
+            // iterations (they sum by name).
+            MetricsSnapshot snap = registry().snapshot();
+            accumulated.merge(snap);
+            merged_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([t] {
+            for (int i = 0; i < kIncrements; ++i) {
+                const std::string name =
+                    "test_conc_reg_" + std::to_string((t + i) % kFamilies) +
+                    "_total";
+                registry().counter(name, "concurrent registration").inc();
+                registry()
+                    .gauge("test_conc_gauge_" +
+                               std::to_string(i % kFamilies),
+                           "concurrent gauge")
+                    .set(static_cast<double>(i));
+                registry()
+                    .histogram("test_conc_hist_" +
+                                   std::to_string(i % kFamilies),
+                               "concurrent histogram", {1.0, 10.0})
+                    .observe(static_cast<double>(i % 20));
+            }
+        });
+    }
+    for (auto &thread : writers)
+        thread.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+    EXPECT_GT(merged_reads.load(), 0u);
+
+    const MetricsSnapshot final_snap = registry().snapshot();
+    uint64_t counter_total = 0;
+    int counter_families = 0;
+    for (const auto &counter : final_snap.counters) {
+        if (counter.name.rfind("test_conc_reg_", 0) == 0) {
+            ++counter_families;
+            counter_total += counter.value;
+        }
+    }
+    EXPECT_EQ(counter_families, kFamilies);  // no duplicate registration
+    EXPECT_EQ(counter_total,
+              static_cast<uint64_t>(kThreads) * kIncrements);
+
+    uint64_t histogram_total = 0;
+    int histogram_families = 0;
+    for (const auto &histogram : final_snap.histograms) {
+        if (histogram.name.rfind("test_conc_hist_", 0) == 0) {
+            ++histogram_families;
+            histogram_total += histogram.count;
+        }
+    }
+    EXPECT_EQ(histogram_families, kFamilies);
+    EXPECT_EQ(histogram_total,
+              static_cast<uint64_t>(kThreads) * kIncrements);
 }
 
 TEST_F(MetricsTest, RegistryIsIdempotentPerName)

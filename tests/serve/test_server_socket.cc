@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "persist/state_codec.hh"
 #include "serve/server.hh"
@@ -430,6 +431,180 @@ TEST_F(ServerSocketTest, HttpRetryWithClientSeqIsDeduped)
         EXPECT_NE(response.find("\"applied\":false"), std::string::npos);
         EXPECT_NE(response.find("\"deduped\":true"), std::string::npos);
     }
+}
+
+TEST_F(ServerSocketTest, DebugEndpointsServeWellFormedJson)
+{
+    // Put one finalized entry into the registry so the calibration
+    // report has a row to render.
+    Client ingest(server_->port());
+    ASSERT_TRUE(ingest.connected());
+    for (uint64_t job = 1; job <= 12; ++job) {
+        JobEvent submit;
+        submit.kind = EventKind::Submit;
+        submit.jobId = job;
+        submit.time = 10.0 * static_cast<double>(job);
+        submit.machine = "m";
+        submit.queue = "q";
+        submit.procs = 4;
+        ASSERT_EQ(requestPayload(Opcode::Event, encodeEvent(submit),
+                                 ingest)[0],
+                  0);
+        JobEvent start = submit;
+        start.kind = EventKind::Start;
+        start.time = submit.time + 5.0;
+        ASSERT_EQ(requestPayload(Opcode::Event, encodeEvent(start),
+                                 ingest)[0],
+                  0);
+    }
+
+    {
+        Client client(server_->port());
+        ASSERT_TRUE(client.send(
+            "GET /debug/calibration HTTP/1.1\r\n\r\n"));
+        const std::string response = client.readToEof();
+        EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+        EXPECT_NE(response.find("application/json"), std::string::npos);
+        EXPECT_NE(response.find("\"confidence\":"), std::string::npos);
+        EXPECT_NE(response.find("\"rows\":["), std::string::npos);
+        EXPECT_NE(response.find("\"machine\":\"m\""), std::string::npos);
+        EXPECT_NE(response.find("\"failing\":"), std::string::npos);
+        // JSON body, balanced braces end-to-end.
+        const size_t body = response.find("\r\n\r\n") + 4;
+        int depth = 0;
+        for (size_t i = body; i < response.size(); ++i) {
+            if (response[i] == '{')
+                ++depth;
+            if (response[i] == '}')
+                --depth;
+        }
+        EXPECT_EQ(depth, 0);
+    }
+    {
+        Client client(server_->port());
+        ASSERT_TRUE(client.send("GET /debug/shards HTTP/1.1\r\n\r\n"));
+        const std::string response = client.readToEof();
+        EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+        EXPECT_NE(response.find("\"durable\":false"), std::string::npos);
+        EXPECT_NE(response.find("\"shards\":["), std::string::npos);
+        EXPECT_NE(response.find("\"applied\":"), std::string::npos);
+        EXPECT_NE(response.find("\"walSinceCheckpoint\":"),
+                  std::string::npos);
+    }
+    {
+        Client client(server_->port());
+        ASSERT_TRUE(client.send("GET /debug/conns HTTP/1.1\r\n\r\n"));
+        const std::string response = client.readToEof();
+        EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+        EXPECT_NE(response.find("\"loops\":["), std::string::npos);
+        EXPECT_NE(response.find("\"connCount\":"), std::string::npos);
+        // The requesting connection itself must be visible somewhere.
+        EXPECT_NE(response.find("\"proto\":"), std::string::npos);
+    }
+}
+
+TEST_F(ServerSocketTest, TraceIdsPropagateIntoTheEventStream)
+{
+    obs::events().clear();
+    constexpr uint64_t kBinaryTrace = 0x1122334455667788ULL;
+
+    // Binary path: the v3 optional tail on an Event frame.
+    Client client(server_->port());
+    ASSERT_TRUE(client.connected());
+    JobEvent submit;
+    submit.kind = EventKind::Submit;
+    submit.jobId = 1;
+    submit.time = 10.0;
+    submit.machine = "t";
+    submit.queue = "q";
+    submit.procs = 4;
+    submit.traceId = kBinaryTrace;
+    const std::string payload =
+        requestPayload(Opcode::Event, encodeEventWire(submit), client);
+    ASSERT_FALSE(payload.empty());
+    ASSERT_EQ(payload[0], 0);
+
+    // HTTP path: X-Qdel-Trace header on a bound query.
+    Client http(server_->port());
+    ASSERT_TRUE(http.send(
+        "GET /bound?machine=t&queue=q&procs=4&q=0.95 HTTP/1.1\r\n"
+        "X-Qdel-Trace: 00000000deadbeef\r\n\r\n"));
+    EXPECT_NE(http.readToEof().find("\"known\":true"), std::string::npos);
+
+    // The reactor emits its spans as the handler scopes unwind, which
+    // may race the response flush by a few microseconds — poll.
+    bool saw_ingest = false, saw_frame_span = false, saw_http = false;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        saw_ingest = saw_frame_span = saw_http = false;
+        for (const auto &event : obs::events().drain()) {
+            if (event.trace == kBinaryTrace) {
+                if (std::string(event.label) == "service_ingest")
+                    saw_ingest = true;
+                if (std::string(event.label) == "serve_request")
+                    saw_frame_span = true;
+            }
+            if (event.trace == 0x00000000deadbeefULL &&
+                std::string(event.label) == "serve_http")
+                saw_http = true;
+        }
+        if (saw_ingest && saw_frame_span && saw_http)
+            break;
+        usleep(10'000);
+    }
+    EXPECT_TRUE(saw_ingest) << "traced ingest instant missing";
+    EXPECT_TRUE(saw_frame_span) << "traced frame span missing";
+    EXPECT_TRUE(saw_http) << "traced http span missing";
+
+    // An untraced request must not invent a trace id: every event with
+    // a nonzero trace matches one of the two ids above.
+    for (const auto &event : obs::events().drain())
+        if (event.trace != 0)
+            EXPECT_TRUE(event.trace == kBinaryTrace ||
+                        event.trace == 0x00000000deadbeefULL)
+                << "unexpected trace on " << event.label;
+}
+
+TEST_F(ServerSocketTest, WireV2ClientRoundTripsUnchanged)
+{
+    // A v2 client encodes events and queries without the trace tail —
+    // exactly what encodeEvent()/encodeQuery(traceId=0) produce. The
+    // v3 server must answer byte-compatible responses.
+    Client client(server_->port());
+    ASSERT_TRUE(client.connected());
+
+    JobEvent submit;
+    submit.kind = EventKind::Submit;
+    submit.jobId = 7;
+    submit.time = 100.0;
+    submit.machine = "v2";
+    submit.queue = "q";
+    submit.procs = 2;
+    const std::string v2_event = encodeEvent(submit);  // no tail, ever
+    std::string payload =
+        requestPayload(Opcode::Event, v2_event, client);
+    ASSERT_FALSE(payload.empty());
+    EXPECT_EQ(payload[0], 0);
+    {
+        persist::StateReader reader(std::string_view(payload).substr(1),
+                                    "event-response");
+        EXPECT_EQ(reader.u8().value(), 1);   // applied
+        EXPECT_EQ(reader.str().value(), ""); // no reject reason
+        EXPECT_EQ(reader.u8().value(), 0);   // not deduped
+        EXPECT_TRUE(reader.expectEnd().ok()) << "v2 response grew";
+    }
+
+    BoundQuery query;
+    query.machine = "v2";
+    query.queue = "q";
+    query.procs = 2;
+    query.quantile = 0.95;
+    ASSERT_EQ(query.traceId, 0u);
+    payload = requestPayload(Opcode::Query, encodeQuery(query), client);
+    ASSERT_FALSE(payload.empty());
+    EXPECT_EQ(payload[0], 0);
+    auto answer = decodeAnswer(std::string_view(payload).substr(1));
+    ASSERT_TRUE(answer.ok());
+    EXPECT_TRUE(answer.value().known);
 }
 
 /** Overload and deadline behaviour needs custom ServerOptions, so

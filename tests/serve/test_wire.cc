@@ -275,6 +275,60 @@ TEST(WireJson, EscapeAndNonFiniteRendering)
     EXPECT_NE(stats_json.find("\"entries\":3"), std::string::npos);
 }
 
+TEST(WireTrace, EventTraceTailIsWireOnlyAndOptional)
+{
+    JobEvent event;
+    event.jobId = 42;
+    event.machine = "m";
+    event.queue = "q";
+    event.traceId = 0xABCDEF0011223344ull;
+
+    // encodeEvent() is the WAL blob layout: it must be byte-identical
+    // whether or not the event is traced, or traced ingests would
+    // change shard digests.
+    JobEvent untraced = event;
+    untraced.traceId = 0;
+    EXPECT_EQ(encodeEvent(event), encodeEvent(untraced));
+
+    // encodeEventWire() carries the tail; decode round-trips it.
+    const std::string wire = encodeEventWire(event);
+    EXPECT_EQ(wire.size(), encodeEvent(event).size() + 8);
+    auto decoded = decodeEvent(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().traceId, event.traceId);
+
+    // A v2 body (no tail) decodes as untraced — old clients keep
+    // working against the v3 server unchanged.
+    auto v2 = decodeEvent(encodeEvent(event));
+    ASSERT_TRUE(v2.ok());
+    EXPECT_EQ(v2.value().traceId, 0u);
+
+    // Untraced events get no tail even from the wire encoder.
+    EXPECT_EQ(encodeEventWire(untraced), encodeEvent(untraced));
+}
+
+TEST(WireTrace, QueryTraceTailRoundTripsAndScratchReuseResets)
+{
+    BoundQuery query;
+    query.machine = "m";
+    query.queue = "q";
+    query.procs = 4;
+    query.quantile = 0.95;
+    query.traceId = 0x1122334455667788ull;
+
+    BoundQuery slot;
+    ASSERT_TRUE(decodeQueryInto(encodeQuery(query), &slot).ok());
+    EXPECT_EQ(slot.traceId, query.traceId);
+
+    // The reactor reuses batch slots: decoding an untraced (v2) query
+    // into a slot that previously held a traced one must reset the id,
+    // or a stale trace would be attributed to a stranger's request.
+    BoundQuery untraced = query;
+    untraced.traceId = 0;
+    ASSERT_TRUE(decodeQueryInto(encodeQuery(untraced), &slot).ok());
+    EXPECT_EQ(slot.traceId, 0u);
+}
+
 } // namespace
 } // namespace serve
 } // namespace qdel

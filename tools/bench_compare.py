@@ -19,6 +19,14 @@ given percentage (default 10 when the flag is given bare) fails the
 run. Useful in CI, where the interesting signal is "did this change
 slow anything down", not a specific speedup target.
 
+--alias FROM=TO renames candidate benchmarks by prefix before
+matching, so a variant row can be gated against its baseline twin in
+the same binary:
+
+    tools/bench_compare.py qps_plain.json qps_traced.json \\
+        --alias BM_ServeNetworkQpsTraced=BM_ServeNetworkQps \\
+        --max-regress 20
+
 Besides the per-benchmark table the report ends with a geometric-mean
 speedup over the shared benchmarks, and benchmarks present in only one
 report are listed as added (candidate only) / removed (baseline only)
@@ -87,6 +95,12 @@ def main(argv=None):
         type=float, metavar="PCT",
         help="fail when any shared benchmark is more than PCT%% slower "
              "than the baseline (default 10 when given without a value)")
+    parser.add_argument(
+        "--alias", action="append", default=[], metavar="FROM=TO",
+        help="rename candidate benchmarks whose name starts with FROM "
+             "to start with TO before matching (repeatable) — compares "
+             "a variant (e.g. BM_ServeNetworkQpsTraced) against its "
+             "baseline-named twin")
     args = parser.parse_args(argv)
 
     if args.max_regress is not None and args.max_regress < 0:
@@ -94,6 +108,19 @@ def main(argv=None):
 
     old = load_times(args.baseline)
     new = load_times(args.candidate)
+    for alias in args.alias:
+        source, _, target = alias.partition("=")
+        if not target:
+            raise SystemExit(f"--alias expects FROM=TO, got {alias!r}")
+        renamed = {}
+        for name, value in new.items():
+            key = (target + name[len(source):]
+                   if name.startswith(source) else name)
+            if key in renamed:
+                raise SystemExit(
+                    f"--alias {alias!r} collides on {key!r}")
+            renamed[key] = value
+        new = renamed
     requirements = dict(parse_requirement(r) for r in args.require)
 
     shared = [name for name in old if name in new]

@@ -5,12 +5,20 @@ Checks the subset of the exposition format the obs layer emits:
 
   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
   - every sample is preceded by # HELP and # TYPE lines for its family
+    (a HELP/TYPE line arriving after the family's first sample is an
+    error too)
   - TYPE is one of counter / gauge / histogram
   - counter sample names end in _total
   - histogram families expose _bucket{le=...}, _sum and _count; bucket
     counts are monotonically non-decreasing in le-order; the +Inf
     bucket equals _count
-  - no duplicate samples (same name + label set)
+  - label names match [a-zA-Z_][a-zA-Z0-9_]*, label values only use
+    the three legal escapes (\\\\, \\", \\n), and no label name repeats
+    within one sample
+  - no duplicate series: the label set is canonicalized (sorted by
+    label name) before comparison, so a={x="1",y="2"} and
+    a={y="2",x="1"} are correctly flagged as the same series
+  - HELP text uses only the legal escapes (\\\\ and \\n)
   - sample values parse as floats
 
 Optional requirements make CI assertions executable:
@@ -38,6 +46,44 @@ _SAMPLE_RE = re.compile(
     r"\s+(?P<value>\S+)"
     r"(?:\s+(?P<timestamp>-?\d+))?$")
 _TYPES = {"counter", "gauge", "histogram"}
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def parse_labels(labels_text, lineno, problems):
+    """Parse '{a="x",b="y"}' into a canonical (sorted) tuple of
+    (name, value) pairs, reporting malformed label syntax, illegal
+    escapes, and repeated label names. The canonical form is what makes
+    duplicate-series detection independent of label order."""
+    if not labels_text:
+        return ()
+    out = []
+    rest = labels_text[1:-1]
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            problems.append(
+                f"line {lineno}: malformed label in {labels_text!r}")
+            break
+        value = match.group("value")
+        for escape in re.finditer(r"\\(.)", value):
+            if escape.group(1) not in ("\\", '"', "n"):
+                problems.append(
+                    f"line {lineno}: illegal escape "
+                    f"\\{escape.group(1)} in label value {value!r}")
+        out.append((match.group("name"), value))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            problems.append(
+                f"line {lineno}: junk after label in {labels_text!r}")
+            break
+    names = [name for name, _ in out]
+    if len(set(names)) != len(names):
+        problems.append(
+            f"line {lineno}: repeated label name in {labels_text!r}")
+    return tuple(sorted(out))
 
 
 def base_family(name):
@@ -60,8 +106,9 @@ def lint(path, require, require_nonzero):
     problems = []
     helps = {}
     types = {}
-    samples = {}  # (name, labels) -> value
+    samples = {}  # (name, canonical labels) -> value
     buckets = {}  # family -> list of (le, value)
+    seen_families = set()  # families with at least one sample so far
 
     with open(path) as handle:
         lines = handle.read().splitlines()
@@ -75,10 +122,22 @@ def lint(path, require, require_nonzero):
                 problems.append(f"line {lineno}: malformed HELP line")
                 continue
             name = parts[2]
+            if not _NAME_RE.match(name):
+                problems.append(
+                    f"line {lineno}: bad metric name in HELP: {name!r}")
             if name in helps:
                 problems.append(
                     f"line {lineno}: duplicate HELP for {name}")
-            helps[name] = parts[3] if len(parts) > 3 else ""
+            if name in seen_families:
+                problems.append(
+                    f"line {lineno}: HELP for {name} after its samples")
+            text = parts[3] if len(parts) > 3 else ""
+            for escape in re.finditer(r"\\(.)", text):
+                if escape.group(1) not in ("\\", "n"):
+                    problems.append(
+                        f"line {lineno}: illegal escape "
+                        f"\\{escape.group(1)} in HELP for {name}")
+            helps[name] = text
             continue
         if line.startswith("# TYPE "):
             parts = line.split()
@@ -92,6 +151,9 @@ def lint(path, require, require_nonzero):
             if name in types:
                 problems.append(
                     f"line {lineno}: duplicate TYPE for {name}")
+            if name in seen_families:
+                problems.append(
+                    f"line {lineno}: TYPE for {name} after its samples")
             types[name] = kind
             continue
         if line.startswith("#"):
@@ -104,6 +166,7 @@ def lint(path, require, require_nonzero):
         labels = match.group("labels") or ""
         if not _NAME_RE.match(name):
             problems.append(f"line {lineno}: bad metric name {name!r}")
+        label_set = parse_labels(labels, lineno, problems)
         try:
             value = float(match.group("value"))
         except ValueError:
@@ -111,13 +174,14 @@ def lint(path, require, require_nonzero):
                 f"line {lineno}: non-numeric value for {name}: "
                 f"{match.group('value')!r}")
             continue
-        key = (name, labels)
+        key = (name, label_set)
         if key in samples:
             problems.append(
-                f"line {lineno}: duplicate sample {name}{labels}")
+                f"line {lineno}: duplicate series {name}{labels}")
         samples[key] = value
 
         family = base_family(name)
+        seen_families.add(family)
         kind = types.get(family)
         if kind is None:
             problems.append(
@@ -150,14 +214,14 @@ def lint(path, require, require_nonzero):
             problems.append(
                 f"{family}: bucket counts are not monotonically "
                 "non-decreasing")
-        count = samples.get((family + "_count", ""))
+        count = samples.get((family + "_count", ()))
         if count is None:
             problems.append(f"{family}: histogram missing _count sample")
         elif math.inf in les and entries[-1][1] != count:
             problems.append(
                 f"{family}: +Inf bucket ({entries[-1][1]:g}) != _count "
                 f"({count:g})")
-        if (family + "_sum", "") not in samples:
+        if (family + "_sum", ()) not in samples:
             problems.append(f"{family}: histogram missing _sum sample")
 
     by_name = {}

@@ -27,6 +27,9 @@
  *                        (default 5000)
  *   --idle-timeout MS    how long a connection may idle between
  *                        requests (default 30000)
+ *   --slow-request-us N  log requests that took longer than N
+ *                        microseconds to handle, rate-limited per
+ *                        reactor loop (0 = off, the default)
  *   --max-pending N      shed Submit events once a shard holds N
  *                        pending jobs (0 = unlimited, the default)
  *   --retry-after S      Retry-After advertised on shed events (1)
@@ -90,6 +93,7 @@ usage(std::ostream &out)
            "[--reactor-threads=0]\n"
            "                  [--io-timeout=5000]\n"
            "                  [--idle-timeout=30000] [--max-pending=0]\n"
+           "                  [--slow-request-us=0]\n"
            "                  [--state-dir=DIR] [--shards=N]\n"
            "                  [--method=bmbp] [--quantile=.95] "
            "[--confidence=.95]\n"
@@ -237,10 +241,18 @@ main(int argc, char **argv)
                   << reactor_threads << " (0 = hardware concurrency)\n";
         return 1;
     }
+    const long long slow_request_us =
+        cliValue(cli.getInt("slow-request-us", 0));
+    if (slow_request_us < 0) {
+        std::cerr << "error: --slow-request-us: must be >= 0, got "
+                  << slow_request_us << " (0 disables the log)\n";
+        return 1;
+    }
     server_options.maxConnections = static_cast<size_t>(max_conns);
     server_options.reactorThreads = static_cast<size_t>(reactor_threads);
     server_options.ioTimeoutMs = static_cast<int>(io_timeout);
     server_options.idleTimeoutMs = static_cast<int>(idle_timeout);
+    server_options.slowRequestUs = static_cast<int64_t>(slow_request_us);
     if (serve_port) {
         if (auto valid = server_options.validate(); !valid.ok()) {
             std::cerr << "error: " << valid.error().str() << "\n";

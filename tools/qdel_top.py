@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Live terminal dashboard for a running qdel_serve daemon (stdlib
+only).
+
+Polls GET /metrics, /debug/calibration, /debug/shards and /debug/conns
+every --interval seconds and renders:
+
+  - request / query / shed / reap rates (deltas between polls of the
+    Prometheus counters);
+  - calibration summary: scored entries, failing entries, worst
+    rolling-window coverage vs the requested confidence;
+  - the worst-calibrated entries (lowest window coverage first), the
+    live analogue of scanning the offline correct-fraction table for
+    the rows that miss their confidence target;
+  - per-shard entry/pending/WAL-depth counts and per-loop connection
+    totals.
+
+CI smoke: --once renders a single frame without clearing the screen
+and exits 0, proving the endpoints are up and parseable:
+
+    python3 tools/qdel_top.py --port-file serve.port --once
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+def http_get(host, port, target, timeout=10.0):
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        sock.sendall(
+            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    finally:
+        sock.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    code = int(head.split(b"\r\n", 1)[0].split()[1])
+    if code != 200:
+        raise RuntimeError(f"{target}: HTTP {code}")
+    return body.decode()
+
+
+def parse_metrics(text):
+    """Prometheus text -> {name: value} for label-free samples (the obs
+    layer only labels histogram buckets, which the dashboard skips)."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#") or "{" in line:
+            continue
+        parts = line.split()
+        if len(parts) >= 2:
+            try:
+                out[parts[0]] = float(parts[1])
+            except ValueError:
+                pass
+    return out
+
+
+def fmt_rate(now, before, name, dt):
+    if before is None or dt <= 0:
+        return "-"
+    delta = now.get(name, 0.0) - before.get(name, 0.0)
+    return f"{delta / dt:.1f}/s"
+
+
+def fmt_cov(value):
+    return "-" if value is None or value < 0 else f"{value:.3f}"
+
+
+def render(host, port, before, before_time, top_n):
+    metrics = parse_metrics(http_get(host, port, "/metrics"))
+    calib = json.loads(http_get(host, port, "/debug/calibration"))
+    shards = json.loads(http_get(host, port, "/debug/shards"))
+    conns = json.loads(http_get(host, port, "/debug/conns"))
+    now_time = time.monotonic()
+    dt = now_time - before_time if before_time else 0.0
+
+    lines = []
+    lines.append(
+        f"qdel_top  {host}:{port}  "
+        f"requests={metrics.get('qdel_serve_requests_total', 0):.0f}  "
+        f"qps={fmt_rate(metrics, before, 'qdel_serve_requests_total', dt)}"
+        f"  queries="
+        f"{fmt_rate(metrics, before, 'qdel_serve_queries_total', dt)}"
+        f"  shed={fmt_rate(metrics, before, 'qdel_serve_shed_total', dt)}"
+        f"  reap={fmt_rate(metrics, before, 'qdel_serve_reaped_connections_total', dt)}"
+        f"  slow={metrics.get('qdel_serve_slow_requests_total', 0):.0f}")
+    lines.append(
+        f"calibration  confidence={calib['confidence']:.3f}  "
+        f"entries={calib['entries']}  scored={calib['scoredEntries']}  "
+        f"failing={calib['failingEntries']}  "
+        f"worst-coverage={fmt_cov(calib['worstCoverage'])}  "
+        f"max-undercoverage={fmt_cov(calib['maxUndercoverage'])}")
+
+    rows = [r for r in calib.get("rows", []) if r.get("windowCount", 0) > 0]
+    rows.sort(key=lambda r: (r.get("windowCoverage") is None,
+                             r.get("windowCoverage", 2.0)))
+    if rows:
+        lines.append("")
+        lines.append("worst-calibrated entries (rolling window):")
+        lines.append("  machine|queue|bucket            cover   window"
+                     "  lifetime  p-value  flag")
+        for row in rows[:top_n]:
+            key = (f"{row['machine']}|{row['queue']}|"
+                   f"{row['bucketLabel']}")
+            lines.append(
+                f"  {key:<32} {fmt_cov(row['windowCoverage']):>6}  "
+                f"{row['windowCount']:>6}  "
+                f"{fmt_cov(row['lifetimeCoverage']):>8}  "
+                f"{row['pValue']:>7.1e}  "
+                f"{'FAILING' if row['failing'] else 'ok':>7}")
+
+    lines.append("")
+    lines.append(f"shards (durable={shards['durable']}):")
+    for row in shards.get("shards", []):
+        lines.append(
+            f"  shard {row['shard']:>3}: entries={row['entries']:<6} "
+            f"pending={row['pending']:<6} applied={row['applied']:<8} "
+            f"rejected={row['rejected']:<5} "
+            f"wal-depth={row['walSinceCheckpoint']}")
+
+    total_conns = sum(l.get("connCount", 0) for l in conns.get("loops", []))
+    lines.append(
+        f"conns: {total_conns} across {len(conns.get('loops', []))} "
+        "loops")
+    return "\n".join(lines), metrics, now_time
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--port-file",
+                        help="read the port from this file (written by "
+                             "qdel_serve --port-file)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls (default 2)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="worst-calibrated entries shown (default 10)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit (CI smoke)")
+    args = parser.parse_args()
+    if args.port is None:
+        if not args.port_file:
+            parser.error("one of --port / --port-file is required")
+        with open(args.port_file) as handle:
+            args.port = int(handle.read().strip())
+
+    before, before_time = None, None
+    while True:
+        frame, before, before_time = render(
+            args.host, args.port, before, before_time, args.top)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear + home keeps the frame flicker-free without curses.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        sys.exit(0)
+    except (RuntimeError, ConnectionError, OSError, ValueError,
+            KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(1)

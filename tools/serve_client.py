@@ -7,8 +7,15 @@ Speaks both wire protocols the daemon multiplexes on one port:
     body; strings are u64 LE length + bytes, matching the C++
     persist::StateWriter codec), used for ping/event/query/stats/
     checkpoint;
-  - the HTTP/1.1 fallback (GET /healthz, /bound, /stats, /metrics;
-    POST /event, /checkpoint), used for http-* subcommands.
+  - the HTTP/1.1 fallback (GET /healthz, /bound, /stats, /metrics,
+    /debug/calibration; POST /event, /checkpoint), used for the http-*
+    and calibration subcommands.
+
+Tracing: --trace (hex id or 'new') rides along as the wire v3 trace
+tail on event/query bodies and as the X-Qdel-Trace header on
+http-bound. The daemon stamps every hop's span with the id; pass
+--events-out (the daemon's span dump) to print the matching spans
+after the request.
 
 Fault tolerance: the `event` subcommand is idempotent when given
 --client and --seq. The server remembers the highest seq it has
@@ -158,10 +165,47 @@ def retrying_roundtrip(host: str, port: int, opcode: int, body: bytes,
         f"request failed after {retries + 1} attempts: {last_error}")
 
 
-def http_request(host: str, port: int, method: str, target: str) -> str:
+def parse_trace(value) -> int:
+    """--trace accepts up to 16 hex digits, or 'new' for a random id.
+    Returns 0 (untraced) when the flag was not given."""
+    if value is None:
+        return 0
+    if value == "new":
+        return random.getrandbits(64) or 1
+    trace = int(value, 16)
+    if not 0 < trace < 2 ** 64:
+        raise ValueError("--trace must be 1..16 hex digits, nonzero")
+    return trace
+
+
+def after_request(args) -> None:
+    """Print the trace id this request carried and, when --events-out
+    names the daemon's event dump (written at daemon exit/flush), every
+    span that propagated it — the end-to-end request story."""
+    if not getattr(args, "trace_id", 0):
+        return
+    tid = f"{args.trace_id:016x}"
+    print(f"trace={tid}")
+    if not args.events_out:
+        return
+    needle = f'"trace":"{tid}"'
+    spans = 0
+    with open(args.events_out) as handle:
+        for line in handle:
+            if needle in line:
+                print("span " + line.strip().rstrip(","))
+                spans += 1
+    print(f"trace={tid} spans={spans}")
+
+
+def http_request(host: str, port: int, method: str, target: str,
+                 trace: int = 0) -> str:
     sock = connect(host, port)
     try:
-        head = f"{method} {target} HTTP/1.1\r\nHost: {host}\r\n\r\n"
+        head = f"{method} {target} HTTP/1.1\r\nHost: {host}\r\n"
+        if trace:
+            head += f"X-Qdel-Trace: {trace:016x}\r\n"
+        head += "\r\n"
         sock.sendall(head.encode())
         raw = b""
         while True:
@@ -231,6 +275,15 @@ def main() -> int:
                              "failures or sheds (default 3)")
     parser.add_argument("--backoff", type=float, default=0.1,
                         help="base backoff in seconds (default 0.1)")
+    parser.add_argument("--trace",
+                        help="end-to-end trace id for event/query/"
+                             "http-bound: 1..16 hex digits, or 'new' "
+                             "for a random one (sent as the wire v3 "
+                             "trace tail / X-Qdel-Trace header)")
+    parser.add_argument("--events-out",
+                        help="the daemon's --events-out dump; with "
+                             "--trace, matching spans are printed "
+                             "after the request")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("ping")
@@ -239,6 +292,16 @@ def main() -> int:
     sub.add_parser("http-healthz")
     sub.add_parser("http-metrics")
     sub.add_parser("http-stats")
+    sub.add_parser("calibration",
+                   help="GET /debug/calibration: live per-entry "
+                        "empirical coverage vs the requested "
+                        "confidence")
+    sub.add_parser("debug-shards",
+                   help="GET /debug/shards: per-shard entry/pending/"
+                        "WAL-depth counters")
+    sub.add_parser("debug-conns",
+                   help="GET /debug/conns: per-loop live connection "
+                        "table")
 
     event = sub.add_parser("event")
     event.add_argument("--kind", choices=sorted(KINDS), required=True)
@@ -285,6 +348,7 @@ def main() -> int:
             parser.error("one of --port / --port-file is required")
         with open(args.port_file) as handle:
             args.port = int(handle.read().strip())
+    args.trace_id = parse_trace(args.trace)
 
     if args.command == "http-healthz":
         print(http_request(args.host, args.port, "GET", "/healthz"))
@@ -296,10 +360,22 @@ def main() -> int:
     if args.command == "http-stats":
         print(http_request(args.host, args.port, "GET", "/stats"))
         return 0
+    if args.command == "calibration":
+        print(http_request(args.host, args.port, "GET",
+                           "/debug/calibration"))
+        return 0
+    if args.command == "debug-shards":
+        print(http_request(args.host, args.port, "GET", "/debug/shards"))
+        return 0
+    if args.command == "debug-conns":
+        print(http_request(args.host, args.port, "GET", "/debug/conns"))
+        return 0
     if args.command == "http-bound":
         target = (f"/bound?machine={args.machine}&queue={args.queue}"
                   f"&procs={args.procs}&q={args.quantile}")
-        print(http_request(args.host, args.port, "GET", target))
+        print(http_request(args.host, args.port, "GET", target,
+                           args.trace_id))
+        after_request(args)
         return 0
     if args.command == "flood":
         return flood(args.host, args.port, args.conns, args.hold)
@@ -311,6 +387,9 @@ def main() -> int:
                 struct.pack("<q", args.procs) +
                 enc_str(args.machine) + enc_str(args.queue) +
                 enc_str(args.client) + struct.pack("<Q", args.seq))
+        if args.trace_id:
+            # Wire v3 optional trace tail; absent = untraced (v2).
+            body += struct.pack("<Q", args.trace_id)
         # The (client, seq) fence makes the resend safe: if the first
         # send applied but its response was lost, the retry dedups.
         response = retrying_roundtrip(args.host, args.port, OP_EVENT,
@@ -326,6 +405,7 @@ def main() -> int:
         print(line)
         if not applied and not deduped:
             return 2
+        after_request(args)
         return 0
     if args.command == "ping":
         response = retrying_roundtrip(args.host, args.port, OP_PING, b"",
@@ -349,6 +429,9 @@ def main() -> int:
                     struct.pack("<q", args.procs) +
                     struct.pack("<d", args.quantile) +
                     bytes([0 if args.lower else 1]))
+            if args.trace_id:
+                # Wire v3 optional trace tail on queries too.
+                body += struct.pack("<Q", args.trace_id)
             if args.pipeline < 1:
                 raise ValueError("--pipeline must be >= 1")
             if args.pipeline > 1:
@@ -391,6 +474,7 @@ def main() -> int:
                   f"lower={lower} "
                   f"q={quantile} conf={confidence} history={history} "
                   f"observations={observations} version={version}")
+            after_request(args)
     finally:
         sock.close()
     return 0
